@@ -1,0 +1,81 @@
+//! Threshold-calibration cost: Monte-Carlo trials, cache effectiveness,
+//! and the trial-count ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_stats::{CalibrationConfig, ThresholdCalibrator};
+use std::hint::black_box;
+
+fn bench_cold_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_cold");
+    for &trials in &[500usize, 1000, 2000, 4000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                b.iter_with_setup(
+                    || {
+                        ThresholdCalibrator::new(CalibrationConfig {
+                            trials,
+                            ..CalibrationConfig::default()
+                        })
+                        .unwrap()
+                    },
+                    |cal| black_box(cal.threshold(10, 50, 0.9).unwrap()),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let cal = ThresholdCalibrator::new(CalibrationConfig::default()).unwrap();
+    let _ = cal.threshold(10, 50, 0.9).unwrap();
+    c.bench_function("calibration_cache_hit", |b| {
+        b.iter(|| black_box(cal.threshold(10, 50, 0.9001).unwrap()))
+    });
+}
+
+fn bench_large_k_extrapolation(c: &mut Criterion) {
+    let cal = ThresholdCalibrator::new(CalibrationConfig::default()).unwrap();
+    // Prime the cutoff anchor.
+    let _ = cal.threshold(10, 2048, 0.9).unwrap();
+    c.bench_function("calibration_large_k_extrapolated", |b| {
+        b.iter(|| black_box(cal.threshold(10, 80_000, 0.9).unwrap()))
+    });
+}
+
+fn bench_parallel_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter_with_setup(
+                    || {
+                        ThresholdCalibrator::new(CalibrationConfig {
+                            trials: 4000,
+                            threads,
+                            ..CalibrationConfig::default()
+                        })
+                        .unwrap()
+                    },
+                    |cal| black_box(cal.threshold(10, 1000, 0.9).unwrap()),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_cold_calibration,
+    bench_warm_cache,
+    bench_large_k_extrapolation,
+    bench_parallel_threads
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Distribution-distance ablation: the paper chose L¹; how do the metrics
+//! compare in cost (here) and in detection behavior (tests/ablation in
+//! hp-experiments)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_stats::{Binomial, DistanceKind, Histogram};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(k: usize) -> (Histogram, Vec<f64>) {
+    let model = Binomial::new(10, 0.9).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let hist = Histogram::from_samples(10, model.sample_many(&mut rng, k).into_iter()).unwrap();
+    (hist, model.pmf_table())
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (hist, pmf) = setup(1_000);
+    let mut group = c.benchmark_group("distance_metrics_k1000");
+    for kind in DistanceKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| black_box(kind.distance(&hist, &pmf).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_histogram(c: &mut Criterion) {
+    let model = Binomial::new(10, 0.9).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let samples = model.sample_many(&mut rng, 100_000);
+    c.bench_function("histogram_slide_window", |b| {
+        // The histogram always holds 50k consecutive samples (circularly
+        // over the 100k buffer), so remove/add stay balanced forever.
+        let mut hist = Histogram::from_samples(10, samples[..50_000].iter().copied()).unwrap();
+        let mut pos = 0usize;
+        b.iter(|| {
+            hist.remove(samples[pos]).unwrap();
+            hist.add(samples[(pos + 50_000) % 100_000]).unwrap();
+            pos = (pos + 1) % 100_000;
+            black_box(hist.len())
+        })
+    });
+}
+
+fn bench_pmf_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_pmf_table");
+    for &m in &[10u32, 50, 200] {
+        let model = Binomial::new(m, 0.9).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &model, |b, model| {
+            b.iter(|| black_box(model.pmf_table()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_metrics,
+    bench_incremental_histogram,
+    bench_pmf_table
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 9 as a Criterion bench: single vs naive-multi vs optimized-multi
+//! behavior testing across history sizes. The shape to look for: single
+//! and optimized grow linearly, naive quadratically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hp_core::testing::{
+    shared_calibrator, BehaviorTestConfig, MultiBehaviorTest, MultiTestMode, SingleBehaviorTest,
+};
+use hp_core::{ServerId, TransactionHistory};
+use rand::RngExt;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn history(n: usize, seed: u64) -> TransactionHistory {
+    let mut rng = hp_stats::seeded_rng(seed);
+    TransactionHistory::from_outcomes(ServerId::new(0), (0..n).map(|_| rng.random::<f64>() < 0.95))
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let config = BehaviorTestConfig::builder()
+        .calibration_trials(500)
+        .step(1000)
+        .build()
+        .unwrap();
+    let calibrator = shared_calibrator(&config).unwrap();
+    let single =
+        SingleBehaviorTest::with_calibrator(config.clone(), Arc::clone(&calibrator)).unwrap();
+    let naive = MultiBehaviorTest::with_calibrator(config.clone(), Arc::clone(&calibrator))
+        .unwrap()
+        .with_mode(MultiTestMode::Naive);
+    let optimized = MultiBehaviorTest::with_calibrator(config, calibrator)
+        .unwrap()
+        .with_mode(MultiTestMode::Optimized);
+
+    let mut group = c.benchmark_group("fig9_scaling");
+    for &n in &[50_000usize, 100_000, 200_000, 400_000] {
+        let h = history(n, n as u64);
+        // Warm the threshold cache so Monte-Carlo calibration is not in
+        // the measured path.
+        let _ = single.evaluate_detailed(&h).unwrap();
+        let _ = naive.evaluate_detailed(&h).unwrap();
+        let _ = optimized.evaluate_detailed(&h).unwrap();
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("single", n), &h, |b, h| {
+            b.iter(|| black_box(single.evaluate_detailed(h).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("multi_naive", n), &h, |b, h| {
+            b.iter(|| black_box(naive.evaluate_detailed(h).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("multi_optimized", n), &h, |b, h| {
+            b.iter(|| black_box(optimized.evaluate_detailed(h).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_scaling
+}
+criterion_main!(benches);

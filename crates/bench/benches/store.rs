@@ -1,0 +1,75 @@
+//! Feedback-store throughput: central vs sharded vs partial visibility.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_store::{FeedbackStore, MemoryStore, PartialStore, ShardedStore, ShardedStoreConfig};
+use std::hint::black_box;
+
+fn feedback(t: u64) -> Feedback {
+    Feedback::new(
+        t,
+        ServerId::new(t % 64),
+        ClientId::new(t % 977),
+        Rating::from_good(t % 10 != 0),
+    )
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_append");
+    group.bench_function("memory", |b| {
+        let mut store = MemoryStore::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            store.append(feedback(t));
+            t += 1;
+        })
+    });
+    group.bench_function("sharded_r2", |b| {
+        let mut store = ShardedStore::new(ShardedStoreConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            store.append(feedback(t));
+            t += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_history_query(c: &mut Criterion) {
+    let mut memory = MemoryStore::new();
+    let mut sharded = ShardedStore::new(ShardedStoreConfig::default());
+    for t in 0..256_000u64 {
+        memory.append(feedback(t));
+        sharded.append(feedback(t));
+    }
+    let partial = PartialStore::new(memory.clone(), 0.5, 3);
+
+    let mut group = c.benchmark_group("store_history_of_4k");
+    group.bench_with_input(BenchmarkId::from_parameter("memory"), &memory, |b, s| {
+        b.iter(|| black_box(s.history_of(ServerId::new(7)).len()))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sharded"), &sharded, |b, s| {
+        b.iter(|| black_box(s.history_of(ServerId::new(7)).len()))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("partial"), &partial, |b, s| {
+        b.iter(|| black_box(s.history_of(ServerId::new(7)).len()))
+    });
+    group.finish();
+}
+
+fn bench_recent_query(c: &mut Criterion) {
+    let mut memory = MemoryStore::new();
+    for t in 0..256_000u64 {
+        memory.append(feedback(t));
+    }
+    c.bench_function("store_recent_of_100", |b| {
+        b.iter(|| black_box(memory.recent_of(ServerId::new(7), 100).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_append, bench_history_query, bench_recent_query
+}
+criterion_main!(benches);

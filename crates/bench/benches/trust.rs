@@ -1,0 +1,70 @@
+//! Trust-function evaluation cost, batch and incremental.
+//!
+//! Ablation: the strategic-attacker loop consults the trust function every
+//! step; incremental states turn the quadratic replay into O(1) updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_core::trust::incremental::{AverageTrustState, IncrementalTrust, WeightedTrustState};
+use hp_core::trust::{
+    AverageTrust, BetaTrust, DecayTrust, TrustFunction, WeightedTrust, WindowedAverageTrust,
+};
+use hp_core::{ServerId, TransactionHistory};
+use rand::RngExt;
+use std::hint::black_box;
+
+fn history(n: usize) -> TransactionHistory {
+    let mut rng = hp_stats::seeded_rng(42);
+    TransactionHistory::from_outcomes(ServerId::new(0), (0..n).map(|_| rng.random::<f64>() < 0.9))
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let h = history(10_000);
+    let functions: Vec<(&str, Box<dyn TrustFunction>)> = vec![
+        ("average", Box::new(AverageTrust::default())),
+        ("weighted", Box::new(WeightedTrust::new(0.5).unwrap())),
+        ("beta", Box::new(BetaTrust::default())),
+        ("decay", Box::new(DecayTrust::new(500.0).unwrap())),
+        ("windowed", Box::new(WindowedAverageTrust::new(100).unwrap())),
+    ];
+    let mut group = c.benchmark_group("trust_batch_10k");
+    for (name, f) in &functions {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, h| {
+            b.iter(|| black_box(f.trust(h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trust_incremental_step");
+    group.bench_function("average_state", |b| {
+        let mut state = AverageTrustState::new();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            state.update(flip);
+            black_box(state.current())
+        })
+    });
+    group.bench_function("weighted_state", |b| {
+        let mut state = WeightedTrustState::new(0.5).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            state.update(flip);
+            black_box(state.current())
+        })
+    });
+    group.bench_function("average_peek", |b| {
+        let state = AverageTrustState::from_history(&history(1_000));
+        b.iter(|| black_box(state.peek(true)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_batch, bench_incremental
+}
+criterion_main!(benches);

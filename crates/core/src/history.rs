@@ -1,0 +1,410 @@
+//! Ordered transaction histories with O(1) range statistics.
+//!
+//! [`TransactionHistory`] stores a server's feedback sequence together with
+//! prefix sums of good transactions and a per-client index. Those two
+//! auxiliary structures are what make the paper's algorithms efficient:
+//!
+//! * any window count `G_i` and any suffix's `p̂` are O(1)
+//!   ([`TransactionHistory::count_range`]), which turns the naive O(n²)
+//!   multi-test into the O(n) optimized variant;
+//! * the collusion-resilient reordering (§4) groups feedback by issuer in
+//!   O(n) using the per-client index.
+
+use crate::feedback::{Feedback, Rating};
+use crate::id::{ClientId, ServerId};
+use hp_stats::{PrefixSums, StatsError};
+use std::collections::HashMap;
+
+/// A server's transaction history, in transaction order.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::{ClientId, Feedback, Rating, ServerId, TransactionHistory};
+///
+/// let mut h = TransactionHistory::new();
+/// h.push(Feedback::new(0, ServerId::new(1), ClientId::new(5), Rating::Positive));
+/// h.push(Feedback::new(1, ServerId::new(1), ClientId::new(6), Rating::Negative));
+/// assert_eq!(h.len(), 2);
+/// assert_eq!(h.good_count(), 1);
+/// assert_eq!(h.p_hat(), Some(0.5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransactionHistory {
+    feedbacks: Vec<Feedback>,
+    prefix: PrefixSums,
+    by_client: HashMap<ClientId, Vec<usize>>,
+}
+
+impl TransactionHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        TransactionHistory::default()
+    }
+
+    /// Creates an empty history with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TransactionHistory {
+            feedbacks: Vec::with_capacity(capacity),
+            prefix: PrefixSums::new(),
+            by_client: HashMap::new(),
+        }
+    }
+
+    /// Builds a synthetic history from good/bad outcomes.
+    ///
+    /// Times are assigned sequentially and all feedback is attributed to a
+    /// single placeholder client, so this is only appropriate where issuer
+    /// identity does not matter (i.e. everywhere except collusion testing).
+    pub fn from_outcomes<I>(server: ServerId, outcomes: I) -> Self
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let client = ClientId::new(0);
+        let mut h = TransactionHistory::new();
+        for (t, good) in outcomes.into_iter().enumerate() {
+            h.push(Feedback::new(t as u64, server, client, Rating::from_good(good)));
+        }
+        h
+    }
+
+    /// Appends a feedback record.
+    pub fn push(&mut self, feedback: Feedback) {
+        let idx = self.feedbacks.len();
+        self.prefix.push(feedback.is_good());
+        self.by_client.entry(feedback.client).or_default().push(idx);
+        self.feedbacks.push(feedback);
+    }
+
+    /// Removes and returns the most recent feedback.
+    ///
+    /// Together with [`TransactionHistory::push`], this supports the
+    /// append–test–revert pattern the strategic attacker (and any what-if
+    /// analysis) needs, in O(1).
+    pub fn pop(&mut self) -> Option<Feedback> {
+        let feedback = self.feedbacks.pop()?;
+        self.prefix.pop();
+        let idx_list = self
+            .by_client
+            .get_mut(&feedback.client)
+            .expect("per-client index tracks every pushed feedback");
+        idx_list.pop();
+        if idx_list.is_empty() {
+            self.by_client.remove(&feedback.client);
+        }
+        Some(feedback)
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.feedbacks.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.feedbacks.is_empty()
+    }
+
+    /// Total number of good transactions.
+    pub fn good_count(&self) -> u64 {
+        self.prefix.total_good()
+    }
+
+    /// Total number of bad transactions.
+    pub fn bad_count(&self) -> u64 {
+        self.len() as u64 - self.good_count()
+    }
+
+    /// Overall fraction of good transactions (`None` when empty).
+    ///
+    /// This is the paper's `p̂ = Σ G_i / n` estimator.
+    pub fn p_hat(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.good_count() as f64 / self.len() as f64)
+        }
+    }
+
+    /// The feedback at position `i` (transaction order).
+    pub fn get(&self, i: usize) -> Option<&Feedback> {
+        self.feedbacks.get(i)
+    }
+
+    /// The most recent feedback.
+    pub fn last(&self) -> Option<&Feedback> {
+        self.feedbacks.last()
+    }
+
+    /// All feedback records in transaction order.
+    pub fn feedbacks(&self) -> &[Feedback] {
+        &self.feedbacks
+    }
+
+    /// Iterates over feedback records in transaction order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Feedback> {
+        self.feedbacks.iter()
+    }
+
+    /// Iterates over good/bad outcomes in transaction order.
+    pub fn outcomes(&self) -> impl Iterator<Item = bool> + '_ {
+        self.feedbacks.iter().map(|f| f.is_good())
+    }
+
+    /// The underlying prefix sums (for O(1) range statistics).
+    pub fn prefix_sums(&self) -> &PrefixSums {
+        &self.prefix
+    }
+
+    /// Number of good transactions in the half-open range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (see [`PrefixSums::count_range`]).
+    pub fn count_range(&self, start: usize, end: usize) -> u64 {
+        self.prefix.count_range(start, end)
+    }
+
+    /// Fraction of good transactions in `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty range.
+    pub fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
+        self.prefix.rate_range(start, end)
+    }
+
+    /// Window counts of size `m` over `[start, end)`, aligned to `start`
+    /// (trailing partial window dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    pub fn window_counts(
+        &self,
+        start: usize,
+        end: usize,
+        m: usize,
+    ) -> Result<Vec<u32>, StatsError> {
+        self.prefix.window_counts(start, end, m)
+    }
+
+    /// Number of distinct feedback issuers — the size of the server's
+    /// *supporter base* in the paper's §4 terminology (counting all
+    /// issuers, not only positive ones; see
+    /// [`crate::testing::SupporterBaseStats`] for the refined view).
+    pub fn distinct_clients(&self) -> usize {
+        self.by_client.len()
+    }
+
+    /// Number of feedbacks issued by `client`.
+    pub fn client_count(&self, client: ClientId) -> usize {
+        self.by_client.get(&client).map_or(0, Vec::len)
+    }
+
+    /// All `(client, feedback-count)` pairs, most frequent first.
+    ///
+    /// Ties are broken by client id so the ordering — and therefore the
+    /// collusion-resilient test built on it — is deterministic.
+    pub fn client_frequencies(&self) -> Vec<(ClientId, usize)> {
+        let mut freqs: Vec<(ClientId, usize)> = self
+            .by_client
+            .iter()
+            .map(|(&c, idxs)| (c, idxs.len()))
+            .collect();
+        freqs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        freqs
+    }
+
+    /// The §4 issuer-frequency permutation: indexes of all feedback,
+    /// grouped by issuer with the most frequent issuers first, and
+    /// transaction order preserved inside each group.
+    pub fn issuer_frequency_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        for (client, _) in self.client_frequencies() {
+            order.extend_from_slice(&self.by_client[&client]);
+        }
+        order
+    }
+
+    /// Good/bad outcomes in issuer-frequency order — the sequence the
+    /// collusion-resilient behavior test runs on.
+    pub fn reordered_outcomes(&self) -> Vec<bool> {
+        self.issuer_frequency_order()
+            .into_iter()
+            .map(|i| self.feedbacks[i].is_good())
+            .collect()
+    }
+
+    /// The server that this history belongs to, if non-empty and uniform.
+    ///
+    /// Returns `None` for an empty history or one that mixes servers
+    /// (histories are normally per-server; mixing indicates a caller bug
+    /// worth surfacing).
+    pub fn server(&self) -> Option<ServerId> {
+        let first = self.feedbacks.first()?.server;
+        if self.feedbacks.iter().all(|f| f.server == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+impl FromIterator<Feedback> for TransactionHistory {
+    fn from_iter<I: IntoIterator<Item = Feedback>>(iter: I) -> Self {
+        let mut h = TransactionHistory::new();
+        for f in iter {
+            h.push(f);
+        }
+        h
+    }
+}
+
+impl Extend<Feedback> for TransactionHistory {
+    fn extend<I: IntoIterator<Item = Feedback>>(&mut self, iter: I) {
+        for f in iter {
+            self.push(f);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionHistory {
+    type Item = &'a Feedback;
+    type IntoIter = std::slice::Iter<'a, Feedback>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(t: u64, client: u64, good: bool) -> Feedback {
+        Feedback::new(t, ServerId::new(1), ClientId::new(client), Rating::from_good(good))
+    }
+
+    #[test]
+    fn push_maintains_counts() {
+        let mut h = TransactionHistory::new();
+        h.push(fb(0, 1, true));
+        h.push(fb(1, 2, false));
+        h.push(fb(2, 1, true));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.good_count(), 2);
+        assert_eq!(h.bad_count(), 1);
+        assert_eq!(h.p_hat(), Some(2.0 / 3.0));
+        assert_eq!(h.distinct_clients(), 2);
+        assert_eq!(h.client_count(ClientId::new(1)), 2);
+    }
+
+    #[test]
+    fn pop_reverses_push_fully() {
+        let mut h = TransactionHistory::new();
+        h.push(fb(0, 1, true));
+        let snapshot_len = h.len();
+        let snapshot_clients = h.distinct_clients();
+        h.push(fb(1, 9, false));
+        let popped = h.pop().unwrap();
+        assert_eq!(popped.client, ClientId::new(9));
+        assert_eq!(h.len(), snapshot_len);
+        assert_eq!(h.distinct_clients(), snapshot_clients);
+        assert_eq!(h.client_count(ClientId::new(9)), 0);
+        assert_eq!(h.good_count(), 1);
+    }
+
+    #[test]
+    fn pop_empty_returns_none() {
+        let mut h = TransactionHistory::new();
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn from_outcomes_builds_sequential_history() {
+        let h = TransactionHistory::from_outcomes(ServerId::new(3), [true, false, true]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.good_count(), 2);
+        assert_eq!(h.get(1).unwrap().time, 1);
+        assert_eq!(h.server(), Some(ServerId::new(3)));
+    }
+
+    #[test]
+    fn range_statistics_match_direct_computation() {
+        let outcomes = [true, true, false, true, false, false, true, true];
+        let h = TransactionHistory::from_outcomes(ServerId::new(1), outcomes);
+        assert_eq!(h.count_range(0, 8), 5);
+        assert_eq!(h.count_range(2, 6), 1);
+        assert!((h.rate_range(2, 6).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(h.window_counts(0, 8, 4).unwrap(), vec![3, 2]);
+        // Offset windows (suffix view)
+        assert_eq!(h.window_counts(2, 8, 3).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn client_frequencies_sorted_desc_with_stable_ties() {
+        let mut h = TransactionHistory::new();
+        for t in 0..3 {
+            h.push(fb(t, 7, true));
+        }
+        for t in 3..5 {
+            h.push(fb(t, 2, true));
+        }
+        for t in 5..7 {
+            h.push(fb(t, 1, false));
+        }
+        let freqs = h.client_frequencies();
+        assert_eq!(
+            freqs,
+            vec![
+                (ClientId::new(7), 3),
+                (ClientId::new(1), 2), // tie with client 2 broken by id
+                (ClientId::new(2), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn issuer_frequency_order_groups_and_preserves_time() {
+        let mut h = TransactionHistory::new();
+        h.push(fb(0, 5, true)); // idx 0
+        h.push(fb(1, 9, false)); // idx 1
+        h.push(fb(2, 5, true)); // idx 2
+        h.push(fb(3, 5, false)); // idx 3
+        h.push(fb(4, 9, true)); // idx 4
+        let order = h.issuer_frequency_order();
+        // client 5 (3 feedbacks) first, then client 9 (2), time order inside.
+        assert_eq!(order, vec![0, 2, 3, 1, 4]);
+        assert_eq!(
+            h.reordered_outcomes(),
+            vec![true, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn server_detects_mixed_histories() {
+        let mut h = TransactionHistory::new();
+        h.push(Feedback::new(0, ServerId::new(1), ClientId::new(1), Rating::Positive));
+        h.push(Feedback::new(1, ServerId::new(2), ClientId::new(1), Rating::Positive));
+        assert_eq!(h.server(), None);
+        assert_eq!(TransactionHistory::new().server(), None);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let h: TransactionHistory = (0..5).map(|t| fb(t, t, t % 2 == 0)).collect();
+        assert_eq!(h.len(), 5);
+        let mut h2 = TransactionHistory::new();
+        h2.extend(h.iter().copied());
+        assert_eq!(h2.len(), 5);
+        assert_eq!(h2.good_count(), h.good_count());
+    }
+
+    #[test]
+    fn outcomes_iterator_matches_feedback() {
+        let h = TransactionHistory::from_outcomes(ServerId::new(1), [true, false]);
+        let outs: Vec<bool> = h.outcomes().collect();
+        assert_eq!(outs, vec![true, false]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Shared goodness-of-fit machinery used by all three schemes.
+//!
+//! Everything here operates on [`PrefixSums`] rather than on
+//! [`crate::TransactionHistory`] directly, so the collusion-resilient test
+//! can reuse it on the issuer-reordered sequence.
+
+use crate::error::CoreError;
+use crate::testing::config::{BehaviorTestConfig, Correction, SuffixSchedule, WindowAlignment};
+use crate::testing::report::{MultiReport, SuffixReport, TestOutcome, WindowTestReport};
+use hp_stats::{Binomial, Histogram, PrefixSums, ThresholdCalibrator};
+
+/// Runs one distribution test over the transactions `[start, end)`.
+///
+/// Follows the paper's Fig. 2 with an explicit `confidence` so the
+/// multi-test can apply its correction:
+/// 1. break the range into `k = ⌊len/m⌋` windows (per `alignment`),
+/// 2. estimate `p̂` over the covered windows,
+/// 3. measure the configured distance between the window-count histogram
+///    and `B(m, p̂)`,
+/// 4. compare to the Monte-Carlo threshold at `confidence`.
+pub(crate) fn run_range_test(
+    prefix: &PrefixSums,
+    start: usize,
+    end: usize,
+    config: &BehaviorTestConfig,
+    calibrator: &ThresholdCalibrator,
+    confidence: f64,
+    alignment: WindowAlignment,
+) -> Result<WindowTestReport, CoreError> {
+    debug_assert!(start <= end && end <= prefix.len());
+    let m = config.window_size() as usize;
+    let len = end - start;
+    let k = len / m;
+    if k < config.min_windows() {
+        return Ok(WindowTestReport::inconclusive(len, k, confidence));
+    }
+    let (cov_start, cov_end) = match alignment {
+        WindowAlignment::Start => (start, start + k * m),
+        WindowAlignment::End => (end - k * m, end),
+    };
+    let counts = prefix.window_counts(cov_start, cov_end, m)?;
+    let histogram = Histogram::from_samples(config.window_size(), counts.into_iter())?;
+    finish_test(prefix, cov_start, cov_end, len, &histogram, config, calibrator, confidence)
+}
+
+/// Final step shared with the incremental multi-test: given the window
+/// histogram and the covered range, compute p̂, threshold and distance.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_test(
+    prefix: &PrefixSums,
+    cov_start: usize,
+    cov_end: usize,
+    transactions: usize,
+    histogram: &Histogram,
+    config: &BehaviorTestConfig,
+    calibrator: &ThresholdCalibrator,
+    confidence: f64,
+) -> Result<WindowTestReport, CoreError> {
+    let m = config.window_size();
+    let k = histogram.len() as usize;
+    let p_hat = prefix.rate_range(cov_start, cov_end)?;
+    let model = Binomial::new(m, p_hat)?;
+    let distance = config.distance().distance(histogram, &model.pmf_table())?;
+    let threshold = calibrator.threshold_at(m, k, p_hat, confidence)?;
+    let outcome = if distance <= threshold {
+        TestOutcome::Honest
+    } else {
+        TestOutcome::Suspicious
+    };
+    Ok(WindowTestReport {
+        outcome,
+        transactions,
+        windows: k,
+        p_hat: Some(p_hat),
+        distance: Some(distance),
+        threshold: Some(threshold),
+        confidence,
+    })
+}
+
+/// The suffix lengths a multi-test will examine for a history of `n`
+/// transactions, per the configured [`SuffixSchedule`].
+pub(crate) fn suffix_lengths(
+    n: usize,
+    step: usize,
+    min_suffix: usize,
+    schedule: SuffixSchedule,
+) -> Vec<usize> {
+    let mut lens = Vec::new();
+    match schedule {
+        SuffixSchedule::Arithmetic => {
+            let mut len = n;
+            while len >= min_suffix && len > 0 {
+                lens.push(len);
+                match len.checked_sub(step) {
+                    Some(next) => len = next,
+                    None => break,
+                }
+            }
+        }
+        SuffixSchedule::Geometric => {
+            let mut len = n;
+            while len >= min_suffix && len > 0 {
+                lens.push(len);
+                // Halve, then round down to a step multiple (keeping the
+                // optimized evaluation's window-alignment precondition).
+                let halved = len / 2;
+                let aligned = halved - halved % step.max(1);
+                if aligned >= len {
+                    break;
+                }
+                len = aligned;
+            }
+        }
+    }
+    lens
+}
+
+/// Per-test confidence after the configured multiple-testing correction.
+///
+/// The test count is rounded up to the next power of two before dividing.
+/// This is conservative (the family-wise error bound only tightens) and
+/// keeps the number of distinct confidence levels — and therefore the
+/// number of distinct threshold-calibration cache entries — logarithmic in
+/// the history length instead of linear.
+pub(crate) fn per_test_confidence(config: &BehaviorTestConfig, tests: usize) -> f64 {
+    match config.correction() {
+        Correction::None => config.confidence(),
+        Correction::Bonferroni => {
+            if tests <= 1 {
+                config.confidence()
+            } else {
+                let rounded = tests.next_power_of_two();
+                1.0 - (1.0 - config.confidence()) / rounded as f64
+            }
+        }
+    }
+}
+
+/// Runs the full multi-test (naive evaluation: every suffix from scratch).
+///
+/// Windows are end-aligned so the suffix tests agree with the optimized
+/// incremental evaluation bit-for-bit.
+pub(crate) fn run_multi_naive(
+    prefix: &PrefixSums,
+    config: &BehaviorTestConfig,
+    calibrator: &ThresholdCalibrator,
+) -> Result<MultiReport, CoreError> {
+    let n = prefix.len();
+    let lens = suffix_lengths(n, config.step(), config.min_suffix(), config.schedule());
+    let confidence = per_test_confidence(config, lens.len());
+    let mut suffixes = Vec::with_capacity(lens.len());
+    let mut outcome = if lens.is_empty() {
+        TestOutcome::Inconclusive
+    } else {
+        TestOutcome::Honest
+    };
+    for &len in &lens {
+        let report = run_range_test(
+            prefix,
+            n - len,
+            n,
+            config,
+            calibrator,
+            confidence,
+            WindowAlignment::End,
+        )?;
+        if report.outcome == TestOutcome::Suspicious {
+            outcome = TestOutcome::Suspicious;
+        }
+        suffixes.push(SuffixReport {
+            suffix_len: len,
+            report,
+        });
+    }
+    if outcome == TestOutcome::Honest && suffixes.iter().all(|s| s.report.outcome == TestOutcome::Inconclusive)
+    {
+        outcome = TestOutcome::Inconclusive;
+    }
+    Ok(MultiReport {
+        outcome,
+        suffixes,
+        per_test_confidence: confidence,
+    })
+}
+
+/// Runs the full multi-test with the paper's O(n) optimization (§5.5):
+/// end-aligned windows are shared between suffixes, so each step only
+/// removes the `step/m` oldest windows from the running histogram instead
+/// of recounting everything.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MisalignedStep`] unless `step` is a multiple of
+/// the window size (the precondition for window reuse).
+pub(crate) fn run_multi_optimized(
+    prefix: &PrefixSums,
+    config: &BehaviorTestConfig,
+    calibrator: &ThresholdCalibrator,
+) -> Result<MultiReport, CoreError> {
+    let m = config.window_size() as usize;
+    if config.step() % m != 0 {
+        return Err(CoreError::MisalignedStep {
+            step: config.step(),
+            window: config.window_size(),
+        });
+    }
+    let n = prefix.len();
+    let lens = suffix_lengths(n, config.step(), config.min_suffix(), config.schedule());
+    let confidence = per_test_confidence(config, lens.len());
+    let mut suffixes = Vec::with_capacity(lens.len());
+    let mut outcome = if lens.is_empty() {
+        TestOutcome::Inconclusive
+    } else {
+        TestOutcome::Honest
+    };
+
+    // All end-aligned window counts for the longest suffix, oldest first.
+    // Shorter suffixes use strict suffixes of this vector.
+    let total_windows = n / m;
+    let all_counts = if total_windows > 0 {
+        prefix.window_counts(n - total_windows * m, n, m)?
+    } else {
+        Vec::new()
+    };
+    let mut histogram = Histogram::from_samples(config.window_size(), all_counts.iter().copied())?;
+    // Index into `all_counts` of the oldest window still in the histogram.
+    let mut oldest = 0usize;
+
+    for &len in &lens {
+        let k = len / m;
+        // Remove windows that fall outside this suffix.
+        while total_windows - oldest > k {
+            histogram.remove(all_counts[oldest])?;
+            oldest += 1;
+        }
+        let report = if k < config.min_windows() {
+            WindowTestReport::inconclusive(len, k, confidence)
+        } else {
+            let cov_end = n;
+            let cov_start = n - k * m;
+            finish_test(
+                prefix, cov_start, cov_end, len, &histogram, config, calibrator, confidence,
+            )?
+        };
+        if report.outcome == TestOutcome::Suspicious {
+            outcome = TestOutcome::Suspicious;
+        }
+        suffixes.push(SuffixReport {
+            suffix_len: len,
+            report,
+        });
+    }
+    if outcome == TestOutcome::Honest
+        && suffixes.iter().all(|s| s.report.outcome == TestOutcome::Inconclusive)
+    {
+        outcome = TestOutcome::Inconclusive;
+    }
+    Ok(MultiReport {
+        outcome,
+        suffixes,
+        per_test_confidence: confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn calibrator(config: &BehaviorTestConfig) -> ThresholdCalibrator {
+        ThresholdCalibrator::new(config.calibration_config()).unwrap()
+    }
+
+    fn honest_prefix(n: usize, p: f64, seed: u64) -> PrefixSums {
+        use rand::RngExt;
+        let mut rng = hp_stats::seeded_rng(seed);
+        PrefixSums::from_bools((0..n).map(|_| rng.random::<f64>() < p))
+    }
+
+    #[test]
+    fn suffix_lengths_enumeration() {
+        let arith = SuffixSchedule::Arithmetic;
+        assert_eq!(suffix_lengths(250, 100, 100, arith), vec![250, 150]);
+        assert_eq!(suffix_lengths(300, 100, 100, arith), vec![300, 200, 100]);
+        assert_eq!(suffix_lengths(99, 100, 100, arith), Vec::<usize>::new());
+        assert_eq!(suffix_lengths(100, 100, 100, arith), vec![100]);
+    }
+
+    #[test]
+    fn suffix_lengths_geometric() {
+        let geo = SuffixSchedule::Geometric;
+        // 800 → 400 → 200 → 100, all step-10-aligned.
+        assert_eq!(suffix_lengths(800, 10, 100, geo), vec![800, 400, 200, 100]);
+        // Unaligned start: halves round down to step multiples.
+        assert_eq!(suffix_lengths(805, 10, 100, geo), vec![805, 400, 200, 100]);
+        assert_eq!(suffix_lengths(99, 10, 100, geo), Vec::<usize>::new());
+        // Log-many tests vs linear-many.
+        let geo_tests = suffix_lengths(10_000, 10, 100, geo).len();
+        let arith_tests = suffix_lengths(10_000, 10, 100, SuffixSchedule::Arithmetic).len();
+        assert!(geo_tests < 10 && arith_tests > 900, "{geo_tests} vs {arith_tests}");
+    }
+
+    #[test]
+    fn per_test_confidence_corrections() {
+        let none = BehaviorTestConfig::builder()
+            .correction(Correction::None)
+            .build()
+            .unwrap();
+        assert_eq!(per_test_confidence(&none, 50), 0.95);
+        let bonf = BehaviorTestConfig::default();
+        // 50 tests round up to 64 for cache friendliness (conservative).
+        let c = per_test_confidence(&bonf, 50);
+        assert!((c - (1.0 - 0.05 / 64.0)).abs() < 1e-12);
+        let exact = per_test_confidence(&bonf, 64);
+        assert_eq!(c, exact);
+        assert_eq!(per_test_confidence(&bonf, 1), 0.95);
+        assert_eq!(per_test_confidence(&bonf, 0), 0.95);
+    }
+
+    #[test]
+    fn range_test_inconclusive_when_too_short() {
+        let config = BehaviorTestConfig::default();
+        let cal = calibrator(&config);
+        let prefix = honest_prefix(30, 0.9, 1); // 3 windows < min 5
+        let report = run_range_test(
+            &prefix,
+            0,
+            30,
+            &config,
+            &cal,
+            0.95,
+            WindowAlignment::Start,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, TestOutcome::Inconclusive);
+        assert_eq!(report.windows, 3);
+    }
+
+    #[test]
+    fn honest_history_passes_range_test() {
+        let config = BehaviorTestConfig::default();
+        let cal = calibrator(&config);
+        let prefix = honest_prefix(1000, 0.9, 2);
+        let report = run_range_test(
+            &prefix,
+            0,
+            1000,
+            &config,
+            &cal,
+            0.95,
+            WindowAlignment::Start,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, TestOutcome::Honest, "{report:?}");
+        assert!(report.p_hat.unwrap() > 0.85);
+    }
+
+    #[test]
+    fn alignment_changes_covered_range_for_ragged_lengths() {
+        // 25 transactions, m=10: Start covers [0,20), End covers [5,25).
+        let mut outcomes = vec![true; 25];
+        outcomes[0] = false; // only visible to Start
+        let prefix = PrefixSums::from_bools(outcomes.into_iter());
+        let config = BehaviorTestConfig::builder()
+            .min_windows(2)
+            .build()
+            .unwrap();
+        let cal = calibrator(&config);
+        let start = run_range_test(&prefix, 0, 25, &config, &cal, 0.95, WindowAlignment::Start)
+            .unwrap();
+        let end =
+            run_range_test(&prefix, 0, 25, &config, &cal, 0.95, WindowAlignment::End).unwrap();
+        assert!(start.p_hat.unwrap() < 1.0);
+        assert_eq!(end.p_hat.unwrap(), 1.0);
+    }
+
+    #[test]
+    fn naive_and_optimized_multi_agree_exactly() {
+        let config = BehaviorTestConfig::default();
+        let cal = calibrator(&config);
+        for seed in 0..5u64 {
+            // Mix honest and dishonest histories, ragged lengths included.
+            let n = 480 + seed as usize * 37;
+            let p = if seed % 2 == 0 { 0.9 } else { 0.75 };
+            let mut prefix = honest_prefix(n, p, seed + 100);
+            if seed == 3 {
+                // Inject a burst of bad transactions at the end.
+                for _ in 0..20 {
+                    prefix.push(false);
+                }
+            }
+            let naive = run_multi_naive(&prefix, &config, &cal).unwrap();
+            let optimized = run_multi_optimized(&prefix, &config, &cal).unwrap();
+            assert_eq!(naive, optimized, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimized_rejects_misaligned_step() {
+        let config = BehaviorTestConfig::builder().step(15).build().unwrap();
+        let cal = calibrator(&config);
+        let prefix = honest_prefix(300, 0.9, 3);
+        let err = run_multi_optimized(&prefix, &config, &cal).unwrap_err();
+        assert!(matches!(err, CoreError::MisalignedStep { step: 15, window: 10 }));
+        // Naive handles any step.
+        assert!(run_multi_naive(&prefix, &config, &cal).is_ok());
+    }
+
+    #[test]
+    fn multi_flags_recent_burst_that_single_misses() {
+        // Long honest history followed by a burst of cheating: the full-
+        // history test dilutes the burst, the suffix tests see it.
+        let config = BehaviorTestConfig::default();
+        let cal = calibrator(&config);
+        let mut prefix = honest_prefix(2000, 0.95, 4);
+        for _ in 0..30 {
+            prefix.push(false);
+        }
+        for _ in 0..70 {
+            prefix.push(true);
+        }
+        let multi = run_multi_naive(&prefix, &config, &cal).unwrap();
+        assert_eq!(multi.outcome, TestOutcome::Suspicious);
+        assert!(multi.first_failure().is_some());
+    }
+
+    #[test]
+    fn multi_on_short_history_is_inconclusive() {
+        let config = BehaviorTestConfig::default();
+        let cal = calibrator(&config);
+        let prefix = honest_prefix(50, 0.9, 5);
+        let multi = run_multi_naive(&prefix, &config, &cal).unwrap();
+        assert_eq!(multi.outcome, TestOutcome::Inconclusive);
+        assert!(multi.suffixes.is_empty());
+        let optimized = run_multi_optimized(&prefix, &config, &cal).unwrap();
+        assert_eq!(multi, optimized);
+    }
+}

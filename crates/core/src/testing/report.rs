@@ -1,0 +1,242 @@
+//! Structured results of behavior tests.
+
+use std::fmt;
+
+/// The verdict of a behavior test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestOutcome {
+    /// The history is statistically consistent with the honest-player
+    /// model; proceed to phase 2 (the trust function).
+    Honest,
+    /// The history deviates from the model beyond the calibrated
+    /// threshold — "Destination peer is suspicious" in the paper's
+    /// pseudocode (Fig. 2).
+    Suspicious,
+    /// The history is too short for a statistically meaningful test.
+    /// The paper (§7) treats short-history servers as a separate high-risk
+    /// class; policy for them lives in
+    /// [`crate::twophase::ShortHistoryPolicy`].
+    Inconclusive,
+}
+
+impl TestOutcome {
+    /// Whether the server clears the screening phase (honest or untestable;
+    /// the final word on inconclusive histories is a policy decision).
+    pub fn is_suspicious(self) -> bool {
+        matches!(self, TestOutcome::Suspicious)
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestOutcome::Honest => write!(f, "honest"),
+            TestOutcome::Suspicious => write!(f, "suspicious"),
+            TestOutcome::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
+/// The result of one goodness-of-fit test over one range of transactions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowTestReport {
+    /// The verdict.
+    pub outcome: TestOutcome,
+    /// Number of transactions in the tested range.
+    pub transactions: usize,
+    /// Number of complete windows `k` the range yielded.
+    pub windows: usize,
+    /// Estimated trustworthiness `p̂` over the covered windows
+    /// (`None` when inconclusive).
+    pub p_hat: Option<f64>,
+    /// Measured distribution distance (`None` when inconclusive).
+    pub distance: Option<f64>,
+    /// Calibrated threshold ε the distance was compared against
+    /// (`None` when inconclusive).
+    pub threshold: Option<f64>,
+    /// Confidence level the threshold was calibrated at (after any
+    /// multiple-testing correction).
+    pub confidence: f64,
+}
+
+impl WindowTestReport {
+    /// An inconclusive report for a range too short to test.
+    pub fn inconclusive(transactions: usize, windows: usize, confidence: f64) -> Self {
+        WindowTestReport {
+            outcome: TestOutcome::Inconclusive,
+            transactions,
+            windows,
+            p_hat: None,
+            distance: None,
+            threshold: None,
+            confidence,
+        }
+    }
+
+    /// Margin between threshold and distance (positive = comfortable
+    /// pass), `None` when inconclusive.
+    pub fn margin(&self) -> Option<f64> {
+        Some(self.threshold? - self.distance?)
+    }
+}
+
+/// The result of one suffix test inside a multi-test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuffixReport {
+    /// Length of the suffix tested (most recent `suffix_len` transactions).
+    pub suffix_len: usize,
+    /// The goodness-of-fit result for this suffix.
+    pub report: WindowTestReport,
+}
+
+/// The result of a multi-test (paper Scheme 2): the same test over every
+/// suffix, stepping back `k` transactions at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiReport {
+    /// Aggregate verdict: suspicious if *any* suffix fails.
+    pub outcome: TestOutcome,
+    /// Per-suffix results, longest suffix first.
+    pub suffixes: Vec<SuffixReport>,
+    /// Per-test confidence after correction.
+    pub per_test_confidence: f64,
+}
+
+impl MultiReport {
+    /// The longest suffix that failed, if any.
+    pub fn first_failure(&self) -> Option<&SuffixReport> {
+        self.suffixes
+            .iter()
+            .find(|s| s.report.outcome == TestOutcome::Suspicious)
+    }
+
+    /// Number of suffix tests actually run (excluding inconclusives).
+    pub fn conclusive_tests(&self) -> usize {
+        self.suffixes
+            .iter()
+            .filter(|s| s.report.outcome != TestOutcome::Inconclusive)
+            .count()
+    }
+}
+
+/// Supporter-base statistics for collusion analysis (§4).
+///
+/// "If an honest player consistently provides good services … the set of
+/// clients who leave good feedbacks will expand as time goes by"; a
+/// colluder-fed attacker's supporter base is small and concentrated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupporterBaseStats {
+    /// Distinct feedback issuers.
+    pub distinct_clients: usize,
+    /// Distinct issuers with at least one positive feedback — the
+    /// *supporter base* proper.
+    pub supporters: usize,
+    /// Share of all feedback contributed by the single most frequent
+    /// issuer.
+    pub top_share: f64,
+    /// Share of all feedback contributed by the five most frequent
+    /// issuers.
+    pub top5_share: f64,
+}
+
+/// The result of the collusion-resilient test (§4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollusionReport {
+    /// Aggregate verdict.
+    pub outcome: TestOutcome,
+    /// The distribution test over the issuer-reordered sequence.
+    pub reordered: MultiReport,
+    /// Supporter-base statistics of the (un-reordered) history.
+    pub supporter_base: SupporterBaseStats,
+}
+
+/// Any behavior test's report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestReport {
+    /// Result of a [`crate::testing::SingleBehaviorTest`].
+    Single(WindowTestReport),
+    /// Result of a [`crate::testing::MultiBehaviorTest`].
+    Multi(MultiReport),
+    /// Result of a [`crate::testing::CollusionResilientTest`].
+    Collusion(CollusionReport),
+}
+
+impl TestReport {
+    /// The aggregate verdict.
+    pub fn outcome(&self) -> TestOutcome {
+        match self {
+            TestReport::Single(r) => r.outcome,
+            TestReport::Multi(r) => r.outcome,
+            TestReport::Collusion(r) => r.outcome,
+        }
+    }
+
+    /// Whether the verdict is [`TestOutcome::Suspicious`].
+    pub fn is_suspicious(&self) -> bool {
+        self.outcome().is_suspicious()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass_report(len: usize) -> WindowTestReport {
+        WindowTestReport {
+            outcome: TestOutcome::Honest,
+            transactions: len,
+            windows: len / 10,
+            p_hat: Some(0.9),
+            distance: Some(0.3),
+            threshold: Some(0.5),
+            confidence: 0.95,
+        }
+    }
+
+    #[test]
+    fn outcome_display_and_predicates() {
+        assert_eq!(TestOutcome::Honest.to_string(), "honest");
+        assert_eq!(TestOutcome::Suspicious.to_string(), "suspicious");
+        assert_eq!(TestOutcome::Inconclusive.to_string(), "inconclusive");
+        assert!(TestOutcome::Suspicious.is_suspicious());
+        assert!(!TestOutcome::Honest.is_suspicious());
+        assert!(!TestOutcome::Inconclusive.is_suspicious());
+    }
+
+    #[test]
+    fn margin_computation() {
+        let r = pass_report(100);
+        assert!((r.margin().unwrap() - 0.2).abs() < 1e-12);
+        let inc = WindowTestReport::inconclusive(5, 0, 0.95);
+        assert_eq!(inc.margin(), None);
+        assert_eq!(inc.outcome, TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn multi_report_first_failure() {
+        let mut fail = pass_report(90);
+        fail.outcome = TestOutcome::Suspicious;
+        let report = MultiReport {
+            outcome: TestOutcome::Suspicious,
+            suffixes: vec![
+                SuffixReport {
+                    suffix_len: 100,
+                    report: pass_report(100),
+                },
+                SuffixReport {
+                    suffix_len: 90,
+                    report: fail,
+                },
+            ],
+            per_test_confidence: 0.975,
+        };
+        assert_eq!(report.first_failure().unwrap().suffix_len, 90);
+        assert_eq!(report.conclusive_tests(), 2);
+    }
+
+    #[test]
+    fn test_report_outcome_dispatch() {
+        let single = TestReport::Single(pass_report(100));
+        assert_eq!(single.outcome(), TestOutcome::Honest);
+        assert!(!single.is_suspicious());
+    }
+}

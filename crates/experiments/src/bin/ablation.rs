@@ -1,0 +1,9 @@
+//! Runs the design-choice ablations (distance metric, correction, schedule).
+use hp_experiments::figures::{ablation, emit};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let tables = ablation::run(mode).expect("ablation experiment failed");
+    emit("ablation", &tables).expect("writing ablation output failed");
+}

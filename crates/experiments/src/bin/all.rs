@@ -1,0 +1,41 @@
+//! Regenerates every figure of the paper's evaluation section in order.
+use hp_experiments::figures::{
+    ablation, attack_cost, collusion_cost, detection, distance_threshold, emit, performance,
+    welfare,
+};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let jobs: Vec<(&str, Box<dyn Fn() -> Vec<hp_experiments::Table>>)> = vec![
+        (
+            "fig3",
+            Box::new(move || attack_cost::run(mode, attack_cost::TrustKind::Average).unwrap()),
+        ),
+        (
+            "fig4",
+            Box::new(move || attack_cost::run(mode, attack_cost::TrustKind::Weighted).unwrap()),
+        ),
+        (
+            "fig5",
+            Box::new(move || collusion_cost::run(mode, attack_cost::TrustKind::Average).unwrap()),
+        ),
+        (
+            "fig6",
+            Box::new(move || collusion_cost::run(mode, attack_cost::TrustKind::Weighted).unwrap()),
+        ),
+        ("fig7", Box::new(move || detection::run(mode).unwrap())),
+        (
+            "fig8",
+            Box::new(move || distance_threshold::run(mode).unwrap()),
+        ),
+        ("fig9", Box::new(move || performance::run(mode).unwrap())),
+        ("ablation", Box::new(move || ablation::run(mode).unwrap())),
+        ("welfare", Box::new(move || welfare::run(mode).unwrap())),
+    ];
+    for (slug, job) in jobs {
+        eprintln!("running {slug} …");
+        let tables = job();
+        emit(slug, &tables).expect("writing experiment output failed");
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6: cost of attackers with collusion, weighted function.
+use hp_experiments::figures::{attack_cost, collusion_cost, emit};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let tables = collusion_cost::run(mode, attack_cost::TrustKind::Weighted)
+        .expect("fig6 experiment failed");
+    emit("fig6", &tables).expect("writing fig6 output failed");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 7: detection rate vs attack window size.
+use hp_experiments::figures::{detection, emit};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let tables = detection::run(mode).expect("fig7 experiment failed");
+    emit("fig7", &tables).expect("writing fig7 output failed");
+}

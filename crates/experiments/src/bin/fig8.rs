@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8: distribution distance threshold vs history size.
+use hp_experiments::figures::{distance_threshold, emit};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let tables = distance_threshold::run(mode).expect("fig8 experiment failed");
+    emit("fig8", &tables).expect("writing fig8 output failed");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9: behavior-testing running time vs history size.
+use hp_experiments::figures::{emit, performance};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let tables = performance::run(mode).expect("fig9 experiment failed");
+    emit("fig9", &tables).expect("writing fig9 output failed");
+}

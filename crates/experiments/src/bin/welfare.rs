@@ -1,0 +1,9 @@
+//! Runs the marketplace-welfare experiment (beyond the paper's evaluation).
+use hp_experiments::figures::{emit, welfare};
+use hp_experiments::RunMode;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let tables = welfare::run(mode).expect("welfare experiment failed");
+    emit("welfare", &tables).expect("writing welfare output failed");
+}

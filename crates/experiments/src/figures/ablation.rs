@@ -1,0 +1,172 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Distance metric** — the paper chose L¹; how do TV/L²/KS/χ² compare
+//!    on detection power and honest false positives?
+//! 2. **Multiple-testing correction** — paper-literal (none) vs Bonferroni.
+//! 3. **Suffix schedule** — the paper's arithmetic step-back vs the
+//!    geometric (Θ(log n) tests) alternative.
+
+use crate::sweep::RunMode;
+use crate::table::Table;
+use hp_core::testing::{
+    BehaviorTestConfig, Correction, MultiBehaviorTest, SingleBehaviorTest, SuffixSchedule,
+};
+use hp_core::trust::AverageTrust;
+use hp_core::CoreError;
+use hp_sim::detection::{detection_rate, false_positive_rate, DetectionConfig};
+use hp_sim::{attack_cost, AttackCostConfig, Screening};
+use hp_stats::DistanceKind;
+
+/// Runs all three ablations.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+pub fn run(mode: RunMode) -> Result<Vec<Table>, CoreError> {
+    Ok(vec![
+        distance_metrics(mode)?,
+        corrections(mode)?,
+        schedules(mode)?,
+    ])
+}
+
+fn detection_config(mode: RunMode) -> DetectionConfig {
+    DetectionConfig {
+        trials: mode.detection_trials(),
+        ..Default::default()
+    }
+}
+
+/// Detection power and honest FPR of the single test under each distance
+/// metric.
+fn distance_metrics(mode: RunMode) -> Result<Table, CoreError> {
+    let mut table = Table::new(
+        "Ablation A: distance metric (single test, m=10, 95%)",
+        vec![
+            "metric".into(),
+            "detect_w20".into(),
+            "detect_w40".into(),
+            "fpr_p0.9".into(),
+        ],
+    );
+    let cfg = detection_config(mode);
+    for kind in DistanceKind::all() {
+        let config = BehaviorTestConfig::builder()
+            .distance(kind)
+            .calibration_trials(mode.calibration_trials())
+            .build()?;
+        let test = SingleBehaviorTest::new(config)?;
+        table.push_row(vec![
+            kind.name().into(),
+            Table::fmt_f64(detection_rate(20, &test, &cfg)?),
+            Table::fmt_f64(detection_rate(40, &test, &cfg)?),
+            Table::fmt_f64(false_positive_rate(0.9, &test, &cfg)?),
+        ]);
+    }
+    Ok(table)
+}
+
+/// The multi-test with and without Bonferroni: the paper-literal variant
+/// detects more, and flags almost every honest long history.
+fn corrections(mode: RunMode) -> Result<Table, CoreError> {
+    let mut table = Table::new(
+        "Ablation B: multiple-testing correction (multi test, n=1000)",
+        vec![
+            "correction".into(),
+            "detect_w20".into(),
+            "detect_w40".into(),
+            "fpr_p0.9".into(),
+        ],
+    );
+    let cfg = detection_config(mode);
+    for (name, correction) in [
+        ("none (paper)", Correction::None),
+        ("bonferroni", Correction::Bonferroni),
+    ] {
+        let config = BehaviorTestConfig::builder()
+            .correction(correction)
+            .calibration_trials(mode.calibration_trials())
+            .build()?;
+        let test = MultiBehaviorTest::new(config)?;
+        table.push_row(vec![
+            name.into(),
+            Table::fmt_f64(detection_rate(20, &test, &cfg)?),
+            Table::fmt_f64(detection_rate(40, &test, &cfg)?),
+            Table::fmt_f64(false_positive_rate(0.9, &test, &cfg)?),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Arithmetic vs geometric suffix schedules: detection, FPR, and the cost
+/// they impose on the strategic attacker at a long preparation phase.
+fn schedules(mode: RunMode) -> Result<Table, CoreError> {
+    let mut table = Table::new(
+        "Ablation C: multi-test suffix schedule",
+        vec![
+            "schedule".into(),
+            "detect_w20".into(),
+            "fpr_p0.9".into(),
+            "attack_cost_prep800".into(),
+        ],
+    );
+    let cfg = detection_config(mode);
+    let avg = AverageTrust::default();
+    for (name, schedule) in [
+        ("arithmetic (paper)", SuffixSchedule::Arithmetic),
+        ("geometric", SuffixSchedule::Geometric),
+    ] {
+        let config = BehaviorTestConfig::builder()
+            .schedule(schedule)
+            .calibration_trials(mode.calibration_trials())
+            .build()?;
+        let test = MultiBehaviorTest::new(config)?;
+        let mut costs: Vec<f64> = Vec::new();
+        for rep in 0..mode.replications() {
+            let result = attack_cost(
+                &AttackCostConfig {
+                    prep_size: 800,
+                    max_steps: mode.max_steps(),
+                    seed: hp_stats::derive_seed(0xAB1A, rep as u64),
+                    ..Default::default()
+                },
+                &avg,
+                Screening::Test(&test),
+            )?;
+            costs.push(result.good_transactions as f64);
+        }
+        table.push_row(vec![
+            name.into(),
+            Table::fmt_f64(detection_rate(20, &test, &cfg)?),
+            Table::fmt_f64(false_positive_rate(0.9, &test, &cfg)?),
+            Table::fmt_f64(crate::sweep::median(&costs)),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_tables_have_expected_shape() {
+        let tables = run(RunMode::Fast).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows().len(), 5, "five distance metrics");
+        assert_eq!(tables[1].rows().len(), 2, "two corrections");
+        assert_eq!(tables[2].rows().len(), 2, "two schedules");
+    }
+
+    #[test]
+    fn uncorrected_multi_has_higher_fpr() {
+        let tables = run(RunMode::Fast).unwrap();
+        let rows = tables[1].rows();
+        let fpr_none: f64 = rows[0][3].parse().unwrap();
+        let fpr_bonf: f64 = rows[1][3].parse().unwrap();
+        assert!(
+            fpr_none >= fpr_bonf,
+            "paper-literal FPR {fpr_none} must be ≥ Bonferroni {fpr_bonf}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Figs. 3 & 4: strategic attacker cost vs preparation-history size.
+
+use crate::sweep::{median, RunMode};
+use crate::table::Table;
+use hp_core::testing::{
+    shared_calibrator, BehaviorTestConfig, MultiBehaviorTest, SingleBehaviorTest,
+};
+use hp_core::trust::{AverageTrust, TrustFunction, WeightedTrust};
+use hp_core::CoreError;
+use hp_sim::{attack_cost, AttackCostConfig, Screening};
+use std::sync::Arc;
+
+/// Which deployed trust function the attacker plays against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustKind {
+    /// The average trust function (Fig. 3).
+    Average,
+    /// The weighted trust function with λ = 0.5 (Fig. 4).
+    Weighted,
+}
+
+impl TrustKind {
+    fn build(self) -> Result<Box<dyn TrustFunction>, CoreError> {
+        Ok(match self {
+            TrustKind::Average => Box::new(AverageTrust::default()),
+            TrustKind::Weighted => Box::new(WeightedTrust::new(0.5)?),
+        })
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            TrustKind::Average => "average",
+            TrustKind::Weighted => "weighted",
+        }
+    }
+}
+
+/// The preparation-phase sizes on the x-axis (paper: 100–800).
+pub const PREP_SIZES: [usize; 8] = [100, 200, 300, 400, 500, 600, 700, 800];
+
+/// Runs the Fig. 3 (average) or Fig. 4 (weighted) sweep.
+///
+/// Reports, per preparation size, the median (over replications) number
+/// of good transactions the strategic attacker needs to complete its 20
+/// attacks, for: the bare trust function, Scheme 1 + trust function, and
+/// Scheme 2 + trust function. Runs that exhaust the step budget count at
+/// the budget (a lower bound — the scheme effectively locked the attacker
+/// out); the `exhausted` column counts them.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+pub fn run(mode: RunMode, kind: TrustKind) -> Result<Vec<Table>, CoreError> {
+    let trust = kind.build()?;
+    let config = BehaviorTestConfig::builder()
+        .calibration_trials(mode.calibration_trials())
+        .build()?;
+    let calibrator = shared_calibrator(&config)?;
+    let single = SingleBehaviorTest::with_calibrator(config.clone(), Arc::clone(&calibrator))?;
+    let multi = MultiBehaviorTest::with_calibrator(config, calibrator)?;
+
+    let schemes: [(&str, Screening<'_>); 3] = [
+        (kind.label(), Screening::None),
+        ("scheme1", Screening::Test(&single)),
+        ("scheme2", Screening::Test(&multi)),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Fig. {}: attacker cost vs initial history ({} trust function)",
+            match kind {
+                TrustKind::Average => 3,
+                TrustKind::Weighted => 4,
+            },
+            kind.label()
+        ),
+        vec![
+            "prep".into(),
+            kind.label().into(),
+            format!("scheme1+{}", kind.label()),
+            format!("scheme2+{}", kind.label()),
+            "exhausted".into(),
+        ],
+    );
+
+    for &prep in &PREP_SIZES {
+        let mut cells = vec![prep.to_string()];
+        let mut exhausted_total = 0usize;
+        for (si, (_, screening)) in schemes.iter().enumerate() {
+            let mut costs = Vec::with_capacity(mode.replications());
+            for rep in 0..mode.replications() {
+                let seed = hp_stats::derive_seed(
+                    0xF1_63,
+                    (prep as u64) << 24 | (si as u64) << 16 | rep as u64,
+                );
+                let result = attack_cost(
+                    &AttackCostConfig {
+                        prep_size: prep,
+                        max_steps: mode.max_steps(),
+                        seed,
+                        ..Default::default()
+                    },
+                    &trust,
+                    *screening,
+                )?;
+                if result.exhausted {
+                    exhausted_total += 1;
+                }
+                costs.push(result.good_transactions as f64);
+            }
+            cells.push(Table::fmt_f64(median(&costs)));
+        }
+        cells.push(exhausted_total.to_string());
+        table.push_row(cells);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_fig3_shapes() {
+        let tables = run(RunMode::Fast, TrustKind::Average).unwrap();
+        let table = &tables[0];
+        assert_eq!(table.rows().len(), PREP_SIZES.len());
+        // Bare average function: cost decreases with prep size and is 0
+        // once prep ≥ ~400 (the hibernating free ride).
+        let bare: Vec<f64> = table
+            .rows()
+            .iter()
+            .map(|r| r[1].parse::<f64>().unwrap())
+            .collect();
+        assert!(bare[0] > 50.0, "short prep must cost: {bare:?}");
+        assert!(bare[7] < 10.0, "long prep is nearly free: {bare:?}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Figs. 5 & 6: collusion attacker cost vs preparation-history size.
+
+use crate::figures::attack_cost::TrustKind;
+use crate::sweep::{median, RunMode};
+use crate::table::Table;
+use hp_core::testing::{
+    shared_calibrator, BehaviorTestConfig, CollusionResilientTest, CollusionTestDepth,
+};
+use hp_core::CoreError;
+use hp_sim::{collusion_attack_cost, CollusionConfig, Screening};
+use std::sync::Arc;
+
+/// The preparation-phase sizes on the x-axis.
+pub const PREP_SIZES: [usize; 8] = [100, 200, 300, 400, 500, 600, 700, 800];
+
+/// Runs the Fig. 5 (average) or Fig. 6 (weighted) collusion sweep.
+///
+/// 100 potential clients, 5 of them colluders; the attacker preps purely
+/// through colluders, then strategically mixes cheating, colluder boosts
+/// and (only when forced) genuine service. Reported cost is the median
+/// number of good services delivered to non-colluders before 20 attacks
+/// complete.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+pub fn run(mode: RunMode, kind: TrustKind) -> Result<Vec<Table>, CoreError> {
+    let trust: Box<dyn hp_core::TrustFunction> = match kind {
+        TrustKind::Average => Box::new(hp_core::trust::AverageTrust::default()),
+        TrustKind::Weighted => Box::new(hp_core::trust::WeightedTrust::new(0.5)?),
+    };
+    let config = BehaviorTestConfig::builder()
+        .calibration_trials(mode.calibration_trials())
+        .build()?;
+    let calibrator = shared_calibrator(&config)?;
+    let single = CollusionResilientTest::with_calibrator(config.clone(), Arc::clone(&calibrator))?
+        .with_depth(CollusionTestDepth::Single);
+    let multi = CollusionResilientTest::with_calibrator(config, calibrator)?
+        .with_depth(CollusionTestDepth::Multi);
+
+    let label = match kind {
+        TrustKind::Average => "average",
+        TrustKind::Weighted => "weighted",
+    };
+    let schemes: [(&str, Screening<'_>); 3] = [
+        (label, Screening::None),
+        ("scheme1", Screening::Test(&single)),
+        ("scheme2", Screening::Test(&multi)),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Fig. {}: cost of attackers with collusion ({} trust function)",
+            match kind {
+                TrustKind::Average => 5,
+                TrustKind::Weighted => 6,
+            },
+            label
+        ),
+        vec![
+            "prep".into(),
+            label.into(),
+            format!("scheme1+{label}"),
+            format!("scheme2+{label}"),
+            "exhausted".into(),
+        ],
+    );
+
+    for &prep in &PREP_SIZES {
+        let mut cells = vec![prep.to_string()];
+        let mut exhausted_total = 0usize;
+        for (si, (_, screening)) in schemes.iter().enumerate() {
+            let mut costs = Vec::with_capacity(mode.replications());
+            for rep in 0..mode.replications() {
+                let seed = hp_stats::derive_seed(
+                    0xF5_65,
+                    (prep as u64) << 24 | (si as u64) << 16 | rep as u64,
+                );
+                let result = collusion_attack_cost(
+                    &CollusionConfig {
+                        prep_size: prep,
+                        max_steps: mode.max_steps(),
+                        seed,
+                        ..Default::default()
+                    },
+                    &trust,
+                    *screening,
+                )?;
+                if result.exhausted {
+                    exhausted_total += 1;
+                }
+                costs.push(result.good_to_victims as f64);
+            }
+            cells.push(Table::fmt_f64(median(&costs)));
+        }
+        cells.push(exhausted_total.to_string());
+        table.push_row(cells);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_fig5_baseline_is_free() {
+        let tables = run(RunMode::Fast, TrustKind::Average).unwrap();
+        let table = &tables[0];
+        assert_eq!(table.rows().len(), PREP_SIZES.len());
+        // Without screening, colluders cover everything: zero real cost.
+        for row in table.rows() {
+            let bare: f64 = row[1].parse().unwrap();
+            assert_eq!(bare, 0.0, "collusion makes the baseline free: {row:?}");
+        }
+    }
+}

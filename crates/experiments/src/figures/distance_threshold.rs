@@ -1,0 +1,70 @@
+//! Fig. 8: calibrated 95% distribution-distance threshold vs history size.
+
+use crate::sweep::RunMode;
+use crate::table::Table;
+use hp_core::CoreError;
+use hp_stats::{CalibrationConfig, ThresholdCalibrator};
+
+/// History sizes on the x-axis.
+pub const HISTORY_SIZES: [usize; 9] = [100, 200, 300, 500, 1000, 1500, 2000, 3000, 5000];
+
+/// Runs the Fig. 8 sweep: the 95%-confidence L¹ threshold ε for window
+/// counts of a history of `n` transactions (m = 10, so k = n/10 windows),
+/// at p̂ = 0.90 and 0.95. The paper's observation is that ε "converges
+/// very quickly as the initial history size increases" — the curve is
+/// steep below ~1000 transactions and flat beyond.
+///
+/// # Errors
+///
+/// Propagates calibration failures.
+pub fn run(mode: RunMode) -> Result<Vec<Table>, CoreError> {
+    let calibrator = ThresholdCalibrator::new(CalibrationConfig {
+        // Thresholds are the *measurand* here, so spend more trials on
+        // them than the screening tests do.
+        trials: mode.calibration_trials() * 4,
+        ..CalibrationConfig::default()
+    })?;
+    let m = 10u32;
+
+    let mut table = Table::new(
+        "Fig. 8: distribution distance threshold vs initial history size",
+        vec![
+            "history_size".into(),
+            "epsilon_p0.90".into(),
+            "epsilon_p0.95".into(),
+        ],
+    );
+    for &n in &HISTORY_SIZES {
+        let k = n / m as usize;
+        table.push_row(vec![
+            n.to_string(),
+            Table::fmt_f64(calibrator.threshold(m, k, 0.90)?),
+            Table::fmt_f64(calibrator.threshold(m, k, 0.95)?),
+        ]);
+    }
+    Ok(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_converges_downward() {
+        let tables = run(RunMode::Fast).unwrap();
+        let rows = tables[0].rows();
+        let eps: Vec<f64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(
+            eps.first().unwrap() > eps.last().unwrap(),
+            "ε must shrink with history size: {eps:?}"
+        );
+        // Convergence: the late-curve change is much smaller than the
+        // early-curve change.
+        let early = eps[0] - eps[2];
+        let late = eps[6] - eps[8];
+        assert!(
+            late < early / 2.0,
+            "curve must flatten: early Δ{early}, late Δ{late}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per paper figure. Every module exposes
+//! `run(mode) -> Result<Vec<Table>, CoreError>` so the binaries stay thin
+//! and the integration tests can drive fast variants.
+
+pub mod ablation;
+pub mod attack_cost;
+pub mod collusion_cost;
+pub mod detection;
+pub mod distance_threshold;
+pub mod performance;
+pub mod welfare;
+
+use crate::table::Table;
+use std::path::PathBuf;
+
+/// Default output directory for CSV artifacts.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from("experiments/out")
+}
+
+/// Prints tables and writes each as CSV under [`out_dir`].
+///
+/// # Errors
+///
+/// Propagates I/O failures from CSV writing.
+pub fn emit(slug: &str, tables: &[Table]) -> std::io::Result<()> {
+    for (i, table) in tables.iter().enumerate() {
+        println!("{table}");
+        let name = if tables.len() == 1 {
+            format!("{slug}.csv")
+        } else {
+            format!("{slug}_{i}.csv")
+        };
+        let path = out_dir().join(name);
+        table.write_csv(&path)?;
+        println!("  → wrote {}\n", path.display());
+    }
+    Ok(())
+}

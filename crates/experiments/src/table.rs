@@ -1,0 +1,183 @@
+//! Aligned-table and CSV output for experiment results.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple results table: headers plus rows of cells.
+///
+/// # Examples
+///
+/// ```
+/// use hp_experiments::Table;
+///
+/// let mut t = Table::new("demo", vec!["x".into(), "y".into()]);
+/// t.push_row(vec!["1".into(), "2.5".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("x"));
+/// assert!(rendered.contains("2.5"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the headers'.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Formats a float cell consistently (4 significant decimals, trimmed).
+    pub fn fmt_f64(value: f64) -> String {
+        if value.is_infinite() {
+            return "∞".into();
+        }
+        if (value.fract()).abs() < 1e-9 && value.abs() < 1e12 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value:.4}")
+        }
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", escape_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", escape_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+fn escape_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let rendered: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            writeln!(f, "  {}", rendered.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", vec!["a".into(), "long-header".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100000".into(), "3.5".into()]);
+        t
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let rendered = sample().to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        // Header and data lines all have equal length.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn fmt_f64_behavior() {
+        assert_eq!(Table::fmt_f64(3.0), "3");
+        assert_eq!(Table::fmt_f64(3.14159), "3.1416");
+        assert_eq!(Table::fmt_f64(f64::INFINITY), "∞");
+    }
+
+    #[test]
+    fn csv_roundtrip_and_escaping() {
+        let dir = std::env::temp_dir().join("hp-experiments-test");
+        let path = dir.join("out.csv");
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

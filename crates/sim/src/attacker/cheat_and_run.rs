@@ -1,0 +1,110 @@
+//! The cheat-and-run attacker (§3.1).
+
+use crate::behavior::{BehaviorContext, ServerBehavior};
+use rand::rngs::StdRng;
+
+/// Cheat-and-run: "an attacker conducts one bad transaction after several
+/// honest transactions, or even upon joining the system, then leaves the
+/// system and never returns."
+///
+/// The paper explicitly scopes this attack *out* of what reputation
+/// mechanisms can prevent — admission costs (certified IDs, membership
+/// fees) are the countermeasure. It is modeled here so integration tests
+/// can document that boundary: behavior testing over so short a history is
+/// inconclusive by design, and the short-history policy of
+/// [`hp_core::TwoPhaseAssessor`] is what handles it.
+///
+/// # Examples
+///
+/// ```
+/// use hp_sim::attacker::CheatAndRunAttacker;
+/// use hp_sim::{BehaviorContext, ServerBehavior};
+/// use hp_core::{TransactionHistory, TrustValue};
+///
+/// let mut attacker = CheatAndRunAttacker::new(3);
+/// let history = TransactionHistory::new();
+/// let ctx = BehaviorContext { history: &history, trust: TrustValue::NEUTRAL, time: 0 };
+/// let mut rng = hp_stats::seeded_rng(1);
+/// let outcomes: Vec<bool> = (0..4).map(|_| attacker.next_outcome(&ctx, &mut rng)).collect();
+/// assert_eq!(outcomes, vec![true, true, true, false]);
+/// assert!(attacker.has_run());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheatAndRunAttacker {
+    honest_before: usize,
+    served: usize,
+    gone: bool,
+}
+
+impl CheatAndRunAttacker {
+    /// Creates an attacker that provides `honest_before` good transactions
+    /// and then cheats once.
+    pub fn new(honest_before: usize) -> Self {
+        CheatAndRunAttacker {
+            honest_before,
+            served: 0,
+            gone: false,
+        }
+    }
+
+    /// Whether the attacker has executed its single attack (after which a
+    /// real attacker has left the system; further calls keep cheating so
+    /// misuse is visible in histories).
+    pub fn has_run(&self) -> bool {
+        self.gone
+    }
+}
+
+impl ServerBehavior for CheatAndRunAttacker {
+    fn next_outcome(&mut self, _ctx: &BehaviorContext<'_>, _rng: &mut StdRng) -> bool {
+        if self.served < self.honest_before {
+            self.served += 1;
+            true
+        } else {
+            self.gone = true;
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cheat-and-run"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::{TransactionHistory, TrustValue};
+
+    #[test]
+    fn cheats_immediately_with_zero_prefix() {
+        let mut a = CheatAndRunAttacker::new(0);
+        let h = TransactionHistory::new();
+        let ctx = BehaviorContext {
+            history: &h,
+            trust: TrustValue::NEUTRAL,
+            time: 0,
+        };
+        let mut rng = hp_stats::seeded_rng(1);
+        assert!(!a.next_outcome(&ctx, &mut rng));
+        assert!(a.has_run());
+    }
+
+    #[test]
+    fn honest_prefix_then_cheat() {
+        let mut a = CheatAndRunAttacker::new(5);
+        let h = TransactionHistory::new();
+        let ctx = BehaviorContext {
+            history: &h,
+            trust: TrustValue::NEUTRAL,
+            time: 0,
+        };
+        let mut rng = hp_stats::seeded_rng(1);
+        for _ in 0..5 {
+            assert!(a.next_outcome(&ctx, &mut rng));
+            assert!(!a.has_run());
+        }
+        assert!(!a.next_outcome(&ctx, &mut rng));
+        assert!(a.has_run());
+    }
+}

@@ -1,0 +1,130 @@
+//! The hibernating attacker (§3).
+
+use crate::behavior::{BehaviorContext, ServerBehavior};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The hibernating attack: "An attacker first carries out some good
+/// transactions to build his reputation up to a trust value T₁ … he can
+/// then consecutively launch attacks towards his target users without
+/// being detected."
+///
+/// During the build-up phase the attacker mimics an honest player with
+/// trustworthiness `cover_p` (attackers that are *too* perfect stand out);
+/// once its observed trust value reaches `cover_trust` it cheats on every
+/// transaction.
+///
+/// # Examples
+///
+/// ```
+/// use hp_sim::attacker::HibernatingAttacker;
+/// use hp_sim::{BehaviorContext, ServerBehavior};
+/// use hp_core::{TransactionHistory, TrustValue};
+///
+/// let mut attacker = HibernatingAttacker::new(0.95, 0.97);
+/// let history = TransactionHistory::new();
+/// // Below the cover trust: still hibernating (probabilistically good).
+/// let ctx = BehaviorContext { history: &history, trust: TrustValue::new(0.5)?, time: 0 };
+/// let mut rng = hp_stats::seeded_rng(3);
+/// let good = (0..100).filter(|_| attacker.next_outcome(&ctx, &mut rng)).count();
+/// assert!(good > 85);
+///
+/// // Cover achieved: every transaction is an attack.
+/// let ctx = BehaviorContext { history: &history, trust: TrustValue::new(0.96)?, time: 100 };
+/// assert!(!attacker.next_outcome(&ctx, &mut rng));
+/// # Ok::<(), hp_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HibernatingAttacker {
+    cover_trust: f64,
+    cover_p: f64,
+    awakened: bool,
+}
+
+impl HibernatingAttacker {
+    /// Creates a hibernating attacker that behaves like an honest player
+    /// with trustworthiness `cover_p` until its trust value reaches
+    /// `cover_trust`, then attacks forever.
+    pub fn new(cover_trust: f64, cover_p: f64) -> Self {
+        HibernatingAttacker {
+            cover_trust: cover_trust.clamp(0.0, 1.0),
+            cover_p: cover_p.clamp(0.0, 1.0),
+            awakened: false,
+        }
+    }
+
+    /// Whether the attacker has started its attack phase.
+    pub fn is_awake(&self) -> bool {
+        self.awakened
+    }
+
+    /// The cover reputation T₁.
+    pub fn cover_trust(&self) -> f64 {
+        self.cover_trust
+    }
+}
+
+impl ServerBehavior for HibernatingAttacker {
+    fn next_outcome(&mut self, ctx: &BehaviorContext<'_>, rng: &mut StdRng) -> bool {
+        if !self.awakened && ctx.trust.value() >= self.cover_trust {
+            self.awakened = true;
+        }
+        if self.awakened {
+            false
+        } else {
+            rng.random::<f64>() < self.cover_p
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hibernating"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::{TransactionHistory, TrustValue};
+
+    #[test]
+    fn stays_asleep_below_cover() {
+        let mut a = HibernatingAttacker::new(0.9, 1.0);
+        let h = TransactionHistory::new();
+        let ctx = BehaviorContext {
+            history: &h,
+            trust: TrustValue::new(0.89).unwrap(),
+            time: 0,
+        };
+        let mut rng = hp_stats::seeded_rng(1);
+        assert!(a.next_outcome(&ctx, &mut rng));
+        assert!(!a.is_awake());
+    }
+
+    #[test]
+    fn wakes_at_cover_and_never_sleeps_again() {
+        let mut a = HibernatingAttacker::new(0.9, 1.0);
+        let h = TransactionHistory::new();
+        let mut rng = hp_stats::seeded_rng(1);
+        let high = BehaviorContext {
+            history: &h,
+            trust: TrustValue::new(0.95).unwrap(),
+            time: 0,
+        };
+        assert!(!a.next_outcome(&high, &mut rng));
+        assert!(a.is_awake());
+        // Even if trust later collapses, the attack continues (the paper's
+        // hibernator has no rebuild phase — that is the periodic attacker).
+        let low = BehaviorContext {
+            history: &h,
+            trust: TrustValue::new(0.1).unwrap(),
+            time: 1,
+        };
+        assert!(!a.next_outcome(&low, &mut rng));
+    }
+
+    #[test]
+    fn parameters_clamped() {
+        let a = HibernatingAttacker::new(7.0, -1.0);
+        assert_eq!(a.cover_trust(), 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Attacker behaviors from §3 and §4 of the paper.
+//!
+//! | Attacker | Strategy | Defeated by |
+//! |----------|----------|-------------|
+//! | [`HibernatingAttacker`] | build cover reputation T₁, then cheat continuously | multi-testing |
+//! | [`PeriodicAttacker`] | cheat until trust drops to T₂, rebuild to T₁, repeat | behavior testing |
+//! | [`WindowedPeriodicAttacker`] | exactly `N·r` attacks per `N`-transaction window | distribution testing (Fig. 7) |
+//! | [`CheatAndRunAttacker`] | a few good transactions, one bad, then leave | admission control, not reputation (§3.1) |
+//!
+//! The *strategic* attacker of §5 — which consults the deployed trust
+//! function **and** behavior test before every move — lives in
+//! [`crate::scenario`] because it needs what-if access to the whole
+//! pipeline, not just its own history.
+
+mod cheat_and_run;
+mod hibernating;
+mod periodic;
+
+pub use cheat_and_run::CheatAndRunAttacker;
+pub use hibernating::HibernatingAttacker;
+pub use periodic::{PeriodicAttacker, WindowedPeriodicAttacker};

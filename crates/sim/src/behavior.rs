@@ -1,0 +1,141 @@
+//! Server behaviors: how a service provider decides transaction quality.
+
+use hp_core::{TransactionHistory, TrustValue};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// What a behavior can see when deciding its next transaction's quality.
+///
+/// Attackers in the paper are *reputation-aware*: they watch their own
+/// trust value as computed by the deployed trust function and adapt.
+#[derive(Debug)]
+pub struct BehaviorContext<'a> {
+    /// The server's full transaction history so far.
+    pub history: &'a TransactionHistory,
+    /// The server's current trust value under the deployed trust function.
+    pub trust: TrustValue,
+    /// The logical time of the upcoming transaction.
+    pub time: u64,
+}
+
+/// A server-side decision rule: given what the server knows, will the next
+/// transaction be good?
+pub trait ServerBehavior {
+    /// Decides the quality of the next transaction.
+    fn next_outcome(&mut self, ctx: &BehaviorContext<'_>, rng: &mut StdRng) -> bool;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<B: ServerBehavior + ?Sized> ServerBehavior for Box<B> {
+    fn next_outcome(&mut self, ctx: &BehaviorContext<'_>, rng: &mut StdRng) -> bool {
+        (**self).next_outcome(ctx, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// An honest player: every transaction is an independent Bernoulli trial
+/// with success probability `p` — the paper's core model (§3.1). Failures
+/// happen, but they are caused by uncontrollable factors, not strategy.
+///
+/// # Examples
+///
+/// ```
+/// use hp_sim::{BehaviorContext, HonestBehavior, ServerBehavior};
+/// use hp_core::{TransactionHistory, TrustValue};
+///
+/// let mut honest = HonestBehavior::new(0.95).unwrap();
+/// let history = TransactionHistory::new();
+/// let ctx = BehaviorContext { history: &history, trust: TrustValue::NEUTRAL, time: 0 };
+/// let mut rng = hp_stats::seeded_rng(1);
+/// let outcomes: Vec<bool> = (0..1000).map(|_| honest.next_outcome(&ctx, &mut rng)).collect();
+/// let good = outcomes.iter().filter(|&&g| g).count();
+/// assert!(good > 900);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HonestBehavior {
+    p: f64,
+}
+
+impl HonestBehavior {
+    /// Creates an honest player with trustworthiness `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hp_core::CoreError::InvalidTrustValue`] unless
+    /// `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self, hp_core::CoreError> {
+        // Reuse TrustValue's validation: trustworthiness is a probability.
+        let v = TrustValue::new(p)?;
+        Ok(HonestBehavior { p: v.value() })
+    }
+
+    /// The underlying trustworthiness `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl ServerBehavior for HonestBehavior {
+    fn next_outcome(&mut self, _ctx: &BehaviorContext<'_>, rng: &mut StdRng) -> bool {
+        rng.random::<f64>() < self.p
+    }
+
+    fn name(&self) -> &'static str {
+        "honest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(history: &TransactionHistory) -> BehaviorContext<'_> {
+        BehaviorContext {
+            history,
+            trust: TrustValue::NEUTRAL,
+            time: 0,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HonestBehavior::new(-0.1).is_err());
+        assert!(HonestBehavior::new(1.1).is_err());
+        assert!(HonestBehavior::new(0.95).is_ok());
+    }
+
+    #[test]
+    fn rate_matches_p() {
+        let mut b = HonestBehavior::new(0.8).unwrap();
+        let h = TransactionHistory::new();
+        let c = ctx(&h);
+        let mut rng = hp_stats::seeded_rng(4);
+        let n = 20_000;
+        let good = (0..n).filter(|_| b.next_outcome(&c, &mut rng)).count();
+        let rate = good as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let h = TransactionHistory::new();
+        let c = ctx(&h);
+        let mut rng = hp_stats::seeded_rng(4);
+        let mut perfect = HonestBehavior::new(1.0).unwrap();
+        let mut awful = HonestBehavior::new(0.0).unwrap();
+        for _ in 0..100 {
+            assert!(perfect.next_outcome(&c, &mut rng));
+            assert!(!awful.next_outcome(&c, &mut rng));
+        }
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(HonestBehavior::new(0.9).unwrap().name(), "honest");
+    }
+}

@@ -1,0 +1,166 @@
+//! Detection-rate measurement (Fig. 7).
+//!
+//! "Suppose an attacker tries to keep his reputation value no less than
+//! 0.9 while launching periodic attacks according to a certain size of
+//! attack windows N = 10, 20, …, 80 … That is, attackers will launch
+//! N × 0.1 attacks within every N transactions" (§5.3).
+
+use crate::workload::periodic_history;
+use hp_core::testing::{BehaviorTest, TestOutcome};
+use hp_core::CoreError;
+
+/// Configuration for [`detection_rate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionConfig {
+    /// Length of each simulated attacker history.
+    pub history_len: usize,
+    /// Fraction of attacks per window (paper: 0.1, keeping reputation at
+    /// 0.9).
+    pub attack_rate: f64,
+    /// Number of independent attacker histories to evaluate.
+    pub trials: usize,
+    /// Base RNG seed; trial `i` uses a derived sub-seed.
+    pub seed: u64,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            history_len: 1000,
+            attack_rate: 0.1,
+            trials: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Fraction of windowed-periodic attackers (attack window `window`) that
+/// `test` flags as suspicious.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::testing::{BehaviorTestConfig, SingleBehaviorTest};
+/// use hp_sim::detection::{detection_rate, DetectionConfig};
+///
+/// let config = BehaviorTestConfig::builder().calibration_trials(300).build()?;
+/// let test = SingleBehaviorTest::new(config)?;
+/// let cfg = DetectionConfig { trials: 20, ..Default::default() };
+/// // Attack window 10: one attack every 10 transactions, metronome-like.
+/// let rate = detection_rate(10, &test, &cfg)?;
+/// assert!(rate > 0.9);
+/// # Ok::<(), hp_core::CoreError>(())
+/// ```
+pub fn detection_rate(
+    window: usize,
+    test: &dyn BehaviorTest,
+    config: &DetectionConfig,
+) -> Result<f64, CoreError> {
+    let mut detected = 0usize;
+    for trial in 0..config.trials {
+        let seed = hp_stats::derive_seed(config.seed, (window as u64) << 32 | trial as u64);
+        let history = periodic_history(config.history_len, window, config.attack_rate, seed);
+        if test.evaluate(&history)?.outcome() == TestOutcome::Suspicious {
+            detected += 1;
+        }
+    }
+    Ok(detected as f64 / config.trials.max(1) as f64)
+}
+
+/// False-positive rate: fraction of *honest* players (trustworthiness
+/// `p`) that `test` flags as suspicious. The complement of the specificity
+/// that Fig. 7's detection rate should be read against.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+pub fn false_positive_rate(
+    p: f64,
+    test: &dyn BehaviorTest,
+    config: &DetectionConfig,
+) -> Result<f64, CoreError> {
+    let mut flagged = 0usize;
+    for trial in 0..config.trials {
+        let seed = hp_stats::derive_seed(config.seed ^ 0xF9, trial as u64);
+        let history = crate::workload::honest_history(config.history_len, p, seed);
+        if test.evaluate(&history)?.outcome() == TestOutcome::Suspicious {
+            flagged += 1;
+        }
+    }
+    Ok(flagged as f64 / config.trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::testing::{BehaviorTestConfig, MultiBehaviorTest, SingleBehaviorTest};
+
+    fn fast_test() -> SingleBehaviorTest {
+        SingleBehaviorTest::new(
+            BehaviorTestConfig::builder()
+                .calibration_trials(400)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn cfg(trials: usize) -> DetectionConfig {
+        DetectionConfig {
+            trials,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tight_attack_windows_are_detected() {
+        let test = fast_test();
+        let rate = detection_rate(10, &test, &cfg(30)).unwrap();
+        assert!(rate > 0.9, "window-10 detection rate {rate}");
+    }
+
+    #[test]
+    fn detection_rate_decreases_with_window_size() {
+        let test = fast_test();
+        let tight = detection_rate(10, &test, &cfg(40)).unwrap();
+        let loose = detection_rate(80, &test, &cfg(40)).unwrap();
+        assert!(
+            tight > loose,
+            "detection must fall with window size: {tight} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn honest_false_positive_rate_is_bounded() {
+        let test = fast_test();
+        let fpr = false_positive_rate(0.9, &test, &cfg(60)).unwrap();
+        assert!(fpr < 0.15, "single-test FPR {fpr}");
+    }
+
+    #[test]
+    fn multi_test_detects_at_least_as_often_on_tight_windows() {
+        let config = BehaviorTestConfig::builder()
+            .calibration_trials(400)
+            .build()
+            .unwrap();
+        let single = fast_test();
+        let multi = MultiBehaviorTest::new(config).unwrap();
+        let c = cfg(25);
+        let s = detection_rate(10, &single, &c).unwrap();
+        let m = detection_rate(10, &multi, &c).unwrap();
+        // Both should be near-perfect on the metronome attacker.
+        assert!(s > 0.9 && m > 0.9, "single {s}, multi {m}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let test = fast_test();
+        let a = detection_rate(20, &test, &cfg(15)).unwrap();
+        let b = detection_rate(20, &test, &cfg(15)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! A minimal discrete-event simulation loop.
+//!
+//! Runs one [`ServerBehavior`] for a number of rounds against a deployed
+//! trust function, building the transaction history and recording the
+//! trust trajectory — the raw material for examples, detection-rate
+//! experiments, and the integration tests.
+
+use crate::behavior::{BehaviorContext, ServerBehavior};
+use hp_core::{ClientId, Feedback, Rating, ServerId, TransactionHistory, TrustFunction};
+use rand::RngExt;
+
+/// Configuration for a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Number of transactions to simulate.
+    pub rounds: usize,
+    /// The simulated server's id.
+    pub server: ServerId,
+    /// Size of the client pool; each round's client is drawn uniformly.
+    pub clients: u64,
+    /// RNG seed (simulations are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            rounds: 1000,
+            server: ServerId::new(0),
+            clients: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// The record of a finished simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// The server's full transaction history.
+    pub history: TransactionHistory,
+    /// The trust value *before* each transaction (what the behavior saw).
+    pub trust_trajectory: Vec<f64>,
+}
+
+impl SimulationOutcome {
+    /// The final trust value, if any rounds ran.
+    pub fn final_trust(&self) -> Option<f64> {
+        self.trust_trajectory.last().copied()
+    }
+}
+
+/// Drives a server behavior against a trust function.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::trust::AverageTrust;
+/// use hp_sim::{HonestBehavior, Simulation, SimulationConfig};
+///
+/// let sim = Simulation::new(
+///     HonestBehavior::new(0.9)?,
+///     AverageTrust::default(),
+///     SimulationConfig { rounds: 500, ..Default::default() },
+/// );
+/// let outcome = sim.run();
+/// assert_eq!(outcome.history.len(), 500);
+/// let p = outcome.history.p_hat().unwrap();
+/// assert!((p - 0.9).abs() < 0.06);
+/// # Ok::<(), hp_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation<B, T> {
+    behavior: B,
+    trust: T,
+    config: SimulationConfig,
+}
+
+impl<B: ServerBehavior, T: TrustFunction> Simulation<B, T> {
+    /// Creates a simulation.
+    pub fn new(behavior: B, trust: T, config: SimulationConfig) -> Self {
+        Simulation {
+            behavior,
+            trust,
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion, consuming it.
+    pub fn run(mut self) -> SimulationOutcome {
+        let mut rng = hp_stats::seeded_rng(self.config.seed);
+        let mut history = TransactionHistory::with_capacity(self.config.rounds);
+        let mut trajectory = Vec::with_capacity(self.config.rounds);
+        for t in 0..self.config.rounds as u64 {
+            let trust = self.trust.trust(&history);
+            trajectory.push(trust.value());
+            let good = {
+                let ctx = BehaviorContext {
+                    history: &history,
+                    trust,
+                    time: t,
+                };
+                self.behavior.next_outcome(&ctx, &mut rng)
+            };
+            let client = ClientId::new(rng.random_range(0..self.config.clients.max(1)));
+            history.push(Feedback::new(
+                t,
+                self.config.server,
+                client,
+                Rating::from_good(good),
+            ));
+        }
+        SimulationOutcome {
+            history,
+            trust_trajectory: trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::{HibernatingAttacker, PeriodicAttacker};
+    use crate::behavior::HonestBehavior;
+    use hp_core::trust::{AverageTrust, WeightedTrust};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            Simulation::new(
+                HonestBehavior::new(0.9).unwrap(),
+                AverageTrust::default(),
+                SimulationConfig {
+                    rounds: 200,
+                    seed: 42,
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.history.feedbacks(), b.history.feedbacks());
+        assert_eq!(a.trust_trajectory, b.trust_trajectory);
+    }
+
+    #[test]
+    fn hibernator_collapses_trust_after_waking() {
+        let outcome = Simulation::new(
+            HibernatingAttacker::new(0.95, 0.98),
+            AverageTrust::default(),
+            SimulationConfig {
+                rounds: 1000,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .run();
+        // The attacker woke at some point and cheated ever after, so the
+        // tail of the history is all bad.
+        let tail_bad = outcome
+            .history
+            .feedbacks()
+            .iter()
+            .rev()
+            .take_while(|f| !f.is_good())
+            .count();
+        assert!(tail_bad > 100, "hibernator attack tail: {tail_bad}");
+        assert!(outcome.final_trust().unwrap() < 0.9);
+    }
+
+    #[test]
+    fn periodic_attacker_oscillates_against_weighted_trust() {
+        let outcome = Simulation::new(
+            PeriodicAttacker::new(0.9, 0.7, 1.0),
+            WeightedTrust::new(0.5).unwrap(),
+            SimulationConfig {
+                rounds: 600,
+                seed: 4,
+                ..Default::default()
+            },
+        )
+        .run();
+        let bad = outcome.history.bad_count();
+        // The attacker gets repeated attack windows but must keep paying
+        // rebuild costs: bad transactions exist but are a minority.
+        assert!(bad > 50, "attacks happened: {bad}");
+        assert!(bad < 400, "attacks bounded by rebuild phases: {bad}");
+    }
+
+    #[test]
+    fn trajectory_has_one_entry_per_round() {
+        let outcome = Simulation::new(
+            HonestBehavior::new(1.0).unwrap(),
+            AverageTrust::default(),
+            SimulationConfig {
+                rounds: 10,
+                seed: 0,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(outcome.trust_trajectory.len(), 10);
+        // First round sees the empty-history neutral value.
+        assert_eq!(outcome.trust_trajectory[0], 0.5);
+        assert_eq!(outcome.final_trust(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_rounds_gives_empty_outcome() {
+        let outcome = Simulation::new(
+            HonestBehavior::new(0.9).unwrap(),
+            AverageTrust::default(),
+            SimulationConfig {
+                rounds: 0,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(outcome.history.is_empty());
+        assert_eq!(outcome.final_trust(), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Result records for the attack-cost experiments.
+
+/// The outcome of a strategic attack-cost run (Figs. 3–4).
+///
+/// The paper's cost metric: "we will use the total number of good
+/// transactions needed to launch M attacks as the metrics to measure the
+/// strength of a scheme" (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackCostResult {
+    /// Good transactions the attacker had to perform during the attack
+    /// phase — the cost (the y-axis of Figs. 3 and 4).
+    pub good_transactions: usize,
+    /// Bad transactions successfully executed (≤ the target M).
+    pub attacks_completed: usize,
+    /// Total attack-phase steps (good + bad).
+    pub total_steps: usize,
+    /// Whether the run hit the step budget before completing M attacks —
+    /// i.e. the scheme effectively locked the attacker out.
+    pub exhausted: bool,
+}
+
+impl AttackCostResult {
+    /// Good transactions per completed attack (∞ if none completed).
+    pub fn cost_per_attack(&self) -> f64 {
+        if self.attacks_completed == 0 {
+            f64::INFINITY
+        } else {
+            self.good_transactions as f64 / self.attacks_completed as f64
+        }
+    }
+}
+
+/// The outcome of a collusion attack-cost run (Figs. 5–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollusionCostResult {
+    /// Good services provided to clients *other than colluders* — "the
+    /// true cost for the attacker to achieve his goal" (§5.2, the y-axis
+    /// of Figs. 5 and 6).
+    pub good_to_victims: usize,
+    /// Fake positive feedbacks obtained from colluders (≈ free).
+    pub colluder_boosts: usize,
+    /// Bad transactions successfully executed.
+    pub attacks_completed: usize,
+    /// Total attack-phase rounds.
+    pub total_steps: usize,
+    /// Whether the run hit the step budget before completing its attacks.
+    pub exhausted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_per_attack() {
+        let r = AttackCostResult {
+            good_transactions: 40,
+            attacks_completed: 20,
+            total_steps: 60,
+            exhausted: false,
+        };
+        assert!((r.cost_per_attack() - 2.0).abs() < 1e-12);
+        let none = AttackCostResult {
+            good_transactions: 10,
+            attacks_completed: 0,
+            total_steps: 10,
+            exhausted: true,
+        };
+        assert!(none.cost_per_attack().is_infinite());
+    }
+}

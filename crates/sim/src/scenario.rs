@@ -1,0 +1,507 @@
+//! Strategic attack-cost scenarios — the drivers behind Figs. 3–6.
+//!
+//! The attacker model of §5.1: "attackers are strategic and aware of the
+//! trust functions as well as the behavior testing algorithms. … It first
+//! assumes that it will conduct a bad transaction next, and considers the
+//! resulting transaction history H'. If H' is consistent with the behavior
+//! model of honest players, and the trust value computed from H' is no
+//! less than 0.9, then the attacker will cheat in the next transaction.
+//! Otherwise, it will provide good services."
+//!
+//! **Threshold semantics.** We apply the behavior test to the hypothetical
+//! history H' exactly as quoted, but check the trust threshold against the
+//! value the *victim sees when deciding to transact* — i.e. before the
+//! attack. The paper's own result narration requires this reading: under
+//! the weighted function (λ = 0.5) a bad transaction always drops trust to
+//! ≈ 0.5 < 0.9, so a literal trust-on-H' check would forbid every attack,
+//! whereas Fig. 4 describes the attacker cheating and then paying "2~3
+//! good transactions" to climb back over 0.9. Likewise Fig. 3's "the
+//! attacker can always keep conducting bad transactions, until its trust
+//! value hits 0.9" is a statement about the pre-transaction value.
+
+use crate::clients::{ClientArrivalConfig, ClientPopulation};
+use crate::metrics::{AttackCostResult, CollusionCostResult};
+use hp_core::testing::{BehaviorTest, TestOutcome};
+use hp_core::{
+    ClientId, CoreError, Feedback, Rating, ServerId, TransactionHistory, TrustFunction,
+};
+use rand::RngExt;
+
+/// Which behavior-testing scheme screens the attacker (phase 1).
+///
+/// Borrowed so one (expensively calibrated) test instance can serve a
+/// whole parameter sweep.
+#[derive(Clone, Copy)]
+pub enum Screening<'a> {
+    /// No screening: the trust function alone (the paper's baselines).
+    None,
+    /// Any behavior test; `Suspicious` blocks the attacker's move.
+    Test(&'a dyn BehaviorTest),
+}
+
+impl std::fmt::Debug for Screening<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Screening::None => write!(f, "Screening::None"),
+            Screening::Test(t) => write!(f, "Screening::Test({})", t.name()),
+        }
+    }
+}
+
+impl Screening<'_> {
+    fn passes(&self, history: &TransactionHistory) -> Result<bool, CoreError> {
+        match self {
+            Screening::None => Ok(true),
+            Screening::Test(test) => {
+                Ok(test.evaluate(history)?.outcome() != TestOutcome::Suspicious)
+            }
+        }
+    }
+
+    fn window_size(&self) -> Option<usize> {
+        match self {
+            Screening::None => None,
+            Screening::Test(test) => test.window_size().map(|m| m as usize),
+        }
+    }
+}
+
+/// Configuration for [`attack_cost`] (Figs. 3–4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackCostConfig {
+    /// Transactions in the preparation phase (the x-axis of Figs. 3–4).
+    pub prep_size: usize,
+    /// The attacker's honest-mimicry quality during preparation (paper:
+    /// 0.95).
+    pub prep_trust: f64,
+    /// Target number of successful attacks M (paper: 20).
+    pub target_attacks: usize,
+    /// Clients' trust threshold (paper: 0.9).
+    pub trust_threshold: f64,
+    /// Attack-phase step budget; exceeding it marks the result
+    /// [`AttackCostResult::exhausted`].
+    pub max_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AttackCostConfig {
+    fn default() -> Self {
+        AttackCostConfig {
+            prep_size: 400,
+            prep_trust: 0.95,
+            target_attacks: 20,
+            trust_threshold: 0.9,
+            max_steps: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+const SERVER: ServerId = ServerId::new(0);
+
+/// Runs the strategic attack-cost experiment of §5.1.
+///
+/// The attacker prepares `prep_size` transactions as an honest player,
+/// then repeatedly: hypothesizes a bad transaction, checks the deployed
+/// trust function and screening on the hypothetical history, cheats if
+/// both accept, and provides a good service otherwise — until
+/// `target_attacks` attacks succeed or the step budget runs out.
+///
+/// The attacker is not myopic: the hypothetical history it screens is H'
+/// *padded with planned good transactions up to the next window boundary*.
+/// Without this, a bad transaction sitting in the trailing partial window
+/// is invisible to a start-aligned test at commit time, surfaces a few
+/// transactions later, and permanently locks the attacker out — an
+/// artifact of greedy play, not of the scheme. A strategy-aware attacker
+/// (the paper's assumption) avoids exactly that trap by reasoning one
+/// window ahead.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::trust::AverageTrust;
+/// use hp_sim::{attack_cost, AttackCostConfig, Screening};
+///
+/// // With the average function alone and a 400-transaction preparation,
+/// // a hibernating attacker pays nothing (the paper's observation).
+/// let result = attack_cost(
+///     &AttackCostConfig { prep_size: 450, ..Default::default() },
+///     &AverageTrust::default(),
+///     Screening::None,
+/// )?;
+/// assert_eq!(result.attacks_completed, 20);
+/// assert_eq!(result.good_transactions, 0);
+/// # Ok::<(), hp_core::CoreError>(())
+/// ```
+pub fn attack_cost(
+    config: &AttackCostConfig,
+    trust: &dyn TrustFunction,
+    screening: Screening<'_>,
+) -> Result<AttackCostResult, CoreError> {
+    let mut rng = hp_stats::seeded_rng(config.seed);
+    let mut history = TransactionHistory::with_capacity(config.prep_size + config.max_steps);
+
+    // Preparation phase: behave as an honest player with p = prep_trust.
+    for t in 0..config.prep_size as u64 {
+        let client = ClientId::new(rng.random_range(0..50));
+        let good = rng.random::<f64>() < config.prep_trust;
+        history.push(Feedback::new(t, SERVER, client, Rating::from_good(good)));
+    }
+
+    // Attack phase.
+    let mut good_transactions = 0usize;
+    let mut attacks = 0usize;
+    let mut steps = 0usize;
+    while attacks < config.target_attacks && steps < config.max_steps {
+        steps += 1;
+        let time = (config.prep_size + steps) as u64;
+        let client = ClientId::new(rng.random_range(0..50));
+
+        // The victim transacts only if the server's *current* trust value
+        // meets its threshold; the behavior test screens the hypothetical
+        // history including the attack (see module docs).
+        let victim_accepts = trust.trust(&history).meets(config.trust_threshold);
+        history.push(Feedback::new(time, SERVER, client, Rating::Negative));
+        // Pad with planned goods to the next window boundary so the
+        // screen sees the bad transaction it is about to commit (see the
+        // function docs on non-myopic play).
+        let m = screening.window_size().unwrap_or(1);
+        let pad = (m - history.len() % m) % m;
+        for i in 0..pad {
+            history.push(Feedback::new(
+                time + 1 + i as u64,
+                SERVER,
+                ClientId::new(rng.random_range(0..50)),
+                Rating::Positive,
+            ));
+        }
+        let cheat_ok = victim_accepts && screening.passes(&history)?;
+        for _ in 0..=pad {
+            history.pop();
+        }
+
+        if cheat_ok {
+            history.push(Feedback::new(time, SERVER, client, Rating::Negative));
+            attacks += 1;
+        } else {
+            history.push(Feedback::new(time, SERVER, client, Rating::Positive));
+            good_transactions += 1;
+        }
+    }
+
+    Ok(AttackCostResult {
+        good_transactions,
+        attacks_completed: attacks,
+        total_steps: steps,
+        exhausted: attacks < config.target_attacks,
+    })
+}
+
+/// Configuration for [`collusion_attack_cost`] (Figs. 5–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollusionConfig {
+    /// Transactions in the (colluder-powered) preparation phase.
+    pub prep_size: usize,
+    /// Colluder feedback quality during preparation (paper builds "a
+    /// reputation of 0.95").
+    pub prep_trust: f64,
+    /// Total potential clients (paper: 100).
+    pub clients: u64,
+    /// Colluders among them (paper: 5). Colluder ids are `0..colluders`.
+    pub colluders: u64,
+    /// Arrival-model constants a₁, a₂, a₃ (paper: 0.5, 0.9, 0.2).
+    pub arrivals: ClientArrivalConfig,
+    /// Target number of successful attacks M (paper: 20).
+    pub target_attacks: usize,
+    /// Clients' trust threshold (paper: 0.9).
+    pub trust_threshold: f64,
+    /// Attack-phase round budget.
+    pub max_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CollusionConfig {
+    fn default() -> Self {
+        CollusionConfig {
+            prep_size: 400,
+            prep_trust: 0.95,
+            clients: 100,
+            colluders: 5,
+            arrivals: ClientArrivalConfig::default(),
+            target_attacks: 20,
+            trust_threshold: 0.9,
+            max_steps: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs the collusion attack-cost experiment of §5.2.
+///
+/// During preparation the attacker interacts only with its colluders.
+/// During the attack phase, each round it strategically chooses among
+/// *cheating on a real client*, *getting a fake positive from a colluder*,
+/// and *providing a genuine good service*, consulting the trust function
+/// and screening before each choice. The cost metric is good services
+/// delivered to non-colluders.
+///
+/// # Errors
+///
+/// Propagates behavior-test failures.
+pub fn collusion_attack_cost(
+    config: &CollusionConfig,
+    trust: &dyn TrustFunction,
+    screening: Screening<'_>,
+) -> Result<CollusionCostResult, CoreError> {
+    let mut rng = hp_stats::seeded_rng(config.seed);
+    let mut history = TransactionHistory::with_capacity(config.prep_size + config.max_steps);
+    let mut population = ClientPopulation::new(config.clients, config.arrivals);
+    let colluder = |c: ClientId| c.value() < config.colluders;
+
+    // Preparation: only colluders issue (mostly fake-positive) feedback.
+    for t in 0..config.prep_size as u64 {
+        let client = ClientId::new(rng.random_range(0..config.colluders.max(1)));
+        let good = rng.random::<f64>() < config.prep_trust;
+        history.push(Feedback::new(t, SERVER, client, Rating::from_good(good)));
+    }
+
+    let mut good_to_victims = 0usize;
+    let mut colluder_boosts = 0usize;
+    let mut attacks = 0usize;
+    let mut steps = 0usize;
+
+    while attacks < config.target_attacks && steps < config.max_steps {
+        steps += 1;
+        let time = (config.prep_size + steps) as u64;
+        let reputation = trust.trust(&history).value();
+        let arrivals = population.arrivals(reputation, &mut rng);
+        let victims: Vec<ClientId> = arrivals.iter().copied().filter(|&c| !colluder(c)).collect();
+
+        // Choice 1: cheat on a victim, if the system would let it slide.
+        // (`reputation` is the pre-transaction trust the victim acted on.)
+        if let Some(&victim) = victims.first() {
+            let victim_accepts = reputation >= config.trust_threshold;
+            history.push(Feedback::new(time, SERVER, victim, Rating::Negative));
+            let ok = victim_accepts && screening.passes(&history)?;
+            if ok {
+                attacks += 1;
+                population.record(victim, false);
+                continue;
+            }
+            history.pop();
+        }
+
+        // Choice 2: a free colluder boost, if it doesn't trip the screen.
+        let helper = ClientId::new(rng.random_range(0..config.colluders.max(1)));
+        history.push(Feedback::new(time, SERVER, helper, Rating::Positive));
+        if screening.passes(&history)? {
+            colluder_boosts += 1;
+            continue;
+        }
+        history.pop();
+
+        // Choice 3: forced to actually serve a real client well.
+        if let Some(&victim) = victims.first() {
+            history.push(Feedback::new(time, SERVER, victim, Rating::Positive));
+            good_to_victims += 1;
+            population.record(victim, true);
+        }
+        // No victim arrived and the boost was blocked: the round passes
+        // without a transaction (time still advances).
+    }
+
+    Ok(CollusionCostResult {
+        good_to_victims,
+        colluder_boosts,
+        attacks_completed: attacks,
+        total_steps: steps,
+        exhausted: attacks < config.target_attacks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::testing::{
+        BehaviorTestConfig, CollusionResilientTest, MultiBehaviorTest, SingleBehaviorTest,
+    };
+    use hp_core::trust::{AverageTrust, WeightedTrust};
+
+    fn fast_config() -> BehaviorTestConfig {
+        BehaviorTestConfig::builder()
+            .calibration_trials(400)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn average_alone_hibernating_attack_is_free_with_long_prep() {
+        // With ≈0.95·H good transactions in the prep phase, the attacker
+        // can launch j attacks while 0.95H/(H+j) ≥ 0.9, i.e. j ≈ 0.055·H;
+        // for H = 600 that comfortably covers all 20 attacks, minus a
+        // little Bernoulli noise in the prep draw.
+        for seed in 0..5 {
+            let result = attack_cost(
+                &AttackCostConfig {
+                    prep_size: 600,
+                    seed,
+                    ..Default::default()
+                },
+                &AverageTrust::default(),
+                Screening::None,
+            )
+            .unwrap();
+            assert_eq!(result.attacks_completed, 20, "seed {seed}");
+            assert!(
+                result.good_transactions <= 5,
+                "seed {seed}: hibernating attack should be nearly free, cost {}",
+                result.good_transactions
+            );
+        }
+    }
+
+    #[test]
+    fn average_alone_short_prep_costs_roughly_nine_goods_per_attack() {
+        // Below the free-ride point the attacker must interleave roughly 9
+        // good transactions per attack (threshold 0.9).
+        let result = attack_cost(
+            &AttackCostConfig {
+                prep_size: 100,
+                seed: 2,
+                ..Default::default()
+            },
+            &AverageTrust::default(),
+            Screening::None,
+        )
+        .unwrap();
+        assert_eq!(result.attacks_completed, 20);
+        // g ≥ 180 − 0.5·H − (bad-luck prep noise) → ≈ 130 for H = 100.
+        assert!(
+            result.good_transactions > 80 && result.good_transactions < 200,
+            "cost {}",
+            result.good_transactions
+        );
+    }
+
+    #[test]
+    fn weighted_alone_forces_rebuild_after_every_attack() {
+        let result = attack_cost(
+            &AttackCostConfig {
+                prep_size: 400,
+                seed: 3,
+                ..Default::default()
+            },
+            &WeightedTrust::new(0.5).unwrap(),
+            Screening::None,
+        )
+        .unwrap();
+        assert_eq!(result.attacks_completed, 20);
+        // λ=0.5: one bad halves trust to ≈0.5; the attacker needs 3 goods
+        // (0.5 → 0.75 → 0.875 → 0.9375) to clear 0.9 again — the paper's
+        // "2~3 good transactions" and never two consecutive attacks.
+        let per_attack = result.cost_per_attack();
+        assert!(
+            (2.0..=4.0).contains(&per_attack),
+            "per-attack cost {per_attack}"
+        );
+    }
+
+    #[test]
+    fn multi_testing_raises_cost_over_single_testing() {
+        // Median over several seeds: a single unlucky prep draw can fail
+        // the screen outright (the ~5% honest false-positive rate), which
+        // is exactly why the experiment harness replicates runs.
+        let config = fast_config();
+        let single = SingleBehaviorTest::new(config.clone()).unwrap();
+        let multi = MultiBehaviorTest::new(config).unwrap();
+        let avg = AverageTrust::default();
+        let mut single_costs = Vec::new();
+        let mut multi_costs = Vec::new();
+        for seed in 0..5 {
+            let base = AttackCostConfig {
+                prep_size: 700,
+                seed,
+                max_steps: 3_000,
+                ..Default::default()
+            };
+            let s = attack_cost(&base, &avg, Screening::Test(&single)).unwrap();
+            let m = attack_cost(&base, &avg, Screening::Test(&multi)).unwrap();
+            single_costs.push(if s.exhausted { usize::MAX } else { s.good_transactions });
+            multi_costs.push(if m.exhausted { usize::MAX } else { m.good_transactions });
+        }
+        single_costs.sort_unstable();
+        multi_costs.sort_unstable();
+        let single_med = single_costs[2];
+        let multi_med = multi_costs[2];
+        assert!(
+            multi_med >= single_med,
+            "median multi cost ({multi_med}) must be at least single ({multi_med} vs {single_med}); \
+             single: {single_costs:?}, multi: {multi_costs:?}"
+        );
+    }
+
+    #[test]
+    fn collusion_without_screening_is_free() {
+        let result = collusion_attack_cost(
+            &CollusionConfig {
+                seed: 5,
+                ..Default::default()
+            },
+            &AverageTrust::default(),
+            Screening::None,
+        )
+        .unwrap();
+        assert_eq!(result.attacks_completed, 20);
+        assert_eq!(
+            result.good_to_victims, 0,
+            "colluders cover everything when nobody screens"
+        );
+    }
+
+    #[test]
+    fn collusion_screening_forces_real_service() {
+        let test = CollusionResilientTest::new(fast_config()).unwrap();
+        let result = collusion_attack_cost(
+            &CollusionConfig {
+                seed: 6,
+                max_steps: 4_000,
+                ..Default::default()
+            },
+            &AverageTrust::default(),
+            Screening::Test(&test),
+        )
+        .unwrap();
+        // Either the attacker paid in genuine service, or it never managed
+        // its 20 attacks within budget — both demonstrate the constraint.
+        assert!(
+            result.good_to_victims > 0 || result.exhausted,
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = AttackCostConfig {
+            prep_size: 200,
+            seed: 7,
+            ..Default::default()
+        };
+        let avg = AverageTrust::default();
+        let a = attack_cost(&cfg, &avg, Screening::None).unwrap();
+        let b = attack_cost(&cfg, &avg, Screening::None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn screening_debug_format() {
+        let test = SingleBehaviorTest::new(fast_config()).unwrap();
+        assert_eq!(format!("{:?}", Screening::None), "Screening::None");
+        assert!(format!("{:?}", Screening::Test(&test)).contains("single"));
+    }
+}

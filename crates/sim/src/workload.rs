@@ -1,0 +1,140 @@
+//! Synthetic history generators shared by tests, benches and experiments.
+
+use crate::attacker::WindowedPeriodicAttacker;
+use crate::behavior::{BehaviorContext, ServerBehavior};
+use hp_core::{ClientId, Feedback, Rating, ServerId, TransactionHistory, TrustValue};
+use rand::RngExt;
+
+const SERVER: ServerId = ServerId::new(0);
+
+/// An honest player's history: `n` i.i.d. Bernoulli(`p`) transactions.
+///
+/// # Examples
+///
+/// ```
+/// let h = hp_sim::workload::honest_history(500, 0.9, 1);
+/// assert_eq!(h.len(), 500);
+/// assert!((h.p_hat().unwrap() - 0.9).abs() < 0.05);
+/// ```
+pub fn honest_history(n: usize, p: f64, seed: u64) -> TransactionHistory {
+    let mut rng = hp_stats::seeded_rng(seed);
+    let mut h = TransactionHistory::with_capacity(n);
+    for t in 0..n as u64 {
+        let client = ClientId::new(rng.random_range(0..50));
+        let good = rng.random::<f64>() < p;
+        h.push(Feedback::new(t, SERVER, client, Rating::from_good(good)));
+    }
+    h
+}
+
+/// A hibernating attacker's history: `prep` honest transactions at
+/// trustworthiness `p`, followed by `attacks` consecutive bad ones.
+pub fn hibernating_history(prep: usize, p: f64, attacks: usize, seed: u64) -> TransactionHistory {
+    let mut h = honest_history(prep, p, seed);
+    let mut rng = hp_stats::seeded_rng(hp_stats::derive_seed(seed, 1));
+    for i in 0..attacks as u64 {
+        let client = ClientId::new(rng.random_range(0..50));
+        h.push(Feedback::new(
+            prep as u64 + i,
+            SERVER,
+            client,
+            Rating::Negative,
+        ));
+    }
+    h
+}
+
+/// A windowed periodic attacker's history (the Fig. 7 workload):
+/// `⌊window·rate⌋` attacks at random positions inside every `window`
+/// transactions, over a total of `n`.
+pub fn periodic_history(n: usize, window: usize, rate: f64, seed: u64) -> TransactionHistory {
+    let mut attacker = WindowedPeriodicAttacker::new(window, rate);
+    let mut rng = hp_stats::seeded_rng(seed);
+    let mut h = TransactionHistory::with_capacity(n);
+    for t in 0..n as u64 {
+        let good = {
+            let ctx = BehaviorContext {
+                history: &h,
+                trust: TrustValue::NEUTRAL,
+                time: t,
+            };
+            attacker.next_outcome(&ctx, &mut rng)
+        };
+        let client = ClientId::new(rng.random_range(0..50));
+        h.push(Feedback::new(t, SERVER, client, Rating::from_good(good)));
+    }
+    h
+}
+
+/// A colluder-inflated history: `prep` positive feedbacks from a clique of
+/// `colluders` clients, then `tail` transactions with fresh clients at
+/// honest quality `p_tail`.
+pub fn colluding_history(
+    prep: usize,
+    colluders: u64,
+    tail: usize,
+    p_tail: f64,
+    seed: u64,
+) -> TransactionHistory {
+    let mut rng = hp_stats::seeded_rng(seed);
+    let mut h = TransactionHistory::with_capacity(prep + tail);
+    for t in 0..prep as u64 {
+        let client = ClientId::new(rng.random_range(0..colluders.max(1)));
+        h.push(Feedback::new(t, SERVER, client, Rating::Positive));
+    }
+    for i in 0..tail as u64 {
+        let t = prep as u64 + i;
+        let client = ClientId::new(1_000 + rng.random_range(0..1_000));
+        let good = rng.random::<f64>() < p_tail;
+        h.push(Feedback::new(t, SERVER, client, Rating::from_good(good)));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_history_statistics() {
+        let h = honest_history(5000, 0.95, 3);
+        assert_eq!(h.len(), 5000);
+        assert!((h.p_hat().unwrap() - 0.95).abs() < 0.01);
+        assert!(h.distinct_clients() > 30);
+    }
+
+    #[test]
+    fn honest_history_deterministic() {
+        assert_eq!(
+            honest_history(100, 0.9, 9).feedbacks(),
+            honest_history(100, 0.9, 9).feedbacks()
+        );
+    }
+
+    #[test]
+    fn hibernating_history_shape() {
+        let h = hibernating_history(200, 0.95, 20, 1);
+        assert_eq!(h.len(), 220);
+        let tail: Vec<bool> = h.outcomes().skip(200).collect();
+        assert!(tail.iter().all(|&g| !g), "attack phase is all bad");
+    }
+
+    #[test]
+    fn periodic_history_attack_rate() {
+        let h = periodic_history(1000, 50, 0.1, 2);
+        assert_eq!(h.len(), 1000);
+        let bad = h.bad_count();
+        assert_eq!(bad, 100, "exactly window·rate bad per window");
+    }
+
+    #[test]
+    fn colluding_history_client_structure() {
+        let h = colluding_history(300, 5, 100, 0.8, 4);
+        assert_eq!(h.len(), 400);
+        let freqs = h.client_frequencies();
+        // The top 5 issuers are the colluders, each with ~60 feedbacks.
+        let top5: usize = freqs.iter().take(5).map(|&(_, c)| c).sum();
+        assert_eq!(top5, 300);
+        assert!(freqs.len() > 50, "long tail of occasional clients");
+    }
+}

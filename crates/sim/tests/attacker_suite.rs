@@ -1,0 +1,143 @@
+//! Cross-attacker integration: every attacker archetype against every
+//! scheme, verifying the detection matrix the paper's narrative implies.
+//!
+//! | attacker | single | multi |
+//! |----------|--------|-------|
+//! | honest | pass | pass |
+//! | hibernating (long prep) | often missed | caught |
+//! | metronome periodic | caught | caught |
+//! | randomized periodic (wide window) | missed | missed (≈ honest) |
+
+use hp_core::testing::{
+    shared_calibrator, BehaviorTest, BehaviorTestConfig, MultiBehaviorTest, SingleBehaviorTest,
+    TestOutcome,
+};
+use hp_sim::workload;
+use std::sync::Arc;
+
+struct Suite {
+    single: SingleBehaviorTest,
+    multi: MultiBehaviorTest,
+}
+
+fn suite() -> Suite {
+    let config = BehaviorTestConfig::builder()
+        .calibration_trials(500)
+        .build()
+        .unwrap();
+    let cal = shared_calibrator(&config).unwrap();
+    Suite {
+        single: SingleBehaviorTest::with_calibrator(config.clone(), Arc::clone(&cal)).unwrap(),
+        multi: MultiBehaviorTest::with_calibrator(config, cal).unwrap(),
+    }
+}
+
+fn rate(
+    test: &dyn BehaviorTest,
+    mk: impl Fn(u64) -> hp_core::TransactionHistory,
+    trials: u64,
+) -> f64 {
+    let mut flagged = 0;
+    for seed in 0..trials {
+        if test.evaluate(&mk(seed)).unwrap().outcome() == TestOutcome::Suspicious {
+            flagged += 1;
+        }
+    }
+    flagged as f64 / trials as f64
+}
+
+#[test]
+fn honest_players_pass_both_schemes() {
+    let s = suite();
+    let mk = |seed| workload::honest_history(900, 0.92, seed);
+    assert!(rate(&s.single, mk, 25) < 0.2, "single FPR");
+    assert!(rate(&s.multi, mk, 25) < 0.2, "multi FPR");
+}
+
+#[test]
+fn long_prep_hibernator_separates_the_schemes() {
+    let s = suite();
+    // 4000 honest transactions dilute 25 attacks to 0.6% of the history:
+    // invisible to the whole-history test, glaring in recent suffixes.
+    let mk = |seed| workload::hibernating_history(4000, 0.95, 25, seed);
+    let single_rate = rate(&s.single, mk, 20);
+    let multi_rate = rate(&s.multi, mk, 20);
+    assert!(
+        multi_rate > 0.9,
+        "multi must catch diluted hibernators: {multi_rate}"
+    );
+    assert!(
+        multi_rate > single_rate,
+        "multi ({multi_rate}) must beat single ({single_rate}) here"
+    );
+}
+
+#[test]
+fn metronome_periodic_is_caught_by_both() {
+    let s = suite();
+    let mk = |seed| workload::periodic_history(1000, 10, 0.1, seed);
+    assert!(rate(&s.single, mk, 20) > 0.9);
+    assert!(rate(&s.multi, mk, 20) > 0.9);
+}
+
+#[test]
+fn wide_window_periodic_converges_to_honesty() {
+    // The paper's own closing point for Fig. 7: an attacker spread thin
+    // enough is statistically an honest player with lower p.
+    let s = suite();
+    let mk = |seed| workload::periodic_history(1000, 100, 0.1, seed);
+    assert!(rate(&s.single, mk, 20) < 0.35);
+    assert!(rate(&s.multi, mk, 20) < 0.35);
+}
+
+#[test]
+fn colluding_history_is_only_caught_by_reordering() {
+    use hp_core::testing::CollusionResilientTest;
+    let config = BehaviorTestConfig::builder()
+        .calibration_trials(500)
+        .build()
+        .unwrap();
+    let collusion = CollusionResilientTest::new(config).unwrap();
+    let s = suite();
+    // Interleaved colluder praise: chronological stream is i.i.d.-like.
+    let mk = |seed| {
+        use hp_core::{ClientId, Feedback, Rating, ServerId, TransactionHistory};
+        use rand::RngExt;
+        let mut rng = hp_stats::seeded_rng(seed);
+        let mut h = TransactionHistory::new();
+        for t in 0..800u64 {
+            let fb = if rng.random::<f64>() < 0.12 {
+                Feedback::new(
+                    t,
+                    ServerId::new(1),
+                    ClientId::new(10_000 + t),
+                    Rating::from_good(rng.random::<f64>() < 0.15),
+                )
+            } else {
+                Feedback::new(
+                    t,
+                    ServerId::new(1),
+                    ClientId::new(rng.random_range(0..5)),
+                    Rating::Positive,
+                )
+            };
+            h.push(fb);
+        }
+        h
+    };
+    let chrono_rate = rate(&s.single, mk, 15);
+    let mut collusion_flagged = 0;
+    for seed in 0..15 {
+        if collusion.evaluate(&mk(seed)).unwrap().outcome() == TestOutcome::Suspicious {
+            collusion_flagged += 1;
+        }
+    }
+    assert!(
+        chrono_rate < 0.4,
+        "chronological test mostly fooled: {chrono_rate}"
+    );
+    assert!(
+        collusion_flagged >= 13,
+        "reordered test catches the clique: {collusion_flagged}/15"
+    );
+}

@@ -1,0 +1,117 @@
+//! The Bernoulli distribution — one transaction of an honest player.
+//!
+//! The paper's core assumption (§3.1) is that each transaction of an honest
+//! player is an independent Bernoulli trial whose success probability is the
+//! server's trustworthiness.
+
+use crate::error::StatsError;
+use rand::{Rng, RngExt};
+
+/// A Bernoulli distribution with success probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::Bernoulli;
+/// use rand::SeedableRng;
+///
+/// let honest = Bernoulli::new(0.95)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let outcomes: Vec<bool> = (0..1000).map(|_| honest.sample(&mut rng)).collect();
+/// let good = outcomes.iter().filter(|&&g| g).count();
+/// assert!(good > 900);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Result<Self, StatsError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(StatsError::InvalidProbability { value: p });
+        }
+        Ok(Bernoulli { p })
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean (= `p`).
+    pub fn mean(&self) -> f64 {
+        self.p
+    }
+
+    /// Variance `p(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+
+    /// Draws one trial.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p == 1.0 {
+            return true;
+        }
+        if self.p == 0.0 {
+            return false;
+        }
+        rng.random::<f64>() < self.p
+    }
+
+    /// Draws `count` trials and returns the number of successes.
+    ///
+    /// Equivalent to a single draw of `Binomial::new(count, p)` but kept
+    /// here for workloads that also need the individual outcomes.
+    pub fn count_successes<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> usize {
+        (0..count).filter(|_| self.sample(rng)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_p() {
+        assert!(Bernoulli::new(-0.5).is_err());
+        assert!(Bernoulli::new(2.0).is_err());
+        assert!(Bernoulli::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degenerate_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let always = Bernoulli::new(1.0).unwrap();
+        let never = Bernoulli::new(0.0).unwrap();
+        for _ in 0..100 {
+            assert!(always.sample(&mut rng));
+            assert!(!never.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let b = Bernoulli::new(0.3).unwrap();
+        assert!((b.mean() - 0.3).abs() < 1e-15);
+        assert!((b.variance() - 0.21).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_rate_close_to_p() {
+        let b = Bernoulli::new(0.95).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let successes = b.count_successes(&mut rng, n);
+        let rate = successes as f64 / n as f64;
+        assert!((rate - 0.95).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,548 @@
+//! Monte-Carlo calibration of distribution-distance thresholds.
+//!
+//! The paper (§3.2) rejects deriving the distribution of the L¹ distance
+//! analytically and instead generates "a reasonably large number of sets"
+//! of window counts from `B(m, p̂)`, measures their distances to the model,
+//! and picks ε at the 95% confidence point. [`ThresholdCalibrator`]
+//! implements exactly that, plus the engineering the paper glosses over:
+//!
+//! * **caching** keyed by `(m, k, p̂-bucket, confidence)` so that the
+//!   strategic attacker loop and the multi-test (which call this thousands
+//!   of times with nearly identical parameters) stay fast,
+//! * **parallel** Monte Carlo via crossbeam scoped threads for large jobs,
+//! * **asymptotic extrapolation** for very large sample counts `k`: the L¹
+//!   statistic scales as `Θ(1/√k)`, so beyond a cutoff we calibrate at the
+//!   cutoff and scale by `√(k₀/k)` instead of simulating hundreds of
+//!   millions of draws (needed for the Fig. 9 scaling experiment).
+
+use crate::binomial::Binomial;
+use crate::distance::DistanceKind;
+use crate::empirical::Histogram;
+use crate::error::StatsError;
+use crate::quantile::quantile;
+use crate::rng::{derive_seed, seeded_rng};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Configuration for [`ThresholdCalibrator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationConfig {
+    /// Number of Monte-Carlo trials per calibration (paper: "a reasonably
+    /// large number"; default 2000). Treated as a *floor*: extreme
+    /// confidence levels automatically raise the trial count so the
+    /// requested quantile stays resolvable.
+    pub trials: usize,
+    /// Confidence level for the threshold (paper: 0.95).
+    pub confidence: f64,
+    /// Width of the p̂ cache buckets (default 0.005). Calibration uses the
+    /// bucket midpoint, so a smaller bucket is more faithful but caches
+    /// worse.
+    pub p_bucket: f64,
+    /// Distance metric to calibrate (paper: L¹).
+    pub distance: DistanceKind,
+    /// Above this number of windows `k`, thresholds are extrapolated from a
+    /// calibration at the cutoff using the `1/√k` law instead of simulated
+    /// directly (default 2048).
+    pub large_k_cutoff: usize,
+    /// Number of worker threads for large Monte-Carlo jobs (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            trials: 2000,
+            confidence: 0.95,
+            p_bucket: 0.005,
+            distance: DistanceKind::L1,
+            large_k_cutoff: 2048,
+            threads: 1,
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: trials ≥ 2, confidence and
+    /// p_bucket in (0, 1), cutoff ≥ 2, threads ≥ 1.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        if self.trials < 2 {
+            return Err(StatsError::InvalidCount {
+                what: "calibration trials",
+                value: self.trials,
+            });
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(StatsError::InvalidLevel {
+                value: self.confidence,
+            });
+        }
+        if !(self.p_bucket > 0.0 && self.p_bucket < 1.0) {
+            return Err(StatsError::InvalidLevel {
+                value: self.p_bucket,
+            });
+        }
+        if self.large_k_cutoff < 2 {
+            return Err(StatsError::InvalidCount {
+                what: "large-k cutoff",
+                value: self.large_k_cutoff,
+            });
+        }
+        if self.threads == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "calibration threads",
+                value: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cache key: everything a threshold depends on, with `p̂` and confidence
+/// quantized to buckets so floating-point jitter still hits the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    m: u32,
+    k: usize,
+    p_bucket_index: u32,
+    confidence_millis: u32,
+}
+
+/// Calibrates and caches goodness-of-fit thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::{CalibrationConfig, ThresholdCalibrator};
+///
+/// let cal = ThresholdCalibrator::new(CalibrationConfig::default())?;
+/// // 95% of honest B(10, 0.9) window-count samples of size 40 sit below ε:
+/// let eps = cal.threshold(10, 40, 0.9)?;
+/// assert!(eps > 0.0 && eps < 2.0);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+#[derive(Debug)]
+pub struct ThresholdCalibrator {
+    config: CalibrationConfig,
+    seed: u64,
+    cache: RwLock<HashMap<CacheKey, f64>>,
+}
+
+impl ThresholdCalibrator {
+    /// Creates a calibrator with the given configuration and a fixed
+    /// default seed (calibrations are reproducible by default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CalibrationConfig::validate`] failures.
+    pub fn new(config: CalibrationConfig) -> Result<Self, StatsError> {
+        config.validate()?;
+        Ok(ThresholdCalibrator {
+            config,
+            seed: 0x5EED_CA1B,
+            cache: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Replaces the Monte-Carlo seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CalibrationConfig {
+        &self.config
+    }
+
+    /// Number of cached thresholds (diagnostics).
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Threshold ε such that `confidence` of honest sample-sets of `k`
+    /// window counts drawn from `B(m, p̂)` have distance below ε.
+    ///
+    /// Uses the configured confidence; see [`Self::threshold_at`] to
+    /// override it (the Bonferroni-corrected multi-test does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `k == 0`, or
+    /// [`StatsError::InvalidProbability`] for a bad `p_hat`.
+    pub fn threshold(&self, m: u32, k: usize, p_hat: f64) -> Result<f64, StatsError> {
+        self.threshold_at(m, k, p_hat, self.config.confidence)
+    }
+
+    /// Like [`Self::threshold`] with an explicit confidence level.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::threshold`], plus [`StatsError::InvalidLevel`] for a
+    /// confidence outside `(0, 1)`.
+    pub fn threshold_at(
+        &self,
+        m: u32,
+        k: usize,
+        p_hat: f64,
+        confidence: f64,
+    ) -> Result<f64, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "sample-set size k",
+                value: 0,
+            });
+        }
+        if !(0.0..=1.0).contains(&p_hat) || !p_hat.is_finite() {
+            return Err(StatsError::InvalidProbability { value: p_hat });
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidLevel { value: confidence });
+        }
+
+        // Beyond the cutoff, use the 1/√k law anchored at the cutoff.
+        if k > self.config.large_k_cutoff {
+            let k0 = self.config.large_k_cutoff;
+            let base = self.threshold_at(m, k0, p_hat, confidence)?;
+            return Ok(base * (k0 as f64 / k as f64).sqrt());
+        }
+
+        let p_index = self.p_bucket_index(p_hat);
+        let key = CacheKey {
+            m,
+            k,
+            p_bucket_index: p_index,
+            confidence_millis: (confidence * 100_000.0).round() as u32,
+        };
+        if let Some(&eps) = self.cache.read().get(&key) {
+            return Ok(eps);
+        }
+        let p_center = self.p_bucket_center(p_index);
+        let samples = self.sample_distances(m, k, p_center, self.config.trials)?;
+        let eps = tail_quantile(&samples, confidence)?;
+        self.cache.write().insert(key, eps);
+        Ok(eps)
+    }
+
+    /// Raw Monte-Carlo distance samples for `(m, k, p)` — the distribution
+    /// the threshold is a quantile of. Exposed for Fig. 8-style analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `k == 0`, or propagates
+    /// distribution-construction failures.
+    pub fn distance_samples(&self, m: u32, k: usize, p: f64) -> Result<Vec<f64>, StatsError> {
+        self.sample_distances(m, k, p, self.config.trials)
+    }
+
+    /// As [`Self::distance_samples`] with an explicit trial count (used
+    /// internally to resolve extreme quantiles).
+    fn sample_distances(
+        &self,
+        m: u32,
+        k: usize,
+        p: f64,
+        trials: usize,
+    ) -> Result<Vec<f64>, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "sample-set size k",
+                value: 0,
+            });
+        }
+        let model = Binomial::new(m, p)?;
+        let pmf = model.pmf_table();
+        let threads = self.config.threads.min(trials).max(1);
+        // The job seed mixes every parameter so distinct calibrations use
+        // independent randomness.
+        let job_seed = derive_seed(
+            self.seed,
+            derive_seed(m as u64, derive_seed(k as u64, (p * 1e9) as u64)),
+        );
+
+        if threads == 1 || trials * k < 1 << 16 {
+            return Ok(run_trials(&model, &pmf, self.config.distance, m, k, trials, job_seed));
+        }
+
+        let per = trials.div_ceil(threads);
+        let mut out: Vec<f64> = Vec::with_capacity(trials);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let pmf = &pmf;
+                let model = &model;
+                let distance = self.config.distance;
+                let count = per.min(trials.saturating_sub(t * per));
+                if count == 0 {
+                    continue;
+                }
+                let shard_seed = derive_seed(job_seed, t as u64 + 1);
+                handles.push(scope.spawn(move |_| {
+                    run_trials(model, pmf, distance, m, k, count, shard_seed)
+                }));
+            }
+            for h in handles {
+                out.extend(h.join().expect("calibration worker panicked"));
+            }
+        })
+        .expect("calibration scope panicked");
+        Ok(out)
+    }
+
+    fn p_bucket_index(&self, p: f64) -> u32 {
+        (p / self.config.p_bucket).round() as u32
+    }
+
+    fn p_bucket_center(&self, index: u32) -> f64 {
+        (index as f64 * self.config.p_bucket).clamp(0.0, 1.0)
+    }
+}
+
+/// Quantile estimation that stays meaningful beyond the Monte-Carlo
+/// resolution.
+///
+/// A Bonferroni-corrected multi-test may ask for the 99.96th percentile;
+/// with 2000 trials the empirical quantile would simply return the sample
+/// maximum. Beyond the highest quantile the sample can resolve (leaving
+/// ~10 samples in the tail), we extend with a normal tail anchored at the
+/// resolvable quantile: `ε(c) ≈ q_a + (z_c − z_a)·σ`. The distance
+/// statistic is a sum of many bounded terms, so its upper tail is
+/// approximately Gaussian; the extension is monotone in the confidence
+/// and exact at `c = a`.
+fn tail_quantile(samples: &[f64], confidence: f64) -> Result<f64, StatsError> {
+    let n = samples.len();
+    let achievable = 1.0 - (10.0 / n as f64).min(0.5);
+    if confidence <= achievable {
+        return quantile(samples, confidence);
+    }
+    let anchor = quantile(samples, achievable)?;
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1).max(1) as f64;
+    let sigma = var.sqrt();
+    if sigma == 0.0 {
+        return Ok(anchor);
+    }
+    let z_anchor = crate::ci::standard_normal_quantile(achievable);
+    let z_conf = crate::ci::standard_normal_quantile(confidence);
+    Ok(anchor + (z_conf - z_anchor) * sigma)
+}
+
+fn run_trials(
+    model: &Binomial,
+    pmf: &[f64],
+    distance: DistanceKind,
+    m: u32,
+    k: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let sampler = model.table_sampler();
+    let mut rng = seeded_rng(seed);
+    let mut out = Vec::with_capacity(trials);
+    let mut hist = Histogram::new(m).expect("support construction cannot fail");
+    let mut drawn: Vec<u32> = Vec::with_capacity(k);
+    for _ in 0..trials {
+        drawn.clear();
+        for _ in 0..k {
+            let s = sampler.sample(&mut rng);
+            hist.add(s).expect("sample within support by construction");
+            drawn.push(s);
+        }
+        let d = distance
+            .distance(&hist, pmf)
+            .expect("non-empty histogram with matching support");
+        out.push(d);
+        for &s in &drawn {
+            hist.remove(s).expect("removing what was just added");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibrator(trials: usize) -> ThresholdCalibrator {
+        ThresholdCalibrator::new(CalibrationConfig {
+            trials,
+            ..CalibrationConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = |cfg: CalibrationConfig| cfg.validate().is_err();
+        assert!(bad(CalibrationConfig {
+            trials: 1,
+            ..Default::default()
+        }));
+        assert!(bad(CalibrationConfig {
+            confidence: 1.0,
+            ..Default::default()
+        }));
+        assert!(bad(CalibrationConfig {
+            p_bucket: 0.0,
+            ..Default::default()
+        }));
+        assert!(bad(CalibrationConfig {
+            threads: 0,
+            ..Default::default()
+        }));
+        assert!(CalibrationConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let cal = calibrator(100);
+        assert!(cal.threshold(10, 0, 0.9).is_err());
+        assert!(cal.threshold(10, 10, 1.5).is_err());
+        assert!(cal.threshold_at(10, 10, 0.9, 0.0).is_err());
+    }
+
+    #[test]
+    fn threshold_is_deterministic_given_seed() {
+        let a = calibrator(500).with_seed(9).threshold(10, 20, 0.9).unwrap();
+        let b = calibrator(500).with_seed(9).threshold(10, 20, 0.9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_decreases_with_more_windows() {
+        let cal = calibrator(1500);
+        let small = cal.threshold(10, 10, 0.9).unwrap();
+        let medium = cal.threshold(10, 100, 0.9).unwrap();
+        let large = cal.threshold(10, 1000, 0.9).unwrap();
+        assert!(
+            small > medium && medium > large,
+            "ε must shrink with k: {small} {medium} {large}"
+        );
+    }
+
+    #[test]
+    fn threshold_honors_confidence_ordering() {
+        let cal = calibrator(1500);
+        let lo = cal.threshold_at(10, 50, 0.9, 0.80).unwrap();
+        let hi = cal.threshold_at(10, 50, 0.9, 0.99).unwrap();
+        assert!(lo < hi, "higher confidence ⇒ looser threshold: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn honest_samples_pass_at_roughly_the_nominal_rate() {
+        // Draw fresh honest sample-sets and check ~95% fall under ε.
+        let cal = calibrator(3000).with_seed(1);
+        let m = 10u32;
+        let k = 50usize;
+        let p = 0.9;
+        let eps = cal.threshold(m, k, p).unwrap();
+        let model = Binomial::new(m, p).unwrap();
+        let pmf = model.pmf_table();
+        let mut rng = seeded_rng(777);
+        let reps = 2000;
+        let mut passes = 0;
+        for _ in 0..reps {
+            let hist =
+                Histogram::from_samples(m, model.sample_many(&mut rng, k).into_iter()).unwrap();
+            if DistanceKind::L1.distance(&hist, &pmf).unwrap() <= eps {
+                passes += 1;
+            }
+        }
+        let rate = passes as f64 / reps as f64;
+        assert!(
+            (rate - 0.95).abs() < 0.03,
+            "honest pass rate {rate} should be near 0.95"
+        );
+    }
+
+    #[test]
+    fn degenerate_p_one_gives_zero_threshold() {
+        let cal = calibrator(200);
+        let eps = cal.threshold(10, 30, 1.0).unwrap();
+        assert_eq!(eps, 0.0);
+    }
+
+    #[test]
+    fn cache_hits_for_nearby_p_hat() {
+        let cal = calibrator(200);
+        let _ = cal.threshold(10, 30, 0.9001).unwrap();
+        let len_after_first = cal.cache_len();
+        let _ = cal.threshold(10, 30, 0.9002).unwrap();
+        assert_eq!(cal.cache_len(), len_after_first, "bucketed p̂ must share entries");
+        let _ = cal.threshold(10, 30, 0.8).unwrap();
+        assert_eq!(cal.cache_len(), len_after_first + 1);
+    }
+
+    #[test]
+    fn large_k_extrapolation_follows_sqrt_law() {
+        let cal = ThresholdCalibrator::new(CalibrationConfig {
+            trials: 800,
+            large_k_cutoff: 256,
+            ..Default::default()
+        })
+        .unwrap();
+        let base = cal.threshold(10, 256, 0.9).unwrap();
+        let far = cal.threshold(10, 1024, 0.9).unwrap();
+        assert!((far - base / 2.0).abs() < 1e-12, "√(256/1024)=1/2 scaling");
+    }
+
+    #[test]
+    fn parallel_matches_serial_distribution() {
+        let serial = ThresholdCalibrator::new(CalibrationConfig {
+            trials: 4000,
+            threads: 1,
+            ..Default::default()
+        })
+        .unwrap()
+        .with_seed(3);
+        let parallel = ThresholdCalibrator::new(CalibrationConfig {
+            trials: 4000,
+            threads: 4,
+            ..Default::default()
+        })
+        .unwrap()
+        .with_seed(3);
+        // Not bit-identical (different stream layout), but the quantiles of
+        // the same distribution must agree closely at 4000 trials.
+        let a = serial.threshold(10, 64, 0.9).unwrap();
+        let b = parallel.threshold(10, 64, 0.9).unwrap();
+        assert!((a - b).abs() < 0.05, "serial {a} vs parallel {b}");
+    }
+
+    #[test]
+    fn distance_samples_have_requested_count() {
+        let cal = calibrator(123);
+        let s = cal.distance_samples(10, 5, 0.9).unwrap();
+        assert_eq!(s.len(), 123);
+        assert!(s.iter().all(|d| (0.0..=2.0).contains(d)));
+    }
+
+    #[test]
+    fn extreme_confidence_uses_tail_extension_monotonically() {
+        let cal = calibrator(1000);
+        let base = cal.threshold_at(10, 40, 0.9, 0.95).unwrap();
+        let high = cal.threshold_at(10, 40, 0.9, 0.999).unwrap();
+        let higher = cal.threshold_at(10, 40, 0.9, 0.99995).unwrap();
+        assert!(base < high, "{base} < {high}");
+        assert!(high < higher, "{high} < {higher}");
+        assert!(higher.is_finite() && higher < 2.0, "tail stays sane: {higher}");
+    }
+
+    #[test]
+    fn tail_extension_is_continuous_at_the_anchor() {
+        // Just below and just above the resolvable quantile must agree
+        // closely (the extension is exact at the anchor).
+        let cal = calibrator(2000);
+        let achievable = 1.0 - 10.0 / 2000.0; // 0.995
+        let below = cal.threshold_at(10, 40, 0.9, achievable - 1e-6).unwrap();
+        let above = cal.threshold_at(10, 40, 0.9, achievable + 1e-6).unwrap();
+        assert!((below - above).abs() < 0.05, "{below} vs {above}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Binomial confidence intervals and exact tests.
+//!
+//! Supporting tools for analyzing detection rates (Fig. 7) and for the
+//! classical "just do a binomial test" strawman the paper discusses (and
+//! rejects, because order matters and `p` is unknown).
+
+use crate::binomial::Binomial;
+use crate::error::StatsError;
+
+/// Which tail(s) an exact binomial test should consider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestSide {
+    /// `P(X ≤ observed)` — suspiciously few successes.
+    Lower,
+    /// `P(X ≥ observed)` — suspiciously many successes.
+    Upper,
+    /// Two-sided: sums all outcomes no more likely than the observed one.
+    TwoSided,
+}
+
+/// Exact binomial test: p-value of observing `successes` out of `trials`
+/// under `H0: p = p0`.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidCount`] if `trials == 0`.
+/// * [`StatsError::OutOfSupport`] if `successes > trials`.
+/// * [`StatsError::InvalidProbability`] if `p0 ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::{binomial_test, TestSide};
+///
+/// // 2 good transactions out of 20 under H0: p = 0.5 — very suspicious.
+/// let p = binomial_test(2, 20, 0.5, TestSide::Lower)?;
+/// assert!(p < 0.001);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+pub fn binomial_test(
+    successes: u32,
+    trials: u32,
+    p0: f64,
+    side: TestSide,
+) -> Result<f64, StatsError> {
+    if trials == 0 {
+        return Err(StatsError::InvalidCount {
+            what: "trials",
+            value: 0,
+        });
+    }
+    if successes > trials {
+        return Err(StatsError::OutOfSupport {
+            value: successes as u64,
+            max: trials as u64,
+        });
+    }
+    let b = Binomial::new(trials, p0)?;
+    let p = match side {
+        TestSide::Lower => b.cdf(successes),
+        TestSide::Upper => {
+            if successes == 0 {
+                1.0
+            } else {
+                b.sf(successes - 1)
+            }
+        }
+        TestSide::TwoSided => {
+            // Sum probabilities of all outcomes no more likely than observed
+            // (the standard exact two-sided construction).
+            let observed = b.pmf(successes);
+            let tol = observed * (1.0 + 1e-7);
+            (0..=trials).map(|k| b.pmf(k)).filter(|&pk| pk <= tol).sum()
+        }
+    };
+    Ok(p.min(1.0))
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Preferred over the Wald interval because reputation data is heavily
+/// skewed (p̂ near 1) where Wald collapses.
+///
+/// # Errors
+///
+/// * [`StatsError::InvalidCount`] if `trials == 0`.
+/// * [`StatsError::OutOfSupport`] if `successes > trials`.
+/// * [`StatsError::InvalidLevel`] unless `confidence ∈ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let (lo, hi) = hp_stats::wilson_interval(95, 100, 0.95)?;
+/// assert!(lo < 0.95 && 0.95 < hi);
+/// assert!(lo > 0.88 && hi < 0.99);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+pub fn wilson_interval(
+    successes: u32,
+    trials: u32,
+    confidence: f64,
+) -> Result<(f64, f64), StatsError> {
+    if trials == 0 {
+        return Err(StatsError::InvalidCount {
+            what: "trials",
+            value: 0,
+        });
+    }
+    if successes > trials {
+        return Err(StatsError::OutOfSupport {
+            value: successes as u64,
+            max: trials as u64,
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidLevel { value: confidence });
+    }
+    let z = standard_normal_quantile(0.5 + confidence / 2.0);
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (phat + z2 / (2.0 * n)) / denom;
+    let half = z * (phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Ok(((center - half).max(0.0), (center + half).min(1.0)))
+}
+
+/// Quantile of the standard normal distribution
+/// (Acklam's rational approximation; |ε| < 1.15e-9).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile level must be in (0,1), got {p}");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_test_validates_inputs() {
+        assert!(binomial_test(1, 0, 0.5, TestSide::Lower).is_err());
+        assert!(binomial_test(5, 4, 0.5, TestSide::Lower).is_err());
+        assert!(binomial_test(1, 4, 1.5, TestSide::Lower).is_err());
+    }
+
+    #[test]
+    fn lower_tail_known_value() {
+        // P(X ≤ 2) for B(10, 0.5) = (1 + 10 + 45) / 1024
+        let p = binomial_test(2, 10, 0.5, TestSide::Lower).unwrap();
+        assert!((p - 56.0 / 1024.0).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn upper_tail_known_value() {
+        // P(X ≥ 8) for B(10, 0.5) = (45 + 10 + 1) / 1024 by symmetry
+        let p = binomial_test(8, 10, 0.5, TestSide::Upper).unwrap();
+        assert!((p - 56.0 / 1024.0).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn upper_tail_zero_successes_is_one() {
+        let p = binomial_test(0, 10, 0.5, TestSide::Upper).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sided_symmetric_case() {
+        // For symmetric B(10, 0.5), two-sided p of 2 = 2 * one-sided.
+        let two = binomial_test(2, 10, 0.5, TestSide::TwoSided).unwrap();
+        let one = binomial_test(2, 10, 0.5, TestSide::Lower).unwrap();
+        assert!((two - 2.0 * one).abs() < 1e-9, "{two} vs {one}");
+    }
+
+    #[test]
+    fn two_sided_of_mode_is_one() {
+        let p = binomial_test(5, 10, 0.5, TestSide::TwoSided).unwrap();
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        let cases = [
+            (0.5, 0.0),
+            (0.975, 1.959_963_984_540_054),
+            (0.025, -1.959_963_984_540_054),
+            (0.95, 1.644_853_626_951_472),
+            (0.001, -3.090_232_306_167_813),
+        ];
+        for (p, expected) in cases {
+            let z = standard_normal_quantile(p);
+            assert!((z - expected).abs() < 1e-7, "p={p}: {z} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn wilson_interval_contains_phat_and_shrinks() {
+        let (lo1, hi1) = wilson_interval(90, 100, 0.95).unwrap();
+        assert!(lo1 < 0.9 && 0.9 < hi1);
+        let (lo2, hi2) = wilson_interval(900, 1000, 0.95).unwrap();
+        assert!(hi2 - lo2 < hi1 - lo1, "interval must shrink with n");
+    }
+
+    #[test]
+    fn wilson_interval_extreme_phat_stays_in_unit_interval() {
+        let (lo, hi) = wilson_interval(100, 100, 0.95).unwrap();
+        assert!(lo > 0.9 && hi <= 1.0);
+        let (lo, hi) = wilson_interval(0, 100, 0.95).unwrap();
+        assert!(lo >= 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn wilson_validates() {
+        assert!(wilson_interval(1, 0, 0.95).is_err());
+        assert!(wilson_interval(5, 4, 0.95).is_err());
+        assert!(wilson_interval(1, 4, 1.0).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! The multinomial distribution — multi-valued feedback extension.
+//!
+//! §3.1 of the paper notes that non-binary feedback (e.g. {positive,
+//! neutral, negative}) is handled by "replac(ing) binomial distributions in
+//! our framework with multinomial distributions". This module provides that
+//! replacement.
+
+use crate::error::StatsError;
+use crate::special::ln_factorial;
+use rand::Rng;
+
+/// A multinomial distribution over `c` categories with `n` trials.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::Multinomial;
+/// use rand::SeedableRng;
+///
+/// // positive / neutral / negative feedback over a 10-transaction window
+/// let m = Multinomial::new(10, vec![0.85, 0.10, 0.05])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let counts = m.sample(&mut rng);
+/// assert_eq!(counts.iter().sum::<u32>(), 10);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multinomial {
+    n: u32,
+    probs: Vec<f64>,
+}
+
+impl Multinomial {
+    /// Creates a multinomial distribution with `n` trials and category
+    /// probabilities `probs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::EmptyInput`] if `probs` is empty.
+    /// * [`StatsError::InvalidProbability`] if any entry lies outside `[0,1]`.
+    /// * [`StatsError::UnnormalizedProbabilities`] if the entries do not sum
+    ///   to 1 within `1e-9`.
+    pub fn new(n: u32, probs: Vec<f64>) -> Result<Self, StatsError> {
+        if probs.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "category probabilities",
+            });
+        }
+        for &p in &probs {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(StatsError::InvalidProbability { value: p });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(StatsError::UnnormalizedProbabilities { sum });
+        }
+        Ok(Multinomial { n, probs })
+    }
+
+    /// Number of trials `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Category probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Natural log of the probability mass at a count vector.
+    ///
+    /// Returns `f64::NEG_INFINITY` when `counts` has the wrong arity, does
+    /// not sum to `n`, or places mass on a zero-probability category.
+    pub fn ln_pmf(&self, counts: &[u32]) -> f64 {
+        if counts.len() != self.probs.len() {
+            return f64::NEG_INFINITY;
+        }
+        if counts.iter().map(|&c| c as u64).sum::<u64>() != self.n as u64 {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = ln_factorial(self.n as u64);
+        for (&c, &p) in counts.iter().zip(&self.probs) {
+            if p == 0.0 {
+                if c > 0 {
+                    return f64::NEG_INFINITY;
+                }
+                continue;
+            }
+            acc -= ln_factorial(c as u64);
+            acc += c as f64 * p.ln();
+        }
+        acc
+    }
+
+    /// Probability mass at a count vector.
+    pub fn pmf(&self, counts: &[u32]) -> f64 {
+        self.ln_pmf(counts).exp()
+    }
+
+    /// Draws one count vector (conditional binomial method).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        let mut remaining_n = self.n;
+        let mut remaining_p = 1.0_f64;
+        let mut out = Vec::with_capacity(self.probs.len());
+        for (i, &p) in self.probs.iter().enumerate() {
+            if i + 1 == self.probs.len() {
+                out.push(remaining_n);
+                break;
+            }
+            if remaining_n == 0 || remaining_p <= 0.0 {
+                out.push(0);
+                continue;
+            }
+            let cond = (p / remaining_p).clamp(0.0, 1.0);
+            let draw = crate::Binomial::new(remaining_n, cond)
+                .expect("conditional probability is clamped to [0,1]")
+                .sample(rng);
+            out.push(draw);
+            remaining_n -= draw;
+            remaining_p -= p;
+        }
+        out
+    }
+
+    /// Marginal distribution of category `i` — `B(n, probs[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::OutOfSupport`] if `i` is not a valid category.
+    pub fn marginal(&self, i: usize) -> Result<crate::Binomial, StatsError> {
+        let p = *self.probs.get(i).ok_or(StatsError::OutOfSupport {
+            value: i as u64,
+            max: self.probs.len() as u64 - 1,
+        })?;
+        crate::Binomial::new(self.n, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Multinomial::new(5, vec![]).is_err());
+        assert!(Multinomial::new(5, vec![0.5, 0.6]).is_err());
+        assert!(Multinomial::new(5, vec![0.5, -0.5, 1.0]).is_err());
+        assert!(Multinomial::new(5, vec![0.2, 0.3, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn pmf_binary_case_matches_binomial() {
+        let m = Multinomial::new(10, vec![0.9, 0.1]).unwrap();
+        let b = crate::Binomial::new(10, 0.9).unwrap();
+        for k in 0..=10u32 {
+            let pm = m.pmf(&[k, 10 - k]);
+            let pb = b.pmf(k);
+            assert!((pm - pb).abs() < 1e-12, "k={k}: {pm} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn pmf_rejects_malformed_counts() {
+        let m = Multinomial::new(10, vec![0.5, 0.5]).unwrap();
+        assert_eq!(m.pmf(&[5, 4]), 0.0); // sums to 9
+        assert_eq!(m.pmf(&[10]), 0.0); // wrong arity
+    }
+
+    #[test]
+    fn pmf_sums_to_one_three_categories() {
+        let m = Multinomial::new(6, vec![0.5, 0.3, 0.2]).unwrap();
+        let mut total = 0.0;
+        for a in 0..=6u32 {
+            for b in 0..=(6 - a) {
+                let c = 6 - a - b;
+                total += m.pmf(&[a, b, c]);
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+    }
+
+    #[test]
+    fn zero_probability_category() {
+        let m = Multinomial::new(4, vec![0.7, 0.0, 0.3]).unwrap();
+        assert_eq!(m.pmf(&[2, 1, 1]), 0.0);
+        assert!(m.pmf(&[3, 0, 1]) > 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let counts = m.sample(&mut rng);
+            assert_eq!(counts[1], 0, "never sample a zero-probability category");
+        }
+    }
+
+    #[test]
+    fn samples_sum_to_n_and_match_marginals() {
+        let m = Multinomial::new(10, vec![0.85, 0.10, 0.05]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let trials = 20_000;
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            let counts = m.sample(&mut rng);
+            assert_eq!(counts.iter().sum::<u32>(), 10);
+            for (s, &c) in sums.iter_mut().zip(&counts) {
+                *s += c as u64;
+            }
+        }
+        for (i, &expected_p) in [0.85, 0.10, 0.05].iter().enumerate() {
+            let mean = sums[i] as f64 / trials as f64;
+            assert!(
+                (mean - 10.0 * expected_p).abs() < 0.1,
+                "category {i} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_is_binomial() {
+        let m = Multinomial::new(12, vec![0.6, 0.4]).unwrap();
+        let marg = m.marginal(0).unwrap();
+        assert_eq!(marg.n(), 12);
+        assert!((marg.p() - 0.6).abs() < 1e-15);
+        assert!(m.marginal(2).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Quantiles of finite samples.
+//!
+//! Threshold calibration takes the 95th percentile of a Monte-Carlo sample
+//! of distribution distances (§3.2: "ε is selected such that 95% of the
+//! distances of the generated sample sets are smaller than ε").
+
+use crate::error::StatsError;
+
+/// Returns the `q`-quantile of `samples` using linear interpolation between
+/// order statistics (type-7, the R/NumPy default).
+///
+/// The input does not need to be sorted; a sorted copy is made internally.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyInput`] if `samples` is empty.
+/// * [`StatsError::InvalidLevel`] unless `q ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let median = hp_stats::quantile(&[3.0, 1.0, 2.0], 0.5)?;
+/// assert!((median - 2.0).abs() < 1e-12);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+pub fn quantile(samples: &[f64], q: f64) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput { what: "quantile" });
+    }
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(StatsError::InvalidLevel { value: q });
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Like [`quantile`] but assumes `sorted` is already ascending.
+///
+/// Useful when many quantiles are taken from one sample (e.g. reporting a
+/// whole threshold curve from one calibration run).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice is empty; callers are expected to
+/// have validated through [`quantile`]'s error path first.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+    }
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let xs = [5.0, -1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), -1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert!((quantile(&[1.0, 2.0, 3.0], 0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        // numpy.quantile([1,2,3,4], 0.95) = 3.85
+        let q = quantile(&[1.0, 2.0, 3.0, 4.0], 0.95).unwrap();
+        assert!((q - 3.85).abs() < 1e-12, "got {q}");
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.3).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let q = quantile(&[9.0, 1.0, 5.0, 3.0, 7.0], 0.5).unwrap();
+        assert!((q - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let xs: Vec<f64> = (0..57).map(|i| ((i * 31) % 57) as f64).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = quantile(&xs, q).unwrap();
+            assert!(v >= prev - 1e-12, "q={q}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic random number generation.
+//!
+//! Every simulation and calibration in this workspace is reproducible from a
+//! single `u64` seed. Sub-streams (per entity, per replication, per Monte-
+//! Carlo shard) are derived with [`derive_seed`], a SplitMix64 finalizer, so
+//! seeds never collide by accident the way `seed + i` schemes do.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a deterministic RNG from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::RngExt;
+///
+/// let mut a = hp_stats::seeded_rng(7);
+/// let mut b = hp_stats::seeded_rng(7);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent child seed from a parent seed and a stream label.
+///
+/// Mixes both inputs through SplitMix64, which is a bijective avalanche
+/// function — distinct `(seed, stream)` pairs map to well-separated outputs.
+///
+/// # Examples
+///
+/// ```
+/// let a = hp_stats::derive_seed(1, 0);
+/// let b = hp_stats::derive_seed(1, 1);
+/// let c = hp_stats::derive_seed(2, 0);
+/// assert_ne!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(12345);
+        let mut b = seeded_rng(12345);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derived_seeds_have_no_small_collisions() {
+        let mut seen = HashSet::new();
+        for seed in 0..50u64 {
+            for stream in 0..50u64 {
+                assert!(
+                    seen.insert(derive_seed(seed, stream)),
+                    "collision at ({seed},{stream})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derive_seed_differs_from_naive_addition() {
+        // (1, 1) and (2, 0) would collide under seed+stream.
+        assert_ne!(derive_seed(1, 1), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn derived_streams_look_independent() {
+        // Crude check: correlation of first outputs across adjacent streams
+        // should not be structurally identical.
+        let xs: Vec<u64> = (0..64)
+            .map(|s| seeded_rng(derive_seed(42, s)).random::<u64>())
+            .collect();
+        let distinct: HashSet<&u64> = xs.iter().collect();
+        assert_eq!(distinct.len(), xs.len());
+    }
+}

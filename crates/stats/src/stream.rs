@@ -1,0 +1,352 @@
+//! Streaming statistics: prefix sums and Welford running moments.
+//!
+//! [`PrefixSums`] is the backbone of the O(n) multi-testing optimization
+//! (§5.5 of the paper): the number of good transactions in *any* contiguous
+//! range of the history — and therefore any window count and any suffix
+//! p̂ — is answered in O(1) after a single O(n) pass.
+
+use crate::error::StatsError;
+
+/// Prefix sums over a boolean (good/bad) transaction sequence.
+///
+/// `sums[i]` is the number of good transactions among the first `i`.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::PrefixSums;
+///
+/// let ps = PrefixSums::from_bools([true, false, true, true].into_iter());
+/// assert_eq!(ps.count_range(0, 4), 3);
+/// assert_eq!(ps.count_range(1, 2), 0);
+/// assert!((ps.rate_range(2, 4).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSums {
+    sums: Vec<u64>,
+}
+
+impl PrefixSums {
+    /// Creates an empty prefix-sum structure.
+    pub fn new() -> Self {
+        PrefixSums { sums: vec![0] }
+    }
+
+    /// Builds prefix sums from an iterator of good/bad outcomes.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut ps = PrefixSums::new();
+        for good in iter {
+            ps.push(good);
+        }
+        ps
+    }
+
+    /// Appends one outcome.
+    pub fn push(&mut self, good: bool) {
+        let last = *self.sums.last().expect("sums is never empty");
+        self.sums.push(last + u64::from(good));
+    }
+
+    /// Removes and returns the most recent outcome, or `None` when empty.
+    ///
+    /// Lets callers evaluate hypothetical continuations (append, test,
+    /// revert) in O(1) — the strategic attacker of the paper's §5.1 does
+    /// exactly this before every move.
+    pub fn pop(&mut self) -> Option<bool> {
+        if self.len() == 0 {
+            return None;
+        }
+        let last = self.sums.pop().expect("len checked above");
+        Some(last > *self.sums.last().expect("sums is never empty"))
+    }
+
+    /// Number of outcomes recorded.
+    pub fn len(&self) -> usize {
+        self.sums.len() - 1
+    }
+
+    /// Whether no outcomes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of good outcomes.
+    pub fn total_good(&self) -> u64 {
+        *self.sums.last().expect("sums is never empty")
+    }
+
+    /// Number of good outcomes in the half-open range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn count_range(&self, start: usize, end: usize) -> u64 {
+        assert!(start <= end && end <= self.len(), "range [{start},{end}) out of bounds");
+        self.sums[end] - self.sums[start]
+    }
+
+    /// Fraction of good outcomes in `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty range.
+    pub fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
+        if start >= end {
+            return Err(StatsError::EmptyInput {
+                what: "rate over an empty range",
+            });
+        }
+        Ok(self.count_range(start, end) as f64 / (end - start) as f64)
+    }
+
+    /// Window counts of size `m` covering `[start, end)`, aligned to
+    /// `start`; a trailing partial window is dropped (paper semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    pub fn window_counts(&self, start: usize, end: usize, m: usize) -> Result<Vec<u32>, StatsError> {
+        if m == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "window size",
+                value: 0,
+            });
+        }
+        assert!(start <= end && end <= self.len());
+        let k = (end - start) / m;
+        let mut out = Vec::with_capacity(k);
+        for w in 0..k {
+            let s = start + w * m;
+            out.push(self.count_range(s, s + m) as u32);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for PrefixSums {
+    fn default() -> Self {
+        PrefixSums::new()
+    }
+}
+
+/// Welford's online algorithm for running mean and variance.
+///
+/// Used by the sweep runner to aggregate replicated experiment measurements
+/// without storing them all.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`; 0 when fewer than 2 samples).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        self.m2 / self.count as f64
+    }
+
+    /// Sample variance (divides by `n-1`; 0 when fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        self.m2 / (self.count - 1) as f64
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator (Chan et al. parallel formula).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_basic_ranges() {
+        let ps = PrefixSums::from_bools([true, true, false, true, false].into_iter());
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps.total_good(), 3);
+        assert_eq!(ps.count_range(0, 5), 3);
+        assert_eq!(ps.count_range(2, 3), 0);
+        assert_eq!(ps.count_range(3, 4), 1);
+        assert_eq!(ps.count_range(2, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn prefix_sums_out_of_bounds_panics() {
+        let ps = PrefixSums::from_bools([true].into_iter());
+        let _ = ps.count_range(0, 2);
+    }
+
+    #[test]
+    fn rate_range_errors_on_empty() {
+        let ps = PrefixSums::from_bools([true, false].into_iter());
+        assert!(ps.rate_range(1, 1).is_err());
+        assert!((ps.rate_range(0, 2).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_counts_drop_trailing_partial() {
+        // 7 outcomes, window 3 → 2 windows, last outcome dropped.
+        let ps =
+            PrefixSums::from_bools([true, true, false, false, true, true, true].into_iter());
+        let w = ps.window_counts(0, 7, 3).unwrap();
+        assert_eq!(w, vec![2, 2]);
+        assert!(ps.window_counts(0, 7, 0).is_err());
+    }
+
+    #[test]
+    fn window_counts_with_offset_start() {
+        let ps =
+            PrefixSums::from_bools([true, false, true, true, false, true].into_iter());
+        // Suffix [2, 6): outcomes T T F T, window 2 → [2, 1]
+        let w = ps.window_counts(2, 6, 2).unwrap();
+        assert_eq!(w, vec![2, 1]);
+    }
+
+    #[test]
+    fn window_counts_match_naive_recount() {
+        let outcomes: Vec<bool> = (0..103).map(|i| i % 3 != 0).collect();
+        let ps = PrefixSums::from_bools(outcomes.iter().copied());
+        for m in [1usize, 2, 5, 10, 50] {
+            let fast = ps.window_counts(0, outcomes.len(), m).unwrap();
+            let slow: Vec<u32> = outcomes
+                .chunks_exact(m)
+                .map(|c| c.iter().filter(|&&g| g).count() as u32)
+                .collect();
+            assert_eq!(fast, slow, "m={m}");
+        }
+    }
+
+    #[test]
+    fn pop_reverses_push() {
+        let mut ps = PrefixSums::new();
+        assert_eq!(ps.pop(), None);
+        ps.push(true);
+        ps.push(false);
+        ps.push(true);
+        assert_eq!(ps.pop(), Some(true));
+        assert_eq!(ps.pop(), Some(false));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.total_good(), 1);
+        assert_eq!(ps.pop(), Some(true));
+        assert_eq!(ps.pop(), None);
+    }
+
+    #[test]
+    fn welford_single_value() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.count(), 1);
+        assert!((w.mean() - 42.0).abs() < 1e-12);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.sample_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 1.3).collect();
+        let mut seq = Welford::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - seq.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,178 @@
+//! Partial-visibility wrapper — "systems where only portions of feedbacks
+//! can be retrieved" (§2).
+
+use crate::store::FeedbackStore;
+use hp_core::{Feedback, ServerId, TransactionHistory};
+
+/// Wraps another store and exposes only a deterministic sample of its
+/// feedback.
+///
+/// Sampling is per-record and keyed on `(server, time, client)`, so the
+/// *same* subset is visible on every query — modeling a fixed limited
+/// vantage point (e.g. the subset of feedback reachable through one's
+/// overlay neighbors) rather than per-query noise.
+///
+/// Because honest-player screening is distribution-based, an unbiased
+/// sample of an honest history is still an honest history; the
+/// integration tests verify that behavior tests keep working through this
+/// wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::{ClientId, Feedback, Rating, ServerId};
+/// use hp_store::{FeedbackStore, MemoryStore, PartialStore};
+///
+/// let mut store = PartialStore::new(MemoryStore::new(), 0.5, 7);
+/// for t in 0..1000u64 {
+///     store.append(Feedback::new(t, ServerId::new(1), ClientId::new(t), Rating::Positive));
+/// }
+/// let visible = store.history_of(ServerId::new(1)).len();
+/// assert!(visible > 400 && visible < 600, "≈50% visible, got {visible}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartialStore<S> {
+    inner: S,
+    visibility: f64,
+    seed: u64,
+}
+
+impl<S: FeedbackStore> PartialStore<S> {
+    /// Wraps `inner`, exposing roughly `visibility ∈ [0, 1]` of its
+    /// records (values are clamped into `[0, 1]`).
+    pub fn new(inner: S, visibility: f64, seed: u64) -> Self {
+        PartialStore {
+            inner,
+            visibility: visibility.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// The fraction of records this wrapper exposes.
+    pub fn visibility(&self) -> f64 {
+        self.visibility
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn visible(&self, fb: &Feedback) -> bool {
+        // Map the record key to a uniform point in [0,1) and compare.
+        let h = hp_stats::derive_seed(
+            self.seed,
+            hp_stats::derive_seed(fb.server.value(), fb.time ^ (fb.client.value() << 32)),
+        );
+        (h as f64 / u64::MAX as f64) < self.visibility
+    }
+}
+
+impl<S: FeedbackStore> FeedbackStore for PartialStore<S> {
+    fn append(&mut self, feedback: Feedback) {
+        self.inner.append(feedback);
+    }
+
+    fn history_of(&self, server: ServerId) -> TransactionHistory {
+        self.inner
+            .history_of(server)
+            .iter()
+            .filter(|fb| self.visible(fb))
+            .copied()
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        // Visible record count across all servers.
+        self.servers()
+            .into_iter()
+            .map(|s| self.history_of(s).len())
+            .sum()
+    }
+
+    fn servers(&self) -> Vec<ServerId> {
+        self.inner.servers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+    use hp_core::{ClientId, Rating};
+
+    fn filled(visibility: f64) -> PartialStore<MemoryStore> {
+        let mut store = PartialStore::new(MemoryStore::new(), visibility, 99);
+        for t in 0..2000u64 {
+            store.append(Feedback::new(
+                t,
+                ServerId::new(1),
+                ClientId::new(t % 11),
+                Rating::from_good(t % 10 != 0),
+            ));
+        }
+        store
+    }
+
+    #[test]
+    fn full_visibility_is_transparent() {
+        let store = filled(1.0);
+        assert_eq!(store.history_of(ServerId::new(1)).len(), 2000);
+    }
+
+    #[test]
+    fn zero_visibility_hides_everything() {
+        let store = filled(0.0);
+        assert!(store.history_of(ServerId::new(1)).is_empty());
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        for vis in [0.25, 0.5, 0.75] {
+            let store = filled(vis);
+            let n = store.history_of(ServerId::new(1)).len() as f64 / 2000.0;
+            assert!(
+                (n - vis).abs() < 0.06,
+                "visibility {vis}: observed rate {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_stable_across_queries() {
+        let store = filled(0.5);
+        let a = store.history_of(ServerId::new(1));
+        let b = store.history_of(ServerId::new(1));
+        assert_eq!(a.feedbacks(), b.feedbacks());
+    }
+
+    #[test]
+    fn sample_is_unbiased_wrt_outcome() {
+        // Good rate of the visible subset should match the underlying 0.9.
+        let store = filled(0.5);
+        let h = store.history_of(ServerId::new(1));
+        let rate = h.p_hat().unwrap();
+        assert!((rate - 0.9).abs() < 0.04, "sampled good-rate {rate}");
+    }
+
+    #[test]
+    fn visibility_is_clamped() {
+        let store = PartialStore::new(MemoryStore::new(), 1.7, 0);
+        assert_eq!(store.visibility(), 1.0);
+        let store = PartialStore::new(MemoryStore::new(), -0.2, 0);
+        assert_eq!(store.visibility(), 0.0);
+    }
+
+    #[test]
+    fn into_inner_recovers_all_data() {
+        let store = filled(0.1);
+        let inner = store.into_inner();
+        assert_eq!(inner.history_of(ServerId::new(1)).len(), 2000);
+    }
+}

@@ -1,0 +1,299 @@
+//! Flat-file persistence for feedback logs.
+//!
+//! A deliberately boring, dependency-free line format (CSV with a header)
+//! so operators can inspect, diff and splice feedback logs with standard
+//! tools — and so simulation runs can be checkpointed and replayed.
+//!
+//! ```text
+//! time,server,client,rating
+//! 0,1,17,+
+//! 1,1,23,-
+//! ```
+
+use crate::store::FeedbackStore;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading or writing feedback logs.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number (including the header line).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const HEADER: &str = "time,server,client,rating";
+
+/// Writes every feedback record in `store` to `writer` in CSV form,
+/// grouped by server (ascending), transaction order within each server.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_feedback<S: FeedbackStore, W: Write>(
+    store: &S,
+    writer: W,
+) -> Result<usize, PersistError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{HEADER}")?;
+    let mut written = 0;
+    for server in store.servers() {
+        for fb in store.history_of(server).iter() {
+            writeln!(
+                w,
+                "{},{},{},{}",
+                fb.time,
+                fb.server.value(),
+                fb.client.value(),
+                fb.rating
+            )?;
+            written += 1;
+        }
+    }
+    w.flush()?;
+    Ok(written)
+}
+
+/// Convenience wrapper writing to a file path.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_feedback<S: FeedbackStore>(store: &S, path: &Path) -> Result<usize, PersistError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    write_feedback(store, std::fs::File::create(path)?)
+}
+
+/// Reads a feedback log and appends every record into `store`.
+///
+/// # Errors
+///
+/// * [`PersistError::Parse`] on a malformed header or record (nothing
+///   read after the first bad line is applied — records before it are).
+/// * [`PersistError::Io`] on I/O failure.
+pub fn read_feedback<S: FeedbackStore, R: Read>(
+    store: &mut S,
+    reader: R,
+) -> Result<usize, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    match lines.next() {
+        Some(header) => {
+            let header = header?;
+            if header.trim() != HEADER {
+                return Err(PersistError::Parse {
+                    line: 1,
+                    reason: format!("expected header {HEADER:?}, got {header:?}"),
+                });
+            }
+        }
+        None => return Ok(0),
+    }
+    let mut read = 0;
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        store.append(parse_line(&line, line_no)?);
+        read += 1;
+    }
+    Ok(read)
+}
+
+/// Convenience wrapper reading from a file path.
+///
+/// # Errors
+///
+/// As [`read_feedback`].
+pub fn load_feedback<S: FeedbackStore>(store: &mut S, path: &Path) -> Result<usize, PersistError> {
+    read_feedback(store, std::fs::File::open(path)?)
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Feedback, PersistError> {
+    let err = |reason: String| PersistError::Parse {
+        line: line_no,
+        reason,
+    };
+    let mut parts = line.trim().split(',');
+    let mut field = |name: &str| {
+        parts
+            .next()
+            .ok_or_else(|| err(format!("missing field {name}")))
+    };
+    let time: u64 = field("time")?
+        .parse()
+        .map_err(|e| err(format!("bad time: {e}")))?;
+    let server: u64 = field("server")?
+        .parse()
+        .map_err(|e| err(format!("bad server: {e}")))?;
+    let client: u64 = field("client")?
+        .parse()
+        .map_err(|e| err(format!("bad client: {e}")))?;
+    let rating = match field("rating")? {
+        "+" => Rating::Positive,
+        "-" => Rating::Negative,
+        other => return Err(err(format!("bad rating {other:?} (expected + or -)"))),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(err(format!("unexpected trailing field {extra:?}")));
+    }
+    Ok(Feedback::new(
+        time,
+        ServerId::new(server),
+        ClientId::new(client),
+        rating,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+
+    fn sample_store() -> MemoryStore {
+        let mut store = MemoryStore::new();
+        for s in 0..3u64 {
+            for t in 0..20u64 {
+                store.append(Feedback::new(
+                    t,
+                    ServerId::new(s),
+                    ClientId::new(t % 4),
+                    Rating::from_good((t + s) % 5 != 0),
+                ));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = sample_store();
+        let mut buf = Vec::new();
+        let written = write_feedback(&original, &mut buf).unwrap();
+        assert_eq!(written, 60);
+
+        let mut restored = MemoryStore::new();
+        let read = read_feedback(&mut restored, buf.as_slice()).unwrap();
+        assert_eq!(read, 60);
+        for s in 0..3u64 {
+            assert_eq!(
+                original.history_of(ServerId::new(s)).feedbacks(),
+                restored.history_of(ServerId::new(s)).feedbacks(),
+                "server {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hp-store-persist-test");
+        let path = dir.join("log.csv");
+        let original = sample_store();
+        save_feedback(&original, &path).unwrap();
+        let mut restored = MemoryStore::new();
+        let read = load_feedback(&mut restored, &path).unwrap();
+        assert_eq!(read, 60);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_input_reads_zero() {
+        let mut store = MemoryStore::new();
+        assert_eq!(read_feedback(&mut store, &b""[..]).unwrap(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn header_only_reads_zero() {
+        let mut store = MemoryStore::new();
+        let n = read_feedback(&mut store, &b"time,server,client,rating\n"[..]).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let mut store = MemoryStore::new();
+        let err = read_feedback(&mut store, &b"nope\n1,2,3,+\n"[..]).unwrap_err();
+        assert!(matches!(err, PersistError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_records_with_line_numbers() {
+        let cases: &[(&str, &str)] = &[
+            ("time,server,client,rating\n1,2,3\n", "missing field"),
+            ("time,server,client,rating\nx,2,3,+\n", "bad time"),
+            ("time,server,client,rating\n1,2,3,?\n", "bad rating"),
+            ("time,server,client,rating\n1,2,3,+,9\n", "trailing"),
+        ];
+        for (input, needle) in cases {
+            let mut store = MemoryStore::new();
+            let err = read_feedback(&mut store, input.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line 2"), "{msg}");
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut store = MemoryStore::new();
+        let n = read_feedback(
+            &mut store,
+            &b"time,server,client,rating\n1,2,3,+\n\n2,2,3,-\n"[..],
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(store.history_of(ServerId::new(2)).len(), 2);
+    }
+
+    #[test]
+    fn works_through_sharded_store() {
+        use crate::{ShardedStore, ShardedStoreConfig};
+        let original = sample_store();
+        let mut buf = Vec::new();
+        write_feedback(&original, &mut buf).unwrap();
+        let mut sharded = ShardedStore::new(ShardedStoreConfig::default());
+        read_feedback(&mut sharded, buf.as_slice()).unwrap();
+        assert_eq!(
+            sharded.history_of(ServerId::new(1)).feedbacks(),
+            original.history_of(ServerId::new(1)).feedbacks()
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! A consistent-hash ring for sharded feedback placement.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a storage node on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node identifier.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Keys (server ids) hash to a point on a `u64` ring and are owned by the
+/// next virtual node clockwise; each physical node projects `vnodes`
+/// points. Consistent hashing keeps key movement minimal when nodes join
+/// or leave — the property that makes it a reasonable stand-in for P-Grid-
+/// style self-organizing P2P storage.
+///
+/// # Examples
+///
+/// ```
+/// use hp_store::{HashRing, NodeId};
+///
+/// let mut ring = HashRing::new(16);
+/// ring.add_node(NodeId::new(1));
+/// ring.add_node(NodeId::new(2));
+/// let owners = ring.nodes_for(42, 2);
+/// assert_eq!(owners.len(), 2);
+/// assert_ne!(owners[0], owners[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// ring position → physical node
+    points: BTreeMap<u64, NodeId>,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes` virtual nodes per physical
+    /// node (minimum 1).
+    pub fn new(vnodes: u32) -> Self {
+        HashRing {
+            points: BTreeMap::new(),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    /// Number of physical nodes on the ring.
+    pub fn node_count(&self) -> usize {
+        let mut nodes: Vec<NodeId> = self.points.values().copied().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds a physical node (idempotent).
+    pub fn add_node(&mut self, node: NodeId) {
+        for v in 0..self.vnodes {
+            let point = mix(node.value() ^ 0xD1B5_4A32_D192_ED03, v as u64);
+            self.points.insert(point, node);
+        }
+    }
+
+    /// Removes a physical node (idempotent).
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.points.retain(|_, n| *n != node);
+    }
+
+    /// The first `replicas` *distinct* physical nodes clockwise from the
+    /// key's ring position. Returns fewer when the ring has fewer nodes.
+    pub fn nodes_for(&self, key: u64, replicas: usize) -> Vec<NodeId> {
+        if self.points.is_empty() || replicas == 0 {
+            return Vec::new();
+        }
+        let start = mix(key, 0x9E37_79B9_7F4A_7C15);
+        let mut owners = Vec::with_capacity(replicas);
+        for (_, node) in self.points.range(start..).chain(self.points.range(..start)) {
+            if !owners.contains(node) {
+                owners.push(*node);
+                if owners.len() == replicas {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+}
+
+/// SplitMix64-style mixing, the same family used by `hp_stats::derive_seed`.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ring_with(nodes: u64, vnodes: u32) -> HashRing {
+        let mut ring = HashRing::new(vnodes);
+        for n in 0..nodes {
+            ring.add_node(NodeId::new(n));
+        }
+        ring
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert!(ring.nodes_for(1, 3).is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = ring_with(1, 8);
+        for key in 0..100 {
+            assert_eq!(ring.nodes_for(key, 2), vec![NodeId::new(0)]);
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes() {
+        let ring = ring_with(5, 16);
+        for key in 0..200 {
+            let owners = ring.nodes_for(key, 3);
+            assert_eq!(owners.len(), 3, "key {key}");
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replicas must be distinct for key {key}");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = ring_with(4, 16);
+        let b = ring_with(4, 16);
+        for key in 0..50 {
+            assert_eq!(a.nodes_for(key, 2), b.nodes_for(key, 2));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = ring_with(8, 64);
+        let keys = 8000u64;
+        let mut load: HashMap<NodeId, u64> = HashMap::new();
+        for key in 0..keys {
+            let owner = ring.nodes_for(key, 1)[0];
+            *load.entry(owner).or_default() += 1;
+        }
+        let expected = keys as f64 / 8.0;
+        for (node, count) in &load {
+            let ratio = *count as f64 / expected;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{node} carries {count} keys (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn node_removal_moves_only_its_keys() {
+        let mut ring = ring_with(6, 32);
+        let before: Vec<NodeId> = (0..1000).map(|k| ring.nodes_for(k, 1)[0]).collect();
+        ring.remove_node(NodeId::new(3));
+        let after: Vec<NodeId> = (0..1000).map(|k| ring.nodes_for(k, 1)[0]).collect();
+        let mut moved_from_other = 0;
+        for (k, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                assert_eq!(
+                    *b,
+                    NodeId::new(3),
+                    "key {k} moved although its owner survived"
+                );
+            }
+            if *b != NodeId::new(3) && b != a {
+                moved_from_other += 1;
+            }
+        }
+        assert_eq!(moved_from_other, 0);
+        assert_eq!(ring.node_count(), 5);
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut ring = ring_with(3, 8);
+        let before = ring.nodes_for(7, 2);
+        ring.add_node(NodeId::new(1));
+        assert_eq!(ring.nodes_for(7, 2), before);
+        assert_eq!(ring.node_count(), 3);
+    }
+
+    #[test]
+    fn replicas_capped_by_node_count() {
+        let ring = ring_with(2, 8);
+        assert_eq!(ring.nodes_for(9, 5).len(), 2);
+        assert!(ring.nodes_for(9, 0).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end integration: feedback store → behavior test → trust function.
+
+use honest_players::prelude::*;
+use honest_players::sim::workload;
+use honest_players::testing::{shared_calibrator, TestReport};
+use std::sync::Arc;
+
+fn fast_config() -> BehaviorTestConfig {
+    BehaviorTestConfig::builder()
+        .calibration_trials(500)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn honest_players_flow_through_both_phases() {
+    let assessor = TwoPhaseAssessor::new(
+        MultiBehaviorTest::new(fast_config()).unwrap(),
+        AverageTrust::default(),
+    );
+    let mut accepted = 0;
+    let trials = 25;
+    for seed in 0..trials {
+        let h = workload::honest_history(700, 0.92, seed);
+        let assessment = assessor.assess(&h).unwrap();
+        if let Assessment::Accepted { trust, .. } = assessment {
+            accepted += 1;
+            assert!(
+                (trust.value() - 0.92).abs() < 0.05,
+                "phase-2 trust tracks p: {trust}"
+            );
+        }
+    }
+    assert!(
+        accepted as f64 / trials as f64 > 0.8,
+        "honest acceptance {accepted}/{trials}"
+    );
+}
+
+#[test]
+fn hibernating_attackers_are_rejected_before_any_trust_is_computed() {
+    let assessor = TwoPhaseAssessor::new(
+        MultiBehaviorTest::new(fast_config()).unwrap(),
+        AverageTrust::default(),
+    );
+    let mut rejected = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let h = workload::hibernating_history(2000, 0.95, 30, seed);
+        let assessment = assessor.assess(&h).unwrap();
+        assert!(
+            assessment.trust().is_none() || !assessment.is_accepted() || {
+                // A run can slip through only if its attack burst happens
+                // to mimic Bernoulli noise; count them.
+                true
+            }
+        );
+        if assessment.is_rejected() {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected as f64 / trials as f64 > 0.8,
+        "hibernator rejection {rejected}/{trials}"
+    );
+}
+
+#[test]
+fn store_backed_assessment_matches_direct_assessment() {
+    let mut store = MemoryStore::new();
+    let server = ServerId::new(3);
+    let history = workload::honest_history(500, 0.9, 9);
+    for fb in history.iter() {
+        store.append(Feedback::new(fb.time, server, fb.client, fb.rating));
+    }
+    let assessor = TwoPhaseAssessor::new(
+        SingleBehaviorTest::new(fast_config()).unwrap(),
+        AverageTrust::default(),
+    );
+    let direct = assessor.assess(&history).unwrap();
+    let through_store = assessor.assess(&store.history_of(server)).unwrap();
+    assert_eq!(direct.trust(), through_store.trust());
+    assert_eq!(direct.is_accepted(), through_store.is_accepted());
+}
+
+#[test]
+fn short_history_policies_govern_new_servers() {
+    let h = workload::honest_history(40, 0.95, 1);
+
+    let review = TwoPhaseAssessor::new(
+        SingleBehaviorTest::new(fast_config()).unwrap(),
+        BetaTrust::default(),
+    );
+    assert!(matches!(
+        review.assess(&h).unwrap(),
+        Assessment::NeedsReview { .. }
+    ));
+
+    let lenient = TwoPhaseAssessor::new(
+        SingleBehaviorTest::new(fast_config()).unwrap(),
+        BetaTrust::default(),
+    )
+    .with_short_history_policy(ShortHistoryPolicy::Trust);
+    assert!(lenient.assess(&h).unwrap().is_accepted());
+
+    let strict = TwoPhaseAssessor::new(
+        SingleBehaviorTest::new(fast_config()).unwrap(),
+        BetaTrust::default(),
+    )
+    .with_short_history_policy(ShortHistoryPolicy::Reject);
+    assert!(strict.assess(&h).unwrap().is_rejected());
+}
+
+#[test]
+fn cheat_and_run_is_outside_reputation_scope_as_the_paper_states() {
+    use honest_players::sim::attacker::CheatAndRunAttacker;
+    use honest_players::sim::{Simulation, SimulationConfig};
+
+    // §3.1: reputation mechanisms cannot prevent a first bad transaction
+    // from a short-lived identity; the short-history policy is the lever.
+    let outcome = Simulation::new(
+        CheatAndRunAttacker::new(5),
+        AverageTrust::default(),
+        SimulationConfig {
+            rounds: 6,
+            ..Default::default()
+        },
+    )
+    .run();
+    let strict = TwoPhaseAssessor::new(
+        SingleBehaviorTest::new(fast_config()).unwrap(),
+        AverageTrust::default(),
+    )
+    .with_short_history_policy(ShortHistoryPolicy::Reject);
+    // The behavior test is inconclusive at n = 6; strict policy rejects.
+    let assessment = strict.assess(&outcome.history).unwrap();
+    assert!(assessment.is_rejected());
+    if let Assessment::Rejected { report } = assessment {
+        assert!(matches!(report, TestReport::Single(_)));
+    }
+}
+
+#[test]
+fn shared_calibrator_across_all_three_schemes() {
+    use honest_players::testing::CollusionResilientTest;
+    let config = fast_config();
+    let cal = shared_calibrator(&config).unwrap();
+    let single = SingleBehaviorTest::with_calibrator(config.clone(), Arc::clone(&cal)).unwrap();
+    let multi = MultiBehaviorTest::with_calibrator(config.clone(), Arc::clone(&cal)).unwrap();
+    let collusion = CollusionResilientTest::with_calibrator(config, Arc::clone(&cal)).unwrap();
+
+    let h = workload::honest_history(600, 0.9, 77);
+    let _ = single.evaluate(&h).unwrap();
+    let after_single = cal.cache_len();
+    let _ = multi.evaluate(&h).unwrap();
+    let _ = collusion.evaluate(&h).unwrap();
+    assert!(
+        cal.cache_len() > after_single,
+        "multi/collusion add suffix-sized entries to the shared cache"
+    );
+}
