@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command, fully offline (all external
+# dependencies are vendored under vendor/ — see Cargo.toml).
+#
+#   ./ci.sh            # build + test + clippy
+#   ./ci.sh --quick    # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+echo "==> cargo build --release (offline, workspace)"
+if [ "$QUICK" -eq 0 ]; then
+    cargo build --offline --release --workspace
+else
+    echo "    (skipped: --quick)"
+fi
+
+echo "==> cargo test -q (offline, workspace)"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy -D warnings (offline, workspace, all targets)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> OK"

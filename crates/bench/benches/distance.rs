@@ -10,7 +10,7 @@ use std::hint::black_box;
 fn setup(k: usize) -> (Histogram, Vec<f64>) {
     let model = Binomial::new(10, 0.9).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let hist = Histogram::from_samples(10, model.sample_many(&mut rng, k).into_iter()).unwrap();
+    let hist = Histogram::from_samples(10, model.sample_many(&mut rng, k)).unwrap();
     (hist, model.pmf_table())
 }
 

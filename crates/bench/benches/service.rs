@@ -1,0 +1,137 @@
+//! Service benchmarks: ingest throughput and assess latency.
+//!
+//! Shapes to look for:
+//!
+//! * `ingest_flat/<history_len>` — mean time per ingested feedback stays
+//!   flat as the resident history grows (O(1) amortized per-feedback
+//!   update; the naive path would grow linearly with history length);
+//! * `assess_latency/shards=<n>` — p50/p99 of a single `assess` against a
+//!   warm service, improving (or at least not degrading) with shard
+//!   count;
+//! * `ingest_throughput/shards=<n>` — batched ingest feedbacks/second
+//!   versus shard count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::{ReputationService, ServiceConfig};
+use std::hint::black_box;
+
+fn fast_config(shards: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_shards(shards)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(500)
+                .build()
+                .unwrap(),
+        )
+        // Warm explicitly below instead of at start-up, so construction in
+        // the bench loop stays cheap.
+        .with_prewarm_grid(vec![], vec![])
+}
+
+fn batch(server_base: u64, servers: u64, start_t: u64, len: usize) -> Vec<Feedback> {
+    (0..len as u64)
+        .map(|i| {
+            let t = start_t + i;
+            Feedback::new(
+                t,
+                ServerId::new(server_base + t % servers),
+                ClientId::new(t % 101),
+                Rating::from_good(!t.is_multiple_of(19)),
+            )
+        })
+        .collect()
+}
+
+/// Per-feedback ingest cost as the resident history grows: pre-load one
+/// server with `history_len` feedbacks, then measure ingesting one more
+/// batch. Flat means O(1) amortized per feedback.
+fn bench_ingest_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_flat");
+    const BATCH: usize = 1_000;
+    for &history_len in &[1_000usize, 10_000, 100_000, 400_000] {
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(history_len),
+            &history_len,
+            |b, &history_len| {
+                let service = ReputationService::new(fast_config(1)).unwrap();
+                service.ingest_batch(batch(0, 1, 0, history_len)).unwrap();
+                // Drain: wait until the preload is applied before timing.
+                let _ = service.stats();
+                let mut t = history_len as u64;
+                b.iter(|| {
+                    service.ingest_batch(batch(0, 1, t, BATCH)).unwrap();
+                    t += BATCH as u64;
+                    // The stats snapshot round-trips the shard queue
+                    // (FIFO), so the measurement covers the worker's
+                    // ingest work — not just the channel send — while
+                    // keeping assessment out of the timed path.
+                    black_box(service.stats().tracked_feedbacks)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Single-query assess latency against a warm service (per-iteration time
+/// ≈ one queue round-trip + one cached or incremental assessment). The
+/// vendored Criterion prints p50/p99 for every benchmark line.
+fn bench_assess_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assess_latency");
+    const SERVERS: u64 = 64;
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &shards,
+            |b, &shards| {
+                let service = ReputationService::new(fast_config(shards)).unwrap();
+                service.ingest_batch(batch(0, SERVERS, 0, 64_000)).unwrap();
+                // Warm every per-server cache (and the calibrator).
+                for s in 0..SERVERS {
+                    let _ = service.assess(ServerId::new(s)).unwrap();
+                }
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    black_box(service.assess(ServerId::new(i % SERVERS)).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batched ingest throughput versus shard count.
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_throughput");
+    const BATCH: usize = 8_192;
+    const SERVERS: u64 = 256;
+    for &shards in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &shards,
+            |b, &shards| {
+                let service = ReputationService::new(fast_config(shards)).unwrap();
+                let mut t = 0u64;
+                b.iter(|| {
+                    service.ingest_batch(batch(0, SERVERS, t, BATCH)).unwrap();
+                    t += BATCH as u64;
+                    black_box(service.stats().ingested_feedbacks)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_ingest_flat, bench_assess_latency, bench_ingest_throughput
+}
+criterion_main!(benches);

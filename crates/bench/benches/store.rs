@@ -10,7 +10,7 @@ fn feedback(t: u64) -> Feedback {
         t,
         ServerId::new(t % 64),
         ClientId::new(t % 977),
-        Rating::from_good(t % 10 != 0),
+        Rating::from_good(!t.is_multiple_of(10)),
     )
 }
 

@@ -197,7 +197,7 @@ mod tests {
                 rng.random::<f64>() < 0.95
             } else {
                 r1_count += 1;
-                r1_count % 10 != 0
+                !r1_count.is_multiple_of(10)
             };
             h.push(Feedback::new(
                 t,

@@ -152,7 +152,7 @@ impl CollusionResilientTest {
         let reordered = PrefixSums::from_bools(history.reordered_outcomes());
         let multi = match self.depth {
             CollusionTestDepth::Multi => {
-                if self.config.step() % self.config.window_size() as usize == 0 {
+                if self.config.step().is_multiple_of(self.config.window_size() as usize) {
                     run_multi_optimized(&reordered, &self.config, &self.calibrator)?
                 } else {
                     run_multi_naive(&reordered, &self.config, &self.calibrator)?
@@ -253,7 +253,7 @@ mod tests {
                 h.push(Feedback::new(
                     t,
                     SERVER,
-                    ClientId::new(1000 + rng.random_range(0..200)),
+                    ClientId::new(1000 + rng.random_range(0..200u64)),
                     rating,
                 ));
             }

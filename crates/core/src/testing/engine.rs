@@ -39,7 +39,7 @@ pub(crate) fn run_range_test(
         WindowAlignment::End => (end - k * m, end),
     };
     let counts = prefix.window_counts(cov_start, cov_end, m)?;
-    let histogram = Histogram::from_samples(config.window_size(), counts.into_iter())?;
+    let histogram = Histogram::from_samples(config.window_size(), counts)?;
     finish_test(prefix, cov_start, cov_end, len, &histogram, config, calibrator, confidence)
 }
 
@@ -199,7 +199,7 @@ pub(crate) fn run_multi_optimized(
     calibrator: &ThresholdCalibrator,
 ) -> Result<MultiReport, CoreError> {
     let m = config.window_size() as usize;
-    if config.step() % m != 0 {
+    if !config.step().is_multiple_of(m) {
         return Err(CoreError::MisalignedStep {
             step: config.step(),
             window: config.window_size(),
@@ -361,7 +361,7 @@ mod tests {
         // 25 transactions, m=10: Start covers [0,20), End covers [5,25).
         let mut outcomes = vec![true; 25];
         outcomes[0] = false; // only visible to Start
-        let prefix = PrefixSums::from_bools(outcomes.into_iter());
+        let prefix = PrefixSums::from_bools(outcomes);
         let config = BehaviorTestConfig::builder()
             .min_windows(2)
             .build()

@@ -147,7 +147,7 @@ mod tests {
         let single = SingleBehaviorTest::new(BehaviorTestConfig::default()).unwrap();
         let h = TransactionHistory::from_outcomes(ServerId::new(1), vec![true; 200]);
         let direct = single.evaluate(&h).unwrap();
-        let by_ref = (&single).evaluate(&h).unwrap();
+        let by_ref = single.evaluate(&h).unwrap();
         assert_eq!(direct, by_ref);
         let boxed: Box<dyn BehaviorTest> = Box::new(single);
         assert_eq!(boxed.evaluate(&h).unwrap(), direct);

@@ -132,7 +132,7 @@ impl MultiBehaviorTest {
                 run_multi_optimized(prefix, &self.config, &self.calibrator)
             }
             MultiTestMode::Auto => {
-                if self.config.step() % self.config.window_size() as usize == 0 {
+                if self.config.step().is_multiple_of(self.config.window_size() as usize) {
                     run_multi_optimized(prefix, &self.config, &self.calibrator)
                 } else {
                     run_multi_naive(prefix, &self.config, &self.calibrator)

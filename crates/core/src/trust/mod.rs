@@ -188,7 +188,7 @@ mod tests {
         let avg = AverageTrust::default();
         let h = TransactionHistory::from_outcomes(ServerId::new(1), [true, true, false, true]);
         let direct = avg.trust(&h);
-        let via_ref = (&avg).trust(&h);
+        let via_ref = avg.trust(&h);
         let boxed: Box<dyn TrustFunction> = Box::new(avg);
         assert_eq!(direct, via_ref);
         assert_eq!(direct, boxed.trust(&h));

@@ -5,9 +5,11 @@ use hp_experiments::figures::{
 };
 use hp_experiments::RunMode;
 
+type FigureJob = (&'static str, Box<dyn Fn() -> Vec<hp_experiments::Table>>);
+
 fn main() {
     let mode = RunMode::from_args();
-    let jobs: Vec<(&str, Box<dyn Fn() -> Vec<hp_experiments::Table>>)> = vec![
+    let jobs: Vec<FigureJob> = vec![
         (
             "fig3",
             Box::new(move || attack_cost::run(mode, attack_cost::TrustKind::Average).unwrap()),

@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn fmt_f64_behavior() {
         assert_eq!(Table::fmt_f64(3.0), "3");
-        assert_eq!(Table::fmt_f64(3.14159), "3.1416");
+        assert_eq!(Table::fmt_f64(2.89793), "2.8979");
         assert_eq!(Table::fmt_f64(f64::INFINITY), "∞");
     }
 

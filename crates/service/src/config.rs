@@ -1,0 +1,215 @@
+//! Service configuration.
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::twophase::ShortHistoryPolicy;
+use hp_core::CoreError;
+
+/// Which phase-2 trust function the service maintains incrementally.
+///
+/// Both variants have exact streaming counterparts
+/// ([`hp_core::trust::incremental`]), which is what makes per-feedback
+/// ingest O(1): the service never replays a history to refresh trust.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrustModel {
+    /// [`hp_core::trust::AverageTrust`] — trust is the good-feedback ratio.
+    Average,
+    /// [`hp_core::trust::WeightedTrust`] — EWMA with mixing factor λ.
+    Weighted {
+        /// The mixing factor λ ∈ (0, 1].
+        lambda: f64,
+    },
+}
+
+impl Default for TrustModel {
+    fn default() -> Self {
+        // The paper's experiments use λ = 0.5 (§5.1).
+        TrustModel::Weighted { lambda: 0.5 }
+    }
+}
+
+/// Configuration for [`crate::ReputationService`].
+///
+/// # Examples
+///
+/// ```
+/// use hp_service::{ServiceConfig, TrustModel};
+///
+/// let config = ServiceConfig::default()
+///     .with_shards(2)
+///     .with_trust(TrustModel::Average);
+/// assert_eq!(config.shards(), 2);
+/// config.validate()?;
+/// # Ok::<(), hp_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    shards: usize,
+    queue_capacity: usize,
+    test: BehaviorTestConfig,
+    trust: TrustModel,
+    short_history: ShortHistoryPolicy,
+    prewarm_lengths: Vec<usize>,
+    prewarm_p_hats: Vec<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            test: BehaviorTestConfig::default(),
+            trust: TrustModel::default(),
+            short_history: ShortHistoryPolicy::default(),
+            // Cover short, typical and long histories at market-realistic
+            // quality levels; the calibrator buckets p̂, so these warm the
+            // buckets real traffic will hit.
+            prewarm_lengths: vec![200, 800, 2000],
+            prewarm_p_hats: vec![0.8, 0.9, 0.95],
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Number of shard worker threads (builder style).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Per-shard command queue capacity; `0` means unbounded (builder
+    /// style). A bounded queue applies backpressure to `ingest_batch`.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The phase-1 behavior-test configuration (builder style).
+    #[must_use]
+    pub fn with_test(mut self, test: BehaviorTestConfig) -> Self {
+        self.test = test;
+        self
+    }
+
+    /// The phase-2 trust model (builder style).
+    #[must_use]
+    pub fn with_trust(mut self, trust: TrustModel) -> Self {
+        self.trust = trust;
+        self
+    }
+
+    /// Policy for histories too short to test (builder style).
+    #[must_use]
+    pub fn with_short_history(mut self, policy: ShortHistoryPolicy) -> Self {
+        self.short_history = policy;
+        self
+    }
+
+    /// Threshold pre-warm grid: history lengths × honest p̂ values
+    /// (builder style). Empty vectors disable pre-warming.
+    #[must_use]
+    pub fn with_prewarm_grid(mut self, lengths: Vec<usize>, p_hats: Vec<f64>) -> Self {
+        self.prewarm_lengths = lengths;
+        self.prewarm_p_hats = p_hats;
+        self
+    }
+
+    /// Number of shard worker threads.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Per-shard command queue capacity (`0` = unbounded).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The phase-1 behavior-test configuration.
+    pub fn test(&self) -> &BehaviorTestConfig {
+        &self.test
+    }
+
+    /// The phase-2 trust model.
+    pub fn trust(&self) -> TrustModel {
+        self.trust
+    }
+
+    /// Policy for histories too short to test.
+    pub fn short_history(&self) -> ShortHistoryPolicy {
+        self.short_history
+    }
+
+    /// The pre-warm grid as (lengths, p̂ values).
+    pub fn prewarm_grid(&self) -> (&[usize], &[f64]) {
+        (&self.prewarm_lengths, &self.prewarm_p_hats)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero shards, an invalid
+    /// trust model, a bad pre-warm grid, or an invalid behavior-test
+    /// configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.shards == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "service needs at least one shard".into(),
+            });
+        }
+        if let TrustModel::Weighted { lambda } = self.trust {
+            if !(lambda > 0.0 && lambda <= 1.0) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("weighted trust λ must lie in (0, 1], got {lambda}"),
+                });
+            }
+        }
+        for &p in &self.prewarm_p_hats {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("pre-warm p̂ must lie in [0, 1], got {p}"),
+                });
+            }
+        }
+        self.test.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServiceConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ServiceConfig::default().with_shards(0).validate().is_err());
+    }
+
+    #[test]
+    fn bad_lambda_rejected() {
+        let c = ServiceConfig::default().with_trust(TrustModel::Weighted { lambda: 1.5 });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_prewarm_p_rejected() {
+        let c = ServiceConfig::default().with_prewarm_grid(vec![100], vec![1.2]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_round_trip() {
+        let c = ServiceConfig::default()
+            .with_shards(8)
+            .with_queue_capacity(0)
+            .with_prewarm_grid(vec![500], vec![0.9]);
+        assert_eq!(c.shards(), 8);
+        assert_eq!(c.queue_capacity(), 0);
+        assert_eq!(c.prewarm_grid(), (&[500usize][..], &[0.9][..]));
+    }
+}

@@ -1,0 +1,104 @@
+//! Operational counters exposed through [`crate::ReputationService::stats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, incremented by the front end and the shard
+/// workers. Relaxed ordering everywhere: these are monotone statistics,
+/// not synchronization points.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub ingested: AtomicU64,
+    pub served: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+}
+
+impl Counters {
+    pub fn add_ingested(&self, n: u64) {
+        self.ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_served(&self, n: u64) {
+        self.served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time snapshot of service health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Feedbacks accepted by `ingest_batch` since start.
+    pub ingested_feedbacks: u64,
+    /// Assessments returned (single and batched) since start.
+    pub assessments_served: u64,
+    /// Assessments answered from the versioned cache.
+    pub cache_hits: u64,
+    /// Assessments that recomputed phase 1.
+    pub cache_misses: u64,
+    /// Commands queued per shard at snapshot time.
+    pub shard_queue_depths: Vec<usize>,
+    /// Servers with at least one feedback or assessment, summed over
+    /// shards.
+    pub tracked_servers: usize,
+    /// Feedbacks held in per-server state, summed over shards.
+    pub tracked_feedbacks: usize,
+    /// Entries in the shared threshold-calibration cache.
+    pub calibration_cache_entries: usize,
+}
+
+impl ServiceStats {
+    /// Fraction of assessments served from cache (`0.0` before any
+    /// assessment).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_and_counts() {
+        let mut s = ServiceStats {
+            ingested_feedbacks: 0,
+            assessments_served: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            shard_queue_depths: vec![],
+            tracked_servers: 0,
+            tracked_feedbacks: 0,
+            calibration_cache_entries: 0,
+        };
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::default();
+        c.add_ingested(5);
+        c.add_ingested(2);
+        c.add_served(1);
+        c.record_cache(true);
+        c.record_cache(false);
+        assert_eq!(c.ingested.load(Ordering::Relaxed), 7);
+        assert_eq!(c.served.load(Ordering::Relaxed), 1);
+        assert_eq!(c.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.cache_misses.load(Ordering::Relaxed), 1);
+    }
+}

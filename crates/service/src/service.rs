@@ -1,0 +1,464 @@
+//! The front end: shard routing, batching, and lifecycle.
+
+use crate::config::ServiceConfig;
+use crate::metrics::{Counters, ServiceStats};
+use crate::shard::{spawn_shard, Command, ShardHandle, ShardSnapshot};
+use crossbeam::channel;
+use hp_core::testing::{shared_calibrator, MultiBehaviorTest};
+use hp_core::twophase::Assessment;
+use hp_core::{CoreError, Feedback, ServerId};
+use hp_stats::ThresholdCalibrator;
+use hp_store::FeedbackStore;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by [`ReputationService`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// An assessment or configuration error from the core pipeline.
+    Core(CoreError),
+    /// A shard worker is no longer reachable (its thread exited).
+    ShardUnavailable {
+        /// Index of the unreachable shard.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Core(e) => write!(f, "assessment error: {e}"),
+            ServiceError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            ServiceError::ShardUnavailable { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+/// Per-server answers from [`ReputationService::assess_many`], in request
+/// order.
+pub type BatchAssessments = Vec<(ServerId, Result<Assessment, CoreError>)>;
+
+/// A concurrent online reputation service.
+///
+/// Feedback events are ingested in batches and routed to shard worker
+/// threads by server hash; each worker maintains per-server incremental
+/// state (history with prefix sums, streaming trust, versioned assessment
+/// cache), so ingest cost is O(1) per feedback regardless of history
+/// length and `assess` never replays a history it has already screened.
+///
+/// Verdicts are exactly those of the offline
+/// [`TwoPhaseAssessor`](hp_core::twophase::TwoPhaseAssessor) over the same
+/// feedback sequence: phase-1 thresholds come from a deterministic, shared,
+/// pre-warmed calibrator and phase-2 trust states are bit-exact streaming
+/// counterparts of the batch trust functions.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::{ClientId, Feedback, Rating, ServerId};
+/// use hp_service::{ReputationService, ServiceConfig};
+///
+/// let config = ServiceConfig::default()
+///     .with_shards(2)
+///     .with_test(
+///         hp_core::testing::BehaviorTestConfig::builder()
+///             .calibration_trials(200)
+///             .build()?,
+///     )
+///     .with_prewarm_grid(vec![], vec![]); // skip pre-warm in doctests
+/// let service = ReputationService::new(config)?;
+///
+/// let server = ServerId::new(7);
+/// let feedbacks: Vec<Feedback> = (0..300)
+///     .map(|t| Feedback::new(t, server, ClientId::new(t % 9), Rating::from_good(t % 17 != 0)))
+///     .collect();
+/// service.ingest_batch(feedbacks)?;
+/// let assessment = service.assess(server)?;
+/// assert!(assessment.trust().is_some() || assessment.is_rejected());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ReputationService {
+    config: ServiceConfig,
+    shards: Vec<ShardHandle>,
+    counters: Arc<Counters>,
+    calibrator: Arc<ThresholdCalibrator>,
+}
+
+impl ReputationService {
+    /// Starts the service: validates the configuration, pre-warms the
+    /// shared threshold-calibration cache over the configured grid, and
+    /// spawns one worker thread per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Core`] for an invalid configuration or a
+    /// calibration failure during pre-warm.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let calibrator = shared_calibrator(config.test())?;
+
+        // Pre-warm: evaluating a synthetic honest history of length n at
+        // quality p requests exactly the (m, k, p̂-bucket, confidence)
+        // threshold entries that live traffic with similar histories will
+        // need, through the same public code path.
+        let warm_test =
+            MultiBehaviorTest::with_calibrator(config.test().clone(), Arc::clone(&calibrator))?;
+        let (lengths, p_hats) = config.prewarm_grid();
+        for (i, &len) in lengths.iter().enumerate() {
+            for (j, &p) in p_hats.iter().enumerate() {
+                let seed = hp_stats::derive_seed(0x5EED_5E2F, (i * p_hats.len() + j) as u64);
+                let history = hp_sim::workload::honest_history(len, p, seed);
+                warm_test.evaluate_detailed(&history)?;
+            }
+        }
+
+        let counters = Arc::new(Counters::default());
+        let mut shards = Vec::with_capacity(config.shards());
+        for _ in 0..config.shards() {
+            let test =
+                MultiBehaviorTest::with_calibrator(config.test().clone(), Arc::clone(&calibrator))?;
+            shards.push(spawn_shard(
+                test,
+                config.trust(),
+                config.short_history(),
+                Arc::clone(&counters),
+                config.queue_capacity(),
+            ));
+        }
+        Ok(ReputationService {
+            config,
+            shards,
+            counters,
+            calibrator,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shard a server's feedback and queries are routed to.
+    pub fn shard_of(&self, server: ServerId) -> usize {
+        // SplitMix64 finalizer: ServerIds are often sequential, so spread
+        // them before taking the residue.
+        let mut z = server.value().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingests a batch of feedback events, routing each to its server's
+    /// shard. Returns the number of feedbacks accepted.
+    ///
+    /// Within a batch, per-server order is preserved; a subsequent
+    /// [`Self::assess`] for any of these servers observes the whole batch
+    /// (FIFO per shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::ShardUnavailable`] if a worker has exited;
+    /// feedbacks routed to other shards in the same call are still
+    /// ingested.
+    pub fn ingest_batch(
+        &self,
+        feedbacks: impl IntoIterator<Item = Feedback>,
+    ) -> Result<usize, ServiceError> {
+        let mut per_shard: Vec<Vec<Feedback>> = vec![Vec::new(); self.shards.len()];
+        let mut total = 0usize;
+        for feedback in feedbacks {
+            per_shard[self.shard_of(feedback.server)].push(feedback);
+            total += 1;
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.shards[shard]
+                .send(Command::Ingest(batch))
+                .map_err(|()| ServiceError::ShardUnavailable { shard })?;
+        }
+        self.counters.add_ingested(total as u64);
+        Ok(total)
+    }
+
+    /// Loads every server history from `store` into the service.
+    ///
+    /// Returns the number of feedbacks ingested. Use this to warm-start
+    /// from a persisted feedback log (e.g. [`hp_store::MemoryStore`] or a
+    /// sharded store healed after failures).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ingest_batch`].
+    pub fn ingest_store(&self, store: &dyn FeedbackStore) -> Result<usize, ServiceError> {
+        let mut total = 0usize;
+        for server in store.servers() {
+            let history = store.history_of(server);
+            total += self.ingest_batch(history.iter().copied())?;
+        }
+        Ok(total)
+    }
+
+    /// Assesses one server: phase-1 behavior screening plus phase-2 trust,
+    /// answered from the versioned cache when the history is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Core`] for assessment failures,
+    /// [`ServiceError::ShardUnavailable`] if the worker is gone.
+    pub fn assess(&self, server: ServerId) -> Result<Assessment, ServiceError> {
+        let shard = self.shard_of(server);
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.shards[shard]
+            .send(Command::Assess {
+                server,
+                reply: reply_tx,
+            })
+            .map_err(|()| ServiceError::ShardUnavailable { shard })?;
+        match reply_rx.recv() {
+            Ok(answer) => answer.map_err(ServiceError::Core),
+            Err(_) => Err(ServiceError::ShardUnavailable { shard }),
+        }
+    }
+
+    /// Assesses many servers with one command per shard, returning answers
+    /// in the order requested.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShardUnavailable`] if any involved worker is gone;
+    /// per-server assessment failures are reported inline.
+    pub fn assess_many(
+        &self,
+        servers: &[ServerId],
+    ) -> Result<BatchAssessments, ServiceError> {
+        let mut per_shard: Vec<Vec<ServerId>> = vec![Vec::new(); self.shards.len()];
+        for &server in servers {
+            per_shard[self.shard_of(server)].push(server);
+        }
+        let mut pending = Vec::new();
+        for (shard, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            self.shards[shard]
+                .send(Command::AssessMany {
+                    servers: group,
+                    reply: reply_tx,
+                })
+                .map_err(|()| ServiceError::ShardUnavailable { shard })?;
+            pending.push((shard, reply_rx));
+        }
+        let mut by_server: HashMap<ServerId, Result<Assessment, CoreError>> = HashMap::new();
+        for (shard, reply_rx) in pending {
+            let answers = reply_rx
+                .recv()
+                .map_err(|_| ServiceError::ShardUnavailable { shard })?;
+            by_server.extend(answers);
+        }
+        Ok(servers
+            .iter()
+            .map(|&s| {
+                // Duplicate requests for one server share the single
+                // computed answer.
+                let answer = by_server.get(&s).cloned().unwrap_or_else(|| {
+                    Err(CoreError::InvalidConfig {
+                        reason: format!("no shard answered for {s}"),
+                    })
+                });
+                (s, answer)
+            })
+            .collect())
+    }
+
+    /// A snapshot of operational counters and shard occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        use std::sync::atomic::Ordering;
+        let mut tracked = 0usize;
+        let mut tracked_feedbacks = 0usize;
+        let mut depths = Vec::with_capacity(self.shards.len());
+        for handle in &self.shards {
+            depths.push(handle.queue_depth());
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            let snapshot = if handle.send(Command::Snapshot { reply: reply_tx }).is_ok() {
+                reply_rx.recv().unwrap_or_default()
+            } else {
+                ShardSnapshot::default()
+            };
+            tracked += snapshot.servers;
+            tracked_feedbacks += snapshot.feedbacks;
+        }
+        ServiceStats {
+            ingested_feedbacks: self.counters.ingested.load(Ordering::Relaxed),
+            assessments_served: self.counters.served.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            shard_queue_depths: depths,
+            tracked_servers: tracked,
+            tracked_feedbacks,
+            calibration_cache_entries: self.calibrator.cache_len(),
+        }
+    }
+}
+
+impl fmt::Debug for ReputationService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReputationService")
+            .field("shards", &self.shards.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+// Workers shut down via ShardHandle::drop: each handle sends Shutdown and
+// joins its thread, after draining commands already queued (FIFO).
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrustModel;
+    use hp_core::testing::BehaviorTestConfig;
+    use hp_core::{ClientId, Rating};
+    use hp_store::MemoryStore;
+
+    fn fast_config() -> ServiceConfig {
+        ServiceConfig::default()
+            .with_shards(3)
+            .with_test(
+                BehaviorTestConfig::builder()
+                    .calibration_trials(200)
+                    .build()
+                    .unwrap(),
+            )
+            .with_prewarm_grid(vec![], vec![])
+    }
+
+    fn feedbacks_for(server: ServerId, n: u64, bad_every: u64) -> Vec<Feedback> {
+        (0..n)
+            .map(|t| {
+                Feedback::new(
+                    t,
+                    server,
+                    ClientId::new(t % 9),
+                    Rating::from_good(t % bad_every != 0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_and_assess_round_trip() {
+        let service = ReputationService::new(fast_config()).unwrap();
+        let server = ServerId::new(1);
+        let n = service.ingest_batch(feedbacks_for(server, 300, 17)).unwrap();
+        assert_eq!(n, 300);
+        let assessment = service.assess(server).unwrap();
+        assert!(assessment.trust().is_some() || assessment.is_rejected());
+        let stats = service.stats();
+        assert_eq!(stats.ingested_feedbacks, 300);
+        assert_eq!(stats.assessments_served, 1);
+        assert_eq!(stats.tracked_servers, 1);
+    }
+
+    #[test]
+    fn repeat_assessments_hit_the_cache() {
+        let service = ReputationService::new(fast_config()).unwrap();
+        let server = ServerId::new(2);
+        service.ingest_batch(feedbacks_for(server, 200, 13)).unwrap();
+        let a = service.assess(server).unwrap();
+        let b = service.assess(server).unwrap();
+        assert_eq!(a, b);
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assess_many_preserves_request_order() {
+        let service = ReputationService::new(fast_config()).unwrap();
+        let servers: Vec<ServerId> = (0..20).map(ServerId::new).collect();
+        let mut all = Vec::new();
+        for (i, &server) in servers.iter().enumerate() {
+            all.extend(feedbacks_for(server, 120 + i as u64, 11));
+        }
+        service.ingest_batch(all).unwrap();
+        let answers = service.assess_many(&servers).unwrap();
+        assert_eq!(answers.len(), servers.len());
+        for (i, (server, answer)) in answers.iter().enumerate() {
+            assert_eq!(*server, servers[i]);
+            assert!(answer.is_ok());
+        }
+    }
+
+    #[test]
+    fn assess_many_duplicates_share_one_answer() {
+        let service = ReputationService::new(fast_config()).unwrap();
+        let server = ServerId::new(3);
+        service.ingest_batch(feedbacks_for(server, 100, 9)).unwrap();
+        let answers = service.assess_many(&[server, server, server]).unwrap();
+        assert_eq!(answers.len(), 3);
+        let first = answers[0].1.clone().unwrap();
+        for (id, answer) in answers {
+            assert_eq!(id, server);
+            assert_eq!(answer.unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn ingest_store_warm_starts() {
+        let mut store = MemoryStore::new();
+        for f in feedbacks_for(ServerId::new(5), 150, 19) {
+            store.append(f);
+        }
+        for f in feedbacks_for(ServerId::new(6), 80, 7) {
+            store.append(f);
+        }
+        let service = ReputationService::new(fast_config()).unwrap();
+        let n = service.ingest_store(&store).unwrap();
+        assert_eq!(n, 230);
+        assert_eq!(service.stats().tracked_servers, 2);
+    }
+
+    #[test]
+    fn sharding_is_stable_and_in_range(){
+        let service = ReputationService::new(fast_config()).unwrap();
+        for id in 0..500 {
+            let s = ServerId::new(id);
+            let shard = service.shard_of(s);
+            assert!(shard < 3);
+            assert_eq!(shard, service.shard_of(s));
+        }
+    }
+
+    #[test]
+    fn weighted_model_round_trips() {
+        let config = fast_config().with_trust(TrustModel::Weighted { lambda: 0.5 });
+        let service = ReputationService::new(config).unwrap();
+        let server = ServerId::new(8);
+        service.ingest_batch(feedbacks_for(server, 400, 23)).unwrap();
+        let assessment = service.assess(server).unwrap();
+        if let Some(trust) = assessment.trust() {
+            assert!((0.0..=1.0).contains(&trust.value()));
+        }
+    }
+}

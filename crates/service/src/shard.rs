@@ -1,0 +1,249 @@
+//! Shard workers: one thread per shard, each owning the state of the
+//! servers that hash to it.
+//!
+//! Commands travel over an MPMC channel per shard. A shard's channel is
+//! FIFO, which gives the service read-your-writes per server: an `Assess`
+//! enqueued after an `Ingest` for the same server observes the ingested
+//! feedback, because both commands land on the same shard in order.
+
+use crate::config::TrustModel;
+use crate::metrics::Counters;
+use crate::state::ServerState;
+use crossbeam::channel::{self, Receiver, Sender};
+use hp_core::testing::MultiBehaviorTest;
+use hp_core::twophase::{Assessment, ShortHistoryPolicy};
+use hp_core::{CoreError, Feedback, ServerId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One assessment answer.
+pub(crate) type AssessReply = Result<Assessment, CoreError>;
+
+/// A point-in-time view of one shard's contents.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardSnapshot {
+    pub servers: usize,
+    pub feedbacks: usize,
+}
+
+/// What the front end sends to a shard worker.
+pub(crate) enum Command {
+    /// Feedbacks already partitioned to this shard, in arrival order.
+    Ingest(Vec<Feedback>),
+    Assess {
+        server: ServerId,
+        reply: Sender<AssessReply>,
+    },
+    AssessMany {
+        servers: Vec<ServerId>,
+        reply: Sender<Vec<(ServerId, AssessReply)>>,
+    },
+    Snapshot {
+        reply: Sender<ShardSnapshot>,
+    },
+    Shutdown,
+}
+
+/// A handle to one spawned shard worker.
+pub(crate) struct ShardHandle {
+    tx: Sender<Command>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Sends a command; `Err` means the worker is gone.
+    pub fn send(&self, command: Command) -> Result<(), ()> {
+        self.tx.send(command).map_err(|_| ())
+    }
+
+    /// Commands currently queued (snapshot).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Requests shutdown and joins the worker thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.tx.send(Command::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns one shard worker.
+pub(crate) fn spawn_shard(
+    test: MultiBehaviorTest,
+    model: TrustModel,
+    policy: ShortHistoryPolicy,
+    counters: Arc<Counters>,
+    queue_capacity: usize,
+) -> ShardHandle {
+    let (tx, rx) = if queue_capacity == 0 {
+        channel::unbounded()
+    } else {
+        channel::bounded(queue_capacity)
+    };
+    let join = std::thread::spawn(move || worker_loop(&rx, &test, model, policy, &counters));
+    ShardHandle {
+        tx,
+        join: Some(join),
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Command>,
+    test: &MultiBehaviorTest,
+    model: TrustModel,
+    policy: ShortHistoryPolicy,
+    counters: &Counters,
+) {
+    let mut states: HashMap<ServerId, ServerState> = HashMap::new();
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Ingest(batch) => {
+                for feedback in batch {
+                    let state = match states.entry(feedback.server) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            // The model was validated at service start, so
+                            // construction cannot fail here.
+                            e.insert(
+                                ServerState::new(model).expect("validated trust model"),
+                            )
+                        }
+                    };
+                    state.ingest(feedback);
+                }
+            }
+            Command::Assess { server, reply } => {
+                let _ = reply.send(assess_one(&mut states, server, test, model, policy, counters));
+            }
+            Command::AssessMany { servers, reply } => {
+                let answers = servers
+                    .into_iter()
+                    .map(|s| (s, assess_one(&mut states, s, test, model, policy, counters)))
+                    .collect();
+                let _ = reply.send(answers);
+            }
+            Command::Snapshot { reply } => {
+                let snapshot = ShardSnapshot {
+                    servers: states.len(),
+                    feedbacks: states.values().map(|s| s.history().len()).sum(),
+                };
+                let _ = reply.send(snapshot);
+            }
+            Command::Shutdown => break,
+        }
+    }
+}
+
+fn assess_one(
+    states: &mut HashMap<ServerId, ServerState>,
+    server: ServerId,
+    test: &MultiBehaviorTest,
+    model: TrustModel,
+    policy: ShortHistoryPolicy,
+    counters: &Counters,
+) -> AssessReply {
+    counters.add_served(1);
+    match states.get_mut(&server) {
+        Some(state) => {
+            let (assessment, from_cache) = state.assess(test, policy)?;
+            counters.record_cache(from_cache);
+            Ok(assessment)
+        }
+        None => {
+            // Unknown server: assess an empty history without permanently
+            // allocating state for it (queries must not grow the map).
+            counters.record_cache(false);
+            let mut state = ServerState::new(model)?;
+            state.assess(test, policy).map(|(a, _)| a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::testing::BehaviorTestConfig;
+    use hp_core::{ClientId, Rating};
+
+    fn fast_test() -> MultiBehaviorTest {
+        MultiBehaviorTest::new(
+            BehaviorTestConfig::builder()
+                .calibration_trials(200)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn spawn() -> (ShardHandle, Arc<Counters>) {
+        let counters = Arc::new(Counters::default());
+        let handle = spawn_shard(
+            fast_test(),
+            TrustModel::Average,
+            ShortHistoryPolicy::Review,
+            Arc::clone(&counters),
+            0,
+        );
+        (handle, counters)
+    }
+
+    #[test]
+    fn ingest_then_assess_sees_the_feedback() {
+        let (handle, _counters) = spawn();
+        let server = ServerId::new(9);
+        let batch: Vec<Feedback> = (0..250)
+            .map(|t| {
+                Feedback::new(t, server, ClientId::new(t % 5), Rating::from_good(t % 13 != 0))
+            })
+            .collect();
+        handle.send(Command::Ingest(batch)).unwrap();
+        let (reply_tx, reply_rx) = channel::unbounded();
+        handle
+            .send(Command::Assess {
+                server,
+                reply: reply_tx,
+            })
+            .unwrap();
+        let assessment = reply_rx.recv().unwrap().unwrap();
+        assert!(assessment.trust().is_some() || assessment.is_rejected());
+
+        let (snap_tx, snap_rx) = channel::unbounded();
+        handle.send(Command::Snapshot { reply: snap_tx }).unwrap();
+        let snap = snap_rx.recv().unwrap();
+        assert_eq!(snap.servers, 1);
+        assert_eq!(snap.feedbacks, 250);
+    }
+
+    #[test]
+    fn unknown_server_not_tracked() {
+        let (handle, _counters) = spawn();
+        let (reply_tx, reply_rx) = channel::unbounded();
+        handle
+            .send(Command::Assess {
+                server: ServerId::new(404),
+                reply: reply_tx,
+            })
+            .unwrap();
+        assert!(reply_rx.recv().unwrap().is_ok());
+        let (snap_tx, snap_rx) = channel::unbounded();
+        handle.send(Command::Snapshot { reply: snap_tx }).unwrap();
+        assert_eq!(snap_rx.recv().unwrap().servers, 0);
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let (mut handle, _counters) = spawn();
+        handle.shutdown();
+        assert!(handle.send(Command::Shutdown).is_err() || handle.join.is_none());
+    }
+}

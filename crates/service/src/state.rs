@@ -1,0 +1,187 @@
+//! Per-server incremental assessment state.
+//!
+//! The state a shard worker keeps for each server makes the online path
+//! cheap without changing any verdict:
+//!
+//! * **ingest** is O(1) amortized — push onto the history (which maintains
+//!   its prefix sums incrementally) and advance the streaming trust state;
+//! * **assess** recomputes phase 1 only when the history changed since the
+//!   cached assessment (version check), and that recompute is the
+//!   multi-test's O(n/m)-per-suffix optimized path over prefix sums, never
+//!   a raw rescan; phase 2 reads the maintained trust state in O(1).
+//!
+//! Verdict equivalence with the offline [`TwoPhaseAssessor`] is exact:
+//! phase 1 runs the same `MultiBehaviorTest` against the same history, and
+//! both trust models' streaming updates perform bit-identical arithmetic
+//! to their batch counterparts (asserted by the property tests in
+//! `tests/equivalence.rs`).
+//!
+//! [`TwoPhaseAssessor`]: hp_core::twophase::TwoPhaseAssessor
+
+use crate::config::TrustModel;
+use hp_core::testing::{MultiBehaviorTest, TestOutcome, TestReport};
+use hp_core::trust::incremental::{AverageTrustState, IncrementalTrust, WeightedTrustState};
+use hp_core::twophase::{Assessment, ShortHistoryPolicy};
+use hp_core::{CoreError, Feedback, TransactionHistory, TrustValue};
+
+/// The streaming phase-2 trust state for one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TrustState {
+    Average(AverageTrustState),
+    Weighted(WeightedTrustState),
+}
+
+impl TrustState {
+    pub fn new(model: TrustModel) -> Result<Self, CoreError> {
+        Ok(match model {
+            TrustModel::Average => TrustState::Average(AverageTrustState::new()),
+            TrustModel::Weighted { lambda } => {
+                TrustState::Weighted(WeightedTrustState::new(lambda)?)
+            }
+        })
+    }
+
+    pub fn update(&mut self, good: bool) {
+        match self {
+            TrustState::Average(s) => s.update(good),
+            TrustState::Weighted(s) => s.update(good),
+        }
+    }
+
+    pub fn current(&self) -> TrustValue {
+        match self {
+            TrustState::Average(s) => s.current(),
+            TrustState::Weighted(s) => s.current(),
+        }
+    }
+}
+
+/// Everything a shard worker holds for one server.
+#[derive(Debug, Clone)]
+pub(crate) struct ServerState {
+    history: TransactionHistory,
+    trust: TrustState,
+    /// Bumped on every ingested feedback; the cache key.
+    version: u64,
+    cached: Option<(u64, Assessment)>,
+}
+
+impl ServerState {
+    pub fn new(model: TrustModel) -> Result<Self, CoreError> {
+        Ok(ServerState {
+            history: TransactionHistory::new(),
+            trust: TrustState::new(model)?,
+            version: 0,
+            cached: None,
+        })
+    }
+
+    /// Absorbs one feedback: O(1) history push + O(1) trust update.
+    pub fn ingest(&mut self, feedback: Feedback) {
+        self.trust.update(feedback.is_good());
+        self.history.push(feedback);
+        self.version += 1;
+    }
+
+    pub fn history(&self) -> &TransactionHistory {
+        &self.history
+    }
+
+    /// The two-phase assessment of the current history.
+    ///
+    /// Returns `(assessment, from_cache)`; the caller records the cache
+    /// outcome in its counters.
+    pub fn assess(
+        &mut self,
+        test: &MultiBehaviorTest,
+        policy: ShortHistoryPolicy,
+    ) -> Result<(Assessment, bool), CoreError> {
+        if let Some((version, assessment)) = &self.cached {
+            if *version == self.version {
+                return Ok((assessment.clone(), true));
+            }
+        }
+        let report = TestReport::Multi(test.evaluate_detailed(&self.history)?);
+        // Mirrors TwoPhaseAssessor::assess, with phase 2 answered by the
+        // streaming trust state instead of a history replay.
+        let assessment = match report.outcome() {
+            TestOutcome::Suspicious => Assessment::Rejected { report },
+            TestOutcome::Honest => Assessment::Accepted {
+                trust: self.trust.current(),
+                report,
+            },
+            TestOutcome::Inconclusive => match policy {
+                ShortHistoryPolicy::Reject => Assessment::Rejected { report },
+                ShortHistoryPolicy::Trust => Assessment::Accepted {
+                    trust: self.trust.current(),
+                    report,
+                },
+                ShortHistoryPolicy::Review => Assessment::NeedsReview {
+                    trust: self.trust.current(),
+                    report,
+                },
+            },
+        };
+        self.cached = Some((self.version, assessment.clone()));
+        Ok((assessment, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::testing::BehaviorTestConfig;
+    use hp_core::{ClientId, Rating, ServerId};
+
+    fn fast_test() -> MultiBehaviorTest {
+        MultiBehaviorTest::new(
+            BehaviorTestConfig::builder()
+                .calibration_trials(200)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn feedback(t: u64, good: bool) -> Feedback {
+        Feedback::new(t, ServerId::new(1), ClientId::new(t % 7), Rating::from_good(good))
+    }
+
+    #[test]
+    fn cache_hit_until_next_ingest() {
+        let test = fast_test();
+        let mut s = ServerState::new(TrustModel::Average).unwrap();
+        for t in 0..150 {
+            s.ingest(feedback(t, t % 11 != 0));
+        }
+        let (a, from_cache) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
+        assert!(!from_cache);
+        let (b, from_cache) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
+        assert!(from_cache);
+        assert_eq!(a, b);
+        s.ingest(feedback(150, true));
+        let (_, from_cache) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
+        assert!(!from_cache, "ingest must invalidate the cache");
+    }
+
+    #[test]
+    fn empty_history_follows_policy() {
+        let test = fast_test();
+        let mut s = ServerState::new(TrustModel::Average).unwrap();
+        let (a, _) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
+        assert!(matches!(a, Assessment::NeedsReview { .. }));
+        let mut s = ServerState::new(TrustModel::Average).unwrap();
+        let (a, _) = s.assess(&test, ShortHistoryPolicy::Reject).unwrap();
+        assert!(a.is_rejected());
+    }
+
+    #[test]
+    fn trust_state_tracks_ingest_order() {
+        let mut s = ServerState::new(TrustModel::Weighted { lambda: 0.5 }).unwrap();
+        s.ingest(feedback(0, true));
+        s.ingest(feedback(1, false));
+        // R0 = 0.5 → 0.75 → 0.375.
+        assert!((s.trust.current().value() - 0.375).abs() < 1e-15);
+        assert_eq!(s.history().len(), 2);
+    }
+}

@@ -152,7 +152,7 @@ pub fn run_marketplace(
                     continue;
                 }
                 let t = trust.trust(&histories[s]).value();
-                if best.map_or(true, |(_, bt)| t > bt) {
+                if best.is_none_or(|(_, bt)| t > bt) {
                     best = Some((s, t));
                 }
             }
@@ -265,21 +265,27 @@ mod tests {
 
     #[test]
     fn traffic_concentrates_on_good_servers() {
-        let config = EcosystemConfig {
-            attackers: 0,
-            rounds: 5000,
-            seed: 7,
-            ..Default::default()
-        };
+        // Trust-greedy selection is winner-take-all, so any single seed may
+        // crown one lucky server; aggregate several runs and compare the
+        // better half of the market (p in [0.86, 0.92]) against the worse
+        // half (p in [0.80, 0.86)) instead of one best-vs-worst pair.
         let avg = AverageTrust::default();
-        let outcome = run_marketplace(&config, &avg, None).unwrap();
-        // The best server (index 15, p = 0.92) should serve more than the
-        // worst (index 0, p = 0.80).
+        let mut top_half = 0usize;
+        let mut bottom_half = 0usize;
+        for seed in 0..5 {
+            let config = EcosystemConfig {
+                attackers: 0,
+                rounds: 5000,
+                seed,
+                ..Default::default()
+            };
+            let outcome = run_marketplace(&config, &avg, None).unwrap();
+            bottom_half += outcome.per_server[..8].iter().sum::<usize>();
+            top_half += outcome.per_server[8..].iter().sum::<usize>();
+        }
         assert!(
-            outcome.per_server[15] > outcome.per_server[0],
-            "best server {} vs worst {}",
-            outcome.per_server[15],
-            outcome.per_server[0]
+            top_half > bottom_half,
+            "better-half traffic {top_half} vs worse-half {bottom_half}"
         );
     }
 }

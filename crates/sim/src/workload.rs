@@ -84,7 +84,7 @@ pub fn colluding_history(
     }
     for i in 0..tail as u64 {
         let t = prep as u64 + i;
-        let client = ClientId::new(1_000 + rng.random_range(0..1_000));
+        let client = ClientId::new(1_000 + rng.random_range(0..1_000u64));
         let good = rng.random::<f64>() < p_tail;
         h.push(Feedback::new(t, SERVER, client, Rating::from_good(good)));
     }

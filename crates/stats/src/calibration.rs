@@ -450,7 +450,7 @@ mod tests {
         let mut passes = 0;
         for _ in 0..reps {
             let hist =
-                Histogram::from_samples(m, model.sample_many(&mut rng, k).into_iter()).unwrap();
+                Histogram::from_samples(m, model.sample_many(&mut rng, k)).unwrap();
             if DistanceKind::L1.distance(&hist, &pmf).unwrap() <= eps {
                 passes += 1;
             }

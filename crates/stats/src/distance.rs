@@ -222,9 +222,9 @@ mod tests {
         let b = Binomial::new(10, 0.9).unwrap();
         let pmf = b.pmf_table();
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let small = Histogram::from_samples(10, b.sample_many(&mut rng, 20).into_iter()).unwrap();
+        let small = Histogram::from_samples(10, b.sample_many(&mut rng, 20)).unwrap();
         let large =
-            Histogram::from_samples(10, b.sample_many(&mut rng, 20_000).into_iter()).unwrap();
+            Histogram::from_samples(10, b.sample_many(&mut rng, 20_000)).unwrap();
         let d_small = l1_distance(&small, &pmf);
         let d_large = l1_distance(&large, &pmf);
         assert!(

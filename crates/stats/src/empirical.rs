@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn pmf_normalizes() {
-        let h = Histogram::from_samples(3, [0u32, 1, 1, 2, 2, 2, 3, 3].into_iter()).unwrap();
+        let h = Histogram::from_samples(3, [0u32, 1, 1, 2, 2, 2, 3, 3]).unwrap();
         let table = h.pmf_table();
         let sum: f64 = table.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
@@ -273,15 +273,15 @@ mod tests {
 
     #[test]
     fn mean_and_variance() {
-        let h = Histogram::from_samples(4, [2u32, 4, 4, 2].into_iter()).unwrap();
+        let h = Histogram::from_samples(4, [2u32, 4, 4, 2]).unwrap();
         assert!((h.mean() - 3.0).abs() < 1e-12);
         assert!((h.variance() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn merge_combines_counts() {
-        let mut a = Histogram::from_samples(3, [1u32, 2].into_iter()).unwrap();
-        let b = Histogram::from_samples(3, [2u32, 3].into_iter()).unwrap();
+        let mut a = Histogram::from_samples(3, [1u32, 2]).unwrap();
+        let b = Histogram::from_samples(3, [2u32, 3]).unwrap();
         a.merge(&b).unwrap();
         assert_eq!(a.len(), 4);
         assert_eq!(a.count(2), 2);

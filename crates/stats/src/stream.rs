@@ -53,7 +53,7 @@ impl PrefixSums {
     /// revert) in O(1) — the strategic attacker of the paper's §5.1 does
     /// exactly this before every move.
     pub fn pop(&mut self) -> Option<bool> {
-        if self.len() == 0 {
+        if self.is_empty() {
             return None;
         }
         let last = self.sums.pop().expect("len checked above");
@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn prefix_sums_basic_ranges() {
-        let ps = PrefixSums::from_bools([true, true, false, true, false].into_iter());
+        let ps = PrefixSums::from_bools([true, true, false, true, false]);
         assert_eq!(ps.len(), 5);
         assert_eq!(ps.total_good(), 3);
         assert_eq!(ps.count_range(0, 5), 3);
@@ -234,13 +234,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn prefix_sums_out_of_bounds_panics() {
-        let ps = PrefixSums::from_bools([true].into_iter());
+        let ps = PrefixSums::from_bools([true]);
         let _ = ps.count_range(0, 2);
     }
 
     #[test]
     fn rate_range_errors_on_empty() {
-        let ps = PrefixSums::from_bools([true, false].into_iter());
+        let ps = PrefixSums::from_bools([true, false]);
         assert!(ps.rate_range(1, 1).is_err());
         assert!((ps.rate_range(0, 2).unwrap() - 0.5).abs() < 1e-12);
     }
@@ -249,7 +249,7 @@ mod tests {
     fn window_counts_drop_trailing_partial() {
         // 7 outcomes, window 3 → 2 windows, last outcome dropped.
         let ps =
-            PrefixSums::from_bools([true, true, false, false, true, true, true].into_iter());
+            PrefixSums::from_bools([true, true, false, false, true, true, true]);
         let w = ps.window_counts(0, 7, 3).unwrap();
         assert_eq!(w, vec![2, 2]);
         assert!(ps.window_counts(0, 7, 0).is_err());
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn window_counts_with_offset_start() {
         let ps =
-            PrefixSums::from_bools([true, false, true, true, false, true].into_iter());
+            PrefixSums::from_bools([true, false, true, true, false, true]);
         // Suffix [2, 6): outcomes T T F T, window 2 → [2, 1]
         let w = ps.window_counts(2, 6, 2).unwrap();
         assert_eq!(w, vec![2, 1]);

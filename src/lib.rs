@@ -65,6 +65,9 @@ pub use hp_sim as sim;
 /// Feedback storage (central, sharded, partial visibility).
 pub use hp_store as store;
 
+/// Concurrent online reputation service (sharded, incremental).
+pub use hp_service as service;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use hp_core::testing::{
@@ -79,6 +82,7 @@ pub mod prelude {
     pub use hp_core::{
         ClientId, CoreError, Feedback, Rating, ServerId, TransactionHistory, TrustValue,
     };
+    pub use hp_service::{ReputationService, ServiceConfig, ServiceStats};
     pub use hp_store::{FeedbackStore, MemoryStore};
 }
 

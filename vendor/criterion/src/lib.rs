@@ -1,0 +1,352 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the criterion API the benches are written against —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_with_setup`,
+//! `BenchmarkId`, `Throughput` — but replaces the statistical machinery
+//! with a plain loop: warm up briefly, time `sample_size` iterations, and
+//! print min / mean / p50 / p99 per benchmark. Good enough to compare
+//! implementations and spot complexity blow-ups; not a precision harness.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a [`Criterion`] instance or group.
+#[derive(Debug, Clone, Copy)]
+struct RunConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: RunConfig,
+}
+
+impl Criterion {
+    /// Benchmark iterations per measurement.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft cap on time spent measuring one benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Soft cap on time spent warming up one benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.config, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: RunConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides iterations per measurement for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement-time cap for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Records the per-iteration workload (printed alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let (Throughput::Elements(n) | Throughput::Bytes(n)) = t;
+        println!("# {}: throughput unit = {n}", self.name);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{name}", self.name), self.config, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.config, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration workload, used to contextualize timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times the closure handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.target_samples
+            && start.elapsed() < self.measurement_time
+        {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` value per sample; only the
+    /// routine is measured.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.target_samples
+            && start.elapsed() < self.measurement_time
+        {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(name: &str, config: RunConfig, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(config.sample_size),
+        target_samples: config.sample_size,
+        measurement_time: config.measurement_time,
+        warm_up_time: config.warm_up_time,
+    };
+    f(&mut bencher);
+    let mut ns: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    if ns.is_empty() {
+        println!("{name:<48} (no samples — bencher closure never called iter)");
+        return;
+    }
+    let total: u128 = ns.iter().sum();
+    let mean = total / ns.len() as u128;
+    let p = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+    println!(
+        "{name:<48} {:>4} samples  min {}  mean {}  p50 {}  p99 {}",
+        ns.len(),
+        fmt_ns(ns[0]),
+        fmt_ns(mean),
+        fmt_ns(p(0.50)),
+        fmt_ns(p(0.99)),
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Declares a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(3));
+        g.bench_with_input(BenchmarkId::new("sum", 3), &[1u64, 2, 3][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        tiny(&mut c);
+    }
+
+    #[test]
+    fn iter_with_setup_measures_routine_only() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| v.len())
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! * [`scope`] — crossbeam-style scoped threads (closure receives the
+//!   scope, handles are joinable), implemented over [`std::thread::scope`];
+//! * [`channel`] — multi-producer multi-consumer bounded/unbounded
+//!   channels over a mutex + condvars.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (`Err` if the
+    /// thread panicked).
+    pub fn join(self) -> std::thread::Result<T> {
+        self.0.join()
+    }
+}
+
+/// A scope for spawning borrowing threads; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (crossbeam
+    /// convention), so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle(inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        }))
+    }
+}
+
+/// Creates a scope in which threads can borrow from the enclosing stack
+/// frame. All spawned threads are joined before `scope` returns.
+///
+/// Returns `Ok(result)` like crossbeam; a panic in an unjoined child
+/// propagates as a panic (std semantics) rather than an `Err`, which is
+/// strictly stricter and fine for this workspace's `.expect(..)` callers.
+///
+/// # Errors
+///
+/// Never returns `Err` (kept for crossbeam API compatibility).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,35 @@
+//! Runner configuration and per-case RNG derivation.
+
+use rand::{SeedableRng, StdRng};
+
+/// How many cases each property test executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one (test, case) pair: FNV-1a over the test name
+/// mixed with the case index, fed to the seeded generator. Reruns of a
+/// failing test therefore replay the identical inputs.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}

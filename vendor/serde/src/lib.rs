@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace only *derives* `Serialize`/`Deserialize` on data types
+//! (persistence is hand-rolled CSV); nothing actually drives a serde
+//! serializer. The traits here are therefore empty markers, and the
+//! `derive` feature re-exports no-op derive macros so `#[derive(Serialize,
+//! Deserialize)]` compiles unchanged.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

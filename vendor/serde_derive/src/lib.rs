@@ -1,0 +1,50 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stand-in.
+//!
+//! For a non-generic `struct`/`enum` the derive emits an empty marker-trait
+//! impl, so `T: Serialize` bounds hold; for generic types (none in this
+//! workspace) it expands to nothing rather than guess at bounds.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a `struct`/`enum`/`union` item defines, if it is
+/// non-generic (no `<` follows the name).
+fn non_generic_type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return None,
+                };
+                let generic = matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return if generic { None } else { Some(name) };
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match non_generic_type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
