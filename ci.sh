@@ -20,7 +20,13 @@ fi
 echo "==> cargo test -q (offline, workspace)"
 cargo test --offline --workspace -q
 
+echo "==> cargo test -q (service chaos + recovery, fault-injection)"
+cargo test --offline -p hp-service --features fault-injection -q
+
 echo "==> cargo clippy -D warnings (offline, workspace, all targets)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -D warnings (service, fault-injection)"
+cargo clippy --offline -p hp-service --features fault-injection --all-targets -- -D warnings
 
 echo "==> OK"

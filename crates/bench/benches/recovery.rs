@@ -1,0 +1,287 @@
+//! Durability benchmarks: journal append overhead and time-to-recover.
+//!
+//! Unlike the criterion benches, this harness hand-rolls its measurement
+//! loop so it can emit machine-readable results: every row is printed and
+//! also written as JSON to `experiments/out/bench_recovery.json` (override
+//! the directory with `HP_BENCH_OUT`).
+//!
+//! Shapes to look for:
+//!
+//! * `journal_append/*` — per-record append cost. `durable_never` should
+//!   sit within a small constant of `ephemeral` (one buffered write);
+//!   `durable_fsync_batch` is dominated by the fsync and shows the price
+//!   of the strongest durability setting;
+//! * `ingest_1k/*` — the same comparison end-to-end through
+//!   `ingest_batch`, where assessment bookkeeping dilutes the journal
+//!   cost;
+//! * `recover/len=*` — raw journal scan time, linear in journal length;
+//! * `service_restart/len=*` — full `ReputationService::new` on an
+//!   existing journal directory (replay + fold); compare against
+//!   `service_restart/len=0` to isolate the recovery share from the
+//!   fixed calibration cost.
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::journal::{read_journal, FileJournal, FsyncPolicy};
+use hp_service::{Durability, ReputationService, ServiceConfig};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const APPEND_BATCH: usize = 1_024;
+
+struct Row {
+    name: String,
+    samples: usize,
+    /// Records handled per sample (0 = not a per-record metric).
+    records: u64,
+    mean_ns: u128,
+    p50_ns: u128,
+    p99_ns: u128,
+    min_ns: u128,
+}
+
+/// Times `routine` `samples` times (after one warm-up call) and collects
+/// percentile stats.
+fn measure<O>(name: &str, samples: usize, records: u64, mut routine: impl FnMut() -> O) -> Row {
+    black_box(routine());
+    let mut ns: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    let p = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+    Row {
+        name: name.to_string(),
+        samples,
+        records,
+        mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+        p50_ns: p(0.50),
+        p99_ns: p(0.99),
+        min_ns: ns[0],
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_row(row: &Row) {
+    let per_record = if row.records > 0 {
+        format!("  ({}/record)", fmt_ns(row.mean_ns / u128::from(row.records)))
+    } else {
+        String::new()
+    };
+    println!(
+        "{:<40} {:>4} samples  mean {}  p50 {}  p99 {}{per_record}",
+        row.name,
+        row.samples,
+        fmt_ns(row.mean_ns),
+        fmt_ns(row.p50_ns),
+        fmt_ns(row.p99_ns),
+    );
+}
+
+fn json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let per_record = if row.records > 0 {
+            format!(
+                ",\"per_record_ns\":{:.1}",
+                row.mean_ns as f64 / row.records as f64
+            )
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"samples\":{},\"records\":{},\"mean_ns\":{},\
+             \"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{}{per_record}}}{}\n",
+            row.name,
+            row.samples,
+            row.records,
+            row.mean_ns,
+            row.p50_ns,
+            row.p99_ns,
+            row.min_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+fn batch(start_t: u64, len: usize) -> Vec<Feedback> {
+    (0..len as u64)
+        .map(|i| {
+            let t = start_t + i;
+            Feedback::new(
+                t,
+                ServerId::new(t % 32),
+                ClientId::new(t % 101),
+                Rating::from_good(!t.is_multiple_of(19)),
+            )
+        })
+        .collect()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hp-bench-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn fast_config() -> ServiceConfig {
+    ServiceConfig::default()
+        .with_shards(1)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(500)
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![], vec![])
+}
+
+/// Raw journal append cost per 1 024-record batch, by backend.
+fn bench_journal_append(rows: &mut Vec<Row>) {
+    let feedbacks = batch(0, APPEND_BATCH);
+
+    let mut log = Vec::new();
+    rows.push(measure("journal_append/ephemeral", 200, APPEND_BATCH as u64, || {
+        log.extend_from_slice(&feedbacks);
+    }));
+
+    for (label, policy, samples) in [
+        ("journal_append/durable_never", FsyncPolicy::Never, 200),
+        ("journal_append/durable_fsync_batch", FsyncPolicy::EveryBatch, 50),
+    ] {
+        let dir = scratch_dir(label.rsplit('/').next().unwrap());
+        let (mut journal, _) =
+            FileJournal::open(&dir.join("shard-0.hpj"), 0, 1, policy).unwrap();
+        rows.push(measure(label, samples, APPEND_BATCH as u64, || {
+            journal.append_batch(&feedbacks).unwrap();
+        }));
+        drop(journal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// End-to-end `ingest_batch` cost (send + journal + apply, bounded by a
+/// stats round-trip) per durability setting.
+fn bench_ingest_overhead(rows: &mut Vec<Row>) {
+    let configs: Vec<(&str, ServiceConfig, Option<PathBuf>)> = vec![
+        ("ingest_1k/ephemeral", fast_config(), None),
+        {
+            let dir = scratch_dir("ingest-never");
+            (
+                "ingest_1k/durable_never",
+                fast_config().with_durability(Durability::Durable {
+                    dir: dir.clone(),
+                    fsync: FsyncPolicy::Never,
+                }),
+                Some(dir),
+            )
+        },
+        {
+            let dir = scratch_dir("ingest-fsync");
+            (
+                "ingest_1k/durable_fsync_batch",
+                fast_config().with_durability(Durability::Durable {
+                    dir: dir.clone(),
+                    fsync: FsyncPolicy::EveryBatch,
+                }),
+                Some(dir),
+            )
+        },
+    ];
+    for (label, config, dir) in configs {
+        let service = ReputationService::new(config).unwrap();
+        let mut t = 0u64;
+        rows.push(measure(label, 50, APPEND_BATCH as u64, || {
+            service.ingest_batch(batch(t, APPEND_BATCH)).unwrap();
+            t += APPEND_BATCH as u64;
+            // Round-trip the shard queue so the worker's journal+apply
+            // work is inside the timed window.
+            black_box(service.stats().ingested_feedbacks)
+        }));
+        drop(service);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+fn write_journal(path: &Path, len: usize) {
+    let (mut journal, _) = FileJournal::open(path, 0, 1, FsyncPolicy::Never).unwrap();
+    for start in (0..len).step_by(APPEND_BATCH) {
+        let n = APPEND_BATCH.min(len - start);
+        journal.append_batch(&batch(start as u64, n)).unwrap();
+    }
+    journal.sync().unwrap();
+}
+
+/// Raw recovery scan and full service restart versus journal length.
+fn bench_recovery(rows: &mut Vec<Row>) {
+    for &len in &[0usize, 10_000, 100_000, 400_000] {
+        let dir = scratch_dir(&format!("recover-{len}"));
+        let path = dir.join("shard-0.hpj");
+        write_journal(&path, len);
+
+        if len > 0 {
+            rows.push(measure(&format!("recover/len={len}"), 20, len as u64, || {
+                let recovered = read_journal(&path, Some((0, 1))).unwrap();
+                assert_eq!(recovered.feedbacks.len(), len);
+                recovered
+            }));
+        }
+
+        let config = fast_config().with_durability(Durability::Durable {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+        });
+        rows.push(measure(&format!("service_restart/len={len}"), 5, len as u64, || {
+            let service = ReputationService::new(config.clone()).unwrap();
+            // Barrier: recovery replay is complete once stats round-trips.
+            assert_eq!(service.stats().journal_records, len as u64);
+            service.shutdown();
+        }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("recovery benchmarks (journal append overhead, time-to-recover)\n");
+    bench_journal_append(&mut rows);
+    bench_ingest_overhead(&mut rows);
+    bench_recovery(&mut rows);
+    println!();
+    for row in &rows {
+        print_row(row);
+    }
+
+    // Cargo runs benches with the package as cwd; anchor the default
+    // output at the workspace's experiments/out like the figure binaries.
+    let out_dir = std::env::var("HP_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments/out")
+        });
+    std::fs::create_dir_all(&out_dir).expect("create bench output dir");
+    let out = out_dir.join("bench_recovery.json");
+    std::fs::write(&out, json(&rows)).expect("write bench json");
+    println!("\nwrote {}", out.display());
+}

@@ -1,8 +1,13 @@
 //! Service configuration.
 
+#[cfg(feature = "fault-injection")]
+use crate::faults::FaultPlan;
+use crate::journal::FsyncPolicy;
 use hp_core::testing::BehaviorTestConfig;
 use hp_core::twophase::ShortHistoryPolicy;
 use hp_core::CoreError;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// Which phase-2 trust function the service maintains incrementally.
 ///
@@ -24,6 +29,97 @@ impl Default for TrustModel {
     fn default() -> Self {
         // The paper's experiments use λ = 0.5 (§5.1).
         TrustModel::Weighted { lambda: 0.5 }
+    }
+}
+
+/// What the front end does when a shard's command queue is full.
+///
+/// Only meaningful with a bounded queue
+/// ([`ServiceConfig::with_queue_capacity`] > 0); an unbounded queue never
+/// fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// Block the caller until the shard drains — lossless backpressure.
+    #[default]
+    Block,
+    /// Drop the batch immediately and report it shed — load shedding.
+    Shed,
+    /// Block up to the given duration, then shed — bounded backpressure.
+    TryFor(
+        /// Longest time to wait for queue space before shedding.
+        Duration,
+    ),
+}
+
+/// Where the per-shard feedback journals live.
+///
+/// Shard state is always a pure fold over the shard's journal: the
+/// supervisor replays it to rebuild a crashed worker. `Ephemeral` keeps
+/// the journal in process memory (worker crashes are survivable, process
+/// crashes are not); `Durable` writes framed, checksummed records to
+/// `dir/shard-<i>.hpj` before every in-memory apply, so a service
+/// restarted on the same directory recovers every acknowledged feedback.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// In-memory journal: survives worker panics, not process exits.
+    #[default]
+    Ephemeral,
+    /// On-disk write-ahead journal, one file per shard.
+    Durable {
+        /// Directory for the `shard-<i>.hpj` journal files.
+        dir: PathBuf,
+        /// When appended records are fsynced.
+        fsync: FsyncPolicy,
+    },
+}
+
+/// Supervision policy: how shard workers are restarted after a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Delay before the first restart; doubles per consecutive restart.
+    pub backoff_base: Duration,
+    /// Upper bound on the restart delay.
+    pub backoff_cap: Duration,
+    /// Consecutive restarts after which the shard is declared failed
+    /// (sends to it then report `ShardUnavailable`).
+    pub max_restarts: u32,
+    /// Replay crashes at the *same* journal record before that record is
+    /// quarantined (skipped and counted) instead of retried.
+    pub quarantine_after: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            max_restarts: 8,
+            quarantine_after: 2,
+        }
+    }
+}
+
+impl SupervisionConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.max_restarts == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "supervision needs max_restarts >= 1".into(),
+            });
+        }
+        if self.quarantine_after == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "supervision needs quarantine_after >= 1".into(),
+            });
+        }
+        if self.backoff_base > self.backoff_cap {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "restart backoff base {:?} exceeds cap {:?}",
+                    self.backoff_base, self.backoff_cap
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -50,6 +146,11 @@ pub struct ServiceConfig {
     short_history: ShortHistoryPolicy,
     prewarm_lengths: Vec<usize>,
     prewarm_p_hats: Vec<f64>,
+    ingest_policy: IngestPolicy,
+    durability: Durability,
+    supervision: SupervisionConfig,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +166,11 @@ impl Default for ServiceConfig {
             // buckets real traffic will hit.
             prewarm_lengths: vec![200, 800, 2000],
             prewarm_p_hats: vec![0.8, 0.9, 0.95],
+            ingest_policy: IngestPolicy::default(),
+            durability: Durability::default(),
+            supervision: SupervisionConfig::default(),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -115,6 +221,37 @@ impl ServiceConfig {
         self
     }
 
+    /// What to do when a shard queue is full (builder style).
+    #[must_use]
+    pub fn with_ingest_policy(mut self, policy: IngestPolicy) -> Self {
+        self.ingest_policy = policy;
+        self
+    }
+
+    /// Journal placement and fsync policy (builder style).
+    #[must_use]
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Worker restart/backoff/quarantine policy (builder style).
+    #[must_use]
+    pub fn with_supervision(mut self, supervision: SupervisionConfig) -> Self {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Deterministic fault plan for chaos testing (builder style).
+    ///
+    /// Only available with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Number of shard worker threads.
     pub fn shards(&self) -> usize {
         self.shards
@@ -145,6 +282,29 @@ impl ServiceConfig {
         (&self.prewarm_lengths, &self.prewarm_p_hats)
     }
 
+    /// The full-queue policy applied by `ingest_batch`.
+    pub fn ingest_policy(&self) -> IngestPolicy {
+        self.ingest_policy
+    }
+
+    /// Journal placement and fsync policy.
+    pub fn durability(&self) -> &Durability {
+        &self.durability
+    }
+
+    /// Worker restart/backoff/quarantine policy.
+    pub fn supervision(&self) -> SupervisionConfig {
+        self.supervision
+    }
+
+    /// The configured fault plan, if any.
+    ///
+    /// Only available with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -172,6 +332,16 @@ impl ServiceConfig {
                 });
             }
         }
+        if let IngestPolicy::Shed | IngestPolicy::TryFor(_) = self.ingest_policy {
+            if self.queue_capacity == 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: "shed/try-for ingest policies need a bounded queue \
+                             (queue_capacity > 0)"
+                        .into(),
+                });
+            }
+        }
+        self.supervision.validate()?;
         self.test.validate()
     }
 }
@@ -211,5 +381,59 @@ mod tests {
         assert_eq!(c.shards(), 8);
         assert_eq!(c.queue_capacity(), 0);
         assert_eq!(c.prewarm_grid(), (&[500usize][..], &[0.9][..]));
+    }
+
+    #[test]
+    fn fault_tolerance_builders_round_trip() {
+        let c = ServiceConfig::default()
+            .with_ingest_policy(IngestPolicy::Shed)
+            .with_durability(Durability::Durable {
+                dir: PathBuf::from("/tmp/journals"),
+                fsync: crate::journal::FsyncPolicy::EveryN(64),
+            })
+            .with_supervision(SupervisionConfig {
+                max_restarts: 3,
+                ..SupervisionConfig::default()
+            });
+        assert_eq!(c.ingest_policy(), IngestPolicy::Shed);
+        assert!(matches!(c.durability(), Durability::Durable { .. }));
+        assert_eq!(c.supervision().max_restarts, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn shedding_requires_bounded_queue() {
+        let c = ServiceConfig::default()
+            .with_queue_capacity(0)
+            .with_ingest_policy(IngestPolicy::Shed);
+        assert!(c.validate().is_err());
+        let c = ServiceConfig::default()
+            .with_queue_capacity(0)
+            .with_ingest_policy(IngestPolicy::TryFor(Duration::from_millis(5)));
+        assert!(c.validate().is_err());
+        let c = ServiceConfig::default()
+            .with_queue_capacity(0)
+            .with_ingest_policy(IngestPolicy::Block);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_supervision_rejected() {
+        let c = ServiceConfig::default().with_supervision(SupervisionConfig {
+            max_restarts: 0,
+            ..SupervisionConfig::default()
+        });
+        assert!(c.validate().is_err());
+        let c = ServiceConfig::default().with_supervision(SupervisionConfig {
+            quarantine_after: 0,
+            ..SupervisionConfig::default()
+        });
+        assert!(c.validate().is_err());
+        let c = ServiceConfig::default().with_supervision(SupervisionConfig {
+            backoff_base: Duration::from_secs(10),
+            backoff_cap: Duration::from_secs(1),
+            ..SupervisionConfig::default()
+        });
+        assert!(c.validate().is_err());
     }
 }

@@ -1,0 +1,218 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! Compiled into the service only with the `fault-injection` cargo
+//! feature; without it every hook is a zero-sized no-op that the
+//! optimizer deletes, so production builds pay nothing.
+//!
+//! A [`FaultPlan`] is attached to [`crate::ServiceConfig`] and describes
+//! *deterministic* failures — no randomness, no timing races:
+//!
+//! * **panic at the Nth ingest command** on a chosen shard, fired once,
+//!   *after* the command's batch is journaled but before it is applied
+//!   (the worst-ordering crash: durable but not yet in memory);
+//! * **poison feedback record**: applying a specific `(server, time)`
+//!   feedback panics every time — including during replay — until the
+//!   supervisor quarantines it;
+//! * **delayed assessment replies**: the worker sleeps before answering,
+//!   driving the deadline/degraded-answer path.
+//!
+//! The chaos suites (`tests/chaos.rs`, `tests/recovery.rs`) assert that
+//! under every plan the recovered service's verdicts stay bit-identical
+//! to the offline assessor over the durable feedback sequence.
+
+#![cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+
+use hp_core::Feedback;
+#[cfg(feature = "fault-injection")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(feature = "fault-injection")]
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic plan of faults to inject into shard workers.
+///
+/// Only available with the `fault-injection` feature. All triggers are
+/// optional and independent; the default plan injects nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Panic on this shard index…
+    pub panic_shard: Option<usize>,
+    /// …when it journals its Nth ingest command (1-based), once. The
+    /// panic fires after the batch is journaled but before it is applied,
+    /// simulating a crash between the WAL write and the memory apply.
+    pub panic_at_command: u64,
+    /// Applying the feedback with this `(server raw id, time)` panics
+    /// every time, including journal replay, until quarantined.
+    pub poison: Option<(u64, u64)>,
+    /// Sleep this long before serving each `Assess`/`AssessMany` command
+    /// (stalling the whole shard, not just the reply).
+    pub assess_delay: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// Plan that panics `shard` on its `nth` journaled ingest (1-based).
+    #[must_use]
+    pub fn panic_at(mut self, shard: usize, nth: u64) -> Self {
+        self.panic_shard = Some(shard);
+        self.panic_at_command = nth;
+        self
+    }
+
+    /// Plan with a poison feedback record at `(server, time)`.
+    #[must_use]
+    pub fn with_poison(mut self, server: u64, time: u64) -> Self {
+        self.poison = Some((server, time));
+        self
+    }
+
+    /// Plan that delays every assessment reply by `delay`.
+    #[must_use]
+    pub fn with_assess_delay(mut self, delay: Duration) -> Self {
+        self.assess_delay = Some(delay);
+        self
+    }
+}
+
+/// Per-shard runtime fault state: the plan plus trigger bookkeeping that
+/// must survive worker respawns (an `Arc` shared with the supervisor).
+#[derive(Debug, Default)]
+pub(crate) struct ShardFaults {
+    #[cfg(feature = "fault-injection")]
+    inner: Option<Arc<FaultRuntime>>,
+}
+
+#[cfg(feature = "fault-injection")]
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    plan: FaultPlan,
+    shard: usize,
+    commands_seen: AtomicU64,
+    panic_fired: AtomicBool,
+}
+
+impl Clone for ShardFaults {
+    fn clone(&self) -> Self {
+        ShardFaults {
+            #[cfg(feature = "fault-injection")]
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl ShardFaults {
+    /// Fault state for shard `shard` under `plan` (`None` = no faults).
+    #[cfg(feature = "fault-injection")]
+    pub fn new(plan: Option<&FaultPlan>, shard: usize) -> Self {
+        ShardFaults {
+            inner: plan.map(|plan| {
+                Arc::new(FaultRuntime {
+                    plan: plan.clone(),
+                    shard,
+                    commands_seen: AtomicU64::new(0),
+                    panic_fired: AtomicBool::new(false),
+                })
+            }),
+        }
+    }
+
+    /// Fault state for shard `shard` of the service described by
+    /// `config` — a no-op state unless the `fault-injection` feature is
+    /// on *and* the config carries a plan.
+    pub fn for_config(config: &crate::config::ServiceConfig, shard: usize) -> Self {
+        #[cfg(feature = "fault-injection")]
+        {
+            ShardFaults::new(config.fault_plan(), shard)
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            let _ = (config, shard);
+            ShardFaults::default()
+        }
+    }
+
+    /// Called once per ingest command, after its batch is journaled;
+    /// panics when the plan's one-shot command trigger is reached.
+    #[inline]
+    pub fn after_journal(&self) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(rt) = &self.inner {
+            if rt.plan.panic_shard != Some(rt.shard) || rt.plan.panic_at_command == 0 {
+                return;
+            }
+            let seen = rt.commands_seen.fetch_add(1, Ordering::Relaxed) + 1;
+            if seen == rt.plan.panic_at_command
+                && !rt.panic_fired.swap(true, Ordering::Relaxed)
+            {
+                panic!(
+                    "fault injection: shard {} panicking at command {seen}",
+                    rt.shard
+                );
+            }
+        }
+    }
+
+    /// Called before each feedback is applied (live and replay); panics
+    /// if the feedback is the plan's poison record.
+    #[inline]
+    pub fn before_apply(&self, feedback: &Feedback) {
+        #[cfg(not(feature = "fault-injection"))]
+        let _ = feedback;
+        #[cfg(feature = "fault-injection")]
+        if let Some(rt) = &self.inner {
+            if rt.plan.poison == Some((feedback.server.value(), feedback.time)) {
+                panic!(
+                    "fault injection: poison feedback s{} t{}",
+                    feedback.server.value(),
+                    feedback.time
+                );
+            }
+        }
+    }
+
+    /// Called before an assessment command is served; sleeps per the
+    /// plan, stalling the worker with the command already dequeued.
+    #[inline]
+    pub fn before_reply(&self) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(rt) = &self.inner {
+            if let Some(delay) = rt.plan.assess_delay {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+    use hp_core::{ClientId, Rating, ServerId};
+
+    #[test]
+    fn command_trigger_fires_once_on_its_shard() {
+        let plan = FaultPlan::default().panic_at(1, 2);
+        let faults = ShardFaults::new(Some(&plan), 1);
+        faults.after_journal(); // command 1: no panic
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| faults.after_journal()));
+        assert!(panicked.is_err(), "command 2 must panic");
+        faults.after_journal(); // one-shot: command 3 survives
+        // A different shard never fires.
+        let other = ShardFaults::new(Some(&plan), 0);
+        for _ in 0..5 {
+            other.after_journal();
+        }
+    }
+
+    #[test]
+    fn poison_panics_on_exact_record_only() {
+        let plan = FaultPlan::default().with_poison(7, 3);
+        let faults = ShardFaults::new(Some(&plan), 0);
+        let clean = Feedback::new(2, ServerId::new(7), ClientId::new(0), Rating::Positive);
+        faults.before_apply(&clean);
+        let poison = Feedback::new(3, ServerId::new(7), ClientId::new(0), Rating::Positive);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            faults.before_apply(&poison)
+        }));
+        assert!(panicked.is_err());
+    }
+}

@@ -1,0 +1,643 @@
+//! Per-shard append-only feedback journal.
+//!
+//! Every shard writes each ingested batch to its journal **before**
+//! applying it to in-memory state, so a shard's state is always a pure
+//! fold over its journal: the supervisor rebuilds a crashed worker by
+//! replaying the journal from the top, and a service restarted on the
+//! same journal directory warm-starts with no feedback lost.
+//!
+//! # On-disk format
+//!
+//! A journal file is a fixed 16-byte header followed by framed records:
+//!
+//! ```text
+//! header:  magic "HPJL" | version u32 LE | shard u32 LE | shards u32 LE
+//! record:  len u32 LE | crc32(payload) u32 LE | payload (len bytes)
+//! payload: time u64 LE | server u64 LE | client u64 LE | rating u8
+//! ```
+//!
+//! The shard index and shard count are part of the header because journal
+//! contents are partitioned by the service's shard hash: replaying a
+//! shard-3-of-8 journal into a 4-shard service would scatter feedback onto
+//! the wrong workers. Opening a journal whose header disagrees with the
+//! running topology is an explicit [`JournalError::ShardMismatch`].
+//!
+//! Recovery tolerates exactly one failure shape at the tail — a torn final
+//! record from a crash mid-write (short frame, short payload, or checksum
+//! mismatch). The torn bytes are truncated and reported; corruption
+//! *before* the tail is indistinguishable from a torn tail only if every
+//! later record is also discarded, which is what truncation does.
+
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: [u8; 4] = *b"HPJL";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+const RECORD_PAYLOAD_LEN: usize = 25;
+const FRAME_LEN: usize = 8;
+
+/// On-disk size of one framed record (frame + payload).
+pub const RECORD_LEN: u64 = (FRAME_LEN + RECORD_PAYLOAD_LEN) as u64;
+
+/// When the journal flushes its buffer and asks the OS to make appended
+/// records durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Never fsync; rely on OS write-back. Survives process crashes (the
+    /// kernel has the bytes) but not power loss.
+    Never,
+    /// Fsync after every appended batch — the strongest setting.
+    #[default]
+    EveryBatch,
+    /// Fsync once per `n` appended records (amortized durability).
+    EveryN(
+        /// Number of appended records between fsyncs (`0` acts like
+        /// [`FsyncPolicy::Never`]).
+        u64,
+    ),
+}
+
+/// Errors from journal I/O and recovery.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file exists but its header is not a journal header.
+    BadHeader {
+        /// The offending journal path.
+        path: PathBuf,
+    },
+    /// The journal was written by a different shard topology.
+    ShardMismatch {
+        /// Shard index recorded in the journal header.
+        found_shard: u32,
+        /// Shard count recorded in the journal header.
+        found_shards: u32,
+        /// Shard index the service expected.
+        expected_shard: u32,
+        /// Shard count the service expected.
+        expected_shards: u32,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::BadHeader { path } => {
+                write!(f, "not a feedback journal: {}", path.display())
+            }
+            JournalError::ShardMismatch {
+                found_shard,
+                found_shards,
+                expected_shard,
+                expected_shards,
+            } => write!(
+                f,
+                "journal belongs to shard {found_shard}/{found_shards}, \
+                 service expected {expected_shard}/{expected_shards}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// What [`read_journal`] (and hence recovery) found on disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Every intact record, in append order.
+    pub feedbacks: Vec<Feedback>,
+    /// Bytes discarded from a torn tail (`0` for a clean journal).
+    pub torn_bytes: u64,
+}
+
+/// Accounting returned by an append so the worker can update counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppendInfo {
+    /// Records appended.
+    pub records: u64,
+    /// Bytes appended (frames + payloads).
+    pub bytes: u64,
+    /// Whether this append ended with an fsync.
+    pub synced: bool,
+}
+
+// CRC-32 (IEEE 802.3), table-driven; built at compile time.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data`, as used by the record frames.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn encode_payload(f: &Feedback) -> [u8; RECORD_PAYLOAD_LEN] {
+    let mut buf = [0u8; RECORD_PAYLOAD_LEN];
+    buf[0..8].copy_from_slice(&f.time.to_le_bytes());
+    buf[8..16].copy_from_slice(&f.server.value().to_le_bytes());
+    buf[16..24].copy_from_slice(&f.client.value().to_le_bytes());
+    buf[24] = u8::from(f.is_good());
+    buf
+}
+
+fn decode_payload(buf: &[u8]) -> Option<Feedback> {
+    if buf.len() != RECORD_PAYLOAD_LEN {
+        return None;
+    }
+    let time = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+    let server = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+    let client = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+    let rating = match buf[24] {
+        0 => Rating::Negative,
+        1 => Rating::Positive,
+        _ => return None,
+    };
+    Some(Feedback::new(
+        time,
+        ServerId::new(server),
+        ClientId::new(client),
+        rating,
+    ))
+}
+
+fn encode_header(shard: u32, shards: u32) -> [u8; HEADER_LEN as usize] {
+    let mut buf = [0u8; HEADER_LEN as usize];
+    buf[0..4].copy_from_slice(&MAGIC);
+    buf[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    buf[8..12].copy_from_slice(&shard.to_le_bytes());
+    buf[12..16].copy_from_slice(&shards.to_le_bytes());
+    buf
+}
+
+/// Reads a journal file: header check, then every intact record; a torn
+/// tail (short frame/payload or checksum mismatch) ends the scan and is
+/// reported in [`Recovered::torn_bytes`] without being treated as an
+/// error. The file is not modified.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] on read failure, [`JournalError::BadHeader`] if
+/// the file is not a journal, [`JournalError::ShardMismatch`] if the
+/// header names a different shard topology than `expect` (pass `None` to
+/// skip the topology check).
+pub fn read_journal(path: &Path, expect: Option<(u32, u32)>) -> Result<Recovered, JournalError> {
+    let mut file = File::open(path)?;
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+    if data.len() < HEADER_LEN as usize || data[0..4] != MAGIC {
+        return Err(JournalError::BadHeader {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(JournalError::BadHeader {
+            path: path.to_path_buf(),
+        });
+    }
+    let shard = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    let shards = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
+    if let Some((expected_shard, expected_shards)) = expect {
+        if (shard, shards) != (expected_shard, expected_shards) {
+            return Err(JournalError::ShardMismatch {
+                found_shard: shard,
+                found_shards: shards,
+                expected_shard,
+                expected_shards,
+            });
+        }
+    }
+
+    let mut recovered = Recovered::default();
+    let mut at = HEADER_LEN as usize;
+    while at < data.len() {
+        let rest = &data[at..];
+        if rest.len() < FRAME_LEN {
+            break; // torn frame header
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len != RECORD_PAYLOAD_LEN || rest.len() < FRAME_LEN + len {
+            break; // impossible length or torn payload
+        }
+        let payload = &rest[FRAME_LEN..FRAME_LEN + len];
+        if crc32(payload) != crc {
+            break; // torn / corrupt record
+        }
+        let Some(feedback) = decode_payload(payload) else {
+            break; // checksummed but undecodable: treat as tail corruption
+        };
+        recovered.feedbacks.push(feedback);
+        at += FRAME_LEN + len;
+    }
+    recovered.torn_bytes = (data.len() - at) as u64;
+    Ok(recovered)
+}
+
+/// An append-only file journal for one shard.
+///
+/// Opening recovers existing records (truncating a torn tail in place) and
+/// positions the writer at the end; [`FileJournal::append_batch`] frames
+/// and checksums each feedback and applies the [`FsyncPolicy`].
+#[derive(Debug)]
+pub struct FileJournal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    policy: FsyncPolicy,
+    records_since_sync: u64,
+    records: u64,
+}
+
+impl FileJournal {
+    /// Opens (or creates) the journal for `shard` of `shards` at `path`.
+    ///
+    /// Returns the journal positioned for appends plus everything
+    /// recovered from disk; a torn tail is truncated so the next append
+    /// starts on a clean record boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`], [`JournalError::BadHeader`], or
+    /// [`JournalError::ShardMismatch`] as for [`read_journal`].
+    pub fn open(
+        path: &Path,
+        shard: u32,
+        shards: u32,
+        policy: FsyncPolicy,
+    ) -> Result<(Self, Recovered), JournalError> {
+        let fresh = !path.exists();
+        let mut recovered = Recovered::default();
+        if !fresh {
+            recovered = read_journal(path, Some((shard, shards)))?;
+        }
+        // `truncate(false)`: existing records must survive the open; the
+        // torn tail (if any) is cut by the explicit `set_len` below.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        if fresh {
+            file.write_all(&encode_header(shard, shards))?;
+            file.sync_all()?;
+            file.seek(SeekFrom::End(0))?;
+        } else {
+            // Truncate the torn tail so appends resume on a frame boundary.
+            let keep = HEADER_LEN
+                + recovered.feedbacks.len() as u64 * (FRAME_LEN + RECORD_PAYLOAD_LEN) as u64;
+            file.set_len(keep)?;
+            file.seek(SeekFrom::Start(keep))?;
+        }
+        let records = recovered.feedbacks.len() as u64;
+        Ok((
+            FileJournal {
+                path: path.to_path_buf(),
+                writer: BufWriter::new(file),
+                policy,
+                records_since_sync: 0,
+                records,
+            },
+            recovered,
+        ))
+    }
+
+    /// Appends `batch` (frame + checksum per feedback), then flushes and
+    /// fsyncs per the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the write or sync fails; the journal must
+    /// then be considered torn at the tail (recovery handles it).
+    pub fn append_batch(&mut self, batch: &[Feedback]) -> Result<AppendInfo, JournalError> {
+        let mut info = AppendInfo::default();
+        for feedback in batch {
+            let payload = encode_payload(feedback);
+            let mut frame = [0u8; FRAME_LEN];
+            frame[0..4].copy_from_slice(&(RECORD_PAYLOAD_LEN as u32).to_le_bytes());
+            frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+            self.writer.write_all(&frame)?;
+            self.writer.write_all(&payload)?;
+            info.records += 1;
+            info.bytes += (FRAME_LEN + RECORD_PAYLOAD_LEN) as u64;
+        }
+        self.records += info.records;
+        self.records_since_sync += info.records;
+        self.writer.flush()?;
+        let due = match self.policy {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::EveryBatch => true,
+            FsyncPolicy::EveryN(n) => n > 0 && self.records_since_sync >= n,
+        };
+        if due {
+            self.sync()?;
+            info.synced = true;
+        }
+        Ok(info)
+    }
+
+    /// Flushes buffered writes and fsyncs, regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the flush or sync fails.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        self.records_since_sync = 0;
+        Ok(())
+    }
+
+    /// Records appended plus recovered since open.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The journal a supervised shard folds its state from.
+///
+/// `Memory` keeps the durable sequence in process memory — enough for the
+/// supervisor to rebuild a crashed worker, but lost with the process.
+/// `File` adds crash-persistent recovery via [`FileJournal`].
+#[derive(Debug)]
+pub enum JournalStore {
+    /// In-process journal: supports worker respawn, not process restart.
+    Memory(
+        /// The retained feedback sequence, in apply order.
+        Vec<Feedback>,
+    ),
+    /// On-disk journal with framed, checksummed records.
+    File(FileJournal),
+}
+
+impl JournalStore {
+    /// Appends a batch, returning append accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] from the file backend; the memory backend is
+    /// infallible.
+    pub fn append_batch(&mut self, batch: &[Feedback]) -> Result<AppendInfo, JournalError> {
+        match self {
+            JournalStore::Memory(log) => {
+                log.extend_from_slice(batch);
+                Ok(AppendInfo {
+                    records: batch.len() as u64,
+                    bytes: (batch.len() * (FRAME_LEN + RECORD_PAYLOAD_LEN)) as u64,
+                    synced: false,
+                })
+            }
+            JournalStore::File(journal) => journal.append_batch(batch),
+        }
+    }
+
+    /// Flushes any buffered writes to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] from the file backend.
+    pub fn flush(&mut self) -> Result<(), JournalError> {
+        match self {
+            JournalStore::Memory(_) => Ok(()),
+            JournalStore::File(journal) => journal.sync(),
+        }
+    }
+
+    /// The full durable feedback sequence, in apply order — what a
+    /// rebuilt worker's state is a fold of.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file backend cannot be re-read.
+    pub fn replay(&mut self) -> Result<Vec<Feedback>, JournalError> {
+        match self {
+            JournalStore::Memory(log) => Ok(log.clone()),
+            JournalStore::File(journal) => {
+                journal.sync()?;
+                Ok(read_journal(journal.path(), None)?.feedbacks)
+            }
+        }
+    }
+
+    /// Records appended so far (including any recovered at open).
+    pub fn len(&self) -> u64 {
+        match self {
+            JournalStore::Memory(log) => log.len() as u64,
+            JournalStore::File(journal) => journal.records(),
+        }
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feedback(t: u64, good: bool) -> Feedback {
+        Feedback::new(t, ServerId::new(3), ClientId::new(t % 5), Rating::from_good(good))
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hp-service-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let unique = format!(
+            "{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        dir.join(unique)
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_and_reopen() {
+        let path = temp_path("round-trip");
+        let _ = std::fs::remove_file(&path);
+        let batch: Vec<Feedback> = (0..100).map(|t| feedback(t, t % 7 != 0)).collect();
+        {
+            let (mut journal, recovered) =
+                FileJournal::open(&path, 0, 4, FsyncPolicy::EveryBatch).unwrap();
+            assert!(recovered.feedbacks.is_empty());
+            let info = journal.append_batch(&batch).unwrap();
+            assert_eq!(info.records, 100);
+            assert!(info.synced);
+        }
+        let (journal, recovered) = FileJournal::open(&path, 0, 4, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.feedbacks, batch);
+        assert_eq!(recovered.torn_bytes, 0);
+        assert_eq!(journal.records(), 100);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_kept() {
+        let path = temp_path("torn-tail");
+        let _ = std::fs::remove_file(&path);
+        let batch: Vec<Feedback> = (0..10).map(|t| feedback(t, true)).collect();
+        {
+            let (mut journal, _) =
+                FileJournal::open(&path, 1, 2, FsyncPolicy::EveryBatch).unwrap();
+            journal.append_batch(&batch).unwrap();
+        }
+        // Tear the final record: chop 5 bytes off the file.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+
+        let recovered = read_journal(&path, Some((1, 2))).unwrap();
+        assert_eq!(recovered.feedbacks, batch[..9].to_vec());
+        assert_eq!(recovered.torn_bytes, (FRAME_LEN + RECORD_PAYLOAD_LEN) as u64 - 5);
+
+        // Re-open truncates the tear; appends then continue cleanly.
+        let (mut journal, recovered) =
+            FileJournal::open(&path, 1, 2, FsyncPolicy::EveryBatch).unwrap();
+        assert_eq!(recovered.feedbacks.len(), 9);
+        journal.append_batch(&[feedback(99, false)]).unwrap();
+        drop(journal);
+        let recovered = read_journal(&path, Some((1, 2))).unwrap();
+        assert_eq!(recovered.feedbacks.len(), 10);
+        assert_eq!(recovered.feedbacks[9], feedback(99, false));
+        assert_eq!(recovered.torn_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_checksum_stops_the_scan() {
+        let path = temp_path("bad-crc");
+        let _ = std::fs::remove_file(&path);
+        let batch: Vec<Feedback> = (0..4).map(|t| feedback(t, true)).collect();
+        {
+            let (mut journal, _) =
+                FileJournal::open(&path, 0, 1, FsyncPolicy::EveryBatch).unwrap();
+            journal.append_batch(&batch).unwrap();
+        }
+        // Flip one payload byte in the third record.
+        let mut data = std::fs::read(&path).unwrap();
+        let third_payload =
+            HEADER_LEN as usize + 2 * (FRAME_LEN + RECORD_PAYLOAD_LEN) + FRAME_LEN;
+        data[third_payload] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let recovered = read_journal(&path, None).unwrap();
+        assert_eq!(recovered.feedbacks, batch[..2].to_vec());
+        assert!(recovered.torn_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_mismatch_is_rejected() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) =
+                FileJournal::open(&path, 2, 8, FsyncPolicy::Never).unwrap();
+            journal.append_batch(&[feedback(0, true)]).unwrap();
+            journal.sync().unwrap();
+        }
+        match FileJournal::open(&path, 2, 4, FsyncPolicy::Never) {
+            Err(JournalError::ShardMismatch {
+                found_shard: 2,
+                found_shards: 8,
+                expected_shard: 2,
+                expected_shards: 4,
+            }) => {}
+            other => panic!("expected shard mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected() {
+        let path = temp_path("not-a-journal");
+        std::fs::write(&path, b"definitely not a journal header").unwrap();
+        assert!(matches!(
+            read_journal(&path, None),
+            Err(JournalError::BadHeader { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_n_policy_syncs_on_schedule() {
+        let path = temp_path("every-n");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) =
+            FileJournal::open(&path, 0, 1, FsyncPolicy::EveryN(5)).unwrap();
+        let info = journal.append_batch(&[feedback(0, true), feedback(1, true)]).unwrap();
+        assert!(!info.synced);
+        let info = journal
+            .append_batch(&(2..6).map(|t| feedback(t, true)).collect::<Vec<_>>())
+            .unwrap();
+        assert!(info.synced, "5th record crosses the sync threshold");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_store_replays_in_order() {
+        let mut store = JournalStore::Memory(Vec::new());
+        let batch: Vec<Feedback> = (0..20).map(|t| feedback(t, t % 3 != 0)).collect();
+        store.append_batch(&batch[..10]).unwrap();
+        store.append_batch(&batch[10..]).unwrap();
+        assert_eq!(store.replay().unwrap(), batch);
+        assert_eq!(store.len(), 20);
+        assert!(!store.is_empty());
+        store.flush().unwrap();
+    }
+}

@@ -51,13 +51,22 @@
 #![warn(missing_docs)]
 
 mod config;
+mod faults;
+pub mod journal;
 mod metrics;
 pub mod replay;
 mod service;
 mod shard;
 mod state;
+mod supervisor;
 
-pub use config::{ServiceConfig, TrustModel};
+pub use config::{Durability, IngestPolicy, ServiceConfig, SupervisionConfig, TrustModel};
+#[cfg(feature = "fault-injection")]
+pub use faults::FaultPlan;
+pub use journal::FsyncPolicy;
 pub use metrics::ServiceStats;
 pub use replay::{run_replay, OfflineReference, ReplayConfig, ReplayOutcome};
-pub use service::{BatchAssessments, ReputationService, ServiceError};
+pub use service::{
+    AssessOutcome, BatchAssessments, DegradedAssessment, DegradedReason, IngestOutcome,
+    ReputationService, ServiceError,
+};

@@ -2,15 +2,33 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared atomic counters, incremented by the front end and the shard
-/// workers. Relaxed ordering everywhere: these are monotone statistics,
-/// not synchronization points.
+/// Shared atomic counters, incremented by the front end, the shard
+/// workers, and the supervisors. Relaxed ordering everywhere: these are
+/// monotone statistics, not synchronization points.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub ingested: AtomicU64,
     pub served: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    /// Feedbacks dropped by the shed / try-for ingest policies.
+    pub shed: AtomicU64,
+    /// Assessments answered from the last-published (degraded) cache.
+    pub degraded: AtomicU64,
+    /// Shard worker restarts performed by supervisors.
+    pub restarts: AtomicU64,
+    /// Journal records quarantined after repeated crash-on-replay.
+    pub quarantined: AtomicU64,
+    /// Shards declared permanently failed (restart budget exhausted).
+    pub shards_failed: AtomicU64,
+    /// Records in shard journals (appended plus recovered at open).
+    pub journal_records: AtomicU64,
+    /// Bytes in shard journals (frames + payloads, appended + recovered).
+    pub journal_bytes: AtomicU64,
+    /// Journal fsyncs performed.
+    pub journal_syncs: AtomicU64,
+    /// Bytes discarded from torn journal tails during recovery.
+    pub torn_bytes: AtomicU64,
 }
 
 impl Counters {
@@ -28,6 +46,38 @@ impl Counters {
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    pub fn add_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_degraded(&self, n: u64) {
+        self.degraded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_shard_failed(&self) {
+        self.shards_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_journal_append(&self, records: u64, bytes: u64, synced: bool) {
+        self.journal_records.fetch_add(records, Ordering::Relaxed);
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if synced {
+            self.journal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add_torn_bytes(&self, n: u64) {
+        self.torn_bytes.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -51,6 +101,25 @@ pub struct ServiceStats {
     pub tracked_feedbacks: usize,
     /// Entries in the shared threshold-calibration cache.
     pub calibration_cache_entries: usize,
+    /// Feedbacks dropped by the shed / try-for ingest policies.
+    pub shed_feedbacks: u64,
+    /// Assessments answered from the last-published (degraded) cache.
+    pub degraded_answers: u64,
+    /// Shard worker restarts performed by supervisors.
+    pub shard_restarts: u64,
+    /// Journal records quarantined after repeated crash-on-replay.
+    pub quarantined_records: u64,
+    /// Shards declared permanently failed.
+    pub failed_shards: u64,
+    /// Records in shard journals (appended since start plus recovered
+    /// from disk at open).
+    pub journal_records: u64,
+    /// Bytes in shard journals (appended plus recovered).
+    pub journal_bytes: u64,
+    /// Journal fsyncs performed since start.
+    pub journal_syncs: u64,
+    /// Bytes discarded from torn journal tails during recovery.
+    pub torn_journal_bytes: u64,
 }
 
 impl ServiceStats {
@@ -64,6 +133,38 @@ impl ServiceStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of offered feedbacks shed (`0.0` before any ingest).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.ingested_feedbacks + self.shed_feedbacks;
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed_feedbacks as f64 / offered as f64
+        }
+    }
+
+    pub(crate) fn from_counters(counters: &Counters) -> Self {
+        ServiceStats {
+            ingested_feedbacks: counters.ingested.load(Ordering::Relaxed),
+            assessments_served: counters.served.load(Ordering::Relaxed),
+            cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: counters.cache_misses.load(Ordering::Relaxed),
+            shard_queue_depths: Vec::new(),
+            tracked_servers: 0,
+            tracked_feedbacks: 0,
+            calibration_cache_entries: 0,
+            shed_feedbacks: counters.shed.load(Ordering::Relaxed),
+            degraded_answers: counters.degraded.load(Ordering::Relaxed),
+            shard_restarts: counters.restarts.load(Ordering::Relaxed),
+            quarantined_records: counters.quarantined.load(Ordering::Relaxed),
+            failed_shards: counters.shards_failed.load(Ordering::Relaxed),
+            journal_records: counters.journal_records.load(Ordering::Relaxed),
+            journal_bytes: counters.journal_bytes.load(Ordering::Relaxed),
+            journal_syncs: counters.journal_syncs.load(Ordering::Relaxed),
+            torn_journal_bytes: counters.torn_bytes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -72,20 +173,15 @@ mod tests {
 
     #[test]
     fn hit_rate_handles_zero_and_counts() {
-        let mut s = ServiceStats {
-            ingested_feedbacks: 0,
-            assessments_served: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            shard_queue_depths: vec![],
-            tracked_servers: 0,
-            tracked_feedbacks: 0,
-            calibration_cache_entries: 0,
-        };
+        let mut s = ServiceStats::from_counters(&Counters::default());
         assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.shed_rate(), 0.0);
         s.cache_hits = 3;
         s.cache_misses = 1;
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        s.ingested_feedbacks = 90;
+        s.shed_feedbacks = 10;
+        assert!((s.shed_rate() - 0.1).abs() < 1e-12);
     }
 
     #[test]
@@ -96,9 +192,27 @@ mod tests {
         c.add_served(1);
         c.record_cache(true);
         c.record_cache(false);
-        assert_eq!(c.ingested.load(Ordering::Relaxed), 7);
-        assert_eq!(c.served.load(Ordering::Relaxed), 1);
-        assert_eq!(c.cache_hits.load(Ordering::Relaxed), 1);
-        assert_eq!(c.cache_misses.load(Ordering::Relaxed), 1);
+        c.add_shed(4);
+        c.add_degraded(1);
+        c.add_restart();
+        c.add_quarantined();
+        c.add_shard_failed();
+        c.record_journal_append(3, 99, true);
+        c.record_journal_append(1, 33, false);
+        c.add_torn_bytes(7);
+        let s = ServiceStats::from_counters(&c);
+        assert_eq!(s.ingested_feedbacks, 7);
+        assert_eq!(s.assessments_served, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.shed_feedbacks, 4);
+        assert_eq!(s.degraded_answers, 1);
+        assert_eq!(s.shard_restarts, 1);
+        assert_eq!(s.quarantined_records, 1);
+        assert_eq!(s.failed_shards, 1);
+        assert_eq!(s.journal_records, 4);
+        assert_eq!(s.journal_bytes, 132);
+        assert_eq!(s.journal_syncs, 1);
+        assert_eq!(s.torn_journal_bytes, 7);
     }
 }

@@ -218,7 +218,7 @@ pub fn run_replay(
                 cursors[i] += 1;
                 progressed = true;
                 if batch.len() == replay.batch_size.max(1) {
-                    feedbacks += service.ingest_batch(std::mem::take(&mut batch))?;
+                    feedbacks += service.ingest_batch(std::mem::take(&mut batch))?.accepted;
                 }
             }
         }
@@ -227,7 +227,7 @@ pub fn run_replay(
         }
     }
     if !batch.is_empty() {
-        feedbacks += service.ingest_batch(batch)?;
+        feedbacks += service.ingest_batch(batch)?.accepted;
     }
 
     // 3. Assess everything online in one batched call.

@@ -1,27 +1,50 @@
-//! The front end: shard routing, batching, and lifecycle.
+//! The front end: shard routing, batching, backpressure, and lifecycle.
 
-use crate::config::ServiceConfig;
+use crate::config::{Durability, IngestPolicy, ServiceConfig};
+use crate::faults::ShardFaults;
+use crate::journal::{FileJournal, JournalStore};
 use crate::metrics::{Counters, ServiceStats};
-use crate::shard::{spawn_shard, Command, ShardHandle, ShardSnapshot};
-use crossbeam::channel;
+use crate::shard::{Command, Published, ShardContext, ShardHandle, ShardSnapshot};
+use crate::supervisor::spawn_supervised_shard;
+use crossbeam::channel::{self, RecvTimeoutError, SendTimeoutError, TrySendError};
 use hp_core::testing::{shared_calibrator, MultiBehaviorTest};
 use hp_core::twophase::Assessment;
 use hp_core::{CoreError, Feedback, ServerId};
 use hp_stats::ThresholdCalibrator;
 use hp_store::FeedbackStore;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by [`ReputationService`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
     /// An assessment or configuration error from the core pipeline.
     Core(CoreError),
-    /// A shard worker is no longer reachable (its thread exited).
+    /// A shard worker is no longer reachable (restart budget exhausted or
+    /// its thread exited).
     ShardUnavailable {
         /// Index of the unreachable shard.
         shard: usize,
+    },
+    /// An assessment deadline expired with no published verdict to
+    /// degrade to.
+    DeadlineExceeded {
+        /// Index of the shard that missed the deadline.
+        shard: usize,
+    },
+    /// The shard worker restarted while holding this request; the
+    /// request was not lost from the journal, only its reply. Retry.
+    Interrupted {
+        /// Index of the restarting shard.
+        shard: usize,
+    },
+    /// A shard journal could not be opened or recovered at start-up.
+    Journal {
+        /// Human-readable cause.
+        reason: String,
     },
 }
 
@@ -32,6 +55,13 @@ impl fmt::Display for ServiceError {
             ServiceError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} is unavailable")
             }
+            ServiceError::DeadlineExceeded { shard } => {
+                write!(f, "shard {shard} missed the assessment deadline")
+            }
+            ServiceError::Interrupted { shard } => {
+                write!(f, "shard {shard} restarted while serving the request")
+            }
+            ServiceError::Journal { reason } => write!(f, "journal error: {reason}"),
         }
     }
 }
@@ -40,7 +70,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Core(e) => Some(e),
-            ServiceError::ShardUnavailable { .. } => None,
+            _ => None,
         }
     }
 }
@@ -55,6 +85,93 @@ impl From<CoreError> for ServiceError {
 /// order.
 pub type BatchAssessments = Vec<(ServerId, Result<Assessment, CoreError>)>;
 
+/// What happened to a batch offered to [`ReputationService::ingest_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestOutcome {
+    /// Feedbacks enqueued for durable ingest.
+    pub accepted: usize,
+    /// Feedbacks dropped by the [`IngestPolicy::Shed`] /
+    /// [`IngestPolicy::TryFor`] policies under backpressure.
+    pub shed: usize,
+}
+
+impl IngestOutcome {
+    /// Folds another outcome into this one.
+    pub fn merge(&mut self, other: IngestOutcome) {
+        self.accepted += other.accepted;
+        self.shed += other.shed;
+    }
+}
+
+/// Why an assessment was answered from the published-verdict cache
+/// instead of freshly by the shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The deadline expired before the worker answered (queue backlog or
+    /// a slow computation).
+    DeadlineExceeded,
+    /// The worker panicked while holding the request and is restarting.
+    WorkerRestarting,
+    /// The shard is permanently unavailable (restart budget exhausted).
+    ShardUnavailable,
+}
+
+/// A stale-but-honest answer: the last verdict the shard published for
+/// this server, stamped with how stale it is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedAssessment {
+    /// The last published assessment.
+    pub assessment: Assessment,
+    /// The server's history version the assessment was computed at.
+    pub computed_at_version: u64,
+    /// The latest history version the shard had applied for this server
+    /// when the verdict was last updated.
+    pub latest_version: u64,
+    /// Why the fresh path did not answer.
+    pub reason: DegradedReason,
+}
+
+impl DegradedAssessment {
+    /// Feedbacks ingested since this verdict was computed (`0` means the
+    /// verdict is current despite being served from the cache).
+    pub fn staleness(&self) -> u64 {
+        self.latest_version.saturating_sub(self.computed_at_version)
+    }
+}
+
+/// Answer from [`ReputationService::assess_within`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssessOutcome {
+    /// The worker answered within the deadline.
+    Fresh(Assessment),
+    /// The deadline expired (or the worker was restarting); this is the
+    /// last published verdict, stamped with its staleness.
+    Degraded(DegradedAssessment),
+}
+
+impl AssessOutcome {
+    /// The assessment, fresh or degraded.
+    pub fn assessment(&self) -> &Assessment {
+        match self {
+            AssessOutcome::Fresh(a) => a,
+            AssessOutcome::Degraded(d) => &d.assessment,
+        }
+    }
+
+    /// True when the answer came from the published-verdict cache.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, AssessOutcome::Degraded(_))
+    }
+
+    /// Consumes the outcome, returning the assessment either way.
+    pub fn into_assessment(self) -> Assessment {
+        match self {
+            AssessOutcome::Fresh(a) => a,
+            AssessOutcome::Degraded(d) => d.assessment,
+        }
+    }
+}
+
 /// A concurrent online reputation service.
 ///
 /// Feedback events are ingested in batches and routed to shard worker
@@ -68,6 +185,19 @@ pub type BatchAssessments = Vec<(ServerId, Result<Assessment, CoreError>)>;
 /// feedback sequence: phase-1 thresholds come from a deterministic, shared,
 /// pre-warmed calibrator and phase-2 trust states are bit-exact streaming
 /// counterparts of the batch trust functions.
+///
+/// # Fault tolerance
+///
+/// Every ingest batch is appended to its shard's journal *before* it is
+/// applied, so shard state is a pure fold over the journal. A panicking
+/// worker is respawned by its supervisor (capped exponential backoff) and
+/// rebuilt by replaying the journal; with
+/// [`Durability::Durable`](crate::Durability) the journal lives on disk
+/// and a whole process restart recovers every acknowledged feedback.
+/// Bounded queues apply backpressure per the configured
+/// [`IngestPolicy`](crate::IngestPolicy), and [`Self::assess_within`]
+/// trades freshness for latency by answering from the last published
+/// verdict when a deadline expires.
 ///
 /// # Examples
 ///
@@ -89,7 +219,8 @@ pub type BatchAssessments = Vec<(ServerId, Result<Assessment, CoreError>)>;
 /// let feedbacks: Vec<Feedback> = (0..300)
 ///     .map(|t| Feedback::new(t, server, ClientId::new(t % 9), Rating::from_good(t % 17 != 0)))
 ///     .collect();
-/// service.ingest_batch(feedbacks)?;
+/// let outcome = service.ingest_batch(feedbacks)?;
+/// assert_eq!(outcome.accepted, 300);
 /// let assessment = service.assess(server)?;
 /// assert!(assessment.trust().is_some() || assessment.is_rejected());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -103,13 +234,15 @@ pub struct ReputationService {
 
 impl ReputationService {
     /// Starts the service: validates the configuration, pre-warms the
-    /// shared threshold-calibration cache over the configured grid, and
-    /// spawns one worker thread per shard.
+    /// shared threshold-calibration cache over the configured grid, opens
+    /// (and recovers) the per-shard journals, and spawns one supervised
+    /// worker thread per shard.
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError::Core`] for an invalid configuration or a
-    /// calibration failure during pre-warm.
+    /// calibration failure during pre-warm, and [`ServiceError::Journal`]
+    /// when a durable journal cannot be opened or recovered.
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         let calibrator = shared_calibrator(config.test())?;
@@ -131,14 +264,23 @@ impl ReputationService {
 
         let counters = Arc::new(Counters::default());
         let mut shards = Vec::with_capacity(config.shards());
-        for _ in 0..config.shards() {
+        for shard in 0..config.shards() {
             let test =
                 MultiBehaviorTest::with_calibrator(config.test().clone(), Arc::clone(&calibrator))?;
-            shards.push(spawn_shard(
+            let journal = open_journal(&config, shard, &counters)?;
+            let ctx = ShardContext {
                 test,
-                config.trust(),
-                config.short_history(),
-                Arc::clone(&counters),
+                model: config.trust(),
+                policy: config.short_history(),
+                counters: Arc::clone(&counters),
+                journal: Arc::new(Mutex::new(journal)),
+                published: Published::default(),
+                faults: ShardFaults::for_config(&config, shard),
+            };
+            shards.push(spawn_supervised_shard(
+                shard,
+                ctx,
+                config.supervision(),
                 config.queue_capacity(),
             ));
         }
@@ -166,64 +308,110 @@ impl ReputationService {
     }
 
     /// Ingests a batch of feedback events, routing each to its server's
-    /// shard. Returns the number of feedbacks accepted.
+    /// shard, and reports exactly what happened to them.
+    ///
+    /// Under a bounded queue the configured
+    /// [`IngestPolicy`](crate::IngestPolicy) decides whether a full shard
+    /// blocks the caller ([`IngestPolicy::Block`]), drops that shard's
+    /// sub-batch and counts it shed ([`IngestPolicy::Shed`]), or blocks
+    /// with a bound then sheds ([`IngestPolicy::TryFor`]). Shedding is
+    /// exact: the unsent command is returned by the channel, so every
+    /// dropped feedback is counted — none vanish silently.
     ///
     /// Within a batch, per-server order is preserved; a subsequent
-    /// [`Self::assess`] for any of these servers observes the whole batch
-    /// (FIFO per shard).
+    /// [`Self::assess`] for any accepted server observes the whole
+    /// sub-batch (FIFO per shard).
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::ShardUnavailable`] if a worker has exited;
-    /// feedbacks routed to other shards in the same call are still
-    /// ingested.
+    /// Returns [`ServiceError::ShardUnavailable`] if a worker is
+    /// permanently gone; sub-batches routed to healthy shards in the same
+    /// call are still delivered before the error returns.
     pub fn ingest_batch(
         &self,
         feedbacks: impl IntoIterator<Item = Feedback>,
-    ) -> Result<usize, ServiceError> {
+    ) -> Result<IngestOutcome, ServiceError> {
         let mut per_shard: Vec<Vec<Feedback>> = vec![Vec::new(); self.shards.len()];
-        let mut total = 0usize;
         for feedback in feedbacks {
             per_shard[self.shard_of(feedback.server)].push(feedback);
-            total += 1;
         }
+        let mut outcome = IngestOutcome::default();
+        let mut dead_shard = None;
         for (shard, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            self.shards[shard]
-                .send(Command::Ingest(batch))
-                .map_err(|()| ServiceError::ShardUnavailable { shard })?;
+            let offered = batch.len();
+            let command = Command::Ingest(batch);
+            let (accepted, shed) = match self.config.ingest_policy() {
+                IngestPolicy::Block => match self.shards[shard].send(command) {
+                    Ok(()) => (offered, 0),
+                    Err(e) => {
+                        dead_shard.get_or_insert(shard);
+                        debug_assert_eq!(e.0.feedback_count(), offered);
+                        (0, 0)
+                    }
+                },
+                IngestPolicy::Shed => match self.shards[shard].try_send(command) {
+                    Ok(()) => (offered, 0),
+                    Err(TrySendError::Full(returned)) => (0, returned.feedback_count()),
+                    Err(TrySendError::Disconnected(_)) => {
+                        dead_shard.get_or_insert(shard);
+                        (0, 0)
+                    }
+                },
+                IngestPolicy::TryFor(timeout) => {
+                    match self.shards[shard].send_timeout(command, timeout) {
+                        Ok(()) => (offered, 0),
+                        Err(SendTimeoutError::Timeout(returned)) => {
+                            (0, returned.feedback_count())
+                        }
+                        Err(SendTimeoutError::Disconnected(_)) => {
+                            dead_shard.get_or_insert(shard);
+                            (0, 0)
+                        }
+                    }
+                }
+            };
+            outcome.accepted += accepted;
+            outcome.shed += shed;
         }
-        self.counters.add_ingested(total as u64);
-        Ok(total)
+        self.counters.add_ingested(outcome.accepted as u64);
+        self.counters.add_shed(outcome.shed as u64);
+        match dead_shard {
+            Some(shard) => Err(ServiceError::ShardUnavailable { shard }),
+            None => Ok(outcome),
+        }
     }
 
     /// Loads every server history from `store` into the service.
     ///
-    /// Returns the number of feedbacks ingested. Use this to warm-start
-    /// from a persisted feedback log (e.g. [`hp_store::MemoryStore`] or a
+    /// Returns the merged [`IngestOutcome`]. Use this to warm-start from
+    /// a persisted feedback log (e.g. [`hp_store::MemoryStore`] or a
     /// sharded store healed after failures).
     ///
     /// # Errors
     ///
     /// As [`Self::ingest_batch`].
-    pub fn ingest_store(&self, store: &dyn FeedbackStore) -> Result<usize, ServiceError> {
-        let mut total = 0usize;
+    pub fn ingest_store(&self, store: &dyn FeedbackStore) -> Result<IngestOutcome, ServiceError> {
+        let mut outcome = IngestOutcome::default();
         for server in store.servers() {
             let history = store.history_of(server);
-            total += self.ingest_batch(history.iter().copied())?;
+            outcome.merge(self.ingest_batch(history.iter().copied())?);
         }
-        Ok(total)
+        Ok(outcome)
     }
 
     /// Assesses one server: phase-1 behavior screening plus phase-2 trust,
     /// answered from the versioned cache when the history is unchanged.
+    /// Blocks until the shard answers.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Core`] for assessment failures,
-    /// [`ServiceError::ShardUnavailable`] if the worker is gone.
+    /// [`ServiceError::ShardUnavailable`] if the worker is permanently
+    /// gone, [`ServiceError::Interrupted`] if it restarted while holding
+    /// this request (safe to retry).
     pub fn assess(&self, server: ServerId) -> Result<Assessment, ServiceError> {
         let shard = self.shard_of(server);
         let (reply_tx, reply_rx) = channel::bounded(1);
@@ -232,10 +420,83 @@ impl ReputationService {
                 server,
                 reply: reply_tx,
             })
-            .map_err(|()| ServiceError::ShardUnavailable { shard })?;
+            .map_err(|_| ServiceError::ShardUnavailable { shard })?;
         match reply_rx.recv() {
             Ok(answer) => answer.map_err(ServiceError::Core),
-            Err(_) => Err(ServiceError::ShardUnavailable { shard }),
+            Err(_) => Err(ServiceError::Interrupted { shard }),
+        }
+    }
+
+    /// Assesses one server with a latency budget: if the shard does not
+    /// answer within `deadline`, the last verdict it published for this
+    /// server is returned as [`AssessOutcome::Degraded`], stamped with
+    /// the history version it was computed at and the latest version the
+    /// shard has applied, so the caller can see exactly how stale it is.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DeadlineExceeded`] when the deadline expires and
+    /// no verdict was ever published for this server;
+    /// [`ServiceError::Interrupted`] / [`ServiceError::ShardUnavailable`]
+    /// likewise when the worker restarted or is gone and there is nothing
+    /// to degrade to; [`ServiceError::Core`] for assessment failures.
+    pub fn assess_within(
+        &self,
+        server: ServerId,
+        deadline: Duration,
+    ) -> Result<AssessOutcome, ServiceError> {
+        let shard = self.shard_of(server);
+        let start = Instant::now();
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        let command = Command::Assess {
+            server,
+            reply: reply_tx,
+        };
+        match self.shards[shard].send_timeout(command, deadline) {
+            Ok(()) => {}
+            Err(SendTimeoutError::Timeout(_)) => {
+                return self.degraded(shard, server, DegradedReason::DeadlineExceeded);
+            }
+            Err(SendTimeoutError::Disconnected(_)) => {
+                return self.degraded(shard, server, DegradedReason::ShardUnavailable);
+            }
+        }
+        let remaining = deadline.saturating_sub(start.elapsed());
+        match reply_rx.recv_timeout(remaining) {
+            Ok(answer) => answer.map(AssessOutcome::Fresh).map_err(ServiceError::Core),
+            Err(RecvTimeoutError::Timeout) => {
+                self.degraded(shard, server, DegradedReason::DeadlineExceeded)
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                self.degraded(shard, server, DegradedReason::WorkerRestarting)
+            }
+        }
+    }
+
+    /// Answers from the published-verdict cache, or maps the failure to
+    /// the matching typed error when nothing was ever published.
+    fn degraded(
+        &self,
+        shard: usize,
+        server: ServerId,
+        reason: DegradedReason,
+    ) -> Result<AssessOutcome, ServiceError> {
+        let published = self.shards[shard].published.lock().get(&server).cloned();
+        match published {
+            Some(pv) => {
+                self.counters.add_degraded(1);
+                Ok(AssessOutcome::Degraded(DegradedAssessment {
+                    assessment: pv.assessment,
+                    computed_at_version: pv.computed_at_version,
+                    latest_version: pv.latest_version,
+                    reason,
+                }))
+            }
+            None => Err(match reason {
+                DegradedReason::DeadlineExceeded => ServiceError::DeadlineExceeded { shard },
+                DegradedReason::WorkerRestarting => ServiceError::Interrupted { shard },
+                DegradedReason::ShardUnavailable => ServiceError::ShardUnavailable { shard },
+            }),
         }
     }
 
@@ -244,7 +505,8 @@ impl ReputationService {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::ShardUnavailable`] if any involved worker is gone;
+    /// [`ServiceError::ShardUnavailable`] / [`ServiceError::Interrupted`]
+    /// if any involved worker is gone or restarted mid-request;
     /// per-server assessment failures are reported inline.
     pub fn assess_many(
         &self,
@@ -265,14 +527,14 @@ impl ReputationService {
                     servers: group,
                     reply: reply_tx,
                 })
-                .map_err(|()| ServiceError::ShardUnavailable { shard })?;
+                .map_err(|_| ServiceError::ShardUnavailable { shard })?;
             pending.push((shard, reply_rx));
         }
         let mut by_server: HashMap<ServerId, Result<Assessment, CoreError>> = HashMap::new();
         for (shard, reply_rx) in pending {
             let answers = reply_rx
                 .recv()
-                .map_err(|_| ServiceError::ShardUnavailable { shard })?;
+                .map_err(|_| ServiceError::Interrupted { shard })?;
             by_server.extend(answers);
         }
         Ok(servers
@@ -292,9 +554,7 @@ impl ReputationService {
 
     /// A snapshot of operational counters and shard occupancy.
     pub fn stats(&self) -> ServiceStats {
-        use std::sync::atomic::Ordering;
-        let mut tracked = 0usize;
-        let mut tracked_feedbacks = 0usize;
+        let mut stats = ServiceStats::from_counters(&self.counters);
         let mut depths = Vec::with_capacity(self.shards.len());
         for handle in &self.shards {
             depths.push(handle.queue_depth());
@@ -304,18 +564,61 @@ impl ReputationService {
             } else {
                 ShardSnapshot::default()
             };
-            tracked += snapshot.servers;
-            tracked_feedbacks += snapshot.feedbacks;
+            stats.tracked_servers += snapshot.servers;
+            stats.tracked_feedbacks += snapshot.feedbacks;
         }
-        ServiceStats {
-            ingested_feedbacks: self.counters.ingested.load(Ordering::Relaxed),
-            assessments_served: self.counters.served.load(Ordering::Relaxed),
-            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
-            shard_queue_depths: depths,
-            tracked_servers: tracked,
-            tracked_feedbacks,
-            calibration_cache_entries: self.calibrator.cache_len(),
+        stats.shard_queue_depths = depths;
+        stats.calibration_cache_entries = self.calibrator.cache_len();
+        stats
+    }
+
+    /// Shuts the service down gracefully: every shard serves the
+    /// commands already queued (journaling queued ingests), flushes its
+    /// journal, and joins. Acknowledged feedback is never lost to a
+    /// shutdown; with a durable journal it survives to the next start.
+    ///
+    /// Dropping the service performs the same drain — this method just
+    /// makes the point explicit and lets callers sequence it.
+    pub fn shutdown(mut self) {
+        for handle in &mut self.shards {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Opens (and recovers) the journal for one shard per the configured
+/// durability, crediting torn bytes to the counters.
+fn open_journal(
+    config: &ServiceConfig,
+    shard: usize,
+    counters: &Counters,
+) -> Result<JournalStore, ServiceError> {
+    match config.durability() {
+        Durability::Ephemeral => Ok(JournalStore::Memory(Vec::new())),
+        Durability::Durable { dir, fsync } => {
+            std::fs::create_dir_all(dir).map_err(|e| ServiceError::Journal {
+                reason: format!("create {}: {e}", dir.display()),
+            })?;
+            let path = dir.join(format!("shard-{shard}.hpj"));
+            let (journal, recovered) = FileJournal::open(
+                &path,
+                shard as u32,
+                config.shards() as u32,
+                *fsync,
+            )
+            .map_err(|e| ServiceError::Journal {
+                reason: format!("open {}: {e}", path.display()),
+            })?;
+            // Recovered records count toward journal_records/_bytes so the
+            // stats describe the durable sequence, not just this process's
+            // appends.
+            counters.record_journal_append(
+                recovered.feedbacks.len() as u64,
+                recovered.feedbacks.len() as u64 * crate::journal::RECORD_LEN,
+                false,
+            );
+            counters.add_torn_bytes(recovered.torn_bytes);
+            Ok(JournalStore::File(journal))
         }
     }
 }
@@ -369,14 +672,17 @@ mod tests {
     fn ingest_and_assess_round_trip() {
         let service = ReputationService::new(fast_config()).unwrap();
         let server = ServerId::new(1);
-        let n = service.ingest_batch(feedbacks_for(server, 300, 17)).unwrap();
-        assert_eq!(n, 300);
+        let outcome = service.ingest_batch(feedbacks_for(server, 300, 17)).unwrap();
+        assert_eq!(outcome.accepted, 300);
+        assert_eq!(outcome.shed, 0);
         let assessment = service.assess(server).unwrap();
         assert!(assessment.trust().is_some() || assessment.is_rejected());
         let stats = service.stats();
         assert_eq!(stats.ingested_feedbacks, 300);
         assert_eq!(stats.assessments_served, 1);
         assert_eq!(stats.tracked_servers, 1);
+        assert_eq!(stats.journal_records, 300, "every feedback is journaled");
+        assert_eq!(stats.shard_restarts, 0);
     }
 
     #[test]
@@ -434,8 +740,8 @@ mod tests {
             store.append(f);
         }
         let service = ReputationService::new(fast_config()).unwrap();
-        let n = service.ingest_store(&store).unwrap();
-        assert_eq!(n, 230);
+        let outcome = service.ingest_store(&store).unwrap();
+        assert_eq!(outcome.accepted, 230);
         assert_eq!(service.stats().tracked_servers, 2);
     }
 
@@ -460,5 +766,42 @@ mod tests {
         if let Some(trust) = assessment.trust() {
             assert!((0.0..=1.0).contains(&trust.value()));
         }
+    }
+
+    #[test]
+    fn assess_within_generous_deadline_is_fresh() {
+        let service = ReputationService::new(fast_config()).unwrap();
+        let server = ServerId::new(12);
+        service.ingest_batch(feedbacks_for(server, 150, 7)).unwrap();
+        let outcome = service
+            .assess_within(server, Duration::from_secs(30))
+            .unwrap();
+        assert!(!outcome.is_degraded());
+        assert_eq!(outcome.assessment(), &service.assess(server).unwrap());
+    }
+
+    #[test]
+    fn assess_within_unknown_server_has_nothing_to_degrade_to() {
+        let config = fast_config().with_queue_capacity(1);
+        let service = ReputationService::new(config).unwrap();
+        // Zero deadline: the send may still slip through an empty queue,
+        // but the reply wait is what matters — an unknown server has no
+        // published verdict, so a timeout must be the typed error, while
+        // an answered request is a fresh assessment of an empty history.
+        match service.assess_within(ServerId::new(9999), Duration::ZERO) {
+            Ok(outcome) => assert!(!outcome.is_degraded()),
+            Err(e) => assert!(matches!(
+                e,
+                ServiceError::DeadlineExceeded { .. }
+            )),
+        }
+    }
+
+    #[test]
+    fn graceful_shutdown_drains() {
+        let service = ReputationService::new(fast_config()).unwrap();
+        let server = ServerId::new(21);
+        service.ingest_batch(feedbacks_for(server, 200, 13)).unwrap();
+        service.shutdown();
     }
 }

@@ -5,17 +5,36 @@
 //! FIFO, which gives the service read-your-writes per server: an `Assess`
 //! enqueued after an `Ingest` for the same server observes the ingested
 //! feedback, because both commands land on the same shard in order.
+//!
+//! Fault tolerance (see [`crate::supervisor`]):
+//!
+//! * every ingest batch is appended to the shard's journal **before** it
+//!   touches in-memory state, so the state is a pure fold over the
+//!   journal and a crashed worker can be rebuilt by replay;
+//! * each assessment the worker computes is *published* to a shared map
+//!   readable without the worker thread, which is what lets the front end
+//!   answer a typed degraded assessment when the worker is saturated or
+//!   restarting;
+//! * on `Shutdown` the worker drains commands that are already queued
+//!   (journaling and answering them) and flushes the journal before
+//!   exiting, so acknowledged feedback is never lost to a shutdown.
 
 use crate::config::TrustModel;
+use crate::faults::ShardFaults;
+use crate::journal::JournalStore;
 use crate::metrics::Counters;
 use crate::state::ServerState;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{
+    Receiver, SendError, SendTimeoutError, Sender, TrySendError,
+};
 use hp_core::testing::MultiBehaviorTest;
 use hp_core::twophase::{Assessment, ShortHistoryPolicy};
 use hp_core::{CoreError, Feedback, ServerId};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One assessment answer.
 pub(crate) type AssessReply = Result<Assessment, CoreError>;
@@ -26,6 +45,21 @@ pub(crate) struct ShardSnapshot {
     pub servers: usize,
     pub feedbacks: usize,
 }
+
+/// The last verdict a shard published for one server, readable by the
+/// front end without a round-trip through the worker thread.
+#[derive(Debug, Clone)]
+pub(crate) struct PublishedVerdict {
+    /// The assessment as computed.
+    pub assessment: Assessment,
+    /// The server's history version (= feedback count) it was computed at.
+    pub computed_at_version: u64,
+    /// The latest history version the shard has applied for this server.
+    pub latest_version: u64,
+}
+
+/// Shared per-shard map of last published verdicts.
+pub(crate) type Published = Arc<Mutex<HashMap<ServerId, PublishedVerdict>>>;
 
 /// What the front end sends to a shard worker.
 pub(crate) enum Command {
@@ -45,16 +79,58 @@ pub(crate) enum Command {
     Shutdown,
 }
 
-/// A handle to one spawned shard worker.
+impl std::fmt::Debug for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Command::Ingest(batch) => write!(f, "Ingest({} feedbacks)", batch.len()),
+            Command::Assess { server, .. } => write!(f, "Assess({server})"),
+            Command::AssessMany { servers, .. } => {
+                write!(f, "AssessMany({} servers)", servers.len())
+            }
+            Command::Snapshot { .. } => write!(f, "Snapshot"),
+            Command::Shutdown => write!(f, "Shutdown"),
+        }
+    }
+}
+
+impl Command {
+    /// Feedbacks carried by this command (0 for queries).
+    pub(crate) fn feedback_count(&self) -> usize {
+        match self {
+            Command::Ingest(batch) => batch.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A handle to one spawned (supervised) shard worker.
 pub(crate) struct ShardHandle {
-    tx: Sender<Command>,
-    join: Option<JoinHandle<()>>,
+    pub(crate) tx: Sender<Command>,
+    pub(crate) join: Option<JoinHandle<()>>,
+    /// Verdicts last published by this shard, for degraded answers.
+    pub(crate) published: Published,
 }
 
 impl ShardHandle {
-    /// Sends a command; `Err` means the worker is gone.
-    pub fn send(&self, command: Command) -> Result<(), ()> {
-        self.tx.send(command).map_err(|_| ())
+    /// Sends a command, blocking while the queue is full; the error
+    /// returns the unsent command so the caller can requeue or account
+    /// for it instead of silently dropping a batch.
+    pub fn send(&self, command: Command) -> Result<(), SendError<Command>> {
+        self.tx.send(command)
+    }
+
+    /// Sends without blocking; `Full`/`Disconnected` return the command.
+    pub fn try_send(&self, command: Command) -> Result<(), TrySendError<Command>> {
+        self.tx.try_send(command)
+    }
+
+    /// Sends, blocking at most `timeout`; errors return the command.
+    pub fn send_timeout(
+        &self,
+        command: Command,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<Command>> {
+        self.tx.send_timeout(command, timeout)
     }
 
     /// Commands currently queued (snapshot).
@@ -62,7 +138,7 @@ impl ShardHandle {
         self.tx.len()
     }
 
-    /// Requests shutdown and joins the worker thread.
+    /// Requests shutdown and joins the worker thread (idempotent).
     pub fn shutdown(&mut self) {
         let _ = self.tx.send(Command::Shutdown);
         if let Some(join) = self.join.take() {
@@ -77,94 +153,161 @@ impl Drop for ShardHandle {
     }
 }
 
-/// Spawns one shard worker.
-pub(crate) fn spawn_shard(
-    test: MultiBehaviorTest,
-    model: TrustModel,
-    policy: ShortHistoryPolicy,
-    counters: Arc<Counters>,
-    queue_capacity: usize,
-) -> ShardHandle {
-    let (tx, rx) = if queue_capacity == 0 {
-        channel::unbounded()
-    } else {
-        channel::bounded(queue_capacity)
-    };
-    let join = std::thread::spawn(move || worker_loop(&rx, &test, model, policy, &counters));
-    ShardHandle {
-        tx,
-        join: Some(join),
+/// Everything a shard worker (and its supervisor) needs besides the
+/// command channel and the state map.
+pub(crate) struct ShardContext {
+    pub test: MultiBehaviorTest,
+    pub model: TrustModel,
+    pub policy: ShortHistoryPolicy,
+    pub counters: Arc<Counters>,
+    pub journal: Arc<Mutex<JournalStore>>,
+    pub published: Published,
+    pub faults: ShardFaults,
+}
+
+#[derive(PartialEq, Eq)]
+pub(crate) enum Flow {
+    Continue,
+    Stop,
+}
+
+/// The worker loop proper. Runs until `Shutdown` (drain, flush, return)
+/// or until every sender is gone (flush, return). Panics unwind to the
+/// supervisor, which rebuilds `states` from the journal and calls back
+/// in.
+pub(crate) fn worker_loop(
+    rx: &Receiver<Command>,
+    states: &mut HashMap<ServerId, ServerState>,
+    ctx: &ShardContext,
+) {
+    while let Ok(command) = rx.recv() {
+        if handle_command(command, states, ctx) == Flow::Stop {
+            // Graceful shutdown: serve everything already queued, then
+            // flush. Commands arriving after the drain observes an empty
+            // queue are dropped (their senders see a closed channel).
+            while let Ok(command) = rx.try_recv() {
+                let _ = handle_command(command, states, ctx);
+            }
+            break;
+        }
+    }
+    let _ = ctx.journal.lock().flush();
+}
+
+pub(crate) fn handle_command(
+    command: Command,
+    states: &mut HashMap<ServerId, ServerState>,
+    ctx: &ShardContext,
+) -> Flow {
+    match command {
+        Command::Ingest(batch) => {
+            // Journal first: after this point the batch is durable and
+            // any crash during apply is recovered by replay.
+            match ctx.journal.lock().append_batch(&batch) {
+                Ok(info) => {
+                    ctx.counters
+                        .record_journal_append(info.records, info.bytes, info.synced);
+                }
+                Err(e) => {
+                    // The journal is the source of truth; a worker that
+                    // cannot write it must not apply either. Unwind to
+                    // the supervisor, which replays what *is* durable.
+                    panic!("shard journal append failed: {e}");
+                }
+            }
+            ctx.faults.after_journal();
+            let mut touched = Vec::new();
+            for feedback in batch {
+                ctx.faults.before_apply(&feedback);
+                apply_feedback(states, feedback, ctx.model);
+                touched.push(feedback.server);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            let mut published = ctx.published.lock();
+            for server in touched {
+                if let (Some(state), Some(pv)) =
+                    (states.get(&server), published.get_mut(&server))
+                {
+                    pv.latest_version = state.version();
+                }
+            }
+            Flow::Continue
+        }
+        Command::Assess { server, reply } => {
+            ctx.faults.before_reply();
+            let answer = assess_one(states, server, ctx);
+            let _ = reply.send(answer);
+            Flow::Continue
+        }
+        Command::AssessMany { servers, reply } => {
+            ctx.faults.before_reply();
+            let answers = servers
+                .into_iter()
+                .map(|s| (s, assess_one(states, s, ctx)))
+                .collect();
+            let _ = reply.send(answers);
+            Flow::Continue
+        }
+        Command::Snapshot { reply } => {
+            let snapshot = ShardSnapshot {
+                servers: states.len(),
+                feedbacks: states.values().map(|s| s.history().len()).sum(),
+            };
+            let _ = reply.send(snapshot);
+            Flow::Continue
+        }
+        Command::Shutdown => Flow::Stop,
     }
 }
 
-fn worker_loop(
-    rx: &Receiver<Command>,
-    test: &MultiBehaviorTest,
+/// Applies one feedback to its server's state (creating it on first
+/// sight). Shared by the live ingest path and journal replay so both are
+/// the same fold.
+pub(crate) fn apply_feedback(
+    states: &mut HashMap<ServerId, ServerState>,
+    feedback: Feedback,
     model: TrustModel,
-    policy: ShortHistoryPolicy,
-    counters: &Counters,
 ) {
-    let mut states: HashMap<ServerId, ServerState> = HashMap::new();
-    while let Ok(command) = rx.recv() {
-        match command {
-            Command::Ingest(batch) => {
-                for feedback in batch {
-                    let state = match states.entry(feedback.server) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            // The model was validated at service start, so
-                            // construction cannot fail here.
-                            e.insert(
-                                ServerState::new(model).expect("validated trust model"),
-                            )
-                        }
-                    };
-                    state.ingest(feedback);
-                }
-            }
-            Command::Assess { server, reply } => {
-                let _ = reply.send(assess_one(&mut states, server, test, model, policy, counters));
-            }
-            Command::AssessMany { servers, reply } => {
-                let answers = servers
-                    .into_iter()
-                    .map(|s| (s, assess_one(&mut states, s, test, model, policy, counters)))
-                    .collect();
-                let _ = reply.send(answers);
-            }
-            Command::Snapshot { reply } => {
-                let snapshot = ShardSnapshot {
-                    servers: states.len(),
-                    feedbacks: states.values().map(|s| s.history().len()).sum(),
-                };
-                let _ = reply.send(snapshot);
-            }
-            Command::Shutdown => break,
+    let state = match states.entry(feedback.server) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            // The model was validated at service start, so construction
+            // cannot fail here.
+            e.insert(ServerState::new(model).expect("validated trust model"))
         }
-    }
+    };
+    state.ingest(feedback);
 }
 
 fn assess_one(
     states: &mut HashMap<ServerId, ServerState>,
     server: ServerId,
-    test: &MultiBehaviorTest,
-    model: TrustModel,
-    policy: ShortHistoryPolicy,
-    counters: &Counters,
+    ctx: &ShardContext,
 ) -> AssessReply {
-    counters.add_served(1);
+    ctx.counters.add_served(1);
     match states.get_mut(&server) {
         Some(state) => {
-            let (assessment, from_cache) = state.assess(test, policy)?;
-            counters.record_cache(from_cache);
+            let (assessment, from_cache) = state.assess(&ctx.test, ctx.policy)?;
+            ctx.counters.record_cache(from_cache);
+            let version = state.version();
+            ctx.published.lock().insert(
+                server,
+                PublishedVerdict {
+                    assessment: assessment.clone(),
+                    computed_at_version: version,
+                    latest_version: version,
+                },
+            );
             Ok(assessment)
         }
         None => {
             // Unknown server: assess an empty history without permanently
-            // allocating state for it (queries must not grow the map).
-            counters.record_cache(false);
-            let mut state = ServerState::new(model)?;
-            state.assess(test, policy).map(|(a, _)| a)
+            // allocating state for it (queries must not grow the map, and
+            // must not grow the published cache either).
+            ctx.counters.record_cache(false);
+            let mut state = ServerState::new(ctx.model)?;
+            state.assess(&ctx.test, ctx.policy).map(|(a, _)| a)
         }
     }
 }
@@ -172,6 +315,9 @@ fn assess_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SupervisionConfig;
+    use crate::supervisor::spawn_supervised_shard;
+    use crossbeam::channel;
     use hp_core::testing::BehaviorTestConfig;
     use hp_core::{ClientId, Rating};
 
@@ -187,13 +333,16 @@ mod tests {
 
     fn spawn() -> (ShardHandle, Arc<Counters>) {
         let counters = Arc::new(Counters::default());
-        let handle = spawn_shard(
-            fast_test(),
-            TrustModel::Average,
-            ShortHistoryPolicy::Review,
-            Arc::clone(&counters),
-            0,
-        );
+        let ctx = ShardContext {
+            test: fast_test(),
+            model: TrustModel::Average,
+            policy: ShortHistoryPolicy::Review,
+            counters: Arc::clone(&counters),
+            journal: Arc::new(Mutex::new(JournalStore::Memory(Vec::new()))),
+            published: Published::default(),
+            faults: ShardFaults::default(),
+        };
+        let handle = spawn_supervised_shard(0, ctx, SupervisionConfig::default(), 0);
         (handle, counters)
     }
 
@@ -222,6 +371,12 @@ mod tests {
         let snap = snap_rx.recv().unwrap();
         assert_eq!(snap.servers, 1);
         assert_eq!(snap.feedbacks, 250);
+
+        // The verdict was published for degraded reads.
+        let published = handle.published.lock();
+        let pv = published.get(&server).expect("published verdict");
+        assert_eq!(pv.computed_at_version, 250);
+        assert_eq!(pv.latest_version, 250);
     }
 
     #[test]
@@ -238,6 +393,7 @@ mod tests {
         let (snap_tx, snap_rx) = channel::unbounded();
         handle.send(Command::Snapshot { reply: snap_tx }).unwrap();
         assert_eq!(snap_rx.recv().unwrap().servers, 0);
+        assert!(handle.published.lock().is_empty());
     }
 
     #[test]
@@ -245,5 +401,34 @@ mod tests {
         let (mut handle, _counters) = spawn();
         handle.shutdown();
         assert!(handle.send(Command::Shutdown).is_err() || handle.join.is_none());
+    }
+
+    #[test]
+    fn ingest_updates_published_latest_version() {
+        let (handle, _counters) = spawn();
+        let server = ServerId::new(11);
+        let batch = |from: u64, n: u64| -> Vec<Feedback> {
+            (from..from + n)
+                .map(|t| Feedback::new(t, server, ClientId::new(0), Rating::Positive))
+                .collect()
+        };
+        handle.send(Command::Ingest(batch(0, 120))).unwrap();
+        let (reply_tx, reply_rx) = channel::unbounded();
+        handle
+            .send(Command::Assess {
+                server,
+                reply: reply_tx,
+            })
+            .unwrap();
+        reply_rx.recv().unwrap().unwrap();
+        handle.send(Command::Ingest(batch(120, 30))).unwrap();
+        // Round-trip a snapshot so the ingest is surely applied.
+        let (snap_tx, snap_rx) = channel::unbounded();
+        handle.send(Command::Snapshot { reply: snap_tx }).unwrap();
+        snap_rx.recv().unwrap();
+        let published = handle.published.lock();
+        let pv = published.get(&server).unwrap();
+        assert_eq!(pv.computed_at_version, 120);
+        assert_eq!(pv.latest_version, 150, "ingest must advance staleness info");
     }
 }

@@ -87,6 +87,11 @@ impl ServerState {
         &self.history
     }
 
+    /// The history version: the number of feedbacks ingested so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// The two-phase assessment of the current history.
     ///
     /// Returns `(assessment, from_cache)`; the caller records the cache

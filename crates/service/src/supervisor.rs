@@ -1,0 +1,219 @@
+//! Shard supervision: crash containment, respawn with capped exponential
+//! backoff, journal-replay state rebuild, and poison-record quarantine.
+//!
+//! Each shard thread runs a *supervisor* loop rather than the worker loop
+//! directly. The supervisor
+//!
+//! 1. rebuilds the shard's in-memory state as a pure fold over its
+//!    journal (which is exactly what the live ingest path maintains,
+//!    because batches are journaled before they are applied),
+//! 2. runs [`worker_loop`] under `catch_unwind`,
+//! 3. on panic: waits a capped exponential backoff, replays the journal,
+//!    and re-enters the worker loop with the command channel — and every
+//!    command still queued on it — intact.
+//!
+//! Two safeguards bound the damage a bad record or a persistent bug can
+//! do:
+//!
+//! * **Quarantine.** If the replay fold itself panics repeatedly at the
+//!   same journal index (`SupervisionConfig::quarantine_after` times),
+//!   that single record is quarantined — skipped from this and all later
+//!   replays — instead of wedging the shard forever. The journal on disk
+//!   is never rewritten; quarantine is an in-memory skip set, and the
+//!   count is visible as `ServiceStats::quarantined_records`.
+//! * **Restart budget.** After `max_restarts` respawns the shard is
+//!   declared failed: the supervisor drops the receiver (senders see a
+//!   disconnected channel and the front end reports
+//!   `ServiceError::ShardUnavailable`) and `failed_shards` is bumped.
+
+use crate::config::SupervisionConfig;
+use crate::shard::{apply_feedback, worker_loop, Command, ShardContext, ShardHandle};
+use crate::state::ServerState;
+use crossbeam::channel::{self, Receiver};
+use hp_core::ServerId;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Spawns the supervised worker thread for one shard and returns its
+/// handle. `queue_capacity == 0` means an unbounded command queue.
+pub(crate) fn spawn_supervised_shard(
+    shard: usize,
+    ctx: ShardContext,
+    supervision: SupervisionConfig,
+    queue_capacity: usize,
+) -> ShardHandle {
+    let (tx, rx) = if queue_capacity == 0 {
+        channel::unbounded()
+    } else {
+        channel::bounded(queue_capacity)
+    };
+    let published = Arc::clone(&ctx.published);
+    let join = thread::Builder::new()
+        .name(format!("hp-shard-{shard}"))
+        .spawn(move || supervise(&rx, &ctx, &supervision))
+        .expect("failed to spawn shard thread");
+    ShardHandle {
+        tx,
+        join: Some(join),
+        published,
+    }
+}
+
+/// The supervisor loop: rebuild, run, contain, repeat.
+fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &SupervisionConfig) {
+    let mut quarantine = Quarantine::new(supervision.quarantine_after);
+    // Cold start is itself a replay: a durable journal left by a previous
+    // process incarnation is folded here before the first command.
+    let Some(mut states) = rebuild(ctx, &mut quarantine) else {
+        ctx.counters.add_shard_failed();
+        return;
+    };
+    let mut restarts: u32 = 0;
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| worker_loop(rx, &mut states, ctx)));
+        match run {
+            Ok(()) => return, // clean shutdown or all senders gone
+            Err(_) => {
+                restarts += 1;
+                if restarts > supervision.max_restarts {
+                    ctx.counters.add_shard_failed();
+                    return;
+                }
+                ctx.counters.add_restart();
+                thread::sleep(backoff_delay(supervision, restarts));
+                match rebuild(ctx, &mut quarantine) {
+                    Some(rebuilt) => states = rebuilt,
+                    None => {
+                        ctx.counters.add_shard_failed();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Backoff before the `restart`-th respawn (1-based): `base * 2^(n-1)`,
+/// capped at `backoff_cap`.
+pub(crate) fn backoff_delay(supervision: &SupervisionConfig, restart: u32) -> Duration {
+    let doublings = restart.saturating_sub(1).min(20);
+    let delay = supervision
+        .backoff_base
+        .saturating_mul(1u32 << doublings);
+    delay.min(supervision.backoff_cap)
+}
+
+/// Rebuilds shard state as a fold over the journal, quarantining records
+/// that repeatedly crash the fold. Returns `None` only when the journal
+/// itself cannot be read or the fold fails outside any record.
+fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<ServerId, ServerState>> {
+    let feedbacks = ctx.journal.lock().replay().ok()?;
+    loop {
+        // `progress` is written before each apply so a panic can be
+        // attributed to the exact journal index that caused it.
+        let progress = AtomicUsize::new(usize::MAX);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut states = HashMap::new();
+            for (index, feedback) in feedbacks.iter().enumerate() {
+                if quarantine.is_skipped(index) {
+                    continue;
+                }
+                progress.store(index, Ordering::Relaxed);
+                ctx.faults.before_apply(feedback);
+                apply_feedback(&mut states, *feedback, ctx.model);
+            }
+            states
+        }));
+        match attempt {
+            Ok(states) => {
+                // Keep staleness accounting truthful for verdicts
+                // published before the crash.
+                let mut published = ctx.published.lock();
+                for (server, state) in &states {
+                    if let Some(pv) = published.get_mut(server) {
+                        pv.latest_version = state.version();
+                    }
+                }
+                return Some(states);
+            }
+            Err(_) => {
+                let index = progress.load(Ordering::Relaxed);
+                if index == usize::MAX {
+                    return None; // crashed outside any record: hopeless
+                }
+                if quarantine.note_crash(index) {
+                    ctx.counters.add_quarantined();
+                }
+                // Retry immediately: either the record is now skipped or
+                // its crash count moved toward the quarantine threshold.
+            }
+        }
+    }
+}
+
+/// Tracks per-record replay crashes and the resulting skip set.
+struct Quarantine {
+    threshold: u32,
+    crashes: HashMap<usize, u32>,
+    skipped: HashSet<usize>,
+}
+
+impl Quarantine {
+    fn new(threshold: u32) -> Self {
+        Quarantine {
+            threshold: threshold.max(1),
+            crashes: HashMap::new(),
+            skipped: HashSet::new(),
+        }
+    }
+
+    fn is_skipped(&self, index: usize) -> bool {
+        self.skipped.contains(&index)
+    }
+
+    /// Records a crash at `index`; returns true when this crash crosses
+    /// the threshold and quarantines the record.
+    fn note_crash(&mut self, index: usize) -> bool {
+        let count = self.crashes.entry(index).or_insert(0);
+        *count += 1;
+        if *count >= self.threshold && self.skipped.insert(index) {
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let sup = SupervisionConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(70),
+            ..SupervisionConfig::default()
+        };
+        assert_eq!(backoff_delay(&sup, 1), Duration::from_millis(10));
+        assert_eq!(backoff_delay(&sup, 2), Duration::from_millis(20));
+        assert_eq!(backoff_delay(&sup, 3), Duration::from_millis(40));
+        assert_eq!(backoff_delay(&sup, 4), Duration::from_millis(70));
+        assert_eq!(backoff_delay(&sup, 30), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn quarantine_trips_at_threshold_once() {
+        let mut q = Quarantine::new(2);
+        assert!(!q.note_crash(5));
+        assert!(!q.is_skipped(5));
+        assert!(q.note_crash(5), "second crash at the same index quarantines");
+        assert!(q.is_skipped(5));
+        assert!(!q.note_crash(5), "already quarantined: not counted again");
+        // Independent indices track independently.
+        assert!(!q.note_crash(9));
+    }
+}

@@ -1,0 +1,315 @@
+//! Crash-recovery properties: the journal is the single source of truth.
+//!
+//! Whatever is appended, wherever the process dies (torn tail, flipped
+//! byte, panic between journal write and apply, plain restart), the state
+//! rebuilt from the journal is the same pure fold — and the service's
+//! verdicts stay bit-identical to the offline `TwoPhaseAssessor` over the
+//! recovered sequence.
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::{ClientId, Feedback, Rating, ServerId, TransactionHistory};
+use hp_service::journal::{read_journal, FileJournal, FsyncPolicy};
+use hp_service::replay::{restamp, OfflineReference};
+use hp_service::{Durability, ReputationService, ServiceConfig};
+use hp_sim::workload;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const HEADER_LEN: u64 = 16;
+const RECORD_LEN: u64 = 33; // 8-byte frame + 25-byte payload
+
+/// A unique scratch directory per call; callers clean up on success so
+/// repeated runs don't accumulate, but a failing case leaves its journal
+/// behind for inspection.
+fn temp_dir(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hp-service-recovery-{}-{name}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Deterministic pseudo-random feedback stream (xorshift64).
+fn synth_feedbacks(len: usize, seed: u64) -> Vec<Feedback> {
+    let mut state = seed | 1;
+    (0..len as u64)
+        .map(|t| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Feedback::new(
+                t,
+                ServerId::new(state % 17),
+                ClientId::new((state >> 8) % 23),
+                Rating::from_good(!state.is_multiple_of(10)),
+            )
+        })
+        .collect()
+}
+
+/// One shard, small calibration, no prewarm: fast but real assessments.
+fn fast_config() -> ServiceConfig {
+    ServiceConfig::default()
+        .with_shards(1)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(300)
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![], vec![])
+}
+
+fn offline_verdict(
+    config: &ServiceConfig,
+    feedbacks: impl IntoIterator<Item = Feedback>,
+) -> hp_core::twophase::Assessment {
+    let reference = OfflineReference::from_config(config).expect("reference builds");
+    let mut history = TransactionHistory::new();
+    for f in feedbacks {
+        history.push(f);
+    }
+    reference.assess(&history).expect("offline assess")
+}
+
+/// Regression for the graceful-shutdown satellite: feedback acknowledged
+/// just before shutdown must survive the restart — the worker drains its
+/// queue and flushes the journal before exiting, even under
+/// `FsyncPolicy::Never`.
+#[test]
+fn shutdown_drains_queue_and_loses_nothing() {
+    let dir = temp_dir("shutdown-drain");
+    let server = ServerId::new(9);
+    let feedbacks = restamp(&workload::honest_history(350, 0.9, 0xD00D), server);
+    let config = fast_config().with_durability(Durability::Durable {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Never,
+    });
+    {
+        let service = ReputationService::new(config.clone()).unwrap();
+        for chunk in feedbacks.chunks(37) {
+            let outcome = service.ingest_batch(chunk.to_vec()).unwrap();
+            assert_eq!(outcome.accepted, chunk.len());
+        }
+        // No assess, no stats barrier: shut down with commands possibly
+        // still queued. Every acknowledged feedback must be drained to
+        // the journal anyway.
+        service.shutdown();
+    }
+    let recovered = read_journal(&dir.join("shard-0.hpj"), Some((0, 1))).unwrap();
+    assert_eq!(recovered.feedbacks, feedbacks, "no feedback lost on shutdown");
+    assert_eq!(recovered.torn_bytes, 0);
+
+    let service = ReputationService::new(config.clone()).unwrap();
+    let online = service.assess(server).expect("assess after restart");
+    assert_eq!(online, offline_verdict(&config, feedbacks));
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Append in arbitrary chunk sizes; reading back yields exactly the
+    /// appended sequence, and a reopened journal continues the count.
+    #[test]
+    fn journal_round_trips_any_sequence(
+        len in 0usize..400,
+        seed in any::<u64>(),
+        chunk in 1usize..97,
+        fsync_sel in any::<u8>(),
+    ) {
+        let dir = temp_dir("round-trip");
+        let path = dir.join("shard-0.hpj");
+        let feedbacks = synth_feedbacks(len, seed);
+        let policy = match fsync_sel % 3 {
+            0 => FsyncPolicy::Never,
+            1 => FsyncPolicy::EveryBatch,
+            _ => FsyncPolicy::EveryN(u64::from(fsync_sel) % 7 + 1),
+        };
+        {
+            let (mut journal, recovered) = FileJournal::open(&path, 0, 1, policy).unwrap();
+            prop_assert!(recovered.feedbacks.is_empty());
+            for batch in feedbacks.chunks(chunk) {
+                journal.append_batch(batch).unwrap();
+            }
+            journal.sync().unwrap();
+            prop_assert_eq!(journal.records(), len as u64);
+        }
+        let recovered = read_journal(&path, Some((0, 1))).unwrap();
+        prop_assert_eq!(&recovered.feedbacks, &feedbacks);
+        prop_assert_eq!(recovered.torn_bytes, 0);
+
+        let (journal, recovered) = FileJournal::open(&path, 0, 1, policy).unwrap();
+        prop_assert_eq!(&recovered.feedbacks, &feedbacks);
+        prop_assert_eq!(journal.records(), len as u64);
+        drop(journal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Cut the file at *any* byte offset past the header: recovery keeps
+    /// exactly the records wholly before the cut and reports the torn
+    /// remainder, and reopening truncates so appends resume cleanly.
+    #[test]
+    fn any_torn_tail_recovers_whole_record_prefix(
+        len in 1usize..120,
+        seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = temp_dir("torn-tail");
+        let path = dir.join("shard-0.hpj");
+        let feedbacks = synth_feedbacks(len, seed);
+        {
+            let (mut journal, _) =
+                FileJournal::open(&path, 0, 1, FsyncPolicy::EveryBatch).unwrap();
+            journal.append_batch(&feedbacks).unwrap();
+        }
+        let body = len as u64 * RECORD_LEN;
+        let cut = (cut_frac * body as f64) as u64; // bytes of body kept
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(HEADER_LEN + cut).unwrap();
+        drop(file);
+
+        let whole = (cut / RECORD_LEN) as usize;
+        let recovered = read_journal(&path, Some((0, 1))).unwrap();
+        prop_assert_eq!(&recovered.feedbacks, &feedbacks[..whole]);
+        prop_assert_eq!(recovered.torn_bytes, cut % RECORD_LEN);
+
+        let (mut journal, _) =
+            FileJournal::open(&path, 0, 1, FsyncPolicy::EveryBatch).unwrap();
+        let extra = synth_feedbacks(3, seed ^ 0xABCD);
+        journal.append_batch(&extra).unwrap();
+        drop(journal);
+        let recovered = read_journal(&path, Some((0, 1))).unwrap();
+        let mut expected = feedbacks[..whole].to_vec();
+        expected.extend_from_slice(&extra);
+        prop_assert_eq!(&recovered.feedbacks, &expected);
+        prop_assert_eq!(recovered.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flip any single byte of any record: the CRC (or the length check)
+    /// catches it, and recovery keeps exactly the records before the
+    /// corrupted one.
+    #[test]
+    fn any_single_byte_flip_recovers_clean_prefix(
+        len in 1usize..80,
+        seed in any::<u64>(),
+        victim_frac in 0.0f64..1.0,
+        offset_frac in 0.0f64..1.0,
+    ) {
+        let dir = temp_dir("byte-flip");
+        let path = dir.join("shard-0.hpj");
+        let feedbacks = synth_feedbacks(len, seed);
+        {
+            let (mut journal, _) =
+                FileJournal::open(&path, 0, 1, FsyncPolicy::EveryBatch).unwrap();
+            journal.append_batch(&feedbacks).unwrap();
+        }
+        let victim = ((victim_frac * len as f64) as usize).min(len - 1);
+        let offset = ((offset_frac * RECORD_LEN as f64) as u64).min(RECORD_LEN - 1);
+        let at = HEADER_LEN + victim as u64 * RECORD_LEN + offset;
+        let mut data = std::fs::read(&path).unwrap();
+        data[at as usize] ^= 0xFF; // a single-byte burst: CRC-32 always detects it
+        std::fs::write(&path, &data).unwrap();
+
+        let recovered = read_journal(&path, Some((0, 1))).unwrap();
+        prop_assert_eq!(&recovered.feedbacks, &feedbacks[..victim]);
+        prop_assert_eq!(
+            recovered.torn_bytes,
+            (len - victim) as u64 * RECORD_LEN,
+            "everything from the corrupt record on is discarded"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    // Each case builds two services (each calibrates); keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Restart equivalence: a service reopened on the journal directory of
+    /// a shut-down predecessor serves verdicts bit-identical to the
+    /// offline assessor over everything the predecessor acknowledged.
+    #[test]
+    fn durable_restart_serves_identical_verdicts(
+        len in 1usize..500,
+        p in 0.7f64..0.98,
+        seed in any::<u64>(),
+        chunk in 1usize..120,
+    ) {
+        let dir = temp_dir("restart");
+        let server = ServerId::new(seed % 97);
+        let feedbacks = restamp(&workload::honest_history(len, p, seed), server);
+        let config = fast_config().with_durability(Durability::Durable {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::EveryBatch,
+        });
+        let first = {
+            let service = ReputationService::new(config.clone()).unwrap();
+            for batch in feedbacks.chunks(chunk) {
+                service.ingest_batch(batch.to_vec()).unwrap();
+            }
+            let verdict = service.assess(server).expect("assess before shutdown");
+            service.shutdown();
+            verdict
+        };
+        let service = ReputationService::new(config.clone()).unwrap();
+        let reborn = service.assess(server).expect("assess after restart");
+        prop_assert_eq!(&reborn, &first);
+        prop_assert_eq!(&reborn, &offline_verdict(&config, feedbacks));
+        prop_assert_eq!(service.stats().journal_records, len as u64);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash-anywhere property: panic the worker at *any* ingest command with
+/// a durable journal; recovery replays the journal and the verdict stays
+/// bit-identical to the offline fold of everything journaled.
+#[cfg(feature = "fault-injection")]
+mod crash_points {
+    use super::*;
+    use hp_service::FaultPlan;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn panic_at_any_ingest_recovers_equivalently(
+            len in 50usize..400,
+            seed in any::<u64>(),
+            chunk in 20usize..90,
+            crash_frac in 0.0f64..1.0,
+        ) {
+            let dir = temp_dir("crash-point");
+            let server = ServerId::new(5);
+            let feedbacks = restamp(&workload::honest_history(len, 0.9, seed), server);
+            let commands = feedbacks.chunks(chunk).count() as u64;
+            let nth = 1 + (crash_frac * commands as f64) as u64; // 1..=commands(+1 edge)
+            let config = fast_config()
+                .with_durability(Durability::Durable {
+                    dir: dir.clone(),
+                    fsync: FsyncPolicy::EveryBatch,
+                })
+                .with_fault_plan(FaultPlan::default().panic_at(0, nth));
+            let service = ReputationService::new(config.clone()).unwrap();
+            for batch in feedbacks.chunks(chunk) {
+                let outcome = service.ingest_batch(batch.to_vec()).unwrap();
+                prop_assert_eq!(outcome.accepted, batch.len());
+            }
+            let online = service.assess(server).expect("assess after recovery");
+            prop_assert_eq!(&online, &offline_verdict(&config, feedbacks));
+            let stats = service.stats();
+            prop_assert_eq!(stats.journal_records, len as u64, "crashed batch was journaled");
+            prop_assert_eq!(stats.shard_restarts, u64::from(nth <= commands));
+            prop_assert_eq!(stats.failed_shards, 0);
+            drop(service);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

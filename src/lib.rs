@@ -82,7 +82,10 @@ pub mod prelude {
     pub use hp_core::{
         ClientId, CoreError, Feedback, Rating, ServerId, TransactionHistory, TrustValue,
     };
-    pub use hp_service::{ReputationService, ServiceConfig, ServiceStats};
+    pub use hp_service::{
+        AssessOutcome, Durability, IngestOutcome, IngestPolicy, ReputationService,
+        ServiceConfig, ServiceStats,
+    };
     pub use hp_store::{FeedbackStore, MemoryStore};
 }
 

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct Inner<T> {
     queue: Mutex<State<T>>,
@@ -54,6 +55,85 @@ pub enum TryRecvError {
     /// The channel is empty and every sender is gone.
     Disconnected,
 }
+
+/// Error returned by [`Sender::try_send`]; carries the unsent value back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity (receivers still connected).
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the unsent value
+/// back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "send timed out on a full channel"),
+            SendTimeoutError::Disconnected(_) => {
+                write!(f, "sending on a disconnected channel")
+            }
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The channel stayed empty for the whole timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "recv timed out on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty, disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 /// The sending half of a channel.
 pub struct Sender<T> {
@@ -134,6 +214,63 @@ impl<T> Sender<T> {
         Ok(())
     }
 
+    /// Sends `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when the channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver has dropped; both
+    /// return the value.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.inner.lock();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.inner.capacity {
+            if state.items.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends `value`, blocking at most `timeout` while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendTimeoutError::Timeout`] if the channel stayed full,
+    /// [`SendTimeoutError::Disconnected`] if every receiver has dropped;
+    /// both return the value.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if state.items.len() >= cap => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                    state = match self.inner.not_full.wait_timeout(state, deadline - now) {
+                        Ok((g, _)) => g,
+                        Err(p) => p.into_inner().0,
+                    };
+                }
+                _ => break,
+            }
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Number of queued items (snapshot).
     pub fn len(&self) -> usize {
         self.inner.lock().items.len()
@@ -166,6 +303,37 @@ impl<T> Receiver<T> {
             state = match self.inner.not_empty.wait(state) {
                 Ok(g) => g,
                 Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Receives the next item, blocking at most `timeout` while the
+    /// channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if the channel stayed empty,
+    /// [`RecvTimeoutError::Disconnected`] once the channel is empty and
+    /// every sender has dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            state = match self.inner.not_empty.wait_timeout(state, deadline - now) {
+                Ok((g, _)) => g,
+                Err(p) => p.into_inner().0,
             };
         }
     }
@@ -254,7 +422,16 @@ impl<T> Drop for Receiver<T> {
         let mut state = self.inner.lock();
         state.receivers -= 1;
         let wake = state.receivers == 0;
+        // Match crossbeam: the last receiver discards queued messages, so
+        // values owned by them (e.g. nested reply senders) are dropped
+        // rather than retained for as long as any sender stays alive.
+        let discarded: VecDeque<T> = if wake {
+            std::mem::take(&mut state.items)
+        } else {
+            VecDeque::new()
+        };
         drop(state);
+        drop(discarded); // run the messages' destructors outside the lock
         if wake {
             self.inner.not_full.notify_all();
         }
@@ -329,6 +506,61 @@ mod tests {
         drop(tx);
         let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn try_send_states() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+        assert_eq!(TrySendError::Full(7u8).into_inner(), 7);
+    }
+
+    #[test]
+    fn send_timeout_times_out_and_succeeds() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout(2));
+        let consumer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            let v = rx.recv().unwrap();
+            (v, rx) // keep the receiver alive until joined
+        });
+        tx.send_timeout(3, Duration::from_secs(5)).unwrap();
+        assert_eq!(consumer.join().unwrap().0, 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_succeeds() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn last_receiver_discards_queued_messages() {
+        // A reply sender queued inside an undelivered message must drop
+        // with the channel, or the replier's counterpart recv() would
+        // block for as long as any command sender stays alive.
+        let (tx, rx) = unbounded::<Sender<u8>>();
+        let (reply_tx, reply_rx) = unbounded::<u8>();
+        tx.send(reply_tx).unwrap();
+        drop(rx);
+        assert_eq!(reply_rx.recv(), Err(RecvError));
+        assert!(tx.send(unbounded::<u8>().0).is_err());
     }
 
     #[test]
