@@ -29,4 +29,32 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -D warnings (service, fault-injection)"
 cargo clippy --offline -p hp-service --features fault-injection --all-targets -- -D warnings
 
+echo "==> observability smoke (example + exposition + bench json)"
+if [ "$QUICK" -eq 0 ]; then
+    EXPO="$(cargo run --offline --release --example online_service)"
+    for metric in \
+        hp_feedbacks_ingested_total \
+        hp_assessments_served_total \
+        hp_ingest_apply_latency_seconds_bucket \
+        hp_journal_append_latency_seconds_count \
+        hp_assess_compute_latency_seconds_count \
+        hp_assess_e2e_latency_quantile_seconds \
+        hp_shard_queue_depth \
+        hp_calibration_cache_entries \
+        hp_trace_events_dropped_total
+    do
+        echo "$EXPO" | grep -q "$metric" \
+            || { echo "missing metric in exposition: $metric"; exit 1; }
+    done
+    BENCH_JSON=experiments/out/bench_service.json
+    [ -f "$BENCH_JSON" ] || { echo "missing $BENCH_JSON"; exit 1; }
+    for key in ingest_apply assess_e2e p50_ns p99_ns; do
+        grep -q "$key" "$BENCH_JSON" \
+            || { echo "missing key in $BENCH_JSON: $key"; exit 1; }
+    done
+    echo "    exposition + $BENCH_JSON verified"
+else
+    echo "    (skipped: --quick)"
+fi
+
 echo "==> OK"

@@ -129,9 +129,34 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead on the ingest path. `off` is the default
+/// configuration — every would-be span costs one relaxed atomic load, so
+/// it must sit within noise (≤2%) of the pre-tracing service; `on`
+/// additionally times each operation and records events into the bounded
+/// per-shard rings. The latency histograms are always on in both.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracing_overhead");
+    const BATCH: usize = 4_096;
+    const SERVERS: u64 = 64;
+    for (label, tracing) in [("off", false), ("on", true)] {
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_function(BenchmarkId::new("ingest", label), |b| {
+            let service =
+                ReputationService::new(fast_config(2).with_tracing(tracing)).unwrap();
+            let mut t = 0u64;
+            b.iter(|| {
+                service.ingest_batch(batch(0, SERVERS, t, BATCH)).unwrap();
+                t += BATCH as u64;
+                black_box(service.stats().ingested_feedbacks)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_ingest_flat, bench_assess_latency, bench_ingest_throughput
+    targets = bench_ingest_flat, bench_assess_latency, bench_ingest_throughput, bench_tracing_overhead
 }
 criterion_main!(benches);

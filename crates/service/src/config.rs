@@ -149,6 +149,8 @@ pub struct ServiceConfig {
     ingest_policy: IngestPolicy,
     durability: Durability,
     supervision: SupervisionConfig,
+    tracing: bool,
+    trace_capacity: usize,
     #[cfg(feature = "fault-injection")]
     fault_plan: Option<FaultPlan>,
 }
@@ -169,6 +171,8 @@ impl Default for ServiceConfig {
             ingest_policy: IngestPolicy::default(),
             durability: Durability::default(),
             supervision: SupervisionConfig::default(),
+            tracing: false,
+            trace_capacity: 4096,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -242,6 +246,25 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables or disables structured tracing at start (builder style).
+    ///
+    /// Tracing is off by default; when off, every trace emission path is
+    /// a single relaxed atomic load. It can also be toggled at runtime
+    /// through [`crate::MetricsRegistry`]'s tracer.
+    #[must_use]
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Capacity of each shard's trace event ring (builder style). When a
+    /// ring is full the oldest event is evicted and counted dropped.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Deterministic fault plan for chaos testing (builder style).
     ///
     /// Only available with the `fault-injection` feature.
@@ -295,6 +318,16 @@ impl ServiceConfig {
     /// Worker restart/backoff/quarantine policy.
     pub fn supervision(&self) -> SupervisionConfig {
         self.supervision
+    }
+
+    /// Whether structured tracing starts enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Capacity of each shard's trace event ring.
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_capacity
     }
 
     /// The configured fault plan, if any.
@@ -398,6 +431,17 @@ mod tests {
         assert_eq!(c.ingest_policy(), IngestPolicy::Shed);
         assert!(matches!(c.durability(), Durability::Durable { .. }));
         assert_eq!(c.supervision().max_restarts, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn tracing_builders_round_trip() {
+        let c = ServiceConfig::default();
+        assert!(!c.tracing(), "tracing is off by default");
+        assert_eq!(c.trace_capacity(), 4096);
+        let c = c.with_tracing(true).with_trace_capacity(128);
+        assert!(c.tracing());
+        assert_eq!(c.trace_capacity(), 128);
         c.validate().unwrap();
     }
 

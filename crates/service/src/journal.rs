@@ -138,6 +138,8 @@ pub struct AppendInfo {
     pub bytes: u64,
     /// Whether this append ended with an fsync.
     pub synced: bool,
+    /// Time the fsync took, in nanoseconds (`0` when `!synced`).
+    pub sync_ns: u64,
 }
 
 // CRC-32 (IEEE 802.3), table-driven; built at compile time.
@@ -371,8 +373,10 @@ impl FileJournal {
             FsyncPolicy::EveryN(n) => n > 0 && self.records_since_sync >= n,
         };
         if due {
+            let t0 = std::time::Instant::now();
             self.sync()?;
             info.synced = true;
+            info.sync_ns = t0.elapsed().as_nanos() as u64;
         }
         Ok(info)
     }
@@ -431,6 +435,7 @@ impl JournalStore {
                     records: batch.len() as u64,
                     bytes: (batch.len() * (FRAME_LEN + RECORD_PAYLOAD_LEN)) as u64,
                     synced: false,
+                    sync_ns: 0,
                 })
             }
             JournalStore::File(journal) => journal.append_batch(batch),

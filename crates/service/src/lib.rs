@@ -54,6 +54,7 @@ mod config;
 mod faults;
 pub mod journal;
 mod metrics;
+pub mod obs;
 pub mod replay;
 mod service;
 mod shard;
@@ -65,6 +66,7 @@ pub use config::{Durability, IngestPolicy, ServiceConfig, SupervisionConfig, Tru
 pub use faults::FaultPlan;
 pub use journal::FsyncPolicy;
 pub use metrics::ServiceStats;
+pub use obs::{AssessmentTrace, MetricsRegistry, TracedAssessment};
 pub use replay::{run_replay, OfflineReference, ReplayConfig, ReplayOutcome};
 pub use service::{
     AssessOutcome, BatchAssessments, DegradedAssessment, DegradedReason, IngestOutcome,

@@ -1,5 +1,6 @@
 //! Operational counters exposed through [`crate::ReputationService::stats`].
 
+use crate::obs::{RegistrySnapshot, ShardSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared atomic counters, incremented by the front end, the shard
@@ -101,6 +102,10 @@ pub struct ServiceStats {
     pub tracked_feedbacks: usize,
     /// Entries in the shared threshold-calibration cache.
     pub calibration_cache_entries: usize,
+    /// Threshold lookups answered from the calibration cache.
+    pub calibration_cache_hits: u64,
+    /// Threshold lookups that ran a Monte-Carlo calibration.
+    pub calibration_cache_misses: u64,
     /// Feedbacks dropped by the shed / try-for ingest policies.
     pub shed_feedbacks: u64,
     /// Assessments answered from the last-published (degraded) cache.
@@ -120,6 +125,9 @@ pub struct ServiceStats {
     pub journal_syncs: u64,
     /// Bytes discarded from torn journal tails during recovery.
     pub torn_journal_bytes: u64,
+    /// Per-shard metric blocks (counters plus sampled gauges), indexed
+    /// by shard.
+    pub per_shard: Vec<ShardSnapshot>,
 }
 
 impl ServiceStats {
@@ -144,6 +152,9 @@ impl ServiceStats {
         }
     }
 
+    /// Direct fold of one counter block (unit tests; the service itself
+    /// goes through [`Self::from_registry`]).
+    #[cfg(test)]
     pub(crate) fn from_counters(counters: &Counters) -> Self {
         ServiceStats {
             ingested_feedbacks: counters.ingested.load(Ordering::Relaxed),
@@ -154,6 +165,8 @@ impl ServiceStats {
             tracked_servers: 0,
             tracked_feedbacks: 0,
             calibration_cache_entries: 0,
+            calibration_cache_hits: 0,
+            calibration_cache_misses: 0,
             shed_feedbacks: counters.shed.load(Ordering::Relaxed),
             degraded_answers: counters.degraded.load(Ordering::Relaxed),
             shard_restarts: counters.restarts.load(Ordering::Relaxed),
@@ -163,6 +176,35 @@ impl ServiceStats {
             journal_bytes: counters.journal_bytes.load(Ordering::Relaxed),
             journal_syncs: counters.journal_syncs.load(Ordering::Relaxed),
             torn_journal_bytes: counters.torn_bytes.load(Ordering::Relaxed),
+            per_shard: Vec::new(),
+        }
+    }
+
+    /// Folds a registry snapshot into the service-level totals. The
+    /// queue depths, tracked-server/feedback counts, and calibration
+    /// gauges are sampled by the caller before the snapshot is taken.
+    pub(crate) fn from_registry(snap: &RegistrySnapshot) -> Self {
+        ServiceStats {
+            ingested_feedbacks: snap.total(|s| s.ingested),
+            assessments_served: snap.total(|s| s.served),
+            cache_hits: snap.total(|s| s.cache_hits),
+            cache_misses: snap.total(|s| s.cache_misses),
+            shard_queue_depths: snap.shards.iter().map(|s| s.queue_depth as usize).collect(),
+            tracked_servers: 0,
+            tracked_feedbacks: 0,
+            calibration_cache_entries: snap.calibration.entries as usize,
+            calibration_cache_hits: snap.calibration.hits,
+            calibration_cache_misses: snap.calibration.misses,
+            shed_feedbacks: snap.total(|s| s.shed),
+            degraded_answers: snap.total(|s| s.degraded),
+            shard_restarts: snap.total(|s| s.restarts),
+            quarantined_records: snap.total(|s| s.quarantined),
+            failed_shards: snap.total(|s| s.failed),
+            journal_records: snap.total(|s| s.journal_records),
+            journal_bytes: snap.total(|s| s.journal_bytes),
+            journal_syncs: snap.total(|s| s.journal_syncs),
+            torn_journal_bytes: snap.total(|s| s.torn_bytes),
+            per_shard: snap.shards.clone(),
         }
     }
 }

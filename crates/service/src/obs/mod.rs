@@ -1,0 +1,35 @@
+//! Observability: latency histograms, per-shard metrics, structured
+//! tracing, and the phase-1 verdict audit trail.
+//!
+//! Everything in this module is dependency-free and lock-free on the hot
+//! path. The four pieces:
+//!
+//! * [`LatencyHistogram`] — fixed-bucket log-scale histograms (p50/p90/
+//!   p99/max, mergeable) for the ingest, journal, and assess paths;
+//! * [`MetricsRegistry`] — per-shard counters and gauges unified with the
+//!   histograms and tracer; renders Prometheus text exposition
+//!   ([`MetricsRegistry::render_prometheus`]) and a JSON snapshot for the
+//!   bench harness ([`MetricsRegistry::render_json`]);
+//! * [`Tracer`] / [`crate::span!`] — bounded per-shard event rings with
+//!   global sequence numbers, off by default, drained on demand so chaos
+//!   tests can assert causal ordering (journal-before-apply);
+//! * [`AssessmentTrace`] — a flat audit record of *why* phase 1 decided,
+//!   derived from the report inside an [`crate::Assessment`] (never
+//!   recomputed, so traced and untraced assessments are bit-identical).
+
+mod audit;
+mod histogram;
+mod registry;
+mod trace;
+
+pub use audit::{AssessScheme, AssessmentTrace, TraceVerdict, TracedAssessment};
+pub use histogram::{LatencyHistogram, LatencySnapshot, BUCKETS};
+pub use registry::{
+    explain_assessment, render_json, render_prometheus, CalibrationGauges, LatencyPath,
+    MetricsRegistry, RegistrySnapshot, ShardSnapshot,
+};
+pub use trace::{TraceEvent, TraceKind, TraceRing, Tracer};
+
+// Re-export the macro under its natural path (`#[macro_export]` puts it
+// at the crate root).
+pub use crate::span;

@@ -1,0 +1,564 @@
+//! The unified metrics registry: per-shard counters, path latency
+//! histograms, gauges, and the tracer under one roof.
+//!
+//! Shard workers, supervisors, and the service front end all hold an
+//! `Arc<MetricsRegistry>` and write through it; readers pull a coherent
+//! [`RegistrySnapshot`] or render the whole state as Prometheus text
+//! exposition. Everything here is lock-free on the write path (atomic
+//! counters and histogram buckets); the only lock is inside the trace
+//! rings, which are off by default.
+
+use super::audit::AssessmentTrace;
+use super::histogram::{LatencyHistogram, LatencySnapshot};
+use super::trace::Tracer;
+use crate::metrics::Counters;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The instrumented latency paths, one histogram each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyPath {
+    /// Ingest enqueue→apply: from `ingest_batch` accepting a batch to the
+    /// shard worker folding it into state (includes queue wait and the
+    /// journal append).
+    IngestApply,
+    /// Journal `append_batch` wall time (buffered write + flush + any
+    /// fsync).
+    JournalAppend,
+    /// The fsync portion of a journal append alone.
+    JournalFsync,
+    /// Phase-1 + phase-2 assessment compute inside the shard worker
+    /// (cache hits included — they are real served latency).
+    AssessCompute,
+    /// End-to-end assess as the caller sees it: send, queue wait,
+    /// compute, reply (degraded answers included).
+    AssessE2e,
+}
+
+impl LatencyPath {
+    /// Every path, in exposition order.
+    pub const ALL: [LatencyPath; 5] = [
+        LatencyPath::IngestApply,
+        LatencyPath::JournalAppend,
+        LatencyPath::JournalFsync,
+        LatencyPath::AssessCompute,
+        LatencyPath::AssessE2e,
+    ];
+
+    /// Stable metric-name stem (`hp_<stem>_latency_seconds`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyPath::IngestApply => "ingest_apply",
+            LatencyPath::JournalAppend => "journal_append",
+            LatencyPath::JournalFsync => "journal_fsync",
+            LatencyPath::AssessCompute => "assess_compute",
+            LatencyPath::AssessE2e => "assess_e2e",
+        }
+    }
+
+    fn help(self) -> &'static str {
+        match self {
+            LatencyPath::IngestApply => "Per-feedback latency from ingest accept to state apply",
+            LatencyPath::JournalAppend => "Journal append_batch wall time per batch",
+            LatencyPath::JournalFsync => "Journal fsync time per synced batch",
+            LatencyPath::AssessCompute => "In-worker assessment compute time per served verdict",
+            LatencyPath::AssessE2e => "End-to-end assessment latency as seen by the caller",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            LatencyPath::IngestApply => 0,
+            LatencyPath::JournalAppend => 1,
+            LatencyPath::JournalFsync => 2,
+            LatencyPath::AssessCompute => 3,
+            LatencyPath::AssessE2e => 4,
+        }
+    }
+}
+
+/// One shard's metric block: the event counters plus sampled gauges.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    /// Monotone event counters (writes from the worker, supervisor, and
+    /// front end for this shard).
+    pub counters: Counters,
+    /// Commands queued at the shard at last sample time (set by the
+    /// front end when a snapshot or exposition is taken).
+    pub queue_depth: AtomicU64,
+    /// State version (applied feedback count) after the last batch apply.
+    pub last_apply_version: AtomicU64,
+}
+
+/// Point-in-time copy of one shard's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Feedbacks accepted for this shard.
+    pub ingested: u64,
+    /// Assessments served by this shard's worker.
+    pub served: u64,
+    /// Worker cache hits.
+    pub cache_hits: u64,
+    /// Worker cache misses (recomputes).
+    pub cache_misses: u64,
+    /// Feedbacks shed at this shard's queue.
+    pub shed: u64,
+    /// Degraded answers served for servers of this shard.
+    pub degraded: u64,
+    /// Worker restarts performed by this shard's supervisor.
+    pub restarts: u64,
+    /// Journal records quarantined on this shard.
+    pub quarantined: u64,
+    /// 1 once this shard is declared permanently failed.
+    pub failed: u64,
+    /// Records in this shard's journal.
+    pub journal_records: u64,
+    /// Bytes in this shard's journal.
+    pub journal_bytes: u64,
+    /// Fsyncs performed by this shard's journal.
+    pub journal_syncs: u64,
+    /// Torn-tail bytes discarded during this shard's recovery.
+    pub torn_bytes: u64,
+    /// Sampled queue depth.
+    pub queue_depth: u64,
+    /// State version after the last batch apply.
+    pub last_apply_version: u64,
+}
+
+impl ShardSnapshot {
+    fn from_metrics(shard: usize, m: &ShardMetrics) -> Self {
+        let c = &m.counters;
+        ShardSnapshot {
+            shard,
+            ingested: c.ingested.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            restarts: c.restarts.load(Ordering::Relaxed),
+            quarantined: c.quarantined.load(Ordering::Relaxed),
+            failed: c.shards_failed.load(Ordering::Relaxed),
+            journal_records: c.journal_records.load(Ordering::Relaxed),
+            journal_bytes: c.journal_bytes.load(Ordering::Relaxed),
+            journal_syncs: c.journal_syncs.load(Ordering::Relaxed),
+            torn_bytes: c.torn_bytes.load(Ordering::Relaxed),
+            queue_depth: m.queue_depth.load(Ordering::Relaxed),
+            last_apply_version: m.last_apply_version.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sampled threshold-calibration cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalibrationGauges {
+    /// Entries resident in the shared calibration cache.
+    pub entries: u64,
+    /// Threshold lookups answered from the cache.
+    pub hits: u64,
+    /// Threshold lookups that ran a Monte-Carlo calibration.
+    pub misses: u64,
+}
+
+/// A coherent point-in-time copy of the whole registry.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// Per-shard metric blocks, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+    /// One latency snapshot per [`LatencyPath`], in `ALL` order.
+    pub latencies: Vec<(LatencyPath, LatencySnapshot)>,
+    /// Calibration cache gauges at sample time.
+    pub calibration: CalibrationGauges,
+    /// Trace events evicted from full rings.
+    pub trace_dropped: u64,
+}
+
+impl RegistrySnapshot {
+    /// The latency snapshot for one path.
+    pub fn latency(&self, path: LatencyPath) -> &LatencySnapshot {
+        &self.latencies[path.index()].1
+    }
+
+    /// Sums a per-shard field over all shards.
+    pub fn total(&self, field: impl Fn(&ShardSnapshot) -> u64) -> u64 {
+        self.shards.iter().map(field).sum()
+    }
+}
+
+/// The unified registry shared by the service, its workers, and its
+/// supervisors.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<ShardMetrics>,
+    hists: [LatencyHistogram; 5],
+    calibration_entries: AtomicU64,
+    calibration_hits: AtomicU64,
+    calibration_misses: AtomicU64,
+    tracer: Tracer,
+}
+
+impl MetricsRegistry {
+    /// A registry for `shards` shards with trace rings of
+    /// `trace_capacity` events, tracing initially on per `tracing`.
+    pub fn new(shards: usize, trace_capacity: usize, tracing: bool) -> Self {
+        MetricsRegistry {
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+            hists: Default::default(),
+            calibration_entries: AtomicU64::new(0),
+            calibration_hits: AtomicU64::new(0),
+            calibration_misses: AtomicU64::new(0),
+            tracer: Tracer::new(shards, trace_capacity, tracing),
+        }
+    }
+
+    /// Number of shards the registry tracks.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's metric block (panics on out-of-range index, which is
+    /// a service bug: shard indices are fixed at construction).
+    pub(crate) fn shard(&self, shard: usize) -> &ShardMetrics {
+        &self.shards[shard]
+    }
+
+    /// The structured tracing facade.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records one duration on `path`.
+    #[inline]
+    pub fn record_latency(&self, path: LatencyPath, ns: u64) {
+        self.hists[path.index()].record_ns(ns);
+    }
+
+    /// Records `n` events of `ns` each on `path` (batch attribution).
+    #[inline]
+    pub fn record_latency_n(&self, path: LatencyPath, ns: u64, n: u64) {
+        self.hists[path.index()].record_n(ns, n);
+    }
+
+    /// Latency snapshot for one path.
+    pub fn latency(&self, path: LatencyPath) -> LatencySnapshot {
+        self.hists[path.index()].snapshot()
+    }
+
+    /// Stores sampled calibration-cache statistics (set by the service
+    /// front end before snapshots/exposition are taken).
+    pub fn set_calibration(&self, entries: u64, hits: u64, misses: u64) {
+        self.calibration_entries.store(entries, Ordering::Relaxed);
+        self.calibration_hits.store(hits, Ordering::Relaxed);
+        self.calibration_misses.store(misses, Ordering::Relaxed);
+    }
+
+    /// Stores a sampled queue depth for `shard`.
+    pub fn set_queue_depth(&self, shard: usize, depth: u64) {
+        if let Some(m) = self.shards.get(shard) {
+            m.queue_depth.store(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a coherent snapshot of everything in the registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, m)| ShardSnapshot::from_metrics(i, m))
+                .collect(),
+            latencies: LatencyPath::ALL
+                .iter()
+                .map(|&p| (p, self.hists[p.index()].snapshot()))
+                .collect(),
+            calibration: CalibrationGauges {
+                entries: self.calibration_entries.load(Ordering::Relaxed),
+                hits: self.calibration_hits.load(Ordering::Relaxed),
+                misses: self.calibration_misses.load(Ordering::Relaxed),
+            },
+            trace_dropped: self.tracer.dropped(),
+        }
+    }
+
+    /// Renders the registry as Prometheus text exposition (format 0.0.4):
+    /// per-shard counters and gauges, one histogram per latency path with
+    /// cumulative `le` buckets, and `_quantile_seconds` summary lines for
+    /// p50/p90/p99.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+
+    /// Renders the registry's latency quantiles and shard totals as a
+    /// JSON object (the bench harness's machine-readable snapshot).
+    pub fn render_json(&self) -> String {
+        render_json(&self.snapshot())
+    }
+}
+
+/// Per-shard counter catalogue: (metric name, help, field accessor).
+type ShardField = fn(&ShardSnapshot) -> u64;
+
+const SHARD_COUNTERS: [(&str, &str, ShardField); 13] = [
+    ("hp_feedbacks_ingested_total", "Feedbacks accepted by ingest", |s| s.ingested),
+    ("hp_assessments_served_total", "Assessments served by shard workers", |s| s.served),
+    ("hp_assess_cache_hits_total", "Assessments answered from the versioned cache", |s| s.cache_hits),
+    ("hp_assess_cache_misses_total", "Assessments that recomputed phase 1", |s| s.cache_misses),
+    ("hp_feedbacks_shed_total", "Feedbacks dropped by the shed/try-for policies", |s| s.shed),
+    ("hp_degraded_answers_total", "Stale published verdicts served past a deadline", |s| s.degraded),
+    ("hp_shard_restarts_total", "Worker restarts performed by supervisors", |s| s.restarts),
+    ("hp_quarantined_records_total", "Journal records quarantined after crash-on-replay", |s| s.quarantined),
+    ("hp_shards_failed_total", "Shards declared permanently failed", |s| s.failed),
+    ("hp_journal_records_total", "Records in shard journals", |s| s.journal_records),
+    ("hp_journal_bytes_total", "Bytes in shard journals", |s| s.journal_bytes),
+    ("hp_journal_syncs_total", "Journal fsyncs performed", |s| s.journal_syncs),
+    ("hp_journal_torn_bytes_total", "Torn-tail bytes discarded during recovery", |s| s.torn_bytes),
+];
+
+const SHARD_GAUGES: [(&str, &str, ShardField); 2] = [
+    ("hp_shard_queue_depth", "Commands queued at the shard (sampled)", |s| s.queue_depth),
+    ("hp_shard_last_apply_version", "State version after the last batch apply", |s| {
+        s.last_apply_version
+    }),
+];
+
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// Renders a snapshot as Prometheus text exposition.
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    for (name, help, field) in SHARD_COUNTERS {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for shard in &snap.shards {
+            let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", shard.shard, field(shard));
+        }
+    }
+    for (name, help, field) in SHARD_GAUGES {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for shard in &snap.shards {
+            let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", shard.shard, field(shard));
+        }
+    }
+
+    for (path, hist) in &snap.latencies {
+        let name = format!("hp_{}_latency_seconds", path.name());
+        let _ = writeln!(out, "# HELP {name} {}", path.help());
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        // Cumulative le-buckets up to the highest occupied one.
+        let hi = hist.buckets.iter().rposition(|&n| n > 0);
+        let mut cumulative = 0u64;
+        if let Some(hi) = hi {
+            for (i, &n) in hist.buckets.iter().take(hi + 1).enumerate() {
+                cumulative += n;
+                let le = LatencySnapshot::bucket_upper_seconds(i);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum_ns as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+        // Quantile summary lines (pre-computed; Prometheus can't derive
+        // exact quantiles from log buckets without recording rules).
+        let qname = format!("hp_{}_latency_quantile_seconds", path.name());
+        let _ = writeln!(out, "# HELP {qname} Pre-computed latency quantiles");
+        let _ = writeln!(out, "# TYPE {qname} gauge");
+        for (q, label) in QUANTILES {
+            let v = hist.quantile_ns(q) as f64 / 1e9;
+            let _ = writeln!(out, "{qname}{{quantile=\"{label}\"}} {v}");
+        }
+        let _ = writeln!(
+            out,
+            "{qname}{{quantile=\"1\"}} {}",
+            hist.max_ns as f64 / 1e9
+        );
+    }
+
+    let cal = snap.calibration;
+    for (name, help, value) in [
+        (
+            "hp_calibration_cache_entries",
+            "Entries in the threshold-calibration cache (sampled)",
+            cal.entries,
+        ),
+        (
+            "hp_calibration_cache_hits_total",
+            "Threshold lookups answered from the calibration cache",
+            cal.hits,
+        ),
+        (
+            "hp_calibration_cache_misses_total",
+            "Threshold lookups that ran a Monte-Carlo calibration",
+            cal.misses,
+        ),
+        (
+            "hp_trace_events_dropped_total",
+            "Trace events evicted from full rings",
+            snap.trace_dropped,
+        ),
+    ] {
+        let kind = if name.ends_with("_total") { "counter" } else { "gauge" };
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    out
+}
+
+/// Renders a snapshot as a flat JSON object: per-path quantiles plus
+/// service totals (consumed by the bench harness and `ci.sh`).
+pub fn render_json(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\n");
+    for (path, hist) in &snap.latencies {
+        let _ = writeln!(
+            out,
+            "  \"{}\": {{\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
+             \"max_ns\":{},\"mean_ns\":{}}},",
+            path.name(),
+            hist.count,
+            hist.quantile_ns(0.5),
+            hist.quantile_ns(0.9),
+            hist.quantile_ns(0.99),
+            hist.max_ns,
+            hist.mean_ns(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"ingested\":{},\"served\":{},\"shed\":{},\"degraded\":{},\
+         \"restarts\":{},\"quarantined\":{},\"journal_records\":{},\"journal_bytes\":{}}},",
+        snap.total(|s| s.ingested),
+        snap.total(|s| s.served),
+        snap.total(|s| s.shed),
+        snap.total(|s| s.degraded),
+        snap.total(|s| s.restarts),
+        snap.total(|s| s.quarantined),
+        snap.total(|s| s.journal_records),
+        snap.total(|s| s.journal_bytes),
+    );
+    let _ = writeln!(
+        out,
+        "  \"calibration\": {{\"entries\":{},\"hits\":{},\"misses\":{}}},\n  \"shards\": {}",
+        snap.calibration.entries,
+        snap.calibration.hits,
+        snap.calibration.misses,
+        snap.shards.len(),
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Formats an [`AssessmentTrace`] alongside the registry's assess-path
+/// latencies — the "one verdict, fully explained" operator view the
+/// example prints.
+pub fn explain_assessment(registry: &MetricsRegistry, trace: &AssessmentTrace) -> String {
+    let e2e = registry.latency(LatencyPath::AssessE2e);
+    format!(
+        "{trace}\n  service: assess e2e p50={}ns p99={}ns over {} served",
+        e2e.quantile_ns(0.5),
+        e2e.quantile_ns(0.99),
+        e2e.count,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_writes() {
+        let reg = MetricsRegistry::new(2, 16, false);
+        reg.shard(0).counters.add_ingested(10);
+        reg.shard(1).counters.add_ingested(5);
+        reg.shard(1).counters.add_served(2);
+        reg.set_queue_depth(1, 7);
+        reg.shard(0).last_apply_version.store(10, Ordering::Relaxed);
+        reg.record_latency(LatencyPath::AssessE2e, 1_000);
+        reg.set_calibration(3, 40, 2);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].ingested, 10);
+        assert_eq!(snap.shards[1].ingested, 5);
+        assert_eq!(snap.total(|s| s.ingested), 15);
+        assert_eq!(snap.shards[1].queue_depth, 7);
+        assert_eq!(snap.shards[0].last_apply_version, 10);
+        assert_eq!(snap.latency(LatencyPath::AssessE2e).count, 1);
+        assert_eq!(snap.latency(LatencyPath::IngestApply).count, 0);
+        assert_eq!(snap.calibration.hits, 40);
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_all_required_metrics() {
+        let reg = MetricsRegistry::new(2, 16, false);
+        reg.shard(0).counters.add_ingested(100);
+        reg.record_latency_n(LatencyPath::IngestApply, 2_000, 100);
+        reg.record_latency(LatencyPath::JournalAppend, 40_000);
+        reg.record_latency(LatencyPath::JournalFsync, 900_000);
+        reg.record_latency(LatencyPath::AssessCompute, 8_000);
+        reg.record_latency(LatencyPath::AssessE2e, 15_000);
+
+        let text = reg.render_prometheus();
+        for required in [
+            "hp_feedbacks_ingested_total{shard=\"0\"} 100",
+            "hp_feedbacks_ingested_total{shard=\"1\"} 0",
+            "hp_shard_queue_depth{shard=\"0\"}",
+            "hp_shard_last_apply_version{shard=\"1\"}",
+            "hp_ingest_apply_latency_seconds_count 100",
+            "hp_journal_append_latency_seconds_bucket",
+            "hp_journal_fsync_latency_seconds_sum 0.0009",
+            "hp_assess_compute_latency_seconds_count 1",
+            "hp_assess_e2e_latency_quantile_seconds{quantile=\"0.99\"}",
+            "hp_calibration_cache_entries 0",
+            "hp_trace_events_dropped_total 0",
+            "# TYPE hp_ingest_apply_latency_seconds histogram",
+            "# TYPE hp_shard_queue_depth gauge",
+        ] {
+            assert!(text.contains(required), "missing `{required}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_inf() {
+        let reg = MetricsRegistry::new(1, 16, false);
+        reg.record_latency(LatencyPath::AssessE2e, 100);
+        reg.record_latency(LatencyPath::AssessE2e, 100_000);
+        let text = reg.render_prometheus();
+        let inf_line = text
+            .lines()
+            .find(|l| l.starts_with("hp_assess_e2e_latency_seconds_bucket{le=\"+Inf\"}"))
+            .expect("+Inf bucket present");
+        assert!(inf_line.ends_with(" 2"), "{inf_line}");
+        // Bucket counts never decrease down the exposition.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("hp_assess_e2e_latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn json_snapshot_has_per_path_quantiles_and_totals() {
+        let reg = MetricsRegistry::new(1, 16, false);
+        reg.shard(0).counters.add_ingested(42);
+        reg.record_latency_n(LatencyPath::IngestApply, 3_000, 42);
+        let json = reg.render_json();
+        assert!(json.contains("\"ingest_apply\""), "{json}");
+        assert!(json.contains("\"p99_ns\""), "{json}");
+        assert!(json.contains("\"ingested\":42"), "{json}");
+        assert!(json.contains("\"shards\": 1"), "{json}");
+    }
+
+    #[test]
+    fn registry_tracer_is_wired() {
+        let reg = MetricsRegistry::new(1, 4, true);
+        reg.tracer()
+            .emit(0, 5, super::super::trace::TraceKind::ReplayStart);
+        assert_eq!(reg.snapshot().trace_dropped, 0);
+        assert_eq!(reg.tracer().drain_all().len(), 1);
+    }
+}

@@ -4,6 +4,9 @@ use crate::config::{Durability, IngestPolicy, ServiceConfig};
 use crate::faults::ShardFaults;
 use crate::journal::{FileJournal, JournalStore};
 use crate::metrics::{Counters, ServiceStats};
+use crate::obs::{
+    AssessmentTrace, LatencyPath, MetricsRegistry, TraceEvent, TraceKind, TracedAssessment,
+};
 use crate::shard::{Command, Published, ShardContext, ShardHandle, ShardSnapshot};
 use crate::supervisor::spawn_supervised_shard;
 use crossbeam::channel::{self, RecvTimeoutError, SendTimeoutError, TrySendError};
@@ -228,7 +231,7 @@ impl AssessOutcome {
 pub struct ReputationService {
     config: ServiceConfig,
     shards: Vec<ShardHandle>,
-    counters: Arc<Counters>,
+    obs: Arc<MetricsRegistry>,
     calibrator: Arc<ThresholdCalibrator>,
 }
 
@@ -262,17 +265,22 @@ impl ReputationService {
             }
         }
 
-        let counters = Arc::new(Counters::default());
+        let obs = Arc::new(MetricsRegistry::new(
+            config.shards(),
+            config.trace_capacity(),
+            config.tracing(),
+        ));
         let mut shards = Vec::with_capacity(config.shards());
         for shard in 0..config.shards() {
             let test =
                 MultiBehaviorTest::with_calibrator(config.test().clone(), Arc::clone(&calibrator))?;
-            let journal = open_journal(&config, shard, &counters)?;
+            let journal = open_journal(&config, shard, &obs.shard(shard).counters)?;
             let ctx = ShardContext {
+                shard,
                 test,
                 model: config.trust(),
                 policy: config.short_history(),
-                counters: Arc::clone(&counters),
+                obs: Arc::clone(&obs),
                 journal: Arc::new(Mutex::new(journal)),
                 published: Published::default(),
                 faults: ShardFaults::for_config(&config, shard),
@@ -287,7 +295,7 @@ impl ReputationService {
         Ok(ReputationService {
             config,
             shards,
-            counters,
+            obs,
             calibrator,
         })
     }
@@ -342,7 +350,7 @@ impl ReputationService {
                 continue;
             }
             let offered = batch.len();
-            let command = Command::Ingest(batch);
+            let command = Command::ingest(batch);
             let (accepted, shed) = match self.config.ingest_policy() {
                 IngestPolicy::Block => match self.shards[shard].send(command) {
                     Ok(()) => (offered, 0),
@@ -373,11 +381,12 @@ impl ReputationService {
                     }
                 }
             };
+            let counters = &self.obs.shard(shard).counters;
+            counters.add_ingested(accepted as u64);
+            counters.add_shed(shed as u64);
             outcome.accepted += accepted;
             outcome.shed += shed;
         }
-        self.counters.add_ingested(outcome.accepted as u64);
-        self.counters.add_shed(outcome.shed as u64);
         match dead_shard {
             Some(shard) => Err(ServiceError::ShardUnavailable { shard }),
             None => Ok(outcome),
@@ -413,7 +422,32 @@ impl ReputationService {
     /// gone, [`ServiceError::Interrupted`] if it restarted while holding
     /// this request (safe to retry).
     pub fn assess(&self, server: ServerId) -> Result<Assessment, ServiceError> {
+        self.assess_inner(server).map(|(a, _)| a)
+    }
+
+    /// Assesses one server and returns the verdict together with its
+    /// audit trail: which phase-1 scheme ran, the binding suffix, the
+    /// measured L¹ distance, the calibrated threshold, and the pass/fail
+    /// margin, plus whether the versioned cache answered.
+    ///
+    /// The assessment is the exact value [`Self::assess`] would have
+    /// returned — the trace is derived from the verdict's embedded
+    /// report after the fact, never recomputed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::assess`].
+    pub fn assess_traced(&self, server: ServerId) -> Result<TracedAssessment, ServiceError> {
+        let (assessment, from_cache) = self.assess_inner(server)?;
+        let trace = AssessmentTrace::from_assessment(server, &assessment, from_cache);
+        Ok(TracedAssessment { assessment, trace })
+    }
+
+    /// The shared fresh-assessment path: send, wait, record end-to-end
+    /// latency, and surface the worker's cache-hit flag.
+    fn assess_inner(&self, server: ServerId) -> Result<(Assessment, bool), ServiceError> {
         let shard = self.shard_of(server);
+        let start = Instant::now();
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.shards[shard]
             .send(Command::Assess {
@@ -422,7 +456,12 @@ impl ReputationService {
             })
             .map_err(|_| ServiceError::ShardUnavailable { shard })?;
         match reply_rx.recv() {
-            Ok(answer) => answer.map_err(ServiceError::Core),
+            Ok(answer) => {
+                let answer = answer.map_err(ServiceError::Core)?;
+                self.obs
+                    .record_latency(LatencyPath::AssessE2e, start.elapsed().as_nanos() as u64);
+                Ok(answer)
+            }
             Err(_) => Err(ServiceError::Interrupted { shard }),
         }
     }
@@ -455,20 +494,25 @@ impl ReputationService {
         match self.shards[shard].send_timeout(command, deadline) {
             Ok(()) => {}
             Err(SendTimeoutError::Timeout(_)) => {
-                return self.degraded(shard, server, DegradedReason::DeadlineExceeded);
+                return self.degraded(shard, server, DegradedReason::DeadlineExceeded, start);
             }
             Err(SendTimeoutError::Disconnected(_)) => {
-                return self.degraded(shard, server, DegradedReason::ShardUnavailable);
+                return self.degraded(shard, server, DegradedReason::ShardUnavailable, start);
             }
         }
         let remaining = deadline.saturating_sub(start.elapsed());
         match reply_rx.recv_timeout(remaining) {
-            Ok(answer) => answer.map(AssessOutcome::Fresh).map_err(ServiceError::Core),
+            Ok(answer) => {
+                let (assessment, _) = answer.map_err(ServiceError::Core)?;
+                self.obs
+                    .record_latency(LatencyPath::AssessE2e, start.elapsed().as_nanos() as u64);
+                Ok(AssessOutcome::Fresh(assessment))
+            }
             Err(RecvTimeoutError::Timeout) => {
-                self.degraded(shard, server, DegradedReason::DeadlineExceeded)
+                self.degraded(shard, server, DegradedReason::DeadlineExceeded, start)
             }
             Err(RecvTimeoutError::Disconnected) => {
-                self.degraded(shard, server, DegradedReason::WorkerRestarting)
+                self.degraded(shard, server, DegradedReason::WorkerRestarting, start)
             }
         }
     }
@@ -480,11 +524,21 @@ impl ReputationService {
         shard: usize,
         server: ServerId,
         reason: DegradedReason,
+        start: Instant,
     ) -> Result<AssessOutcome, ServiceError> {
         let published = self.shards[shard].published.lock().get(&server).cloned();
         match published {
             Some(pv) => {
-                self.counters.add_degraded(1);
+                let counters = &self.obs.shard(shard).counters;
+                counters.add_degraded(1);
+                // A degraded answer is served from the published-verdict
+                // cache — it is a cache event like any other serve.
+                counters.record_cache(true);
+                let e2e_ns = start.elapsed().as_nanos() as u64;
+                self.obs.record_latency(LatencyPath::AssessE2e, e2e_ns);
+                self.obs
+                    .tracer()
+                    .emit(shard, e2e_ns, TraceKind::DegradedServed);
                 Ok(AssessOutcome::Degraded(DegradedAssessment {
                     assessment: pv.assessment,
                     computed_at_version: pv.computed_at_version,
@@ -512,6 +566,7 @@ impl ReputationService {
         &self,
         servers: &[ServerId],
     ) -> Result<BatchAssessments, ServiceError> {
+        let start = Instant::now();
         let mut per_shard: Vec<Vec<ServerId>> = vec![Vec::new(); self.shards.len()];
         for &server in servers {
             per_shard[self.shard_of(server)].push(server);
@@ -535,8 +590,17 @@ impl ReputationService {
             let answers = reply_rx
                 .recv()
                 .map_err(|_| ServiceError::Interrupted { shard })?;
-            by_server.extend(answers);
+            by_server.extend(
+                answers
+                    .into_iter()
+                    .map(|(s, r)| (s, r.map(|(a, _)| a))),
+            );
         }
+        self.obs.record_latency_n(
+            LatencyPath::AssessE2e,
+            start.elapsed().as_nanos() as u64,
+            servers.len() as u64,
+        );
         Ok(servers
             .iter()
             .map(|&s| {
@@ -554,10 +618,9 @@ impl ReputationService {
 
     /// A snapshot of operational counters and shard occupancy.
     pub fn stats(&self) -> ServiceStats {
-        let mut stats = ServiceStats::from_counters(&self.counters);
-        let mut depths = Vec::with_capacity(self.shards.len());
+        self.sample_gauges();
+        let mut stats = ServiceStats::from_registry(&self.obs.snapshot());
         for handle in &self.shards {
-            depths.push(handle.queue_depth());
             let (reply_tx, reply_rx) = channel::bounded(1);
             let snapshot = if handle.send(Command::Snapshot { reply: reply_tx }).is_ok() {
                 reply_rx.recv().unwrap_or_default()
@@ -567,9 +630,48 @@ impl ReputationService {
             stats.tracked_servers += snapshot.servers;
             stats.tracked_feedbacks += snapshot.feedbacks;
         }
-        stats.shard_queue_depths = depths;
-        stats.calibration_cache_entries = self.calibrator.cache_len();
         stats
+    }
+
+    /// The unified metrics registry (per-shard counters, latency
+    /// histograms, tracer). Shared: clones of the `Arc` observe live
+    /// updates.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Renders the current metrics as Prometheus text exposition
+    /// (format 0.0.4), sampling queue depths and calibration gauges
+    /// first.
+    pub fn render_prometheus(&self) -> String {
+        self.sample_gauges();
+        self.obs.render_prometheus()
+    }
+
+    /// Renders the current latency quantiles and totals as a JSON object
+    /// (the bench harness's machine-readable snapshot).
+    pub fn metrics_json(&self) -> String {
+        self.sample_gauges();
+        self.obs.render_json()
+    }
+
+    /// Drains every shard's trace ring, merged in global emission order.
+    /// Empty unless tracing was enabled via
+    /// [`ServiceConfig::with_tracing`] or
+    /// [`Tracer::set_enabled`](crate::obs::Tracer::set_enabled).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.obs.tracer().drain_all()
+    }
+
+    /// Samples point-in-time gauges (queue depths, calibration cache)
+    /// into the registry so snapshots and expositions are current.
+    fn sample_gauges(&self) {
+        for (shard, handle) in self.shards.iter().enumerate() {
+            self.obs.set_queue_depth(shard, handle.queue_depth() as u64);
+        }
+        let (hits, misses) = self.calibrator.cache_stats();
+        self.obs
+            .set_calibration(self.calibrator.cache_len() as u64, hits, misses);
     }
 
     /// Shuts the service down gracefully: every shard serves the

@@ -23,6 +23,7 @@ use crate::config::TrustModel;
 use crate::faults::ShardFaults;
 use crate::journal::JournalStore;
 use crate::metrics::Counters;
+use crate::obs::{LatencyPath, MetricsRegistry, TraceKind};
 use crate::state::ServerState;
 use crossbeam::channel::{
     Receiver, SendError, SendTimeoutError, Sender, TrySendError,
@@ -34,10 +35,11 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// One assessment answer.
-pub(crate) type AssessReply = Result<Assessment, CoreError>;
+/// One assessment answer: the verdict plus whether the versioned cache
+/// answered it (the front end drops the flag except in `assess_traced`).
+pub(crate) type AssessReply = Result<(Assessment, bool), CoreError>;
 
 /// A point-in-time view of one shard's contents.
 #[derive(Debug, Clone, Copy, Default)]
@@ -64,7 +66,13 @@ pub(crate) type Published = Arc<Mutex<HashMap<ServerId, PublishedVerdict>>>;
 /// What the front end sends to a shard worker.
 pub(crate) enum Command {
     /// Feedbacks already partitioned to this shard, in arrival order.
-    Ingest(Vec<Feedback>),
+    Ingest {
+        /// The sub-batch routed to this shard.
+        batch: Vec<Feedback>,
+        /// When the front end enqueued it — the start of the
+        /// enqueue→apply latency measurement.
+        enqueued_at: Instant,
+    },
     Assess {
         server: ServerId,
         reply: Sender<AssessReply>,
@@ -82,7 +90,7 @@ pub(crate) enum Command {
 impl std::fmt::Debug for Command {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Command::Ingest(batch) => write!(f, "Ingest({} feedbacks)", batch.len()),
+            Command::Ingest { batch, .. } => write!(f, "Ingest({} feedbacks)", batch.len()),
             Command::Assess { server, .. } => write!(f, "Assess({server})"),
             Command::AssessMany { servers, .. } => {
                 write!(f, "AssessMany({} servers)", servers.len())
@@ -97,8 +105,16 @@ impl Command {
     /// Feedbacks carried by this command (0 for queries).
     pub(crate) fn feedback_count(&self) -> usize {
         match self {
-            Command::Ingest(batch) => batch.len(),
+            Command::Ingest { batch, .. } => batch.len(),
             _ => 0,
+        }
+    }
+
+    /// An ingest command stamped now.
+    pub(crate) fn ingest(batch: Vec<Feedback>) -> Self {
+        Command::Ingest {
+            batch,
+            enqueued_at: Instant::now(),
         }
     }
 }
@@ -156,13 +172,21 @@ impl Drop for ShardHandle {
 /// Everything a shard worker (and its supervisor) needs besides the
 /// command channel and the state map.
 pub(crate) struct ShardContext {
+    pub shard: usize,
     pub test: MultiBehaviorTest,
     pub model: TrustModel,
     pub policy: ShortHistoryPolicy,
-    pub counters: Arc<Counters>,
+    pub obs: Arc<MetricsRegistry>,
     pub journal: Arc<Mutex<JournalStore>>,
     pub published: Published,
     pub faults: ShardFaults,
+}
+
+impl ShardContext {
+    /// This shard's counter block in the registry.
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.obs.shard(self.shard).counters
+    }
 }
 
 #[derive(PartialEq, Eq)]
@@ -200,13 +224,29 @@ pub(crate) fn handle_command(
     ctx: &ShardContext,
 ) -> Flow {
     match command {
-        Command::Ingest(batch) => {
+        Command::Ingest { batch, enqueued_at } => {
+            let batch_len = batch.len() as u64;
             // Journal first: after this point the batch is durable and
-            // any crash during apply is recovered by replay.
+            // any crash during apply is recovered by replay. The append
+            // is timed unconditionally (the histogram write is two
+            // relaxed atomic adds); trace events only when enabled.
+            let append_t0 = Instant::now();
             match ctx.journal.lock().append_batch(&batch) {
                 Ok(info) => {
-                    ctx.counters
+                    let append_ns = append_t0.elapsed().as_nanos() as u64;
+                    ctx.obs.record_latency(LatencyPath::JournalAppend, append_ns);
+                    if info.synced {
+                        ctx.obs.record_latency(LatencyPath::JournalFsync, info.sync_ns);
+                    }
+                    ctx.counters()
                         .record_journal_append(info.records, info.bytes, info.synced);
+                    ctx.obs.tracer().emit(
+                        ctx.shard,
+                        append_ns,
+                        TraceKind::JournalAppend {
+                            records: info.records,
+                        },
+                    );
                 }
                 Err(e) => {
                     // The journal is the source of truth; a worker that
@@ -216,6 +256,7 @@ pub(crate) fn handle_command(
                 }
             }
             ctx.faults.after_journal();
+            let apply_t0 = Instant::now();
             let mut touched = Vec::new();
             for feedback in batch {
                 ctx.faults.before_apply(&feedback);
@@ -224,14 +265,34 @@ pub(crate) fn handle_command(
             }
             touched.sort_unstable();
             touched.dedup();
-            let mut published = ctx.published.lock();
-            for server in touched {
-                if let (Some(state), Some(pv)) =
-                    (states.get(&server), published.get_mut(&server))
-                {
-                    pv.latest_version = state.version();
+            {
+                let mut published = ctx.published.lock();
+                for server in touched {
+                    if let (Some(state), Some(pv)) =
+                        (states.get(&server), published.get_mut(&server))
+                    {
+                        pv.latest_version = state.version();
+                    }
                 }
             }
+            let metrics = ctx.obs.shard(ctx.shard);
+            metrics
+                .last_apply_version
+                .fetch_add(batch_len, std::sync::atomic::Ordering::Relaxed);
+            // Enqueue→apply latency, attributed to every feedback in the
+            // batch so the histogram count matches the `ingested` counter.
+            ctx.obs.record_latency_n(
+                LatencyPath::IngestApply,
+                enqueued_at.elapsed().as_nanos() as u64,
+                batch_len,
+            );
+            ctx.obs.tracer().emit(
+                ctx.shard,
+                apply_t0.elapsed().as_nanos() as u64,
+                TraceKind::BatchApplied {
+                    feedbacks: batch_len,
+                },
+            );
             Flow::Continue
         }
         Command::Assess { server, reply } => {
@@ -285,11 +346,12 @@ fn assess_one(
     server: ServerId,
     ctx: &ShardContext,
 ) -> AssessReply {
-    ctx.counters.add_served(1);
-    match states.get_mut(&server) {
+    ctx.counters().add_served(1);
+    let t0 = Instant::now();
+    let reply = match states.get_mut(&server) {
         Some(state) => {
             let (assessment, from_cache) = state.assess(&ctx.test, ctx.policy)?;
-            ctx.counters.record_cache(from_cache);
+            ctx.counters().record_cache(from_cache);
             let version = state.version();
             ctx.published.lock().insert(
                 server,
@@ -299,17 +361,29 @@ fn assess_one(
                     latest_version: version,
                 },
             );
-            Ok(assessment)
+            Ok((assessment, from_cache))
         }
         None => {
             // Unknown server: assess an empty history without permanently
             // allocating state for it (queries must not grow the map, and
             // must not grow the published cache either).
-            ctx.counters.record_cache(false);
+            ctx.counters().record_cache(false);
             let mut state = ServerState::new(ctx.model)?;
-            state.assess(&ctx.test, ctx.policy).map(|(a, _)| a)
+            state.assess(&ctx.test, ctx.policy).map(|(a, _)| (a, false))
         }
+    };
+    let compute_ns = t0.elapsed().as_nanos() as u64;
+    ctx.obs.record_latency(LatencyPath::AssessCompute, compute_ns);
+    if let Ok((_, from_cache)) = &reply {
+        ctx.obs.tracer().emit(
+            ctx.shard,
+            compute_ns,
+            TraceKind::AssessServed {
+                cache_hit: *from_cache,
+            },
+        );
     }
+    reply
 }
 
 #[cfg(test)]
@@ -331,31 +405,32 @@ mod tests {
         .unwrap()
     }
 
-    fn spawn() -> (ShardHandle, Arc<Counters>) {
-        let counters = Arc::new(Counters::default());
+    fn spawn() -> (ShardHandle, Arc<MetricsRegistry>) {
+        let obs = Arc::new(MetricsRegistry::new(1, 64, false));
         let ctx = ShardContext {
+            shard: 0,
             test: fast_test(),
             model: TrustModel::Average,
             policy: ShortHistoryPolicy::Review,
-            counters: Arc::clone(&counters),
+            obs: Arc::clone(&obs),
             journal: Arc::new(Mutex::new(JournalStore::Memory(Vec::new()))),
             published: Published::default(),
             faults: ShardFaults::default(),
         };
         let handle = spawn_supervised_shard(0, ctx, SupervisionConfig::default(), 0);
-        (handle, counters)
+        (handle, obs)
     }
 
     #[test]
     fn ingest_then_assess_sees_the_feedback() {
-        let (handle, _counters) = spawn();
+        let (handle, obs) = spawn();
         let server = ServerId::new(9);
         let batch: Vec<Feedback> = (0..250)
             .map(|t| {
                 Feedback::new(t, server, ClientId::new(t % 5), Rating::from_good(t % 13 != 0))
             })
             .collect();
-        handle.send(Command::Ingest(batch)).unwrap();
+        handle.send(Command::ingest(batch)).unwrap();
         let (reply_tx, reply_rx) = channel::unbounded();
         handle
             .send(Command::Assess {
@@ -363,8 +438,9 @@ mod tests {
                 reply: reply_tx,
             })
             .unwrap();
-        let assessment = reply_rx.recv().unwrap().unwrap();
+        let (assessment, from_cache) = reply_rx.recv().unwrap().unwrap();
         assert!(assessment.trust().is_some() || assessment.is_rejected());
+        assert!(!from_cache, "first assessment computes");
 
         let (snap_tx, snap_rx) = channel::unbounded();
         handle.send(Command::Snapshot { reply: snap_tx }).unwrap();
@@ -377,11 +453,21 @@ mod tests {
         let pv = published.get(&server).expect("published verdict");
         assert_eq!(pv.computed_at_version, 250);
         assert_eq!(pv.latest_version, 250);
+        drop(published);
+
+        // The registry observed the work: enqueue→apply was attributed to
+        // every feedback and the compute path recorded one serve.
+        let snap = obs.snapshot();
+        assert_eq!(snap.latency(LatencyPath::IngestApply).count, 250);
+        assert_eq!(snap.latency(LatencyPath::JournalAppend).count, 1);
+        assert_eq!(snap.latency(LatencyPath::AssessCompute).count, 1);
+        assert_eq!(snap.shards[0].journal_records, 250);
+        assert_eq!(snap.shards[0].last_apply_version, 250);
     }
 
     #[test]
     fn unknown_server_not_tracked() {
-        let (handle, _counters) = spawn();
+        let (handle, _obs) = spawn();
         let (reply_tx, reply_rx) = channel::unbounded();
         handle
             .send(Command::Assess {
@@ -398,21 +484,21 @@ mod tests {
 
     #[test]
     fn shutdown_joins_cleanly() {
-        let (mut handle, _counters) = spawn();
+        let (mut handle, _obs) = spawn();
         handle.shutdown();
         assert!(handle.send(Command::Shutdown).is_err() || handle.join.is_none());
     }
 
     #[test]
     fn ingest_updates_published_latest_version() {
-        let (handle, _counters) = spawn();
+        let (handle, _obs) = spawn();
         let server = ServerId::new(11);
         let batch = |from: u64, n: u64| -> Vec<Feedback> {
             (from..from + n)
                 .map(|t| Feedback::new(t, server, ClientId::new(0), Rating::Positive))
                 .collect()
         };
-        handle.send(Command::Ingest(batch(0, 120))).unwrap();
+        handle.send(Command::ingest(batch(0, 120))).unwrap();
         let (reply_tx, reply_rx) = channel::unbounded();
         handle
             .send(Command::Assess {
@@ -421,7 +507,7 @@ mod tests {
             })
             .unwrap();
         reply_rx.recv().unwrap().unwrap();
-        handle.send(Command::Ingest(batch(120, 30))).unwrap();
+        handle.send(Command::ingest(batch(120, 30))).unwrap();
         // Round-trip a snapshot so the ingest is surely applied.
         let (snap_tx, snap_rx) = channel::unbounded();
         handle.send(Command::Snapshot { reply: snap_tx }).unwrap();

@@ -27,6 +27,7 @@
 //!   `ServiceError::ShardUnavailable`) and `failed_shards` is bumped.
 
 use crate::config::SupervisionConfig;
+use crate::obs::TraceKind;
 use crate::shard::{apply_feedback, worker_loop, Command, ShardContext, ShardHandle};
 use crate::state::ServerState;
 use crossbeam::channel::{self, Receiver};
@@ -69,7 +70,7 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
     // Cold start is itself a replay: a durable journal left by a previous
     // process incarnation is folded here before the first command.
     let Some(mut states) = rebuild(ctx, &mut quarantine) else {
-        ctx.counters.add_shard_failed();
+        ctx.counters().add_shard_failed();
         return;
     };
     let mut restarts: u32 = 0;
@@ -80,15 +81,24 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
             Err(_) => {
                 restarts += 1;
                 if restarts > supervision.max_restarts {
-                    ctx.counters.add_shard_failed();
+                    ctx.counters().add_shard_failed();
                     return;
                 }
-                ctx.counters.add_restart();
+                ctx.counters().add_restart();
+                ctx.obs
+                    .tracer()
+                    .emit(
+                        ctx.shard,
+                        0,
+                        TraceKind::WorkerRestart {
+                            restart: u64::from(restarts),
+                        },
+                    );
                 thread::sleep(backoff_delay(supervision, restarts));
                 match rebuild(ctx, &mut quarantine) {
                     Some(rebuilt) => states = rebuilt,
                     None => {
-                        ctx.counters.add_shard_failed();
+                        ctx.counters().add_shard_failed();
                         return;
                     }
                 }
@@ -111,6 +121,8 @@ pub(crate) fn backoff_delay(supervision: &SupervisionConfig, restart: u32) -> Du
 /// that repeatedly crash the fold. Returns `None` only when the journal
 /// itself cannot be read or the fold fails outside any record.
 fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<ServerId, ServerState>> {
+    let replay_t0 = std::time::Instant::now();
+    ctx.obs.tracer().emit(ctx.shard, 0, TraceKind::ReplayStart);
     let feedbacks = ctx.journal.lock().replay().ok()?;
     loop {
         // `progress` is written before each apply so a panic can be
@@ -138,6 +150,14 @@ fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<Se
                         pv.latest_version = state.version();
                     }
                 }
+                drop(published);
+                ctx.obs.tracer().emit(
+                    ctx.shard,
+                    replay_t0.elapsed().as_nanos() as u64,
+                    TraceKind::ReplayComplete {
+                        records: feedbacks.len() as u64,
+                    },
+                );
                 return Some(states);
             }
             Err(_) => {
@@ -146,7 +166,16 @@ fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<Se
                     return None; // crashed outside any record: hopeless
                 }
                 if quarantine.note_crash(index) {
-                    ctx.counters.add_quarantined();
+                    ctx.counters().add_quarantined();
+                    ctx.obs
+                        .tracer()
+                        .emit(
+                            ctx.shard,
+                            0,
+                            TraceKind::RecordQuarantined {
+                                index: index as u64,
+                            },
+                        );
                 }
                 // Retry immediately: either the record is now skipped or
                 // its crash count moved toward the quarantine threshold.

@@ -1,0 +1,212 @@
+//! Observability integration tests: traced assessments are bit-identical
+//! to untraced ones, histogram totals agree with the event counters in
+//! fault-free runs, the Prometheus exposition carries the full metric
+//! catalogue, and the trace rings reconstruct journal-before-apply order.
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::obs::LatencyPath;
+use hp_service::{ReputationService, ServiceConfig, TrustModel};
+use proptest::prelude::*;
+
+fn fast_config(shards: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_shards(shards)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(300)
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![], vec![])
+}
+
+fn feedbacks_for(server: ServerId, n: u64, bad_every: u64) -> Vec<Feedback> {
+    (0..n)
+        .map(|t| {
+            Feedback::new(
+                t,
+                server,
+                ClientId::new(t % 7),
+                Rating::from_good(t % bad_every != 0),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole bit-identity property: `assess_traced` returns the
+    /// exact assessment `assess` would, on both the compute path (fresh
+    /// service) and the cache path (repeat call), and the trace's
+    /// statistics are lifted verbatim from the verdict's embedded report.
+    #[test]
+    fn traced_assessment_is_bit_identical(
+        len in 60u64..400,
+        bad_every in 5u64..40,
+        server_id in 1u64..1000,
+        weighted in any::<bool>(),
+    ) {
+        let server = ServerId::new(server_id);
+        let mut config = fast_config(2);
+        if weighted {
+            config = config.with_trust(TrustModel::Weighted { lambda: 0.9 });
+        }
+        let feedbacks = feedbacks_for(server, len, bad_every);
+
+        // Compute path: one service assesses untraced, an identically
+        // configured one traced, over the same feedback sequence.
+        let plain = ReputationService::new(config.clone()).unwrap();
+        plain.ingest_batch(feedbacks.clone()).unwrap();
+        let untraced = plain.assess(server).unwrap();
+
+        let traced_svc = ReputationService::new(config).unwrap();
+        traced_svc.ingest_batch(feedbacks).unwrap();
+        let traced = traced_svc.assess_traced(server).unwrap();
+        prop_assert_eq!(&traced.assessment, &untraced);
+        prop_assert!(!traced.trace.from_cache, "first assessment computes");
+
+        // Cache path: the repeat is answered from the versioned cache and
+        // still carries the identical assessment.
+        let repeat = traced_svc.assess_traced(server).unwrap();
+        prop_assert_eq!(&repeat.assessment, &untraced);
+        prop_assert!(repeat.trace.from_cache);
+
+        // The trace is derived, not recomputed: margin is exactly
+        // threshold − distance, and the verdict matches the variant.
+        let trace = &traced.trace;
+        if let (Some(d), Some(t), Some(m)) = (trace.distance, trace.threshold, trace.margin) {
+            prop_assert_eq!(m, t - d, "margin must be threshold - distance, bit for bit");
+        }
+        prop_assert_eq!(trace.trust, untraced.trust().map(|t| t.value()));
+        prop_assert_eq!(trace.server, server);
+    }
+}
+
+/// Fault-free invariants: every accepted feedback is measured once on the
+/// ingest path, every served assessment once on the compute path, and
+/// every front-end answer once end-to-end.
+#[test]
+fn histogram_totals_match_counters() {
+    let service = ReputationService::new(fast_config(3)).unwrap();
+    let servers: Vec<ServerId> = (0..12).map(ServerId::new).collect();
+    let mut total = 0u64;
+    for (i, &server) in servers.iter().enumerate() {
+        let n = 80 + 10 * i as u64;
+        total += n;
+        service.ingest_batch(feedbacks_for(server, n, 13)).unwrap();
+    }
+    for &server in &servers {
+        service.assess(server).unwrap();
+    }
+    let answers = service.assess_many(&servers).unwrap();
+    assert_eq!(answers.len(), servers.len());
+
+    let stats = service.stats();
+    let snap = service.metrics().snapshot();
+    assert_eq!(stats.ingested_feedbacks, total);
+    assert_eq!(
+        snap.latency(LatencyPath::IngestApply).count,
+        stats.ingested_feedbacks,
+        "every accepted feedback is measured enqueue-to-apply"
+    );
+    assert_eq!(
+        snap.latency(LatencyPath::AssessCompute).count,
+        stats.assessments_served,
+        "every served assessment is measured in-worker"
+    );
+    // assess() once per server + assess_many over all of them.
+    assert_eq!(
+        snap.latency(LatencyPath::AssessE2e).count,
+        2 * servers.len() as u64
+    );
+    // Per-shard blocks fold to the same totals.
+    assert_eq!(stats.per_shard.len(), 3);
+    assert_eq!(
+        stats.per_shard.iter().map(|s| s.ingested).sum::<u64>(),
+        total
+    );
+    assert_eq!(
+        stats.per_shard.iter().map(|s| s.journal_records).sum::<u64>(),
+        stats.journal_records
+    );
+}
+
+#[test]
+fn prometheus_exposition_covers_the_catalogue() {
+    let service = ReputationService::new(fast_config(2)).unwrap();
+    let server = ServerId::new(17);
+    service.ingest_batch(feedbacks_for(server, 200, 11)).unwrap();
+    service.assess(server).unwrap();
+
+    let text = service.render_prometheus();
+    for required in [
+        "hp_feedbacks_ingested_total{shard=\"0\"}",
+        "hp_feedbacks_ingested_total{shard=\"1\"}",
+        "hp_assessments_served_total",
+        "hp_assess_cache_hits_total",
+        "hp_assess_cache_misses_total",
+        "hp_shard_restarts_total",
+        "hp_quarantined_records_total",
+        "hp_journal_records_total",
+        "hp_shard_queue_depth",
+        "hp_shard_last_apply_version",
+        "hp_ingest_apply_latency_seconds_bucket",
+        "hp_ingest_apply_latency_seconds_count 200",
+        "hp_journal_append_latency_seconds_count",
+        "hp_journal_fsync_latency_seconds_count",
+        "hp_assess_compute_latency_seconds_count 1",
+        "hp_assess_e2e_latency_seconds_count 1",
+        "hp_ingest_apply_latency_quantile_seconds{quantile=\"0.5\"}",
+        "hp_assess_e2e_latency_quantile_seconds{quantile=\"0.99\"}",
+        "hp_calibration_cache_entries",
+        "hp_calibration_cache_misses_total",
+        "hp_trace_events_dropped_total",
+    ] {
+        assert!(text.contains(required), "missing `{required}` in:\n{text}");
+    }
+
+    let json = service.metrics_json();
+    for key in ["\"ingest_apply\"", "\"assess_e2e\"", "\"p99_ns\"", "\"totals\""] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
+fn tracing_orders_journal_before_apply() {
+    let service = ReputationService::new(fast_config(1).with_tracing(true)).unwrap();
+    let server = ServerId::new(4);
+    service.ingest_batch(feedbacks_for(server, 150, 9)).unwrap();
+    service.assess(server).unwrap(); // FIFO barrier: the ingest is applied
+
+    let events = service.trace_events();
+    let pos = |label: &str| {
+        events
+            .iter()
+            .position(|e| e.kind.label() == label)
+            .unwrap_or_else(|| panic!("no `{label}` event in {events:?}"))
+    };
+    let append = pos("journal_append");
+    let applied = pos("batch_applied");
+    let served = pos("assess_served");
+    assert!(
+        append < applied,
+        "write-ahead invariant: append (#{append}) must precede apply (#{applied})"
+    );
+    assert!(applied < served, "assessment observes the applied batch");
+    // Global sequence numbers are strictly increasing across the drain.
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    // Drained: a second drain is empty until new events arrive.
+    assert!(service.trace_events().is_empty());
+}
+
+#[test]
+fn tracing_disabled_by_default_records_nothing() {
+    let service = ReputationService::new(fast_config(1)).unwrap();
+    let server = ServerId::new(2);
+    service.ingest_batch(feedbacks_for(server, 100, 7)).unwrap();
+    service.assess(server).unwrap();
+    assert!(service.trace_events().is_empty());
+    assert_eq!(service.metrics().snapshot().trace_dropped, 0);
+}

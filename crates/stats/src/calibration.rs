@@ -23,6 +23,7 @@ use crate::quantile::quantile;
 use crate::rng::{derive_seed, seeded_rng};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration for [`ThresholdCalibrator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,6 +130,8 @@ pub struct ThresholdCalibrator {
     config: CalibrationConfig,
     seed: u64,
     cache: RwLock<HashMap<CacheKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ThresholdCalibrator {
@@ -144,6 +147,8 @@ impl ThresholdCalibrator {
             config,
             seed: 0x5EED_CA1B,
             cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         })
     }
 
@@ -161,6 +166,17 @@ impl ThresholdCalibrator {
     /// Number of cached thresholds (diagnostics).
     pub fn cache_len(&self) -> usize {
         self.cache.read().len()
+    }
+
+    /// Lifetime `(hits, misses)` of the threshold cache. A hit answered a
+    /// [`Self::threshold_at`] lookup from the cache; a miss ran a
+    /// Monte-Carlo calibration. Large-`k` extrapolations count as the
+    /// anchor lookup they recurse into.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Threshold ε such that `confidence` of honest sample-sets of `k`
@@ -218,8 +234,10 @@ impl ThresholdCalibrator {
             confidence_millis: (confidence * 100_000.0).round() as u32,
         };
         if let Some(&eps) = self.cache.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(eps);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let p_center = self.p_bucket_center(p_index);
         let samples = self.sample_distances(m, k, p_center, self.config.trials)?;
         let eps = tail_quantile(&samples, confidence)?;
@@ -478,6 +496,17 @@ mod tests {
         assert_eq!(cal.cache_len(), len_after_first, "bucketed p̂ must share entries");
         let _ = cal.threshold(10, 30, 0.8).unwrap();
         assert_eq!(cal.cache_len(), len_after_first + 1);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let cal = calibrator(200);
+        assert_eq!(cal.cache_stats(), (0, 0));
+        let _ = cal.threshold(10, 30, 0.9).unwrap();
+        assert_eq!(cal.cache_stats(), (0, 1), "first lookup calibrates");
+        let _ = cal.threshold(10, 30, 0.9).unwrap();
+        let _ = cal.threshold(10, 30, 0.9001).unwrap();
+        assert_eq!(cal.cache_stats(), (2, 1), "same bucket hits");
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! state, and every verdict is cross-checked against the offline
 //! `TwoPhaseAssessor` — the `mismatches` line must read 0.
 
+use honest_players::service::obs::explain_assessment;
 use honest_players::service::replay::{run_replay, ReplayConfig};
 use honest_players::service::{ReputationService, ServiceConfig, ServiceError};
+use honest_players::ServerId;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn main() -> Result<(), ServiceError> {
@@ -69,6 +72,24 @@ fn main() -> Result<(), ServiceError> {
     );
     println!("  tracked servers:      {}", stats.tracked_servers);
     println!("  shard queue depths:   {:?}", stats.shard_queue_depths);
+
+    // One verdict, fully explained: the audit trail of a rejected
+    // attacker (server IDs after the honest block are attackers).
+    let attacker = ServerId::new(replay.honest_servers as u64 + 1);
+    let traced = service.assess_traced(attacker)?;
+    println!("\n{}", explain_assessment(&service.metrics(), &traced.trace));
+
+    println!("\nprometheus exposition:");
+    println!("{}", service.render_prometheus());
+
+    // Machine-readable latency snapshot for the bench harness / ci.sh.
+    let out_dir = std::env::var("HP_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("experiments/out"));
+    std::fs::create_dir_all(&out_dir).expect("create bench output dir");
+    let out = out_dir.join("bench_service.json");
+    std::fs::write(&out, service.metrics_json()).expect("write bench json");
+    println!("wrote {}", out.display());
 
     assert_eq!(outcome.mismatches, 0, "online verdicts must match offline");
     Ok(())
