@@ -57,4 +57,28 @@ else
     echo "    (skipped: --quick)"
 fi
 
+echo "==> history-engine memory gate (bench json vs committed baseline)"
+HIST_JSON=experiments/out/bench_history.json
+HIST_BASE=experiments/baselines/bench_history_baseline.json
+[ -f "$HIST_JSON" ] || { echo "missing $HIST_JSON (run: cargo bench -p hp-bench --bench history)"; exit 1; }
+[ -f "$HIST_BASE" ] || { echo "missing $HIST_BASE"; exit 1; }
+python3 - "$HIST_JSON" "$HIST_BASE" <<'PYEOF'
+import json, sys
+current = json.load(open(sys.argv[1]))["resident"]
+baseline = json.load(open(sys.argv[2]))["resident"]
+limit = baseline["columnar_bytes"] * 1.10
+if current["columnar_bytes"] > limit:
+    sys.exit(
+        f"resident-bytes regression: columnar {current['columnar_bytes']} B "
+        f"> 110% of baseline {baseline['columnar_bytes']} B"
+    )
+if current["ratio"] < 4.0:
+    sys.exit(f"columnar/rows ratio {current['ratio']} fell below 4x")
+print(
+    f"    resident: columnar {current['columnar_bytes']} B per 10k-feedback "
+    f"server ({current['ratio']}x smaller than rows; baseline "
+    f"{baseline['columnar_bytes']} B)"
+)
+PYEOF
+
 echo "==> OK"

@@ -1,0 +1,238 @@
+//! History-engine benchmarks: columnar vs. row-oriented storage.
+//!
+//! Hand-rolled like `recovery.rs` so the results are machine-readable:
+//! rows print to stdout and land in `experiments/out/bench_history.json`
+//! (override the directory with `HP_BENCH_OUT`). The JSON carries an
+//! extra `resident` object — bytes per 10 000-feedback server in each
+//! representation — which `ci.sh` compares against the committed baseline
+//! in `experiments/baselines/bench_history_baseline.json`.
+//!
+//! Shapes to look for:
+//!
+//! * `ingest_10k/*` — per-feedback append cost; the columnar push
+//!   (bit set + dictionary code + prefix maintenance) should stay within
+//!   a small constant of the row push;
+//! * `window_counts/*` — the phase-1 hot loop over both representations;
+//!   identical O(1)-per-window arithmetic, so the columns must not lose;
+//! * `collusion_reorder/cold` vs `/cached` — building the issuer-frequency
+//!   permutation once vs. re-serving it from the version-stamped cache;
+//!   the cached path is an `Arc` clone and must be orders of magnitude
+//!   cheaper;
+//! * `resident` — the memory claim itself, asserted ≥ 4× at the bottom.
+
+use hp_core::{ClientId, ColumnarHistory, Feedback, HistoryView, Rating, ServerId, TransactionHistory};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const N: usize = 10_000;
+
+struct Row {
+    name: String,
+    samples: usize,
+    /// Records handled per sample (0 = not a per-record metric).
+    records: u64,
+    mean_ns: u128,
+    p50_ns: u128,
+    p99_ns: u128,
+    min_ns: u128,
+}
+
+/// Times `routine` `samples` times (after one warm-up call) and collects
+/// percentile stats.
+fn measure<O>(name: &str, samples: usize, records: u64, mut routine: impl FnMut() -> O) -> Row {
+    black_box(routine());
+    let mut ns: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    let p = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+    Row {
+        name: name.to_string(),
+        samples,
+        records,
+        mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+        p50_ns: p(0.50),
+        p99_ns: p(0.99),
+        min_ns: ns[0],
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_row(row: &Row) {
+    let per_record = if row.records > 0 {
+        format!("  ({}/record)", fmt_ns(row.mean_ns / u128::from(row.records)))
+    } else {
+        String::new()
+    };
+    println!(
+        "{:<40} {:>4} samples  mean {}  p50 {}  p99 {}{per_record}",
+        row.name,
+        row.samples,
+        fmt_ns(row.mean_ns),
+        fmt_ns(row.p50_ns),
+        fmt_ns(row.p99_ns),
+    );
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let per_record = if row.records > 0 {
+            format!(
+                ",\"per_record_ns\":{:.1}",
+                row.mean_ns as f64 / row.records as f64
+            )
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"samples\":{},\"records\":{},\"mean_ns\":{},\
+             \"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{}{per_record}}}{}\n",
+            row.name,
+            row.samples,
+            row.records,
+            row.mean_ns,
+            row.p50_ns,
+            row.p99_ns,
+            row.min_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// One server's worth of feedback: skewed issuers (one heavy client, a
+/// small honest pool) so the collusion reorder has real work to do.
+fn stream(n: usize) -> Vec<Feedback> {
+    (0..n as u64)
+        .map(|t| {
+            let client = if t % 3 == 0 { 997 } else { t % 23 };
+            Feedback::new(
+                t,
+                ServerId::new(1),
+                ClientId::new(client),
+                Rating::from_good(t % 17 != 0),
+            )
+        })
+        .collect()
+}
+
+fn bench_ingest(rows: &mut Vec<Row>, feedbacks: &[Feedback]) {
+    rows.push(measure("ingest_10k/columnar", 100, N as u64, || {
+        let mut h = ColumnarHistory::new();
+        for &f in feedbacks {
+            h.push(f);
+        }
+        h
+    }));
+    rows.push(measure("ingest_10k/reference", 100, N as u64, || {
+        let mut h = TransactionHistory::with_capacity(feedbacks.len());
+        for &f in feedbacks {
+            h.push(f);
+        }
+        h
+    }));
+}
+
+fn bench_window_counts(
+    rows: &mut Vec<Row>,
+    cols: &ColumnarHistory,
+    reference: &TransactionHistory,
+) {
+    let k = (N / 10) as u64;
+    rows.push(measure("window_counts/columnar", 200, k, || {
+        cols.window_counts(0, N, 10).unwrap()
+    }));
+    rows.push(measure("window_counts/reference", 200, k, || {
+        reference.window_counts(0, N, 10).unwrap()
+    }));
+}
+
+fn bench_reorder(rows: &mut Vec<Row>, cols: &ColumnarHistory) {
+    // Cold: a clone of a never-reordered history has an empty cache, so
+    // every sample pays the full permutation build.
+    rows.push(measure("collusion_reorder/cold", 100, N as u64, || {
+        let fresh = cols.clone();
+        fresh.reordered_column()
+    }));
+    // Cached: the version-stamped cache serves an Arc clone; no rebuild,
+    // no allocation of a new column.
+    let warm = cols.clone();
+    black_box(warm.reordered_column());
+    rows.push(measure("collusion_reorder/cached", 100, N as u64, || {
+        warm.reordered_column()
+    }));
+    assert_eq!(
+        warm.reorder_recomputes(),
+        1,
+        "cached reorders must not recompute"
+    );
+}
+
+fn main() {
+    let feedbacks = stream(N);
+    let mut cols = ColumnarHistory::new();
+    let mut reference = TransactionHistory::with_capacity(N);
+    for &f in &feedbacks {
+        cols.push(f);
+        reference.push(f);
+    }
+
+    let mut rows = Vec::new();
+    println!("history-engine benchmarks (columnar vs row storage)\n");
+    bench_ingest(&mut rows, &feedbacks);
+    bench_window_counts(&mut rows, &cols, &reference);
+    bench_reorder(&mut rows, &cols);
+    println!();
+    for row in &rows {
+        print_row(row);
+    }
+
+    // The memory claim: resident bytes per 10k-feedback server, service
+    // form (no per-feedback times) vs the materialized row form.
+    let columnar_bytes = cols.resident_bytes();
+    let reference_bytes = reference.resident_bytes();
+    let ratio = reference_bytes as f64 / columnar_bytes as f64;
+    println!(
+        "\nresident bytes per {N}-feedback server: columnar {columnar_bytes} \
+         vs rows {reference_bytes}  ({ratio:.1}x smaller)"
+    );
+    assert!(
+        ratio >= 4.0,
+        "columnar form must be >= 4x smaller ({ratio:.2}x)"
+    );
+
+    // Cargo runs benches with the package as cwd; anchor the default
+    // output at the workspace's experiments/out like the figure binaries.
+    let out_dir = std::env::var("HP_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments/out")
+        });
+    std::fs::create_dir_all(&out_dir).expect("create bench output dir");
+    let out = out_dir.join("bench_history.json");
+    let payload = format!(
+        "{{\"rows\":{},\n\"resident\":{{\"columnar_bytes\":{columnar_bytes},\
+         \"reference_bytes\":{reference_bytes},\"ratio\":{ratio:.3}}}}}\n",
+        rows_json(&rows)
+    );
+    std::fs::write(&out, payload).expect("write bench json");
+    println!("wrote {}", out.display());
+}

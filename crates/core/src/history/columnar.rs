@@ -1,0 +1,696 @@
+//! The bit-packed columnar history engine.
+//!
+//! One transaction costs ~8.2 bytes here instead of the reference row
+//! store's ~48 (a 32-byte `Feedback` plus prefix sums and a per-client
+//! index): outcomes live in a [`BitColumn`] (1 bit each, plus one `u64`
+//! prefix popcount per 64 outcomes), issuers in an [`IssuerColumn`]
+//! (a `u32` dictionary code plus a `u32` posting per transaction), and
+//! timestamps are optional — the online service drops them entirely
+//! because its trust configuration never reads wall-clock time.
+//!
+//! [`ColumnarHistory`] glues the columns together behind
+//! [`HistoryView`], with the §4 issuer-frequency reordering cached and
+//! invalidated on ingest. Every statistic is bit-identical to the
+//! reference [`crate::TransactionHistory`] path; see
+//! `tests/columnar_equivalence.rs`.
+
+use crate::feedback::{Feedback, Rating};
+use crate::id::{ClientId, ServerId};
+use hp_stats::StatsError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use super::view::{ColumnRef, HistoryView, IssuerGroup, OwnedColumn, ReorderCache};
+use super::TransactionHistory;
+
+/// A boolean outcome column packed 64 per `u64`, with an incrementally
+/// maintained prefix popcount per word.
+///
+/// Any range count is two popcounts and one subtraction: the count of
+/// good outcomes before position `i` is `word_prefix[i / 64]` plus the
+/// popcount of the masked word `i` falls in. Semantics (including panic
+/// and error behavior) mirror [`hp_stats::PrefixSums`] exactly — that is
+/// the bit-identity contract the assessment paths rely on.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::history::BitColumn;
+///
+/// let col = BitColumn::from_bools([true, false, true, true]);
+/// assert_eq!(col.count_range(0, 4), 3);
+/// assert_eq!(col.count_range(1, 2), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitColumn {
+    /// Outcome bits, least significant bit first within each word.
+    words: Vec<u64>,
+    /// `word_prefix[w]` = number of good outcomes before word `w`.
+    word_prefix: Vec<u64>,
+    /// Total good outcomes (the final prefix value).
+    total: u64,
+    /// Number of outcomes stored.
+    len: usize,
+}
+
+impl BitColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        BitColumn::default()
+    }
+
+    /// Builds a column from an iterator of good/bad outcomes.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut col = BitColumn::new();
+        for good in iter {
+            col.push(good);
+        }
+        col
+    }
+
+    /// Appends one outcome.
+    pub fn push(&mut self, good: bool) {
+        let r = self.len % 64;
+        if r == 0 {
+            self.word_prefix.push(self.total);
+            self.words.push(0);
+        }
+        if good {
+            *self.words.last_mut().expect("word allocated above") |= 1u64 << r;
+            self.total += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the most recent outcome, or `None` when empty.
+    pub fn pop(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let (w, r) = (self.len / 64, self.len % 64);
+        let was_good = (self.words[w] >> r) & 1 == 1;
+        self.words[w] &= !(1u64 << r);
+        if was_good {
+            self.total -= 1;
+        }
+        if r == 0 {
+            self.words.pop();
+            self.word_prefix.pop();
+        }
+        Some(was_good)
+    }
+
+    /// Number of outcomes recorded.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no outcomes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of good outcomes.
+    pub fn total_good(&self) -> u64 {
+        self.total
+    }
+
+    /// The outcome at position `i` (`true` = good).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of bounds");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of good outcomes before position `end` (two memory reads
+    /// and a popcount).
+    fn count(&self, end: usize) -> u64 {
+        let w = end / 64;
+        if w == self.words.len() {
+            return self.total;
+        }
+        let mask = (1u64 << (end % 64)) - 1;
+        self.word_prefix[w] + u64::from((self.words[w] & mask).count_ones())
+    }
+
+    /// Number of good outcomes in the half-open range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn count_range(&self, start: usize, end: usize) -> u64 {
+        assert!(start <= end && end <= self.len, "range [{start},{end}) out of bounds");
+        self.count(end) - self.count(start)
+    }
+
+    /// Fraction of good outcomes in `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty range.
+    pub fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
+        if start >= end {
+            return Err(StatsError::EmptyInput {
+                what: "rate over an empty range",
+            });
+        }
+        Ok(self.count_range(start, end) as f64 / (end - start) as f64)
+    }
+
+    /// Window counts of size `m` covering `[start, end)`, aligned to
+    /// `start`; a trailing partial window is dropped (paper semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    pub fn window_counts(&self, start: usize, end: usize, m: usize) -> Result<Vec<u32>, StatsError> {
+        if m == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "window size",
+                value: 0,
+            });
+        }
+        assert!(start <= end && end <= self.len);
+        let k = (end - start) / m;
+        let mut out = Vec::with_capacity(k);
+        for w in 0..k {
+            let s = start + w * m;
+            out.push(self.count_range(s, s + m) as u32);
+        }
+        Ok(out)
+    }
+
+    /// Approximate heap bytes held by this column.
+    pub fn resident_bytes(&self) -> usize {
+        (self.words.len() + self.word_prefix.len()) * 8
+    }
+}
+
+/// A dictionary-encoded issuer column with per-issuer postings.
+///
+/// Each transaction stores one `u32` code; per code the column keeps the
+/// issuing [`ClientId`], the transaction indexes it issued (the posting
+/// list, in transaction order — exactly the §4 grouping), and a running
+/// count of its positive feedback.
+#[derive(Debug, Clone, Default)]
+pub struct IssuerColumn {
+    /// Per-transaction dictionary code.
+    codes: Vec<u32>,
+    /// Client → code. Codes are stable: never recycled, even if a client's
+    /// postings later empty out.
+    dict: HashMap<ClientId, u32>,
+    /// Code → client (dictionary decode).
+    clients: Vec<ClientId>,
+    /// Code → transaction indexes issued by that client, ascending.
+    postings: Vec<Vec<u32>>,
+    /// Code → number of positive feedbacks issued.
+    good_counts: Vec<u32>,
+}
+
+impl IssuerColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        IssuerColumn::default()
+    }
+
+    /// Appends the issuer of the next transaction.
+    pub fn push(&mut self, client: ClientId, good: bool) {
+        let code = match self.dict.get(&client) {
+            Some(&code) => code,
+            None => {
+                let code = self.clients.len() as u32;
+                self.dict.insert(client, code);
+                self.clients.push(client);
+                self.postings.push(Vec::new());
+                self.good_counts.push(0);
+                code
+            }
+        };
+        let idx = self.codes.len() as u32;
+        self.codes.push(code);
+        self.postings[code as usize].push(idx);
+        if good {
+            self.good_counts[code as usize] += 1;
+        }
+    }
+
+    /// Number of transactions recorded.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether no transactions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The issuer of transaction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn client_at(&self, i: usize) -> ClientId {
+        self.clients[self.codes[i] as usize]
+    }
+
+    /// Number of distinct issuers with at least one feedback.
+    pub fn distinct_clients(&self) -> usize {
+        self.postings.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Number of feedbacks issued by `client`.
+    pub fn client_count(&self, client: ClientId) -> usize {
+        self.dict
+            .get(&client)
+            .map_or(0, |&code| self.postings[code as usize].len())
+    }
+
+    /// All issuers with at least one feedback, most frequent first, ties
+    /// broken by ascending client id — the §4 ordering.
+    pub fn issuer_groups(&self) -> Vec<IssuerGroup> {
+        let mut groups: Vec<IssuerGroup> = self
+            .postings
+            .iter()
+            .enumerate()
+            .filter(|(_, postings)| !postings.is_empty())
+            .map(|(code, postings)| IssuerGroup {
+                client: self.clients[code],
+                count: postings.len(),
+                good: self.good_counts[code] as usize,
+            })
+            .collect();
+        groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.client.cmp(&b.client)));
+        groups
+    }
+
+    /// The §4 issuer-frequency permutation: transaction indexes grouped by
+    /// issuer, most frequent issuers first, transaction order preserved
+    /// inside each group.
+    pub fn frequency_order(&self) -> Vec<u32> {
+        let mut codes: Vec<u32> = (0..self.postings.len() as u32)
+            .filter(|&code| !self.postings[code as usize].is_empty())
+            .collect();
+        codes.sort_by(|&a, &b| {
+            self.postings[b as usize]
+                .len()
+                .cmp(&self.postings[a as usize].len())
+                .then(self.clients[a as usize].cmp(&self.clients[b as usize]))
+        });
+        let mut order = Vec::with_capacity(self.codes.len());
+        for code in codes {
+            order.extend_from_slice(&self.postings[code as usize]);
+        }
+        order
+    }
+
+    /// Approximate heap bytes held by this column (hash-map entries
+    /// estimated at 48 bytes each).
+    pub fn resident_bytes(&self) -> usize {
+        self.codes.len() * 4
+            + self.clients.len() * 8
+            + self.postings.iter().map(|p| p.len() * 4).sum::<usize>()
+            + self.good_counts.len() * 4
+            + self.dict.len() * 48
+    }
+}
+
+/// A server's transaction history in columnar form — the single storage
+/// representation behind every assessment path.
+///
+/// Compared with the reference [`TransactionHistory`] this drops the
+/// `Vec<Feedback>` row store entirely; timestamps are kept only when
+/// constructed via [`ColumnarHistory::with_times`] (the feedback store
+/// does, so it can [`ColumnarHistory::materialize`] exact records; the
+/// online service does not, saving 8 bytes per transaction).
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::history::{ColumnarHistory, HistoryView};
+/// use hp_core::{ClientId, Feedback, Rating, ServerId};
+///
+/// let mut h = ColumnarHistory::new();
+/// h.push(Feedback::new(0, ServerId::new(1), ClientId::new(5), Rating::Positive));
+/// h.push(Feedback::new(1, ServerId::new(1), ClientId::new(6), Rating::Negative));
+/// assert_eq!(h.len(), 2);
+/// assert_eq!(h.good_count(), 1);
+/// assert_eq!(h.server(), Some(ServerId::new(1)));
+/// ```
+#[derive(Debug, Default)]
+pub struct ColumnarHistory {
+    outcomes: BitColumn,
+    issuers: IssuerColumn,
+    /// Per-transaction timestamps; `None` when the representation was
+    /// built without them (index order still defines recency).
+    times: Option<Vec<u64>>,
+    /// The uniform server, while one exists.
+    server: Option<ServerId>,
+    /// Set once feedback for a second server is ingested; `server` then
+    /// stays `None` forever (mirrors `TransactionHistory::server`).
+    mixed: bool,
+    /// Bumped on every ingest; stamps the reorder cache.
+    version: u64,
+    reorder: Mutex<ReorderCache>,
+}
+
+impl ColumnarHistory {
+    /// Creates an empty history without a timestamp column.
+    pub fn new() -> Self {
+        ColumnarHistory::default()
+    }
+
+    /// Creates an empty history that keeps per-transaction timestamps
+    /// (costs 8 bytes per transaction; required for
+    /// [`ColumnarHistory::materialize`] and for time-decayed trust).
+    pub fn with_times() -> Self {
+        ColumnarHistory {
+            times: Some(Vec::new()),
+            ..ColumnarHistory::default()
+        }
+    }
+
+    /// Appends a feedback record (decomposed into the columns).
+    pub fn push(&mut self, feedback: Feedback) {
+        if let Some(times) = &mut self.times {
+            times.push(feedback.time);
+        }
+        if self.outcomes.is_empty() && !self.mixed {
+            self.server = Some(feedback.server);
+        } else if self.server.is_some_and(|s| s != feedback.server) {
+            self.server = None;
+            self.mixed = true;
+        }
+        self.outcomes.push(feedback.is_good());
+        self.issuers.push(feedback.client, feedback.is_good());
+        self.version += 1;
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Total number of good transactions.
+    pub fn good_count(&self) -> u64 {
+        self.outcomes.total_good()
+    }
+
+    /// The outcome of transaction `i` (`true` = good).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn outcome(&self, i: usize) -> bool {
+        self.outcomes.get(i)
+    }
+
+    /// The issuer of transaction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn client_at(&self, i: usize) -> ClientId {
+        self.issuers.client_at(i)
+    }
+
+    /// The server this history belongs to (`None` if empty or mixed).
+    pub fn server(&self) -> Option<ServerId> {
+        self.server
+    }
+
+    /// The ingest version — bumped on every [`ColumnarHistory::push`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many times this instance actually rebuilt the §4 reordering
+    /// (cache-miss count; see [`HistoryView::reordered_column`]).
+    pub fn reorder_recomputes(&self) -> u64 {
+        self.reorder.lock().expect("reorder cache lock poisoned").recomputes()
+    }
+
+    /// Approximate heap bytes held by this history.
+    pub fn resident_bytes(&self) -> usize {
+        self.outcomes.resident_bytes()
+            + self.issuers.resident_bytes()
+            + self.times.as_ref().map_or(0, |t| t.len() * 8)
+    }
+
+    /// Rebuilds the exact feedback records this history was fed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history was built without timestamps
+    /// ([`ColumnarHistory::new`]) or mixes servers — the feedback store
+    /// guarantees both, so a panic here is a caller bug.
+    pub fn materialize(&self) -> TransactionHistory {
+        let times = self
+            .times
+            .as_ref()
+            .expect("materialize requires a timestamped history (ColumnarHistory::with_times)");
+        assert!(!self.mixed, "materialize requires a single-server history");
+        let mut history = TransactionHistory::with_capacity(self.len());
+        for (i, &time) in times.iter().enumerate() {
+            let server = self.server.expect("non-empty uniform history has a server");
+            history.push(Feedback::new(
+                time,
+                server,
+                self.issuers.client_at(i),
+                Rating::from_good(self.outcomes.get(i)),
+            ));
+        }
+        history
+    }
+}
+
+impl Clone for ColumnarHistory {
+    fn clone(&self) -> Self {
+        ColumnarHistory {
+            outcomes: self.outcomes.clone(),
+            issuers: self.issuers.clone(),
+            times: self.times.clone(),
+            server: self.server,
+            mixed: self.mixed,
+            version: self.version,
+            // Keep the warm column (it is an Arc bump); the recompute
+            // counter describes work done by *this* instance and resets.
+            reorder: Mutex::new(self.reorder.lock().expect("reorder cache lock poisoned").cloned()),
+        }
+    }
+}
+
+impl HistoryView for ColumnarHistory {
+    fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    fn outcome_prefix(&self) -> ColumnRef<'_> {
+        ColumnRef::Bits(&self.outcomes)
+    }
+
+    fn issuer_groups(&self) -> Vec<IssuerGroup> {
+        self.issuers.issuer_groups()
+    }
+
+    fn reordered_column(&self) -> OwnedColumn {
+        self.reorder
+            .lock()
+            .expect("reorder cache lock poisoned")
+            .get_or_build(self.version, || {
+                let mut bits = BitColumn::new();
+                for idx in self.issuers.frequency_order() {
+                    bits.push(self.outcomes.get(idx as usize));
+                }
+                OwnedColumn::Bits(Arc::new(bits))
+            })
+    }
+
+    fn time(&self, i: usize) -> Option<u64> {
+        self.times.as_ref().and_then(|t| t.get(i).copied())
+    }
+
+    fn server(&self) -> Option<ServerId> {
+        self.server
+    }
+}
+
+impl FromIterator<Feedback> for ColumnarHistory {
+    fn from_iter<I: IntoIterator<Item = Feedback>>(iter: I) -> Self {
+        let mut h = ColumnarHistory::new();
+        for f in iter {
+            h.push(f);
+        }
+        h
+    }
+}
+
+impl Extend<Feedback> for ColumnarHistory {
+    fn extend<I: IntoIterator<Item = Feedback>>(&mut self, iter: I) {
+        for f in iter {
+            self.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_stats::PrefixSums;
+
+    fn fb(t: u64, client: u64, good: bool) -> Feedback {
+        Feedback::new(t, ServerId::new(1), ClientId::new(client), Rating::from_good(good))
+    }
+
+    #[test]
+    fn bit_column_matches_prefix_sums_across_word_boundaries() {
+        let outcomes: Vec<bool> = (0..200).map(|i| i % 3 != 0).collect();
+        let prefix = PrefixSums::from_bools(outcomes.iter().copied());
+        let bits = BitColumn::from_bools(outcomes.iter().copied());
+        assert_eq!(bits.len(), prefix.len());
+        assert_eq!(bits.total_good(), prefix.total_good());
+        for &(start, end) in &[(0, 200), (0, 64), (64, 128), (63, 65), (1, 199), (127, 129), (200, 200)] {
+            assert_eq!(bits.count_range(start, end), prefix.count_range(start, end), "[{start},{end})");
+        }
+        for m in [1usize, 7, 30, 64, 65] {
+            assert_eq!(
+                bits.window_counts(3, 197, m).unwrap(),
+                prefix.window_counts(3, 197, m).unwrap(),
+                "m={m}"
+            );
+        }
+        for (i, &good) in outcomes.iter().enumerate() {
+            assert_eq!(bits.get(i), good, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn bit_column_pop_reverses_push() {
+        let outcomes: Vec<bool> = (0..130).map(|i| i % 5 == 0).collect();
+        let mut bits = BitColumn::from_bools(outcomes.iter().copied());
+        for &good in outcomes.iter().rev() {
+            assert_eq!(bits.pop(), Some(good));
+        }
+        assert_eq!(bits.pop(), None);
+        assert!(bits.is_empty());
+        assert_eq!(bits, BitColumn::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bit_column_out_of_bounds_panics_like_prefix_sums() {
+        let bits = BitColumn::from_bools([true]);
+        let _ = bits.count_range(0, 2);
+    }
+
+    #[test]
+    fn bit_column_error_paths_match_prefix_sums() {
+        let bits = BitColumn::from_bools([true, false]);
+        let prefix = PrefixSums::from_bools([true, false]);
+        assert_eq!(bits.rate_range(1, 1), prefix.rate_range(1, 1));
+        assert_eq!(bits.window_counts(0, 2, 0), prefix.window_counts(0, 2, 0));
+    }
+
+    #[test]
+    fn issuer_column_groups_sorted_by_frequency_then_id() {
+        let mut col = IssuerColumn::new();
+        for &(client, good) in &[(5u64, true), (9, false), (5, true), (5, false), (9, true)] {
+            col.push(ClientId::new(client), good);
+        }
+        assert_eq!(col.distinct_clients(), 2);
+        assert_eq!(col.client_count(ClientId::new(5)), 3);
+        assert_eq!(col.client_count(ClientId::new(42)), 0);
+        assert_eq!(
+            col.issuer_groups(),
+            vec![
+                IssuerGroup { client: ClientId::new(5), count: 3, good: 2 },
+                IssuerGroup { client: ClientId::new(9), count: 2, good: 1 },
+            ]
+        );
+        // Same permutation the reference issuer_frequency_order produces.
+        assert_eq!(col.frequency_order(), vec![0, 2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn columnar_tracks_server_and_detects_mixing() {
+        let mut h = ColumnarHistory::new();
+        assert_eq!(h.server(), None);
+        h.push(fb(0, 1, true));
+        assert_eq!(h.server(), Some(ServerId::new(1)));
+        h.push(Feedback::new(1, ServerId::new(2), ClientId::new(1), Rating::Positive));
+        assert_eq!(h.server(), None);
+        // Mixing is permanent, matching TransactionHistory::server.
+        h.push(fb(2, 1, true));
+        assert_eq!(h.server(), None);
+    }
+
+    #[test]
+    fn materialize_round_trips_exact_records() {
+        let records: Vec<Feedback> = (0..150)
+            .map(|t| fb(t * 3 + 1, t % 7, t % 4 != 0))
+            .collect();
+        let mut h = ColumnarHistory::with_times();
+        h.extend(records.iter().copied());
+        assert_eq!(h.materialize().feedbacks(), records.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamped")]
+    fn materialize_requires_times() {
+        let mut h = ColumnarHistory::new();
+        h.push(fb(0, 1, true));
+        let _ = h.materialize();
+    }
+
+    #[test]
+    fn reordered_column_is_cached_until_ingest() {
+        let mut h = ColumnarHistory::new();
+        for t in 0..20 {
+            h.push(fb(t, t % 3, t % 4 != 0));
+        }
+        let a = h.reordered_column();
+        let b = h.reordered_column();
+        assert_eq!(h.reorder_recomputes(), 1, "second call must hit the cache");
+        match (&a, &b) {
+            (OwnedColumn::Bits(x), OwnedColumn::Bits(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!("columnar reordering is bit-backed"),
+        }
+        h.push(fb(20, 0, true));
+        let _ = h.reordered_column();
+        assert_eq!(h.reorder_recomputes(), 2, "ingest must invalidate");
+    }
+
+    #[test]
+    fn clone_keeps_warm_reorder_cache() {
+        let mut h = ColumnarHistory::new();
+        for t in 0..10 {
+            h.push(fb(t, t % 2, true));
+        }
+        let _ = h.reordered_column();
+        let clone = h.clone();
+        let _ = clone.reordered_column();
+        assert_eq!(clone.reorder_recomputes(), 0, "clone inherits the warm column");
+    }
+
+    #[test]
+    fn resident_bytes_tracks_column_growth() {
+        let mut h = ColumnarHistory::new();
+        let empty = h.resident_bytes();
+        for t in 0..10_000 {
+            h.push(fb(t, t % 97, t % 5 != 0));
+        }
+        let grown = h.resident_bytes();
+        assert!(grown > empty);
+        // The headline number: well under 16 bytes per transaction even
+        // with postings and dictionary overhead.
+        assert!(grown / 10_000 < 16, "resident {grown} bytes for 10k transactions");
+    }
+}

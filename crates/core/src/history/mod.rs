@@ -1,19 +1,38 @@
 //! Ordered transaction histories with O(1) range statistics.
 //!
-//! [`TransactionHistory`] stores a server's feedback sequence together with
-//! prefix sums of good transactions and a per-client index. Those two
-//! auxiliary structures are what make the paper's algorithms efficient:
+//! Two representations share one behavioral contract:
+//!
+//! * [`TransactionHistory`] — the reference row store: a `Vec<Feedback>`
+//!   plus prefix sums of good transactions and a per-client index. Keeps
+//!   full records, supports pop (append–test–revert), and anchors the
+//!   bit-identity property tests.
+//! * [`ColumnarHistory`] — the bit-packed columnar engine (~8 bytes per
+//!   transaction instead of ~48): outcomes in a [`BitColumn`], issuers
+//!   in an [`IssuerColumn`], timestamps optional.
+//!
+//! Every assessment path — the three behavior-testing schemes, the trust
+//! functions, and [`crate::TwoPhaseAssessor`] — consumes either through
+//! the borrowed [`HistoryView`] trait:
 //!
 //! * any window count `G_i` and any suffix's `p̂` are O(1)
-//!   ([`TransactionHistory::count_range`]), which turns the naive O(n²)
+//!   ([`HistoryView::count_range`]), which turns the naive O(n²)
 //!   multi-test into the O(n) optimized variant;
 //! * the collusion-resilient reordering (§4) groups feedback by issuer in
-//!   O(n) using the per-client index.
+//!   O(n) — and is cached per history, invalidated on ingest, so repeated
+//!   collusion evaluations of an unchanged history allocate nothing.
+
+mod columnar;
+mod view;
+
+pub use columnar::{BitColumn, ColumnarHistory, IssuerColumn};
+pub use view::{ColumnRef, HistoryView, IssuerGroup, OwnedColumn};
 
 use crate::feedback::{Feedback, Rating};
 use crate::id::{ClientId, ServerId};
 use hp_stats::{PrefixSums, StatsError};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use view::ReorderCache;
 
 /// A server's transaction history, in transaction order.
 ///
@@ -29,11 +48,14 @@ use std::collections::HashMap;
 /// assert_eq!(h.good_count(), 1);
 /// assert_eq!(h.p_hat(), Some(0.5));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct TransactionHistory {
     feedbacks: Vec<Feedback>,
     prefix: PrefixSums,
     by_client: HashMap<ClientId, Vec<usize>>,
+    /// Bumped on push *and* pop; stamps the reorder cache.
+    version: u64,
+    reorder: Mutex<ReorderCache>,
 }
 
 impl TransactionHistory {
@@ -46,8 +68,7 @@ impl TransactionHistory {
     pub fn with_capacity(capacity: usize) -> Self {
         TransactionHistory {
             feedbacks: Vec::with_capacity(capacity),
-            prefix: PrefixSums::new(),
-            by_client: HashMap::new(),
+            ..TransactionHistory::default()
         }
     }
 
@@ -74,6 +95,7 @@ impl TransactionHistory {
         self.prefix.push(feedback.is_good());
         self.by_client.entry(feedback.client).or_default().push(idx);
         self.feedbacks.push(feedback);
+        self.version += 1;
     }
 
     /// Removes and returns the most recent feedback.
@@ -92,6 +114,7 @@ impl TransactionHistory {
         if idx_list.is_empty() {
             self.by_client.remove(&feedback.client);
         }
+        self.version += 1;
         Some(feedback)
     }
 
@@ -229,11 +252,39 @@ impl TransactionHistory {
 
     /// Good/bad outcomes in issuer-frequency order — the sequence the
     /// collusion-resilient behavior test runs on.
+    ///
+    /// Rebuilds the permutation on every call; assessment paths should
+    /// prefer [`HistoryView::reordered_column`], which caches it.
     pub fn reordered_outcomes(&self) -> Vec<bool> {
         self.issuer_frequency_order()
             .into_iter()
             .map(|i| self.feedbacks[i].is_good())
             .collect()
+    }
+
+    /// The ingest version — bumped on every push and pop.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many times this instance actually rebuilt the §4 reordering
+    /// (cache-miss count; see [`HistoryView::reordered_column`]).
+    pub fn reorder_recomputes(&self) -> u64 {
+        self.reorder.lock().expect("reorder cache lock poisoned").recomputes()
+    }
+
+    /// Approximate heap bytes held by this history (hash-map entries
+    /// estimated at 48 bytes each) — the reference number the columnar
+    /// engine's memory wins are measured against.
+    pub fn resident_bytes(&self) -> usize {
+        self.feedbacks.len() * std::mem::size_of::<Feedback>()
+            + (self.prefix.len() + 1) * 8
+            + self
+                .by_client
+                .values()
+                .map(|idxs| idxs.len() * 8)
+                .sum::<usize>()
+            + self.by_client.len() * 48
     }
 
     /// The server that this history belongs to, if non-empty and uniform.
@@ -248,6 +299,61 @@ impl TransactionHistory {
         } else {
             None
         }
+    }
+}
+
+impl Clone for TransactionHistory {
+    fn clone(&self) -> Self {
+        TransactionHistory {
+            feedbacks: self.feedbacks.clone(),
+            prefix: self.prefix.clone(),
+            by_client: self.by_client.clone(),
+            version: self.version,
+            // Keep the warm column (an Arc bump); the recompute counter
+            // describes work done by *this* instance and resets.
+            reorder: Mutex::new(self.reorder.lock().expect("reorder cache lock poisoned").cloned()),
+        }
+    }
+}
+
+impl HistoryView for TransactionHistory {
+    fn len(&self) -> usize {
+        self.feedbacks.len()
+    }
+
+    fn outcome_prefix(&self) -> ColumnRef<'_> {
+        ColumnRef::Prefix(&self.prefix)
+    }
+
+    fn issuer_groups(&self) -> Vec<IssuerGroup> {
+        let mut groups: Vec<IssuerGroup> = self
+            .by_client
+            .iter()
+            .map(|(&client, idxs)| IssuerGroup {
+                client,
+                count: idxs.len(),
+                good: idxs.iter().filter(|&&i| self.feedbacks[i].is_good()).count(),
+            })
+            .collect();
+        groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.client.cmp(&b.client)));
+        groups
+    }
+
+    fn reordered_column(&self) -> OwnedColumn {
+        self.reorder
+            .lock()
+            .expect("reorder cache lock poisoned")
+            .get_or_build(self.version, || {
+                OwnedColumn::Prefix(Arc::new(PrefixSums::from_bools(self.reordered_outcomes())))
+            })
+    }
+
+    fn time(&self, i: usize) -> Option<u64> {
+        self.feedbacks.get(i).map(|f| f.time)
+    }
+
+    fn server(&self) -> Option<ServerId> {
+        TransactionHistory::server(self)
     }
 }
 
@@ -380,6 +486,59 @@ mod tests {
             h.reordered_outcomes(),
             vec![true, true, false, false, true]
         );
+    }
+
+    #[test]
+    fn issuer_groups_match_frequencies_and_count_good() {
+        let mut h = TransactionHistory::new();
+        h.push(fb(0, 5, true));
+        h.push(fb(1, 9, false));
+        h.push(fb(2, 5, true));
+        h.push(fb(3, 5, false));
+        h.push(fb(4, 9, true));
+        assert_eq!(
+            h.issuer_groups(),
+            vec![
+                IssuerGroup { client: ClientId::new(5), count: 3, good: 2 },
+                IssuerGroup { client: ClientId::new(9), count: 2, good: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reordered_column_cached_until_history_changes() {
+        let mut h = TransactionHistory::new();
+        for t in 0..12 {
+            h.push(fb(t, t % 3, t % 4 != 0));
+        }
+        let a = h.reordered_column();
+        let b = h.reordered_column();
+        assert_eq!(h.reorder_recomputes(), 1, "second call must hit the cache");
+        match (&a, &b) {
+            (OwnedColumn::Prefix(x), OwnedColumn::Prefix(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!("reference reordering is prefix-backed"),
+        }
+        h.push(fb(12, 0, true));
+        let _ = h.reordered_column();
+        assert_eq!(h.reorder_recomputes(), 2, "push must invalidate");
+        h.pop();
+        let _ = h.reordered_column();
+        assert_eq!(h.reorder_recomputes(), 3, "pop must invalidate");
+    }
+
+    #[test]
+    fn reordered_column_matches_reordered_outcomes() {
+        let mut h = TransactionHistory::new();
+        for t in 0..30 {
+            h.push(fb(t, t % 5, t % 3 == 0));
+        }
+        let col = h.reordered_column();
+        let expected = h.reordered_outcomes();
+        let col = col.as_col();
+        assert_eq!(col.len(), expected.len());
+        for (i, &good) in expected.iter().enumerate() {
+            assert_eq!(col.count_range(i, i + 1) == 1, good, "position {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! The borrowed history abstraction every assessment path consumes.
+//!
+//! A [`HistoryView`] exposes exactly what the paper's algorithms need —
+//! a boolean outcome column with O(1) range counts, issuer groupings for
+//! the §4 collusion-resilient reordering, and optional timestamps — while
+//! hiding *how* the history is stored. Two implementations exist:
+//!
+//! * [`crate::TransactionHistory`] — the reference row store
+//!   (`Vec<Feedback>` plus prefix sums and a per-client index),
+//! * [`crate::history::ColumnarHistory`] — the bit-packed columnar engine.
+//!
+//! The contract between them is bit-identity: every behavior test and
+//! trust function must produce the same verdict through either view
+//! (property-tested in `tests/columnar_equivalence.rs`).
+
+use crate::id::{ClientId, ServerId};
+use hp_stats::{PrefixSums, StatsError};
+use std::sync::Arc;
+
+use super::columnar::BitColumn;
+
+/// A borrowed outcome column: O(1) good-transaction counts over any
+/// contiguous range, regardless of the physical representation.
+///
+/// `Copy`, so the testing engine dispatches on the representation once per
+/// call instead of once per window.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnRef<'a> {
+    /// A `Vec<u64>`-backed prefix-sum column (the reference layout).
+    Prefix(&'a PrefixSums),
+    /// A bit-packed column with per-word prefix popcounts.
+    Bits(&'a BitColumn),
+}
+
+impl ColumnRef<'_> {
+    /// Number of outcomes in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnRef::Prefix(p) => p.len(),
+            ColumnRef::Bits(b) => b.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of good outcomes.
+    pub fn total_good(&self) -> u64 {
+        match self {
+            ColumnRef::Prefix(p) => p.total_good(),
+            ColumnRef::Bits(b) => b.total_good(),
+        }
+    }
+
+    /// Number of good outcomes in the half-open range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()` (matching
+    /// [`PrefixSums::count_range`]).
+    pub fn count_range(&self, start: usize, end: usize) -> u64 {
+        match self {
+            ColumnRef::Prefix(p) => p.count_range(start, end),
+            ColumnRef::Bits(b) => b.count_range(start, end),
+        }
+    }
+
+    /// Fraction of good outcomes in `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty range.
+    pub fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
+        match self {
+            ColumnRef::Prefix(p) => p.rate_range(start, end),
+            ColumnRef::Bits(b) => b.rate_range(start, end),
+        }
+    }
+
+    /// Window counts of size `m` covering `[start, end)`, aligned to
+    /// `start`; a trailing partial window is dropped (paper semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    pub fn window_counts(&self, start: usize, end: usize, m: usize) -> Result<Vec<u32>, StatsError> {
+        match self {
+            ColumnRef::Prefix(p) => p.window_counts(start, end, m),
+            ColumnRef::Bits(b) => b.window_counts(start, end, m),
+        }
+    }
+}
+
+/// A shared, immutable outcome column — what the collusion-resilient
+/// reorder cache hands out. Cloning is an `Arc` bump; repeated collusion
+/// evaluations of an unchanged history allocate nothing.
+#[derive(Debug, Clone)]
+pub enum OwnedColumn {
+    /// A shared prefix-sum column.
+    Prefix(Arc<PrefixSums>),
+    /// A shared bit-packed column.
+    Bits(Arc<BitColumn>),
+}
+
+impl OwnedColumn {
+    /// Borrows the column for range queries.
+    pub fn as_col(&self) -> ColumnRef<'_> {
+        match self {
+            OwnedColumn::Prefix(p) => ColumnRef::Prefix(p),
+            OwnedColumn::Bits(b) => ColumnRef::Bits(b),
+        }
+    }
+}
+
+/// One issuer's aggregate in a history: who, how many feedbacks, how many
+/// of them were positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuerGroup {
+    /// The feedback issuer.
+    pub client: ClientId,
+    /// Number of feedbacks this issuer contributed.
+    pub count: usize,
+    /// Number of *positive* feedbacks this issuer contributed.
+    pub good: usize,
+}
+
+/// The version-stamped cache behind [`HistoryView::reordered_column`].
+///
+/// Shared by both history representations: the §4 issuer-frequency
+/// reordering is recomputed only when the history has changed since the
+/// cached column was built.
+#[derive(Debug, Default)]
+pub(crate) struct ReorderCache {
+    /// `(history version, reordered column)` of the last recompute.
+    cached: Option<(u64, OwnedColumn)>,
+    /// How many times the reordering was actually rebuilt (observability
+    /// hook for the no-realloc regression tests and benches).
+    recomputes: u64,
+}
+
+impl ReorderCache {
+    /// Returns the cached column for `version`, or builds one with
+    /// `build`, stamps it, and counts the recompute.
+    pub fn get_or_build(&mut self, version: u64, build: impl FnOnce() -> OwnedColumn) -> OwnedColumn {
+        if let Some((v, col)) = &self.cached {
+            if *v == version {
+                return col.clone();
+            }
+        }
+        let col = build();
+        self.recomputes += 1;
+        self.cached = Some((version, col.clone()));
+        col
+    }
+
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// A warm copy of this cache for a cloned history (the recompute
+    /// counter starts over — it describes work done *by that instance*).
+    pub fn cloned(&self) -> Self {
+        ReorderCache {
+            cached: self.cached.clone(),
+            recomputes: 0,
+        }
+    }
+}
+
+/// The borrowed view of a transaction history that phase 1 (all three
+/// behavior-testing schemes), phase 2 (every trust function) and the
+/// [`crate::TwoPhaseAssessor`] consume.
+///
+/// Implementations must agree bit-for-bit on every derived statistic: the
+/// columnar engine is only correct because each method returns exactly
+/// what the reference row store would.
+pub trait HistoryView {
+    /// Number of transactions.
+    fn len(&self) -> usize;
+
+    /// The good/bad outcome column, in transaction order.
+    fn outcome_prefix(&self) -> ColumnRef<'_>;
+
+    /// All issuers with at least one feedback, most frequent first, ties
+    /// broken by ascending client id — the §4 ordering.
+    fn issuer_groups(&self) -> Vec<IssuerGroup>;
+
+    /// The outcome column in issuer-frequency order (§4), cached and
+    /// invalidated on ingest: repeated calls on an unchanged history are
+    /// allocation-free `Arc` clones.
+    fn reordered_column(&self) -> OwnedColumn;
+
+    /// The timestamp of transaction `i`, if this representation keeps
+    /// timestamps. Callers needing real time semantics (e.g.
+    /// [`crate::trust::DecayTrust`]) fall back to the transaction index
+    /// when `None`.
+    fn time(&self, i: usize) -> Option<u64>;
+
+    /// The server this history belongs to: `None` when empty or when
+    /// feedback for several servers was mixed in.
+    fn server(&self) -> Option<ServerId>;
+
+    /// Whether the history is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of good transactions.
+    fn good_count(&self) -> u64 {
+        self.outcome_prefix().total_good()
+    }
+
+    /// Total number of bad transactions.
+    fn bad_count(&self) -> u64 {
+        self.len() as u64 - self.good_count()
+    }
+
+    /// Overall fraction of good transactions (`None` when empty) — the
+    /// paper's `p̂` estimator.
+    fn p_hat(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.good_count() as f64 / self.len() as f64)
+        }
+    }
+
+    /// The outcome of transaction `i` (`true` = good).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn outcome(&self, i: usize) -> bool {
+        self.outcome_prefix().count_range(i, i + 1) == 1
+    }
+
+    /// Number of good transactions in `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    fn count_range(&self, start: usize, end: usize) -> u64 {
+        self.outcome_prefix().count_range(start, end)
+    }
+
+    /// Fraction of good transactions in `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty range.
+    fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
+        self.outcome_prefix().rate_range(start, end)
+    }
+
+    /// Window counts of size `m` over `[start, end)` (trailing partial
+    /// window dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    fn window_counts(&self, start: usize, end: usize, m: usize) -> Result<Vec<u32>, StatsError> {
+        self.outcome_prefix().window_counts(start, end, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_dispatch_agrees_between_representations() {
+        let outcomes = [true, true, false, true, false, false, true, true];
+        let prefix = PrefixSums::from_bools(outcomes);
+        let bits = BitColumn::from_bools(outcomes);
+        let p = ColumnRef::Prefix(&prefix);
+        let b = ColumnRef::Bits(&bits);
+        assert_eq!(p.len(), b.len());
+        assert_eq!(p.total_good(), b.total_good());
+        for start in 0..=8 {
+            for end in start..=8 {
+                assert_eq!(p.count_range(start, end), b.count_range(start, end));
+                assert_eq!(p.rate_range(start, end).ok(), b.rate_range(start, end).ok());
+            }
+        }
+        assert_eq!(
+            p.window_counts(0, 8, 4).unwrap(),
+            b.window_counts(0, 8, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn owned_column_clone_is_shallow() {
+        let col = OwnedColumn::Prefix(Arc::new(PrefixSums::from_bools([true, false])));
+        let clone = col.clone();
+        match (&col, &clone) {
+            (OwnedColumn::Prefix(a), OwnedColumn::Prefix(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+        assert_eq!(clone.as_col().len(), 2);
+    }
+
+    #[test]
+    fn reorder_cache_rebuilds_only_on_version_change() {
+        let mut cache = ReorderCache::default();
+        let build = || OwnedColumn::Prefix(Arc::new(PrefixSums::from_bools([true])));
+        let _ = cache.get_or_build(1, build);
+        let _ = cache.get_or_build(1, build);
+        assert_eq!(cache.recomputes(), 1, "same version must be a cache hit");
+        let _ = cache.get_or_build(2, build);
+        assert_eq!(cache.recomputes(), 2);
+        assert_eq!(cache.cloned().recomputes(), 0);
+    }
+}

@@ -1,14 +1,14 @@
 //! Collusion-resilient behavior testing (§4).
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::testing::config::BehaviorTestConfig;
 use crate::testing::engine::{run_multi_naive, run_multi_optimized, run_range_test};
 use crate::testing::report::{
     CollusionReport, MultiReport, SuffixReport, SupporterBaseStats, TestReport,
 };
 use crate::testing::{shared_calibrator, BehaviorTest, WindowAlignment};
-use hp_stats::{PrefixSums, ThresholdCalibrator};
+use hp_stats::ThresholdCalibrator;
 use std::sync::Arc;
 
 /// Whether the distribution test over the reordered sequence runs once or
@@ -118,22 +118,15 @@ impl CollusionResilientTest {
 
     /// Supporter-base statistics for `history` (§4's "expanding supporter
     /// base" signal, usable on its own for dashboards/diagnostics).
-    pub fn supporter_base(history: &TransactionHistory) -> SupporterBaseStats {
+    pub fn supporter_base(history: &dyn HistoryView) -> SupporterBaseStats {
         let n = history.len().max(1) as f64;
-        let freqs = history.client_frequencies();
-        let supporters = freqs
-            .iter()
-            .filter(|(c, _)| {
-                // A supporter has issued at least one positive feedback.
-                history
-                    .iter()
-                    .any(|f| f.client == *c && f.is_good())
-            })
-            .count();
-        let top_share = freqs.first().map_or(0.0, |&(_, n1)| n1 as f64 / n);
-        let top5: usize = freqs.iter().take(5).map(|&(_, c)| c).sum();
+        let groups = history.issuer_groups();
+        // A supporter has issued at least one positive feedback.
+        let supporters = groups.iter().filter(|g| g.good > 0).count();
+        let top_share = groups.first().map_or(0.0, |g| g.count as f64 / n);
+        let top5: usize = groups.iter().take(5).map(|g| g.count).sum();
         SupporterBaseStats {
-            distinct_clients: freqs.len(),
+            distinct_clients: groups.len(),
             supporters,
             top_share,
             top5_share: top5 as f64 / n,
@@ -147,20 +140,24 @@ impl CollusionResilientTest {
     /// Propagates statistical failures as [`CoreError::Stats`].
     pub fn evaluate_detailed(
         &self,
-        history: &TransactionHistory,
+        history: &dyn HistoryView,
     ) -> Result<CollusionReport, CoreError> {
-        let reordered = PrefixSums::from_bools(history.reordered_outcomes());
+        // The issuer-frequency permutation is cached per history and only
+        // rebuilt after ingest, so re-assessing an unchanged history does
+        // not allocate.
+        let reordered = history.reordered_column();
+        let reordered = reordered.as_col();
         let multi = match self.depth {
             CollusionTestDepth::Multi => {
                 if self.config.step().is_multiple_of(self.config.window_size() as usize) {
-                    run_multi_optimized(&reordered, &self.config, &self.calibrator)?
+                    run_multi_optimized(reordered, &self.config, &self.calibrator)?
                 } else {
-                    run_multi_naive(&reordered, &self.config, &self.calibrator)?
+                    run_multi_naive(reordered, &self.config, &self.calibrator)?
                 }
             }
             CollusionTestDepth::Single => {
                 let report = run_range_test(
-                    &reordered,
+                    reordered,
                     0,
                     reordered.len(),
                     &self.config,
@@ -188,7 +185,7 @@ impl CollusionResilientTest {
 }
 
 impl BehaviorTest for CollusionResilientTest {
-    fn evaluate(&self, history: &TransactionHistory) -> Result<TestReport, CoreError> {
+    fn evaluate(&self, history: &dyn HistoryView) -> Result<TestReport, CoreError> {
         Ok(TestReport::Collusion(self.evaluate_detailed(history)?))
     }
 
@@ -205,6 +202,7 @@ impl BehaviorTest for CollusionResilientTest {
 mod tests {
     use super::*;
     use crate::feedback::{Feedback, Rating};
+    use crate::history::TransactionHistory;
     use crate::id::{ClientId, ServerId};
     use crate::testing::TestOutcome;
     use rand::RngExt;

@@ -1,13 +1,15 @@
 //! Shared goodness-of-fit machinery used by all three schemes.
 //!
-//! Everything here operates on [`PrefixSums`] rather than on
-//! [`crate::TransactionHistory`] directly, so the collusion-resilient test
-//! can reuse it on the issuer-reordered sequence.
+//! Everything here operates on a borrowed outcome column
+//! ([`ColumnRef`]) rather than on a concrete history type, so it serves
+//! the reference and columnar representations alike — and the collusion-
+//! resilient test can reuse it on the issuer-reordered sequence.
 
 use crate::error::CoreError;
+use crate::history::ColumnRef;
 use crate::testing::config::{BehaviorTestConfig, Correction, SuffixSchedule, WindowAlignment};
 use crate::testing::report::{MultiReport, SuffixReport, TestOutcome, WindowTestReport};
-use hp_stats::{Binomial, Histogram, PrefixSums, ThresholdCalibrator};
+use hp_stats::{Binomial, Histogram, ThresholdCalibrator};
 
 /// Runs one distribution test over the transactions `[start, end)`.
 ///
@@ -19,7 +21,7 @@ use hp_stats::{Binomial, Histogram, PrefixSums, ThresholdCalibrator};
 ///    and `B(m, p̂)`,
 /// 4. compare to the Monte-Carlo threshold at `confidence`.
 pub(crate) fn run_range_test(
-    prefix: &PrefixSums,
+    prefix: ColumnRef<'_>,
     start: usize,
     end: usize,
     config: &BehaviorTestConfig,
@@ -47,7 +49,7 @@ pub(crate) fn run_range_test(
 /// histogram and the covered range, compute p̂, threshold and distance.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_test(
-    prefix: &PrefixSums,
+    prefix: ColumnRef<'_>,
     cov_start: usize,
     cov_end: usize,
     transactions: usize,
@@ -142,7 +144,7 @@ pub(crate) fn per_test_confidence(config: &BehaviorTestConfig, tests: usize) -> 
 /// Windows are end-aligned so the suffix tests agree with the optimized
 /// incremental evaluation bit-for-bit.
 pub(crate) fn run_multi_naive(
-    prefix: &PrefixSums,
+    prefix: ColumnRef<'_>,
     config: &BehaviorTestConfig,
     calibrator: &ThresholdCalibrator,
 ) -> Result<MultiReport, CoreError> {
@@ -194,7 +196,7 @@ pub(crate) fn run_multi_naive(
 /// Returns [`CoreError::MisalignedStep`] unless `step` is a multiple of
 /// the window size (the precondition for window reuse).
 pub(crate) fn run_multi_optimized(
-    prefix: &PrefixSums,
+    prefix: ColumnRef<'_>,
     config: &BehaviorTestConfig,
     calibrator: &ThresholdCalibrator,
 ) -> Result<MultiReport, CoreError> {
@@ -266,6 +268,7 @@ pub(crate) fn run_multi_optimized(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hp_stats::PrefixSums;
 
 
     fn calibrator(config: &BehaviorTestConfig) -> ThresholdCalibrator {
@@ -324,7 +327,7 @@ mod tests {
         let cal = calibrator(&config);
         let prefix = honest_prefix(30, 0.9, 1); // 3 windows < min 5
         let report = run_range_test(
-            &prefix,
+            ColumnRef::Prefix(&prefix),
             0,
             30,
             &config,
@@ -343,7 +346,7 @@ mod tests {
         let cal = calibrator(&config);
         let prefix = honest_prefix(1000, 0.9, 2);
         let report = run_range_test(
-            &prefix,
+            ColumnRef::Prefix(&prefix),
             0,
             1000,
             &config,
@@ -367,10 +370,10 @@ mod tests {
             .build()
             .unwrap();
         let cal = calibrator(&config);
-        let start = run_range_test(&prefix, 0, 25, &config, &cal, 0.95, WindowAlignment::Start)
+        let start = run_range_test(ColumnRef::Prefix(&prefix), 0, 25, &config, &cal, 0.95, WindowAlignment::Start)
             .unwrap();
         let end =
-            run_range_test(&prefix, 0, 25, &config, &cal, 0.95, WindowAlignment::End).unwrap();
+            run_range_test(ColumnRef::Prefix(&prefix), 0, 25, &config, &cal, 0.95, WindowAlignment::End).unwrap();
         assert!(start.p_hat.unwrap() < 1.0);
         assert_eq!(end.p_hat.unwrap(), 1.0);
     }
@@ -390,8 +393,8 @@ mod tests {
                     prefix.push(false);
                 }
             }
-            let naive = run_multi_naive(&prefix, &config, &cal).unwrap();
-            let optimized = run_multi_optimized(&prefix, &config, &cal).unwrap();
+            let naive = run_multi_naive(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
+            let optimized = run_multi_optimized(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
             assert_eq!(naive, optimized, "seed {seed}");
         }
     }
@@ -401,10 +404,10 @@ mod tests {
         let config = BehaviorTestConfig::builder().step(15).build().unwrap();
         let cal = calibrator(&config);
         let prefix = honest_prefix(300, 0.9, 3);
-        let err = run_multi_optimized(&prefix, &config, &cal).unwrap_err();
+        let err = run_multi_optimized(ColumnRef::Prefix(&prefix), &config, &cal).unwrap_err();
         assert!(matches!(err, CoreError::MisalignedStep { step: 15, window: 10 }));
         // Naive handles any step.
-        assert!(run_multi_naive(&prefix, &config, &cal).is_ok());
+        assert!(run_multi_naive(ColumnRef::Prefix(&prefix), &config, &cal).is_ok());
     }
 
     #[test]
@@ -420,7 +423,7 @@ mod tests {
         for _ in 0..70 {
             prefix.push(true);
         }
-        let multi = run_multi_naive(&prefix, &config, &cal).unwrap();
+        let multi = run_multi_naive(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
         assert_eq!(multi.outcome, TestOutcome::Suspicious);
         assert!(multi.first_failure().is_some());
     }
@@ -430,10 +433,10 @@ mod tests {
         let config = BehaviorTestConfig::default();
         let cal = calibrator(&config);
         let prefix = honest_prefix(50, 0.9, 5);
-        let multi = run_multi_naive(&prefix, &config, &cal).unwrap();
+        let multi = run_multi_naive(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
         assert_eq!(multi.outcome, TestOutcome::Inconclusive);
         assert!(multi.suffixes.is_empty());
-        let optimized = run_multi_optimized(&prefix, &config, &cal).unwrap();
+        let optimized = run_multi_optimized(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
         assert_eq!(multi, optimized);
     }
 }

@@ -41,6 +41,8 @@ pub use report::{
 pub use single::SingleBehaviorTest;
 
 use crate::error::CoreError;
+use crate::history::HistoryView;
+#[cfg(test)]
 use crate::history::TransactionHistory;
 use hp_stats::ThresholdCalibrator;
 use std::sync::Arc;
@@ -56,7 +58,11 @@ pub trait BehaviorTest {
     /// Implementations return [`CoreError`] for statistical failures or
     /// configuration misuse; a *suspicious server is not an error* — it is
     /// reported through [`TestReport::outcome`].
-    fn evaluate(&self, history: &TransactionHistory) -> Result<TestReport, CoreError>;
+    ///
+    /// Takes any [`HistoryView`] — the reference row store and the
+    /// columnar engine are interchangeable here (and must stay
+    /// bit-identical; see `tests/columnar_equivalence.rs`).
+    fn evaluate(&self, history: &dyn HistoryView) -> Result<TestReport, CoreError>;
 
     /// A short stable name for reports and CSV headers.
     fn name(&self) -> &'static str;
@@ -70,7 +76,7 @@ pub trait BehaviorTest {
 }
 
 impl<T: BehaviorTest + ?Sized> BehaviorTest for &T {
-    fn evaluate(&self, history: &TransactionHistory) -> Result<TestReport, CoreError> {
+    fn evaluate(&self, history: &dyn HistoryView) -> Result<TestReport, CoreError> {
         (**self).evaluate(history)
     }
 
@@ -84,7 +90,7 @@ impl<T: BehaviorTest + ?Sized> BehaviorTest for &T {
 }
 
 impl<T: BehaviorTest + ?Sized> BehaviorTest for Box<T> {
-    fn evaluate(&self, history: &TransactionHistory) -> Result<TestReport, CoreError> {
+    fn evaluate(&self, history: &dyn HistoryView) -> Result<TestReport, CoreError> {
         (**self).evaluate(history)
     }
 

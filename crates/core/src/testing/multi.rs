@@ -1,7 +1,7 @@
 //! Scheme 2: multi-testing of server behavior (§3.3).
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::testing::config::BehaviorTestConfig;
 use crate::testing::engine::{run_multi_naive, run_multi_optimized};
 use crate::testing::report::{MultiReport, TestReport};
@@ -123,9 +123,9 @@ impl MultiBehaviorTest {
     /// as [`CoreError::Stats`].
     pub fn evaluate_detailed(
         &self,
-        history: &TransactionHistory,
+        history: &dyn HistoryView,
     ) -> Result<MultiReport, CoreError> {
-        let prefix = history.prefix_sums();
+        let prefix = history.outcome_prefix();
         match self.mode {
             MultiTestMode::Naive => run_multi_naive(prefix, &self.config, &self.calibrator),
             MultiTestMode::Optimized => {
@@ -143,7 +143,7 @@ impl MultiBehaviorTest {
 }
 
 impl BehaviorTest for MultiBehaviorTest {
-    fn evaluate(&self, history: &TransactionHistory) -> Result<TestReport, CoreError> {
+    fn evaluate(&self, history: &dyn HistoryView) -> Result<TestReport, CoreError> {
         Ok(TestReport::Multi(self.evaluate_detailed(history)?))
     }
 
@@ -159,6 +159,7 @@ impl BehaviorTest for MultiBehaviorTest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
     use crate::testing::TestOutcome;
     use rand::RngExt;

@@ -119,7 +119,7 @@ impl MultiValueBehaviorTest {
                 prefix.total_good() as f64 / n as f64
             });
             let report = run_range_test(
-                &prefix,
+                crate::history::ColumnRef::Prefix(&prefix),
                 0,
                 n,
                 &self.config,

@@ -1,7 +1,7 @@
 //! Scheme 1: single behavior testing over the whole history.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::testing::config::BehaviorTestConfig;
 use crate::testing::engine::run_range_test;
 use crate::testing::report::{TestReport, WindowTestReport};
@@ -79,10 +79,10 @@ impl SingleBehaviorTest {
     /// Propagates statistical failures as [`CoreError::Stats`].
     pub fn evaluate_detailed(
         &self,
-        history: &TransactionHistory,
+        history: &dyn HistoryView,
     ) -> Result<WindowTestReport, CoreError> {
         run_range_test(
-            history.prefix_sums(),
+            history.outcome_prefix(),
             0,
             history.len(),
             &self.config,
@@ -94,7 +94,7 @@ impl SingleBehaviorTest {
 }
 
 impl BehaviorTest for SingleBehaviorTest {
-    fn evaluate(&self, history: &TransactionHistory) -> Result<TestReport, CoreError> {
+    fn evaluate(&self, history: &dyn HistoryView) -> Result<TestReport, CoreError> {
         Ok(TestReport::Single(self.evaluate_detailed(history)?))
     }
 
@@ -110,6 +110,7 @@ impl BehaviorTest for SingleBehaviorTest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
     use crate::testing::TestOutcome;
     use rand::RngExt;

@@ -1,6 +1,6 @@
 //! The average trust function.
 
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::trust::{TrustFunction, TrustValue};
 
 /// Trust as the ratio of good transactions over all transactions.
@@ -42,7 +42,7 @@ impl Default for AverageTrust {
 }
 
 impl TrustFunction for AverageTrust {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
         match history.p_hat() {
             Some(p) => TrustValue::saturating(p),
             None => self.empty_default,
@@ -57,6 +57,7 @@ impl TrustFunction for AverageTrust {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
 
     #[test]

@@ -1,7 +1,7 @@
 //! The beta reputation trust function.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::trust::{TrustFunction, TrustValue};
 
 /// The beta reputation system of Ismail & Jøsang (Bled'02), one of the
@@ -80,7 +80,7 @@ impl BetaTrust {
     /// underlying distribution constructor.
     pub fn posterior(
         &self,
-        history: &TransactionHistory,
+        history: &dyn HistoryView,
     ) -> Result<hp_stats::BetaDist, CoreError> {
         Ok(hp_stats::BetaDist::new(
             self.alpha0 + history.good_count() as f64,
@@ -111,7 +111,7 @@ impl BetaTrust {
     /// ```
     pub fn credible_interval(
         &self,
-        history: &TransactionHistory,
+        history: &dyn HistoryView,
         level: f64,
     ) -> Result<(f64, f64), CoreError> {
         Ok(self.posterior(history)?.credible_interval(level)?)
@@ -119,7 +119,7 @@ impl BetaTrust {
 }
 
 impl TrustFunction for BetaTrust {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
         let good = history.good_count() as f64;
         let n = history.len() as f64;
         TrustValue::saturating((good + self.alpha0) / (n + self.alpha0 + self.beta0))
@@ -133,6 +133,7 @@ impl TrustFunction for BetaTrust {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
 
     #[test]

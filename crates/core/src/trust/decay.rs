@@ -1,7 +1,7 @@
 //! The exponential time-decay trust function.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::trust::{TrustFunction, TrustValue};
 
 /// Time-decay trust: each feedback is weighted by `2^(−age/half_life)`
@@ -65,18 +65,22 @@ impl DecayTrust {
 }
 
 impl TrustFunction for DecayTrust {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
-        let Some(last) = history.last() else {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
+        let n = history.len();
+        if n == 0 {
             return self.empty_default;
-        };
-        let now = last.time;
+        }
+        // Representations without a timestamp column fall back to the
+        // transaction index as the clock.
+        let time_at = |i: usize| history.time(i).unwrap_or(i as u64);
+        let now = time_at(n - 1);
         let mut weight_sum = 0.0;
         let mut good_sum = 0.0;
-        for fb in history.iter() {
-            let age = now.saturating_sub(fb.time) as f64;
+        for i in 0..n {
+            let age = now.saturating_sub(time_at(i)) as f64;
             let w = (-age / self.half_life * std::f64::consts::LN_2).exp();
             weight_sum += w;
-            if fb.is_good() {
+            if history.outcome(i) {
                 good_sum += w;
             }
         }
@@ -95,6 +99,7 @@ impl TrustFunction for DecayTrust {
 mod tests {
     use super::*;
     use crate::feedback::{Feedback, Rating};
+    use crate::history::TransactionHistory;
     use crate::id::{ClientId, ServerId};
 
     fn fb(t: u64, good: bool) -> Feedback {

@@ -6,7 +6,7 @@
 //! keep it linear.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::trust::{TrustValue, WeightedTrust};
 
 /// A trust evaluator that can be advanced one rating at a time and asked
@@ -54,7 +54,7 @@ impl AverageTrustState {
     }
 
     /// Initializes the state from an existing history.
-    pub fn from_history(history: &TransactionHistory) -> Self {
+    pub fn from_history(history: &dyn HistoryView) -> Self {
         AverageTrustState {
             good: history.good_count(),
             total: history.len() as u64,
@@ -130,10 +130,10 @@ impl WeightedTrustState {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] unless `lambda ∈ (0, 1]`.
-    pub fn from_history(lambda: f64, history: &TransactionHistory) -> Result<Self, CoreError> {
+    pub fn from_history(lambda: f64, history: &dyn HistoryView) -> Result<Self, CoreError> {
         let mut s = Self::new(lambda)?;
-        for good in history.outcomes() {
-            s.update(good);
+        for i in 0..history.len() {
+            s.update(history.outcome(i));
         }
         Ok(s)
     }
@@ -163,6 +163,7 @@ impl IncrementalTrust for WeightedTrustState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
     use crate::trust::{AverageTrust, TrustFunction};
 

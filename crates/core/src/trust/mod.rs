@@ -37,6 +37,8 @@ pub use weighted::WeightedTrust;
 pub use windowed::WindowedAverageTrust;
 
 use crate::error::CoreError;
+use crate::history::HistoryView;
+#[cfg(test)]
 use crate::history::TransactionHistory;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -117,14 +119,17 @@ impl From<TrustValue> for f64 {
 /// the same history must always produce the same value.
 pub trait TrustFunction {
     /// Computes the trust value of the server described by `history`.
-    fn trust(&self, history: &TransactionHistory) -> TrustValue;
+    ///
+    /// Takes any [`HistoryView`]; the reference and columnar history
+    /// representations must yield bit-identical values.
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue;
 
     /// A short stable name for reports and CSV headers.
     fn name(&self) -> &'static str;
 }
 
 impl<T: TrustFunction + ?Sized> TrustFunction for &T {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
         (**self).trust(history)
     }
 
@@ -134,7 +139,7 @@ impl<T: TrustFunction + ?Sized> TrustFunction for &T {
 }
 
 impl<T: TrustFunction + ?Sized> TrustFunction for Box<T> {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
         (**self).trust(history)
     }
 

@@ -1,7 +1,7 @@
 //! The weighted (EWMA) trust function.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::trust::{TrustFunction, TrustValue};
 
 /// The exponentially weighted trust function of Fan, Tan & Whinston
@@ -70,10 +70,10 @@ impl WeightedTrust {
 }
 
 impl TrustFunction for WeightedTrust {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
         let mut r = self.initial.value();
-        for good in history.outcomes() {
-            let f = if good { 1.0 } else { 0.0 };
+        for i in 0..history.len() {
+            let f = if history.outcome(i) { 1.0 } else { 0.0 };
             r = self.lambda * f + (1.0 - self.lambda) * r;
         }
         TrustValue::saturating(r)
@@ -87,6 +87,7 @@ impl TrustFunction for WeightedTrust {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
 
     #[test]

@@ -1,7 +1,7 @@
 //! The windowed average trust function.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::trust::{TrustFunction, TrustValue};
 
 /// Average over only the most recent `l` transactions.
@@ -53,7 +53,7 @@ impl WindowedAverageTrust {
 }
 
 impl TrustFunction for WindowedAverageTrust {
-    fn trust(&self, history: &TransactionHistory) -> TrustValue {
+    fn trust(&self, history: &dyn HistoryView) -> TrustValue {
         let n = history.len();
         if n == 0 {
             return TrustValue::NEUTRAL;
@@ -73,6 +73,7 @@ impl TrustFunction for WindowedAverageTrust {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
 
     #[test]

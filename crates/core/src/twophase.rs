@@ -1,7 +1,7 @@
 //! The two-phase trust assessor — the paper's Fig. 1 pipeline.
 
 use crate::error::CoreError;
-use crate::history::TransactionHistory;
+use crate::history::HistoryView;
 use crate::testing::{BehaviorTest, TestOutcome, TestReport};
 use crate::trust::{TrustFunction, TrustValue};
 
@@ -156,7 +156,7 @@ impl<B: BehaviorTest, T: TrustFunction> TwoPhaseAssessor<B, T> {
     /// Propagates behavior-test failures ([`CoreError`]); a suspicious
     /// server is *not* an error and is reported as
     /// [`Assessment::Rejected`].
-    pub fn assess(&self, history: &TransactionHistory) -> Result<Assessment, CoreError> {
+    pub fn assess(&self, history: &impl HistoryView) -> Result<Assessment, CoreError> {
         let report = self.behavior.evaluate(history)?;
         match report.outcome() {
             TestOutcome::Suspicious => Ok(Assessment::Rejected { report }),
@@ -182,6 +182,7 @@ impl<B: BehaviorTest, T: TrustFunction> TwoPhaseAssessor<B, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::TransactionHistory;
     use crate::id::ServerId;
     use crate::testing::{BehaviorTestConfig, SingleBehaviorTest};
     use crate::trust::AverageTrust;

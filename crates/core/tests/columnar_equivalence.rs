@@ -1,0 +1,165 @@
+//! Property tests: the columnar history engine is *bit-identical* to the
+//! row-oriented reference on every assessment path.
+//!
+//! The invariant the refactor rests on: for any feedback sequence —
+//! duplicate issuers, skewed issuer distributions, arbitrary outcome
+//! patterns, arbitrary (monotone) times — feeding the sequence through
+//! [`ColumnarHistory`] must produce the same verdicts, reports and trust
+//! values as feeding it through [`TransactionHistory`]. The service-side
+//! half of this invariant (torn-tail journal recovery replaying into
+//! columns) is property-tested in `crates/service/tests/recovery.rs`.
+
+use hp_core::testing::{
+    BehaviorTestConfig, CollusionResilientTest, MultiBehaviorTest, SingleBehaviorTest,
+};
+use hp_core::trust::{
+    AverageTrust, BetaTrust, DecayTrust, TrustFunction, WeightedTrust, WindowedAverageTrust,
+};
+use hp_core::{
+    ClientId, ColumnarHistory, Feedback, HistoryView, Rating, ServerId, TransactionHistory,
+    TwoPhaseAssessor,
+};
+use proptest::prelude::*;
+
+/// A generated feedback stream: monotone times, issuers drawn from a small
+/// pool (guaranteeing duplicates), arbitrary outcomes.
+fn feedback_stream() -> impl Strategy<Value = Vec<Feedback>> {
+    (
+        1u64..=8, // issuer pool size
+        proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 0..300),
+    )
+        .prop_map(|(pool, raw)| {
+            let mut time = 0u64;
+            raw.into_iter()
+                .map(|(good, client, gap)| {
+                    time += u64::from(gap % 4);
+                    Feedback::new(
+                        time,
+                        ServerId::new(7),
+                        ClientId::new(u64::from(client) % pool),
+                        Rating::from_good(good),
+                    )
+                })
+                .collect()
+        })
+}
+
+fn both(stream: &[Feedback]) -> (TransactionHistory, ColumnarHistory) {
+    let mut rows = TransactionHistory::with_capacity(stream.len());
+    let mut cols = ColumnarHistory::with_times();
+    for &f in stream {
+        rows.push(f);
+        cols.push(f);
+    }
+    (rows, cols)
+}
+
+fn fast_config() -> BehaviorTestConfig {
+    BehaviorTestConfig::builder()
+        .calibration_trials(200)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn view_queries_agree(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        prop_assert_eq!(rows.len(), cols.len());
+        prop_assert_eq!(rows.good_count(), cols.good_count());
+        prop_assert_eq!(rows.p_hat(), cols.p_hat());
+        prop_assert_eq!(HistoryView::server(&rows), HistoryView::server(&cols));
+        for i in 0..rows.len() {
+            prop_assert_eq!(rows.outcome(i), cols.outcome(i));
+            prop_assert_eq!(rows.time(i), cols.time(i));
+        }
+        let n = rows.len();
+        prop_assert_eq!(rows.count_range(n / 3, n), cols.count_range(n / 3, n));
+        for m in [1usize, 3, 10] {
+            prop_assert_eq!(
+                rows.window_counts(0, n, m).unwrap(),
+                cols.window_counts(0, n, m).unwrap()
+            );
+        }
+        prop_assert_eq!(rows.issuer_groups(), cols.issuer_groups());
+    }
+
+    #[test]
+    fn materialize_round_trips(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        prop_assert_eq!(cols.materialize().feedbacks(), rows.feedbacks());
+    }
+
+    #[test]
+    fn all_three_schemes_agree(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        let single = SingleBehaviorTest::new(fast_config()).unwrap();
+        prop_assert_eq!(
+            single.evaluate_detailed(&rows).unwrap(),
+            single.evaluate_detailed(&cols).unwrap()
+        );
+        let multi = MultiBehaviorTest::new(fast_config()).unwrap();
+        prop_assert_eq!(
+            multi.evaluate_detailed(&rows).unwrap(),
+            multi.evaluate_detailed(&cols).unwrap()
+        );
+        let collusion = CollusionResilientTest::new(fast_config()).unwrap();
+        prop_assert_eq!(
+            collusion.evaluate_detailed(&rows).unwrap(),
+            collusion.evaluate_detailed(&cols).unwrap()
+        );
+    }
+
+    #[test]
+    fn trust_functions_agree(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        let average = AverageTrust::default();
+        prop_assert_eq!(average.trust(&rows), average.trust(&cols));
+        let weighted = WeightedTrust::new(0.6).unwrap();
+        prop_assert_eq!(weighted.trust(&rows), weighted.trust(&cols));
+        let decay = DecayTrust::new(25.0).unwrap();
+        prop_assert_eq!(decay.trust(&rows), decay.trust(&cols));
+        let beta = BetaTrust::new(1.0, 1.0).unwrap();
+        prop_assert_eq!(beta.trust(&rows), beta.trust(&cols));
+        let windowed = WindowedAverageTrust::new(40).unwrap();
+        prop_assert_eq!(windowed.trust(&rows), windowed.trust(&cols));
+    }
+
+    #[test]
+    fn two_phase_verdicts_agree(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        let assessor = TwoPhaseAssessor::new(
+            MultiBehaviorTest::new(fast_config()).unwrap(),
+            WeightedTrust::new(0.5).unwrap(),
+        );
+        prop_assert_eq!(assessor.assess(&rows).unwrap(), assessor.assess(&cols).unwrap());
+    }
+}
+
+/// Deterministic colluder-heavy stream: one issuer floods good ratings,
+/// honest issuers interleave — the case frequency reordering exists for.
+#[test]
+fn collusion_reordering_agrees_on_skewed_issuers() {
+    let mut rows = TransactionHistory::new();
+    let mut cols = ColumnarHistory::with_times();
+    for t in 0..400u64 {
+        let (client, good) = if t % 3 == 0 {
+            (ClientId::new(99), true) // the colluder
+        } else {
+            (ClientId::new(t % 7), t % 11 != 0)
+        };
+        let f = Feedback::new(t, ServerId::new(1), client, Rating::from_good(good));
+        rows.push(f);
+        cols.push(f);
+    }
+    let test = CollusionResilientTest::new(fast_config()).unwrap();
+    let via_rows = test.evaluate_detailed(&rows).unwrap();
+    let via_cols = test.evaluate_detailed(&cols).unwrap();
+    assert_eq!(via_rows, via_cols);
+    assert_eq!(
+        rows.reordered_column().as_col().window_counts(0, 400, 10).unwrap(),
+        cols.reordered_column().as_col().window_counts(0, 400, 10).unwrap()
+    );
+}

@@ -11,6 +11,7 @@
 use hp_core::testing::{MultiReport, TestOutcome, TestReport, WindowTestReport};
 use hp_core::{Assessment, ServerId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which phase-1 scheme produced the verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,8 +104,9 @@ pub struct AssessmentTrace {
 /// from it after the fact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TracedAssessment {
-    /// The verdict, bit-identical to [`crate::ReputationService::assess`].
-    pub assessment: Assessment,
+    /// The verdict, bit-identical to [`crate::ReputationService::assess`]
+    /// — and *shared* with the shard's caches, never a deep clone.
+    pub assessment: Arc<Assessment>,
     /// The audit record derived from the verdict's embedded report.
     pub trace: AssessmentTrace,
 }

@@ -254,10 +254,10 @@ pub fn run_replay(
             history.push(*f);
         }
         let offline = reference.assess(&history).map_err(ServiceError::Core)?;
-        if verdict != offline {
+        if *verdict != offline {
             outcome.mismatches += 1;
         }
-        match (&verdict, honest) {
+        match (&*verdict, honest) {
             (Assessment::Accepted { .. }, true) => outcome.honest_accepted += 1,
             (Assessment::Rejected { .. }, true) => outcome.honest_rejected += 1,
             (Assessment::Rejected { .. }, false) => outcome.attackers_rejected += 1,

@@ -85,8 +85,9 @@ impl From<CoreError> for ServiceError {
 }
 
 /// Per-server answers from [`ReputationService::assess_many`], in request
-/// order.
-pub type BatchAssessments = Vec<(ServerId, Result<Assessment, CoreError>)>;
+/// order. Verdicts are shared (`Arc`): a duplicate request and the shard's
+/// own caches all point at one report instance.
+pub type BatchAssessments = Vec<(ServerId, Result<Arc<Assessment>, CoreError>)>;
 
 /// What happened to a batch offered to [`ReputationService::ingest_batch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -123,8 +124,8 @@ pub enum DegradedReason {
 /// this server, stamped with how stale it is.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradedAssessment {
-    /// The last published assessment.
-    pub assessment: Assessment,
+    /// The last published assessment (shared with the shard's caches).
+    pub assessment: Arc<Assessment>,
     /// The server's history version the assessment was computed at.
     pub computed_at_version: u64,
     /// The latest history version the shard had applied for this server
@@ -146,7 +147,7 @@ impl DegradedAssessment {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AssessOutcome {
     /// The worker answered within the deadline.
-    Fresh(Assessment),
+    Fresh(Arc<Assessment>),
     /// The deadline expired (or the worker was restarting); this is the
     /// last published verdict, stamped with its staleness.
     Degraded(DegradedAssessment),
@@ -166,8 +167,8 @@ impl AssessOutcome {
         matches!(self, AssessOutcome::Degraded(_))
     }
 
-    /// Consumes the outcome, returning the assessment either way.
-    pub fn into_assessment(self) -> Assessment {
+    /// Consumes the outcome, returning the (shared) assessment either way.
+    pub fn into_assessment(self) -> Arc<Assessment> {
         match self {
             AssessOutcome::Fresh(a) => a,
             AssessOutcome::Degraded(d) => d.assessment,
@@ -421,7 +422,7 @@ impl ReputationService {
     /// [`ServiceError::ShardUnavailable`] if the worker is permanently
     /// gone, [`ServiceError::Interrupted`] if it restarted while holding
     /// this request (safe to retry).
-    pub fn assess(&self, server: ServerId) -> Result<Assessment, ServiceError> {
+    pub fn assess(&self, server: ServerId) -> Result<Arc<Assessment>, ServiceError> {
         self.assess_inner(server).map(|(a, _)| a)
     }
 
@@ -439,13 +440,13 @@ impl ReputationService {
     /// As [`Self::assess`].
     pub fn assess_traced(&self, server: ServerId) -> Result<TracedAssessment, ServiceError> {
         let (assessment, from_cache) = self.assess_inner(server)?;
-        let trace = AssessmentTrace::from_assessment(server, &assessment, from_cache);
+        let trace = AssessmentTrace::from_assessment(server, assessment.as_ref(), from_cache);
         Ok(TracedAssessment { assessment, trace })
     }
 
     /// The shared fresh-assessment path: send, wait, record end-to-end
     /// latency, and surface the worker's cache-hit flag.
-    fn assess_inner(&self, server: ServerId) -> Result<(Assessment, bool), ServiceError> {
+    fn assess_inner(&self, server: ServerId) -> Result<(Arc<Assessment>, bool), ServiceError> {
         let shard = self.shard_of(server);
         let start = Instant::now();
         let (reply_tx, reply_rx) = channel::bounded(1);
@@ -585,7 +586,8 @@ impl ReputationService {
                 .map_err(|_| ServiceError::ShardUnavailable { shard })?;
             pending.push((shard, reply_rx));
         }
-        let mut by_server: HashMap<ServerId, Result<Assessment, CoreError>> = HashMap::new();
+        let mut by_server: HashMap<ServerId, Result<Arc<Assessment>, CoreError>> =
+            HashMap::new();
         for (shard, reply_rx) in pending {
             let answers = reply_rx
                 .recv()
@@ -879,7 +881,7 @@ mod tests {
             .assess_within(server, Duration::from_secs(30))
             .unwrap();
         assert!(!outcome.is_degraded());
-        assert_eq!(outcome.assessment(), &service.assess(server).unwrap());
+        assert_eq!(outcome.assessment(), &*service.assess(server).unwrap());
     }
 
     #[test]

@@ -39,7 +39,9 @@ use std::time::{Duration, Instant};
 
 /// One assessment answer: the verdict plus whether the versioned cache
 /// answered it (the front end drops the flag except in `assess_traced`).
-pub(crate) type AssessReply = Result<(Assessment, bool), CoreError>;
+/// The verdict is shared, not cloned: the worker's versioned cache, the
+/// published-verdict map and this reply all hold the same allocation.
+pub(crate) type AssessReply = Result<(Arc<Assessment>, bool), CoreError>;
 
 /// A point-in-time view of one shard's contents.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,8 +54,8 @@ pub(crate) struct ShardSnapshot {
 /// front end without a round-trip through the worker thread.
 #[derive(Debug, Clone)]
 pub(crate) struct PublishedVerdict {
-    /// The assessment as computed.
-    pub assessment: Assessment,
+    /// The assessment as computed (shared with the worker's cache).
+    pub assessment: Arc<Assessment>,
     /// The server's history version (= feedback count) it was computed at.
     pub computed_at_version: u64,
     /// The latest history version the shard has applied for this server.
@@ -356,7 +358,7 @@ fn assess_one(
             ctx.published.lock().insert(
                 server,
                 PublishedVerdict {
-                    assessment: assessment.clone(),
+                    assessment: Arc::clone(&assessment),
                     computed_at_version: version,
                     latest_version: version,
                 },

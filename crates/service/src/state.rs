@@ -22,7 +22,8 @@ use crate::config::TrustModel;
 use hp_core::testing::{MultiBehaviorTest, TestOutcome, TestReport};
 use hp_core::trust::incremental::{AverageTrustState, IncrementalTrust, WeightedTrustState};
 use hp_core::twophase::{Assessment, ShortHistoryPolicy};
-use hp_core::{CoreError, Feedback, TransactionHistory, TrustValue};
+use hp_core::{ColumnarHistory, CoreError, Feedback, TrustValue};
+use std::sync::Arc;
 
 /// The streaming phase-2 trust state for one server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,19 +60,21 @@ impl TrustState {
 /// Everything a shard worker holds for one server.
 #[derive(Debug, Clone)]
 pub(crate) struct ServerState {
-    history: TransactionHistory,
+    /// Bit-packed outcome + issuer columns; no per-feedback times (the
+    /// service's schemes and trust models never read them), so resident
+    /// cost is ~8 bytes per transaction instead of 48 for row storage.
+    history: ColumnarHistory,
     trust: TrustState,
-    /// Bumped on every ingested feedback; the cache key.
-    version: u64,
-    cached: Option<(u64, Assessment)>,
+    /// One shared instance per computed verdict: the versioned cache, the
+    /// published-verdict map and every reply hold the same allocation.
+    cached: Option<(u64, Arc<Assessment>)>,
 }
 
 impl ServerState {
     pub fn new(model: TrustModel) -> Result<Self, CoreError> {
         Ok(ServerState {
-            history: TransactionHistory::new(),
+            history: ColumnarHistory::new(),
             trust: TrustState::new(model)?,
-            version: 0,
             cached: None,
         })
     }
@@ -80,16 +83,15 @@ impl ServerState {
     pub fn ingest(&mut self, feedback: Feedback) {
         self.trust.update(feedback.is_good());
         self.history.push(feedback);
-        self.version += 1;
     }
 
-    pub fn history(&self) -> &TransactionHistory {
+    pub fn history(&self) -> &ColumnarHistory {
         &self.history
     }
 
     /// The history version: the number of feedbacks ingested so far.
     pub fn version(&self) -> u64 {
-        self.version
+        self.history.version()
     }
 
     /// The two-phase assessment of the current history.
@@ -100,10 +102,10 @@ impl ServerState {
         &mut self,
         test: &MultiBehaviorTest,
         policy: ShortHistoryPolicy,
-    ) -> Result<(Assessment, bool), CoreError> {
+    ) -> Result<(Arc<Assessment>, bool), CoreError> {
         if let Some((version, assessment)) = &self.cached {
-            if *version == self.version {
-                return Ok((assessment.clone(), true));
+            if *version == self.history.version() {
+                return Ok((Arc::clone(assessment), true));
             }
         }
         let report = TestReport::Multi(test.evaluate_detailed(&self.history)?);
@@ -127,7 +129,8 @@ impl ServerState {
                 },
             },
         };
-        self.cached = Some((self.version, assessment.clone()));
+        let assessment = Arc::new(assessment);
+        self.cached = Some((self.history.version(), Arc::clone(&assessment)));
         Ok((assessment, false))
     }
 }
@@ -174,7 +177,7 @@ mod tests {
         let test = fast_test();
         let mut s = ServerState::new(TrustModel::Average).unwrap();
         let (a, _) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
-        assert!(matches!(a, Assessment::NeedsReview { .. }));
+        assert!(matches!(*a, Assessment::NeedsReview { .. }));
         let mut s = ServerState::new(TrustModel::Average).unwrap();
         let (a, _) = s.assess(&test, ShortHistoryPolicy::Reject).unwrap();
         assert!(a.is_rejected());

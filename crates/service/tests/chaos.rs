@@ -61,7 +61,7 @@ fn crash_between_journal_and_apply_recovers_equivalently() {
         assert_eq!(outcome.accepted, chunk.len());
     }
     let online = service.assess(server).expect("assess after recovery");
-    assert_eq!(online, offline_verdict(&config, feedbacks));
+    assert_eq!(*online, offline_verdict(&config, feedbacks));
     let stats = service.stats();
     assert_eq!(stats.shard_restarts, 1, "exactly one supervised respawn");
     assert_eq!(stats.quarantined_records, 0);
@@ -105,7 +105,7 @@ fn poison_record_is_quarantined_and_skipped() {
     service.ingest_batch(feedbacks.clone()).unwrap();
     let online = service.assess(server).expect("assess after quarantine");
     let survivors = feedbacks.iter().copied().filter(|f| f.time != poison.time);
-    assert_eq!(online, offline_verdict(&config, survivors));
+    assert_eq!(*online, offline_verdict(&config, survivors));
     let stats = service.stats();
     assert_eq!(stats.quarantined_records, 1);
     assert_eq!(stats.shard_restarts, 1, "one live crash, then replay retries");
@@ -190,7 +190,7 @@ fn saturated_shard_sheds_exactly_and_verdicts_cover_accepted_only() {
     stalled.join().unwrap();
     let online = service.assess(server).unwrap();
     let durable = head.into_iter().chain(tail[..30].iter().copied());
-    assert_eq!(online, offline_verdict(&config, durable));
+    assert_eq!(*online, offline_verdict(&config, durable));
     let stats = service.stats();
     assert_eq!(stats.shed_feedbacks, 30);
     assert_eq!(stats.ingested_feedbacks, 230);

@@ -118,7 +118,7 @@ proptest! {
         ingest_in_random_batches(&service, feedbacks, split_seed);
         let online = service.assess(server).expect("assess succeeds");
         let offline = reference.assess(&offline_history).expect("offline succeeds");
-        prop_assert_eq!(online, offline);
+        prop_assert_eq!(*online, offline);
     }
 
     /// Several servers interleaved through the same service, assessed
@@ -169,10 +169,10 @@ proptest! {
             }
             let offline = reference.assess(&offline_history).expect("offline succeeds");
             let online = answer.clone().expect("per-server assess succeeds");
-            prop_assert_eq!(&online, &offline);
+            prop_assert_eq!(&*online, &offline);
             // Second query must be served from cache with the same answer.
             let again = service.assess(*id).expect("cached assess succeeds");
-            prop_assert_eq!(&again, &offline);
+            prop_assert_eq!(&*again, &offline);
         }
     }
 
@@ -202,7 +202,7 @@ proptest! {
         }
         service.ingest_batch(full[..first].to_vec()).expect("ingest");
         prop_assert_eq!(
-            service.assess(server).expect("assess"),
+            *service.assess(server).expect("assess"),
             reference.assess(&offline_history).expect("offline")
         );
 
@@ -211,7 +211,7 @@ proptest! {
         }
         service.ingest_batch(full[first..].to_vec()).expect("ingest");
         prop_assert_eq!(
-            service.assess(server).expect("assess"),
+            *service.assess(server).expect("assess"),
             reference.assess(&offline_history).expect("offline")
         );
     }

@@ -106,7 +106,7 @@ fn shutdown_drains_queue_and_loses_nothing() {
 
     let service = ReputationService::new(config.clone()).unwrap();
     let online = service.assess(server).expect("assess after restart");
-    assert_eq!(online, offline_verdict(&config, feedbacks));
+    assert_eq!(*online, offline_verdict(&config, feedbacks));
     drop(service);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -261,7 +261,7 @@ proptest! {
         let service = ReputationService::new(config.clone()).unwrap();
         let reborn = service.assess(server).expect("assess after restart");
         prop_assert_eq!(&reborn, &first);
-        prop_assert_eq!(&reborn, &offline_verdict(&config, feedbacks));
+        prop_assert_eq!(&*reborn, &offline_verdict(&config, feedbacks));
         prop_assert_eq!(service.stats().journal_records, len as u64);
         drop(service);
         let _ = std::fs::remove_dir_all(&dir);
@@ -303,7 +303,7 @@ mod crash_points {
                 prop_assert_eq!(outcome.accepted, batch.len());
             }
             let online = service.assess(server).expect("assess after recovery");
-            prop_assert_eq!(&online, &offline_verdict(&config, feedbacks));
+            prop_assert_eq!(&*online, &offline_verdict(&config, feedbacks));
             let stats = service.stats();
             prop_assert_eq!(stats.journal_records, len as u64, "crashed batch was journaled");
             prop_assert_eq!(stats.shard_restarts, u64::from(nth <= commands));

@@ -14,6 +14,10 @@
 //! * [`PartialStore`] — a wrapper that deterministically samples a fraction
 //!   of feedback, modeling partial retrieval.
 //!
+//! [`MemoryStore`] and [`ShardedStore`] are thin retention/availability
+//! policies over one shared columnar [`HistoryEngine`]: feedback is held
+//! bit-packed per server and materialized to rows only at the query edge.
+//!
 //! Feedback logs can be checkpointed to and replayed from a flat CSV
 //! format via [`persist`].
 //!
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod memory;
 mod partial;
 pub mod persist;
@@ -43,6 +48,7 @@ mod ring;
 mod sharded;
 mod store;
 
+pub use engine::HistoryEngine;
 pub use memory::MemoryStore;
 pub use partial::PartialStore;
 pub use persist::{load_feedback, read_feedback, save_feedback, write_feedback, PersistError};

@@ -1,15 +1,15 @@
 //! The central-server store.
 
+use crate::engine::HistoryEngine;
 use crate::store::FeedbackStore;
-use hp_core::{Feedback, ServerId, TransactionHistory};
-use std::collections::BTreeMap;
+use hp_core::{ColumnarHistory, Feedback, ServerId, TransactionHistory};
 
 /// An in-memory central feedback store — the "central server as in online
 /// auction communities" regime of §2.
 ///
-/// Histories are kept materialized per server, so
-/// [`MemoryStore::history_of`] is a clone of pre-indexed data rather than a
-/// scan.
+/// A thin retention policy (retain everything) over the columnar
+/// [`HistoryEngine`]: feedback is held bit-packed per server, and
+/// [`MemoryStore::history_of`] materializes rows on demand.
 ///
 /// # Examples
 ///
@@ -24,8 +24,7 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemoryStore {
-    histories: BTreeMap<ServerId, TransactionHistory>,
-    total: usize,
+    engine: HistoryEngine,
 }
 
 impl MemoryStore {
@@ -34,38 +33,43 @@ impl MemoryStore {
         MemoryStore::default()
     }
 
-    /// Direct (clone-free) access to a server's history, if any.
-    pub fn history_ref(&self, server: ServerId) -> Option<&TransactionHistory> {
-        self.histories.get(&server)
+    /// Direct (zero-copy) access to a server's columnar history, if any.
+    ///
+    /// The returned [`ColumnarHistory`] implements
+    /// [`HistoryView`](hp_core::HistoryView), so assessments can run on it
+    /// without materializing rows.
+    pub fn history_ref(&self, server: ServerId) -> Option<&ColumnarHistory> {
+        self.engine.history(server)
+    }
+
+    /// Approximate resident bytes of all stored columns.
+    pub fn resident_bytes(&self) -> usize {
+        self.engine.resident_bytes()
     }
 }
 
 impl FeedbackStore for MemoryStore {
     fn append(&mut self, feedback: Feedback) {
-        self.histories
-            .entry(feedback.server)
-            .or_default()
-            .push(feedback);
-        self.total += 1;
+        self.engine.ingest(feedback);
     }
 
     fn history_of(&self, server: ServerId) -> TransactionHistory {
-        self.histories.get(&server).cloned().unwrap_or_default()
+        self.engine.materialize(server)
     }
 
     fn len(&self) -> usize {
-        self.total
+        self.engine.len()
     }
 
     fn servers(&self) -> Vec<ServerId> {
-        self.histories.keys().copied().collect()
+        self.engine.servers().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hp_core::{ClientId, Rating};
+    use hp_core::{ClientId, HistoryView, Rating};
 
     fn fb(t: u64, server: u64, good: bool) -> Feedback {
         Feedback::new(
@@ -119,5 +123,31 @@ mod tests {
         store.append(fb(0, 1, true));
         assert!(store.history_ref(ServerId::new(1)).is_some());
         assert!(store.history_ref(ServerId::new(9)).is_none());
+    }
+
+    #[test]
+    fn history_ref_assesses_without_materializing() {
+        let mut store = MemoryStore::new();
+        for t in 0..64 {
+            store.append(fb(t, 1, t % 8 != 0));
+        }
+        let cols = store.history_ref(ServerId::new(1)).unwrap();
+        assert_eq!(cols.good_count(), 56);
+        assert_eq!(cols.p_hat(), Some(0.875));
+    }
+
+    #[test]
+    fn columnar_retention_undercuts_row_storage() {
+        let mut store = MemoryStore::new();
+        for t in 0..10_000 {
+            store.append(fb(t, 1, t % 6 != 0));
+        }
+        let materialized = store.history_of(ServerId::new(1));
+        assert!(
+            store.resident_bytes() * 2 < materialized.resident_bytes(),
+            "columnar {} vs rows {}",
+            store.resident_bytes(),
+            materialized.resident_bytes()
+        );
     }
 }

@@ -1,9 +1,10 @@
 //! A sharded, replicated feedback store — the P2P regime.
 
+use crate::engine::HistoryEngine;
 use crate::ring::{HashRing, NodeId};
 use crate::store::FeedbackStore;
 use hp_core::{Feedback, ServerId, TransactionHistory};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Configuration for [`ShardedStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,12 @@ impl Default for ShardedStoreConfig {
 /// stream is down — letting integration tests exercise the paper's partial-
 /// retrieval claim end to end.
 ///
+/// Since every replica of a stream receives the identical write sequence,
+/// the feedback bits are held once, in the shared columnar
+/// [`HistoryEngine`]; the ring and failure set decide only whether a
+/// stream is currently *retrievable*. This turns sharding into a pure
+/// retention/availability policy over one storage representation.
+///
 /// # Examples
 ///
 /// ```
@@ -54,28 +61,22 @@ impl Default for ShardedStoreConfig {
 pub struct ShardedStore {
     ring: HashRing,
     replication: usize,
-    /// node → (server → history)
-    shards: BTreeMap<NodeId, BTreeMap<ServerId, TransactionHistory>>,
+    engine: HistoryEngine,
     failed: BTreeSet<NodeId>,
-    total: usize,
 }
 
 impl ShardedStore {
     /// Creates a sharded store with `config.nodes` live nodes.
     pub fn new(config: ShardedStoreConfig) -> Self {
         let mut ring = HashRing::new(config.vnodes);
-        let mut shards = BTreeMap::new();
         for n in 0..config.nodes as u64 {
-            let node = NodeId::new(n);
-            ring.add_node(node);
-            shards.insert(node, BTreeMap::new());
+            ring.add_node(NodeId::new(n));
         }
         ShardedStore {
             ring,
             replication: config.replication.max(1),
-            shards,
+            engine: HistoryEngine::new(),
             failed: BTreeSet::new(),
-            total: 0,
         }
     }
 
@@ -110,43 +111,29 @@ impl ShardedStore {
 
 impl FeedbackStore for ShardedStore {
     fn append(&mut self, feedback: Feedback) {
-        // Writes go to every responsible replica, including currently
+        // Every responsible replica receives the write, including currently
         // failed ones (a real system would hand off; retaining the write
-        // models the post-recovery state and keeps replicas consistent).
-        for node in self.replicas_for(feedback.server) {
-            self.shards
-                .get_mut(&node)
-                .expect("ring only returns registered nodes")
-                .entry(feedback.server)
-                .or_default()
-                .push(feedback);
-        }
-        self.total += 1;
+        // models the post-recovery state and keeps replicas consistent) —
+        // which is exactly why one canonical copy in the engine suffices.
+        self.engine.ingest(feedback);
     }
 
     fn history_of(&self, server: ServerId) -> TransactionHistory {
         match self.live_replica(server) {
-            Some(node) => self.shards[&node]
-                .get(&server)
-                .cloned()
-                .unwrap_or_default(),
+            Some(_) => self.engine.materialize(server),
             None => TransactionHistory::new(),
         }
     }
 
     fn len(&self) -> usize {
-        self.total
+        self.engine.len()
     }
 
     fn servers(&self) -> Vec<ServerId> {
-        let mut out: BTreeSet<ServerId> = BTreeSet::new();
-        for (node, shard) in &self.shards {
-            if self.failed.contains(node) {
-                continue;
-            }
-            out.extend(shard.keys().copied());
-        }
-        out.into_iter().collect()
+        self.engine
+            .servers()
+            .filter(|&s| self.live_replica(s).is_some())
+            .collect()
     }
 }
 
