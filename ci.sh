@@ -81,4 +81,44 @@ print(
 )
 PYEOF
 
+echo "==> phase-1 kernel bench (writes experiments/out/bench_phase1.json)"
+if [ "$QUICK" -eq 0 ]; then
+    cargo bench --offline -p hp-bench --bench phase1 >/dev/null
+else
+    echo "    (skipped: --quick; gate checks the existing json)"
+fi
+
+echo "==> phase-1 kernel perf gate (bench json vs committed baseline)"
+P1_JSON=experiments/out/bench_phase1.json
+P1_BASE=experiments/baselines/bench_phase1_baseline.json
+[ -f "$P1_JSON" ] || { echo "missing $P1_JSON (run: cargo bench -p hp-bench --bench phase1)"; exit 1; }
+[ -f "$P1_BASE" ] || { echo "missing $P1_BASE"; exit 1; }
+python3 - "$P1_JSON" "$P1_BASE" <<'PYEOF'
+import json, sys
+current = json.load(open(sys.argv[1]))["gate"]
+baseline = json.load(open(sys.argv[2]))["gate"]
+for m, base_ns in baseline["kernel_ns_per_window"].items():
+    got = current["kernel_ns_per_window"][m]
+    if got > base_ns * 1.10:
+        sys.exit(
+            f"phase-1 kernel regression at {m}: {got} ns/window "
+            f"> 110% of baseline {base_ns} ns/window"
+        )
+if current["min_speedup"] < baseline["min_speedup"]:
+    sys.exit(
+        f"kernel/scalar speedup {current['min_speedup']}x fell below "
+        f"{baseline['min_speedup']}x"
+    )
+if current["multi_fused_over_naive"] < baseline["multi_fused_over_naive"]:
+    sys.exit(
+        f"fused/per-suffix multi-test ratio {current['multi_fused_over_naive']}x "
+        f"fell below {baseline['multi_fused_over_naive']}x"
+    )
+npw = ", ".join(f"{m} {ns}ns" for m, ns in current["kernel_ns_per_window"].items())
+print(
+    f"    kernel: {npw} per window; >= {current['min_speedup']}x over scalar; "
+    f"fused multi-test {current['multi_fused_over_naive']}x over per-suffix"
+)
+PYEOF
+
 echo "==> OK"

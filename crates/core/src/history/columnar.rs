@@ -164,6 +164,18 @@ impl BitColumn {
     /// Window counts of size `m` covering `[start, end)`, aligned to
     /// `start`; a trailing partial window is dropped (paper semantics).
     ///
+    /// This is the word-parallel phase-1 kernel: the covered range is
+    /// walked one `u64` word at a time and each word's popcount is split
+    /// across the windows it straddles, so the cost is one load per 64
+    /// outcomes plus one split per window boundary — instead of the two
+    /// prefix reads and two masked popcounts per window the scalar loop
+    /// pays. When `m` divides 64 the split is a SWAR partial-popcount:
+    /// the bitstream is realigned to the window grid with shifted loads
+    /// and one tree reduction yields all `64 / m` counts of a word at
+    /// once. Results are bit-identical to
+    /// [`BitColumn::window_counts_scalar`] (the differential oracle;
+    /// property-tested in `tests/columnar_equivalence.rs`).
+    ///
     /// # Errors
     ///
     /// Returns [`StatsError::InvalidCount`] if `m == 0`.
@@ -174,7 +186,154 @@ impl BitColumn {
                 value: 0,
             });
         }
-        assert!(start <= end && end <= self.len);
+        assert!(start <= end && end <= self.len, "range [{start},{end}) out of bounds");
+        let k = (end - start) / m;
+        let mut out = vec![0u32; k];
+        if k == 0 {
+            return Ok(out);
+        }
+        let cov_end = start + k * m;
+        match m {
+            8 | 16 | 32 | 64 => self.sweep_swar(start, cov_end, m, &mut out),
+            _ => self.sweep_generic(start, cov_end, m, &mut out),
+        }
+        Ok(out)
+    }
+
+    /// SWAR sweep for `m` dividing 64: each loaded word is realigned to
+    /// the window grid (`lo >> offset | hi << (64 - offset)`), so every
+    /// window sits in one aligned `m`-bit field. A tree reduction then
+    /// computes all per-field popcounts of the word simultaneously:
+    /// pairwise bit sums, then nibble sums, then byte sums — the
+    /// classic SWAR popcount stopped at field width instead of folded to
+    /// a single total.
+    fn sweep_swar(&self, start: usize, cov_end: usize, m: usize, out: &mut [u32]) {
+        let total = cov_end - start;
+        let offset = start % 64;
+        let full = total / 64; // grid-aligned whole words
+        let per = 64 / m; // windows per word
+        let p0 = start / 64;
+        // The high word's contributing bits all lie below `cov_end`, so
+        // bits past `len` never enter the realigned value.
+        let load = |j: usize| -> u64 {
+            if offset == 0 {
+                self.words[p0 + j]
+            } else {
+                (self.words[p0 + j] >> offset) | (self.words[p0 + j + 1] << (64 - offset))
+            }
+        };
+        // One tight loop per width, so the hot path carries no per-word
+        // dispatch and the store index is the loop counter.
+        match m {
+            64 => {
+                // Whole-word windows: one hardware popcount each, no
+                // bounds checks in the loop.
+                if offset == 0 {
+                    for (slot, &w) in out.iter_mut().zip(&self.words[p0..p0 + full]) {
+                        *slot = w.count_ones();
+                    }
+                } else {
+                    for (slot, pair) in out.iter_mut().zip(self.words[p0..].windows(2).take(full))
+                    {
+                        *slot = ((pair[0] >> offset) | (pair[1] << (64 - offset))).count_ones();
+                    }
+                }
+            }
+            32 => {
+                for j in 0..full {
+                    let v = load(j);
+                    out[2 * j] = (v as u32).count_ones();
+                    out[2 * j + 1] = ((v >> 32) as u32).count_ones();
+                }
+            }
+            _ => {
+                for j in 0..full {
+                    // Per-byte partial popcounts of the word, all at once.
+                    let v = load(j);
+                    let mut c = v - ((v >> 1) & 0x5555_5555_5555_5555);
+                    c = (c & 0x3333_3333_3333_3333) + ((c >> 2) & 0x3333_3333_3333_3333);
+                    c = (c + (c >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+                    if m == 16 {
+                        c = (c + (c >> 8)) & 0x00ff_00ff_00ff_00ff;
+                    }
+                    for (i, slot) in out[j * per..(j + 1) * per].iter_mut().enumerate() {
+                        *slot = ((c >> (i * m)) & 0xff) as u32;
+                    }
+                }
+            }
+        }
+        // The last `total % 64` outcomes are a whole number of windows
+        // (m | 64); finish them with the generic word walk.
+        let done = full * 64;
+        if done < total {
+            self.sweep_generic(start + done, cov_end, m, &mut out[full * per..]);
+        }
+    }
+
+    /// Generic single-pass word walk for any `m`: splits each word's
+    /// popcount across the windows it straddles with shift/mask splits.
+    fn sweep_generic(&self, start: usize, cov_end: usize, m: usize, out: &mut [u32]) {
+        debug_assert_eq!((cov_end - start) % m, 0);
+        if start == cov_end {
+            return;
+        }
+        let mut idx = 0;
+        let mut acc: u32 = 0; // good outcomes in the window being filled
+        let mut rem = m; // outcomes the current window still needs
+        let mut bit = start; // next uncounted position
+        for w in start / 64..=(cov_end - 1) / 64 {
+            let base = w * 64;
+            let hi = (base + 64).min(cov_end);
+            // Drop bits below `bit` (only non-zero for the first word).
+            let mut word = self.words[w] >> (bit - base);
+            let mut avail = hi - bit;
+            while avail > 0 {
+                let take = rem.min(avail);
+                if take == 64 {
+                    // A window swallowing the whole word: one popcount.
+                    acc += word.count_ones();
+                    word = 0;
+                } else {
+                    acc += (word & ((1u64 << take) - 1)).count_ones();
+                    word >>= take;
+                }
+                avail -= take;
+                rem -= take;
+                if rem == 0 {
+                    out[idx] = acc;
+                    idx += 1;
+                    acc = 0;
+                    rem = m;
+                }
+            }
+            bit = hi;
+        }
+        debug_assert_eq!(idx, out.len());
+    }
+
+    /// The reference per-window implementation of
+    /// [`BitColumn::window_counts`]: one masked range count per window.
+    ///
+    /// Kept as the differential oracle for the word-parallel kernel (and
+    /// as the slow side of `benches/phase1.rs`); semantics — including
+    /// the panic and error behavior — are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    pub fn window_counts_scalar(
+        &self,
+        start: usize,
+        end: usize,
+        m: usize,
+    ) -> Result<Vec<u32>, StatsError> {
+        if m == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "window size",
+                value: 0,
+            });
+        }
+        assert!(start <= end && end <= self.len, "range [{start},{end}) out of bounds");
         let k = (end - start) / m;
         let mut out = Vec::with_capacity(k);
         for w in 0..k {
@@ -566,6 +725,11 @@ mod tests {
                 prefix.window_counts(3, 197, m).unwrap(),
                 "m={m}"
             );
+            assert_eq!(
+                bits.window_counts(3, 197, m).unwrap(),
+                bits.window_counts_scalar(3, 197, m).unwrap(),
+                "kernel vs scalar oracle, m={m}"
+            );
         }
         for (i, &good) in outcomes.iter().enumerate() {
             assert_eq!(bits.get(i), good, "bit {i}");
@@ -597,6 +761,46 @@ mod tests {
         let prefix = PrefixSums::from_bools([true, false]);
         assert_eq!(bits.rate_range(1, 1), prefix.rate_range(1, 1));
         assert_eq!(bits.window_counts(0, 2, 0), prefix.window_counts(0, 2, 0));
+        assert_eq!(bits.window_counts_scalar(0, 2, 0), prefix.window_counts(0, 2, 0));
+    }
+
+    #[test]
+    fn window_counts_kernel_straddles_word_boundaries() {
+        // 5 words' worth of outcomes with an irregular pattern, windows
+        // deliberately misaligned with the u64 grid.
+        let outcomes: Vec<bool> = (0..320).map(|i| (i * 7 + i / 13) % 5 < 3).collect();
+        let bits = BitColumn::from_bools(outcomes.iter().copied());
+        for &(start, end, m) in &[
+            (0usize, 320usize, 63usize), // window boundary one short of a word
+            (0, 320, 65),                // one past a word
+            (1, 320, 64),                // word-sized windows, shifted grid
+            (61, 317, 3),                // many tiny windows across words
+            (0, 320, 128),               // windows swallowing whole words
+            (0, 320, 320),               // single window covering everything
+            (5, 5, 1),                   // empty range → no windows
+            (0, 10, 11),                 // m > len → no windows
+            // SWAR path (m | 64): aligned, misaligned, and tail windows.
+            (0, 320, 8),
+            (3, 320, 8),                 // offset grid + 5 tail windows
+            (0, 313, 16),                // 3 tail windows
+            (17, 319, 16),
+            (9, 320, 32),
+            (63, 320, 64),               // offset 63 → maximal realign shift
+            (40, 56, 8),                 // entirely inside one word
+        ] {
+            assert_eq!(
+                bits.window_counts(start, end, m).unwrap(),
+                bits.window_counts_scalar(start, end, m).unwrap(),
+                "[{start},{end}) m={m}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn window_counts_kernel_out_of_bounds_panics() {
+        let bits = BitColumn::from_bools([true; 10]);
+        let _ = bits.window_counts(0, 11, 2);
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub struct BehaviorTestConfig {
     correction: Correction,
     calibration_trials: usize,
     calibration_threads: usize,
+    calibration_serial_cutoff: usize,
     large_k_cutoff: usize,
     p_bucket: f64,
 }
@@ -104,6 +105,7 @@ impl Default for BehaviorTestConfig {
             correction: Correction::default(),
             calibration_trials: 2000,
             calibration_threads: 1,
+            calibration_serial_cutoff: 1 << 16,
             large_k_cutoff: 2048,
             p_bucket: 0.005,
         }
@@ -170,6 +172,29 @@ impl BehaviorTestConfig {
         self.calibration_trials
     }
 
+    /// Calibration worker threads (1 = serial). Thread count never changes
+    /// thresholds: calibration draws from fixed per-chunk RNG streams, so
+    /// any value here yields bit-identical verdicts.
+    pub fn calibration_threads(&self) -> usize {
+        self.calibration_threads
+    }
+
+    /// Calibration jobs with `trials * k` below this stay serial even with
+    /// multiple threads configured (a pure performance knob).
+    pub fn calibration_serial_cutoff(&self) -> usize {
+        self.calibration_serial_cutoff
+    }
+
+    /// Returns a copy with the calibration thread count replaced. Safe to
+    /// apply at deployment time (the hp-service pre-warm path defaults it
+    /// to the machine's available parallelism): thresholds are
+    /// bit-identical at every thread count.
+    #[must_use]
+    pub fn with_calibration_threads(mut self, threads: usize) -> Self {
+        self.calibration_threads = threads;
+        self
+    }
+
     /// The calibration configuration induced by this test configuration.
     pub fn calibration_config(&self) -> CalibrationConfig {
         CalibrationConfig {
@@ -179,6 +204,7 @@ impl BehaviorTestConfig {
             distance: self.distance,
             large_k_cutoff: self.large_k_cutoff,
             threads: self.calibration_threads,
+            serial_cutoff: self.calibration_serial_cutoff,
         }
     }
 
@@ -295,6 +321,13 @@ impl BehaviorTestConfigBuilder {
         self
     }
 
+    /// Sets the `trials * k` size below which calibration jobs stay serial
+    /// regardless of the thread count.
+    pub fn calibration_serial_cutoff(mut self, cutoff: usize) -> Self {
+        self.config.calibration_serial_cutoff = cutoff;
+        self
+    }
+
     /// Sets the window count above which thresholds are extrapolated by
     /// the `1/√k` law instead of simulated.
     pub fn large_k_cutoff(mut self, cutoff: usize) -> Self {
@@ -381,11 +414,27 @@ mod tests {
             .confidence(0.9)
             .calibration_trials(123)
             .calibration_threads(3)
+            .calibration_serial_cutoff(512)
             .build()
             .unwrap();
+        assert_eq!(c.calibration_threads(), 3);
+        assert_eq!(c.calibration_serial_cutoff(), 512);
         let cal = c.calibration_config();
         assert_eq!(cal.trials, 123);
         assert_eq!(cal.confidence, 0.9);
         assert_eq!(cal.threads, 3);
+        assert_eq!(cal.serial_cutoff, 512);
+    }
+
+    #[test]
+    fn with_calibration_threads_overrides_in_place() {
+        let c = BehaviorTestConfig::default().with_calibration_threads(6);
+        assert_eq!(c.calibration_threads(), 6);
+        assert_eq!(c.calibration_config().threads, 6);
+        // Zero threads is still rejected by validation.
+        assert!(BehaviorTestConfig::default()
+            .with_calibration_threads(0)
+            .validate()
+            .is_err());
     }
 }

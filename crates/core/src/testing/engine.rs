@@ -42,16 +42,17 @@ pub(crate) fn run_range_test(
     };
     let counts = prefix.window_counts(cov_start, cov_end, m)?;
     let histogram = Histogram::from_samples(config.window_size(), counts)?;
-    finish_test(prefix, cov_start, cov_end, len, &histogram, config, calibrator, confidence)
+    let p_hat = prefix.rate_range(cov_start, cov_end)?;
+    finish_test(p_hat, len, &histogram, config, calibrator, confidence)
 }
 
-/// Final step shared with the incremental multi-test: given the window
-/// histogram and the covered range, compute p̂, threshold and distance.
-#[allow(clippy::too_many_arguments)]
+/// Final step shared between the per-suffix and fused evaluations: given
+/// the covered windows' histogram and the (exactly computed) p̂, derive
+/// model, distance, threshold and verdict. Pure function of its inputs —
+/// the caller owns how the histogram and p̂ were produced, which is what
+/// lets the fused sweep feed it without touching the outcome column.
 pub(crate) fn finish_test(
-    prefix: ColumnRef<'_>,
-    cov_start: usize,
-    cov_end: usize,
+    p_hat: f64,
     transactions: usize,
     histogram: &Histogram,
     config: &BehaviorTestConfig,
@@ -60,7 +61,6 @@ pub(crate) fn finish_test(
 ) -> Result<WindowTestReport, CoreError> {
     let m = config.window_size();
     let k = histogram.len() as usize;
-    let p_hat = prefix.rate_range(cov_start, cov_end)?;
     let model = Binomial::new(m, p_hat)?;
     let distance = config.distance().distance(histogram, &model.pmf_table())?;
     let threshold = calibrator.threshold_at(m, k, p_hat, confidence)?;
@@ -186,10 +186,71 @@ pub(crate) fn run_multi_naive(
     })
 }
 
-/// Runs the full multi-test with the paper's O(n) optimization (§5.5):
-/// end-aligned windows are shared between suffixes, so each step only
-/// removes the `step/m` oldest windows from the running histogram instead
-/// of recounting everything.
+/// One pass over the outcome column serving *every* suffix of a
+/// multi-test: the end-aligned window grid all suffixes share.
+///
+/// When the step is a multiple of the window size `m`, every suffix's
+/// end-aligned coverage `[n − k·m, n)` starts on the same grid of window
+/// boundaries counted from the end — so a single
+/// [`ColumnRef::window_counts`] sweep (word-parallel on the bit-packed
+/// column) yields each suffix's window counts as a *suffix of one shared
+/// vector*, and a prefix-sum over those counts answers each suffix's good
+/// total (its p̂ numerator) without ever touching the column again.
+pub(crate) struct FusedSuffixSweep {
+    /// End-aligned window counts for the longest suffix, oldest first.
+    counts: Vec<u32>,
+    /// `good_prefix[i]` = good outcomes in grid windows `[0, i)`; one more
+    /// entry than `counts`, so `good_prefix[len]` is the grid total.
+    good_prefix: Vec<u64>,
+}
+
+impl FusedSuffixSweep {
+    /// Sweeps the column once, fusing window counting with the count
+    /// prefix-sum every suffix's p̂ is later read from.
+    pub(crate) fn new(prefix: ColumnRef<'_>, m: usize) -> Result<Self, CoreError> {
+        let n = prefix.len();
+        let total_windows = n / m;
+        let counts = if total_windows > 0 {
+            prefix.window_counts(n - total_windows * m, n, m)?
+        } else {
+            Vec::new()
+        };
+        let mut good_prefix = Vec::with_capacity(counts.len() + 1);
+        let mut running = 0u64;
+        good_prefix.push(0);
+        for &c in &counts {
+            running += u64::from(c);
+            good_prefix.push(running);
+        }
+        Ok(FusedSuffixSweep { counts, good_prefix })
+    }
+
+    /// Number of grid windows (those of the longest suffix).
+    pub(crate) fn windows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count of grid window `w` (oldest first).
+    pub(crate) fn count(&self, w: usize) -> u32 {
+        self.counts[w]
+    }
+
+    /// Good outcomes covered by the newest `k` grid windows — the p̂
+    /// numerator for the suffix whose coverage is those windows. Exact
+    /// integer arithmetic, so `good_in_newest(k) / (k·m)` is bit-identical
+    /// to `rate_range` over the same span.
+    pub(crate) fn good_in_newest(&self, k: usize) -> u64 {
+        let total = self.counts.len();
+        self.good_prefix[total] - self.good_prefix[total - k]
+    }
+}
+
+/// Runs the full multi-test with the paper's O(n) optimization (§5.5),
+/// fused: one [`FusedSuffixSweep`] over the column emits the counts for
+/// every suffix, each step removes the `step/m` oldest windows from the
+/// running histogram (incremental deltas), and p̂ comes from the sweep's
+/// count prefix-sums — the column is read exactly once regardless of how
+/// many suffixes the schedule visits.
 ///
 /// # Errors
 ///
@@ -217,33 +278,27 @@ pub(crate) fn run_multi_optimized(
         TestOutcome::Honest
     };
 
-    // All end-aligned window counts for the longest suffix, oldest first.
-    // Shorter suffixes use strict suffixes of this vector.
-    let total_windows = n / m;
-    let all_counts = if total_windows > 0 {
-        prefix.window_counts(n - total_windows * m, n, m)?
-    } else {
-        Vec::new()
-    };
-    let mut histogram = Histogram::from_samples(config.window_size(), all_counts.iter().copied())?;
-    // Index into `all_counts` of the oldest window still in the histogram.
+    // The single pass over the column; shorter suffixes use strict
+    // suffixes of the shared grid.
+    let sweep = FusedSuffixSweep::new(prefix, m)?;
+    let total_windows = sweep.windows();
+    let mut histogram =
+        Histogram::from_samples(config.window_size(), sweep.counts.iter().copied())?;
+    // Grid index of the oldest window still in the histogram.
     let mut oldest = 0usize;
 
     for &len in &lens {
         let k = len / m;
         // Remove windows that fall outside this suffix.
         while total_windows - oldest > k {
-            histogram.remove(all_counts[oldest])?;
+            histogram.remove(sweep.count(oldest))?;
             oldest += 1;
         }
         let report = if k < config.min_windows() {
             WindowTestReport::inconclusive(len, k, confidence)
         } else {
-            let cov_end = n;
-            let cov_start = n - k * m;
-            finish_test(
-                prefix, cov_start, cov_end, len, &histogram, config, calibrator, confidence,
-            )?
+            let p_hat = sweep.good_in_newest(k) as f64 / (k * m) as f64;
+            finish_test(p_hat, len, &histogram, config, calibrator, confidence)?
         };
         if report.outcome == TestOutcome::Suspicious {
             outcome = TestOutcome::Suspicious;
@@ -376,6 +431,27 @@ mod tests {
             run_range_test(ColumnRef::Prefix(&prefix), 0, 25, &config, &cal, 0.95, WindowAlignment::End).unwrap();
         assert!(start.p_hat.unwrap() < 1.0);
         assert_eq!(end.p_hat.unwrap(), 1.0);
+    }
+
+    #[test]
+    fn fused_sweep_matches_direct_range_counts() {
+        let prefix = honest_prefix(487, 0.85, 42);
+        let n = prefix.len();
+        for m in [1usize, 7, 10, 64] {
+            let sweep = FusedSuffixSweep::new(ColumnRef::Prefix(&prefix), m).unwrap();
+            assert_eq!(sweep.windows(), n / m);
+            for k in 1..=sweep.windows() {
+                assert_eq!(
+                    sweep.good_in_newest(k),
+                    prefix.count_range(n - k * m, n),
+                    "m={m} k={k}"
+                );
+            }
+        }
+        // Histories shorter than one window yield an empty grid.
+        let short = honest_prefix(5, 0.9, 1);
+        let sweep = FusedSuffixSweep::new(ColumnRef::Prefix(&short), 10).unwrap();
+        assert_eq!(sweep.windows(), 0);
     }
 
     #[test]

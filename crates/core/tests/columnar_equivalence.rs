@@ -9,8 +9,10 @@
 //! half of this invariant (torn-tail journal recovery replaying into
 //! columns) is property-tested in `crates/service/tests/recovery.rs`.
 
+use hp_core::history::BitColumn;
 use hp_core::testing::{
-    BehaviorTestConfig, CollusionResilientTest, MultiBehaviorTest, SingleBehaviorTest,
+    BehaviorTestConfig, CollusionResilientTest, MultiBehaviorTest, MultiTestMode,
+    SingleBehaviorTest,
 };
 use hp_core::trust::{
     AverageTrust, BetaTrust, DecayTrust, TrustFunction, WeightedTrust, WindowedAverageTrust,
@@ -127,6 +129,73 @@ proptest! {
         prop_assert_eq!(windowed.trust(&rows), windowed.trust(&cols));
     }
 
+    /// The word-parallel `window_counts` kernel is an exact drop-in for the
+    /// per-window scalar loop: same counts for every `(start, m)`, including
+    /// unaligned starts, windows straddling several u64 words, `m` longer
+    /// than the whole history, and empty ranges.
+    #[test]
+    fn window_counts_kernel_matches_scalar_oracle(
+        bits in proptest::collection::vec(any::<bool>(), 0..420),
+        start_frac in 0.0f64..1.0,
+        m in 1usize..=192,
+    ) {
+        let col = BitColumn::from_bools(bits.iter().copied());
+        let n = col.len();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let start = ((n as f64) * start_frac) as usize;
+        prop_assert_eq!(
+            col.window_counts(start, n, m).unwrap(),
+            col.window_counts_scalar(start, n, m).unwrap()
+        );
+        // Empty range and m > remaining length both yield an empty grid.
+        prop_assert_eq!(
+            col.window_counts(start, start, m).unwrap(),
+            col.window_counts_scalar(start, start, m).unwrap()
+        );
+        prop_assert_eq!(
+            col.window_counts(start, n, n - start + 1).unwrap(),
+            col.window_counts_scalar(start, n, n - start + 1).unwrap()
+        );
+    }
+
+    /// The fused multi-suffix sweep is bit-identical to the per-suffix
+    /// oracle: same verdicts, same suffix reports, on rows and columns
+    /// alike — so `MultiTestMode` is purely a performance knob.
+    #[test]
+    fn fused_multi_matches_per_suffix_oracle(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        let naive = MultiBehaviorTest::new(fast_config())
+            .unwrap()
+            .with_mode(MultiTestMode::Naive);
+        let fused = MultiBehaviorTest::new(fast_config())
+            .unwrap()
+            .with_mode(MultiTestMode::Optimized);
+        let auto = MultiBehaviorTest::new(fast_config()).unwrap();
+        let reference = naive.evaluate_detailed(&rows).unwrap();
+        prop_assert_eq!(&fused.evaluate_detailed(&rows).unwrap(), &reference);
+        prop_assert_eq!(&naive.evaluate_detailed(&cols).unwrap(), &reference);
+        prop_assert_eq!(&fused.evaluate_detailed(&cols).unwrap(), &reference);
+        prop_assert_eq!(&auto.evaluate_detailed(&cols).unwrap(), &reference);
+    }
+
+    /// End-to-end: two-phase verdicts are unchanged by the kernel choice.
+    #[test]
+    fn two_phase_verdicts_agree_across_kernels(stream in feedback_stream()) {
+        let (rows, cols) = both(&stream);
+        let via = |mode: MultiTestMode| {
+            TwoPhaseAssessor::new(
+                MultiBehaviorTest::new(fast_config()).unwrap().with_mode(mode),
+                WeightedTrust::new(0.5).unwrap(),
+            )
+        };
+        let naive = via(MultiTestMode::Naive);
+        let fused = via(MultiTestMode::Optimized);
+        let reference = naive.assess(&rows).unwrap();
+        prop_assert_eq!(&fused.assess(&rows).unwrap(), &reference);
+        prop_assert_eq!(&naive.assess(&cols).unwrap(), &reference);
+        prop_assert_eq!(&fused.assess(&cols).unwrap(), &reference);
+    }
+
     #[test]
     fn two_phase_verdicts_agree(stream in feedback_stream()) {
         let (rows, cols) = both(&stream);
@@ -162,4 +231,13 @@ fn collusion_reordering_agrees_on_skewed_issuers() {
         rows.reordered_column().as_col().window_counts(0, 400, 10).unwrap(),
         cols.reordered_column().as_col().window_counts(0, 400, 10).unwrap()
     );
+    // The frequency-reordered column goes through the same word-parallel
+    // kernel; pin it against the scalar oracle on this skewed stream.
+    let reordered = BitColumn::from_bools((0..400).map(|i| cols.outcome(i)));
+    for m in [3usize, 10, 64, 100] {
+        assert_eq!(
+            reordered.window_counts(7, 400, m).unwrap(),
+            reordered.window_counts_scalar(7, 400, m).unwrap()
+        );
+    }
 }

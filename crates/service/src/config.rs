@@ -146,6 +146,11 @@ pub struct ServiceConfig {
     short_history: ShortHistoryPolicy,
     prewarm_lengths: Vec<usize>,
     prewarm_p_hats: Vec<f64>,
+    /// Calibration worker threads for the shared calibrator; `None` means
+    /// "use the machine's available parallelism" (resolved at service
+    /// start). Safe to vary per deployment: chunked calibration RNG makes
+    /// thresholds bit-identical at every thread count.
+    calibration_threads: Option<usize>,
     ingest_policy: IngestPolicy,
     durability: Durability,
     supervision: SupervisionConfig,
@@ -168,6 +173,7 @@ impl Default for ServiceConfig {
             // buckets real traffic will hit.
             prewarm_lengths: vec![200, 800, 2000],
             prewarm_p_hats: vec![0.8, 0.9, 0.95],
+            calibration_threads: None,
             ingest_policy: IngestPolicy::default(),
             durability: Durability::default(),
             supervision: SupervisionConfig::default(),
@@ -222,6 +228,21 @@ impl ServiceConfig {
     pub fn with_prewarm_grid(mut self, lengths: Vec<usize>, p_hats: Vec<f64>) -> Self {
         self.prewarm_lengths = lengths;
         self.prewarm_p_hats = p_hats;
+        self
+    }
+
+    /// Calibration worker threads for the shared calibrator (builder
+    /// style). `None` (the default) resolves to the machine's available
+    /// parallelism when the service starts; `Some(n)` pins the count.
+    ///
+    /// This only changes how fast the pre-warm grid and cold threshold
+    /// misses calibrate — never what they calibrate to: the calibrator's
+    /// chunked RNG streams produce bit-identical thresholds at every
+    /// thread count, so online verdicts stay exactly equal to the offline
+    /// (serial) assessor's.
+    #[must_use]
+    pub fn with_calibration_threads(mut self, threads: Option<usize>) -> Self {
+        self.calibration_threads = threads;
         self
     }
 
@@ -305,6 +326,24 @@ impl ServiceConfig {
         (&self.prewarm_lengths, &self.prewarm_p_hats)
     }
 
+    /// The configured calibration thread count (`None` = auto-detect at
+    /// service start).
+    pub fn calibration_threads(&self) -> Option<usize> {
+        self.calibration_threads
+    }
+
+    /// The behavior-test configuration the service actually runs: the
+    /// configured test with [`Self::calibration_threads`] resolved —
+    /// `None` becomes [`std::thread::available_parallelism`]. Exposed so
+    /// replay/equivalence tooling can reproduce the exact service setup
+    /// (though plain [`Self::test`] verdicts are bit-identical anyway).
+    pub fn effective_test(&self) -> BehaviorTestConfig {
+        let threads = self.calibration_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
+        self.test.clone().with_calibration_threads(threads)
+    }
+
     /// The full-queue policy applied by `ingest_batch`.
     pub fn ingest_policy(&self) -> IngestPolicy {
         self.ingest_policy
@@ -365,6 +404,11 @@ impl ServiceConfig {
                 });
             }
         }
+        if self.calibration_threads == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "calibration threads must be at least 1 (or None for auto)".into(),
+            });
+        }
         if let IngestPolicy::Shed | IngestPolicy::TryFor(_) = self.ingest_policy {
             if self.queue_capacity == 0 {
                 return Err(CoreError::InvalidConfig {
@@ -403,6 +447,25 @@ mod tests {
     fn bad_prewarm_p_rejected() {
         let c = ServiceConfig::default().with_prewarm_grid(vec![100], vec![1.2]);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn calibration_threads_resolve_and_validate() {
+        let auto = ServiceConfig::default();
+        assert_eq!(auto.calibration_threads(), None);
+        // Auto resolves to at least one thread and leaves every other
+        // test knob untouched.
+        let effective = auto.effective_test();
+        assert!(effective.calibration_threads() >= 1);
+        assert_eq!(effective.window_size(), auto.test().window_size());
+        assert_eq!(effective.calibration_trials(), auto.test().calibration_trials());
+
+        let pinned = ServiceConfig::default().with_calibration_threads(Some(3));
+        assert_eq!(pinned.effective_test().calibration_threads(), 3);
+        pinned.validate().unwrap();
+
+        let zero = ServiceConfig::default().with_calibration_threads(Some(0));
+        assert!(zero.validate().is_err());
     }
 
     #[test]

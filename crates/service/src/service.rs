@@ -249,14 +249,19 @@ impl ReputationService {
     /// when a durable journal cannot be opened or recovered.
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
-        let calibrator = shared_calibrator(config.test())?;
+        // The effective test resolves the calibration thread count (auto =
+        // available parallelism) so the pre-warm grid below calibrates in
+        // parallel; chunked calibration RNG keeps the resulting thresholds
+        // bit-identical to a serial (offline) calibrator's.
+        let effective_test = config.effective_test();
+        let calibrator = shared_calibrator(&effective_test)?;
 
         // Pre-warm: evaluating a synthetic honest history of length n at
         // quality p requests exactly the (m, k, p̂-bucket, confidence)
         // threshold entries that live traffic with similar histories will
         // need, through the same public code path.
         let warm_test =
-            MultiBehaviorTest::with_calibrator(config.test().clone(), Arc::clone(&calibrator))?;
+            MultiBehaviorTest::with_calibrator(effective_test.clone(), Arc::clone(&calibrator))?;
         let (lengths, p_hats) = config.prewarm_grid();
         for (i, &len) in lengths.iter().enumerate() {
             for (j, &p) in p_hats.iter().enumerate() {
@@ -274,7 +279,7 @@ impl ReputationService {
         let mut shards = Vec::with_capacity(config.shards());
         for shard in 0..config.shards() {
             let test =
-                MultiBehaviorTest::with_calibrator(config.test().clone(), Arc::clone(&calibrator))?;
+                MultiBehaviorTest::with_calibrator(effective_test.clone(), Arc::clone(&calibrator))?;
             let journal = open_journal(&config, shard, &obs.shard(shard).counters)?;
             let ctx = ShardContext {
                 shard,

@@ -9,7 +9,10 @@
 //! * **caching** keyed by `(m, k, p̂-bucket, confidence)` so that the
 //!   strategic attacker loop and the multi-test (which call this thousands
 //!   of times with nearly identical parameters) stay fast,
-//! * **parallel** Monte Carlo via crossbeam scoped threads for large jobs,
+//! * **parallel** Monte Carlo via crossbeam scoped threads for large jobs
+//!   (jobs below [`CalibrationConfig::serial_cutoff`] stay serial), with
+//!   trials drawn from fixed per-chunk RNG streams so thresholds are
+//!   bit-identical at every thread count,
 //! * **asymptotic extrapolation** for very large sample counts `k`: the L¹
 //!   statistic scales as `Θ(1/√k)`, so beyond a cutoff we calibrate at the
 //!   cutoff and scale by `√(k₀/k)` instead of simulating hundreds of
@@ -46,7 +49,16 @@ pub struct CalibrationConfig {
     /// directly (default 2048).
     pub large_k_cutoff: usize,
     /// Number of worker threads for large Monte-Carlo jobs (1 = serial).
+    ///
+    /// Thread count never changes results: trials are drawn from fixed
+    /// per-chunk RNG streams (see [`ThresholdCalibrator`]), so any
+    /// `threads` value produces bit-identical thresholds.
     pub threads: usize,
+    /// Jobs with `trials * k` below this run serially regardless of
+    /// `threads` — thread spawn/join overhead dwarfs small jobs (default
+    /// `1 << 16`; `0` parallelizes everything). A pure performance knob:
+    /// chunked RNG streams make the output identical either way.
+    pub serial_cutoff: usize,
 }
 
 impl Default for CalibrationConfig {
@@ -58,6 +70,7 @@ impl Default for CalibrationConfig {
             distance: DistanceKind::L1,
             large_k_cutoff: 2048,
             threads: 1,
+            serial_cutoff: 1 << 16,
         }
     }
 }
@@ -273,7 +286,6 @@ impl ThresholdCalibrator {
         }
         let model = Binomial::new(m, p)?;
         let pmf = model.pmf_table();
-        let threads = self.config.threads.min(trials).max(1);
         // The job seed mixes every parameter so distinct calibrations use
         // independent randomness.
         let job_seed = derive_seed(
@@ -281,25 +293,53 @@ impl ThresholdCalibrator {
             derive_seed(m as u64, derive_seed(k as u64, (p * 1e9) as u64)),
         );
 
-        if threads == 1 || trials * k < 1 << 16 {
-            return Ok(run_trials(&model, &pmf, self.config.distance, m, k, trials, job_seed));
+        // Trials are drawn in fixed chunks, each from its own RNG stream
+        // derived from (job_seed, chunk index). Serial evaluation walks the
+        // chunks in order; parallel evaluation hands each worker a
+        // *contiguous* chunk range and concatenates in worker order — the
+        // same chunk sequence either way, so the sample vector (and thus
+        // every threshold) is bit-identical at any thread count.
+        let chunks = trials.div_ceil(CHUNK_TRIALS);
+        let distance = self.config.distance;
+        let run_chunk = |c: usize, out: &mut Vec<f64>| {
+            let count = CHUNK_TRIALS.min(trials - c * CHUNK_TRIALS);
+            run_trials(
+                &model,
+                &pmf,
+                distance,
+                m,
+                k,
+                count,
+                derive_seed(job_seed, c as u64 + 1),
+                out,
+            );
+        };
+
+        let threads = self.config.threads.min(chunks).max(1);
+        let mut out: Vec<f64> = Vec::with_capacity(trials);
+        if threads == 1 || trials * k < self.config.serial_cutoff {
+            for c in 0..chunks {
+                run_chunk(c, &mut out);
+            }
+            return Ok(out);
         }
 
-        let per = trials.div_ceil(threads);
-        let mut out: Vec<f64> = Vec::with_capacity(trials);
+        let per = chunks.div_ceil(threads);
         crossbeam::scope(|scope| {
+            let run_chunk = &run_chunk;
             let mut handles = Vec::new();
             for t in 0..threads {
-                let pmf = &pmf;
-                let model = &model;
-                let distance = self.config.distance;
-                let count = per.min(trials.saturating_sub(t * per));
-                if count == 0 {
+                let lo = t * per;
+                let hi = chunks.min(lo + per);
+                if lo >= hi {
                     continue;
                 }
-                let shard_seed = derive_seed(job_seed, t as u64 + 1);
                 handles.push(scope.spawn(move |_| {
-                    run_trials(model, pmf, distance, m, k, count, shard_seed)
+                    let mut part = Vec::with_capacity((hi - lo) * CHUNK_TRIALS);
+                    for c in lo..hi {
+                        run_chunk(c, &mut part);
+                    }
+                    part
                 }));
             }
             for h in handles {
@@ -352,6 +392,13 @@ fn tail_quantile(samples: &[f64], confidence: f64) -> Result<f64, StatsError> {
     Ok(anchor + (z_conf - z_anchor) * sigma)
 }
 
+/// Trials per independent RNG stream. Each chunk of this many trials is
+/// seeded by `(job_seed, chunk index)` alone, which is what makes serial
+/// and parallel schedules emit the same sample sequence: the partition of
+/// chunks over threads can change, the chunks themselves cannot.
+const CHUNK_TRIALS: usize = 64;
+
+#[allow(clippy::too_many_arguments)]
 fn run_trials(
     model: &Binomial,
     pmf: &[f64],
@@ -360,10 +407,10 @@ fn run_trials(
     k: usize,
     trials: usize,
     seed: u64,
-) -> Vec<f64> {
+    out: &mut Vec<f64>,
+) {
     let sampler = model.table_sampler();
     let mut rng = seeded_rng(seed);
-    let mut out = Vec::with_capacity(trials);
     let mut hist = Histogram::new(m).expect("support construction cannot fail");
     let mut drawn: Vec<u32> = Vec::with_capacity(k);
     for _ in 0..trials {
@@ -381,7 +428,6 @@ fn run_trials(
             hist.remove(s).expect("removing what was just added");
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -524,6 +570,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_distribution() {
+        // Chunked RNG streams make the thread count irrelevant to the
+        // output: every thread layout must produce the *bit-identical*
+        // threshold, not merely a statistically close one.
         let serial = ThresholdCalibrator::new(CalibrationConfig {
             trials: 4000,
             threads: 1,
@@ -531,18 +580,60 @@ mod tests {
         })
         .unwrap()
         .with_seed(3);
-        let parallel = ThresholdCalibrator::new(CalibrationConfig {
-            trials: 4000,
-            threads: 4,
+        let reference = serial.threshold(10, 64, 0.9).unwrap();
+        for threads in [2usize, 4, 8] {
+            let parallel = ThresholdCalibrator::new(CalibrationConfig {
+                trials: 4000,
+                threads,
+                ..Default::default()
+            })
+            .unwrap()
+            .with_seed(3);
+            let got = parallel.threshold(10, 64, 0.9).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                reference.to_bits(),
+                "threads={threads}: {got} vs serial {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_samples_are_bit_identical_to_serial() {
+        // The raw sample *sequence* — not just its quantile — must be
+        // independent of the thread count and of the serial cutoff.
+        let base = CalibrationConfig {
+            trials: 1000,
+            serial_cutoff: 0, // force the parallel dispatch path
             ..Default::default()
+        };
+        let serial = ThresholdCalibrator::new(CalibrationConfig {
+            threads: 1,
+            ..base
         })
         .unwrap()
-        .with_seed(3);
-        // Not bit-identical (different stream layout), but the quantiles of
-        // the same distribution must agree closely at 4000 trials.
-        let a = serial.threshold(10, 64, 0.9).unwrap();
-        let b = parallel.threshold(10, 64, 0.9).unwrap();
-        assert!((a - b).abs() < 0.05, "serial {a} vs parallel {b}");
+        .with_seed(11);
+        let reference = serial.distance_samples(10, 80, 0.9).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel = ThresholdCalibrator::new(CalibrationConfig {
+                threads,
+                ..base
+            })
+            .unwrap()
+            .with_seed(11);
+            let got = parallel.distance_samples(10, 80, 0.9).unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+        // A high serial cutoff routes the same job serially; output is
+        // unchanged because the chunk sequence is.
+        let cutoff = ThresholdCalibrator::new(CalibrationConfig {
+            threads: 8,
+            serial_cutoff: usize::MAX,
+            ..base
+        })
+        .unwrap()
+        .with_seed(11);
+        assert_eq!(cutoff.distance_samples(10, 80, 0.9).unwrap(), reference);
     }
 
     #[test]
