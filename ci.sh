@@ -121,4 +121,50 @@ print(
 )
 PYEOF
 
+echo "==> edge soak (hp-edge + hp-load over real sockets, writes experiments/out/bench_edge.json)"
+if [ "$QUICK" -eq 0 ]; then
+    # Boots the service behind the HTTP edge on an ephemeral port and
+    # replays the paper-mix population open-loop. The binary itself
+    # fails on any accounting mismatch between client-observed
+    # accepted/shed counts, ServiceStats, and /metrics.
+    cargo run --offline --release -p hp-load --bin edge-soak >/dev/null
+else
+    echo "    (skipped: --quick; gate checks the existing json)"
+fi
+
+echo "==> edge SLO gate (soak json vs committed baseline)"
+EDGE_JSON=experiments/out/bench_edge.json
+EDGE_BASE=experiments/baselines/bench_edge_baseline.json
+[ -f "$EDGE_JSON" ] || { echo "missing $EDGE_JSON (run: cargo run --release -p hp-load --bin edge-soak)"; exit 1; }
+[ -f "$EDGE_BASE" ] || { echo "missing $EDGE_BASE"; exit 1; }
+python3 - "$EDGE_JSON" "$EDGE_BASE" <<'PYEOF'
+import json, sys
+current = json.load(open(sys.argv[1]))
+slo = json.load(open(sys.argv[2]))["slo"]
+throughput = current["ingest_throughput_per_sec"]
+p99 = current["assess_p99_ms"]
+if throughput < slo["min_ingest_throughput_per_sec"]:
+    sys.exit(
+        f"edge throughput regression: {throughput:.0f} feedbacks/s "
+        f"< SLO floor {slo['min_ingest_throughput_per_sec']}"
+    )
+if p99 > slo["max_assess_p99_ms"]:
+    sys.exit(
+        f"edge assess p99 regression: {p99:.2f} ms "
+        f"> SLO ceiling {slo['max_assess_p99_ms']} ms"
+    )
+feedbacks = current["feedbacks"]
+if feedbacks["sent"] != feedbacks["accepted"] + feedbacks["shed"]:
+    sys.exit(f"edge accounting leak: {feedbacks}")
+if current["requests"]["errors"] != 0:
+    sys.exit(f"edge soak had {current['requests']['errors']} request errors")
+print(
+    f"    edge: {throughput:.0f} feedbacks/s accepted "
+    f"(floor {slo['min_ingest_throughput_per_sec']}), assess p99 {p99:.2f} ms "
+    f"(ceiling {slo['max_assess_p99_ms']} ms), "
+    f"{feedbacks['shed']} shed / {current['requests']['assess_degraded']} degraded, "
+    f"all exactly accounted"
+)
+PYEOF
+
 echo "==> OK"

@@ -1,0 +1,72 @@
+//! The `hp-edge` binary: serve the reputation service over HTTP/1.1.
+//!
+//! ```text
+//! hp-edge [--addr HOST:PORT] [--workers N] [--shards N]
+//!         [--calibration-cache PATH] [--assess-deadline-ms N]
+//! ```
+//!
+//! The listener binds immediately; `/healthz` reports `warming` until
+//! shard spawn and calibration pre-warm finish (instant on a warm
+//! restart with a persisted calibration cache). SIGTERM or SIGINT
+//! triggers the graceful drain: stop accepting, finish in-flight
+//! requests, shut the shards down, persist the calibration cache.
+
+use hp_edge::{signals, EdgeConfig, EdgeServer};
+use hp_service::ServiceConfig;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hp-edge [--addr HOST:PORT] [--workers N] [--shards N]\n\
+         \x20              [--calibration-cache PATH] [--assess-deadline-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut edge_config = EdgeConfig::default().with_addr("127.0.0.1:7300");
+    let mut service_config = ServiceConfig::default();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => edge_config = edge_config.with_addr(value()),
+            "--workers" => {
+                edge_config =
+                    edge_config.with_workers(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--shards" => {
+                service_config =
+                    service_config.with_shards(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--calibration-cache" => {
+                service_config = service_config.with_calibration_cache(value());
+            }
+            "--assess-deadline-ms" => {
+                let millis: u64 = value().parse().unwrap_or_else(|_| usage());
+                edge_config =
+                    edge_config.with_assess_deadline(Some(Duration::from_millis(millis)));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    signals::install_term_handler();
+    let edge = match EdgeServer::start(service_config, edge_config) {
+        Ok(edge) => edge,
+        Err(e) => {
+            eprintln!("hp-edge: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("hp-edge listening on {} (state: {})", edge.local_addr(), edge.state());
+
+    while !signals::termination_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("hp-edge: termination requested, draining");
+    edge.drain();
+    println!("hp-edge: drained");
+}

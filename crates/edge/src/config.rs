@@ -1,0 +1,200 @@
+//! Edge front-end configuration.
+
+use std::time::Duration;
+
+/// Configuration for [`crate::EdgeServer`].
+///
+/// Every knob has an operational default; the two that deployments most
+/// often touch are `addr` (bind address, `:0` picks an ephemeral port)
+/// and `workers` (maximum concurrently served connections).
+///
+/// # Examples
+///
+/// ```
+/// use hp_edge::EdgeConfig;
+///
+/// let config = EdgeConfig::default().with_addr("127.0.0.1:0").with_workers(4);
+/// assert_eq!(config.workers, 4);
+/// config.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads, each serving one connection at a time through its
+    /// keep-alive loop. `0` resolves to the machine's available
+    /// parallelism at start.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// acceptor starts refusing with an immediate `503` (connection-level
+    /// admission control). `0` resolves to `2 × workers`.
+    pub pending_connections: usize,
+    /// Largest accepted request head (request line + headers); beyond it
+    /// the request is refused with `431`.
+    pub max_head_bytes: usize,
+    /// Largest accepted request body; beyond it the request is refused
+    /// with `413` and the connection closed.
+    pub max_body_bytes: usize,
+    /// Total time a client may take to deliver the request head. A
+    /// partial head older than this (slow-loris) gets `408` and the
+    /// connection closed.
+    pub header_timeout: Duration,
+    /// Same bound for delivering a declared body.
+    pub body_timeout: Duration,
+    /// How long an idle keep-alive connection is held open.
+    pub keep_alive_timeout: Duration,
+    /// When set, assessments run through
+    /// [`assess_within`](hp_service::ReputationService::assess_within):
+    /// past the deadline the response is the last published verdict,
+    /// stamped degraded with its exact staleness, instead of waiting out
+    /// a saturated shard.
+    pub assess_deadline: Option<Duration>,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            pending_connections: 0,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            header_timeout: Duration::from_secs(5),
+            body_timeout: Duration::from_secs(10),
+            keep_alive_timeout: Duration::from_secs(30),
+            assess_deadline: None,
+        }
+    }
+}
+
+impl EdgeConfig {
+    /// Bind address (builder style).
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Worker thread count (builder style); `0` = available parallelism.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Pending-connection admission bound (builder style); `0` = `2 ×
+    /// workers`.
+    #[must_use]
+    pub fn with_pending_connections(mut self, pending: usize) -> Self {
+        self.pending_connections = pending;
+        self
+    }
+
+    /// Body size cap in bytes (builder style).
+    #[must_use]
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Request-head delivery deadline (builder style).
+    #[must_use]
+    pub fn with_header_timeout(mut self, timeout: Duration) -> Self {
+        self.header_timeout = timeout;
+        self
+    }
+
+    /// Idle keep-alive bound (builder style).
+    #[must_use]
+    pub fn with_keep_alive_timeout(mut self, timeout: Duration) -> Self {
+        self.keep_alive_timeout = timeout;
+        self
+    }
+
+    /// Assessment latency budget (builder style); see `assess_deadline`.
+    #[must_use]
+    pub fn with_assess_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.assess_deadline = deadline;
+        self
+    }
+
+    /// The worker count with `0` resolved to available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+
+    /// The admission bound with `0` resolved to `2 × workers`.
+    pub fn effective_pending(&self) -> usize {
+        if self.pending_connections > 0 {
+            self.pending_connections
+        } else {
+            2 * self.effective_workers()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason for a zero size cap or a zero
+    /// timeout (both would refuse every request).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_head_bytes == 0 || self.max_body_bytes == 0 {
+            return Err("head/body size caps must be nonzero".to_string());
+        }
+        if self.header_timeout.is_zero()
+            || self.body_timeout.is_zero()
+            || self.keep_alive_timeout.is_zero()
+        {
+            return Err("edge timeouts must be nonzero".to_string());
+        }
+        if self.assess_deadline.is_some_and(|d| d.is_zero()) {
+            return Err("assess deadline must be nonzero when set".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_resolves() {
+        let c = EdgeConfig::default();
+        c.validate().unwrap();
+        assert!(c.effective_workers() >= 1);
+        assert_eq!(c.effective_pending(), 2 * c.effective_workers());
+    }
+
+    #[test]
+    fn zero_caps_and_timeouts_rejected() {
+        assert!(EdgeConfig { max_body_bytes: 0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(EdgeConfig { header_timeout: Duration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(EdgeConfig::default()
+            .with_assess_deadline(Some(Duration::ZERO))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builders_round_trip() {
+        let c = EdgeConfig::default()
+            .with_addr("0.0.0.0:8080")
+            .with_workers(3)
+            .with_pending_connections(9)
+            .with_max_body_bytes(1024);
+        assert_eq!(c.addr, "0.0.0.0:8080");
+        assert_eq!(c.effective_workers(), 3);
+        assert_eq!(c.effective_pending(), 9);
+        assert_eq!(c.max_body_bytes, 1024);
+    }
+}

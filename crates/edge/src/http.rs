@@ -1,0 +1,382 @@
+//! A lean, defensive HTTP/1.1 request reader and response writer.
+//!
+//! This is deliberately not a general HTTP implementation: it reads the
+//! subset the edge serves (request line, headers it understands,
+//! `Content-Length` bodies) and maps every way a client can misbehave to
+//! a typed [`RecvError`] so the worker loop can answer with the right
+//! status code and never panics or wedges on hostile input:
+//!
+//! * drip-fed or stalled heads ([`RecvError::Timeout`] → `408`) — the
+//!   head has one *overall* deadline, so a slow-loris cannot reset it by
+//!   sending a byte per poll;
+//! * oversized heads (`431`) and bodies (`413`), both bounded before
+//!   allocation ever follows attacker-controlled lengths;
+//! * malformed request lines, header lines, or `Content-Length` values
+//!   (`400`);
+//! * connections closed mid-request ([`RecvError::Closed`]), served
+//!   silently — the client is gone.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Request methods the edge distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// Anything else (answered `405`).
+    Other,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request target, without any query string.
+    pub path: String,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed (or reset) the connection cleanly between
+    /// requests; not an error worth answering.
+    Closed,
+    /// The idle keep-alive bound expired with no new request.
+    Idle,
+    /// The head or body was not delivered within its deadline.
+    Timeout,
+    /// The request head exceeded the configured cap (`431`).
+    HeadTooLarge,
+    /// The declared body exceeded the configured cap (`413`).
+    BodyTooLarge,
+    /// The bytes received do not form an HTTP/1.1 request (`400`).
+    Malformed(&'static str),
+    /// A transport error other than timeout/close.
+    Io(io::Error),
+}
+
+/// Caps and deadlines for reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Request-head byte cap.
+    pub max_head_bytes: usize,
+    /// Body byte cap.
+    pub max_body_bytes: usize,
+    /// Overall head delivery deadline (counted from the first byte).
+    pub header_timeout: Duration,
+    /// Overall body delivery deadline.
+    pub body_timeout: Duration,
+}
+
+/// Poll slice for interruptible waits: short enough that idle/drain
+/// checks are prompt, long enough to stay off the scheduler's back.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Waits for the first byte of the next request, polling in short slices
+/// so the caller can abandon an idle connection when `give_up` turns
+/// true (drain) or `idle_for` expires (keep-alive bound).
+///
+/// # Errors
+///
+/// [`RecvError::Closed`] when the peer hung up, [`RecvError::Idle`] when
+/// the idle bound expired or `give_up` fired, [`RecvError::Io`] on
+/// transport errors.
+pub fn wait_for_request(
+    stream: &TcpStream,
+    idle_for: Duration,
+    give_up: impl Fn() -> bool,
+) -> Result<(), RecvError> {
+    let start = Instant::now();
+    let mut probe = [0u8; 1];
+    loop {
+        if give_up() || start.elapsed() >= idle_for {
+            return Err(RecvError::Idle);
+        }
+        stream.set_read_timeout(Some(POLL)).map_err(RecvError::Io)?;
+        match stream.peek(&mut probe) {
+            Ok(0) => return Err(RecvError::Closed),
+            Ok(_) => return Ok(()),
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {
+                return Err(RecvError::Closed)
+            }
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+}
+
+/// Reads one full request (head + body) within the configured caps and
+/// deadlines. Call [`wait_for_request`] first so idle time does not
+/// count against the header deadline.
+///
+/// # Errors
+///
+/// See [`RecvError`]; every variant maps to one response (or a silent
+/// close) in the worker loop.
+pub fn read_request(stream: &mut TcpStream, limits: &ReadLimits) -> Result<Request, RecvError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_deadline = Instant::now() + limits.header_timeout;
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() >= limits.max_head_bytes {
+            return Err(RecvError::HeadTooLarge);
+        }
+        read_some(stream, &mut buf, head_deadline)?;
+    };
+
+    let (request, declared_len) = parse_head(&buf[..head_end])?;
+    if declared_len > limits.max_body_bytes {
+        return Err(RecvError::BodyTooLarge);
+    }
+
+    // Whatever followed the head in the buffer is the body's first bytes.
+    let mut body = buf.split_off(head_end + head_terminator_len(&buf, head_end));
+    if body.len() > declared_len {
+        // Pipelined extra bytes would desynchronize the keep-alive loop;
+        // refuse rather than serve a corrupted stream.
+        return Err(RecvError::Malformed("bytes beyond declared content-length"));
+    }
+    let body_deadline = Instant::now() + limits.body_timeout;
+    while body.len() < declared_len {
+        read_some(stream, &mut body, body_deadline)?;
+        if body.len() > declared_len {
+            return Err(RecvError::Malformed("bytes beyond declared content-length"));
+        }
+    }
+
+    Ok(Request { body, ..request })
+}
+
+/// One bounded read append against an overall deadline. A peer that
+/// closes mid-request gets no response — it is gone either way.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Instant,
+) -> Result<(), RecvError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(RecvError::Timeout);
+    }
+    stream
+        .set_read_timeout(Some(remaining.min(POLL)))
+        .map_err(RecvError::Io)?;
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Err(RecvError::Closed),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(())
+        }
+        Err(e) if is_timeout(&e) => Ok(()), // loop re-checks the deadline
+        Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Err(RecvError::Closed),
+        Err(e) => Err(RecvError::Io(e)),
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Index just past the head (before the blank-line terminator), if the
+/// terminator has arrived. Accepts `\r\n\r\n` and bare `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n"))
+}
+
+fn head_terminator_len(buf: &[u8], end: usize) -> usize {
+    if buf[end..].starts_with(b"\r\n\r\n") {
+        4
+    } else {
+        2
+    }
+}
+
+/// Parses the request line and the headers the edge understands.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), RecvError> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| RecvError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().ok_or(RecvError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("POST") => Method::Post,
+        Some(m) if !m.is_empty() && m.chars().all(|c| c.is_ascii_uppercase()) => Method::Other,
+        _ => return Err(RecvError::Malformed("bad request line")),
+    };
+    let target = parts.next().ok_or(RecvError::Malformed("missing target"))?;
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(RecvError::Malformed("bad request target"));
+    }
+    match parts.next() {
+        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+        _ => return Err(RecvError::Malformed("bad HTTP version")),
+    }
+    if parts.next().is_some() {
+        return Err(RecvError::Malformed("bad request line"));
+    }
+
+    let mut declared_len = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RecvError::Malformed("bad header line"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            declared_len = value
+                .parse::<usize>()
+                .map_err(|_| RecvError::Malformed("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked bodies are out of scope; refusing beats guessing.
+            return Err(RecvError::Malformed("transfer-encoding unsupported"));
+        }
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok((
+        Request {
+            method,
+            path,
+            body: Vec::new(),
+            keep_alive,
+        },
+        declared_len,
+    ))
+}
+
+/// Writes one response with the standard edge headers.
+///
+/// # Errors
+///
+/// Propagates transport errors; the caller treats them as a dead client.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &[u8],
+    content_type: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Canonical reason phrases for the statuses the edge emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(head: &str) -> Result<(Request, usize), RecvError> {
+        parse_head(head.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let (req, len) = parse("GET /healthz HTTP/1.1\r\nhost: x").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(len, 0);
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_with_length_and_close() {
+        let (req, len) =
+            parse("POST /ingest HTTP/1.1\r\ncontent-length: 42\r\nConnection: close").unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(len, 42);
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn strips_query_strings() {
+        let (req, _) = parse("GET /assess/7?verbose=1 HTTP/1.1").unwrap();
+        assert_eq!(req.path, "/assess/7");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for head in [
+            "",
+            "GARBAGE",
+            "GET HTTP/1.1",
+            "GET /x HTTP/2",
+            "get /x HTTP/1.1",
+            "GET /x HTTP/1.1 extra",
+            "GET x HTTP/1.1",
+            "POST /ingest HTTP/1.1\r\ncontent-length: banana",
+            "POST /ingest HTTP/1.1\r\nno-colon-header",
+            "POST /ingest HTTP/1.1\r\ntransfer-encoding: chunked",
+        ] {
+            assert!(
+                matches!(parse(head), Err(RecvError::Malformed(_))),
+                "should reject: {head:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_methods_are_distinguished_not_rejected() {
+        let (req, _) = parse("DELETE /assess/1 HTTP/1.1").unwrap();
+        assert_eq!(req.method, Method::Other);
+    }
+
+    #[test]
+    fn find_head_end_handles_both_terminators() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nBODY"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\nBODY"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

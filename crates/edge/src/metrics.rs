@@ -1,0 +1,133 @@
+//! Edge-side counters, appended to the service's Prometheus exposition.
+//!
+//! The service already accounts for everything behind the shard
+//! channels (ingested, shed, degraded, restarts…); this layer counts
+//! what happens *at the socket*: connections accepted and refused,
+//! responses by status code, and protocol-defense trips (timeouts,
+//! oversized requests, malformed heads). Shed/degraded accounting
+//! remains the service's single source of truth — the edge does not
+//! duplicate those counters, it only adds the network-visible ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Status codes the edge can emit, in exposition order.
+pub const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 503, 504];
+
+/// Socket-level counters. All relaxed atomics: they are monotone
+/// counters scraped for trends, not synchronization points.
+#[derive(Debug, Default)]
+pub struct EdgeMetrics {
+    /// Connections accepted and handed to a worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused by admission control (all workers busy and
+    /// the pending queue full) with an immediate `503`.
+    pub connections_refused: AtomicU64,
+    /// Responses sent, by status code (indexed as [`STATUSES`]).
+    responses: [AtomicU64; STATUSES.len()],
+    /// Requests that tripped a protocol defense (timeout, size cap,
+    /// malformed head) — a subset of the 4xx/408 responses, kept
+    /// separately so probes of hostile traffic don't require summing
+    /// status codes.
+    pub protocol_rejects: AtomicU64,
+    /// Requests answered after the drain began (politely, with
+    /// `connection: close`).
+    pub served_while_draining: AtomicU64,
+}
+
+impl EdgeMetrics {
+    /// Records one response with `status`.
+    pub fn record_response(&self, status: u16) {
+        if let Some(idx) = STATUSES.iter().position(|&s| s == status) {
+            self.responses[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Responses sent with `status` so far.
+    pub fn responses_with(&self, status: u16) -> u64 {
+        STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .map_or(0, |idx| self.responses[idx].load(Ordering::Relaxed))
+    }
+
+    /// Renders the edge counters in Prometheus text exposition format
+    /// (appended after the service's own `render_prometheus` output).
+    pub fn render_prometheus(&self, state: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        out.push_str("# HELP hp_edge_connections_accepted_total Connections accepted and served.\n# TYPE hp_edge_connections_accepted_total counter\n");
+        let _ = writeln!(
+            out,
+            "hp_edge_connections_accepted_total {}",
+            self.connections_accepted.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP hp_edge_connections_refused_total Connections refused by admission control.\n# TYPE hp_edge_connections_refused_total counter\n");
+        let _ = writeln!(
+            out,
+            "hp_edge_connections_refused_total {}",
+            self.connections_refused.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP hp_edge_responses_total Responses sent, by status code.\n# TYPE hp_edge_responses_total counter\n");
+        for (idx, status) in STATUSES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "hp_edge_responses_total{{status=\"{status}\"}} {}",
+                self.responses[idx].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# HELP hp_edge_protocol_rejects_total Requests refused by a protocol defense (timeout, size cap, malformed).\n# TYPE hp_edge_protocol_rejects_total counter\n");
+        let _ = writeln!(
+            out,
+            "hp_edge_protocol_rejects_total {}",
+            self.protocol_rejects.load(Ordering::Relaxed)
+        );
+        out.push_str("# HELP hp_edge_served_while_draining_total Requests answered after drain began.\n# TYPE hp_edge_served_while_draining_total counter\n");
+        let _ = writeln!(
+            out,
+            "hp_edge_served_while_draining_total {}",
+            self.served_while_draining.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP hp_edge_state Edge lifecycle state (0=warming, 1=ready, 2=draining).\n# TYPE hp_edge_state gauge\n",
+        );
+        let numeric = match state {
+            "warming" => 0,
+            "ready" => 1,
+            _ => 2,
+        };
+        let _ = writeln!(out, "hp_edge_state {numeric}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_counters_index_by_status() {
+        let m = EdgeMetrics::default();
+        m.record_response(200);
+        m.record_response(200);
+        m.record_response(429);
+        assert_eq!(m.responses_with(200), 2);
+        assert_eq!(m.responses_with(429), 1);
+        assert_eq!(m.responses_with(503), 0);
+        // Unknown statuses are ignored, not a panic.
+        m.record_response(999);
+    }
+
+    #[test]
+    fn exposition_contains_every_status_series() {
+        let m = EdgeMetrics::default();
+        m.record_response(503);
+        let text = m.render_prometheus("ready");
+        for status in STATUSES {
+            assert!(text.contains(&format!("status=\"{status}\"")));
+        }
+        assert!(text.contains("hp_edge_responses_total{status=\"503\"} 1"));
+        assert!(text.contains("hp_edge_state 1"));
+        assert!(m.render_prometheus("warming").contains("hp_edge_state 0"));
+        assert!(m.render_prometheus("draining").contains("hp_edge_state 2"));
+    }
+}

@@ -1,0 +1,573 @@
+//! The edge server: acceptor, worker pool, router, and lifecycle.
+//!
+//! ```text
+//!            ┌──────────┐   bounded channel    ┌──────────┐
+//!  TCP ───▶ │ acceptor  │ ───(admission)────▶ │ worker×N  │ ──▶ ReputationService
+//!            └──────────┘   Full ⇒ canned 503  └──────────┘      (sharded core)
+//! ```
+//!
+//! One acceptor thread accepts connections and offers them to a
+//! *bounded* channel — connection-level admission control. When every
+//! worker is busy and the pending queue is full, the acceptor answers
+//! `503` itself and closes, so overload produces fast typed refusals
+//! instead of unbounded queueing. Each worker serves one connection at
+//! a time through a keep-alive loop; requests inside the service are
+//! still batched per shard by the service's own channels, so socket
+//! concurrency and shard concurrency stay independently bounded.
+//!
+//! # Lifecycle
+//!
+//! `start` binds the listener *first*, then builds the service (shard
+//! spawn + calibration pre-warm) on a builder thread. Until the service
+//! is ready the edge answers `/healthz` with `503 {"status":"warming"}`
+//! and refuses work with the same body, so orchestration can point
+//! traffic at the port immediately and gate on health. `serve` skips
+//! warming by adopting an already-running service. [`EdgeServer::drain`]
+//! (triggered by SIGTERM in the binary) stops the acceptor, lets
+//! workers finish in-flight requests, then shuts the service down —
+//! which persists the calibration cache.
+
+use crate::config::EdgeConfig;
+use crate::http::{self, Method, ReadLimits, RecvError, Request};
+use crate::metrics::EdgeMetrics;
+use crate::wire;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use hp_core::ServerId;
+use hp_service::{AssessOutcome, ReputationService, ServiceConfig, ServiceError};
+use parking_lot::RwLock;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+const STATE_WARMING: u8 = 0;
+const STATE_READY: u8 = 1;
+const STATE_DRAINING: u8 = 2;
+
+/// State shared by the acceptor, workers, and the handle.
+struct Shared {
+    /// `None` while warming; set exactly once by the builder thread.
+    service: RwLock<Option<Arc<ReputationService>>>,
+    /// One of the `STATE_*` constants.
+    state: AtomicU8,
+    /// Tells the acceptor to stop accepting (drain).
+    stop_accepting: AtomicBool,
+    metrics: EdgeMetrics,
+    config: EdgeConfig,
+}
+
+impl Shared {
+    fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::Acquire) {
+            STATE_WARMING => "warming",
+            STATE_READY => "ready",
+            _ => "draining",
+        }
+    }
+
+    fn service(&self) -> Option<Arc<ReputationService>> {
+        self.service.read().clone()
+    }
+
+    fn limits(&self) -> ReadLimits {
+        ReadLimits {
+            max_head_bytes: self.config.max_head_bytes,
+            max_body_bytes: self.config.max_body_bytes,
+            header_timeout: self.config.header_timeout,
+            body_timeout: self.config.body_timeout,
+        }
+    }
+}
+
+/// A running edge front-end. Dropping the handle without calling
+/// [`EdgeServer::drain`] detaches the threads (the binary always
+/// drains; tests may detach deliberately).
+pub struct EdgeServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    builder: Option<JoinHandle<()>>,
+}
+
+impl EdgeServer {
+    /// Serves an already-constructed service: the edge is `ready` the
+    /// moment this returns (no warming phase).
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and bind errors.
+    pub fn serve(service: Arc<ReputationService>, config: EdgeConfig) -> io::Result<EdgeServer> {
+        let server = EdgeServer::bind(config)?;
+        *server.shared.service.write() = Some(service);
+        server.shared.state.store(STATE_READY, Ordering::Release);
+        Ok(server)
+    }
+
+    /// Binds the listener immediately and builds the service on a
+    /// background thread. Until construction (shard spawn, journal
+    /// recovery, calibration pre-warm — possibly served from the
+    /// persisted cache) finishes, `/healthz` answers
+    /// `503 {"status":"warming"}`.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation and bind errors. Service construction
+    /// errors surface later through [`EdgeServer::warming_error`] and a
+    /// permanently-warming health endpoint.
+    pub fn start(service_config: ServiceConfig, config: EdgeConfig) -> io::Result<EdgeServer> {
+        let mut server = EdgeServer::bind(config)?;
+        let shared = Arc::clone(&server.shared);
+        server.builder = Some(
+            thread::Builder::new()
+                .name("hp-edge-builder".into())
+                .spawn(move || match ReputationService::new(service_config) {
+                    Ok(service) => {
+                        *shared.service.write() = Some(Arc::new(service));
+                        // Readiness only moves forward if a drain has not
+                        // already been requested.
+                        let _ = shared.state.compare_exchange(
+                            STATE_WARMING,
+                            STATE_READY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("hp-edge: service construction failed: {e}");
+                    }
+                })?,
+        );
+        Ok(server)
+    }
+
+    fn bind(config: EdgeConfig) -> io::Result<EdgeServer> {
+        config
+            .validate()
+            .map_err(|reason| io::Error::new(io::ErrorKind::InvalidInput, reason))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            service: RwLock::new(None),
+            state: AtomicU8::new(STATE_WARMING),
+            stop_accepting: AtomicBool::new(false),
+            metrics: EdgeMetrics::default(),
+            config,
+        });
+
+        let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(shared.config.effective_pending());
+        let workers = (0..shared.config.effective_workers())
+            .map(|idx| {
+                let rx = conn_rx.clone();
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("hp-edge-worker-{idx}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        drop(conn_rx);
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("hp-edge-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &conn_tx, &shared))?
+        };
+
+        Ok(EdgeServer {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            builder: None,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the chosen ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current lifecycle state: `"warming"`, `"ready"`, or `"draining"`.
+    pub fn state(&self) -> &'static str {
+        self.shared.state_name()
+    }
+
+    /// Socket-level counters (shared with the serving threads).
+    pub fn metrics(&self) -> &EdgeMetrics {
+        &self.shared.metrics
+    }
+
+    /// The served service, once warming finished.
+    pub fn service(&self) -> Option<Arc<ReputationService>> {
+        self.shared.service()
+    }
+
+    /// Blocks until warming finishes (service constructed) or the
+    /// timeout passes. Returns readiness.
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.shared.state.load(Ordering::Acquire) == STATE_READY {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.shared.state.load(Ordering::Acquire) == STATE_READY
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, join
+    /// every worker, then shut the service down (persisting the
+    /// calibration cache). Idempotent-adjacent: a second call is a
+    /// no-op because the threads are already joined.
+    pub fn drain(mut self) {
+        self.shared.state.store(STATE_DRAINING, Ordering::Release);
+        self.shared.stop_accepting.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(builder) = self.builder.take() {
+            let _ = builder.join();
+        }
+        if let Some(service) = self.shared.service.write().take() {
+            match Arc::try_unwrap(service) {
+                // Sole owner: the full shutdown path (drain shards, close
+                // journals, persist calibration).
+                Ok(service) => service.shutdown(),
+                // The caller kept a handle (tests, `serve` embedders):
+                // checkpoint the calibration cache and leave the service
+                // to the remaining owner.
+                Err(service) => {
+                    let _ = service.save_calibration();
+                }
+            }
+        }
+    }
+}
+
+/// Accepts connections and applies admission control.
+fn acceptor_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, shared: &Shared) {
+    while !shared.stop_accepting.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {
+                        shared
+                            .metrics
+                            .connections_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Admission refused: answer directly so the client
+                        // sees a typed 503, not a hang.
+                        shared
+                            .metrics
+                            .connections_refused
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.record_response(503);
+                        let body = wire::render_error(
+                            "overloaded",
+                            "all workers busy and the pending-connection queue is full",
+                        );
+                        let _ = http::write_response(
+                            &mut stream,
+                            503,
+                            body.as_bytes(),
+                            "application/json",
+                            false,
+                            &[],
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// One worker: serve connections off the channel until it closes.
+fn worker_loop(conn_rx: &Receiver<TcpStream>, shared: &Shared) {
+    while let Ok(stream) = conn_rx.recv() {
+        serve_connection(stream, shared);
+    }
+}
+
+/// A response about to be written.
+struct Reply {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    fn error(status: u16, error: &str, detail: &str) -> Reply {
+        Reply::json(status, wire::render_error(error, detail))
+    }
+}
+
+/// The keep-alive loop for one connection. Every exit path either wrote
+/// a response or determined the client is gone; nothing here panics on
+/// hostile input — protocol errors become typed statuses and the
+/// connection closes.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let limits = shared.limits();
+    loop {
+        let draining = || shared.state.load(Ordering::Acquire) == STATE_DRAINING;
+        match http::wait_for_request(&stream, shared.config.keep_alive_timeout, draining) {
+            Ok(()) => {}
+            Err(_) => return, // idle bound, drain, peer gone, transport error
+        }
+        let request = match http::read_request(&mut stream, &limits) {
+            Ok(request) => request,
+            Err(e) => {
+                let reply = match e {
+                    RecvError::Closed | RecvError::Idle | RecvError::Io(_) => return,
+                    RecvError::Timeout => Reply::error(
+                        408,
+                        "timeout",
+                        "request head or body not delivered in time",
+                    ),
+                    RecvError::HeadTooLarge => {
+                        Reply::error(431, "head_too_large", "request head exceeds the cap")
+                    }
+                    RecvError::BodyTooLarge => {
+                        Reply::error(413, "body_too_large", "request body exceeds the cap")
+                    }
+                    RecvError::Malformed(reason) => Reply::error(400, "malformed", reason),
+                };
+                shared.metrics.protocol_rejects.fetch_add(1, Ordering::Relaxed);
+                write_reply(&mut stream, shared, &reply, false);
+                return;
+            }
+        };
+
+        let reply = route(&request, shared);
+        let keep_alive = request.keep_alive && !draining();
+        if draining() {
+            shared
+                .metrics
+                .served_while_draining
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if !write_reply(&mut stream, shared, &reply, keep_alive) || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, shared: &Shared, reply: &Reply, keep_alive: bool) -> bool {
+    shared.metrics.record_response(reply.status);
+    http::write_response(
+        stream,
+        reply.status,
+        reply.body.as_bytes(),
+        reply.content_type,
+        keep_alive,
+        &[],
+    )
+    .is_ok()
+}
+
+/// Dispatches one parsed request.
+fn route(request: &Request, shared: &Shared) -> Reply {
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => health(shared),
+        (Method::Get, "/metrics") => metrics(shared),
+        (Method::Post, "/ingest") => with_service(shared, |s| ingest(request, shared, &s)),
+        (Method::Post, "/assess") => with_service(shared, |s| assess_batch(request, &s)),
+        (Method::Get, path) if path.starts_with("/assess_traced/") => {
+            with_service(shared, |s| assess_traced(path, &s))
+        }
+        (Method::Get, path) if path.starts_with("/assess/") => {
+            with_service(shared, |s| assess_one(path, shared, &s))
+        }
+        // Known paths with the wrong method get 405, the rest 404.
+        (_, "/healthz" | "/metrics" | "/ingest" | "/assess") => {
+            Reply::error(405, "method_not_allowed", "see the endpoint table in DESIGN.md")
+        }
+        (_, path) if path.starts_with("/assess") => {
+            Reply::error(405, "method_not_allowed", "assessments are GET requests")
+        }
+        _ => Reply::error(404, "not_found", "unknown endpoint"),
+    }
+}
+
+/// Runs `f` against the service, answering `503 warming` before the
+/// builder thread has finished constructing it.
+fn with_service(shared: &Shared, f: impl FnOnce(Arc<ReputationService>) -> Reply) -> Reply {
+    match shared.service() {
+        Some(service) => f(service),
+        None => Reply::error(503, "warming", "service is still calibrating; poll /healthz"),
+    }
+}
+
+fn health(shared: &Shared) -> Reply {
+    let state = shared.state_name();
+    match shared.service() {
+        Some(service) if state == "ready" => {
+            let stats = service.stats();
+            let shards = service.config().shards();
+            let status = if stats.failed_shards > 0 {
+                "degraded"
+            } else {
+                "ready"
+            };
+            Reply::json(
+                200,
+                wire::render_health(
+                    status,
+                    shards,
+                    stats.failed_shards,
+                    stats.shard_restarts,
+                    stats.tracked_servers,
+                ),
+            )
+        }
+        // Warming (service still building) or draining: not ready for
+        // traffic, says so with the right status word.
+        _ => Reply::json(503, wire::render_health(state, 0, 0, 0, 0)),
+    }
+}
+
+fn metrics(shared: &Shared) -> Reply {
+    let mut text = shared
+        .service()
+        .map(|s| s.render_prometheus())
+        .unwrap_or_default();
+    text.push_str(&shared.metrics.render_prometheus(shared.state_name()));
+    Reply {
+        status: 200,
+        body: text,
+        content_type: "text/plain; version=0.0.4",
+    }
+}
+
+fn ingest(request: &Request, shared: &Shared, service: &ReputationService) -> Reply {
+    let feedbacks = match wire::parse_feedback_body(&request.body) {
+        Ok(feedbacks) => feedbacks,
+        Err(e) => {
+            shared.metrics.protocol_rejects.fetch_add(1, Ordering::Relaxed);
+            return Reply::error(
+                400,
+                "bad_feedback",
+                &format!("line {}: {}", e.line, e.reason),
+            );
+        }
+    };
+    match service.ingest_batch(feedbacks) {
+        Ok(outcome) => {
+            // Shedding under Shed/TryFor backpressure is not an internal
+            // error — it is the admission contract, reported as 429 with
+            // the exact accepted/shed split the service recorded.
+            let status = if outcome.shed > 0 { 429 } else { 200 };
+            Reply::json(status, wire::render_ingest(&outcome))
+        }
+        Err(e) => service_error_reply(&e),
+    }
+}
+
+fn parse_server(path: &str, prefix: &str) -> Result<ServerId, Reply> {
+    path.strip_prefix(prefix)
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .map(ServerId::new)
+        .ok_or_else(|| Reply::error(400, "bad_server_id", "want /assess/<u64>"))
+}
+
+fn assess_one(path: &str, shared: &Shared, service: &ReputationService) -> Reply {
+    let server = match parse_server(path, "/assess/") {
+        Ok(server) => server,
+        Err(reply) => return reply,
+    };
+    match shared.config.assess_deadline {
+        Some(deadline) => match service.assess_within(server, deadline) {
+            Ok(AssessOutcome::Fresh(assessment)) => {
+                Reply::json(200, wire::render_assessment(server, &assessment))
+            }
+            Ok(AssessOutcome::Degraded(degraded)) => {
+                Reply::json(200, wire::render_degraded(server, &degraded))
+            }
+            Err(e) => service_error_reply(&e),
+        },
+        None => match service.assess(server) {
+            Ok(assessment) => Reply::json(200, wire::render_assessment(server, &assessment)),
+            Err(e) => service_error_reply(&e),
+        },
+    }
+}
+
+fn assess_traced(path: &str, service: &ReputationService) -> Reply {
+    let server = match parse_server(path, "/assess_traced/") {
+        Ok(server) => server,
+        Err(reply) => return reply,
+    };
+    match service.assess_traced(server) {
+        Ok(traced) => Reply::json(200, wire::render_traced(&traced)),
+        Err(e) => service_error_reply(&e),
+    }
+}
+
+fn assess_batch(request: &Request, service: &ReputationService) -> Reply {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Reply::error(400, "bad_batch", "body is not UTF-8"),
+    };
+    let mut servers = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.parse::<u64>() {
+            Ok(id) => servers.push(ServerId::new(id)),
+            Err(_) => {
+                return Reply::error(
+                    400,
+                    "bad_batch",
+                    &format!("line {}: want one u64 server id per line", idx + 1),
+                )
+            }
+        }
+    }
+    match service.assess_many(&servers) {
+        Ok(answers) => Reply::json(200, wire::render_batch(&answers)),
+        Err(e) => service_error_reply(&e),
+    }
+}
+
+/// Maps service-level failures to statuses: saturation and restarts are
+/// `503` (retryable), a missed deadline with nothing to degrade to is
+/// `504`, domain errors are `422`, and journal faults are `500`.
+fn service_error_reply(e: &ServiceError) -> Reply {
+    match e {
+        ServiceError::ShardUnavailable { .. } => {
+            Reply::error(503, "shard_unavailable", &e.to_string())
+        }
+        ServiceError::Interrupted { .. } => Reply::error(503, "interrupted", &e.to_string()),
+        ServiceError::DeadlineExceeded { .. } => {
+            Reply::error(504, "deadline_exceeded", &e.to_string())
+        }
+        ServiceError::Core(_) => Reply::error(422, "assessment_error", &e.to_string()),
+        ServiceError::Journal { .. } => Reply::error(500, "journal_error", &e.to_string()),
+    }
+}

@@ -1,0 +1,78 @@
+//! SIGTERM wiring for graceful drain, without a libc dependency.
+//!
+//! The crate is std-only, so the handler is registered through the raw
+//! C `signal(2)` symbol that std itself links against. The handler body
+//! is a single relaxed store to a process-global `AtomicBool` — the one
+//! operation that is unconditionally async-signal-safe — and the main
+//! loop polls the flag. On non-Unix targets registration is a no-op and
+//! drain is driven by [`crate::EdgeServer::drain`] directly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGTERM (or [`request_termination`]) has been observed.
+pub fn termination_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Sets the termination flag directly — what the signal handler does,
+/// callable from tests and from non-signal shutdown paths.
+pub fn request_termination() {
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag (test isolation only).
+#[doc(hidden)]
+pub fn reset_termination() {
+    TERM_REQUESTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::TERM_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: i32 = 15;
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        // `signal(2)`: always present in the C runtime std links. Used
+        // instead of sigaction to avoid replicating its struct layout.
+        #[link_name = "signal"]
+        fn c_signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe operation here: one atomic store.
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs `on_term` for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            c_signal(SIGTERM, on_term as *const () as usize);
+            c_signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+}
+
+/// Registers the SIGTERM/SIGINT handler (idempotent; no-op off Unix).
+pub fn install_term_handler() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        reset_termination();
+        assert!(!termination_requested());
+        request_termination();
+        assert!(termination_requested());
+        reset_termination();
+    }
+}

@@ -1,0 +1,394 @@
+//! Wire formats: the feedback line format for ingest bodies and the
+//! JSON renderers for every response the edge emits.
+//!
+//! The crate is dependency-free, so both directions are hand-rolled and
+//! deliberately small:
+//!
+//! * **Ingest bodies** are newline-separated `time,server,client,rating`
+//!   records (`rating` ∈ `+ - 1 0`). One line parses to one
+//!   [`Feedback`]; a body carries any number of lines, which is how the
+//!   load harness sustains hundreds of thousands of feedbacks per second
+//!   over a few hundred requests.
+//! * **Responses** are flat JSON objects rendered by string building.
+//!   Trust values and phase-1 statistics additionally carry their raw
+//!   IEEE-754 bits (`*_bits` fields, hex) so clients — and the e2e
+//!   equivalence suite — can compare verdicts *bit-exactly*, which a
+//!   decimal float round-trip cannot guarantee.
+//!
+//! The tiny `json_*` field extractors at the bottom exist for the tests
+//! and `hp-load`, which need to read those flat objects back without a
+//! JSON dependency. They are scanners for the exact shapes this module
+//! produces, not a JSON parser.
+
+use hp_core::twophase::Assessment;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::{DegradedAssessment, DegradedReason, IngestOutcome, TracedAssessment};
+
+/// Why an ingest body failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+/// Parses a newline-separated feedback body.
+///
+/// Each line is `time,server,client,rating` with `rating` one of
+/// `+`/`1` (good) or `-`/`0` (bad). Blank lines and `#` comments are
+/// skipped. The whole body is rejected on the first bad record —
+/// partial ingest of a malformed batch would make the shed/accepted
+/// accounting ambiguous.
+///
+/// # Errors
+///
+/// [`ParseError`] pinpointing the first offending line.
+pub fn parse_feedback_body(body: &[u8]) -> Result<Vec<Feedback>, ParseError> {
+    let text = std::str::from_utf8(body).map_err(|_| ParseError {
+        line: 0,
+        reason: "body is not UTF-8",
+    })?;
+    let mut feedbacks = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason| ParseError {
+            line: idx + 1,
+            reason,
+        };
+        let mut fields = line.split(',');
+        let time = fields
+            .next()
+            .and_then(|f| f.trim().parse::<u64>().ok())
+            .ok_or_else(|| err("bad time field"))?;
+        let server = fields
+            .next()
+            .and_then(|f| f.trim().parse::<u64>().ok())
+            .ok_or_else(|| err("bad server field"))?;
+        let client = fields
+            .next()
+            .and_then(|f| f.trim().parse::<u64>().ok())
+            .ok_or_else(|| err("bad client field"))?;
+        let rating = match fields.next().map(str::trim) {
+            Some("+") | Some("1") => Rating::from_good(true),
+            Some("-") | Some("0") => Rating::from_good(false),
+            _ => return Err(err("bad rating field (want + - 1 0)")),
+        };
+        if fields.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        feedbacks.push(Feedback::new(
+            time,
+            ServerId::new(server),
+            ClientId::new(client),
+            rating,
+        ));
+    }
+    Ok(feedbacks)
+}
+
+/// Renders one feedback in the ingest line format (the inverse of
+/// [`parse_feedback_body`]); used by the load generator.
+pub fn render_feedback_line(out: &mut String, feedback: &Feedback) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{},{},{},{}",
+        feedback.time,
+        feedback.server.value(),
+        feedback.client.value(),
+        if feedback.is_good() { '+' } else { '-' }
+    );
+}
+
+/// `{"accepted":N,"shed":M}`
+pub fn render_ingest(outcome: &IngestOutcome) -> String {
+    format!(
+        "{{\"accepted\":{},\"shed\":{}}}",
+        outcome.accepted, outcome.shed
+    )
+}
+
+fn push_f64_with_bits(out: &mut String, name: &str, value: f64) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        ",\"{name}\":{value},\"{name}_bits\":\"{:016x}\"",
+        value.to_bits()
+    );
+}
+
+fn verdict_name(assessment: &Assessment) -> &'static str {
+    match assessment {
+        Assessment::Accepted { .. } => "accepted",
+        Assessment::Rejected { .. } => "rejected",
+        Assessment::NeedsReview { .. } => "needs_review",
+    }
+}
+
+/// Renders a (fresh) assessment:
+/// `{"server":S,"verdict":"accepted","degraded":false,"trust":…,"trust_bits":"…"}`
+/// (`trust` is absent for rejections, which produce no trust value).
+pub fn render_assessment(server: ServerId, assessment: &Assessment) -> String {
+    let mut out = format!(
+        "{{\"server\":{},\"verdict\":\"{}\",\"degraded\":false",
+        server.value(),
+        verdict_name(assessment)
+    );
+    if let Some(trust) = assessment.trust() {
+        push_f64_with_bits(&mut out, "trust", trust.value());
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a degraded assessment: the verdict fields of
+/// [`render_assessment`] plus `"degraded":true`, the exact staleness in
+/// feedbacks, and why the fresh path did not answer.
+pub fn render_degraded(server: ServerId, degraded: &DegradedAssessment) -> String {
+    let reason = match degraded.reason {
+        DegradedReason::DeadlineExceeded => "deadline_exceeded",
+        DegradedReason::WorkerRestarting => "worker_restarting",
+        DegradedReason::ShardUnavailable => "shard_unavailable",
+    };
+    let mut out = format!(
+        "{{\"server\":{},\"verdict\":\"{}\",\"degraded\":true,\"staleness\":{},\"computed_at_version\":{},\"latest_version\":{},\"reason\":\"{}\"",
+        server.value(),
+        verdict_name(&degraded.assessment),
+        degraded.staleness(),
+        degraded.computed_at_version,
+        degraded.latest_version,
+        reason,
+    );
+    if let Some(trust) = degraded.assessment.trust() {
+        push_f64_with_bits(&mut out, "trust", trust.value());
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a traced assessment: the fields of [`render_assessment`]
+/// plus the audit record (scheme, phase-1 statistics with raw bits,
+/// cache provenance).
+pub fn render_traced(traced: &TracedAssessment) -> String {
+    use std::fmt::Write;
+    let trace = &traced.trace;
+    let mut out = format!(
+        "{{\"server\":{},\"verdict\":\"{}\",\"degraded\":false,\"scheme\":\"{}\",\"outcome\":\"{}\",\"transactions\":{},\"windows\":{},\"suffixes_tested\":{},\"confidence\":{},\"from_cache\":{}",
+        trace.server.value(),
+        verdict_name(&traced.assessment),
+        trace.scheme,
+        trace.outcome,
+        trace.transactions,
+        trace.windows,
+        trace.suffixes_tested,
+        trace.confidence,
+        trace.from_cache,
+    );
+    if let Some(len) = trace.binding_suffix_len {
+        let _ = write!(out, ",\"binding_suffix_len\":{len}");
+    }
+    if let Some(trust) = trace.trust {
+        push_f64_with_bits(&mut out, "trust", trust);
+    }
+    if let Some(p_hat) = trace.p_hat {
+        push_f64_with_bits(&mut out, "p_hat", p_hat);
+    }
+    if let Some(distance) = trace.distance {
+        push_f64_with_bits(&mut out, "distance", distance);
+    }
+    if let Some(threshold) = trace.threshold {
+        push_f64_with_bits(&mut out, "threshold", threshold);
+    }
+    if let Some(margin) = trace.margin {
+        push_f64_with_bits(&mut out, "margin", margin);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the batch-assess response: a JSON array of per-server
+/// objects, errors rendered in place so one failed server does not
+/// sink the batch.
+pub fn render_batch(
+    answers: &[(ServerId, Result<std::sync::Arc<Assessment>, hp_core::CoreError>)],
+) -> String {
+    let mut out = String::from("[");
+    for (idx, (server, answer)) in answers.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        match answer {
+            Ok(assessment) => out.push_str(&render_assessment(*server, assessment)),
+            Err(e) => out.push_str(&render_error_for(*server, &e.to_string())),
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// `{"server":S,"error":"…"}`
+fn render_error_for(server: ServerId, message: &str) -> String {
+    format!(
+        "{{\"server\":{},\"error\":\"{}\"}}",
+        server.value(),
+        escape(message)
+    )
+}
+
+/// `{"error":"…","detail":"…"}`
+pub fn render_error(error: &str, detail: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+        escape(error),
+        escape(detail)
+    )
+}
+
+/// `{"status":"…","shards":N,"failed_shards":M,…}` for `/healthz`.
+pub fn render_health(
+    status: &str,
+    shards: usize,
+    failed_shards: u64,
+    shard_restarts: u64,
+    tracked_servers: usize,
+) -> String {
+    format!(
+        "{{\"status\":\"{status}\",\"shards\":{shards},\"failed_shards\":{failed_shards},\"shard_restarts\":{shard_restarts},\"tracked_servers\":{tracked_servers}}}"
+    )
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---- flat-JSON field extraction (for tests and hp-load) ----
+
+/// Extracts the raw value text of `"key":<value>` from a flat JSON
+/// object rendered by this module. Not a JSON parser: it relies on the
+/// renderers never nesting objects or embedding `,"key":` inside
+/// strings.
+pub fn json_raw<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest
+            .find([',', '}', ']'])
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// `json_raw` parsed as `u64`.
+pub fn json_u64(body: &str, key: &str) -> Option<u64> {
+    json_raw(body, key)?.parse().ok()
+}
+
+/// The raw-bits twin of an `f64` field, decoded back to the exact
+/// float: reads `"<key>_bits":"…"` as hex and transmutes.
+pub fn json_f64_bits(body: &str, key: &str) -> Option<f64> {
+    let bits = json_raw(body, &format!("{key}_bits"))?;
+    u64::from_str_radix(bits, 16).ok().map(f64::from_bits)
+}
+
+/// `json_raw` as a string field.
+pub fn json_str<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    json_raw(body, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_body_round_trips() {
+        let feedbacks = vec![
+            Feedback::new(0, ServerId::new(1), ClientId::new(2), Rating::from_good(true)),
+            Feedback::new(1, ServerId::new(1), ClientId::new(3), Rating::from_good(false)),
+        ];
+        let mut body = String::from("# header comment\n\n");
+        for f in &feedbacks {
+            render_feedback_line(&mut body, f);
+        }
+        assert_eq!(parse_feedback_body(body.as_bytes()).unwrap(), feedbacks);
+    }
+
+    #[test]
+    fn accepts_numeric_ratings() {
+        let parsed = parse_feedback_body(b"5,1,2,1\n6,1,2,0\n").unwrap();
+        assert!(parsed[0].is_good());
+        assert!(!parsed[1].is_good());
+    }
+
+    #[test]
+    fn rejects_bad_records_with_line_numbers() {
+        for (body, line) in [
+            (&b"1,2,3,+\nbanana"[..], 2),
+            (b"1,2,3,*", 1),
+            (b"1,2,3", 1),
+            (b"1,2,3,+,9", 1),
+            (b"x,2,3,+", 1),
+        ] {
+            let err = parse_feedback_body(body).unwrap_err();
+            assert_eq!(err.line, line, "body {:?}", std::str::from_utf8(body));
+        }
+        assert_eq!(parse_feedback_body(b"\xff\xfe").unwrap_err().line, 0);
+    }
+
+    #[test]
+    fn json_extraction_reads_back_rendered_fields() {
+        let outcome = IngestOutcome {
+            accepted: 12,
+            shed: 3,
+        };
+        let body = render_ingest(&outcome);
+        assert_eq!(json_u64(&body, "accepted"), Some(12));
+        assert_eq!(json_u64(&body, "shed"), Some(3));
+
+        let health = render_health("ready", 4, 0, 1, 900);
+        assert_eq!(json_str(&health, "status"), Some("ready"));
+        assert_eq!(json_u64(&health, "shards"), Some(4));
+        assert_eq!(json_u64(&health, "shard_restarts"), Some(1));
+    }
+
+    #[test]
+    fn trust_bits_round_trip_exactly() {
+        // A value with no short decimal representation.
+        let trust = 0.1f64 + 0.2f64.powi(3);
+        let body = format!(
+            "{{\"trust\":{trust},\"trust_bits\":\"{:016x}\"}}",
+            trust.to_bits()
+        );
+        assert_eq!(json_f64_bits(&body, "trust"), Some(trust));
+        assert_eq!(json_f64_bits(&body, "trust").unwrap().to_bits(), trust.to_bits());
+    }
+
+    #[test]
+    fn error_rendering_escapes_quotes() {
+        let body = render_error("bad request", "line 3: got \"banana\"");
+        assert!(body.contains("\\\"banana\\\""));
+        assert_eq!(json_str(&body, "error"), Some("bad request"));
+    }
+}

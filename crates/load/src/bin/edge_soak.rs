@@ -1,0 +1,177 @@
+//! `edge-soak`: the self-contained CI soak for the network edge.
+//!
+//! Boots a real `ReputationService` behind a real `EdgeServer` on an
+//! ephemeral port (exercising the warming path and the persisted
+//! calibration cache), replays the paper-mix population at the target
+//! rate with the open-loop runner, then
+//!
+//! 1. cross-checks the *exact* accepted/shed accounting three ways:
+//!    client-observed response bodies, `ServiceStats`, and the
+//!    `/metrics` Prometheus exposition must all agree;
+//! 2. writes `experiments/out/bench_edge.json` for `ci.sh`'s SLO gate
+//!    (throughput + assess p99 vs the committed baseline);
+//! 3. drains the edge gracefully, persisting the calibration cache so a
+//!    warm re-run skips the Monte-Carlo calibration wall.
+//!
+//! Knobs (env): `EDGE_SOAK_RATE` (feedbacks/sec, default 120000),
+//! `EDGE_SOAK_SECS` (default 4), `EDGE_SOAK_OUT` (report path).
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_edge::{EdgeConfig, EdgeServer};
+use hp_load::{population::PopulationMix, report, runner, HttpClient, LoadConfig};
+use hp_service::{IngestPolicy, ServiceConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Sums every `name{…} value` sample of one metric in a Prometheus
+/// exposition (the service publishes per-shard series).
+fn prom_sum(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum::<f64>() as u64
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("edge-soak: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let rate = env_f64("EDGE_SOAK_RATE", 120_000.0);
+    let secs = env_f64("EDGE_SOAK_SECS", 4.0);
+    let out_path = std::env::var("EDGE_SOAK_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("experiments/out/bench_edge.json"));
+    let calibration_cache = out_path
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("edge_soak_calibration.hpcal");
+
+    // Small calibration trials keep the cold calibration wall low in CI;
+    // the persisted cache makes warm re-runs skip it entirely.
+    let service_config = ServiceConfig::default()
+        .with_shards(4)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(300)
+                .build()
+                .expect("static test config"),
+        )
+        .with_prewarm_grid(vec![], vec![])
+        .with_ingest_policy(IngestPolicy::TryFor(Duration::from_millis(50)))
+        .with_calibration_cache(calibration_cache);
+    let edge_config = EdgeConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_workers(8)
+        .with_assess_deadline(Some(Duration::from_millis(250)));
+
+    let boot = Instant::now();
+    let edge = EdgeServer::start(service_config, edge_config).unwrap_or_else(|e| {
+        fail(&format!("could not start edge: {e}"));
+    });
+    let addr = edge.local_addr();
+
+    // The listener answers while warming; readiness flips /healthz to 200.
+    let mut probe = HttpClient::new(addr, Duration::from_secs(10));
+    let health = probe.get("/healthz").expect("warming /healthz");
+    if health.status == 503 && !health.body.contains("warming") {
+        fail(&format!("unexpected warming body: {}", health.body));
+    }
+    if !edge.wait_ready(Duration::from_secs(120)) {
+        fail("edge never became ready");
+    }
+    let ready = probe.get("/healthz").expect("ready /healthz");
+    if ready.status != 200 {
+        fail(&format!("ready /healthz was {}: {}", ready.status, ready.body));
+    }
+    eprintln!(
+        "edge-soak: ready on {addr} after {:.2}s (was {})",
+        boot.elapsed().as_secs_f64(),
+        health.status,
+    );
+
+    let load = LoadConfig {
+        addr,
+        connections: 8,
+        feedback_rate: rate,
+        batch_size: 512,
+        duration: Duration::from_secs_f64(secs),
+        assess_every: 4,
+        mix: PopulationMix::paper_mix(2_000, 1_000_000, 42),
+    };
+    eprintln!("edge-soak: offering {rate} feedbacks/s for {secs}s");
+    let outcome = runner::run(&load);
+
+    // Quiesce: shard queues drain asynchronously after the last request.
+    let service = edge.service().expect("service after ready");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let stats = service.stats();
+        if stats.shard_queue_depths.iter().all(|&d| d == 0)
+            && stats.ingested_feedbacks + stats.shed_feedbacks
+                >= outcome.feedbacks_accepted + outcome.feedbacks_shed
+        {
+            break stats;
+        }
+        if Instant::now() > deadline {
+            fail("shard queues never quiesced");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // Exact accounting, three ways.
+    if stats.ingested_feedbacks != outcome.feedbacks_accepted {
+        fail(&format!(
+            "accepted mismatch: client saw {}, service counted {}",
+            outcome.feedbacks_accepted, stats.ingested_feedbacks
+        ));
+    }
+    if stats.shed_feedbacks != outcome.feedbacks_shed {
+        fail(&format!(
+            "shed mismatch: client saw {}, service counted {}",
+            outcome.feedbacks_shed, stats.shed_feedbacks
+        ));
+    }
+    let exposition = probe.get("/metrics").expect("/metrics").body;
+    let prom_ingested = prom_sum(&exposition, "hp_feedbacks_ingested_total");
+    let prom_shed = prom_sum(&exposition, "hp_feedbacks_shed_total");
+    if prom_ingested != outcome.feedbacks_accepted || prom_shed != outcome.feedbacks_shed {
+        fail(&format!(
+            "/metrics mismatch: ingested {prom_ingested} vs {}, shed {prom_shed} vs {}",
+            outcome.feedbacks_accepted, outcome.feedbacks_shed
+        ));
+    }
+    let prom_degraded = prom_sum(&exposition, "hp_degraded_answers_total");
+    if prom_degraded < outcome.assess_degraded {
+        fail(&format!(
+            "degraded undercount: client saw {}, /metrics has {prom_degraded}",
+            outcome.assess_degraded
+        ));
+    }
+    if outcome.errors > 0 {
+        fail(&format!("{} request errors during the soak", outcome.errors));
+    }
+
+    report::write(&out_path, &load, &outcome)
+        .unwrap_or_else(|e| fail(&format!("could not write report: {e}")));
+    eprintln!(
+        "edge-soak: OK — {:.0} feedbacks/s accepted, assess p99 {:.2} ms, {} shed, {} degraded (report: {})",
+        outcome.accepted_rate(),
+        outcome.assess_latency.quantile_ns(0.99) as f64 / 1e6,
+        outcome.feedbacks_shed,
+        outcome.assess_degraded,
+        out_path.display(),
+    );
+
+    drop(probe);
+    drop(service);
+    edge.drain();
+}

@@ -1,0 +1,82 @@
+//! The `hp-load` CLI: open-loop load against a running `hp-edge`.
+//!
+//! ```text
+//! hp-load --addr HOST:PORT [--rate FEEDBACKS_PER_SEC] [--duration-secs N]
+//!         [--connections N] [--batch-size N] [--servers N] [--clients N]
+//!         [--assess-every N] [--seed N] [--report PATH]
+//! ```
+
+use hp_load::{population::PopulationMix, report, runner, LoadConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hp-load --addr HOST:PORT [--rate N] [--duration-secs N] [--connections N]\n\
+         \x20              [--batch-size N] [--servers N] [--clients N] [--assess-every N]\n\
+         \x20              [--seed N] [--report PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut rate = 100_000.0f64;
+    let mut duration = Duration::from_secs(10);
+    let mut connections = 4usize;
+    let mut batch_size = 512usize;
+    let mut servers = 10_000u64;
+    let mut clients = 1_000_000u64;
+    let mut assess_every = 4usize;
+    let mut seed = 42u64;
+    let mut report_path: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
+            "--duration-secs" => {
+                duration = Duration::from_secs_f64(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--connections" => connections = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-size" => batch_size = value().parse().unwrap_or_else(|_| usage()),
+            "--servers" => servers = value().parse().unwrap_or_else(|_| usage()),
+            "--clients" => clients = value().parse().unwrap_or_else(|_| usage()),
+            "--assess-every" => assess_every = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--report" => report_path = Some(PathBuf::from(value())),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let config = LoadConfig {
+        addr,
+        connections,
+        feedback_rate: rate,
+        batch_size,
+        duration,
+        assess_every,
+        mix: PopulationMix::paper_mix(servers, clients, seed),
+    };
+    eprintln!(
+        "hp-load: {rate} feedbacks/s for {:.1}s over {connections} connections (batch {batch_size})",
+        duration.as_secs_f64(),
+    );
+    let outcome = runner::run(&config);
+    let text = report::render(&config, &outcome);
+    if let Some(path) = report_path {
+        if let Err(e) = report::write(&path, &config, &outcome) {
+            eprintln!("hp-load: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("hp-load: report written to {}", path.display());
+    }
+    println!("{text}");
+    if outcome.errors > 0 {
+        eprintln!("hp-load: {} request errors", outcome.errors);
+        std::process::exit(1);
+    }
+}

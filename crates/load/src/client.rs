@@ -1,0 +1,175 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, sufficient to
+//! drive `hp-edge` (and nothing else): one request in flight per
+//! connection, `Content-Length` bodies only.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// The body, asserting the expected status first.
+    ///
+    /// # Errors
+    ///
+    /// An `InvalidData` error naming the mismatched status.
+    pub fn expect_status(self, status: u16) -> io::Result<String> {
+        if self.status == status {
+            Ok(self.body)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected {status}, got {}: {}", self.status, self.body),
+            ))
+        }
+    }
+}
+
+/// A keep-alive connection to the edge. Transport errors poison the
+/// connection; the caller reconnects (the runner counts those).
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    read_timeout: Duration,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr`; the connection is opened lazily.
+    pub fn new(addr: SocketAddr, read_timeout: Duration) -> HttpClient {
+        HttpClient {
+            addr,
+            stream: None,
+            read_timeout,
+        }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the full response. On a transport
+    /// error the connection is dropped so the next call reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Connect, write, read, or response-framing errors.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let result = self.request_inner(method, path, body);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// `GET` sugar.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST` sugar.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.request("POST", path, body)
+    }
+
+    fn request_inner(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let stream = self.stream()?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: hp-edge\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response(stream)
+    }
+}
+
+/// Reads one response: status line, headers (only `content-length` and
+/// `connection` matter), then exactly the declared body.
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    let mut buf = Vec::with_capacity(512);
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+
+    let mut body = buf.split_off(head_end + 4);
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk)? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            n => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+    Ok(Response { status, body })
+}

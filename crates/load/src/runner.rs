@@ -1,0 +1,227 @@
+//! The open-loop load runner.
+//!
+//! Request send times are fixed on a schedule *before* the run starts:
+//! worker `w` of `C` sends its `k`-th request at
+//! `start + (w + k·C) · interval`, where `interval` is chosen so the
+//! whole fleet offers `feedback_rate` feedbacks per second. Latency is
+//! measured from the *scheduled* time to response completion, so a
+//! server that falls behind accumulates queueing delay in the recorded
+//! latencies instead of silently slowing the generator down — the
+//! classic coordinated-omission trap in closed-loop harnesses.
+//!
+//! Each worker owns a strided slice of the population
+//! ([`FeedbackStream::strided`]), its own keep-alive connection, and its
+//! own histograms; outcomes merge at the end.
+
+use crate::client::HttpClient;
+use crate::population::{FeedbackStream, PopulationMix};
+use hp_edge::wire;
+use hp_service::obs::{LatencyHistogram, LatencySnapshot};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// The edge to target.
+    pub addr: SocketAddr,
+    /// Concurrent connections (worker threads).
+    pub connections: usize,
+    /// Offered load in feedbacks per second across all connections.
+    pub feedback_rate: f64,
+    /// Feedbacks per ingest request (batching is how the harness
+    /// reaches hundreds of thousands of feedbacks/sec over a modest
+    /// request rate).
+    pub batch_size: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Issue one `GET /assess/{id}` probe per this many ingest requests
+    /// (`0` disables assess probes).
+    pub assess_every: usize,
+    /// The simulated population to replay.
+    pub mix: PopulationMix,
+}
+
+impl LoadConfig {
+    /// Per-worker gap between two of its scheduled requests.
+    fn worker_interval(&self) -> Duration {
+        let per_second = (self.feedback_rate / self.batch_size.max(1) as f64).max(0.001);
+        Duration::from_secs_f64(self.connections.max(1) as f64 / per_second)
+    }
+}
+
+/// What one run observed, client-side.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOutcome {
+    /// Feedbacks offered (sent in request bodies).
+    pub feedbacks_sent: u64,
+    /// Feedbacks the service reported accepted.
+    pub feedbacks_accepted: u64,
+    /// Feedbacks the service reported shed (backpressure).
+    pub feedbacks_shed: u64,
+    /// Ingest requests completed (any status).
+    pub ingest_requests: u64,
+    /// Ingest requests answered `429` (shedding).
+    pub ingest_rejections: u64,
+    /// Assess probes completed with `200`.
+    pub assess_requests: u64,
+    /// Assess probes answered from the degraded path.
+    pub assess_degraded: u64,
+    /// Transport errors / unexpected statuses (connection re-opened).
+    pub errors: u64,
+    /// Requests that missed their schedule by more than one interval
+    /// when they were sent (generator fell behind; the latency they
+    /// recorded still includes that delay).
+    pub late_sends: u64,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+    /// Ingest request latency (scheduled send → response complete).
+    pub ingest_latency: LatencySnapshot,
+    /// Assess probe latency.
+    pub assess_latency: LatencySnapshot,
+}
+
+impl LoadOutcome {
+    fn merge(&mut self, other: &LoadOutcome) {
+        self.feedbacks_sent += other.feedbacks_sent;
+        self.feedbacks_accepted += other.feedbacks_accepted;
+        self.feedbacks_shed += other.feedbacks_shed;
+        self.ingest_requests += other.ingest_requests;
+        self.ingest_rejections += other.ingest_rejections;
+        self.assess_requests += other.assess_requests;
+        self.assess_degraded += other.assess_degraded;
+        self.errors += other.errors;
+        self.late_sends += other.late_sends;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.ingest_latency.merge(&other.ingest_latency);
+        self.assess_latency.merge(&other.assess_latency);
+    }
+
+    /// Accepted feedbacks per second of wall-clock run time.
+    pub fn accepted_rate(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.feedbacks_accepted as f64 / secs
+        }
+    }
+}
+
+/// Runs the configured load and merges every worker's observations.
+pub fn run(config: &LoadConfig) -> LoadOutcome {
+    let connections = config.connections.max(1);
+    let start = Instant::now() + Duration::from_millis(20);
+    let workers: Vec<_> = (0..connections)
+        .map(|w| {
+            let config = config.clone();
+            std::thread::spawn(move || worker(&config, w, start))
+        })
+        .collect();
+    let mut outcome = LoadOutcome::default();
+    for handle in workers {
+        if let Ok(per_worker) = handle.join() {
+            outcome.merge(&per_worker);
+        }
+    }
+    outcome
+}
+
+fn worker(config: &LoadConfig, index: usize, start: Instant) -> LoadOutcome {
+    let interval = config.worker_interval();
+    let mut stream = FeedbackStream::strided(
+        config.mix.clone(),
+        index as u64,
+        config.connections.max(1) as u64,
+    );
+    let mut client = HttpClient::new(config.addr, Duration::from_secs(30));
+    let ingest_hist = LatencyHistogram::default();
+    let assess_hist = LatencyHistogram::default();
+    let mut outcome = LoadOutcome::default();
+    let mut batch = Vec::with_capacity(config.batch_size);
+    let mut body = String::with_capacity(config.batch_size * 24);
+
+    let offset = interval.mul_f64(index as f64 / config.connections.max(1) as f64);
+    let mut k: u64 = 0;
+    loop {
+        let scheduled = start + offset + interval.mul_f64(k as f64);
+        if scheduled.duration_since(start) >= config.duration {
+            break;
+        }
+        k += 1;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        } else if now.duration_since(scheduled) > interval {
+            outcome.late_sends += 1;
+        }
+
+        // Ingest request for this slot.
+        stream.next_batch(config.batch_size, &mut batch);
+        body.clear();
+        for feedback in &batch {
+            wire::render_feedback_line(&mut body, feedback);
+        }
+        outcome.feedbacks_sent += batch.len() as u64;
+        match client.post("/ingest", body.as_bytes()) {
+            Ok(response) if response.status == 200 || response.status == 429 => {
+                ingest_hist.record_ns(elapsed_ns_since(scheduled));
+                outcome.ingest_requests += 1;
+                if response.status == 429 {
+                    outcome.ingest_rejections += 1;
+                }
+                outcome.feedbacks_accepted +=
+                    wire::json_u64(&response.body, "accepted").unwrap_or(0);
+                outcome.feedbacks_shed += wire::json_u64(&response.body, "shed").unwrap_or(0);
+            }
+            Ok(_) | Err(_) => outcome.errors += 1,
+        }
+
+        // Interleaved assess probe.
+        if config.assess_every > 0 && k.is_multiple_of(config.assess_every as u64) {
+            if let Some(server) = stream.touched_server(k) {
+                let probe_start = Instant::now();
+                match client.get(&format!("/assess/{}", server.value())) {
+                    Ok(response) if response.status == 200 => {
+                        assess_hist.record_ns(probe_start.elapsed().as_nanos() as u64);
+                        outcome.assess_requests += 1;
+                        if wire::json_raw(&response.body, "degraded") == Some("true") {
+                            outcome.assess_degraded += 1;
+                        }
+                    }
+                    Ok(_) | Err(_) => outcome.errors += 1,
+                }
+            }
+        }
+    }
+
+    outcome.elapsed = start.elapsed();
+    outcome.ingest_latency = ingest_hist.snapshot();
+    outcome.assess_latency = assess_hist.snapshot();
+    outcome
+}
+
+fn elapsed_ns_since(scheduled: Instant) -> u64 {
+    Instant::now().duration_since(scheduled).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_interval_spreads_the_fleet_rate() {
+        let config = LoadConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            connections: 4,
+            feedback_rate: 100_000.0,
+            batch_size: 500,
+            duration: Duration::from_secs(1),
+            assess_every: 10,
+            mix: PopulationMix::paper_mix(10, 100, 1),
+        };
+        // 100k feedbacks/s at 500/request = 200 req/s fleet-wide; each
+        // of the 4 workers sends every 20 ms.
+        assert_eq!(config.worker_interval(), Duration::from_millis(20));
+    }
+}

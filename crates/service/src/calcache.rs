@@ -1,0 +1,255 @@
+//! Persisted calibration cache: write-on-shutdown, load-at-boot.
+//!
+//! Monte-Carlo threshold calibration is the dominant cost of a cold
+//! assessment (the ROADMAP "calibration wall"); persisting the calibrated
+//! thresholds means a warm restart never repeats a Monte-Carlo job this
+//! deployment has already run. The file is a *cache*, never a source of
+//! truth: it is keyed by the calibrator's
+//! [`fingerprint`](hp_stats::ThresholdCalibrator::fingerprint) — the seed
+//! and every configuration knob that determines what thresholds *are* —
+//! and a file recorded under a different fingerprint is ignored wholesale,
+//! so a configuration change silently falls back to online calibration
+//! instead of serving thresholds from a different distribution.
+//!
+//! # Format
+//!
+//! Line-oriented text, one header then one entry per line:
+//!
+//! ```text
+//! hpcal 1 <fingerprint as 16 hex digits>
+//! <m> <k> <p_bucket_index> <confidence_millis> <epsilon as f64 bits, 16 hex digits>
+//! ```
+//!
+//! ε is stored as raw IEEE-754 bits, so a load → save → load round trip is
+//! bit-exact and warm verdicts stay bit-identical to cold ones. Writes go
+//! through a temporary file renamed into place, so a crash mid-save leaves
+//! the previous cache intact. Individually malformed entry lines are
+//! skipped (and counted), never fatal: losing one cache line costs one
+//! recalibration, not a boot.
+
+use hp_stats::{CalibrationEntry, ThresholdCalibrator};
+use std::fs;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// File format version this module reads and writes.
+const VERSION: u32 = 1;
+
+/// What loading a persisted cache found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheLoad {
+    /// Entries installed into the live calibrator.
+    pub installed: usize,
+    /// Malformed or rejected entry lines skipped.
+    pub skipped: usize,
+    /// The file existed but was recorded under a different fingerprint
+    /// (configuration or seed changed) and was ignored wholesale.
+    pub stale: bool,
+}
+
+/// Loads `path` into `calibrator` if it exists and its fingerprint
+/// matches. A missing file is a cold boot, not an error.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error only when the file exists but cannot
+/// be read; content problems degrade to `skipped`/`stale` instead.
+pub fn load(path: &Path, calibrator: &ThresholdCalibrator) -> io::Result<CacheLoad> {
+    let file = match fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(CacheLoad::default()),
+        Err(e) => return Err(e),
+    };
+    let mut lines = BufReader::new(file).lines();
+    let header = match lines.next() {
+        Some(line) => line?,
+        None => return Ok(CacheLoad::default()),
+    };
+    if !header_matches(&header, calibrator.fingerprint()) {
+        return Ok(CacheLoad {
+            stale: true,
+            ..CacheLoad::default()
+        });
+    }
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        match parse_entry(&line) {
+            Some(entry) => entries.push(entry),
+            None => skipped += 1,
+        }
+    }
+    let offered = entries.len();
+    let installed = calibrator.preload_cache(entries);
+    Ok(CacheLoad {
+        installed,
+        skipped: skipped + (offered - installed),
+        stale: false,
+    })
+}
+
+/// Saves `calibrator`'s cache to `path` (creating parent directories),
+/// atomically via a temporary sibling file. Returns the entry count.
+///
+/// # Errors
+///
+/// Propagates I/O failures from create/write/rename.
+pub fn save(path: &Path, calibrator: &ThresholdCalibrator) -> io::Result<usize> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let entries = calibrator.export_cache();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut out = BufWriter::new(fs::File::create(&tmp)?);
+        writeln!(out, "hpcal {VERSION} {:016x}", calibrator.fingerprint())?;
+        for e in &entries {
+            writeln!(
+                out,
+                "{} {} {} {} {:016x}",
+                e.m,
+                e.k,
+                e.p_bucket_index,
+                e.confidence_millis,
+                e.epsilon.to_bits()
+            )?;
+        }
+        out.flush()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(entries.len())
+}
+
+fn header_matches(header: &str, fingerprint: u64) -> bool {
+    let mut parts = header.split_ascii_whitespace();
+    parts.next() == Some("hpcal")
+        && parts.next().and_then(|v| v.parse::<u32>().ok()) == Some(VERSION)
+        && parts.next().and_then(|f| u64::from_str_radix(f, 16).ok()) == Some(fingerprint)
+        && parts.next().is_none()
+}
+
+fn parse_entry(line: &str) -> Option<CalibrationEntry> {
+    let mut parts = line.split_ascii_whitespace();
+    let entry = CalibrationEntry {
+        m: parts.next()?.parse().ok()?,
+        k: parts.next()?.parse().ok()?,
+        p_bucket_index: parts.next()?.parse().ok()?,
+        confidence_millis: parts.next()?.parse().ok()?,
+        epsilon: f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?),
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_stats::{CalibrationConfig, ThresholdCalibrator};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hp-calcache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn calibrator(trials: usize) -> ThresholdCalibrator {
+        ThresholdCalibrator::new(CalibrationConfig {
+            trials,
+            ..CalibrationConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("cal.hpcal");
+        let cold = calibrator(300);
+        let a = cold.threshold(10, 30, 0.9).unwrap();
+        let b = cold.threshold(10, 60, 0.95).unwrap();
+        assert_eq!(save(&path, &cold).unwrap(), 2);
+
+        let warm = calibrator(300);
+        let loaded = load(&path, &warm).unwrap();
+        assert_eq!(loaded, CacheLoad { installed: 2, skipped: 0, stale: false });
+        assert_eq!(warm.threshold(10, 30, 0.9).unwrap().to_bits(), a.to_bits());
+        assert_eq!(warm.threshold(10, 60, 0.95).unwrap().to_bits(), b.to_bits());
+        assert_eq!(warm.cache_stats(), (2, 0), "no Monte-Carlo on a warm boot");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_boot() {
+        let dir = tmp_dir("missing");
+        let loaded = load(&dir.join("nope.hpcal"), &calibrator(300)).unwrap();
+        assert_eq!(loaded, CacheLoad::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_ignores_the_file() {
+        let dir = tmp_dir("stale");
+        let path = dir.join("cal.hpcal");
+        let cold = calibrator(300);
+        cold.threshold(10, 30, 0.9).unwrap();
+        save(&path, &cold).unwrap();
+
+        // Different trial count ⇒ different thresholds ⇒ stale file.
+        let reconfigured = calibrator(400);
+        let loaded = load(&path, &reconfigured).unwrap();
+        assert!(loaded.stale);
+        assert_eq!(loaded.installed, 0);
+        assert_eq!(reconfigured.cache_len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_lines_are_skipped_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("cal.hpcal");
+        let cold = calibrator(300);
+        cold.threshold(10, 30, 0.9).unwrap();
+        cold.threshold(10, 60, 0.9).unwrap();
+        save(&path, &cold).unwrap();
+
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("totally not an entry\n");
+        text.push_str("1 2 3\n"); // too few fields
+        fs::write(&path, text).unwrap();
+
+        let warm = calibrator(300);
+        let loaded = load(&path, &warm).unwrap();
+        assert_eq!(loaded.installed, 2);
+        assert_eq!(loaded.skipped, 2);
+        assert!(!loaded.stale);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_is_atomic_and_overwrites() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("cal.hpcal");
+        let cal = calibrator(300);
+        cal.threshold(10, 30, 0.9).unwrap();
+        save(&path, &cal).unwrap();
+        cal.threshold(10, 60, 0.9).unwrap();
+        assert_eq!(save(&path, &cal).unwrap(), 2);
+        assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+        let warm = calibrator(300);
+        assert_eq!(load(&path, &warm).unwrap().installed, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -151,6 +151,12 @@ pub struct ServiceConfig {
     /// start). Safe to vary per deployment: chunked calibration RNG makes
     /// thresholds bit-identical at every thread count.
     calibration_threads: Option<usize>,
+    /// Where the calibration cache is persisted across restarts (`None`
+    /// disables persistence). Loaded before pre-warm at boot, written on
+    /// graceful shutdown, keyed by the calibrator fingerprint so a
+    /// configuration change invalidates the file instead of serving
+    /// thresholds calibrated under different knobs.
+    calibration_cache: Option<PathBuf>,
     ingest_policy: IngestPolicy,
     durability: Durability,
     supervision: SupervisionConfig,
@@ -174,6 +180,7 @@ impl Default for ServiceConfig {
             prewarm_lengths: vec![200, 800, 2000],
             prewarm_p_hats: vec![0.8, 0.9, 0.95],
             calibration_threads: None,
+            calibration_cache: None,
             ingest_policy: IngestPolicy::default(),
             durability: Durability::default(),
             supervision: SupervisionConfig::default(),
@@ -243,6 +250,19 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_calibration_threads(mut self, threads: Option<usize>) -> Self {
         self.calibration_threads = threads;
+        self
+    }
+
+    /// Persists the calibration cache at this path (builder style):
+    /// loaded before pre-warm when the service starts, written when it
+    /// shuts down gracefully (or via
+    /// [`crate::ReputationService::save_calibration`]). A warm restart
+    /// then never repeats a Monte-Carlo calibration this deployment has
+    /// already run — and because cached thresholds round-trip bit-exactly,
+    /// warm verdicts stay bit-identical to cold ones.
+    #[must_use]
+    pub fn with_calibration_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.calibration_cache = Some(path.into());
         self
     }
 
@@ -342,6 +362,11 @@ impl ServiceConfig {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         });
         self.test.clone().with_calibration_threads(threads)
+    }
+
+    /// Where the calibration cache persists across restarts, if anywhere.
+    pub fn calibration_cache(&self) -> Option<&std::path::Path> {
+        self.calibration_cache.as_deref()
     }
 
     /// The full-queue policy applied by `ingest_batch`.

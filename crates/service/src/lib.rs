@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calcache;
 mod config;
 mod faults;
 pub mod journal;

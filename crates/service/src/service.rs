@@ -256,6 +256,15 @@ impl ReputationService {
         let effective_test = config.effective_test();
         let calibrator = shared_calibrator(&effective_test)?;
 
+        // Load the persisted calibration cache (if configured) *before*
+        // pre-warming: on a warm restart the grid below then answers from
+        // the loaded entries and no Monte-Carlo job runs at all. A
+        // missing, stale, or partly corrupt file degrades to online
+        // calibration — the file is a cache, never a source of truth.
+        if let Some(path) = config.calibration_cache() {
+            let _ = crate::calcache::load(path, &calibrator);
+        }
+
         // Pre-warm: evaluating a synthetic honest history of length n at
         // quality p requests exactly the (m, k, p̂-bucket, confidence)
         // threshold entries that live traffic with similar histories will
@@ -681,14 +690,41 @@ impl ReputationService {
             .set_calibration(self.calibrator.cache_len() as u64, hits, misses);
     }
 
+    /// Writes the calibration cache to the configured
+    /// [`ServiceConfig::with_calibration_cache`] path, returning how many
+    /// thresholds were persisted (`Ok(0)` when no path is configured).
+    ///
+    /// [`Self::shutdown`] calls this automatically; exposing it lets an
+    /// edge front-end (or an operator endpoint) checkpoint the cache
+    /// while the service keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Journal`] when the file cannot be written.
+    pub fn save_calibration(&self) -> Result<usize, ServiceError> {
+        match self.config.calibration_cache() {
+            Some(path) => {
+                crate::calcache::save(path, &self.calibrator).map_err(|e| {
+                    ServiceError::Journal {
+                        reason: format!("save calibration cache {}: {e}", path.display()),
+                    }
+                })
+            }
+            None => Ok(0),
+        }
+    }
+
     /// Shuts the service down gracefully: every shard serves the
     /// commands already queued (journaling queued ingests), flushes its
-    /// journal, and joins. Acknowledged feedback is never lost to a
-    /// shutdown; with a durable journal it survives to the next start.
+    /// journal, and joins; the calibration cache is persisted if a path
+    /// is configured. Acknowledged feedback is never lost to a shutdown;
+    /// with a durable journal it survives to the next start.
     ///
-    /// Dropping the service performs the same drain — this method just
-    /// makes the point explicit and lets callers sequence it.
+    /// Dropping the service performs the same drain (but not the
+    /// calibration save) — this method makes the sequence explicit.
     pub fn shutdown(mut self) {
+        // Best-effort: a full disk must not block the drain below.
+        let _ = self.save_calibration();
         for handle in &mut self.shards {
             handle.shutdown();
         }

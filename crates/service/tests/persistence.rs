@@ -1,0 +1,133 @@
+//! Calibration-cache persistence: a warm service restart must never
+//! recalibrate online, and warm verdicts must stay bit-identical to cold
+//! ones (the persisted thresholds round-trip as raw f64 bits).
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::{ReputationService, ServiceConfig};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hp-persistence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(cache: PathBuf) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_shards(2)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(300)
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![200, 400], vec![0.9])
+        .with_calibration_threads(Some(1))
+        .with_calibration_cache(cache)
+}
+
+fn feedbacks(server: ServerId, n: u64) -> Vec<Feedback> {
+    (0..n)
+        .map(|t| {
+            Feedback::new(t, server, ClientId::new(t % 7), Rating::from_good(t % 13 != 0))
+        })
+        .collect()
+}
+
+#[test]
+fn warm_restart_never_recalibrates_and_verdicts_are_bit_identical() {
+    let dir = tmp_dir("warm");
+    let cache = dir.join("calibration.hpcal");
+
+    // Cold boot: pre-warm calibrates online and the shutdown persists it.
+    let cold = ReputationService::new(config(cache.clone())).unwrap();
+    let server = ServerId::new(77);
+    cold.ingest_batch(feedbacks(server, 500)).unwrap();
+    let cold_verdict = cold.assess(server).unwrap();
+    let cold_stats = cold.stats();
+    assert!(
+        cold_stats.calibration_cache_misses > 0,
+        "cold boot must calibrate online"
+    );
+    let entries = cold_stats.calibration_cache_entries;
+    assert!(entries > 0);
+    cold.shutdown();
+    assert!(cache.exists(), "shutdown persists the calibration cache");
+
+    // Warm boot: the same pre-warm grid and the same assessments answer
+    // entirely from the persisted cache — zero Monte-Carlo jobs.
+    let warm = ReputationService::new(config(cache.clone())).unwrap();
+    warm.ingest_batch(feedbacks(server, 500)).unwrap();
+    let warm_verdict = warm.assess(server).unwrap();
+    let warm_stats = warm.stats();
+    assert_eq!(
+        warm_stats.calibration_cache_misses, 0,
+        "a warm restart must never recalibrate online"
+    );
+    assert!(warm_stats.calibration_cache_hits > 0);
+    assert_eq!(warm_stats.calibration_cache_entries, entries);
+    assert_eq!(
+        *warm_verdict, *cold_verdict,
+        "warm verdicts must be bit-identical to cold ones"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn save_calibration_checkpoints_without_shutdown() {
+    let dir = tmp_dir("checkpoint");
+    let cache = dir.join("calibration.hpcal");
+    let service = ReputationService::new(config(cache.clone())).unwrap();
+    let persisted = service.save_calibration().unwrap();
+    assert!(persisted > 0, "pre-warm populated entries to persist");
+    assert!(cache.exists());
+    // The service keeps serving after a checkpoint.
+    let server = ServerId::new(5);
+    service.ingest_batch(feedbacks(server, 300)).unwrap();
+    assert!(service.assess(server).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reconfigured_service_ignores_a_stale_cache() {
+    let dir = tmp_dir("stale");
+    let cache = dir.join("calibration.hpcal");
+    let cold = ReputationService::new(config(cache.clone())).unwrap();
+    cold.shutdown();
+
+    // More trials ⇒ different thresholds ⇒ the persisted file must be
+    // ignored, not served.
+    let reconfigured = config(cache.clone()).with_test(
+        BehaviorTestConfig::builder()
+            .calibration_trials(400)
+            .build()
+            .unwrap(),
+    );
+    let service = ReputationService::new(reconfigured).unwrap();
+    let stats = service.stats();
+    assert!(
+        stats.calibration_cache_misses > 0,
+        "a stale cache must not suppress recalibration"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unconfigured_service_saves_nothing() {
+    let plain = ServiceConfig::default()
+        .with_shards(1)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(200)
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![], vec![]);
+    let service = ReputationService::new(plain).unwrap();
+    assert_eq!(service.save_calibration().unwrap(), 0);
+}

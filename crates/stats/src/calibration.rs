@@ -125,6 +125,27 @@ struct CacheKey {
     confidence_millis: u32,
 }
 
+/// One exported threshold-cache entry: the quantized key a threshold was
+/// calibrated under plus the threshold itself, bit-exact.
+///
+/// Exported by [`ThresholdCalibrator::export_cache`] and accepted back by
+/// [`ThresholdCalibrator::preload_cache`], so a calibration cache can be
+/// persisted across process restarts and a warm restart never repeats a
+/// Monte-Carlo job it has already run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationEntry {
+    /// Window size `m` of the binomial model.
+    pub m: u32,
+    /// Sample-set size `k` (complete windows).
+    pub k: usize,
+    /// Quantized p̂ bucket index (`round(p̂ / p_bucket)`).
+    pub p_bucket_index: u32,
+    /// Quantized confidence (`round(confidence · 100000)`).
+    pub confidence_millis: u32,
+    /// The calibrated threshold ε.
+    pub epsilon: f64,
+}
+
 /// Calibrates and caches goodness-of-fit thresholds.
 ///
 /// # Examples
@@ -190,6 +211,77 @@ impl ThresholdCalibrator {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// A stable fingerprint of everything that determines what this
+    /// calibrator's thresholds *are*: the Monte-Carlo seed, trial floor,
+    /// confidence, p̂ bucket width, distance metric, and large-`k` cutoff.
+    ///
+    /// Two calibrators with equal fingerprints produce bit-identical
+    /// thresholds for every key, so a persisted cache is valid exactly
+    /// when its recorded fingerprint matches. Thread count and the serial
+    /// cutoff are deliberately excluded: chunked RNG streams make them
+    /// pure performance knobs that never change a threshold.
+    pub fn fingerprint(&self) -> u64 {
+        let c = &self.config;
+        let mut fp = derive_seed(0x4650_4341_4C31, self.seed); // "FPCAL1"
+        fp = derive_seed(fp, c.trials as u64);
+        fp = derive_seed(fp, c.confidence.to_bits());
+        fp = derive_seed(fp, c.p_bucket.to_bits());
+        fp = derive_seed(fp, c.distance as u64);
+        fp = derive_seed(fp, c.large_k_cutoff as u64);
+        fp
+    }
+
+    /// Exports every cached threshold, sorted by key so the output is
+    /// deterministic regardless of insertion order.
+    pub fn export_cache(&self) -> Vec<CalibrationEntry> {
+        let cache = self.cache.read();
+        let mut entries: Vec<CalibrationEntry> = cache
+            .iter()
+            .map(|(key, &epsilon)| CalibrationEntry {
+                m: key.m,
+                k: key.k,
+                p_bucket_index: key.p_bucket_index,
+                confidence_millis: key.confidence_millis,
+                epsilon,
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.m, e.k, e.p_bucket_index, e.confidence_millis));
+        entries
+    }
+
+    /// Seeds the cache with previously exported entries (e.g. loaded from
+    /// disk at boot), returning how many were installed. Entries with a
+    /// non-finite or negative ε are rejected; an entry already present is
+    /// left untouched (the live value was calibrated by this process and
+    /// is equally authoritative).
+    ///
+    /// Preloading only makes sense from a calibrator with the same
+    /// [`Self::fingerprint`]; callers own that check — this method trusts
+    /// its input.
+    pub fn preload_cache(
+        &self,
+        entries: impl IntoIterator<Item = CalibrationEntry>,
+    ) -> usize {
+        let mut cache = self.cache.write();
+        let mut installed = 0;
+        for e in entries {
+            if !e.epsilon.is_finite() || e.epsilon < 0.0 {
+                continue;
+            }
+            let key = CacheKey {
+                m: e.m,
+                k: e.k,
+                p_bucket_index: e.p_bucket_index,
+                confidence_millis: e.confidence_millis,
+            };
+            cache.entry(key).or_insert_with(|| {
+                installed += 1;
+                e.epsilon
+            });
+        }
+        installed
     }
 
     /// Threshold ε such that `confidence` of honest sample-sets of `k`
@@ -634,6 +726,66 @@ mod tests {
         .unwrap()
         .with_seed(11);
         assert_eq!(cutoff.distance_samples(10, 80, 0.9).unwrap(), reference);
+    }
+
+    #[test]
+    fn export_preload_round_trip_is_bit_exact() {
+        let cal = calibrator(300).with_seed(5);
+        let a = cal.threshold(10, 30, 0.9).unwrap();
+        let b = cal.threshold(12, 50, 0.85).unwrap();
+        let exported = cal.export_cache();
+        assert_eq!(exported.len(), 2);
+
+        let warm = calibrator(300).with_seed(5);
+        assert_eq!(warm.preload_cache(exported.clone()), 2);
+        assert_eq!(warm.cache_len(), 2);
+        // Preloaded thresholds answer without a Monte-Carlo run and are
+        // bit-identical to the originals.
+        assert_eq!(warm.threshold(10, 30, 0.9).unwrap().to_bits(), a.to_bits());
+        assert_eq!(warm.threshold(12, 50, 0.85).unwrap().to_bits(), b.to_bits());
+        assert_eq!(warm.cache_stats(), (2, 0), "warm lookups never calibrate");
+
+        // Export order is deterministic (sorted by key).
+        let again = warm.export_cache();
+        assert_eq!(again, exported);
+    }
+
+    #[test]
+    fn preload_rejects_garbage_and_keeps_live_entries() {
+        let cal = calibrator(300);
+        let live = cal.threshold(10, 30, 0.9).unwrap();
+        let exported = cal.export_cache();
+        let mut tampered = exported[0];
+        tampered.epsilon = f64::NAN;
+        assert_eq!(cal.preload_cache(vec![tampered]), 0, "NaN rejected");
+        let mut stale = exported[0];
+        stale.epsilon = live + 1.0;
+        assert_eq!(cal.preload_cache(vec![stale]), 0, "live entry wins");
+        assert_eq!(cal.threshold(10, 30, 0.9).unwrap().to_bits(), live.to_bits());
+    }
+
+    #[test]
+    fn fingerprint_tracks_threshold_determining_knobs_only() {
+        let base = CalibrationConfig::default();
+        let fp = |cfg: CalibrationConfig, seed: u64| {
+            ThresholdCalibrator::new(cfg).unwrap().with_seed(seed).fingerprint()
+        };
+        let reference = fp(base, 1);
+        assert_eq!(fp(base, 1), reference, "fingerprint is stable");
+        assert_ne!(fp(base, 2), reference, "seed changes thresholds");
+        assert_ne!(
+            fp(CalibrationConfig { trials: 4000, ..base }, 1),
+            reference
+        );
+        assert_ne!(
+            fp(CalibrationConfig { confidence: 0.99, ..base }, 1),
+            reference
+        );
+        // Pure performance knobs never invalidate a persisted cache.
+        assert_eq!(
+            fp(CalibrationConfig { threads: 8, serial_cutoff: 0, ..base }, 1),
+            reference
+        );
     }
 
     #[test]

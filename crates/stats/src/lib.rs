@@ -52,7 +52,7 @@ pub mod stream;
 pub use bernoulli::Bernoulli;
 pub use beta_dist::BetaDist;
 pub use binomial::Binomial;
-pub use calibration::{CalibrationConfig, ThresholdCalibrator};
+pub use calibration::{CalibrationConfig, CalibrationEntry, ThresholdCalibrator};
 pub use chisq::ChiSquared;
 pub use ci::{binomial_test, wilson_interval, TestSide};
 pub use distance::DistanceKind;
