@@ -121,6 +121,45 @@ print(
 )
 PYEOF
 
+echo "==> recovery bench (writes experiments/out/bench_recovery.json)"
+if [ "$QUICK" -eq 0 ]; then
+    cargo bench --offline -p hp-bench --bench recovery >/dev/null
+else
+    echo "    (skipped: --quick; gate checks the existing json)"
+fi
+
+echo "==> snapshot-boot recovery gate (bench json vs committed baseline)"
+REC_JSON=experiments/out/bench_recovery.json
+REC_BASE=experiments/baselines/bench_recovery_baseline.json
+[ -f "$REC_JSON" ] || { echo "missing $REC_JSON (run: cargo bench -p hp-bench --bench recovery)"; exit 1; }
+[ -f "$REC_BASE" ] || { echo "missing $REC_BASE"; exit 1; }
+python3 - "$REC_JSON" "$REC_BASE" <<'PYEOF'
+import json, sys
+gate = json.load(open(sys.argv[1]))["gate"]
+base = json.load(open(sys.argv[2]))["gate"]
+if gate["len"] != base["len"]:
+    sys.exit(f"gate measured at {gate['len']} records, baseline expects {base['len']}")
+if gate["snapshot_restart_speedup"] < base["min_snapshot_restart_speedup"]:
+    sys.exit(
+        f"snapshot-boot recovery regression: {gate['snapshot_restart_speedup']}x "
+        f"over full replay at {gate['len']} records fell below the "
+        f"{base['min_snapshot_restart_speedup']}x floor "
+        f"({gate['snapshot_boot_ms']} ms vs {gate['full_replay_ms']} ms)"
+    )
+print(
+    f"    snapshot boot at {gate['len']} records: {gate['snapshot_boot_ms']} ms "
+    f"vs {gate['full_replay_ms']} ms full replay "
+    f"({gate['snapshot_restart_speedup']}x, floor {base['min_snapshot_restart_speedup']}x)"
+)
+PYEOF
+
+echo "==> kill-9 soak (SIGKILL hp-edge mid-ingest, restart on the same dir, verify bit-identical)"
+if [ "$QUICK" -eq 0 ]; then
+    cargo test --offline --release -p hp-edge --test kill9 -- --ignored
+else
+    echo "    (skipped: --quick)"
+fi
+
 echo "==> edge soak (hp-edge + hp-load over real sockets, writes experiments/out/bench_edge.json)"
 if [ "$QUICK" -eq 0 ]; then
     # Boots the service behind the HTTP edge on an ephemeral port and

@@ -18,14 +18,23 @@
 //! * `service_restart/len=*` — full `ReputationService::new` on an
 //!   existing journal directory (replay + fold); compare against
 //!   `service_restart/len=0` to isolate the recovery share from the
-//!   fixed calibration cost.
+//!   fixed calibration cost;
+//! * `service_restart_snapshot/len=*` — the same restart with a
+//!   checkpoint present, so boot loads the snapshot and replays only
+//!   the journal tail. The JSON carries a `gate` object with the
+//!   snapshot-boot/full-replay speedup at the largest length, which
+//!   `ci.sh` compares against
+//!   `experiments/baselines/bench_recovery_baseline.json`.
 
 use hp_core::testing::BehaviorTestConfig;
 use hp_core::{ClientId, Feedback, Rating, ServerId};
 use hp_service::journal::{read_journal, FileJournal, FsyncPolicy};
-use hp_service::{Durability, ReputationService, ServiceConfig};
+use hp_service::{
+    BootProgress, Durability, ReputationService, ServiceConfig, SnapshotPolicy,
+};
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 const APPEND_BATCH: usize = 1_024;
@@ -41,28 +50,46 @@ struct Row {
     min_ns: u128,
 }
 
-/// Times `routine` `samples` times (after one warm-up call) and collects
-/// percentile stats.
-fn measure<O>(name: &str, samples: usize, records: u64, mut routine: impl FnMut() -> O) -> Row {
-    black_box(routine());
-    let mut ns: Vec<u128> = (0..samples)
-        .map(|_| {
-            let t0 = Instant::now();
-            black_box(routine());
-            t0.elapsed().as_nanos()
-        })
-        .collect();
+fn row_from(name: &str, records: u64, mut ns: Vec<u128>) -> Row {
     ns.sort_unstable();
     let p = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
     Row {
         name: name.to_string(),
-        samples,
+        samples: ns.len(),
         records,
         mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
         p50_ns: p(0.50),
         p99_ns: p(0.99),
         min_ns: ns[0],
     }
+}
+
+/// Times `routine` `samples` times (after one warm-up call) and collects
+/// percentile stats.
+fn measure<O>(name: &str, samples: usize, records: u64, mut routine: impl FnMut() -> O) -> Row {
+    black_box(routine());
+    let ns: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    row_from(name, records, ns)
+}
+
+/// Like [`measure`], but the routine times its own interesting span, so
+/// per-sample teardown (service drain, which with snapshots enabled
+/// writes a checkpoint) stays outside the measurement.
+fn measure_span(
+    name: &str,
+    samples: usize,
+    records: u64,
+    mut routine: impl FnMut() -> std::time::Duration,
+) -> Row {
+    routine();
+    let ns: Vec<u128> = (0..samples).map(|_| routine().as_nanos()).collect();
+    row_from(name, records, ns)
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -93,8 +120,8 @@ fn print_row(row: &Row) {
     );
 }
 
-fn json(rows: &[Row]) -> String {
-    let mut out = String::from("[\n");
+fn json(rows: &[Row], gate: &str) -> String {
+    let mut out = String::from("{\"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let per_record = if row.records > 0 {
             format!(
@@ -117,8 +144,8 @@ fn json(rows: &[Row]) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push(']');
-    out.push('\n');
+    out.push_str("],\n");
+    out.push_str(&format!("\"gate\": {gate}}}\n"));
     out
 }
 
@@ -252,12 +279,72 @@ fn bench_recovery(rows: &mut Vec<Row>) {
             dir: dir.clone(),
             fsync: FsyncPolicy::Never,
         });
-        rows.push(measure(&format!("service_restart/len={len}"), 5, len as u64, || {
+        rows.push(measure_span(&format!("service_restart/len={len}"), 5, len as u64, || {
+            let t0 = Instant::now();
             let service = ReputationService::new(config.clone()).unwrap();
             // Barrier: recovery replay is complete once stats round-trips.
             assert_eq!(service.stats().journal_records, len as u64);
+            let boot = t0.elapsed();
             service.shutdown();
+            boot
         }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Restart with a checkpoint present: boot recovers from snapshot +
+/// journal tail instead of re-folding the whole journal. The journal is
+/// left uncompacted (`compact_journal: false`) so both this and the
+/// `service_restart` rows read the same on-disk journal; only the
+/// recovery path differs.
+fn bench_snapshot_restart(rows: &mut Vec<Row>) {
+    for &len in &[10_000usize, 100_000, 400_000] {
+        let dir = scratch_dir(&format!("recover-snap-{len}"));
+        write_journal(&dir.join("shard-0.hpj"), len);
+
+        let config = fast_config()
+            .with_durability(Durability::Durable {
+                dir: dir.clone(),
+                fsync: FsyncPolicy::Never,
+            })
+            .with_snapshots(SnapshotPolicy {
+                interval_records: 0,
+                retain: 2,
+                compact_journal: false,
+            });
+
+        // Seed the checkpoint: one full-replay boot, snapshot, drain.
+        {
+            let service = ReputationService::new(config.clone()).unwrap();
+            assert_eq!(service.stats().journal_records, len as u64);
+            let summary = service.checkpoint().unwrap();
+            assert_eq!(summary.shards_snapshotted, 1);
+            service.shutdown();
+        }
+
+        rows.push(measure_span(
+            &format!("service_restart_snapshot/len={len}"),
+            5,
+            len as u64,
+            || {
+                let t0 = Instant::now();
+                let boot = Arc::new(BootProgress::new());
+                let service =
+                    ReputationService::new_with_progress(config.clone(), Some(Arc::clone(&boot)))
+                        .unwrap();
+                assert_eq!(service.stats().journal_records, len as u64);
+                let elapsed = t0.elapsed();
+                assert_eq!(
+                    boot.status().snapshots_loaded,
+                    1,
+                    "snapshot-boot fell back to full replay"
+                );
+                // The drain below writes a fresh checkpoint; that is
+                // steady-state work, not recovery, so it stays untimed.
+                service.shutdown();
+                elapsed
+            },
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
@@ -268,10 +355,35 @@ fn main() {
     bench_journal_append(&mut rows);
     bench_ingest_overhead(&mut rows);
     bench_recovery(&mut rows);
+    bench_snapshot_restart(&mut rows);
     println!();
     for row in &rows {
         print_row(row);
     }
+
+    // Snapshot-boot speedup over full replay at the largest journal —
+    // the number ci.sh gates against the committed baseline.
+    let mean_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.mean_ns)
+            .expect("gate row missing")
+    };
+    let full = mean_of("service_restart/len=400000");
+    let snap = mean_of("service_restart_snapshot/len=400000");
+    let speedup = full as f64 / snap as f64;
+    let gate = format!(
+        "{{\"len\": 400000, \"full_replay_ms\": {:.2}, \"snapshot_boot_ms\": {:.2}, \
+         \"snapshot_restart_speedup\": {:.2}}}",
+        full as f64 / 1e6,
+        snap as f64 / 1e6,
+        speedup,
+    );
+    println!(
+        "\nsnapshot-boot at 400k records: {:.2}ms vs {:.2}ms full replay ({speedup:.1}x)",
+        snap as f64 / 1e6,
+        full as f64 / 1e6,
+    );
 
     // Cargo runs benches with the package as cwd; anchor the default
     // output at the workspace's experiments/out like the figure binaries.
@@ -282,6 +394,6 @@ fn main() {
         });
     std::fs::create_dir_all(&out_dir).expect("create bench output dir");
     let out = out_dir.join("bench_recovery.json");
-    std::fs::write(&out, json(&rows)).expect("write bench json");
+    std::fs::write(&out, json(&rows, &gate)).expect("write bench json");
     println!("\nwrote {}", out.display());
 }

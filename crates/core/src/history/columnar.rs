@@ -347,6 +347,44 @@ impl BitColumn {
     pub fn resident_bytes(&self) -> usize {
         (self.words.len() + self.word_prefix.len()) * 8
     }
+
+    /// The packed outcome words (least significant bit first within each
+    /// word) — the raw payload a snapshot serializes. Round-trips through
+    /// [`BitColumn::from_words`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a column from its packed words, recomputing the prefix
+    /// popcounts. The result is structurally identical to pushing the
+    /// same `len` outcomes one at a time.
+    ///
+    /// Returns `None` when `words` is not exactly `len.div_ceil(64)`
+    /// words long or a bit above `len` is set — a malformed or corrupted
+    /// snapshot must be rejected, never reinterpreted.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            let last = *words.last().expect("len > 0 implies at least one word");
+            if last >> (len % 64) != 0 {
+                return None;
+            }
+        }
+        let mut word_prefix = Vec::with_capacity(words.len());
+        let mut total = 0u64;
+        for &w in &words {
+            word_prefix.push(total);
+            total += u64::from(w.count_ones());
+        }
+        Some(BitColumn {
+            words,
+            word_prefix,
+            total,
+            len,
+        })
+    }
 }
 
 /// A dictionary-encoded issuer column with per-issuer postings.
@@ -475,6 +513,60 @@ impl IssuerColumn {
             + self.good_counts.len() * 4
             + self.dict.len() * 48
     }
+
+    /// The dictionary decode table, code order (snapshot payload).
+    pub fn clients(&self) -> &[ClientId] {
+        &self.clients
+    }
+
+    /// The per-transaction dictionary codes (snapshot payload).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Rebuilds a column from its dictionary and per-transaction codes,
+    /// restoring the posting lists and per-issuer good counts from
+    /// `outcomes` in one pass. The result is structurally identical to
+    /// pushing the same `(client, good)` sequence one at a time — but
+    /// without the per-push hash lookups, which is what makes snapshot
+    /// boot cheaper than journal replay.
+    ///
+    /// Returns `None` when the parts are inconsistent: a code out of
+    /// dictionary range, a repeated client, or `codes.len()` differing
+    /// from `outcomes.len()`.
+    pub fn from_parts(clients: Vec<ClientId>, codes: Vec<u32>, outcomes: &BitColumn) -> Option<Self> {
+        if codes.len() != outcomes.len() {
+            return None;
+        }
+        let mut dict = HashMap::with_capacity(clients.len());
+        for (code, &client) in clients.iter().enumerate() {
+            if dict.insert(client, code as u32).is_some() {
+                return None;
+            }
+        }
+        let mut sizes = vec![0u32; clients.len()];
+        for &code in &codes {
+            *sizes.get_mut(code as usize)? += 1;
+        }
+        let mut postings: Vec<Vec<u32>> = sizes
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        let mut good_counts = vec![0u32; clients.len()];
+        for (idx, &code) in codes.iter().enumerate() {
+            postings[code as usize].push(idx as u32);
+            if outcomes.get(idx) {
+                good_counts[code as usize] += 1;
+            }
+        }
+        Some(IssuerColumn {
+            codes,
+            dict,
+            clients,
+            postings,
+            good_counts,
+        })
+    }
 }
 
 /// A server's transaction history in columnar form — the single storage
@@ -602,6 +694,48 @@ impl ColumnarHistory {
         self.outcomes.resident_bytes()
             + self.issuers.resident_bytes()
             + self.times.as_ref().map_or(0, |t| t.len() * 8)
+    }
+
+    /// The packed outcome column (snapshot payload; round-trips through
+    /// [`ColumnarHistory::from_columns`]).
+    pub fn outcome_bits(&self) -> &BitColumn {
+        &self.outcomes
+    }
+
+    /// The issuer dictionary column (snapshot payload).
+    pub fn issuer_column(&self) -> &IssuerColumn {
+        &self.issuers
+    }
+
+    /// Reassembles a single-server history from snapshot columns,
+    /// without a timestamp column. The version stamp is restored to the
+    /// transaction count — exactly where a history built by `len` plain
+    /// pushes lands — so version-keyed caches behave identically on a
+    /// snapshot-booted replica.
+    ///
+    /// Returns `None` when the columns disagree on length or a non-empty
+    /// history arrives without its server.
+    pub fn from_columns(
+        server: Option<ServerId>,
+        outcomes: BitColumn,
+        issuers: IssuerColumn,
+    ) -> Option<Self> {
+        if outcomes.len() != issuers.len() {
+            return None;
+        }
+        if server.is_none() && !outcomes.is_empty() {
+            return None;
+        }
+        let version = outcomes.len() as u64;
+        Some(ColumnarHistory {
+            server: if outcomes.is_empty() { None } else { server },
+            outcomes,
+            issuers,
+            times: None,
+            mixed: false,
+            version,
+            reorder: Mutex::new(ReorderCache::default()),
+        })
     }
 
     /// Rebuilds the exact feedback records this history was fed.

@@ -68,6 +68,18 @@ impl AverageTrustState {
             TrustValue::saturating(good as f64 / total as f64)
         }
     }
+
+    /// The raw `(good, total)` counters (snapshot payload; round-trips
+    /// through [`AverageTrustState::from_raw_parts`]).
+    pub fn raw_parts(&self) -> (u64, u64) {
+        (self.good, self.total)
+    }
+
+    /// Rebuilds a state from its raw counters, or `None` when they are
+    /// inconsistent (`good > total` can never arise from updates).
+    pub fn from_raw_parts(good: u64, total: u64) -> Option<Self> {
+        (good <= total).then_some(AverageTrustState { good, total })
+    }
 }
 
 impl IncrementalTrust for AverageTrustState {
@@ -136,6 +148,29 @@ impl WeightedTrustState {
             s.update(history.outcome(i));
         }
         Ok(s)
+    }
+
+    /// The raw `(lambda, r, count)` fields. Serialize the floats via
+    /// `to_bits` so a snapshot round-trip through
+    /// [`WeightedTrustState::from_raw_parts`] is bit-exact.
+    pub fn raw_parts(&self) -> (f64, f64, u64) {
+        (self.lambda, self.r, self.count)
+    }
+
+    /// Rebuilds a state from its raw fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `lambda ∈ (0, 1]` and
+    /// `r` is finite — the only values updates can ever produce.
+    pub fn from_raw_parts(lambda: f64, r: f64, count: u64) -> Result<Self, CoreError> {
+        let _ = WeightedTrust::new(lambda)?;
+        if !r.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                reason: "weighted trust state r must be finite".into(),
+            });
+        }
+        Ok(WeightedTrustState { lambda, r, count })
     }
 }
 

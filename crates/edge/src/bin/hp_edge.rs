@@ -3,29 +3,54 @@
 //! ```text
 //! hp-edge [--addr HOST:PORT] [--workers N] [--shards N]
 //!         [--calibration-cache PATH] [--assess-deadline-ms N]
+//!         [--calibration-trials N]
+//!         [--journal-dir PATH] [--fsync never|batch|every:N]
+//!         [--snapshot-interval-records N] [--snapshot-retain N]
+//!         [--snapshot-no-compact] [--checkpoint-interval-ms N]
 //! ```
 //!
-//! The listener binds immediately; `/healthz` reports `warming` until
-//! shard spawn and calibration pre-warm finish (instant on a warm
-//! restart with a persisted calibration cache). SIGTERM or SIGINT
-//! triggers the graceful drain: stop accepting, finish in-flight
-//! requests, shut the shards down, persist the calibration cache.
+//! The listener binds immediately; `/healthz` reports `warming` (with
+//! recovery progress: snapshot loaded, records replayed / journal
+//! total) until shard spawn, journal recovery, and calibration pre-warm
+//! finish. SIGTERM or SIGINT triggers the graceful drain: stop
+//! accepting, finish in-flight requests, shut the shards down (taking a
+//! final snapshot when snapshots are enabled), persist the calibration
+//! cache.
 
 use hp_edge::{signals, EdgeConfig, EdgeServer};
-use hp_service::ServiceConfig;
+use hp_service::{Durability, FsyncPolicy, ServiceConfig, SnapshotPolicy};
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: hp-edge [--addr HOST:PORT] [--workers N] [--shards N]\n\
-         \x20              [--calibration-cache PATH] [--assess-deadline-ms N]"
+         \x20              [--calibration-cache PATH] [--assess-deadline-ms N]\n\
+         \x20              [--calibration-trials N]\n\
+         \x20              [--journal-dir PATH] [--fsync never|batch|every:N]\n\
+         \x20              [--snapshot-interval-records N] [--snapshot-retain N]\n\
+         \x20              [--snapshot-no-compact] [--checkpoint-interval-ms N]"
     );
     std::process::exit(2);
+}
+
+fn parse_fsync(raw: &str) -> Option<FsyncPolicy> {
+    match raw {
+        "never" => Some(FsyncPolicy::Never),
+        "batch" => Some(FsyncPolicy::EveryBatch),
+        _ => raw
+            .strip_prefix("every:")
+            .and_then(|n| n.parse().ok())
+            .map(FsyncPolicy::EveryN),
+    }
 }
 
 fn main() {
     let mut edge_config = EdgeConfig::default().with_addr("127.0.0.1:7300");
     let mut service_config = ServiceConfig::default();
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::default();
+    let mut snapshot_policy: Option<SnapshotPolicy> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -43,14 +68,67 @@ fn main() {
             "--calibration-cache" => {
                 service_config = service_config.with_calibration_cache(value());
             }
+            // Cheaper calibration (and no pre-warm grid) for soak tests
+            // that need fast boots; verdicts stay deterministic for a
+            // given trial count.
+            "--calibration-trials" => {
+                let trials: usize = value().parse().unwrap_or_else(|_| usage());
+                let test = hp_core::testing::BehaviorTestConfig::builder()
+                    .calibration_trials(trials)
+                    .build()
+                    .unwrap_or_else(|e| {
+                        eprintln!("hp-edge: bad calibration trials: {e}");
+                        std::process::exit(2);
+                    });
+                service_config = service_config
+                    .with_test(test)
+                    .with_prewarm_grid(vec![], vec![]);
+            }
             "--assess-deadline-ms" => {
                 let millis: u64 = value().parse().unwrap_or_else(|_| usage());
                 edge_config =
                     edge_config.with_assess_deadline(Some(Duration::from_millis(millis)));
             }
+            "--journal-dir" => journal_dir = Some(PathBuf::from(value())),
+            "--fsync" => fsync = parse_fsync(&value()).unwrap_or_else(|| usage()),
+            "--snapshot-interval-records" => {
+                let interval: u64 = value().parse().unwrap_or_else(|_| usage());
+                snapshot_policy = Some(SnapshotPolicy {
+                    interval_records: interval,
+                    ..snapshot_policy.unwrap_or_default()
+                });
+            }
+            "--snapshot-retain" => {
+                let retain: usize = value().parse().unwrap_or_else(|_| usage());
+                snapshot_policy = Some(SnapshotPolicy {
+                    retain,
+                    ..snapshot_policy.unwrap_or_default()
+                });
+            }
+            "--snapshot-no-compact" => {
+                snapshot_policy = Some(SnapshotPolicy {
+                    compact_journal: false,
+                    ..snapshot_policy.unwrap_or_default()
+                });
+            }
+            "--checkpoint-interval-ms" => {
+                let millis: u64 = value().parse().unwrap_or_else(|_| usage());
+                edge_config =
+                    edge_config.with_checkpoint_interval(Some(Duration::from_millis(millis)));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+
+    if let Some(dir) = journal_dir {
+        service_config = service_config.with_durability(Durability::Durable { dir, fsync });
+        if let Some(policy) = snapshot_policy {
+            service_config = service_config.with_snapshots(policy);
+        }
+    } else if snapshot_policy.is_some() {
+        eprintln!("hp-edge: snapshot flags require --journal-dir");
+        std::process::exit(2);
     }
 
     signals::install_term_handler();

@@ -49,6 +49,14 @@ pub struct EdgeConfig {
     /// stamped degraded with its exact staleness, instead of waiting out
     /// a saturated shard.
     pub assess_deadline: Option<Duration>,
+    /// When set, a background thread calls
+    /// [`checkpoint`](hp_service::ReputationService::checkpoint) at this
+    /// interval once the service is READY: every shard writes a durable
+    /// snapshot and the calibration cache is persisted, bounding both
+    /// recovery time and calibration loss after a SIGKILL. Meaningful
+    /// only when the service config enables snapshots (the calibration
+    /// persistence part works regardless).
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for EdgeConfig {
@@ -63,6 +71,7 @@ impl Default for EdgeConfig {
             body_timeout: Duration::from_secs(10),
             keep_alive_timeout: Duration::from_secs(30),
             assess_deadline: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -118,6 +127,14 @@ impl EdgeConfig {
         self
     }
 
+    /// Periodic checkpoint interval (builder style); see
+    /// `checkpoint_interval`.
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: Option<Duration>) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
     /// The worker count with `0` resolved to available parallelism.
     pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
@@ -154,6 +171,9 @@ impl EdgeConfig {
         }
         if self.assess_deadline.is_some_and(|d| d.is_zero()) {
             return Err("assess deadline must be nonzero when set".to_string());
+        }
+        if self.checkpoint_interval.is_some_and(|d| d.is_zero()) {
+            return Err("checkpoint interval must be nonzero when set".to_string());
         }
         Ok(())
     }

@@ -25,7 +25,10 @@
 //! warming by adopting an already-running service. [`EdgeServer::drain`]
 //! (triggered by SIGTERM in the binary) stops the acceptor, lets
 //! workers finish in-flight requests, then shuts the service down —
-//! which persists the calibration cache.
+//! which takes a final snapshot (when enabled) and persists the
+//! calibration cache. With `checkpoint_interval` set, a background
+//! thread additionally checkpoints the ready service periodically so a
+//! SIGKILL loses at most one interval of recovery time.
 
 use crate::config::EdgeConfig;
 use crate::http::{self, Method, ReadLimits, RecvError, Request};
@@ -33,7 +36,7 @@ use crate::metrics::EdgeMetrics;
 use crate::wire;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use hp_core::ServerId;
-use hp_service::{AssessOutcome, ReputationService, ServiceConfig, ServiceError};
+use hp_service::{AssessOutcome, BootProgress, ReputationService, ServiceConfig, ServiceError};
 use parking_lot::RwLock;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -54,6 +57,9 @@ struct Shared {
     state: AtomicU8,
     /// Tells the acceptor to stop accepting (drain).
     stop_accepting: AtomicBool,
+    /// Recovery progress published by the builder thread's service
+    /// construction; `/healthz` renders it while warming.
+    boot: Arc<BootProgress>,
     metrics: EdgeMetrics,
     config: EdgeConfig,
 }
@@ -90,6 +96,7 @@ pub struct EdgeServer {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     builder: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 impl EdgeServer {
@@ -123,20 +130,23 @@ impl EdgeServer {
         server.builder = Some(
             thread::Builder::new()
                 .name("hp-edge-builder".into())
-                .spawn(move || match ReputationService::new(service_config) {
-                    Ok(service) => {
-                        *shared.service.write() = Some(Arc::new(service));
-                        // Readiness only moves forward if a drain has not
-                        // already been requested.
-                        let _ = shared.state.compare_exchange(
-                            STATE_WARMING,
-                            STATE_READY,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
-                    }
-                    Err(e) => {
-                        eprintln!("hp-edge: service construction failed: {e}");
+                .spawn(move || {
+                    let boot = Arc::clone(&shared.boot);
+                    match ReputationService::new_with_progress(service_config, Some(boot)) {
+                        Ok(service) => {
+                            *shared.service.write() = Some(Arc::new(service));
+                            // Readiness only moves forward if a drain has
+                            // not already been requested.
+                            let _ = shared.state.compare_exchange(
+                                STATE_WARMING,
+                                STATE_READY,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("hp-edge: service construction failed: {e}");
+                        }
                     }
                 })?,
         );
@@ -155,6 +165,7 @@ impl EdgeServer {
             service: RwLock::new(None),
             state: AtomicU8::new(STATE_WARMING),
             stop_accepting: AtomicBool::new(false),
+            boot: Arc::new(BootProgress::new()),
             metrics: EdgeMetrics::default(),
             config,
         });
@@ -178,12 +189,25 @@ impl EdgeServer {
                 .spawn(move || acceptor_loop(&listener, &conn_tx, &shared))?
         };
 
+        let checkpointer = match shared.config.checkpoint_interval {
+            Some(interval) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name("hp-edge-checkpointer".into())
+                        .spawn(move || checkpoint_loop(&shared, interval))?,
+                )
+            }
+            None => None,
+        };
+
         Ok(EdgeServer {
             shared,
             addr,
             acceptor: Some(acceptor),
             workers,
             builder: None,
+            checkpointer,
         })
     }
 
@@ -235,6 +259,9 @@ impl EdgeServer {
         }
         if let Some(builder) = self.builder.take() {
             let _ = builder.join();
+        }
+        if let Some(checkpointer) = self.checkpointer.take() {
+            let _ = checkpointer.join();
         }
         if let Some(service) = self.shared.service.write().take() {
             match Arc::try_unwrap(service) {
@@ -302,6 +329,38 @@ fn acceptor_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, shared: &S
 fn worker_loop(conn_rx: &Receiver<TcpStream>, shared: &Shared) {
     while let Ok(stream) = conn_rx.recv() {
         serve_connection(stream, shared);
+    }
+}
+
+/// Periodic checkpointer: once the service is READY, calls
+/// [`ReputationService::checkpoint`] every `interval` — each shard
+/// writes a durable snapshot and the calibration cache is persisted, so
+/// a SIGKILL between graceful drains loses at most one interval of
+/// recovery time. Sleeps in short ticks so a drain is observed promptly
+/// even under long intervals.
+fn checkpoint_loop(shared: &Shared, interval: Duration) {
+    let tick = interval.min(Duration::from_millis(50));
+    let mut next = std::time::Instant::now() + interval;
+    loop {
+        thread::sleep(tick);
+        match shared.state.load(Ordering::Acquire) {
+            STATE_DRAINING => return,
+            STATE_READY => {}
+            // Still warming: the first interval starts at readiness.
+            _ => {
+                next = std::time::Instant::now() + interval;
+                continue;
+            }
+        }
+        if std::time::Instant::now() < next {
+            continue;
+        }
+        next = std::time::Instant::now() + interval;
+        if let Some(service) = shared.service() {
+            if let Err(e) = service.checkpoint() {
+                eprintln!("hp-edge: periodic checkpoint failed: {e}");
+            }
+        }
     }
 }
 
@@ -444,8 +503,12 @@ fn health(shared: &Shared) -> Reply {
                 ),
             )
         }
-        // Warming (service still building) or draining: not ready for
-        // traffic, says so with the right status word.
+        // Warming: not ready, but say how far recovery has come so a
+        // hung boot is distinguishable from a long journal replay.
+        _ if state == "warming" => {
+            Reply::json(503, wire::render_warming_health(state, &shared.boot.status()))
+        }
+        // Draining: not ready for traffic, says so.
         _ => Reply::json(503, wire::render_health(state, 0, 0, 0, 0)),
     }
 }

@@ -22,7 +22,7 @@
 
 use hp_core::twophase::Assessment;
 use hp_core::{ClientId, Feedback, Rating, ServerId};
-use hp_service::{DegradedAssessment, DegradedReason, IngestOutcome, TracedAssessment};
+use hp_service::{BootStatus, DegradedAssessment, DegradedReason, IngestOutcome, TracedAssessment};
 
 /// Why an ingest body failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -261,6 +261,23 @@ pub fn render_health(
     )
 }
 
+/// `/healthz` body while the service is still booting: recovery
+/// progress, so an operator can tell a hung boot from a long journal
+/// replay. `snapshot_loaded` says whether any shard recovered from a
+/// snapshot (vs. full replay); `replayed_records`/`journal_records` is
+/// the replay progress fraction.
+pub fn render_warming_health(status: &str, boot: &BootStatus) -> String {
+    format!(
+        "{{\"status\":\"{status}\",\"snapshot_loaded\":{},\"snapshots_loaded\":{},\"replayed_records\":{},\"journal_records\":{},\"shards_ready\":{},\"shards_total\":{}}}",
+        boot.snapshots_loaded > 0,
+        boot.snapshots_loaded,
+        boot.replayed_records,
+        boot.journal_records,
+        boot.shards_ready,
+        boot.shards_total,
+    )
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -371,6 +388,23 @@ mod tests {
         assert_eq!(json_str(&health, "status"), Some("ready"));
         assert_eq!(json_u64(&health, "shards"), Some(4));
         assert_eq!(json_u64(&health, "shard_restarts"), Some(1));
+
+        let warming = render_warming_health(
+            "warming",
+            &BootStatus {
+                journal_records: 1000,
+                replayed_records: 400,
+                snapshots_loaded: 1,
+                shards_total: 2,
+                shards_ready: 1,
+            },
+        );
+        assert_eq!(json_str(&warming, "status"), Some("warming"));
+        assert_eq!(json_str(&warming, "snapshot_loaded"), Some("true"));
+        assert_eq!(json_u64(&warming, "replayed_records"), Some(400));
+        assert_eq!(json_u64(&warming, "journal_records"), Some(1000));
+        assert_eq!(json_u64(&warming, "shards_ready"), Some(1));
+        assert_eq!(json_u64(&warming, "shards_total"), Some(2));
     }
 
     #[test]

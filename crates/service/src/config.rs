@@ -73,6 +73,59 @@ pub enum Durability {
     },
 }
 
+/// Checkpoint cadence and snapshot retention.
+///
+/// Snapshots bound recovery time: a restarted shard loads its newest
+/// valid snapshot and replays only the journal tail past it, instead of
+/// folding the whole journal. They require [`Durability::Durable`] —
+/// there is nothing durable to snapshot otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// A shard checkpoints automatically once this many records have
+    /// been journalled since its last snapshot (`0` disables automatic
+    /// checkpoints; explicit [`crate::ReputationService::checkpoint`]
+    /// calls and the drain-time checkpoint still run).
+    pub interval_records: u64,
+    /// Retained snapshots per shard (newest first); older files are
+    /// deleted after each checkpoint. At least 1; at least 2 when
+    /// `compact_journal` is set, so a corrupted newest snapshot always
+    /// leaves another snapshot whose journal tail still exists.
+    pub retain: usize,
+    /// Truncate the journal up to the *oldest* retained snapshot's
+    /// offset after each checkpoint. Keeps disk usage O(interval)
+    /// instead of O(history); full-journal replay is then no longer
+    /// possible, which is why retention must be ≥ 2.
+    pub compact_journal: bool,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy {
+            interval_records: 100_000,
+            retain: 2,
+            compact_journal: true,
+        }
+    }
+}
+
+impl SnapshotPolicy {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.retain == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "snapshot retention must keep at least one snapshot".into(),
+            });
+        }
+        if self.compact_journal && self.retain < 2 {
+            return Err(CoreError::InvalidConfig {
+                reason: "journal compaction needs snapshot retention >= 2 \
+                         (a corrupted newest snapshot must leave a recovery path)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Supervision policy: how shard workers are restarted after a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SupervisionConfig {
@@ -159,6 +212,7 @@ pub struct ServiceConfig {
     calibration_cache: Option<PathBuf>,
     ingest_policy: IngestPolicy,
     durability: Durability,
+    snapshots: Option<SnapshotPolicy>,
     supervision: SupervisionConfig,
     tracing: bool,
     trace_capacity: usize,
@@ -183,6 +237,7 @@ impl Default for ServiceConfig {
             calibration_cache: None,
             ingest_policy: IngestPolicy::default(),
             durability: Durability::default(),
+            snapshots: None,
             supervision: SupervisionConfig::default(),
             tracing: false,
             trace_capacity: 4096,
@@ -277,6 +332,16 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Enables per-shard snapshots with this checkpoint policy (builder
+    /// style). Requires durable journals ([`Self::with_durability`]);
+    /// [`Self::validate`] rejects the combination with
+    /// [`Durability::Ephemeral`].
+    #[must_use]
+    pub fn with_snapshots(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshots = Some(policy);
         self
     }
 
@@ -379,6 +444,11 @@ impl ServiceConfig {
         &self.durability
     }
 
+    /// The snapshot/checkpoint policy, if snapshots are enabled.
+    pub fn snapshots(&self) -> Option<&SnapshotPolicy> {
+        self.snapshots.as_ref()
+    }
+
     /// Worker restart/backoff/quarantine policy.
     pub fn supervision(&self) -> SupervisionConfig {
         self.supervision
@@ -439,6 +509,16 @@ impl ServiceConfig {
                 return Err(CoreError::InvalidConfig {
                     reason: "shed/try-for ingest policies need a bounded queue \
                              (queue_capacity > 0)"
+                        .into(),
+                });
+            }
+        }
+        if let Some(snapshots) = &self.snapshots {
+            snapshots.validate()?;
+            if matches!(self.durability, Durability::Ephemeral) {
+                return Err(CoreError::InvalidConfig {
+                    reason: "snapshots require durable journals \
+                             (with_durability(Durability::Durable { .. }))"
                         .into(),
                 });
             }
@@ -546,6 +626,48 @@ mod tests {
         let c = ServiceConfig::default()
             .with_queue_capacity(0)
             .with_ingest_policy(IngestPolicy::Block);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn snapshot_policy_validation() {
+        // Snapshots without a durable journal are rejected.
+        let c = ServiceConfig::default().with_snapshots(SnapshotPolicy::default());
+        assert!(c.validate().is_err());
+        let durable = Durability::Durable {
+            dir: PathBuf::from("/tmp/journals"),
+            fsync: crate::journal::FsyncPolicy::Never,
+        };
+        let c = ServiceConfig::default()
+            .with_durability(durable.clone())
+            .with_snapshots(SnapshotPolicy::default());
+        c.validate().unwrap();
+        assert_eq!(c.snapshots().unwrap().retain, 2);
+        // Zero retention is rejected.
+        let c = ServiceConfig::default()
+            .with_durability(durable.clone())
+            .with_snapshots(SnapshotPolicy {
+                retain: 0,
+                ..SnapshotPolicy::default()
+            });
+        assert!(c.validate().is_err());
+        // Compaction with a single retained snapshot is rejected…
+        let c = ServiceConfig::default()
+            .with_durability(durable.clone())
+            .with_snapshots(SnapshotPolicy {
+                retain: 1,
+                compact_journal: true,
+                ..SnapshotPolicy::default()
+            });
+        assert!(c.validate().is_err());
+        // …but a single snapshot without compaction is fine.
+        let c = ServiceConfig::default()
+            .with_durability(durable)
+            .with_snapshots(SnapshotPolicy {
+                retain: 1,
+                compact_journal: false,
+                ..SnapshotPolicy::default()
+            });
         c.validate().unwrap();
     }
 

@@ -59,10 +59,13 @@ pub mod obs;
 pub mod replay;
 mod service;
 mod shard;
+mod snapshot;
 mod state;
 mod supervisor;
 
-pub use config::{Durability, IngestPolicy, ServiceConfig, SupervisionConfig, TrustModel};
+pub use config::{
+    Durability, IngestPolicy, ServiceConfig, SnapshotPolicy, SupervisionConfig, TrustModel,
+};
 #[cfg(feature = "fault-injection")]
 pub use faults::FaultPlan;
 pub use journal::FsyncPolicy;
@@ -70,6 +73,7 @@ pub use metrics::ServiceStats;
 pub use obs::{AssessmentTrace, MetricsRegistry, TracedAssessment};
 pub use replay::{run_replay, OfflineReference, ReplayConfig, ReplayOutcome};
 pub use service::{
-    AssessOutcome, BatchAssessments, DegradedAssessment, DegradedReason, IngestOutcome,
-    ReputationService, ServiceError,
+    AssessOutcome, BatchAssessments, CheckpointSummary, DegradedAssessment, DegradedReason,
+    IngestOutcome, ReputationService, ServiceError,
 };
+pub use snapshot::{BootProgress, BootStatus};

@@ -30,6 +30,15 @@ pub(crate) struct Counters {
     pub journal_syncs: AtomicU64,
     /// Bytes discarded from torn journal tails during recovery.
     pub torn_bytes: AtomicU64,
+    /// State snapshots written (checkpoints completed).
+    pub snapshots_written: AtomicU64,
+    /// Serialized snapshot bytes written.
+    pub snapshot_bytes: AtomicU64,
+    /// Snapshot writes that failed (journal still intact).
+    pub snapshot_failures: AtomicU64,
+    /// Recovery candidates rejected (corrupt/torn/mismatched snapshot),
+    /// falling down the chain toward full journal replay.
+    pub snapshot_fallbacks: AtomicU64,
 }
 
 impl Counters {
@@ -80,6 +89,19 @@ impl Counters {
     pub fn add_torn_bytes(&self, n: u64) {
         self.torn_bytes.fetch_add(n, Ordering::Relaxed);
     }
+
+    pub fn record_snapshot(&self, bytes: u64) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn add_snapshot_failures(&self, n: u64) {
+        self.snapshot_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_snapshot_fallback(&self) {
+        self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time snapshot of service health.
@@ -125,6 +147,14 @@ pub struct ServiceStats {
     pub journal_syncs: u64,
     /// Bytes discarded from torn journal tails during recovery.
     pub torn_journal_bytes: u64,
+    /// State snapshots written (checkpoints completed).
+    pub snapshots_written: u64,
+    /// Serialized snapshot bytes written.
+    pub snapshot_bytes: u64,
+    /// Snapshot writes that failed (journal still intact).
+    pub snapshot_failures: u64,
+    /// Recovery candidates rejected, falling down the recovery chain.
+    pub snapshot_fallbacks: u64,
     /// Per-shard metric blocks (counters plus sampled gauges), indexed
     /// by shard.
     pub per_shard: Vec<ShardSnapshot>,
@@ -176,6 +206,10 @@ impl ServiceStats {
             journal_bytes: counters.journal_bytes.load(Ordering::Relaxed),
             journal_syncs: counters.journal_syncs.load(Ordering::Relaxed),
             torn_journal_bytes: counters.torn_bytes.load(Ordering::Relaxed),
+            snapshots_written: counters.snapshots_written.load(Ordering::Relaxed),
+            snapshot_bytes: counters.snapshot_bytes.load(Ordering::Relaxed),
+            snapshot_failures: counters.snapshot_failures.load(Ordering::Relaxed),
+            snapshot_fallbacks: counters.snapshot_fallbacks.load(Ordering::Relaxed),
             per_shard: Vec::new(),
         }
     }
@@ -204,6 +238,10 @@ impl ServiceStats {
             journal_bytes: snap.total(|s| s.journal_bytes),
             journal_syncs: snap.total(|s| s.journal_syncs),
             torn_journal_bytes: snap.total(|s| s.torn_bytes),
+            snapshots_written: snap.total(|s| s.snapshots_written),
+            snapshot_bytes: snap.total(|s| s.snapshot_bytes),
+            snapshot_failures: snap.total(|s| s.snapshot_failures),
+            snapshot_fallbacks: snap.total(|s| s.snapshot_fallbacks),
             per_shard: snap.shards.clone(),
         }
     }

@@ -121,6 +121,14 @@ pub struct ShardSnapshot {
     pub journal_syncs: u64,
     /// Torn-tail bytes discarded during this shard's recovery.
     pub torn_bytes: u64,
+    /// State snapshots written by this shard (checkpoints).
+    pub snapshots_written: u64,
+    /// Serialized snapshot bytes written by this shard.
+    pub snapshot_bytes: u64,
+    /// Snapshot writes that failed on this shard.
+    pub snapshot_failures: u64,
+    /// Recovery candidates this shard rejected and fell past.
+    pub snapshot_fallbacks: u64,
     /// Sampled queue depth.
     pub queue_depth: u64,
     /// State version after the last batch apply.
@@ -145,6 +153,10 @@ impl ShardSnapshot {
             journal_bytes: c.journal_bytes.load(Ordering::Relaxed),
             journal_syncs: c.journal_syncs.load(Ordering::Relaxed),
             torn_bytes: c.torn_bytes.load(Ordering::Relaxed),
+            snapshots_written: c.snapshots_written.load(Ordering::Relaxed),
+            snapshot_bytes: c.snapshot_bytes.load(Ordering::Relaxed),
+            snapshot_failures: c.snapshot_failures.load(Ordering::Relaxed),
+            snapshot_fallbacks: c.snapshot_fallbacks.load(Ordering::Relaxed),
             queue_depth: m.queue_depth.load(Ordering::Relaxed),
             last_apply_version: m.last_apply_version.load(Ordering::Relaxed),
         }
@@ -301,7 +313,7 @@ impl MetricsRegistry {
 /// Per-shard counter catalogue: (metric name, help, field accessor).
 type ShardField = fn(&ShardSnapshot) -> u64;
 
-const SHARD_COUNTERS: [(&str, &str, ShardField); 13] = [
+const SHARD_COUNTERS: [(&str, &str, ShardField); 17] = [
     ("hp_feedbacks_ingested_total", "Feedbacks accepted by ingest", |s| s.ingested),
     ("hp_assessments_served_total", "Assessments served by shard workers", |s| s.served),
     ("hp_assess_cache_hits_total", "Assessments answered from the versioned cache", |s| s.cache_hits),
@@ -315,6 +327,10 @@ const SHARD_COUNTERS: [(&str, &str, ShardField); 13] = [
     ("hp_journal_bytes_total", "Bytes in shard journals", |s| s.journal_bytes),
     ("hp_journal_syncs_total", "Journal fsyncs performed", |s| s.journal_syncs),
     ("hp_journal_torn_bytes_total", "Torn-tail bytes discarded during recovery", |s| s.torn_bytes),
+    ("hp_snapshots_written_total", "State snapshots written (checkpoints)", |s| s.snapshots_written),
+    ("hp_snapshot_bytes_total", "Serialized snapshot bytes written", |s| s.snapshot_bytes),
+    ("hp_snapshot_failures_total", "Snapshot writes that failed", |s| s.snapshot_failures),
+    ("hp_snapshot_fallbacks_total", "Recovery candidates rejected during recovery", |s| s.snapshot_fallbacks),
 ];
 
 const SHARD_GAUGES: [(&str, &str, ShardField); 2] = [
@@ -429,7 +445,8 @@ pub fn render_json(snap: &RegistrySnapshot) -> String {
     let _ = writeln!(
         out,
         "  \"totals\": {{\"ingested\":{},\"served\":{},\"shed\":{},\"degraded\":{},\
-         \"restarts\":{},\"quarantined\":{},\"journal_records\":{},\"journal_bytes\":{}}},",
+         \"restarts\":{},\"quarantined\":{},\"journal_records\":{},\"journal_bytes\":{},\
+         \"snapshots_written\":{},\"snapshot_fallbacks\":{}}},",
         snap.total(|s| s.ingested),
         snap.total(|s| s.served),
         snap.total(|s| s.shed),
@@ -438,6 +455,8 @@ pub fn render_json(snap: &RegistrySnapshot) -> String {
         snap.total(|s| s.quarantined),
         snap.total(|s| s.journal_records),
         snap.total(|s| s.journal_bytes),
+        snap.total(|s| s.snapshots_written),
+        snap.total(|s| s.snapshot_fallbacks),
     );
     let _ = writeln!(
         out,

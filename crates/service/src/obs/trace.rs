@@ -56,6 +56,14 @@ pub enum TraceKind {
         /// Index of the offending record in the journal.
         index: u64,
     },
+    /// A durable state snapshot was written (checkpoint).
+    SnapshotWritten {
+        /// Absolute journal record count the snapshot covers.
+        records: u64,
+    },
+    /// A recovery candidate snapshot was rejected (corrupt, torn or
+    /// model-mismatched) and recovery fell down the chain.
+    SnapshotFallback,
 }
 
 impl TraceKind {
@@ -70,6 +78,8 @@ impl TraceKind {
             TraceKind::ReplayStart => "replay_start",
             TraceKind::ReplayComplete { .. } => "replay_complete",
             TraceKind::RecordQuarantined { .. } => "record_quarantined",
+            TraceKind::SnapshotWritten { .. } => "snapshot_written",
+            TraceKind::SnapshotFallback => "snapshot_fallback",
         }
     }
 }

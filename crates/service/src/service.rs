@@ -7,7 +7,10 @@ use crate::metrics::{Counters, ServiceStats};
 use crate::obs::{
     AssessmentTrace, LatencyPath, MetricsRegistry, TraceEvent, TraceKind, TracedAssessment,
 };
-use crate::shard::{Command, Published, ShardContext, ShardHandle, ShardSnapshot};
+use crate::shard::{
+    Command, Published, ShardContext, ShardHandle, ShardSnapshot, ShardSnapshots,
+};
+use crate::snapshot::{BootProgress, SnapshotStore};
 use crate::supervisor::spawn_supervised_shard;
 use crossbeam::channel::{self, RecvTimeoutError, SendTimeoutError, TrySendError};
 use hp_core::testing::{shared_calibrator, MultiBehaviorTest};
@@ -20,6 +23,19 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// What a service-wide [`ReputationService::checkpoint`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// Shards that wrote a snapshot (0 when snapshots are disabled).
+    pub shards_snapshotted: usize,
+    /// Serialized snapshot bytes written across shards.
+    pub snapshot_bytes: u64,
+    /// Journal records dropped by compaction across shards.
+    pub journal_records_compacted: u64,
+    /// Calibration thresholds persisted alongside the checkpoint.
+    pub calibration_entries: usize,
+}
 
 /// Errors surfaced by [`ReputationService`].
 #[derive(Debug, Clone, PartialEq)]
@@ -248,7 +264,26 @@ impl ReputationService {
     /// calibration failure during pre-warm, and [`ServiceError::Journal`]
     /// when a durable journal cannot be opened or recovered.
     pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        Self::new_with_progress(config, None)
+    }
+
+    /// [`Self::new`] with live recovery-progress reporting: the caller
+    /// keeps a clone of `progress` and can poll
+    /// [`BootProgress::status`] from another thread while this
+    /// constructor recovers the shards (the edge front-end surfaces it
+    /// through `/healthz` while WARMING).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn new_with_progress(
+        config: ServiceConfig,
+        progress: Option<Arc<BootProgress>>,
+    ) -> Result<Self, ServiceError> {
         config.validate()?;
+        if let Some(boot) = &progress {
+            boot.set_shards(config.shards() as u64);
+        }
         // The effective test resolves the calibration thread count (auto =
         // available parallelism) so the pre-warm grid below calibrates in
         // parallel; chunked calibration RNG keeps the resulting thresholds
@@ -289,7 +324,18 @@ impl ReputationService {
         for shard in 0..config.shards() {
             let test =
                 MultiBehaviorTest::with_calibrator(effective_test.clone(), Arc::clone(&calibrator))?;
-            let journal = open_journal(&config, shard, &obs.shard(shard).counters)?;
+            // Open the snapshot store *before* the journal: the newest
+            // manifest-recorded snapshot offset lets the journal open
+            // skip CRC-scanning the prefix that snapshot already covers.
+            let snapshots = open_snapshots(&config, shard)?;
+            let trusted = snapshots
+                .as_ref()
+                .and_then(|s| s.store.lock().newest_offset())
+                .unwrap_or(0);
+            let journal = open_journal(&config, shard, trusted, &obs.shard(shard).counters)?;
+            if let Some(boot) = &progress {
+                boot.add_journal_records(journal.len());
+            }
             let ctx = ShardContext {
                 shard,
                 test,
@@ -299,6 +345,8 @@ impl ReputationService {
                 journal: Arc::new(Mutex::new(journal)),
                 published: Published::default(),
                 faults: ShardFaults::for_config(&config, shard),
+                snapshots,
+                boot: progress.clone(),
             };
             shards.push(spawn_supervised_shard(
                 shard,
@@ -714,8 +762,44 @@ impl ReputationService {
         }
     }
 
+    /// Takes a checkpoint across the whole service: every shard writes a
+    /// durable state snapshot (and compacts its journal per the policy),
+    /// and the calibration cache is persisted alongside — so a SIGKILL
+    /// right after a checkpoint loses neither verdict state nor
+    /// calibration warmth.
+    ///
+    /// Requires [`ServiceConfig::with_snapshots`]; without it the shard
+    /// side is a no-op and only the calibration cache is written. Shard
+    /// snapshot failures are counted (`snapshot_failures`), not errored:
+    /// the journal remains the source of truth either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Journal`] when the calibration cache path
+    /// is configured but cannot be written.
+    pub fn checkpoint(&self) -> Result<CheckpointSummary, ServiceError> {
+        let mut summary = CheckpointSummary::default();
+        let mut replies = Vec::with_capacity(self.shards.len());
+        for handle in &self.shards {
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            if handle.send(Command::Checkpoint { reply: reply_tx }).is_ok() {
+                replies.push(reply_rx);
+            }
+        }
+        for reply in replies {
+            if let Ok(Some(info)) = reply.recv() {
+                summary.shards_snapshotted += 1;
+                summary.snapshot_bytes += info.bytes;
+                summary.journal_records_compacted += info.compacted;
+            }
+        }
+        summary.calibration_entries = self.save_calibration()?;
+        Ok(summary)
+    }
+
     /// Shuts the service down gracefully: every shard serves the
-    /// commands already queued (journaling queued ingests), flushes its
+    /// commands already queued (journaling queued ingests), takes a
+    /// final snapshot (when snapshots are enabled), flushes its
     /// journal, and joins; the calibration cache is persisted if a path
     /// is configured. Acknowledged feedback is never lost to a shutdown;
     /// with a durable journal it survives to the next start.
@@ -731,11 +815,36 @@ impl ReputationService {
     }
 }
 
+/// Opens the snapshot store for one shard when snapshots are enabled
+/// (they require durable journals, enforced by `validate`).
+fn open_snapshots(
+    config: &ServiceConfig,
+    shard: usize,
+) -> Result<Option<ShardSnapshots>, ServiceError> {
+    let Some(policy) = config.snapshots() else {
+        return Ok(None);
+    };
+    let Durability::Durable { dir, .. } = config.durability() else {
+        return Ok(None); // unreachable after validate(); be lenient
+    };
+    let store = SnapshotStore::open(dir, shard as u32, config.shards() as u32, policy)
+        .map_err(|e| ServiceError::Journal {
+            reason: format!("open snapshot store {}: {e}", dir.display()),
+        })?;
+    Ok(Some(ShardSnapshots {
+        store: Mutex::new(store),
+        policy: *policy,
+    }))
+}
+
 /// Opens (and recovers) the journal for one shard per the configured
-/// durability, crediting torn bytes to the counters.
+/// durability, crediting torn bytes to the counters. `trusted` is an
+/// absolute record offset known durable (from the snapshot manifest);
+/// the open skips CRC-scanning that prefix.
 fn open_journal(
     config: &ServiceConfig,
     shard: usize,
+    trusted: u64,
     counters: &Counters,
 ) -> Result<JournalStore, ServiceError> {
     match config.durability() {
@@ -745,21 +854,23 @@ fn open_journal(
                 reason: format!("create {}: {e}", dir.display()),
             })?;
             let path = dir.join(format!("shard-{shard}.hpj"));
-            let (journal, recovered) = FileJournal::open(
+            let (journal, recovered) = FileJournal::open_from(
                 &path,
                 shard as u32,
                 config.shards() as u32,
                 *fsync,
+                trusted,
             )
             .map_err(|e| ServiceError::Journal {
                 reason: format!("open {}: {e}", path.display()),
             })?;
             // Recovered records count toward journal_records/_bytes so the
             // stats describe the durable sequence, not just this process's
-            // appends.
+            // appends. `records()` is absolute: it includes the trusted
+            // prefix that the open did not re-scan and any compacted base.
             counters.record_journal_append(
-                recovered.feedbacks.len() as u64,
-                recovered.feedbacks.len() as u64 * crate::journal::RECORD_LEN,
+                journal.records(),
+                journal.records() * crate::journal::RECORD_LEN,
                 false,
             );
             counters.add_torn_bytes(recovered.torn_bytes);

@@ -19,11 +19,12 @@
 //!   (journaling and answering them) and flushes the journal before
 //!   exiting, so acknowledged feedback is never lost to a shutdown.
 
-use crate::config::TrustModel;
+use crate::config::{SnapshotPolicy, TrustModel};
 use crate::faults::ShardFaults;
 use crate::journal::JournalStore;
 use crate::metrics::Counters;
 use crate::obs::{LatencyPath, MetricsRegistry, TraceKind};
+use crate::snapshot::{BootProgress, SnapshotStore};
 use crate::state::ServerState;
 use crossbeam::channel::{
     Receiver, SendError, SendTimeoutError, Sender, TrySendError,
@@ -86,7 +87,25 @@ pub(crate) enum Command {
     Snapshot {
         reply: Sender<ShardSnapshot>,
     },
+    /// Take a durable state snapshot now (and compact the journal when
+    /// the policy allows). Answers what was written, or `None` when
+    /// snapshots are disabled or the write failed.
+    Checkpoint {
+        reply: Sender<Option<CheckpointInfo>>,
+    },
     Shutdown,
+}
+
+/// What one completed checkpoint did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CheckpointInfo {
+    /// Absolute journal record count the snapshot covers.
+    pub journal_records: u64,
+    /// Serialized snapshot size in bytes.
+    pub bytes: u64,
+    /// Journal records dropped by the accompanying compaction (0 when
+    /// compaction is disabled or nothing could be dropped).
+    pub compacted: u64,
 }
 
 impl std::fmt::Debug for Command {
@@ -98,6 +117,7 @@ impl std::fmt::Debug for Command {
                 write!(f, "AssessMany({} servers)", servers.len())
             }
             Command::Snapshot { .. } => write!(f, "Snapshot"),
+            Command::Checkpoint { .. } => write!(f, "Checkpoint"),
             Command::Shutdown => write!(f, "Shutdown"),
         }
     }
@@ -171,6 +191,13 @@ impl Drop for ShardHandle {
     }
 }
 
+/// Snapshot machinery for one shard: the store plus the checkpoint
+/// policy driving it. Absent when snapshots are disabled.
+pub(crate) struct ShardSnapshots {
+    pub store: Mutex<SnapshotStore>,
+    pub policy: SnapshotPolicy,
+}
+
 /// Everything a shard worker (and its supervisor) needs besides the
 /// command channel and the state map.
 pub(crate) struct ShardContext {
@@ -182,6 +209,11 @@ pub(crate) struct ShardContext {
     pub journal: Arc<Mutex<JournalStore>>,
     pub published: Published,
     pub faults: ShardFaults,
+    /// Snapshot store + checkpoint policy, when snapshots are enabled.
+    pub snapshots: Option<ShardSnapshots>,
+    /// Boot-time recovery progress, reported to health checks. Only the
+    /// initial cold-start rebuild updates it.
+    pub boot: Option<Arc<BootProgress>>,
 }
 
 impl ShardContext {
@@ -216,6 +248,12 @@ pub(crate) fn worker_loop(
             }
             break;
         }
+    }
+    // Final checkpoint on graceful exit: the next boot starts from here
+    // with an empty journal tail. A failed write leaves the previous
+    // snapshot + tail path intact.
+    if ctx.snapshots.is_some() {
+        let _ = take_checkpoint(states, ctx);
     }
     let _ = ctx.journal.lock().flush();
 }
@@ -295,6 +333,7 @@ pub(crate) fn handle_command(
                     feedbacks: batch_len,
                 },
             );
+            maybe_checkpoint(states, ctx);
             Flow::Continue
         }
         Command::Assess { server, reply } => {
@@ -320,7 +359,82 @@ pub(crate) fn handle_command(
             let _ = reply.send(snapshot);
             Flow::Continue
         }
+        Command::Checkpoint { reply } => {
+            let _ = reply.send(take_checkpoint(states, ctx));
+            Flow::Continue
+        }
         Command::Shutdown => Flow::Stop,
+    }
+}
+
+/// Checkpoints automatically once `interval_records` records have been
+/// journalled past the newest snapshot.
+fn maybe_checkpoint(states: &HashMap<ServerId, ServerState>, ctx: &ShardContext) {
+    let Some(snaps) = &ctx.snapshots else { return };
+    let interval = snaps.policy.interval_records;
+    if interval == 0 {
+        return;
+    }
+    let records = ctx.journal.lock().len();
+    let last = snaps.store.lock().newest_offset().unwrap_or(0);
+    if records.saturating_sub(last) >= interval {
+        let _ = take_checkpoint(states, ctx);
+    }
+}
+
+/// Writes one snapshot covering the journal as of now, then compacts the
+/// journal if the policy allows. Failures are counted, never panicked:
+/// a shard that cannot snapshot still has its journal.
+pub(crate) fn take_checkpoint(
+    states: &HashMap<ServerId, ServerState>,
+    ctx: &ShardContext,
+) -> Option<CheckpointInfo> {
+    let snaps = ctx.snapshots.as_ref()?;
+    let t0 = Instant::now();
+    // Log-force before checkpoint: the snapshot claims to cover journal
+    // offset N, so every record up to N must be durable *first* —
+    // otherwise a crash right after the snapshot could leave a snapshot
+    // that covers records the journal lost.
+    let journal_records = {
+        let mut journal = ctx.journal.lock();
+        if journal.flush().is_err() {
+            ctx.counters().add_snapshot_failures(1);
+            return None;
+        }
+        journal.len()
+    };
+    let mut store = snaps.store.lock();
+    match store.write(states, journal_records) {
+        Ok(info) => {
+            let compacted = if snaps.policy.compact_journal {
+                // Only up to the *oldest* retained snapshot, and only
+                // with >= 2 retained: every candidate in the fallback
+                // chain keeps a replayable tail.
+                store
+                    .compact_floor()
+                    .and_then(|floor| ctx.journal.lock().compact_to(floor).ok())
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            ctx.counters().record_snapshot(info.bytes);
+            ctx.obs.tracer().emit(
+                ctx.shard,
+                t0.elapsed().as_nanos() as u64,
+                TraceKind::SnapshotWritten {
+                    records: info.journal_records,
+                },
+            );
+            Some(CheckpointInfo {
+                journal_records: info.journal_records,
+                bytes: info.bytes,
+                compacted,
+            })
+        }
+        Err(_) => {
+            ctx.counters().add_snapshot_failures(1);
+            None
+        }
     }
 }
 
@@ -418,6 +532,8 @@ mod tests {
             journal: Arc::new(Mutex::new(JournalStore::Memory(Vec::new()))),
             published: Published::default(),
             faults: ShardFaults::default(),
+            snapshots: None,
+            boot: None,
         };
         let handle = spawn_supervised_shard(0, ctx, SupervisionConfig::default(), 0);
         (handle, obs)

@@ -1,0 +1,946 @@
+//! Crash-safe per-shard snapshots: bounded-time recovery.
+//!
+//! A snapshot is a serialized image of one shard's `ServerState` map —
+//! the bit-packed outcome columns, the issuer dictionaries and the
+//! streaming trust states — stamped with the journal offset it covers.
+//! Boot recovery becomes *newest valid snapshot + journal tail replay*
+//! instead of a full journal re-fold: O(tail) instead of O(history).
+//!
+//! # On-disk layout
+//!
+//! Each shard owns, inside the durability directory:
+//!
+//! * `shard-<i>-<seq:016x>.hps` — snapshot files, one per checkpoint,
+//!   newest `seq` wins. Written crash-safely: temp file → fsync →
+//!   atomic rename → directory fsync.
+//! * `shard-<i>.manifest` — a small text file listing the retained
+//!   snapshots with the journal offset each one covers. Every entry
+//!   line carries its own CRC so a torn or bit-flipped manifest
+//!   degrades to "fewer known snapshots", never to a wrong offset.
+//!   Rewritten atomically after every checkpoint.
+//!
+//! # Snapshot file format (version 1)
+//!
+//! ```text
+//! magic "HPSS" | version u32 | shard u32 | shards u32 | seq u64
+//! | journal_records u64 | server_count u64
+//! per server (ascending id):
+//!   server u64 | trust tag u8
+//!   tag 0 (average):  good u64 | total u64
+//!   tag 1 (weighted): lambda bits u64 | r bits u64 | count u64
+//!   len u64 | outcome words (len/64 × u64)
+//!   client_count u64 | clients (u64 each) | codes (u32 each, len)
+//! trailer: crc32 (u32 LE) over everything before it
+//! ```
+//!
+//! All integers little-endian; floats serialized via `to_bits`, so a
+//! round-trip is bit-exact and recovered verdicts are bit-identical to
+//! a full replay.
+//!
+//! # Fallback chain
+//!
+//! Loading validates the magic, version, shard identity, sequence
+//! number, trust-model fingerprint, per-server internal consistency and
+//! the whole-file CRC. Any mismatch rejects the candidate and recovery
+//! falls back: next retained snapshot → full journal replay. The journal
+//! is compacted only up to the *oldest* retained snapshot's offset, so
+//! every retained candidate can still replay its tail, and only when at
+//! least two retained snapshots exist — corrupting the newest always
+//! leaves a recovery path.
+
+use crate::config::{SnapshotPolicy, TrustModel};
+use crate::journal::{crc32, fsync_dir};
+use crate::state::{ServerState, TrustState};
+use hp_core::history::{BitColumn, IssuerColumn};
+use hp_core::trust::incremental::{AverageTrustState, IncrementalTrust, WeightedTrustState};
+use hp_core::{ClientId, ColumnarHistory, ServerId};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: [u8; 4] = *b"HPSS";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 40;
+const TRUST_AVERAGE: u8 = 0;
+const TRUST_WEIGHTED: u8 = 1;
+const MANIFEST_MAGIC: &str = "hpman";
+const MANIFEST_VERSION: u32 = 1;
+
+/// Why a snapshot operation failed.
+#[derive(Debug)]
+pub(crate) enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The snapshot file exists but does not decode cleanly; the caller
+    /// should fall back to the next candidate.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What check rejected it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt { path, reason } => {
+                write!(f, "corrupt snapshot {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// One retained snapshot the store knows about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ManifestEntry {
+    /// Monotone checkpoint sequence number (newest wins).
+    pub seq: u64,
+    /// Absolute journal record count the snapshot covers, when known.
+    /// Entries discovered by directory scan (manifest lost) carry `None`
+    /// until the file itself is read; the offset inside the file is
+    /// CRC-protected, the name is not.
+    pub journal_records: Option<u64>,
+    /// File name within the store directory.
+    pub file: String,
+}
+
+/// A successfully decoded snapshot.
+#[derive(Debug)]
+pub(crate) struct LoadedSnapshot {
+    /// The reconstructed per-server states.
+    pub states: HashMap<ServerId, ServerState>,
+    /// Absolute journal record count the image covers; replay resumes
+    /// from here.
+    pub journal_records: u64,
+    /// The snapshot's sequence number.
+    pub seq: u64,
+}
+
+/// What a completed checkpoint wrote.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SnapshotInfo {
+    /// Sequence number of the new snapshot.
+    #[allow(dead_code)]
+    pub seq: u64,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Absolute journal record count it covers.
+    pub journal_records: u64,
+}
+
+/// Per-shard snapshot directory manager.
+///
+/// Owns the manifest and the retention policy; `write` is the only
+/// mutating entry point and keeps the invariant that the manifest never
+/// names a file that was deleted by retention.
+#[derive(Debug)]
+pub(crate) struct SnapshotStore {
+    dir: PathBuf,
+    shard: u32,
+    shards: u32,
+    retain: usize,
+    /// Known snapshots, newest (highest `seq`) first.
+    entries: Vec<ManifestEntry>,
+    next_seq: u64,
+}
+
+impl SnapshotStore {
+    /// Opens (creating the directory if needed) and indexes the shard's
+    /// snapshots: the union of the manifest's valid lines and a
+    /// directory scan for `shard-<i>-*.hps`, newest first. Unreadable
+    /// manifests degrade to the scan alone.
+    pub fn open(
+        dir: &Path,
+        shard: u32,
+        shards: u32,
+        policy: &SnapshotPolicy,
+    ) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let mut entries = read_manifest(&manifest_path(dir, shard), shard, shards);
+        for (seq, file) in scan_snapshots(dir, shard)? {
+            if !entries.iter().any(|e| e.seq == seq) {
+                entries.push(ManifestEntry {
+                    seq,
+                    journal_records: None,
+                    file,
+                });
+            }
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.seq));
+        let next_seq = entries.first().map_or(0, |e| e.seq + 1);
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+            shard,
+            shards,
+            retain: policy.retain,
+            entries,
+            next_seq,
+        })
+    }
+
+    /// The highest journal offset any *manifest-recorded* snapshot
+    /// covers. Safe to trust when opening the journal (skip CRC-scanning
+    /// that prefix): manifests are written only after the snapshot and
+    /// the journal up to that offset are durable, and each manifest line
+    /// carries its own CRC.
+    pub fn newest_offset(&self) -> Option<u64> {
+        self.entries.iter().filter_map(|e| e.journal_records).max()
+    }
+
+    /// Candidate snapshots to try at recovery, newest first.
+    pub fn candidates(&self) -> Vec<ManifestEntry> {
+        self.entries.clone()
+    }
+
+    /// The journal offset below which compaction is safe: the oldest
+    /// retained snapshot's offset, and only when at least two retained
+    /// snapshots with known offsets exist (so corrupting the newest
+    /// still leaves snapshot + tail recovery, never a truncated-journal
+    /// dead end).
+    pub fn compact_floor(&self) -> Option<u64> {
+        if self.entries.len() < 2 || self.entries.iter().any(|e| e.journal_records.is_none()) {
+            return None;
+        }
+        self.entries.iter().filter_map(|e| e.journal_records).min()
+    }
+
+    /// Serializes `states` covering the journal up to `journal_records`
+    /// and makes it durable: temp file → fsync → atomic rename →
+    /// directory fsync → manifest rewrite (same discipline) → retention
+    /// deletes. Old files are removed only *after* the new manifest no
+    /// longer names them.
+    pub fn write(
+        &mut self,
+        states: &HashMap<ServerId, ServerState>,
+        journal_records: u64,
+    ) -> Result<SnapshotInfo, SnapshotError> {
+        let seq = self.next_seq;
+        let bytes = encode(self.shard, self.shards, seq, journal_records, states);
+        let name = snapshot_file_name(self.shard, seq);
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        fsync_dir(&path)?;
+        self.next_seq = seq + 1;
+        self.entries.insert(
+            0,
+            ManifestEntry {
+                seq,
+                journal_records: Some(journal_records),
+                file: name,
+            },
+        );
+        let evicted = if self.entries.len() > self.retain {
+            self.entries.split_off(self.retain)
+        } else {
+            Vec::new()
+        };
+        self.write_manifest()?;
+        for e in evicted {
+            let _ = fs::remove_file(self.dir.join(&e.file));
+        }
+        Ok(SnapshotInfo {
+            seq,
+            bytes: bytes.len() as u64,
+            journal_records,
+        })
+    }
+
+    /// Reads and fully validates one candidate. Any failed check
+    /// returns [`SnapshotError::Corrupt`] (or `Io` when the file is
+    /// unreadable) so the caller can fall down the chain.
+    pub fn load(
+        &self,
+        entry: &ManifestEntry,
+        model: TrustModel,
+    ) -> Result<LoadedSnapshot, SnapshotError> {
+        let path = self.dir.join(&entry.file);
+        let data = fs::read(&path)?;
+        let loaded = decode(&data, &path, self.shard, self.shards, model)?;
+        if loaded.seq != entry.seq {
+            return Err(SnapshotError::Corrupt {
+                path,
+                reason: "sequence number does not match its name",
+            });
+        }
+        Ok(loaded)
+    }
+
+    fn write_manifest(&self) -> Result<(), SnapshotError> {
+        let path = manifest_path(&self.dir, self.shard);
+        let mut text = format!(
+            "{MANIFEST_MAGIC} {MANIFEST_VERSION} {} {}\n",
+            self.shard, self.shards
+        );
+        for e in &self.entries {
+            let Some(records) = e.journal_records else {
+                continue;
+            };
+            let body = format!("{:016x} {} {}", e.seq, records, e.file);
+            let crc = crc32(body.as_bytes());
+            text.push_str(&format!("{crc:08x} {body}\n"));
+        }
+        let tmp = path.with_extension("manifest.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        fsync_dir(&path)?;
+        Ok(())
+    }
+}
+
+fn manifest_path(dir: &Path, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{shard}.manifest"))
+}
+
+fn snapshot_file_name(shard: u32, seq: u64) -> String {
+    format!("shard-{shard}-{seq:016x}.hps")
+}
+
+/// Parses the manifest, dropping anything suspect: wrong magic, wrong
+/// shard identity, or any line whose CRC does not match. A manifest
+/// that lies about offsets is worse than no manifest — the per-line CRC
+/// makes a bit flip degrade to a forgotten entry instead.
+fn read_manifest(path: &Path, shard: u32, shards: u32) -> Vec<ManifestEntry> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else {
+        return Vec::new();
+    };
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() != 4
+        || head[0] != MANIFEST_MAGIC
+        || head[1].parse() != Ok(MANIFEST_VERSION)
+        || head[2].parse() != Ok(shard)
+        || head[3].parse() != Ok(shards)
+    {
+        return Vec::new();
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let Some((crc_hex, body)) = line.split_once(' ') else {
+            continue;
+        };
+        let Ok(crc) = u32::from_str_radix(crc_hex, 16) else {
+            continue;
+        };
+        if crc != crc32(body.as_bytes()) {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        if fields.len() != 3 {
+            continue;
+        }
+        let (Ok(seq), Ok(records)) = (
+            u64::from_str_radix(fields[0], 16),
+            fields[1].parse::<u64>(),
+        ) else {
+            continue;
+        };
+        entries.push(ManifestEntry {
+            seq,
+            journal_records: Some(records),
+            file: fields[2].to_string(),
+        });
+    }
+    entries
+}
+
+/// Directory scan for this shard's snapshot files, returning
+/// `(seq, file_name)` pairs. Recovers candidates when the manifest is
+/// lost or truncated.
+fn scan_snapshots(dir: &Path, shard: u32) -> std::io::Result<Vec<(u64, String)>> {
+    let prefix = format!("shard-{shard}-");
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix(&prefix).and_then(|s| s.strip_suffix(".hps")) else {
+            continue;
+        };
+        if let Ok(seq) = u64::from_str_radix(stem, 16) {
+            found.push((seq, name.to_string()));
+        }
+    }
+    Ok(found)
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes the full state map. Servers are emitted in ascending id
+/// order so identical states produce identical bytes.
+fn encode(
+    shard: u32,
+    shards: u32,
+    seq: u64,
+    journal_records: u64,
+    states: &HashMap<ServerId, ServerState>,
+) -> Vec<u8> {
+    let mut servers: Vec<(&ServerId, &ServerState)> = states.iter().collect();
+    servers.sort_by_key(|(id, _)| id.value());
+    // Exact-size reservation (25 covers the larger trust encoding):
+    // megabyte-scale bodies must not grow through repeated reallocation.
+    let cap = HEADER_LEN + 4 + servers.iter().map(|(_, state)| {
+        let history = state.history();
+        8 + 25
+            + 8 + history.outcome_bits().words().len() * 8
+            + 8 + history.issuer_column().clients().len() * 8
+            + history.issuer_column().codes().len() * 4
+    }).sum::<usize>();
+    let mut out = Vec::with_capacity(cap);
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, VERSION);
+    push_u32(&mut out, shard);
+    push_u32(&mut out, shards);
+    push_u64(&mut out, seq);
+    push_u64(&mut out, journal_records);
+    push_u64(&mut out, servers.len() as u64);
+    for (id, state) in servers {
+        push_u64(&mut out, id.value());
+        match state.trust() {
+            TrustState::Average(s) => {
+                let (good, total) = s.raw_parts();
+                out.push(TRUST_AVERAGE);
+                push_u64(&mut out, good);
+                push_u64(&mut out, total);
+            }
+            TrustState::Weighted(s) => {
+                let (lambda, r, count) = s.raw_parts();
+                out.push(TRUST_WEIGHTED);
+                push_u64(&mut out, lambda.to_bits());
+                push_u64(&mut out, r.to_bits());
+                push_u64(&mut out, count);
+            }
+        }
+        let history = state.history();
+        let outcomes = history.outcome_bits();
+        let issuers = history.issuer_column();
+        push_u64(&mut out, outcomes.len() as u64);
+        for &word in outcomes.words() {
+            push_u64(&mut out, word);
+        }
+        let clients = issuers.clients();
+        push_u64(&mut out, clients.len() as u64);
+        for client in clients {
+            push_u64(&mut out, client.value());
+        }
+        for &code in issuers.codes() {
+            push_u32(&mut out, code);
+        }
+    }
+    let crc = crc32(&out);
+    push_u32(&mut out, crc);
+    out
+}
+
+/// Bounded little-endian reader over the snapshot body.
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.data.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Bulk little-endian reads: one bounds check for the whole run, so
+    /// the megabyte-sized word/code columns decode at memcpy-like speed
+    /// instead of one `Option` round-trip per element.
+    fn u32s(&mut self, n: usize) -> Option<Vec<u32>> {
+        let bytes = self.take(n.checked_mul(4)?)?;
+        Some(
+            bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect(),
+        )
+    }
+
+    fn u64s(&mut self, n: usize) -> Option<Vec<u64>> {
+        let bytes = self.take(n.checked_mul(8)?)?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+fn corrupt(path: &Path, reason: &'static str) -> SnapshotError {
+    SnapshotError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    }
+}
+
+/// Decodes and validates a snapshot image. Every length is bounds-checked
+/// against the buffer, the trailer CRC covers the whole body, and each
+/// server's trust state must be internally consistent with its history
+/// (same transaction count; for the average model, the same good count)
+/// and with the configured trust model — a snapshot taken under a
+/// different model is rejected, not misread.
+fn decode(
+    data: &[u8],
+    path: &Path,
+    shard: u32,
+    shards: u32,
+    model: TrustModel,
+) -> Result<LoadedSnapshot, SnapshotError> {
+    if data.len() < HEADER_LEN + 4 {
+        return Err(corrupt(path, "file shorter than header"));
+    }
+    let (body, trailer) = data.split_at(data.len() - 4);
+    let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(corrupt(path, "crc mismatch"));
+    }
+    let mut r = Reader { data: body, at: 0 };
+    if r.take(4) != Some(&MAGIC) {
+        return Err(corrupt(path, "bad magic"));
+    }
+    if r.u32() != Some(VERSION) {
+        return Err(corrupt(path, "unknown version"));
+    }
+    if r.u32() != Some(shard) || r.u32() != Some(shards) {
+        return Err(corrupt(path, "snapshot belongs to a different shard"));
+    }
+    let seq = r.u64().ok_or_else(|| corrupt(path, "truncated header"))?;
+    let journal_records = r.u64().ok_or_else(|| corrupt(path, "truncated header"))?;
+    let server_count = r.u64().ok_or_else(|| corrupt(path, "truncated header"))?;
+    let mut states = HashMap::with_capacity(server_count.min(1 << 20) as usize);
+    for _ in 0..server_count {
+        let server = ServerId::new(r.u64().ok_or_else(|| corrupt(path, "truncated server"))?);
+        let trust = decode_trust(&mut r, path, model)?;
+        let len = r.u64().ok_or_else(|| corrupt(path, "truncated history"))? as usize;
+        let words = r
+            .u64s(len.div_ceil(64))
+            .ok_or_else(|| corrupt(path, "truncated outcome words"))?;
+        let outcomes = BitColumn::from_words(words, len)
+            .ok_or_else(|| corrupt(path, "outcome bits set past the end"))?;
+        let client_count =
+            r.u64().ok_or_else(|| corrupt(path, "truncated client dictionary"))? as usize;
+        if client_count > len.max(1) {
+            return Err(corrupt(path, "more clients than transactions"));
+        }
+        let clients = r
+            .u64s(client_count)
+            .ok_or_else(|| corrupt(path, "truncated client dictionary"))?
+            .into_iter()
+            .map(ClientId::new)
+            .collect();
+        let codes = r
+            .u32s(len)
+            .ok_or_else(|| corrupt(path, "truncated issuer codes"))?;
+        let issuers = IssuerColumn::from_parts(clients, codes, &outcomes)
+            .ok_or_else(|| corrupt(path, "inconsistent issuer column"))?;
+        if trust.transactions() != len as u64 {
+            return Err(corrupt(path, "trust state disagrees with history length"));
+        }
+        if let TrustState::Average(s) = &trust {
+            if s.raw_parts().0 != outcomes.total_good() {
+                return Err(corrupt(path, "trust state disagrees with good count"));
+            }
+        }
+        let history = ColumnarHistory::from_columns(Some(server), outcomes, issuers)
+            .ok_or_else(|| corrupt(path, "inconsistent history columns"))?;
+        if states
+            .insert(server, ServerState::from_snapshot(history, trust))
+            .is_some()
+        {
+            return Err(corrupt(path, "duplicate server record"));
+        }
+    }
+    if r.at != body.len() {
+        return Err(corrupt(path, "trailing bytes after last server"));
+    }
+    Ok(LoadedSnapshot {
+        states,
+        journal_records,
+        seq,
+    })
+}
+
+trait TrustTransactions {
+    fn transactions(&self) -> u64;
+}
+
+impl TrustTransactions for TrustState {
+    fn transactions(&self) -> u64 {
+        match self {
+            TrustState::Average(s) => IncrementalTrust::transactions(s),
+            TrustState::Weighted(s) => IncrementalTrust::transactions(s),
+        }
+    }
+}
+
+fn decode_trust(
+    r: &mut Reader<'_>,
+    path: &Path,
+    model: TrustModel,
+) -> Result<TrustState, SnapshotError> {
+    match r.u8() {
+        Some(TRUST_AVERAGE) => {
+            if !matches!(model, TrustModel::Average) {
+                return Err(corrupt(path, "trust model mismatch"));
+            }
+            let good = r.u64().ok_or_else(|| corrupt(path, "truncated trust state"))?;
+            let total = r.u64().ok_or_else(|| corrupt(path, "truncated trust state"))?;
+            AverageTrustState::from_raw_parts(good, total)
+                .map(TrustState::Average)
+                .ok_or_else(|| corrupt(path, "invalid average trust counters"))
+        }
+        Some(TRUST_WEIGHTED) => {
+            let lambda_bits = r.u64().ok_or_else(|| corrupt(path, "truncated trust state"))?;
+            let r_bits = r.u64().ok_or_else(|| corrupt(path, "truncated trust state"))?;
+            let count = r.u64().ok_or_else(|| corrupt(path, "truncated trust state"))?;
+            let matches_model = matches!(
+                model,
+                TrustModel::Weighted { lambda } if lambda.to_bits() == lambda_bits
+            );
+            if !matches_model {
+                return Err(corrupt(path, "trust model mismatch"));
+            }
+            WeightedTrustState::from_raw_parts(
+                f64::from_bits(lambda_bits),
+                f64::from_bits(r_bits),
+                count,
+            )
+            .map(TrustState::Weighted)
+            .map_err(|_| corrupt(path, "invalid weighted trust state"))
+        }
+        _ => Err(corrupt(path, "unknown trust tag")),
+    }
+}
+
+/// Live recovery progress, shared between the booting service and
+/// whoever reports health (the edge's `/healthz` WARMING body).
+///
+/// All counters are monotone within one boot; readers may observe
+/// mid-update combinations, which is fine for progress reporting.
+#[derive(Debug, Default)]
+pub struct BootProgress {
+    journal_records: AtomicU64,
+    replayed_records: AtomicU64,
+    snapshots_loaded: AtomicU64,
+    shards_total: AtomicU64,
+    shards_ready: AtomicU64,
+}
+
+/// A point-in-time copy of [`BootProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BootStatus {
+    /// Total journal records discovered across shards (grows as shards
+    /// open their journals).
+    pub journal_records: u64,
+    /// Records folded so far (journal replay after the snapshot, or the
+    /// full journal when no snapshot was usable).
+    pub replayed_records: u64,
+    /// Shards that restored a valid snapshot.
+    pub snapshots_loaded: u64,
+    /// Shards the service is booting.
+    pub shards_total: u64,
+    /// Shards whose recovery finished.
+    pub shards_ready: u64,
+}
+
+impl BootProgress {
+    /// Fresh all-zero progress.
+    pub fn new() -> Self {
+        BootProgress::default()
+    }
+
+    pub(crate) fn set_shards(&self, n: u64) {
+        self.shards_total.store(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_journal_records(&self, n: u64) {
+        self.journal_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_replayed(&self, n: u64) {
+        self.replayed_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_snapshot_loaded(&self) {
+        self.snapshots_loaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_shard_ready(&self) {
+        self.shards_ready.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting.
+    pub fn status(&self) -> BootStatus {
+        BootStatus {
+            journal_records: self.journal_records.load(Ordering::Relaxed),
+            replayed_records: self.replayed_records.load(Ordering::Relaxed),
+            snapshots_loaded: self.snapshots_loaded.load(Ordering::Relaxed),
+            shards_total: self.shards_total.load(Ordering::Relaxed),
+            shards_ready: self.shards_ready.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_core::{Feedback, Rating};
+
+    fn policy(retain: usize) -> SnapshotPolicy {
+        SnapshotPolicy {
+            interval_records: 1000,
+            retain,
+            compact_journal: false,
+        }
+    }
+
+    fn build_states(model: TrustModel, n: usize) -> HashMap<ServerId, ServerState> {
+        let mut states: HashMap<ServerId, ServerState> = HashMap::new();
+        for t in 0..n as u64 {
+            let server = ServerId::new(t % 5);
+            let f = Feedback::new(
+                t,
+                server,
+                ClientId::new(t % 13),
+                Rating::from_good(t % 7 != 0),
+            );
+            states
+                .entry(server)
+                .or_insert_with(|| ServerState::new(model).unwrap())
+                .ingest(f);
+        }
+        states
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hp-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn assert_same_states(a: &HashMap<ServerId, ServerState>, b: &HashMap<ServerId, ServerState>) {
+        assert_eq!(a.len(), b.len());
+        for (id, state) in a {
+            let other = &b[id];
+            assert_eq!(state.version(), other.version(), "server {id:?}");
+            assert_eq!(state.trust(), other.trust(), "server {id:?}");
+            assert_eq!(
+                state.history().outcome_bits().words(),
+                other.history().outcome_bits().words(),
+            );
+            assert_eq!(
+                state.history().issuer_column().codes(),
+                other.history().issuer_column().codes(),
+            );
+        }
+    }
+
+
+    #[test]
+    fn round_trip_is_lossless_for_both_models() {
+        for model in [TrustModel::Average, TrustModel::Weighted { lambda: 0.5 }] {
+            let states = build_states(model, 257);
+            let bytes = encode(3, 8, 7, 257, &states);
+            let loaded = decode(&bytes, Path::new("x"), 3, 8, model).unwrap();
+            assert_eq!(loaded.seq, 7);
+            assert_eq!(loaded.journal_records, 257);
+            assert_same_states(&states, &loaded.states);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let model = TrustModel::Weighted { lambda: 0.5 };
+        let states = build_states(model, 64);
+        let bytes = encode(0, 1, 0, 64, &states);
+        // Step through the file; CRC catches every flip.
+        for at in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x10;
+            assert!(
+                decode(&bad, Path::new("x"), 0, 1, model).is_err(),
+                "flip at {at} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_rejected() {
+        let model = TrustModel::Average;
+        let states = build_states(model, 40);
+        let bytes = encode(0, 1, 0, 40, &states);
+        for keep in (0..bytes.len()).step_by(5) {
+            assert!(decode(&bytes[..keep], Path::new("x"), 0, 1, model).is_err());
+        }
+    }
+
+    #[test]
+    fn model_mismatch_is_rejected() {
+        let states = build_states(TrustModel::Average, 32);
+        let bytes = encode(0, 1, 0, 32, &states);
+        let err = decode(&bytes, Path::new("x"), 0, 1, TrustModel::Weighted { lambda: 0.5 })
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }));
+        // Different lambda is a mismatch too.
+        let states = build_states(TrustModel::Weighted { lambda: 0.5 }, 32);
+        let bytes = encode(0, 1, 0, 32, &states);
+        assert!(decode(&bytes, Path::new("x"), 0, 1, TrustModel::Weighted { lambda: 0.25 })
+            .is_err());
+    }
+
+    #[test]
+    fn store_retention_and_manifest_round_trip() {
+        let dir = temp_dir("retention");
+        let model = TrustModel::Weighted { lambda: 0.5 };
+        let mut store = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        assert!(store.newest_offset().is_none());
+        assert!(store.compact_floor().is_none());
+        for k in 1..=4u64 {
+            let states = build_states(model, (k * 50) as usize);
+            store.write(&states, k * 50).unwrap();
+        }
+        assert_eq!(store.newest_offset(), Some(200));
+        assert_eq!(store.compact_floor(), Some(150));
+        // Only `retain` files remain on disk.
+        let files = scan_snapshots(&dir, 0).unwrap();
+        assert_eq!(files.len(), 2);
+        // A reopened store sees the same entries via the manifest.
+        let reopened = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        assert_eq!(reopened.candidates(), store.candidates());
+        assert_eq!(reopened.next_seq, store.next_seq);
+        let newest = &reopened.candidates()[0];
+        let loaded = reopened.load(newest, model).unwrap();
+        assert_eq!(loaded.journal_records, 200);
+        assert_same_states(&build_states(model, 200), &loaded.states);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_manifest_degrades_to_directory_scan() {
+        let dir = temp_dir("garbage-manifest");
+        let model = TrustModel::Average;
+        let mut store = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        store.write(&build_states(model, 30), 30).unwrap();
+        store.write(&build_states(model, 60), 60).unwrap();
+        fs::write(manifest_path(&dir, 0), b"not a manifest at all\nzzz\n").unwrap();
+        let reopened = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        let cands = reopened.candidates();
+        assert_eq!(cands.len(), 2);
+        // Offsets are unknown (names are not trusted) …
+        assert!(reopened.newest_offset().is_none());
+        assert!(reopened.compact_floor().is_none());
+        // … but the files themselves still load and carry their offset.
+        let loaded = reopened.load(&cands[0], model).unwrap();
+        assert_eq!(loaded.journal_records, 60);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_line_bit_flip_drops_only_that_entry() {
+        let dir = temp_dir("manifest-flip");
+        let model = TrustModel::Average;
+        let mut store = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        store.write(&build_states(model, 30), 30).unwrap();
+        store.write(&build_states(model, 60), 60).unwrap();
+        let path = manifest_path(&dir, 0);
+        let mut text = fs::read_to_string(&path).unwrap();
+        // Corrupt the newest entry's offset digits (line 2).
+        let lines: Vec<&str> = text.lines().collect();
+        let bad = lines[1].replace("60", "99");
+        text = format!("{}\n{}\n{}\n", lines[0], bad, lines[2]);
+        fs::write(&path, text).unwrap();
+        let reopened = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        // The flipped line fails its CRC: its offset is forgotten, and the
+        // file resurfaces via the scan with an unknown offset.
+        assert_eq!(reopened.newest_offset(), Some(30));
+        assert_eq!(reopened.candidates().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_renamed_snapshot() {
+        let dir = temp_dir("renamed");
+        let model = TrustModel::Average;
+        let mut store = SnapshotStore::open(&dir, 0, 1, &policy(3)).unwrap();
+        store.write(&build_states(model, 30), 30).unwrap();
+        // Pretend an old file is the newest by renaming it.
+        fs::rename(
+            dir.join(snapshot_file_name(0, 0)),
+            dir.join(snapshot_file_name(0, 9)),
+        )
+        .unwrap();
+        fs::remove_file(manifest_path(&dir, 0)).unwrap();
+        let reopened = SnapshotStore::open(&dir, 0, 1, &policy(3)).unwrap();
+        let cand = &reopened.candidates()[0];
+        assert_eq!(cand.seq, 9);
+        assert!(matches!(
+            reopened.load(cand, model),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_progress_reports_counters() {
+        let p = BootProgress::new();
+        p.set_shards(4);
+        p.add_journal_records(100);
+        p.add_replayed(40);
+        p.note_snapshot_loaded();
+        p.note_shard_ready();
+        let s = p.status();
+        assert_eq!(s.shards_total, 4);
+        assert_eq!(s.journal_records, 100);
+        assert_eq!(s.replayed_records, 40);
+        assert_eq!(s.snapshots_loaded, 1);
+        assert_eq!(s.shards_ready, 1);
+    }
+}

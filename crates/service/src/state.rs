@@ -89,6 +89,22 @@ impl ServerState {
         &self.history
     }
 
+    /// The streaming trust state (snapshot payload).
+    pub fn trust(&self) -> &TrustState {
+        &self.trust
+    }
+
+    /// Reassembles a state from snapshot parts. The verdict cache starts
+    /// empty — exactly where a journal-replayed state starts — so the
+    /// first assess after either recovery path computes the same thing.
+    pub fn from_snapshot(history: ColumnarHistory, trust: TrustState) -> Self {
+        ServerState {
+            history,
+            trust,
+            cached: None,
+        }
+    }
+
     /// The history version: the number of feedbacks ingested so far.
     pub fn version(&self) -> u64 {
         self.history.version()

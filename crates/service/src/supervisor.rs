@@ -28,16 +28,23 @@
 
 use crate::config::SupervisionConfig;
 use crate::obs::TraceKind;
-use crate::shard::{apply_feedback, worker_loop, Command, ShardContext, ShardHandle};
+use crate::shard::{
+    apply_feedback, take_checkpoint, worker_loop, Command, ShardContext, ShardHandle,
+};
+use crate::snapshot::ManifestEntry;
 use crate::state::ServerState;
 use crossbeam::channel::{self, Receiver};
-use hp_core::ServerId;
+use hp_core::{Feedback, ServerId};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+/// Boot-progress updates are batched: one atomic add per this many
+/// records folded, so progress reporting costs nothing measurable.
+const PROGRESS_CHUNK: u64 = 8192;
 
 /// Spawns the supervised worker thread for one shard and returns its
 /// handle. `queue_capacity == 0` means an unbounded command queue.
@@ -71,8 +78,14 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
     // process incarnation is folded here before the first command.
     let Some(mut states) = rebuild(ctx, &mut quarantine) else {
         ctx.counters().add_shard_failed();
+        if let Some(boot) = &ctx.boot {
+            boot.note_shard_ready(); // failed, but no longer booting
+        }
         return;
     };
+    if let Some(boot) = &ctx.boot {
+        boot.note_shard_ready();
+    }
     let mut restarts: u32 = 0;
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| worker_loop(rx, &mut states, ctx)));
@@ -96,7 +109,15 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
                     );
                 thread::sleep(backoff_delay(supervision, restarts));
                 match rebuild(ctx, &mut quarantine) {
-                    Some(rebuilt) => states = rebuilt,
+                    Some(rebuilt) => {
+                        states = rebuilt;
+                        // Checkpoint the freshly rebuilt state: the next
+                        // crash (or process restart) then recovers from
+                        // here instead of re-folding this replay again.
+                        if ctx.snapshots.is_some() {
+                            let _ = take_checkpoint(&states, ctx);
+                        }
+                    }
                     None => {
                         ctx.counters().add_shard_failed();
                         return;
@@ -117,26 +138,114 @@ pub(crate) fn backoff_delay(supervision: &SupervisionConfig, restart: u32) -> Du
     delay.min(supervision.backoff_cap)
 }
 
-/// Rebuilds shard state as a fold over the journal, quarantining records
-/// that repeatedly crash the fold. Returns `None` only when the journal
-/// itself cannot be read or the fold fails outside any record.
+/// Rebuilds shard state, trying the fastest sound path first:
+///
+/// 1. each retained snapshot, newest first — load + validate, then fold
+///    only the journal tail past its offset;
+/// 2. full journal replay from record 0.
+///
+/// Every rejected candidate (corrupt file, missing tail, crash budget
+/// exhausted) is counted and traced as a fallback. Returns `None` only
+/// when *no* path can produce a provably correct state — including a
+/// compacted journal whose snapshots are all invalid, where a partial
+/// fold would silently produce wrong verdicts.
 fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<ServerId, ServerState>> {
     let replay_t0 = std::time::Instant::now();
     ctx.obs.tracer().emit(ctx.shard, 0, TraceKind::ReplayStart);
-    let feedbacks = ctx.journal.lock().replay().ok()?;
+    if let Some(snaps) = &ctx.snapshots {
+        let candidates = snaps.store.lock().candidates();
+        for entry in candidates {
+            if let Some(states) = recover_from_snapshot(ctx, quarantine, &entry, replay_t0) {
+                return Some(states);
+            }
+            ctx.counters().add_snapshot_fallback();
+            ctx.obs.tracer().emit(ctx.shard, 0, TraceKind::SnapshotFallback);
+        }
+    }
+    // Fallback floor: fold the whole journal from record 0.
+    let (start, feedbacks) = ctx.journal.lock().replay_from(0).ok()?;
+    if start > 0 {
+        // The journal was compacted (its head is gone) and no snapshot
+        // was usable: a full rebuild would be missing the first `start`
+        // records. Never serve from partial state — fail the shard.
+        return None;
+    }
+    fold_tail(ctx, quarantine, &feedbacks, 0, replay_t0, || Some(HashMap::new()))
+}
+
+/// One step of the fallback chain: load + validate `entry`, check the
+/// journal actually starts where the snapshot ends, then fold the tail
+/// on top. `None` means "reject this candidate, fall down the chain".
+fn recover_from_snapshot(
+    ctx: &ShardContext,
+    quarantine: &mut Quarantine,
+    entry: &ManifestEntry,
+    replay_t0: std::time::Instant,
+) -> Option<HashMap<ServerId, ServerState>> {
+    let snaps = ctx.snapshots.as_ref()?;
+    let loaded = snaps.store.lock().load(entry, ctx.model).ok()?;
+    let offset = loaded.journal_records;
+    let (start, tail) = ctx.journal.lock().replay_from(offset).ok()?;
+    if start != offset {
+        // `start > offset`: the journal was compacted past this
+        // snapshot's coverage, its tail is gone. `start < offset`: the
+        // journal is shorter than the snapshot claims to cover (e.g. a
+        // restored older journal file). Either way the snapshot + this
+        // journal cannot reproduce the fold — reject.
+        return None;
+    }
+    if let Some(boot) = &ctx.boot {
+        boot.note_snapshot_loaded();
+        // The prefix covered by the snapshot counts as recovered.
+        boot.add_replayed(offset);
+    }
+    // On a crash-retry the snapshot is reloaded from disk: the on-disk
+    // copy is pristine (the previous attempt only mutated its in-memory
+    // clone), and the quarantine budget bounds the number of reloads.
+    let mut first = Some(loaded);
+    fold_tail(ctx, quarantine, &tail, offset, replay_t0, move || match first.take() {
+        Some(l) => Some(l.states),
+        None => snaps.store.lock().load(entry, ctx.model).ok().map(|l| l.states),
+    })
+}
+
+/// Folds `feedbacks` (whose first record has absolute journal index
+/// `base`) onto states produced by `init`, quarantining records that
+/// repeatedly crash the fold. `init` runs once per attempt — a fresh
+/// empty map for full replay, a freshly loaded snapshot for tail replay.
+fn fold_tail(
+    ctx: &ShardContext,
+    quarantine: &mut Quarantine,
+    feedbacks: &[Feedback],
+    base: u64,
+    replay_t0: std::time::Instant,
+    mut init: impl FnMut() -> Option<HashMap<ServerId, ServerState>>,
+) -> Option<HashMap<ServerId, ServerState>> {
     loop {
+        let mut states = init()?;
         // `progress` is written before each apply so a panic can be
         // attributed to the exact journal index that caused it.
         let progress = AtomicUsize::new(usize::MAX);
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            let mut states = HashMap::new();
-            for (index, feedback) in feedbacks.iter().enumerate() {
+            let mut replayed_in_chunk = 0u64;
+            for (i, feedback) in feedbacks.iter().enumerate() {
+                let index = base as usize + i;
                 if quarantine.is_skipped(index) {
                     continue;
                 }
                 progress.store(index, Ordering::Relaxed);
                 ctx.faults.before_apply(feedback);
                 apply_feedback(&mut states, *feedback, ctx.model);
+                if let Some(boot) = &ctx.boot {
+                    replayed_in_chunk += 1;
+                    if replayed_in_chunk == PROGRESS_CHUNK {
+                        boot.add_replayed(replayed_in_chunk);
+                        replayed_in_chunk = 0;
+                    }
+                }
+            }
+            if let Some(boot) = &ctx.boot {
+                boot.add_replayed(replayed_in_chunk);
             }
             states
         }));

@@ -10,10 +10,10 @@ use hp_core::testing::BehaviorTestConfig;
 use hp_core::{ClientId, Feedback, Rating, ServerId, TransactionHistory};
 use hp_service::journal::{read_journal, FileJournal, FsyncPolicy};
 use hp_service::replay::{restamp, OfflineReference};
-use hp_service::{Durability, ReputationService, ServiceConfig};
+use hp_service::{Durability, ReputationService, ServiceConfig, SnapshotPolicy};
 use hp_sim::workload;
 use proptest::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const HEADER_LEN: u64 = 16;
@@ -265,6 +265,207 @@ proptest! {
         prop_assert_eq!(service.stats().journal_records, len as u64);
         drop(service);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Snapshot recovery properties: a snapshot is an *accelerator*, never a
+/// second source of truth. Whatever happens to the snapshot files (torn
+/// write, flipped byte, garbage manifest), recovery walks the fallback
+/// chain — older snapshot, then full journal replay — and lands on the
+/// same bit-identical state; when the journal has been compacted past
+/// the last valid snapshot, the shard fails loudly instead of answering
+/// from a partial fold.
+mod snapshots {
+    use super::*;
+
+    /// Durable journal + snapshots; automatic checkpoints disabled so
+    /// tests place checkpoints deliberately via `checkpoint()`.
+    fn snapshot_config(dir: &Path, compact: bool) -> ServiceConfig {
+        fast_config()
+            .with_durability(Durability::Durable {
+                dir: dir.to_path_buf(),
+                fsync: FsyncPolicy::EveryBatch,
+            })
+            .with_snapshots(SnapshotPolicy {
+                interval_records: 0,
+                retain: 2,
+                compact_journal: compact,
+            })
+    }
+
+    /// Snapshot files for shard 0, oldest first.
+    fn snapshot_files(dir: &PathBuf) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "hps"))
+            .collect();
+        files.sort(); // seq is zero-padded hex, so name order = age order
+        files
+    }
+
+    /// Two deliberate checkpoints with journal compaction: the journal
+    /// prefix is gone, so a successful bit-identical restart *proves*
+    /// recovery came through the snapshot.
+    #[test]
+    fn compacted_journal_restart_recovers_through_snapshot() {
+        let dir = temp_dir("snap-compacted");
+        let server = ServerId::new(3);
+        let feedbacks = restamp(&workload::honest_history(600, 0.9, 0xBEEF), server);
+        let config = snapshot_config(&dir, true);
+        {
+            let service = ReputationService::new(config.clone()).unwrap();
+            service.ingest_batch(feedbacks[..400].to_vec()).unwrap();
+            let summary = service.checkpoint().unwrap();
+            assert_eq!(summary.shards_snapshotted, 1);
+            assert!(summary.snapshot_bytes > 0);
+            service.ingest_batch(feedbacks[400..].to_vec()).unwrap();
+            // Second checkpoint: two retained snapshots, so the journal
+            // compacts to the older one's offset (400).
+            let summary = service.checkpoint().unwrap();
+            assert_eq!(summary.journal_records_compacted, 400);
+            assert!(service.stats().snapshots_written >= 2);
+            service.shutdown();
+        }
+        let service = ReputationService::new(config.clone()).unwrap();
+        let online = service.assess(server).expect("assess after restart");
+        assert_eq!(*online, offline_verdict(&config, feedbacks));
+        let stats = service.stats();
+        assert_eq!(stats.journal_records, 600, "absolute count survives compaction");
+        assert_eq!(stats.snapshot_fallbacks, 0);
+        assert_eq!(stats.failed_shards, 0);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Manifest destroyed (garbage or deleted) and a stray `.tmp` from a
+    /// killed writer left behind: the directory scan still finds the
+    /// real snapshots and recovery stays bit-identical.
+    #[test]
+    fn garbage_or_missing_manifest_degrades_to_directory_scan() {
+        for wreck in ["garbage", "deleted"] {
+            let dir = temp_dir("snap-manifest");
+            let server = ServerId::new(7);
+            let feedbacks = restamp(&workload::honest_history(450, 0.88, 0xACE), server);
+            let config = snapshot_config(&dir, false);
+            {
+                let service = ReputationService::new(config.clone()).unwrap();
+                service.ingest_batch(feedbacks[..300].to_vec()).unwrap();
+                service.checkpoint().unwrap();
+                service.ingest_batch(feedbacks[300..].to_vec()).unwrap();
+                service.shutdown();
+            }
+            let manifest = dir.join("shard-0.manifest");
+            match wreck {
+                "garbage" => std::fs::write(&manifest, b"\x00\xffnot a manifest\n").unwrap(),
+                _ => std::fs::remove_file(&manifest).unwrap(),
+            }
+            // A torn temp file from a writer killed mid-snapshot must be
+            // ignored by the scan.
+            std::fs::write(dir.join("shard-0-00000000000000aa.hps.tmp"), b"torn").unwrap();
+
+            let service = ReputationService::new(config.clone()).unwrap();
+            let online = service.assess(server).expect("assess after restart");
+            assert_eq!(*online, offline_verdict(&config, feedbacks.clone()));
+            assert_eq!(service.stats().failed_shards, 0, "wreck={wreck}");
+            drop(service);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// Every snapshot corrupted *and* the journal compacted past them:
+    /// there is no consistent state to rebuild, and the shard must fail
+    /// loudly (unavailable) rather than answer from a partial fold.
+    #[test]
+    fn unrecoverable_shard_fails_loudly_never_answers_wrong() {
+        let dir = temp_dir("snap-unrecoverable");
+        let server = ServerId::new(4);
+        let feedbacks = restamp(&workload::honest_history(500, 0.9, 0xF00), server);
+        let config = snapshot_config(&dir, true);
+        {
+            let service = ReputationService::new(config.clone()).unwrap();
+            service.ingest_batch(feedbacks[..350].to_vec()).unwrap();
+            service.checkpoint().unwrap();
+            service.ingest_batch(feedbacks[350..].to_vec()).unwrap();
+            service.checkpoint().unwrap(); // compacts the journal to 350
+            service.shutdown();
+        }
+        for file in snapshot_files(&dir) {
+            let mut data = std::fs::read(&file).unwrap();
+            let mid = data.len() / 2;
+            data[mid] ^= 0xFF;
+            std::fs::write(&file, &data).unwrap();
+        }
+        let service = ReputationService::new(config).unwrap();
+        assert!(service.assess(server).is_err(), "no answer beats a wrong answer");
+        let stats = service.stats();
+        assert_eq!(stats.failed_shards, 1);
+        assert!(stats.snapshot_fallbacks >= 1);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        // Each case builds two services (each calibrates); keep it low.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Corrupt the newest snapshot at *any* byte — flip or truncate,
+        /// the torn-write and bit-rot cases — and recovery falls back
+        /// (older snapshot + longer journal tail, or full replay when
+        /// every snapshot is wrecked) to a bit-identical verdict.
+        #[test]
+        fn corrupt_snapshot_at_any_byte_falls_back_bit_identical(
+            n1 in 80usize..300,
+            n2 in 1usize..150,
+            p in 0.7f64..0.98,
+            seed in any::<u64>(),
+            at_frac in 0.0f64..1.0,
+            truncate in any::<bool>(),
+            wreck_all in any::<bool>(),
+        ) {
+            let dir = temp_dir("snap-corrupt");
+            let server = ServerId::new(seed % 89);
+            let feedbacks =
+                restamp(&workload::honest_history(n1 + n2, p, seed), server);
+            // No compaction: the journal keeps everything, so even a
+            // total snapshot loss must recover via full replay.
+            let config = snapshot_config(&dir, false);
+            {
+                let service = ReputationService::new(config.clone()).unwrap();
+                service.ingest_batch(feedbacks[..n1].to_vec()).unwrap();
+                service.checkpoint().unwrap();
+                service.ingest_batch(feedbacks[n1..].to_vec()).unwrap();
+                service.shutdown(); // final checkpoint at n1+n2
+            }
+            let files = snapshot_files(&dir);
+            prop_assert!(files.len() >= 2);
+            let victims: Vec<PathBuf> = if wreck_all {
+                files
+            } else {
+                vec![files.last().unwrap().clone()]
+            };
+            let wrecked = victims.len() as u64;
+            for file in victims {
+                let mut data = std::fs::read(&file).unwrap();
+                let at = ((at_frac * data.len() as f64) as usize).min(data.len() - 1);
+                if truncate {
+                    data.truncate(at);
+                } else {
+                    data[at] ^= 0xFF;
+                }
+                std::fs::write(&file, &data).unwrap();
+            }
+
+            let service = ReputationService::new(config.clone()).unwrap();
+            let online = service.assess(server).expect("assess after fallback");
+            prop_assert_eq!(&*online, &offline_verdict(&config, feedbacks));
+            let stats = service.stats();
+            prop_assert_eq!(stats.snapshot_fallbacks, wrecked);
+            prop_assert_eq!(stats.journal_records, (n1 + n2) as u64);
+            prop_assert_eq!(stats.failed_shards, 0);
+            drop(service);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }
 
