@@ -121,6 +121,41 @@ print(
 )
 PYEOF
 
+echo "==> tracing-overhead bench (writes experiments/out/bench_obs.json)"
+if [ "$QUICK" -eq 0 ]; then
+    cargo bench --offline -p hp-bench --bench obs >/dev/null
+else
+    echo "    (skipped: --quick; gate checks the existing json)"
+fi
+
+echo "==> tracing-overhead gate (bench json vs committed baseline)"
+OBS_JSON=experiments/out/bench_obs.json
+OBS_BASE=experiments/baselines/bench_obs_baseline.json
+[ -f "$OBS_JSON" ] || { echo "missing $OBS_JSON (run: cargo bench -p hp-bench --bench obs)"; exit 1; }
+[ -f "$OBS_BASE" ] || { echo "missing $OBS_BASE"; exit 1; }
+python3 - "$OBS_JSON" "$OBS_BASE" <<'PYEOF'
+import json, sys
+gate = json.load(open(sys.argv[1]))["gate"]
+base = json.load(open(sys.argv[2]))["gate"]
+if gate["disabled_overhead_pct"] > base["max_disabled_overhead_pct"]:
+    sys.exit(
+        f"spans-disabled overhead regression: {gate['disabled_overhead_pct']}% "
+        f"> {base['max_disabled_overhead_pct']}% budget (the disabled path "
+        f"must cost one relaxed atomic load)"
+    )
+if gate["enabled_overhead_pct"] > base["max_enabled_overhead_pct"]:
+    sys.exit(
+        f"spans-enabled overhead regression: {gate['enabled_overhead_pct']}% "
+        f"> {base['max_enabled_overhead_pct']}% budget on the ingest workload"
+    )
+print(
+    f"    span overhead: disabled {gate['disabled_overhead_pct']}% "
+    f"(budget {base['max_disabled_overhead_pct']}%), enabled "
+    f"{gate['enabled_overhead_pct']}% (budget {base['max_enabled_overhead_pct']}%), "
+    f"enabled vs bare cache-hit assess {gate['assess_enabled_overhead_pct']}% (info)"
+)
+PYEOF
+
 echo "==> recovery bench (writes experiments/out/bench_recovery.json)"
 if [ "$QUICK" -eq 0 ]; then
     cargo bench --offline -p hp-bench --bench recovery >/dev/null

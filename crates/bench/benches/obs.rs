@@ -1,0 +1,380 @@
+//! Tracing-overhead benchmarks: what span-tree collection costs on the
+//! assess path, and what it costs when switched off.
+//!
+//! Like `benches/recovery.rs` this harness hand-rolls its measurement
+//! loop so it can emit machine-readable results: every row is printed
+//! and also written as JSON to `experiments/out/bench_obs.json`
+//! (override the directory with `HP_BENCH_OUT`). The JSON carries a
+//! `gate` object with the spans-disabled and spans-enabled overhead over
+//! the plain-assess baseline, which `ci.sh` compares against
+//! `experiments/baselines/bench_obs_baseline.json`.
+//!
+//! Shapes to look for:
+//!
+//! * `ingest/*` — the `tracing_overhead` workload (batched ingest with a
+//!   stats barrier) as the edge runs it: `baseline` plain, `spans_disabled`
+//!   adds the store's enabled check, `spans_enabled` builds and records
+//!   one span tree per batch request. The enabled-path gate (≤5%)
+//!   measures here, where a request does a request's worth of work;
+//! * `assess/*` — the same trio over single cache-hit assessments, the
+//!   cheapest request the service can answer (~µs channel round-trip)
+//!   and therefore the *worst case* denominator for span overhead. The
+//!   disabled-path gate (≤1%) measures here; the enabled number is
+//!   reported for visibility but not gated — per-request span cost is a
+//!   few hundred ns, which any socketed request amortizes but a bare
+//!   in-process cache hit does not;
+//! * `span/build_record` — the span subsystem alone (build a 5-stage
+//!   tree + record), isolating its cost from the service call;
+//! * `span/disabled_check` — the disabled-path check on its own: one
+//!   relaxed load, nanoseconds.
+
+use hp_core::testing::BehaviorTestConfig;
+use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::obs::{next_trace_id, SpanBuilder, SpanStore};
+use hp_service::{ReputationService, ServiceConfig};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Assess calls folded into one timed sample, smoothing channel jitter.
+const CALLS_PER_SAMPLE: usize = 512;
+/// Ingest requests folded into one timed sample.
+const BATCHES_PER_SAMPLE: usize = 4;
+/// Records per ingest request (the edge's typical `/ingest` body).
+const INGEST_BATCH: usize = 1_024;
+const SAMPLES: usize = 60;
+const SERVERS: u64 = 64;
+
+struct Row {
+    name: String,
+    samples: usize,
+    /// Operations per sample (per-op figures divide by this).
+    ops: u64,
+    mean_ns: u128,
+    p50_ns: u128,
+    p99_ns: u128,
+    min_ns: u128,
+}
+
+fn row_from(name: &str, ops: u64, mut ns: Vec<u128>) -> Row {
+    ns.sort_unstable();
+    let p = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+    Row {
+        name: name.to_string(),
+        samples: ns.len(),
+        ops,
+        mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+        p50_ns: p(0.50),
+        p99_ns: p(0.99),
+        min_ns: ns[0],
+    }
+}
+
+fn measure<O>(name: &str, ops: u64, mut routine: impl FnMut() -> O) -> Row {
+    black_box(routine()); // warm-up
+    let ns: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(routine());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    row_from(name, ops, ns)
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_row(row: &Row) {
+    let per_op = if row.ops > 0 {
+        format!("  ({}/op)", fmt_ns(row.p50_ns / u128::from(row.ops)))
+    } else {
+        String::new()
+    };
+    println!(
+        "{:<28} {:>4} samples  mean {}  p50 {}  p99 {}{per_op}",
+        row.name,
+        row.samples,
+        fmt_ns(row.mean_ns),
+        fmt_ns(row.p50_ns),
+        fmt_ns(row.p99_ns),
+    );
+}
+
+fn json(rows: &[Row], gate: &str) -> String {
+    let mut out = String::from("{\"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"samples\":{},\"ops\":{},\"mean_ns\":{},\
+             \"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{}}}{}\n",
+            row.name,
+            row.samples,
+            row.ops,
+            row.mean_ns,
+            row.p50_ns,
+            row.p99_ns,
+            row.min_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("\"gate\": {gate}}}\n"));
+    out
+}
+
+fn warm_service() -> ReputationService {
+    let config = ServiceConfig::default()
+        .with_shards(2)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(500)
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![], vec![]);
+    let service = ReputationService::new(config).unwrap();
+    let feedbacks: Vec<Feedback> = (0..4_096u64)
+        .map(|t| {
+            Feedback::new(
+                t,
+                ServerId::new(t % SERVERS),
+                ClientId::new(t % 101),
+                Rating::from_good(!t.is_multiple_of(19)),
+            )
+        })
+        .collect();
+    service.ingest_batch(feedbacks).unwrap();
+    // Publish every verdict once so the measured loops run the steady
+    // state: versioned-cache hits over the shard channel.
+    for id in 0..SERVERS {
+        service.assess(ServerId::new(id)).unwrap();
+    }
+    service
+}
+
+fn batch(start_t: u64, len: usize) -> Vec<Feedback> {
+    (0..len as u64)
+        .map(|i| {
+            let t = start_t + i;
+            Feedback::new(
+                t,
+                ServerId::new(t % SERVERS),
+                ClientId::new(t % 101),
+                Rating::from_good(!t.is_multiple_of(19)),
+            )
+        })
+        .collect()
+}
+
+/// One edge-shaped `/ingest` request: the store's enabled check, the
+/// traced batch ingest, and (spans on) a parse/dispatch tree recorded —
+/// the same stages the edge stitches around a real request body.
+fn edge_shaped_ingest(service: &ReputationService, store: &SpanStore, t: &mut u64) {
+    let feedbacks = batch(*t, INGEST_BATCH);
+    *t += INGEST_BATCH as u64;
+    let trace = if store.enabled() { next_trace_id() } else { 0 };
+    let t0 = Instant::now();
+    let outcome = service.ingest_batch_traced(feedbacks, trace).unwrap();
+    if store.enabled() {
+        let mut builder = SpanBuilder::new_at(trace, "/ingest", t0);
+        let dispatched = builder.offset_ns(Instant::now());
+        builder.add_ns("parse", 0, dispatched, "feedbacks=1024");
+        builder.add_ns("dispatch", dispatched, 0, "shard channel send");
+        store.record(builder.finish(0, "accepted=1024 shed=0"));
+    }
+    black_box(outcome);
+}
+
+/// One edge-shaped request against `service`: the store's enabled check,
+/// the observed assess, and (spans on) a staged tree into the store.
+fn edge_shaped_assess(service: &ReputationService, store: &SpanStore, server: u64) {
+    let id = ServerId::new(server);
+    let trace = if store.enabled() { next_trace_id() } else { 0 };
+    let t0 = Instant::now();
+    let (outcome, timings) = service.assess_observed(id, None, trace).unwrap();
+    if store.enabled() {
+        let mut builder = SpanBuilder::new_at(trace, "/assess", t0);
+        if let Some(t) = timings {
+            let start = builder.offset_ns(t0);
+            builder.add_ns("queue_wait", start, t.queue_wait_ns, "shard=0");
+            builder.add_ns(
+                "compute",
+                start + t.queue_wait_ns,
+                t.compute_ns,
+                if t.from_cache { "cache_hit=true" } else { "cache_hit=false" },
+            );
+        }
+        store.record(builder.finish(0, "verdict=bench"));
+    }
+    black_box(outcome);
+}
+
+fn main() {
+    println!("tracing overhead benchmarks (span collection on the assess path)\n");
+    let mut rows = Vec::new();
+    let service = warm_service();
+    let ops = CALLS_PER_SAMPLE as u64;
+    let disabled = SpanStore::new(&["/ingest", "/assess"], 8, 512, false);
+    let enabled = SpanStore::new(&["/ingest", "/assess"], 8, 512, true);
+    let time_sample = |routine: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        routine();
+        t0.elapsed().as_nanos()
+    };
+
+    // The variants of each trio are sampled round-robin — one sample of
+    // each per round — so scheduler drift and frequency scaling hit all
+    // of them equally instead of biasing whichever ran last.
+
+    // Ingest trio: the tracing_overhead workload, one tree per batch
+    // request. The stats() round-trip is the same barrier that bench
+    // uses, so the worker's journal+apply work sits inside the window.
+    let mut t_counter = 4_096u64;
+    let mut ingest_base_ns = Vec::with_capacity(SAMPLES);
+    let mut ingest_off_ns = Vec::with_capacity(SAMPLES);
+    let mut ingest_on_ns = Vec::with_capacity(SAMPLES);
+    {
+        let run_base = |t: &mut u64| {
+            for _ in 0..BATCHES_PER_SAMPLE {
+                let feedbacks = batch(*t, INGEST_BATCH);
+                *t += INGEST_BATCH as u64;
+                black_box(service.ingest_batch(feedbacks).unwrap());
+            }
+            black_box(service.stats().ingested_feedbacks);
+        };
+        let run_store = |t: &mut u64, store: &SpanStore| {
+            for _ in 0..BATCHES_PER_SAMPLE {
+                edge_shaped_ingest(&service, store, t);
+            }
+            black_box(service.stats().ingested_feedbacks);
+        };
+        run_base(&mut t_counter);
+        run_store(&mut t_counter, &disabled);
+        run_store(&mut t_counter, &enabled);
+        for _ in 0..SAMPLES {
+            ingest_base_ns.push(time_sample(&mut || run_base(&mut t_counter)));
+            ingest_off_ns.push(time_sample(&mut || run_store(&mut t_counter, &disabled)));
+            ingest_on_ns.push(time_sample(&mut || run_store(&mut t_counter, &enabled)));
+        }
+    }
+    let ingest_ops = BATCHES_PER_SAMPLE as u64;
+    rows.push(row_from("ingest/baseline", ingest_ops, ingest_base_ns));
+    rows.push(row_from("ingest/spans_disabled", ingest_ops, ingest_off_ns));
+    rows.push(row_from("ingest/spans_enabled", ingest_ops, ingest_on_ns));
+
+    // Assess trio: single cache-hit assessments, the worst-case
+    // denominator for per-request span cost.
+    let mut baseline_ns = Vec::with_capacity(SAMPLES);
+    let mut disabled_ns = Vec::with_capacity(SAMPLES);
+    let mut enabled_ns = Vec::with_capacity(SAMPLES);
+    let mut run_baseline = || {
+        for i in 0..CALLS_PER_SAMPLE as u64 {
+            black_box(service.assess(ServerId::new(i % SERVERS)).unwrap());
+        }
+    };
+    let mut run_disabled = || {
+        for i in 0..CALLS_PER_SAMPLE as u64 {
+            edge_shaped_assess(&service, &disabled, i % SERVERS);
+        }
+    };
+    let mut run_enabled = || {
+        for i in 0..CALLS_PER_SAMPLE as u64 {
+            edge_shaped_assess(&service, &enabled, i % SERVERS);
+        }
+    };
+    run_baseline();
+    run_disabled();
+    run_enabled();
+    for _ in 0..SAMPLES {
+        baseline_ns.push(time_sample(&mut run_baseline));
+        disabled_ns.push(time_sample(&mut run_disabled));
+        enabled_ns.push(time_sample(&mut run_enabled));
+    }
+    rows.push(row_from("assess/baseline", ops, baseline_ns));
+    rows.push(row_from("assess/spans_disabled", ops, disabled_ns));
+    rows.push(row_from("assess/spans_enabled", ops, enabled_ns));
+
+    // The span subsystem in isolation, no service call inside the loop.
+    rows.push(measure("span/build_record", ops, || {
+        for _ in 0..CALLS_PER_SAMPLE {
+            let trace = next_trace_id();
+            let t0 = Instant::now();
+            let mut builder = SpanBuilder::new_at(trace, "/assess", t0);
+            let start = builder.offset_ns(t0);
+            builder.add_ns("edge_read", start, 800, "body_bytes=0");
+            builder.add_ns("queue_wait", start + 800, 2_000, "shard=0");
+            builder.add_ns("compute", start + 2_800, 5_000, "cache_hit=true");
+            builder.add_ns("reply_path", start + 7_800, 900, "channel send/recv");
+            builder.add_ns("write", start + 8_700, 1_200, "status=200");
+            enabled.record(builder.finish(0, "verdict=accepted"));
+        }
+    }));
+    rows.push(measure("span/disabled_check", ops, || {
+        let mut hits = 0u32;
+        for _ in 0..CALLS_PER_SAMPLE {
+            hits += u32::from(black_box(&disabled).enabled());
+        }
+        hits
+    }));
+
+    println!();
+    for row in &rows {
+        print_row(row);
+    }
+
+    // Overhead over baseline from the fastest sample of each variant:
+    // the min is the run least disturbed by the scheduler, and since the
+    // variants of a trio do identical service work, comparing minima
+    // isolates the span subsystem's cost from shared jitter. Clamped at
+    // zero — "faster than baseline" is noise, not a negative cost.
+    let min_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.min_ns as f64)
+            .expect("gate row missing")
+    };
+    let overhead_pct = |baseline: f64, variant: f64| {
+        ((variant - baseline) / baseline * 100.0).max(0.0)
+    };
+    // Gated: the disabled path on the cheapest possible request (a bare
+    // cache-hit assess — worst case), the enabled path on the
+    // tracing_overhead ingest workload (a request's worth of work).
+    let disabled_pct =
+        overhead_pct(min_of("assess/baseline"), min_of("assess/spans_disabled"));
+    let enabled_pct =
+        overhead_pct(min_of("ingest/baseline"), min_of("ingest/spans_enabled"));
+    // Informational: the enabled path against the worst-case denominator.
+    let assess_enabled_pct =
+        overhead_pct(min_of("assess/baseline"), min_of("assess/spans_enabled"));
+    println!(
+        "\nspan overhead: disabled {disabled_pct:.2}% (bare assess, gated ≤1%)  \
+         enabled {enabled_pct:.2}% (ingest request, gated ≤5%)  \
+         enabled-vs-bare-assess {assess_enabled_pct:.2}% (informational)"
+    );
+    let gate = format!(
+        "{{\"calls_per_sample\": {CALLS_PER_SAMPLE}, \
+         \"ingest_batch\": {INGEST_BATCH}, \
+         \"disabled_overhead_pct\": {disabled_pct:.2}, \
+         \"enabled_overhead_pct\": {enabled_pct:.2}, \
+         \"assess_enabled_overhead_pct\": {assess_enabled_pct:.2}}}"
+    );
+
+    let out_dir = std::env::var("HP_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments/out")
+        });
+    std::fs::create_dir_all(&out_dir).expect("create bench output dir");
+    let out = out_dir.join("bench_obs.json");
+    std::fs::write(&out, json(&rows, &gate)).expect("write bench json");
+    println!("\nwrote {}", out.display());
+}

@@ -151,6 +151,44 @@ fn bench_tracing_overhead(c: &mut Criterion) {
             });
         });
     }
+
+    // Span-tree collection on the assess path, mirroring the edge's
+    // per-request flow: with spans off the only cost over a plain
+    // observed assess is one relaxed atomic load on the store; with
+    // spans on, each request builds and records a staged tree.
+    // (`benches/obs.rs` measures the same comparison with a hand-rolled
+    // harness and gates it in CI.)
+    use hp_service::obs::{next_trace_id, SpanBuilder, SpanStore};
+    for (label, spans) in [("off", false), ("on", true)] {
+        group.bench_function(BenchmarkId::new("assess_spans", label), |b| {
+            let service = ReputationService::new(fast_config(2)).unwrap();
+            service.ingest_batch(batch(0, SERVERS, 0, BATCH)).unwrap();
+            let store = SpanStore::new(&["/assess"], 8, 512, spans);
+            let mut server = 0u64;
+            b.iter(|| {
+                server = (server + 1) % SERVERS;
+                let id = ServerId::new(server);
+                let trace = if store.enabled() { next_trace_id() } else { 0 };
+                let t0 = std::time::Instant::now();
+                let (outcome, timings) = service.assess_observed(id, None, trace).unwrap();
+                if store.enabled() {
+                    let mut builder = SpanBuilder::new_at(trace, "/assess", t0);
+                    if let Some(t) = timings {
+                        let start = builder.offset_ns(t0);
+                        builder.add_ns("queue_wait", start, t.queue_wait_ns, "shard=0");
+                        builder.add_ns(
+                            "compute",
+                            start + t.queue_wait_ns,
+                            t.compute_ns,
+                            if t.from_cache { "cache_hit=true" } else { "cache_hit=false" },
+                        );
+                    }
+                    store.record(builder.finish(0, "verdict=bench"));
+                }
+                black_box(outcome)
+            });
+        });
+    }
     group.finish();
 }
 

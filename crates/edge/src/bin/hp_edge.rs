@@ -7,6 +7,7 @@
 //!         [--journal-dir PATH] [--fsync never|batch|every:N]
 //!         [--snapshot-interval-records N] [--snapshot-retain N]
 //!         [--snapshot-no-compact] [--checkpoint-interval-ms N]
+//!         [--no-spans] [--slo-assess-p99-ms N] [--slo-max-shed-ratio F]
 //! ```
 //!
 //! The listener binds immediately; `/healthz` reports `warming` (with
@@ -29,7 +30,8 @@ fn usage() -> ! {
          \x20              [--calibration-trials N]\n\
          \x20              [--journal-dir PATH] [--fsync never|batch|every:N]\n\
          \x20              [--snapshot-interval-records N] [--snapshot-retain N]\n\
-         \x20              [--snapshot-no-compact] [--checkpoint-interval-ms N]"
+         \x20              [--snapshot-no-compact] [--checkpoint-interval-ms N]\n\
+         \x20              [--no-spans] [--slo-assess-p99-ms N] [--slo-max-shed-ratio F]"
     );
     std::process::exit(2);
 }
@@ -115,6 +117,26 @@ fn main() {
                 let millis: u64 = value().parse().unwrap_or_else(|_| usage());
                 edge_config =
                     edge_config.with_checkpoint_interval(Some(Duration::from_millis(millis)));
+            }
+            // Span-tree collection is on by default; turning it off
+            // reduces the tracing subsystem's per-request cost to a
+            // single relaxed atomic load.
+            "--no-spans" => edge_config = edge_config.with_spans(false),
+            "--slo-assess-p99-ms" => {
+                let millis: u64 = value().parse().unwrap_or_else(|_| usage());
+                let slo = hp_service::obs::SloObjectives {
+                    assess_p99: Duration::from_millis(millis),
+                    ..edge_config.slo
+                };
+                edge_config = edge_config.with_slo(slo);
+            }
+            "--slo-max-shed-ratio" => {
+                let ratio: f64 = value().parse().unwrap_or_else(|_| usage());
+                let slo = hp_service::obs::SloObjectives {
+                    max_shed_ratio: ratio,
+                    ..edge_config.slo
+                };
+                edge_config = edge_config.with_slo(slo);
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -1,5 +1,6 @@
 //! Edge front-end configuration.
 
+use hp_service::obs::SloObjectives;
 use std::time::Duration;
 
 /// Configuration for [`crate::EdgeServer`].
@@ -57,6 +58,19 @@ pub struct EdgeConfig {
     /// only when the service config enables snapshots (the calibration
     /// persistence part works regardless).
     pub checkpoint_interval: Option<Duration>,
+    /// Whether per-request span trees are collected (`/debug/slow`,
+    /// `/debug/trace/{id}`, histogram exemplars). When off, the
+    /// per-request cost of the tracing subsystem is a single relaxed
+    /// atomic load.
+    pub spans: bool,
+    /// Slowest span trees kept per endpoint for `GET /debug/slow`.
+    pub slow_capture: usize,
+    /// Most recent span trees kept for `GET /debug/trace/{id}` lookup
+    /// (histogram exemplars point into this ring).
+    pub recent_traces: usize,
+    /// Service-level objectives driving the `hp_slo_*` burn-rate gauges
+    /// and the `/healthz` `degraded` flip on a burning fast window.
+    pub slo: SloObjectives,
 }
 
 impl Default for EdgeConfig {
@@ -72,6 +86,10 @@ impl Default for EdgeConfig {
             keep_alive_timeout: Duration::from_secs(30),
             assess_deadline: None,
             checkpoint_interval: None,
+            spans: true,
+            slow_capture: 8,
+            recent_traces: 512,
+            slo: SloObjectives::default(),
         }
     }
 }
@@ -135,6 +153,34 @@ impl EdgeConfig {
         self
     }
 
+    /// Span-tree collection on/off (builder style); see `spans`.
+    #[must_use]
+    pub fn with_spans(mut self, spans: bool) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// Slow-capture ring depth per endpoint (builder style).
+    #[must_use]
+    pub fn with_slow_capture(mut self, capacity: usize) -> Self {
+        self.slow_capture = capacity;
+        self
+    }
+
+    /// Recent-trace ring depth (builder style).
+    #[must_use]
+    pub fn with_recent_traces(mut self, capacity: usize) -> Self {
+        self.recent_traces = capacity;
+        self
+    }
+
+    /// Service-level objectives (builder style); see `slo`.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloObjectives) -> Self {
+        self.slo = slo;
+        self
+    }
+
     /// The worker count with `0` resolved to available parallelism.
     pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
@@ -175,6 +221,10 @@ impl EdgeConfig {
         if self.checkpoint_interval.is_some_and(|d| d.is_zero()) {
             return Err("checkpoint interval must be nonzero when set".to_string());
         }
+        if self.slow_capture == 0 || self.recent_traces == 0 {
+            return Err("span ring capacities must be nonzero".to_string());
+        }
+        self.slo.validate()?;
         Ok(())
     }
 }
@@ -201,6 +251,15 @@ mod tests {
             .is_err());
         assert!(EdgeConfig::default()
             .with_assess_deadline(Some(Duration::ZERO))
+            .validate()
+            .is_err());
+        assert!(EdgeConfig::default().with_slow_capture(0).validate().is_err());
+        assert!(EdgeConfig::default().with_recent_traces(0).validate().is_err());
+        assert!(EdgeConfig::default()
+            .with_slo(SloObjectives {
+                max_shed_ratio: 0.0,
+                ..SloObjectives::default()
+            })
             .validate()
             .is_err());
     }

@@ -43,6 +43,10 @@ pub struct Request {
     /// Whether the client asked to keep the connection open (HTTP/1.1
     /// default unless `Connection: close`).
     pub keep_alive: bool,
+    /// Trace ID from an `x-hp-trace` header (1–16 hex digits), or 0 when
+    /// the header was absent or malformed — a bad trace header never
+    /// rejects an otherwise valid request, it just goes untraced.
+    pub trace: u64,
 }
 
 /// Why a request could not be read.
@@ -233,6 +237,7 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), RecvError> {
 
     let mut declared_len = 0usize;
     let mut keep_alive = true;
+    let mut trace = 0u64;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -247,6 +252,8 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), RecvError> {
                 .map_err(|_| RecvError::Malformed("bad content-length"))?;
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-hp-trace") {
+            trace = hp_service::obs::parse_trace_id(value).unwrap_or(0);
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             // Chunked bodies are out of scope; refusing beats guessing.
             return Err(RecvError::Malformed("transfer-encoding unsupported"));
@@ -259,6 +266,7 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), RecvError> {
             path,
             body: Vec::new(),
             keep_alive,
+            trace,
         },
         declared_len,
     ))
@@ -365,6 +373,21 @@ mod tests {
                 "should reject: {head:?}"
             );
         }
+    }
+
+    #[test]
+    fn trace_headers_parse_and_bad_ones_degrade_to_untraced() {
+        let (req, _) = parse("GET /assess/7 HTTP/1.1\r\nx-hp-trace: 00000000000000ab").unwrap();
+        assert_eq!(req.trace, 0xab);
+        let (req, _) = parse("GET /assess/7 HTTP/1.1\r\nX-HP-Trace: DEADBEEF").unwrap();
+        assert_eq!(req.trace, 0xdead_beef, "header name and hex are case-insensitive");
+        // Malformed or zero trace IDs never reject the request.
+        for bad in ["banana", "0", "", "00000000000000000ab"] {
+            let (req, _) = parse(&format!("GET / HTTP/1.1\r\nx-hp-trace: {bad}")).unwrap();
+            assert_eq!(req.trace, 0, "bad trace {bad:?} must degrade to untraced");
+        }
+        let (req, _) = parse("GET / HTTP/1.1\r\nhost: x").unwrap();
+        assert_eq!(req.trace, 0);
     }
 
     #[test]

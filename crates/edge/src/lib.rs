@@ -18,8 +18,16 @@
 //! | `/assess/{id}` | GET | One verdict; degraded + staleness-stamped past the deadline |
 //! | `/assess_traced/{id}` | GET | Verdict + audit record (phase-1 statistics, raw bits) |
 //! | `/assess` | POST | Batched verdicts, one server id per line |
-//! | `/metrics` | GET | Service Prometheus exposition + `hp_edge_*` socket counters |
-//! | `/healthz` | GET | `warming`/`ready`/`degraded`/`draining` + shard state |
+//! | `/metrics` | GET | Service Prometheus exposition + `hp_edge_*` socket counters + `hp_slo_*` burn rates |
+//! | `/healthz` | GET | `warming`/`ready`/`degraded`/`draining` + shard state (degraded on a burning fast SLO window) |
+//! | `/version` | GET | Build identity: crate version, git hash, trust model, shard count |
+//! | `/debug/slow` | GET | Slowest captured span trees per route |
+//! | `/debug/trace/{id}` | GET | One span tree by trace ID (from an `x-hp-trace` echo or a histogram exemplar) |
+//!
+//! Service requests carry a trace ID (client-supplied `x-hp-trace`
+//! header or edge-generated), echoed back on the response; span trees
+//! attribute the request's time across admission wait, edge read, shard
+//! queue wait, compute, and response write.
 //!
 //! # Quick start
 //!

@@ -3,15 +3,24 @@
 //! The service already accounts for everything behind the shard
 //! channels (ingested, shed, degraded, restarts…); this layer counts
 //! what happens *at the socket*: connections accepted and refused,
-//! responses by status code, and protocol-defense trips (timeouts,
-//! oversized requests, malformed heads). Shed/degraded accounting
-//! remains the service's single source of truth — the edge does not
-//! duplicate those counters, it only adds the network-visible ones.
+//! responses by status code, protocol-defense trips (timeouts,
+//! oversized requests, malformed heads), and per-route request
+//! latency — first header byte to last response byte, the
+//! client-observed duration the service-side histograms cannot see.
+//! Shed/degraded accounting remains the service's single source of
+//! truth — the edge does not duplicate those counters, it only adds the
+//! network-visible ones.
 
+use hp_service::obs::{render_latency_family, LatencyHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Status codes the edge can emit, in exposition order.
 pub const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 503, 504];
+
+/// The service routes with a per-route latency histogram, in exposition
+/// order. `/assess` is the single-server GET, `/assess_batch` the POST
+/// batch endpoint.
+pub const ROUTES: [&str; 4] = ["/ingest", "/assess", "/assess_traced", "/assess_batch"];
 
 /// Socket-level counters. All relaxed atomics: they are monotone
 /// counters scraped for trends, not synchronization points.
@@ -32,6 +41,10 @@ pub struct EdgeMetrics {
     /// Requests answered after the drain began (politely, with
     /// `connection: close`).
     pub served_while_draining: AtomicU64,
+    /// Per-route request latency, first header byte to last response
+    /// byte (indexed as [`ROUTES`]). Exemplar-linked: buckets remember
+    /// the most recent traced request that landed in them.
+    route_latency: [LatencyHistogram; ROUTES.len()],
 }
 
 impl EdgeMetrics {
@@ -40,6 +53,23 @@ impl EdgeMetrics {
         if let Some(idx) = STATUSES.iter().position(|&s| s == status) {
             self.responses[idx].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records one served request on `route` with its client-observed
+    /// duration, linking `trace` as the bucket's exemplar when nonzero.
+    /// Unknown routes are ignored (only [`ROUTES`] carry histograms).
+    pub fn record_route(&self, route: &str, ns: u64, trace: u64) {
+        if let Some(idx) = ROUTES.iter().position(|&r| r == route) {
+            self.route_latency[idx].record_ns_traced(ns, trace);
+        }
+    }
+
+    /// Requests recorded on `route` so far.
+    pub fn route_count(&self, route: &str) -> u64 {
+        ROUTES
+            .iter()
+            .position(|&r| r == route)
+            .map_or(0, |idx| self.route_latency[idx].snapshot().count)
     }
 
     /// Responses sent with `status` so far.
@@ -87,6 +117,28 @@ impl EdgeMetrics {
             "hp_edge_served_while_draining_total {}",
             self.served_while_draining.load(Ordering::Relaxed)
         );
+        let snapshots: Vec<_> = self.route_latency.iter().map(LatencyHistogram::snapshot).collect();
+        let labels: Vec<String> = ROUTES.iter().map(|r| format!("route=\"{r}\"")).collect();
+        let series: Vec<(&str, &hp_service::obs::LatencySnapshot)> = labels
+            .iter()
+            .map(String::as_str)
+            .zip(snapshots.iter())
+            .collect();
+        render_latency_family(
+            &mut out,
+            "hp_edge_request_duration_seconds",
+            "Client-observed request duration by route, first header byte to last response byte",
+            &series,
+        );
+        out.push_str(
+            "# HELP hp_edge_build_info Edge build information (constant 1).\n# TYPE hp_edge_build_info gauge\n",
+        );
+        let _ = writeln!(
+            out,
+            "hp_edge_build_info{{version=\"{}\",git=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION"),
+            option_env!("HP_GIT_HASH").unwrap_or("unknown"),
+        );
         out.push_str(
             "# HELP hp_edge_state Edge lifecycle state (0=warming, 1=ready, 2=draining).\n# TYPE hp_edge_state gauge\n",
         );
@@ -129,5 +181,28 @@ mod tests {
         assert!(text.contains("hp_edge_state 1"));
         assert!(m.render_prometheus("warming").contains("hp_edge_state 0"));
         assert!(m.render_prometheus("draining").contains("hp_edge_state 2"));
+    }
+
+    #[test]
+    fn route_histograms_render_with_exemplars_and_lint_clean() {
+        let m = EdgeMetrics::default();
+        m.record_route("/assess", 100_000, 0xfeed);
+        m.record_route("/ingest", 50_000, 0);
+        m.record_route("/not-a-route", 1, 0); // ignored, not a panic
+        assert_eq!(m.route_count("/assess"), 1);
+        assert_eq!(m.route_count("/ingest"), 1);
+        assert_eq!(m.route_count("/not-a-route"), 0);
+        let text = m.render_prometheus("ready");
+        assert!(
+            text.contains("hp_edge_request_duration_seconds_bucket{route=\"/assess\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("# {trace_id=\"000000000000feed\"} 0.0001"),
+            "exemplar missing:\n{text}"
+        );
+        assert!(text.contains("hp_edge_build_info{version=\""), "{text}");
+        let problems = hp_service::obs::lint_prometheus(&text);
+        assert!(problems.is_empty(), "lint: {problems:?}");
     }
 }

@@ -29,21 +29,42 @@
 //! calibration cache. With `checkpoint_interval` set, a background
 //! thread additionally checkpoints the ready service periodically so a
 //! SIGKILL loses at most one interval of recovery time.
+//!
+//! # Request tracing
+//!
+//! Every service request (ingest, assess, traced assess, batch) gets a
+//! nonzero trace ID — from the client's `x-hp-trace` header or freshly
+//! drawn — echoed back in the response's `x-hp-trace` header. When spans
+//! are enabled the worker assembles a [`hp_service::obs::SpanTree`] per
+//! request (admission wait, edge read, shard queue wait, compute, write)
+//! from instants it already holds plus the stage timings the shard sends
+//! back on the reply channel, and the same ID is stamped onto shard-side
+//! trace events and latency-histogram exemplars. Completed trees land in
+//! the [`SpanStore`] behind `GET /debug/slow` and
+//! `GET /debug/trace/{id}`. With spans disabled, the per-request cost of
+//! the subsystem is one relaxed atomic load.
 
 use crate::config::EdgeConfig;
 use crate::http::{self, Method, ReadLimits, RecvError, Request};
-use crate::metrics::EdgeMetrics;
+use crate::metrics::{EdgeMetrics, ROUTES};
 use crate::wire;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use hp_core::twophase::Assessment;
 use hp_core::ServerId;
-use hp_service::{AssessOutcome, BootProgress, ReputationService, ServiceConfig, ServiceError};
+use hp_service::obs::{
+    format_trace_id, next_trace_id, parse_trace_id, SloMonitor, SpanBuilder, SpanStore,
+};
+use hp_service::{
+    AssessOutcome, AssessTimings, AssessmentTrace, BootProgress, ReputationService, ServiceConfig,
+    ServiceError, TracedAssessment,
+};
 use parking_lot::RwLock;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const STATE_WARMING: u8 = 0;
 const STATE_READY: u8 = 1;
@@ -61,6 +82,12 @@ struct Shared {
     /// construction; `/healthz` renders it while warming.
     boot: Arc<BootProgress>,
     metrics: EdgeMetrics,
+    /// Per-request span trees: slow-capture rings per route plus the
+    /// recent ring behind `/debug/trace/{id}`.
+    spans: SpanStore,
+    /// SLO burn-rate accounting; a burning fast window flips `/healthz`
+    /// to `degraded`.
+    slo: SloMonitor,
     config: EdgeConfig,
 }
 
@@ -167,10 +194,20 @@ impl EdgeServer {
             stop_accepting: AtomicBool::new(false),
             boot: Arc::new(BootProgress::new()),
             metrics: EdgeMetrics::default(),
+            spans: SpanStore::new(
+                &ROUTES,
+                config.slow_capture,
+                config.recent_traces,
+                config.spans,
+            ),
+            slo: SloMonitor::new(config.slo),
             config,
         });
 
-        let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(shared.config.effective_pending());
+        // Connections travel with their accept instant so the first
+        // request on each can attribute its admission-channel wait.
+        let (conn_tx, conn_rx) =
+            channel::bounded::<(TcpStream, Instant)>(shared.config.effective_pending());
         let workers = (0..shared.config.effective_workers())
             .map(|idx| {
                 let rx = conn_rx.clone();
@@ -224,6 +261,17 @@ impl EdgeServer {
     /// Socket-level counters (shared with the serving threads).
     pub fn metrics(&self) -> &EdgeMetrics {
         &self.shared.metrics
+    }
+
+    /// The span store backing `/debug/slow` and `/debug/trace/{id}`.
+    pub fn span_store(&self) -> &SpanStore {
+        &self.shared.spans
+    }
+
+    /// The SLO monitor backing the `hp_slo_*` gauges and the `/healthz`
+    /// `degraded` flip.
+    pub fn slo(&self) -> &SloMonitor {
+        &self.shared.slo
     }
 
     /// The served service, once warming finished.
@@ -280,20 +328,24 @@ impl EdgeServer {
 }
 
 /// Accepts connections and applies admission control.
-fn acceptor_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, shared: &Shared) {
+fn acceptor_loop(
+    listener: &TcpListener,
+    conn_tx: &Sender<(TcpStream, Instant)>,
+    shared: &Shared,
+) {
     while !shared.stop_accepting.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
-                match conn_tx.try_send(stream) {
+                match conn_tx.try_send((stream, Instant::now())) {
                     Ok(()) => {
                         shared
                             .metrics
                             .connections_accepted
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(TrySendError::Full(mut stream)) => {
+                    Err(TrySendError::Full((mut stream, _accepted_at))) => {
                         // Admission refused: answer directly so the client
                         // sees a typed 503, not a hang.
                         shared
@@ -326,9 +378,9 @@ fn acceptor_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, shared: &S
 }
 
 /// One worker: serve connections off the channel until it closes.
-fn worker_loop(conn_rx: &Receiver<TcpStream>, shared: &Shared) {
-    while let Ok(stream) = conn_rx.recv() {
-        serve_connection(stream, shared);
+fn worker_loop(conn_rx: &Receiver<(TcpStream, Instant)>, shared: &Shared) {
+    while let Ok(conn) = conn_rx.recv() {
+        serve_connection(conn, shared);
     }
 }
 
@@ -385,11 +437,178 @@ impl Reply {
     }
 }
 
+/// The route class of a request: the [`ROUTES`] entry it lands on, or
+/// `None` for endpoints that are not traced (`/healthz`, `/metrics`,
+/// `/debug/*`, `/version`, protocol errors).
+fn route_class(request: &Request) -> Option<&'static str> {
+    match (request.method, request.path.as_str()) {
+        (Method::Post, "/ingest") => Some("/ingest"),
+        (Method::Post, "/assess") => Some("/assess_batch"),
+        (Method::Get, path) if path.starts_with("/assess_traced/") => Some("/assess_traced"),
+        (Method::Get, path) if path.starts_with("/assess/") => Some("/assess"),
+        _ => None,
+    }
+}
+
+/// Per-request observability, threaded through the router: the trace ID,
+/// the span tree under construction, and what to record once the
+/// response bytes are on the wire. When spans are disabled and the
+/// client sent no trace header, all of this degrades to route/latency
+/// bookkeeping with `trace == 0` and no builder.
+struct RequestObs {
+    route: Option<&'static str>,
+    trace: u64,
+    /// Request start: connection accept for the first request on a
+    /// connection, first header byte for keep-alive successors.
+    started: Instant,
+    builder: Option<SpanBuilder>,
+    /// Verdict provenance, recorded as the finished tree's detail.
+    verdict: String,
+    /// Whether this request counts against the assess-latency SLO.
+    slo_assess: bool,
+}
+
+impl RequestObs {
+    /// Starts the per-request context once the head is parsed. A client
+    /// trace ID wins; otherwise one is generated iff spans are on.
+    fn begin(
+        request: &Request,
+        shared: &Shared,
+        admitted: Option<(Instant, Instant)>,
+        first_byte: Instant,
+        read_done: Instant,
+    ) -> RequestObs {
+        let route = route_class(request);
+        let spans_on = shared.spans.enabled();
+        let trace = match route {
+            Some(_) if request.trace != 0 => request.trace,
+            Some(_) if spans_on => next_trace_id(),
+            _ => 0,
+        };
+        let started = admitted.map_or(first_byte, |(accepted, _)| accepted);
+        let mut builder = match route {
+            Some(endpoint) if spans_on && trace != 0 => {
+                Some(SpanBuilder::new_at(trace, endpoint, started))
+            }
+            _ => None,
+        };
+        if let Some(b) = builder.as_mut() {
+            if let Some((accepted, dequeued)) = admitted {
+                b.add("admission_wait", accepted, dequeued, "bounded connection channel");
+            }
+            b.add(
+                "edge_read",
+                first_byte,
+                read_done,
+                format!("body_bytes={}", request.body.len()),
+            );
+        }
+        RequestObs {
+            route,
+            trace,
+            started,
+            builder,
+            verdict: String::new(),
+            slo_assess: false,
+        }
+    }
+
+    /// Whether a span tree is being built (spans on, traced route).
+    fn tracing(&self) -> bool {
+        self.builder.is_some()
+    }
+
+    /// Records one edge-measured stage.
+    fn span(
+        &mut self,
+        name: &'static str,
+        start: Instant,
+        end: Instant,
+        detail: impl Into<std::borrow::Cow<'static, str>>,
+    ) {
+        if let Some(b) = self.builder.as_mut() {
+            b.add(name, start, end, detail);
+        }
+    }
+
+    /// Attributes a fresh assess's service-call window using the stage
+    /// timings the shard sent back on the reply channel: queue wait and
+    /// compute positioned inside the window, the residual (channel
+    /// send/recv and scheduling) as `reply_path`. A degraded answer never
+    /// entered the shard queue, so it gets a single `degraded_serve`
+    /// stage instead.
+    fn observe_assess(
+        &mut self,
+        shard: usize,
+        call_start: Instant,
+        call_end: Instant,
+        timings: Option<&AssessTimings>,
+    ) {
+        self.slo_assess = true;
+        let Some(b) = self.builder.as_mut() else { return };
+        match timings {
+            Some(t) => {
+                let call_ns = call_end.saturating_duration_since(call_start).as_nanos() as u64;
+                let start = b.offset_ns(call_start);
+                b.add_ns("queue_wait", start, t.queue_wait_ns, format!("shard={shard}"));
+                b.add_ns(
+                    "compute",
+                    start + t.queue_wait_ns,
+                    t.compute_ns,
+                    format!("shard={shard} cache_hit={}", t.from_cache),
+                );
+                let attributed = t.queue_wait_ns + t.compute_ns;
+                b.add_ns(
+                    "reply_path",
+                    start + attributed.min(call_ns),
+                    call_ns.saturating_sub(attributed),
+                    "channel send/recv and scheduling",
+                );
+            }
+            None => {
+                b.add(
+                    "degraded_serve",
+                    call_start,
+                    call_end,
+                    "served from the published-verdict cache",
+                );
+            }
+        }
+    }
+
+    /// Closes out the request after the response bytes are written:
+    /// per-route latency histogram (exemplar-linked), SLO observation,
+    /// and the finished span tree into the store.
+    fn finish(mut self, shared: &Shared, status: u16, write_start: Instant, write_end: Instant) {
+        let Some(route) = self.route else { return };
+        let total_ns = write_end.saturating_duration_since(self.started).as_nanos() as u64;
+        shared.metrics.record_route(route, total_ns, self.trace);
+        if self.slo_assess {
+            shared.slo.record_assess(Duration::from_nanos(total_ns));
+        }
+        if let Some(mut builder) = self.builder.take() {
+            builder.add("write", write_start, write_end, format!("status={status}"));
+            // The tracer's monotone sequence orders this tree against
+            // shard trace events carrying the same trace ID.
+            let seq = shared
+                .service()
+                .map_or(0, |service| service.metrics().tracer().stamp());
+            shared.spans.record(builder.finish(seq, self.verdict));
+        }
+    }
+}
+
 /// The keep-alive loop for one connection. Every exit path either wrote
 /// a response or determined the client is gone; nothing here panics on
 /// hostile input — protocol errors become typed statuses and the
 /// connection closes.
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+fn serve_connection(conn: (TcpStream, Instant), shared: &Shared) {
+    let (mut stream, accepted_at) = conn;
+    let dequeued_at = Instant::now();
+    // The admission-channel wait is attributable only to the first
+    // request on the connection; keep-alive successors start at their
+    // own first header byte.
+    let mut admitted = Some((accepted_at, dequeued_at));
     let limits = shared.limits();
     loop {
         let draining = || shared.state.load(Ordering::Acquire) == STATE_DRAINING;
@@ -397,6 +616,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             Ok(()) => {}
             Err(_) => return, // idle bound, drain, peer gone, transport error
         }
+        let first_byte = Instant::now();
         let request = match http::read_request(&mut stream, &limits) {
             Ok(request) => request,
             Err(e) => {
@@ -416,12 +636,13 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                     RecvError::Malformed(reason) => Reply::error(400, "malformed", reason),
                 };
                 shared.metrics.protocol_rejects.fetch_add(1, Ordering::Relaxed);
-                write_reply(&mut stream, shared, &reply, false);
+                write_reply(&mut stream, shared, &reply, false, &[]);
                 return;
             }
         };
 
-        let reply = route(&request, shared);
+        let mut obs = RequestObs::begin(&request, shared, admitted.take(), first_byte, Instant::now());
+        let reply = route(&request, shared, &mut obs);
         let keep_alive = request.keep_alive && !draining();
         if draining() {
             shared
@@ -429,13 +650,30 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 .served_while_draining
                 .fetch_add(1, Ordering::Relaxed);
         }
-        if !write_reply(&mut stream, shared, &reply, keep_alive) || !keep_alive {
+        // Echo the trace ID so clients can correlate their observation
+        // with `/debug/trace/{id}` and the shard trace events.
+        let extra: Vec<(&str, String)> = if obs.trace != 0 {
+            vec![("x-hp-trace", format_trace_id(obs.trace))]
+        } else {
+            Vec::new()
+        };
+        let write_start = Instant::now();
+        let ok = write_reply(&mut stream, shared, &reply, keep_alive, &extra);
+        let status = reply.status;
+        obs.finish(shared, status, write_start, Instant::now());
+        if !ok || !keep_alive {
             return;
         }
     }
 }
 
-fn write_reply(stream: &mut TcpStream, shared: &Shared, reply: &Reply, keep_alive: bool) -> bool {
+fn write_reply(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    reply: &Reply,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> bool {
     shared.metrics.record_response(reply.status);
     http::write_response(
         stream,
@@ -443,30 +681,33 @@ fn write_reply(stream: &mut TcpStream, shared: &Shared, reply: &Reply, keep_aliv
         reply.body.as_bytes(),
         reply.content_type,
         keep_alive,
-        &[],
+        extra_headers,
     )
     .is_ok()
 }
 
 /// Dispatches one parsed request.
-fn route(request: &Request, shared: &Shared) -> Reply {
+fn route(request: &Request, shared: &Shared, obs: &mut RequestObs) -> Reply {
     match (request.method, request.path.as_str()) {
         (Method::Get, "/healthz") => health(shared),
         (Method::Get, "/metrics") => metrics(shared),
-        (Method::Post, "/ingest") => with_service(shared, |s| ingest(request, shared, &s)),
-        (Method::Post, "/assess") => with_service(shared, |s| assess_batch(request, &s)),
+        (Method::Get, "/version") => version(shared),
+        (Method::Get, "/debug/slow") => debug_slow(shared),
+        (Method::Get, path) if path.starts_with("/debug/trace/") => debug_trace(path, shared),
+        (Method::Post, "/ingest") => with_service(shared, |s| ingest(request, shared, &s, obs)),
+        (Method::Post, "/assess") => with_service(shared, |s| assess_batch(request, &s, obs)),
         (Method::Get, path) if path.starts_with("/assess_traced/") => {
-            with_service(shared, |s| assess_traced(path, &s))
+            with_service(shared, |s| assess_traced(path, &s, obs))
         }
         (Method::Get, path) if path.starts_with("/assess/") => {
-            with_service(shared, |s| assess_one(path, shared, &s))
+            with_service(shared, |s| assess_one(path, shared, &s, obs))
         }
         // Known paths with the wrong method get 405, the rest 404.
-        (_, "/healthz" | "/metrics" | "/ingest" | "/assess") => {
+        (_, "/healthz" | "/metrics" | "/ingest" | "/assess" | "/version" | "/debug/slow") => {
             Reply::error(405, "method_not_allowed", "see the endpoint table in DESIGN.md")
         }
-        (_, path) if path.starts_with("/assess") => {
-            Reply::error(405, "method_not_allowed", "assessments are GET requests")
+        (_, path) if path.starts_with("/assess") || path.starts_with("/debug/trace/") => {
+            Reply::error(405, "method_not_allowed", "assessments and traces are GET requests")
         }
         _ => Reply::error(404, "not_found", "unknown endpoint"),
     }
@@ -487,7 +728,11 @@ fn health(shared: &Shared) -> Reply {
         Some(service) if state == "ready" => {
             let stats = service.stats();
             let shards = service.config().shards();
-            let status = if stats.failed_shards > 0 {
+            // Degraded when shards are gone — or when the fast SLO
+            // window is burning budget faster than it accrues (the
+            // objective is being missed right now). HTTP status stays
+            // 200: the edge is serving, just not to its promises.
+            let status = if stats.failed_shards > 0 || shared.slo.burns().fast_burning() {
                 "degraded"
             } else {
                 "ready"
@@ -514,11 +759,21 @@ fn health(shared: &Shared) -> Reply {
 }
 
 fn metrics(shared: &Shared) -> Reply {
+    use std::fmt::Write;
     let mut text = shared
         .service()
         .map(|s| s.render_prometheus())
         .unwrap_or_default();
     text.push_str(&shared.metrics.render_prometheus(shared.state_name()));
+    shared.slo.render_prometheus(&mut text);
+    text.push_str(
+        "# HELP hp_edge_spans_recorded_total Completed span trees recorded.\n# TYPE hp_edge_spans_recorded_total counter\n",
+    );
+    let _ = writeln!(text, "hp_edge_spans_recorded_total {}", shared.spans.recorded());
+    text.push_str(
+        "# HELP hp_edge_spans_evicted_total Span trees evicted from the recent ring.\n# TYPE hp_edge_spans_evicted_total counter\n",
+    );
+    let _ = writeln!(text, "hp_edge_spans_evicted_total {}", shared.spans.evicted());
     Reply {
         status: 200,
         body: text,
@@ -526,7 +781,46 @@ fn metrics(shared: &Shared) -> Reply {
     }
 }
 
-fn ingest(request: &Request, shared: &Shared, service: &ReputationService) -> Reply {
+fn version(shared: &Shared) -> Reply {
+    let service = shared.service();
+    let labels = service
+        .as_ref()
+        .map(|s| (s.config().trust().label(), s.config().shards()));
+    Reply::json(
+        200,
+        wire::render_version(
+            shared.state_name(),
+            labels.as_ref().map(|(trust, shards)| (trust.as_str(), *shards)),
+        ),
+    )
+}
+
+fn debug_slow(shared: &Shared) -> Reply {
+    Reply::json(200, wire::render_slow(&shared.spans.slowest()))
+}
+
+fn debug_trace(path: &str, shared: &Shared) -> Reply {
+    let raw = path.strip_prefix("/debug/trace/").unwrap_or("");
+    let Some(id) = parse_trace_id(raw) else {
+        return Reply::error(400, "bad_trace_id", "want /debug/trace/<hex trace id>");
+    };
+    match shared.spans.find(id) {
+        Some(tree) => Reply::json(200, wire::render_span_tree(&tree)),
+        None => Reply::error(
+            404,
+            "trace_not_found",
+            "not in the recent or slow rings (evicted, untraced, or never seen)",
+        ),
+    }
+}
+
+fn ingest(
+    request: &Request,
+    shared: &Shared,
+    service: &ReputationService,
+    obs: &mut RequestObs,
+) -> Reply {
+    let parse_start = Instant::now();
     let feedbacks = match wire::parse_feedback_body(&request.body) {
         Ok(feedbacks) => feedbacks,
         Err(e) => {
@@ -538,8 +832,23 @@ fn ingest(request: &Request, shared: &Shared, service: &ReputationService) -> Re
             );
         }
     };
-    match service.ingest_batch(feedbacks) {
+    let parse_done = Instant::now();
+    obs.span("parse", parse_start, parse_done, format!("feedbacks={}", feedbacks.len()));
+    match service.ingest_batch_traced(feedbacks, obs.trace) {
         Ok(outcome) => {
+            shared
+                .slo
+                .record_ingest(outcome.accepted as u64, outcome.shed as u64);
+            // Journal append, fsync, and batch apply happen behind the
+            // shard channel after this span closes; they surface as
+            // shard trace events stamped with this request's trace ID.
+            obs.span(
+                "dispatch",
+                parse_done,
+                Instant::now(),
+                "shard channel send; journal/fsync/apply are async under this trace id",
+            );
+            obs.verdict = format!("accepted={} shed={}", outcome.accepted, outcome.shed);
             // Shedding under Shed/TryFor backpressure is not an internal
             // error — it is the admission contract, reported as 429 with
             // the exact accepted/shed split the service recorded.
@@ -550,6 +859,30 @@ fn ingest(request: &Request, shared: &Shared, service: &ReputationService) -> Re
     }
 }
 
+fn verdict_label(assessment: &Assessment) -> &'static str {
+    match assessment {
+        Assessment::Accepted { .. } => "accepted",
+        Assessment::Rejected { .. } => "rejected",
+        Assessment::NeedsReview { .. } => "needs_review",
+    }
+}
+
+/// Verdict provenance for a fresh assessment's span tree: verdict,
+/// cache-hit status, and — when phase 1 ran a calibrated screen — the
+/// threshold that decided it.
+fn fresh_verdict_detail(server: ServerId, assessment: &Assessment, from_cache: bool) -> String {
+    let audit = AssessmentTrace::from_assessment(server, assessment, from_cache);
+    let mut detail = format!(
+        "verdict={} cache_hit={from_cache} scheme={}",
+        verdict_label(assessment),
+        audit.scheme,
+    );
+    if let Some(threshold) = audit.threshold {
+        detail.push_str(&format!(" threshold={threshold}"));
+    }
+    detail
+}
+
 fn parse_server(path: &str, prefix: &str) -> Result<ServerId, Reply> {
     path.strip_prefix(prefix)
         .and_then(|raw| raw.parse::<u64>().ok())
@@ -557,40 +890,92 @@ fn parse_server(path: &str, prefix: &str) -> Result<ServerId, Reply> {
         .ok_or_else(|| Reply::error(400, "bad_server_id", "want /assess/<u64>"))
 }
 
-fn assess_one(path: &str, shared: &Shared, service: &ReputationService) -> Reply {
+fn assess_one(
+    path: &str,
+    shared: &Shared,
+    service: &ReputationService,
+    obs: &mut RequestObs,
+) -> Reply {
     let server = match parse_server(path, "/assess/") {
         Ok(server) => server,
         Err(reply) => return reply,
     };
-    match shared.config.assess_deadline {
-        Some(deadline) => match service.assess_within(server, deadline) {
-            Ok(AssessOutcome::Fresh(assessment)) => {
-                Reply::json(200, wire::render_assessment(server, &assessment))
+    let call_start = Instant::now();
+    match service.assess_observed(server, shared.config.assess_deadline, obs.trace) {
+        Ok((outcome, timings)) => {
+            obs.observe_assess(
+                service.shard_of(server),
+                call_start,
+                Instant::now(),
+                timings.as_ref(),
+            );
+            match outcome {
+                AssessOutcome::Fresh(assessment) => {
+                    if obs.tracing() {
+                        obs.verdict = fresh_verdict_detail(
+                            server,
+                            &assessment,
+                            timings.is_some_and(|t| t.from_cache),
+                        );
+                    }
+                    Reply::json(200, wire::render_assessment(server, &assessment))
+                }
+                AssessOutcome::Degraded(degraded) => {
+                    if obs.tracing() {
+                        obs.verdict = format!(
+                            "verdict={} degraded=true staleness={}",
+                            verdict_label(&degraded.assessment),
+                            degraded.staleness(),
+                        );
+                    }
+                    Reply::json(200, wire::render_degraded(server, &degraded))
+                }
             }
-            Ok(AssessOutcome::Degraded(degraded)) => {
-                Reply::json(200, wire::render_degraded(server, &degraded))
-            }
-            Err(e) => service_error_reply(&e),
-        },
-        None => match service.assess(server) {
-            Ok(assessment) => Reply::json(200, wire::render_assessment(server, &assessment)),
-            Err(e) => service_error_reply(&e),
-        },
-    }
-}
-
-fn assess_traced(path: &str, service: &ReputationService) -> Reply {
-    let server = match parse_server(path, "/assess_traced/") {
-        Ok(server) => server,
-        Err(reply) => return reply,
-    };
-    match service.assess_traced(server) {
-        Ok(traced) => Reply::json(200, wire::render_traced(&traced)),
+        }
         Err(e) => service_error_reply(&e),
     }
 }
 
-fn assess_batch(request: &Request, service: &ReputationService) -> Reply {
+fn assess_traced(path: &str, service: &ReputationService, obs: &mut RequestObs) -> Reply {
+    let server = match parse_server(path, "/assess_traced/") {
+        Ok(server) => server,
+        Err(reply) => return reply,
+    };
+    let call_start = Instant::now();
+    match service.assess_observed(server, None, obs.trace) {
+        Ok((outcome, timings)) => {
+            obs.observe_assess(
+                service.shard_of(server),
+                call_start,
+                Instant::now(),
+                timings.as_ref(),
+            );
+            match outcome {
+                AssessOutcome::Fresh(assessment) => {
+                    let from_cache = timings.is_some_and(|t| t.from_cache);
+                    if obs.tracing() {
+                        obs.verdict = fresh_verdict_detail(server, &assessment, from_cache);
+                    }
+                    let trace =
+                        AssessmentTrace::from_assessment(server, assessment.as_ref(), from_cache);
+                    Reply::json(
+                        200,
+                        wire::render_traced(&TracedAssessment { assessment, trace }),
+                    )
+                }
+                // Unreachable without a deadline, but a degraded answer
+                // is still a correct one to serve.
+                AssessOutcome::Degraded(degraded) => {
+                    Reply::json(200, wire::render_degraded(server, &degraded))
+                }
+            }
+        }
+        Err(e) => service_error_reply(&e),
+    }
+}
+
+fn assess_batch(request: &Request, service: &ReputationService, obs: &mut RequestObs) -> Reply {
+    let parse_start = Instant::now();
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Reply::error(400, "bad_batch", "body is not UTF-8"),
@@ -612,8 +997,19 @@ fn assess_batch(request: &Request, service: &ReputationService) -> Reply {
             }
         }
     }
-    match service.assess_many(&servers) {
-        Ok(answers) => Reply::json(200, wire::render_batch(&answers)),
+    let parse_done = Instant::now();
+    obs.span("parse", parse_start, parse_done, format!("servers={}", servers.len()));
+    match service.assess_many_traced(&servers, obs.trace) {
+        Ok(answers) => {
+            obs.span(
+                "service_call",
+                parse_done,
+                Instant::now(),
+                "fan-out: one command per involved shard",
+            );
+            obs.verdict = format!("servers={}", servers.len());
+            Reply::json(200, wire::render_batch(&answers))
+        }
         Err(e) => service_error_reply(&e),
     }
 }

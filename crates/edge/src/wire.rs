@@ -22,7 +22,9 @@
 
 use hp_core::twophase::Assessment;
 use hp_core::{ClientId, Feedback, Rating, ServerId};
+use hp_service::obs::{format_trace_id, SpanTree};
 use hp_service::{BootStatus, DegradedAssessment, DegradedReason, IngestOutcome, TracedAssessment};
+use std::sync::Arc;
 
 /// Why an ingest body failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -278,6 +280,78 @@ pub fn render_warming_health(status: &str, boot: &BootStatus) -> String {
     )
 }
 
+/// Renders one span tree:
+/// `{"trace":"…","endpoint":"/assess","seq":N,"total_ns":N,"stage_sum_ns":N,"detail":"…","spans":[…]}`.
+/// Each span is `{"name":"…","start_ns":N,"duration_ns":N,"detail":"…"}`
+/// with `start_ns` the offset from the request start; `detail` carries
+/// verdict and cache/threshold provenance.
+pub fn render_span_tree(tree: &SpanTree) -> String {
+    use std::fmt::Write;
+    let mut out = format!(
+        "{{\"trace\":\"{}\",\"endpoint\":\"{}\",\"seq\":{},\"total_ns\":{},\"stage_sum_ns\":{},\"detail\":\"{}\",\"spans\":[",
+        format_trace_id(tree.trace),
+        escape(tree.endpoint),
+        tree.seq,
+        tree.total_ns,
+        tree.stage_sum_ns(),
+        escape(&tree.detail),
+    );
+    for (idx, span) in tree.spans.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"start_ns\":{},\"duration_ns\":{},\"detail\":\"{}\"}}",
+            escape(span.name),
+            span.start_ns,
+            span.duration_ns,
+            escape(&span.detail),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the `/debug/slow` body: the slowest captured span trees per
+/// endpoint, slowest first.
+pub fn render_slow(slowest: &[(&'static str, Vec<Arc<SpanTree>>)]) -> String {
+    let mut out = String::from("{\"endpoints\":[");
+    for (idx, (endpoint, trees)) in slowest.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"endpoint\":\"{}\",\"slowest\":[", escape(endpoint)));
+        for (tdx, tree) in trees.iter().enumerate() {
+            if tdx > 0 {
+                out.push(',');
+            }
+            out.push_str(&render_span_tree(tree));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the `/version` body. `service` carries the service's build
+/// labels (trust model, shard count) once it is constructed; while
+/// warming only the edge's own build identity is known.
+pub fn render_version(state: &str, service: Option<(&str, usize)>) -> String {
+    use std::fmt::Write;
+    let mut out = format!(
+        "{{\"name\":\"hp-edge\",\"version\":\"{}\",\"git\":\"{}\",\"state\":\"{}\"",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("HP_GIT_HASH").unwrap_or("unknown"),
+        escape(state),
+    );
+    if let Some((trust, shards)) = service {
+        let _ = write!(out, ",\"trust\":\"{}\",\"shards\":{shards}", escape(trust));
+    }
+    out.push('}');
+    out
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -424,5 +498,52 @@ mod tests {
         let body = render_error("bad request", "line 3: got \"banana\"");
         assert!(body.contains("\\\"banana\\\""));
         assert_eq!(json_str(&body, "error"), Some("bad request"));
+    }
+
+    #[test]
+    fn span_trees_render_with_hex_trace_and_stage_sum() {
+        use hp_service::obs::SpanRecord;
+        let tree = SpanTree {
+            trace: 0xab,
+            seq: 7,
+            endpoint: "/assess",
+            total_ns: 5_000,
+            detail: "verdict=accepted cache_hit=true".into(),
+            spans: vec![
+                SpanRecord {
+                    name: "edge_read",
+                    start_ns: 0,
+                    duration_ns: 1_000,
+                    detail: "".into(),
+                },
+                SpanRecord {
+                    name: "queue_wait",
+                    start_ns: 1_000,
+                    duration_ns: 3_000,
+                    detail: "shard=1".into(),
+                },
+            ],
+        };
+        let body = render_span_tree(&tree);
+        assert_eq!(json_str(&body, "trace"), Some("00000000000000ab"));
+        assert_eq!(json_u64(&body, "total_ns"), Some(5_000));
+        assert_eq!(json_u64(&body, "stage_sum_ns"), Some(4_000));
+        assert!(body.contains("\"name\":\"queue_wait\""), "{body}");
+        assert!(body.contains("\"detail\":\"shard=1\""), "{body}");
+
+        let slow = render_slow(&[("/assess", vec![Arc::new(tree)]), ("/ingest", vec![])]);
+        assert!(slow.contains("\"endpoint\":\"/assess\""), "{slow}");
+        assert!(slow.contains("\"slowest\":[]"), "{slow}");
+    }
+
+    #[test]
+    fn version_renders_edge_and_service_identity() {
+        let body = render_version("ready", Some(("weighted(λ=0.9)", 4)));
+        assert_eq!(json_str(&body, "name"), Some("hp-edge"));
+        assert_eq!(json_str(&body, "state"), Some("ready"));
+        assert_eq!(json_u64(&body, "shards"), Some(4));
+        assert!(body.contains("\"version\":\""));
+        let warming = render_version("warming", None);
+        assert!(!warming.contains("shards"), "{warming}");
     }
 }

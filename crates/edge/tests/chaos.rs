@@ -134,6 +134,85 @@ fn worker_panic_behind_the_edge_never_wedges_it() {
 }
 
 #[test]
+fn trace_ids_survive_worker_respawn_into_crash_forensics() {
+    // A request whose poisoned feedback panics the shard worker must
+    // still be reconstructible from the one ID the client saw: the
+    // supervisor stamps the worker_restart and replay events with the
+    // trace ID of the in-flight request that crashed it.
+    let service_config = fast_service_config()
+        .with_shards(1)
+        .with_tracing(true)
+        .with_fault_plan(FaultPlan::default().with_poison(7, 3));
+    let (edge, addr) = boot(service_config, EdgeConfig::default().with_workers(2));
+
+    let mut client = TestClient::connect(addr);
+    assert_eq!(client.post("/ingest", b"0,7,1,+\n1,7,2,+\n").0, 200);
+    // The poisoned record rides a traced ingest: accepted at the socket
+    // (ingest is async), detonates at apply behind the channel.
+    let (status, head, _) = client.request_with_headers(
+        "POST",
+        "/ingest",
+        &[("x-hp-trace", "c0ffee")],
+        b"3,7,3,+\n",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        support::response_header(&head, "x-hp-trace").as_deref(),
+        Some("0000000000c0ffee")
+    );
+
+    // Wait for the supervisor to respawn the worker and quarantine the
+    // poison; the edge answers /metrics the whole time.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, metrics) = client.get("/metrics");
+        assert_eq!(status, 200);
+        if prom_sum(&metrics, "hp_shard_restarts_total") > 0
+            && prom_sum(&metrics, "hp_quarantined_records_total") > 0
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor never recovered the shard"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Crash forensics carry the client's trace ID across the respawn.
+    let service = edge.service().expect("service is ready");
+    let events = service.trace_events();
+    let carrying = |label: &str| {
+        events
+            .iter()
+            .any(|e| e.kind.label() == label && e.trace == 0x00c0_ffee)
+    };
+    assert!(
+        carrying("worker_restart"),
+        "no worker_restart stamped with the crashing request's trace: {events:#?}"
+    );
+    assert!(
+        carrying("replay_start"),
+        "no replay stamped with the crashing request's trace: {events:#?}"
+    );
+    // The journal append for the traced batch is stamped too, so the
+    // whole write path reconstructs from the one ID.
+    assert!(
+        carrying("journal_append"),
+        "no journal_append stamped with the request trace: {events:#?}"
+    );
+
+    // Post-recovery the server still assesses, and the edge's own span
+    // tree for the crashing ingest is still resolvable.
+    let (status, body) = client.get("/assess/7");
+    assert_eq!(status, 200, "{body}");
+    let (status, tree) = client.get("/debug/trace/c0ffee");
+    assert_eq!(status, 200, "{tree}");
+    assert!(tree.contains("\"endpoint\":\"/ingest\""), "{tree}");
+    edge.drain();
+}
+
+#[test]
 fn degraded_answers_are_stamped_with_staleness_and_reason() {
     // A 300 ms assess stall against a 50 ms edge deadline forces the
     // degraded path: the edge must serve the last published verdict,

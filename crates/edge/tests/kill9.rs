@@ -238,6 +238,26 @@ fn sigkill_mid_ingest_recovers_bit_identical_within_bound() {
         }
     }
 
+    // Tracing survives the process restart: a traced assess against the
+    // recovered service echoes its ID and resolves to a span tree whose
+    // stages attribute the recovered shard's queue wait and compute.
+    let (status, head, body) = client.request_with_headers(
+        "GET",
+        &format!("/assess/{}", truth[0].0.value()),
+        &[("x-hp-trace", "dead9")],
+        b"",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        support::response_header(&head, "x-hp-trace").as_deref(),
+        Some("00000000000dead9"),
+        "trace echo lost across restart"
+    );
+    let (status, tree) = client.get("/debug/trace/dead9");
+    assert_eq!(status, 200, "{tree}");
+    assert!(tree.contains("\"trace\":\"00000000000dead9\""), "{tree}");
+    assert!(tree.contains("\"name\":\"queue_wait\""), "{tree}");
+
     child.kill().expect("stop restarted hp-edge");
     let _ = child.wait();
     let _ = std::fs::remove_dir_all(&dir);

@@ -73,10 +73,25 @@ impl TestClient {
     }
 
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> (u16, String) {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        );
+        let (status, _head, body) = self.request_with_headers(method, path, &[], body);
+        (status, body)
+    }
+
+    /// Like `request`, but sends extra request headers and also returns
+    /// the raw response head so tests can assert on response headers
+    /// (e.g. the `x-hp-trace` echo).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> (u16, String, String) {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: t\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
         self.stream.write_all(head.as_bytes()).expect("write head");
         self.stream.write_all(body).expect("write body");
         self.read_response()
@@ -90,7 +105,7 @@ impl TestClient {
         self.request("POST", path, body)
     }
 
-    fn read_response(&mut self) -> (u16, String) {
+    fn read_response(&mut self) -> (u16, String, String) {
         let mut buf = Vec::new();
         let head_end = loop {
             if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -123,6 +138,15 @@ impl TestClient {
             body.extend_from_slice(&chunk[..n]);
         }
         body.truncate(content_length);
-        (status, String::from_utf8_lossy(&body).into_owned())
+        (status, head, String::from_utf8_lossy(&body).into_owned())
     }
+}
+
+/// Extracts a response header value from a raw response head (as
+/// returned by `request_with_headers`), case-insensitive on the name.
+pub fn response_header(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
 }

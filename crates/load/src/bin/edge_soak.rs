@@ -39,6 +39,14 @@ fn prom_sum(text: &str, name: &str) -> u64 {
         .sum::<f64>() as u64
 }
 
+/// Pulls one top-level `"key":123` number out of a span-tree body.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &body[body.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 fn fail(msg: &str) -> ! {
     eprintln!("edge-soak: FAIL: {msg}");
     std::process::exit(1);
@@ -159,6 +167,69 @@ fn main() {
     if outcome.errors > 0 {
         fail(&format!("{} request errors during the soak", outcome.errors));
     }
+
+    // Tracing acceptance. The soak traffic must leave (a) per-shard
+    // queue-wait attribution, (b) at least one exemplar trace ID on an
+    // assess-latency bucket that resolves to a span tree, and (c) a
+    // pinned-trace span tree whose stage durations fit inside the
+    // client-observed latency.
+    if !exposition.contains("hp_shard_queue_wait_seconds_bucket{shard=\"0\"") {
+        fail("no per-shard queue-wait histogram in /metrics");
+    }
+    let exemplar_id = exposition
+        .lines()
+        .filter(|l| l.starts_with("hp_edge_request_duration_seconds_bucket{route=\"/assess\""))
+        .find_map(|l| {
+            let (_, rest) = l.split_once("# {trace_id=\"")?;
+            rest.split_once('"').map(|(id, _)| id.to_string())
+        })
+        .unwrap_or_else(|| fail("no exemplar trace ID on any /assess latency bucket"));
+    let resolved = probe
+        .get(&format!("/debug/trace/{exemplar_id}"))
+        .expect("/debug/trace");
+    if resolved.status != 200 || !resolved.body.contains(&format!("\"trace\":\"{exemplar_id}\"")) {
+        fail(&format!(
+            "exemplar {exemplar_id} did not resolve: {} {}",
+            resolved.status, resolved.body
+        ));
+    }
+
+    let t0 = Instant::now();
+    let traced = probe
+        .request_with_headers("GET", "/assess/1", &[("x-hp-trace", "50aced")], b"")
+        .expect("traced assess");
+    let observed_ns = t0.elapsed().as_nanos() as u64;
+    if traced.status != 200 {
+        fail(&format!("traced assess was {}: {}", traced.status, traced.body));
+    }
+    let tree = probe
+        .get("/debug/trace/50aced")
+        .expect("pinned /debug/trace")
+        .expect_status(200)
+        .unwrap_or_else(|e| fail(&format!("pinned trace: {e}")));
+    let total_ns = json_u64(&tree, "total_ns")
+        .unwrap_or_else(|| fail(&format!("no total_ns in span tree: {tree}")));
+    let stage_sum_ns = json_u64(&tree, "stage_sum_ns")
+        .unwrap_or_else(|| fail(&format!("no stage_sum_ns in span tree: {tree}")));
+    if total_ns > observed_ns {
+        fail(&format!(
+            "span tree claims {total_ns} ns but the client observed only {observed_ns} ns"
+        ));
+    }
+    if stage_sum_ns > total_ns {
+        fail(&format!(
+            "stage sum {stage_sum_ns} ns exceeds span total {total_ns} ns"
+        ));
+    }
+    eprintln!(
+        "edge-soak: tracing OK — exemplar {exemplar_id} resolved; pinned trace 000000000050aced: \
+         client {:.3} ms >= span total {:.3} ms >= stage sum {:.3} ms \
+         ({:.3} ms unattributed inside the tree)",
+        observed_ns as f64 / 1e6,
+        total_ns as f64 / 1e6,
+        stage_sum_ns as f64 / 1e6,
+        (total_ns - stage_sum_ns) as f64 / 1e6,
+    );
 
     report::write(&out_path, &load, &outcome)
         .unwrap_or_else(|e| fail(&format!("could not write report: {e}")));

@@ -69,7 +69,23 @@ impl HttpClient {
     ///
     /// Connect, write, read, or response-framing errors.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
-        let result = self.request_inner(method, path, body);
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// As [`HttpClient::request`], with extra request headers (the soak
+    /// pins a known trace ID on one request via `x-hp-trace`).
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`].
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let result = self.request_inner(method, path, headers, body);
         if result.is_err() {
             self.stream = None;
         }
@@ -94,12 +110,25 @@ impl HttpClient {
         self.request("POST", path, body)
     }
 
-    fn request_inner(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
         let stream = self.stream()?;
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: hp-edge\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: hp-edge\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(body)?;
         stream.flush()?;

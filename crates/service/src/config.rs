@@ -32,6 +32,17 @@ impl Default for TrustModel {
     }
 }
 
+impl TrustModel {
+    /// A short human/metric-label form of the model, used by the
+    /// `hp_build_info` gauge (e.g. `average`, `weighted(λ=0.5)`).
+    pub fn label(&self) -> String {
+        match self {
+            TrustModel::Average => "average".to_string(),
+            TrustModel::Weighted { lambda } => format!("weighted(λ={lambda})"),
+        }
+    }
+}
+
 /// What the front end does when a shard's command queue is full.
 ///
 /// Only meaningful with a bounded queue

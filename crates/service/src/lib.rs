@@ -76,4 +76,5 @@ pub use service::{
     AssessOutcome, BatchAssessments, CheckpointSummary, DegradedAssessment, DegradedReason,
     IngestOutcome, ReputationService, ServiceError,
 };
+pub use shard::AssessTimings;
 pub use snapshot::{BootProgress, BootStatus};

@@ -158,6 +158,12 @@ pub struct ServiceStats {
     /// Per-shard metric blocks (counters plus sampled gauges), indexed
     /// by shard.
     pub per_shard: Vec<ShardSnapshot>,
+    /// p99 queue wait (enqueue→dequeue) per shard, in nanoseconds,
+    /// indexed by shard.
+    pub shard_queue_wait_p99_ns: Vec<u64>,
+    /// Worker utilization (busy time / wall time, in `[0, 1]`) per
+    /// shard, indexed by shard.
+    pub shard_utilization: Vec<f64>,
 }
 
 impl ServiceStats {
@@ -211,6 +217,8 @@ impl ServiceStats {
             snapshot_failures: counters.snapshot_failures.load(Ordering::Relaxed),
             snapshot_fallbacks: counters.snapshot_fallbacks.load(Ordering::Relaxed),
             per_shard: Vec::new(),
+            shard_queue_wait_p99_ns: Vec::new(),
+            shard_utilization: Vec::new(),
         }
     }
 
@@ -243,6 +251,12 @@ impl ServiceStats {
             snapshot_failures: snap.total(|s| s.snapshot_failures),
             snapshot_fallbacks: snap.total(|s| s.snapshot_fallbacks),
             per_shard: snap.shards.clone(),
+            shard_queue_wait_p99_ns: snap
+                .queue_waits
+                .iter()
+                .map(|w| w.quantile_ns(0.99))
+                .collect(),
+            shard_utilization: snap.utilizations.clone(),
         }
     }
 }

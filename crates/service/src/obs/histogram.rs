@@ -42,6 +42,10 @@ pub struct LatencyHistogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Most recent nonzero trace ID that landed in each bucket (0 = none).
+    exemplar_trace: [AtomicU64; BUCKETS],
+    /// The duration (ns) of that exemplar sample.
+    exemplar_ns: [AtomicU64; BUCKETS],
 }
 
 impl Default for LatencyHistogram {
@@ -51,6 +55,8 @@ impl Default for LatencyHistogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_ns: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -103,17 +109,41 @@ impl LatencyHistogram {
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Records one duration and, when `trace` is nonzero, remembers it as
+    /// the bucket's exemplar — the OpenMetrics-style link from a histogram
+    /// bucket back to a concrete request's span tree. Exemplar storage is
+    /// two extra relaxed stores, and only on the traced path.
+    #[inline]
+    pub fn record_ns_traced(&self, ns: u64, trace: u64) {
+        self.record_n(ns, 1);
+        if trace != 0 {
+            let bucket = bucket_of(ns);
+            self.exemplar_trace[bucket].store(trace, Ordering::Relaxed);
+            self.exemplar_ns[bucket].store(ns, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of the histogram's contents.
     pub fn snapshot(&self) -> LatencySnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
             *out = bucket.load(Ordering::Relaxed);
         }
+        let mut exemplar_trace = [0u64; BUCKETS];
+        for (out, slot) in exemplar_trace.iter_mut().zip(&self.exemplar_trace) {
+            *out = slot.load(Ordering::Relaxed);
+        }
+        let mut exemplar_ns = [0u64; BUCKETS];
+        for (out, slot) in exemplar_ns.iter_mut().zip(&self.exemplar_ns) {
+            *out = slot.load(Ordering::Relaxed);
+        }
         LatencySnapshot {
             buckets,
             count: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
             max_ns: self.max_ns.load(Ordering::Relaxed),
+            exemplar_trace,
+            exemplar_ns,
         }
     }
 }
@@ -129,6 +159,10 @@ pub struct LatencySnapshot {
     pub sum_ns: u64,
     /// Largest single recorded duration, in nanoseconds.
     pub max_ns: u64,
+    /// Per-bucket exemplar trace IDs (0 = no traced sample landed there).
+    pub exemplar_trace: [u64; BUCKETS],
+    /// The duration (ns) of each bucket's exemplar sample.
+    pub exemplar_ns: [u64; BUCKETS],
 }
 
 impl Default for LatencySnapshot {
@@ -138,12 +172,16 @@ impl Default for LatencySnapshot {
             count: 0,
             sum_ns: 0,
             max_ns: 0,
+            exemplar_trace: [0; BUCKETS],
+            exemplar_ns: [0; BUCKETS],
         }
     }
 }
 
 impl LatencySnapshot {
-    /// Folds `other` into this snapshot bucket-wise.
+    /// Folds `other` into this snapshot bucket-wise. A nonzero exemplar in
+    /// `other` wins the bucket (merges fold newer shards in last, so the
+    /// freshest traced sample survives).
     pub fn merge(&mut self, other: &LatencySnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -151,6 +189,12 @@ impl LatencySnapshot {
         self.count += other.count;
         self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
+        for i in 0..BUCKETS {
+            if other.exemplar_trace[i] != 0 {
+                self.exemplar_trace[i] = other.exemplar_trace[i];
+                self.exemplar_ns[i] = other.exemplar_ns[i];
+            }
+        }
     }
 
     /// Estimated latency at quantile `q ∈ [0, 1]`, in nanoseconds
@@ -267,6 +311,33 @@ mod tests {
         assert_eq!(snap.count, 1_000);
         assert_eq!(snap.sum_ns, 5_000_000);
         assert_eq!(snap.max_ns, 5_000);
+    }
+
+    #[test]
+    fn exemplars_remember_the_latest_traced_sample() {
+        let hist = LatencyHistogram::default();
+        hist.record_ns(1_000); // untraced: no exemplar
+        hist.record_ns_traced(1_000, 0); // trace 0 is "untraced" too
+        let snap = hist.snapshot();
+        assert!(snap.exemplar_trace.iter().all(|&t| t == 0));
+
+        hist.record_ns_traced(900, 0xab);
+        hist.record_ns_traced(1_000, 0xcd); // same bucket [512, 1024): newest wins
+        hist.record_ns_traced(1_000_000, 0xef);
+        let snap = hist.snapshot();
+        let b = bucket_of(1_000);
+        assert_eq!(b, bucket_of(900));
+        assert_eq!(snap.exemplar_trace[b], 0xcd);
+        assert_eq!(snap.exemplar_ns[b], 1_000);
+        assert_eq!(snap.exemplar_trace[bucket_of(1_000_000)], 0xef);
+
+        // Merge: a nonzero exemplar in `other` replaces ours.
+        let fresh = LatencyHistogram::default();
+        fresh.record_ns_traced(950, 0x11);
+        let mut merged = snap;
+        merged.merge(&fresh.snapshot());
+        assert_eq!(merged.exemplar_trace[b], 0x11);
+        assert_eq!(merged.exemplar_trace[bucket_of(1_000_000)], 0xef);
     }
 
     #[test]

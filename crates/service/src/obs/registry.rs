@@ -10,10 +10,13 @@
 
 use super::audit::AssessmentTrace;
 use super::histogram::{LatencyHistogram, LatencySnapshot};
+use super::span::format_trace_id;
 use super::trace::Tracer;
 use crate::metrics::Counters;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// The instrumented latency paths, one histogram each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,6 +91,12 @@ pub(crate) struct ShardMetrics {
     pub queue_depth: AtomicU64,
     /// State version (applied feedback count) after the last batch apply.
     pub last_apply_version: AtomicU64,
+    /// Time commands spent waiting in this shard's queue before the
+    /// worker dequeued them (the "waiting" half of waiting-vs-working).
+    pub queue_wait: LatencyHistogram,
+    /// Nanoseconds this shard's worker spent processing commands (the
+    /// "working" half; utilization = busy_ns / wall time).
+    pub busy_ns: AtomicU64,
 }
 
 /// Point-in-time copy of one shard's metrics.
@@ -185,6 +194,13 @@ pub struct RegistrySnapshot {
     pub calibration: CalibrationGauges,
     /// Trace events evicted from full rings.
     pub trace_dropped: u64,
+    /// Per-shard queue-wait latency snapshots, indexed by shard.
+    pub queue_waits: Vec<LatencySnapshot>,
+    /// Per-shard worker utilization (busy time / wall time, in `[0, 1]`),
+    /// indexed by shard.
+    pub utilizations: Vec<f64>,
+    /// Prerendered label body for the `hp_build_info` gauge.
+    pub build_info: String,
 }
 
 impl RegistrySnapshot {
@@ -209,6 +225,8 @@ pub struct MetricsRegistry {
     calibration_hits: AtomicU64,
     calibration_misses: AtomicU64,
     tracer: Tracer,
+    started: Instant,
+    build_info: Mutex<String>,
 }
 
 impl MetricsRegistry {
@@ -222,6 +240,12 @@ impl MetricsRegistry {
             calibration_hits: AtomicU64::new(0),
             calibration_misses: AtomicU64::new(0),
             tracer: Tracer::new(shards, trace_capacity, tracing),
+            started: Instant::now(),
+            build_info: Mutex::new(format!(
+                "version=\"{}\",git=\"{}\"",
+                env!("CARGO_PKG_VERSION"),
+                option_env!("HP_GIT_HASH").unwrap_or("unknown"),
+            )),
         }
     }
 
@@ -253,6 +277,38 @@ impl MetricsRegistry {
         self.hists[path.index()].record_n(ns, n);
     }
 
+    /// Records one duration on `path` and, when `trace` is nonzero, pins
+    /// it as the exemplar of the bucket it lands in.
+    #[inline]
+    pub fn record_latency_traced(&self, path: LatencyPath, ns: u64, trace: u64) {
+        self.hists[path.index()].record_ns_traced(ns, trace);
+    }
+
+    /// Records one command's queue wait (enqueue→dequeue) on `shard`.
+    #[inline]
+    pub fn record_queue_wait(&self, shard: usize, ns: u64) {
+        if let Some(m) = self.shards.get(shard) {
+            m.queue_wait.record_ns(ns);
+        }
+    }
+
+    /// Adds `ns` of worker busy time to `shard`'s utilization account.
+    #[inline]
+    pub fn add_busy_ns(&self, shard: usize, ns: u64) {
+        if let Some(m) = self.shards.get(shard) {
+            m.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the label body rendered on the `hp_build_info` gauge (the
+    /// service front end adds its trust model and shard count here).
+    pub fn set_build_info(&self, labels: String) {
+        *self
+            .build_info
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = labels;
+    }
+
     /// Latency snapshot for one path.
     pub fn latency(&self, path: LatencyPath) -> LatencySnapshot {
         self.hists[path.index()].snapshot()
@@ -275,6 +331,7 @@ impl MetricsRegistry {
 
     /// Takes a coherent snapshot of everything in the registry.
     pub fn snapshot(&self) -> RegistrySnapshot {
+        let wall_ns = self.started.elapsed().as_nanos().max(1) as u64;
         RegistrySnapshot {
             shards: self
                 .shards
@@ -292,6 +349,20 @@ impl MetricsRegistry {
                 misses: self.calibration_misses.load(Ordering::Relaxed),
             },
             trace_dropped: self.tracer.dropped(),
+            queue_waits: self.shards.iter().map(|m| m.queue_wait.snapshot()).collect(),
+            utilizations: self
+                .shards
+                .iter()
+                .map(|m| {
+                    let busy = m.busy_ns.load(Ordering::Relaxed);
+                    (busy as f64 / wall_ns as f64).min(1.0)
+                })
+                .collect(),
+            build_info: self
+                .build_info
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
         }
     }
 
@@ -362,21 +433,7 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
 
     for (path, hist) in &snap.latencies {
         let name = format!("hp_{}_latency_seconds", path.name());
-        let _ = writeln!(out, "# HELP {name} {}", path.help());
-        let _ = writeln!(out, "# TYPE {name} histogram");
-        // Cumulative le-buckets up to the highest occupied one.
-        let hi = hist.buckets.iter().rposition(|&n| n > 0);
-        let mut cumulative = 0u64;
-        if let Some(hi) = hi {
-            for (i, &n) in hist.buckets.iter().take(hi + 1).enumerate() {
-                cumulative += n;
-                let le = LatencySnapshot::bucket_upper_seconds(i);
-                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
-            }
-        }
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
-        let _ = writeln!(out, "{name}_sum {}", hist.sum_ns as f64 / 1e9);
-        let _ = writeln!(out, "{name}_count {}", hist.count);
+        render_latency_family(&mut out, &name, path.help(), &[("", hist)]);
         // Quantile summary lines (pre-computed; Prometheus can't derive
         // exact quantiles from log buckets without recording rules).
         let qname = format!("hp_{}_latency_quantile_seconds", path.name());
@@ -392,6 +449,38 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
             hist.max_ns as f64 / 1e9
         );
     }
+
+    // Per-shard queue-wait histograms: the "waiting" attribution the span
+    // subsystem stamps at enqueue/dequeue.
+    let shard_labels: Vec<String> = (0..snap.queue_waits.len())
+        .map(|i| format!("shard=\"{i}\""))
+        .collect();
+    let series: Vec<(&str, &LatencySnapshot)> = shard_labels
+        .iter()
+        .map(String::as_str)
+        .zip(snap.queue_waits.iter())
+        .collect();
+    render_latency_family(
+        &mut out,
+        "hp_shard_queue_wait_seconds",
+        "Time commands waited in the shard queue before dequeue",
+        &series,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP hp_shard_utilization Worker busy time / wall time since start"
+    );
+    let _ = writeln!(out, "# TYPE hp_shard_utilization gauge");
+    for (i, u) in snap.utilizations.iter().enumerate() {
+        let _ = writeln!(out, "hp_shard_utilization{{shard=\"{i}\"}} {u:.6}");
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP hp_build_info Build metadata carried as labels (value is always 1)"
+    );
+    let _ = writeln!(out, "# TYPE hp_build_info gauge");
+    let _ = writeln!(out, "hp_build_info{{{}}} 1", snap.build_info);
 
     let cal = snap.calibration;
     for (name, help, value) in [
@@ -422,6 +511,59 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
         let _ = writeln!(out, "{name} {value}");
     }
     out
+}
+
+/// Renders one Prometheus histogram family with any number of label-body
+/// series (`""` for an unlabeled series, `shard="3"` style otherwise):
+/// cumulative `le` buckets up to the highest occupied one, a `+Inf`
+/// bucket, `_sum`, and `_count` per series. Buckets holding a traced
+/// sample carry an OpenMetrics-style exemplar suffix
+/// (`# {trace_id="…"} <seconds>`) linking the bucket to a concrete
+/// request. Shared by the service registry and the edge's per-route
+/// request histograms so both expositions render identically.
+pub fn render_latency_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    series: &[(&str, &LatencySnapshot)],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (labels, hist) in series {
+        let with_le = |le: &str| {
+            if labels.is_empty() {
+                format!("{{le=\"{le}\"}}")
+            } else {
+                format!("{{{labels},le=\"{le}\"}}")
+            }
+        };
+        let plain = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let hi = hist.buckets.iter().rposition(|&n| n > 0);
+        let mut cumulative = 0u64;
+        if let Some(hi) = hi {
+            for (i, &n) in hist.buckets.iter().take(hi + 1).enumerate() {
+                cumulative += n;
+                let le = LatencySnapshot::bucket_upper_seconds(i);
+                let _ = write!(out, "{name}_bucket{} {cumulative}", with_le(&le.to_string()));
+                if hist.exemplar_trace[i] != 0 {
+                    let _ = write!(
+                        out,
+                        " # {{trace_id=\"{}\"}} {}",
+                        format_trace_id(hist.exemplar_trace[i]),
+                        hist.exemplar_ns[i] as f64 / 1e9,
+                    );
+                }
+                out.push('\n');
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{} {}", with_le("+Inf"), hist.count);
+        let _ = writeln!(out, "{name}_sum{plain} {}", hist.sum_ns as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count{plain} {}", hist.count);
+    }
 }
 
 /// Renders a snapshot as a flat JSON object: per-path quantiles plus
@@ -570,6 +712,46 @@ mod tests {
         assert!(json.contains("\"p99_ns\""), "{json}");
         assert!(json.contains("\"ingested\":42"), "{json}");
         assert!(json.contains("\"shards\": 1"), "{json}");
+    }
+
+    #[test]
+    fn queue_wait_utilization_and_build_info_are_exposed() {
+        let reg = MetricsRegistry::new(2, 16, false);
+        reg.record_queue_wait(1, 50_000);
+        reg.add_busy_ns(1, 1_000_000);
+        reg.set_build_info("version=\"0.1.0\",git=\"abc\",trust=\"average\",shards=\"2\"".into());
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.queue_waits.len(), 2);
+        assert_eq!(snap.queue_waits[0].count, 0);
+        assert_eq!(snap.queue_waits[1].count, 1);
+        assert!(snap.utilizations[1] > 0.0 && snap.utilizations[1] <= 1.0);
+
+        let text = reg.render_prometheus();
+        for required in [
+            "# TYPE hp_shard_queue_wait_seconds histogram",
+            "hp_shard_queue_wait_seconds_bucket{shard=\"1\",le=",
+            "hp_shard_queue_wait_seconds_count{shard=\"0\"} 0",
+            "hp_shard_queue_wait_seconds_count{shard=\"1\"} 1",
+            "hp_shard_utilization{shard=\"0\"} 0.000000",
+            "hp_build_info{version=\"0.1.0\",git=\"abc\",trust=\"average\",shards=\"2\"} 1",
+        ] {
+            assert!(text.contains(required), "missing `{required}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn traced_latencies_render_exemplars_and_lint_clean() {
+        let reg = MetricsRegistry::new(2, 16, false);
+        reg.record_latency_traced(LatencyPath::AssessE2e, 100_000, 0xab);
+        reg.record_queue_wait(0, 10_000);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# {trace_id=\"00000000000000ab\"} 0.0001"),
+            "{text}"
+        );
+        let errors = super::super::lint::lint_prometheus(&text);
+        assert!(errors.is_empty(), "{errors:?}");
     }
 
     #[test]

@@ -95,6 +95,11 @@ pub struct TraceEvent {
     /// Duration of the spanned operation in nanoseconds (`0` for
     /// instantaneous events).
     pub duration_ns: u64,
+    /// Trace ID of the request this event belongs to (`0` = not
+    /// request-scoped). Events stamped with a request's ID let crash
+    /// forensics — journal append, worker restart, replay — be
+    /// reconstructed from the one ID the client saw.
+    pub trace: u64,
     /// What happened.
     pub kind: TraceKind,
 }
@@ -109,7 +114,11 @@ impl std::fmt::Display for TraceEvent {
             self.kind.label(),
             self.kind,
             self.duration_ns
-        )
+        )?;
+        if self.trace != 0 {
+            write!(f, " trace={:016x}", self.trace)?;
+        }
+        Ok(())
     }
 }
 
@@ -189,6 +198,14 @@ impl Tracer {
     /// index is out of range.
     #[inline]
     pub fn emit(&self, shard: usize, duration_ns: u64, kind: TraceKind) {
+        self.emit_traced(shard, duration_ns, kind, 0);
+    }
+
+    /// Records an event stamped with the request trace ID it belongs to
+    /// (`0` behaves exactly like [`Tracer::emit`]). No-op when disabled
+    /// or the shard index is out of range.
+    #[inline]
+    pub fn emit_traced(&self, shard: usize, duration_ns: u64, kind: TraceKind, trace: u64) {
         if !self.enabled() {
             return;
         }
@@ -200,8 +217,19 @@ impl Tracer {
             seq,
             shard,
             duration_ns,
+            trace,
             kind,
         });
+    }
+
+    /// Draws the next value of the global sequence without recording an
+    /// event. Span trees stamp themselves with this so request trees and
+    /// shard events interleave on one monotone clock (always live, even
+    /// with event recording disabled — a sequence gap is cheaper than a
+    /// second clock).
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Drains one shard's ring, oldest first.
@@ -342,10 +370,40 @@ mod tests {
             seq: 12,
             shard: 3,
             duration_ns: 1500,
+            trace: 0,
             kind: TraceKind::AssessServed { cache_hit: true },
         };
         let line = event.to_string();
         assert!(line.contains("assess_served"), "{line}");
         assert!(line.contains("shard=3"), "{line}");
+        assert!(!line.contains("trace="), "untraced events omit the ID");
+        let traced = TraceEvent {
+            trace: 0xab,
+            ..event
+        };
+        assert!(traced.to_string().contains("trace=00000000000000ab"));
+    }
+
+    #[test]
+    fn traced_emission_stamps_the_request_id() {
+        let tracer = Tracer::new(1, 8, true);
+        tracer.emit_traced(0, 5, TraceKind::JournalAppend { records: 2 }, 0xbeef);
+        tracer.emit(0, 0, TraceKind::ReplayStart);
+        let events = tracer.drain(0);
+        assert_eq!(events[0].trace, 0xbeef);
+        assert_eq!(events[1].trace, 0, "emit delegates with the untraced sentinel");
+    }
+
+    #[test]
+    fn stamp_shares_the_event_sequence() {
+        let tracer = Tracer::new(1, 8, true);
+        tracer.emit(0, 0, TraceKind::ReplayStart);
+        let stamped = tracer.stamp();
+        tracer.emit(0, 0, TraceKind::DegradedServed);
+        let events = tracer.drain(0);
+        assert!(events[0].seq < stamped && stamped < events[1].seq);
+        // The stamp is live even when event recording is off.
+        let off = Tracer::new(1, 8, false);
+        assert!(off.stamp() < off.stamp());
     }
 }

@@ -8,7 +8,7 @@ use crate::obs::{
     AssessmentTrace, LatencyPath, MetricsRegistry, TraceEvent, TraceKind, TracedAssessment,
 };
 use crate::shard::{
-    Command, Published, ShardContext, ShardHandle, ShardSnapshot, ShardSnapshots,
+    AssessTimings, Command, Published, ShardContext, ShardHandle, ShardSnapshot, ShardSnapshots,
 };
 use crate::snapshot::{BootProgress, SnapshotStore};
 use crate::supervisor::spawn_supervised_shard;
@@ -320,6 +320,13 @@ impl ReputationService {
             config.trace_capacity(),
             config.tracing(),
         ));
+        obs.set_build_info(format!(
+            "version=\"{}\",git=\"{}\",trust=\"{}\",shards=\"{}\"",
+            env!("CARGO_PKG_VERSION"),
+            option_env!("HP_GIT_HASH").unwrap_or("unknown"),
+            config.trust().label(),
+            config.shards(),
+        ));
         let mut shards = Vec::with_capacity(config.shards());
         for shard in 0..config.shards() {
             let test =
@@ -347,6 +354,7 @@ impl ReputationService {
                 faults: ShardFaults::for_config(&config, shard),
                 snapshots,
                 boot: progress.clone(),
+                active_trace: Arc::default(),
             };
             shards.push(spawn_supervised_shard(
                 shard,
@@ -402,6 +410,21 @@ impl ReputationService {
         &self,
         feedbacks: impl IntoIterator<Item = Feedback>,
     ) -> Result<IngestOutcome, ServiceError> {
+        self.ingest_batch_traced(feedbacks, 0)
+    }
+
+    /// [`Self::ingest_batch`] carrying a request trace ID: the shard-side
+    /// journal-append and batch-apply trace events for this batch are
+    /// stamped with `trace` (0 behaves exactly like `ingest_batch`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ingest_batch`].
+    pub fn ingest_batch_traced(
+        &self,
+        feedbacks: impl IntoIterator<Item = Feedback>,
+        trace: u64,
+    ) -> Result<IngestOutcome, ServiceError> {
         let mut per_shard: Vec<Vec<Feedback>> = vec![Vec::new(); self.shards.len()];
         for feedback in feedbacks {
             per_shard[self.shard_of(feedback.server)].push(feedback);
@@ -413,7 +436,7 @@ impl ReputationService {
                 continue;
             }
             let offered = batch.len();
-            let command = Command::ingest(batch);
+            let command = Command::ingest_traced(batch, trace);
             let (accepted, shed) = match self.config.ingest_policy() {
                 IngestPolicy::Block => match self.shards[shard].send(command) {
                     Ok(()) => (offered, 0),
@@ -485,7 +508,7 @@ impl ReputationService {
     /// gone, [`ServiceError::Interrupted`] if it restarted while holding
     /// this request (safe to retry).
     pub fn assess(&self, server: ServerId) -> Result<Arc<Assessment>, ServiceError> {
-        self.assess_inner(server).map(|(a, _)| a)
+        self.assess_inner(server, 0).map(|(a, _)| a)
     }
 
     /// Assesses one server and returns the verdict together with its
@@ -501,28 +524,60 @@ impl ReputationService {
     ///
     /// As [`Self::assess`].
     pub fn assess_traced(&self, server: ServerId) -> Result<TracedAssessment, ServiceError> {
-        let (assessment, from_cache) = self.assess_inner(server)?;
-        let trace = AssessmentTrace::from_assessment(server, assessment.as_ref(), from_cache);
+        let (assessment, timings) = self.assess_inner(server, 0)?;
+        let trace =
+            AssessmentTrace::from_assessment(server, assessment.as_ref(), timings.from_cache);
         Ok(TracedAssessment { assessment, trace })
     }
 
+    /// Assesses one server for the span-tracing path: the command is
+    /// stamped with `trace` (so the shard's trace events and the
+    /// latency-histogram exemplars carry the request ID) and the
+    /// shard-side stage timings come back alongside the verdict.
+    ///
+    /// With `deadline: None` this is [`Self::assess`]; with a deadline it
+    /// is [`Self::assess_within`]. Timings are `Some` exactly when the
+    /// answer is fresh — a degraded answer never entered the shard queue,
+    /// so there is nothing to attribute.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::assess`] / [`Self::assess_within`] respectively.
+    pub fn assess_observed(
+        &self,
+        server: ServerId,
+        deadline: Option<Duration>,
+        trace: u64,
+    ) -> Result<(AssessOutcome, Option<AssessTimings>), ServiceError> {
+        match deadline {
+            None => self
+                .assess_inner(server, trace)
+                .map(|(a, t)| (AssessOutcome::Fresh(a), Some(t))),
+            Some(deadline) => self.assess_within_traced(server, deadline, trace),
+        }
+    }
+
     /// The shared fresh-assessment path: send, wait, record end-to-end
-    /// latency, and surface the worker's cache-hit flag.
-    fn assess_inner(&self, server: ServerId) -> Result<(Arc<Assessment>, bool), ServiceError> {
+    /// latency, and surface the worker's stage timings.
+    fn assess_inner(
+        &self,
+        server: ServerId,
+        trace: u64,
+    ) -> Result<(Arc<Assessment>, AssessTimings), ServiceError> {
         let shard = self.shard_of(server);
         let start = Instant::now();
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.shards[shard]
-            .send(Command::Assess {
-                server,
-                reply: reply_tx,
-            })
+            .send(Command::assess(server, reply_tx, trace))
             .map_err(|_| ServiceError::ShardUnavailable { shard })?;
         match reply_rx.recv() {
             Ok(answer) => {
                 let answer = answer.map_err(ServiceError::Core)?;
-                self.obs
-                    .record_latency(LatencyPath::AssessE2e, start.elapsed().as_nanos() as u64);
+                self.obs.record_latency_traced(
+                    LatencyPath::AssessE2e,
+                    start.elapsed().as_nanos() as u64,
+                    trace,
+                );
                 Ok(answer)
             }
             Err(_) => Err(ServiceError::Interrupted { shard }),
@@ -547,36 +602,51 @@ impl ReputationService {
         server: ServerId,
         deadline: Duration,
     ) -> Result<AssessOutcome, ServiceError> {
+        self.assess_within_traced(server, deadline, 0).map(|(o, _)| o)
+    }
+
+    /// [`Self::assess_within`] with a trace stamp and timings surfaced
+    /// (the `Some(deadline)` arm of [`Self::assess_observed`]).
+    fn assess_within_traced(
+        &self,
+        server: ServerId,
+        deadline: Duration,
+        trace: u64,
+    ) -> Result<(AssessOutcome, Option<AssessTimings>), ServiceError> {
         let shard = self.shard_of(server);
         let start = Instant::now();
         let (reply_tx, reply_rx) = channel::bounded(1);
-        let command = Command::Assess {
-            server,
-            reply: reply_tx,
-        };
+        let command = Command::assess(server, reply_tx, trace);
         match self.shards[shard].send_timeout(command, deadline) {
             Ok(()) => {}
             Err(SendTimeoutError::Timeout(_)) => {
-                return self.degraded(shard, server, DegradedReason::DeadlineExceeded, start);
+                return self
+                    .degraded(shard, server, DegradedReason::DeadlineExceeded, start, trace)
+                    .map(|o| (o, None));
             }
             Err(SendTimeoutError::Disconnected(_)) => {
-                return self.degraded(shard, server, DegradedReason::ShardUnavailable, start);
+                return self
+                    .degraded(shard, server, DegradedReason::ShardUnavailable, start, trace)
+                    .map(|o| (o, None));
             }
         }
         let remaining = deadline.saturating_sub(start.elapsed());
         match reply_rx.recv_timeout(remaining) {
             Ok(answer) => {
-                let (assessment, _) = answer.map_err(ServiceError::Core)?;
-                self.obs
-                    .record_latency(LatencyPath::AssessE2e, start.elapsed().as_nanos() as u64);
-                Ok(AssessOutcome::Fresh(assessment))
+                let (assessment, timings) = answer.map_err(ServiceError::Core)?;
+                self.obs.record_latency_traced(
+                    LatencyPath::AssessE2e,
+                    start.elapsed().as_nanos() as u64,
+                    trace,
+                );
+                Ok((AssessOutcome::Fresh(assessment), Some(timings)))
             }
-            Err(RecvTimeoutError::Timeout) => {
-                self.degraded(shard, server, DegradedReason::DeadlineExceeded, start)
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                self.degraded(shard, server, DegradedReason::WorkerRestarting, start)
-            }
+            Err(RecvTimeoutError::Timeout) => self
+                .degraded(shard, server, DegradedReason::DeadlineExceeded, start, trace)
+                .map(|o| (o, None)),
+            Err(RecvTimeoutError::Disconnected) => self
+                .degraded(shard, server, DegradedReason::WorkerRestarting, start, trace)
+                .map(|o| (o, None)),
         }
     }
 
@@ -588,6 +658,7 @@ impl ReputationService {
         server: ServerId,
         reason: DegradedReason,
         start: Instant,
+        trace: u64,
     ) -> Result<AssessOutcome, ServiceError> {
         let published = self.shards[shard].published.lock().get(&server).cloned();
         match published {
@@ -598,10 +669,11 @@ impl ReputationService {
                 // cache — it is a cache event like any other serve.
                 counters.record_cache(true);
                 let e2e_ns = start.elapsed().as_nanos() as u64;
-                self.obs.record_latency(LatencyPath::AssessE2e, e2e_ns);
+                self.obs
+                    .record_latency_traced(LatencyPath::AssessE2e, e2e_ns, trace);
                 self.obs
                     .tracer()
-                    .emit(shard, e2e_ns, TraceKind::DegradedServed);
+                    .emit_traced(shard, e2e_ns, TraceKind::DegradedServed, trace);
                 Ok(AssessOutcome::Degraded(DegradedAssessment {
                     assessment: pv.assessment,
                     computed_at_version: pv.computed_at_version,
@@ -629,6 +701,20 @@ impl ReputationService {
         &self,
         servers: &[ServerId],
     ) -> Result<BatchAssessments, ServiceError> {
+        self.assess_many_traced(servers, 0)
+    }
+
+    /// [`Self::assess_many`] carrying a request trace ID stamped onto the
+    /// per-shard commands (0 behaves exactly like `assess_many`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::assess_many`].
+    pub fn assess_many_traced(
+        &self,
+        servers: &[ServerId],
+        trace: u64,
+    ) -> Result<BatchAssessments, ServiceError> {
         let start = Instant::now();
         let mut per_shard: Vec<Vec<ServerId>> = vec![Vec::new(); self.shards.len()];
         for &server in servers {
@@ -641,10 +727,7 @@ impl ReputationService {
             }
             let (reply_tx, reply_rx) = channel::bounded(1);
             self.shards[shard]
-                .send(Command::AssessMany {
-                    servers: group,
-                    reply: reply_tx,
-                })
+                .send(Command::assess_many(group, reply_tx, trace))
                 .map_err(|_| ServiceError::ShardUnavailable { shard })?;
             pending.push((shard, reply_rx));
         }

@@ -38,11 +38,26 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One assessment answer: the verdict plus whether the versioned cache
-/// answered it (the front end drops the flag except in `assess_traced`).
-/// The verdict is shared, not cloned: the worker's versioned cache, the
-/// published-verdict map and this reply all hold the same allocation.
-pub(crate) type AssessReply = Result<(Arc<Assessment>, bool), CoreError>;
+/// Stage timings measured inside the shard for one assessment, carried
+/// back on the reply channel so the front end (and the edge's span
+/// trees) can attribute the served latency to queue wait vs compute
+/// without a second clock source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssessTimings {
+    /// Time the command waited in the shard queue before the worker
+    /// dequeued it, in nanoseconds.
+    pub queue_wait_ns: u64,
+    /// Phase-1 + phase-2 compute time inside the worker, in nanoseconds.
+    pub compute_ns: u64,
+    /// Whether the versioned cache answered the assessment.
+    pub from_cache: bool,
+}
+
+/// One assessment answer: the verdict plus the shard-side stage timings
+/// (queue wait, compute, cache provenance). The verdict is shared, not
+/// cloned: the worker's versioned cache, the published-verdict map and
+/// this reply all hold the same allocation.
+pub(crate) type AssessReply = Result<(Arc<Assessment>, AssessTimings), CoreError>;
 
 /// A point-in-time view of one shard's contents.
 #[derive(Debug, Clone, Copy, Default)]
@@ -73,16 +88,26 @@ pub(crate) enum Command {
         /// The sub-batch routed to this shard.
         batch: Vec<Feedback>,
         /// When the front end enqueued it — the start of the
-        /// enqueue→apply latency measurement.
+        /// enqueue→apply latency measurement and the queue-wait stamp.
         enqueued_at: Instant,
+        /// Request trace ID (0 = untraced).
+        trace: u64,
     },
     Assess {
         server: ServerId,
         reply: Sender<AssessReply>,
+        /// When the front end enqueued it (queue-wait attribution).
+        enqueued_at: Instant,
+        /// Request trace ID (0 = untraced).
+        trace: u64,
     },
     AssessMany {
         servers: Vec<ServerId>,
         reply: Sender<Vec<(ServerId, AssessReply)>>,
+        /// When the front end enqueued it (queue-wait attribution).
+        enqueued_at: Instant,
+        /// Request trace ID (0 = untraced).
+        trace: u64,
     },
     Snapshot {
         reply: Sender<ShardSnapshot>,
@@ -132,11 +157,52 @@ impl Command {
         }
     }
 
-    /// An ingest command stamped now.
+    /// An ingest command stamped now (untraced).
+    #[cfg(test)]
     pub(crate) fn ingest(batch: Vec<Feedback>) -> Self {
+        Command::ingest_traced(batch, 0)
+    }
+
+    /// An ingest command stamped now, carrying a request trace ID.
+    pub(crate) fn ingest_traced(batch: Vec<Feedback>, trace: u64) -> Self {
         Command::Ingest {
             batch,
             enqueued_at: Instant::now(),
+            trace,
+        }
+    }
+
+    /// An assess command stamped now.
+    pub(crate) fn assess(server: ServerId, reply: Sender<AssessReply>, trace: u64) -> Self {
+        Command::Assess {
+            server,
+            reply,
+            enqueued_at: Instant::now(),
+            trace,
+        }
+    }
+
+    /// A batch assess command stamped now.
+    pub(crate) fn assess_many(
+        servers: Vec<ServerId>,
+        reply: Sender<Vec<(ServerId, AssessReply)>>,
+        trace: u64,
+    ) -> Self {
+        Command::AssessMany {
+            servers,
+            reply,
+            enqueued_at: Instant::now(),
+            trace,
+        }
+    }
+
+    /// The request trace ID this command carries (0 = untraced).
+    pub(crate) fn trace(&self) -> u64 {
+        match self {
+            Command::Ingest { trace, .. }
+            | Command::Assess { trace, .. }
+            | Command::AssessMany { trace, .. } => *trace,
+            _ => 0,
         }
     }
 }
@@ -214,6 +280,11 @@ pub(crate) struct ShardContext {
     /// Boot-time recovery progress, reported to health checks. Only the
     /// initial cold-start rebuild updates it.
     pub boot: Option<Arc<BootProgress>>,
+    /// Trace ID of the command the worker is processing right now
+    /// (0 = idle/untraced). Left set when the worker panics, so the
+    /// supervisor can stamp its restart/replay trace events with the
+    /// request that crashed the worker.
+    pub active_trace: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ShardContext {
@@ -263,9 +334,34 @@ pub(crate) fn handle_command(
     states: &mut HashMap<ServerId, ServerState>,
     ctx: &ShardContext,
 ) -> Flow {
+    // Publish the trace before doing any work: if this command panics
+    // the worker, the supervisor finds the ID still set and stamps the
+    // restart/replay events with it.
+    ctx.active_trace
+        .store(command.trace(), std::sync::atomic::Ordering::Relaxed);
+    let busy_t0 = Instant::now();
+    let flow = dispatch_command(command, states, ctx);
+    ctx.obs
+        .add_busy_ns(ctx.shard, busy_t0.elapsed().as_nanos() as u64);
+    ctx.active_trace
+        .store(0, std::sync::atomic::Ordering::Relaxed);
+    flow
+}
+
+fn dispatch_command(
+    command: Command,
+    states: &mut HashMap<ServerId, ServerState>,
+    ctx: &ShardContext,
+) -> Flow {
     match command {
-        Command::Ingest { batch, enqueued_at } => {
+        Command::Ingest {
+            batch,
+            enqueued_at,
+            trace,
+        } => {
             let batch_len = batch.len() as u64;
+            ctx.obs
+                .record_queue_wait(ctx.shard, enqueued_at.elapsed().as_nanos() as u64);
             // Journal first: after this point the batch is durable and
             // any crash during apply is recovered by replay. The append
             // is timed unconditionally (the histogram write is two
@@ -280,12 +376,13 @@ pub(crate) fn handle_command(
                     }
                     ctx.counters()
                         .record_journal_append(info.records, info.bytes, info.synced);
-                    ctx.obs.tracer().emit(
+                    ctx.obs.tracer().emit_traced(
                         ctx.shard,
                         append_ns,
                         TraceKind::JournalAppend {
                             records: info.records,
                         },
+                        trace,
                     );
                 }
                 Err(e) => {
@@ -326,27 +423,42 @@ pub(crate) fn handle_command(
                 enqueued_at.elapsed().as_nanos() as u64,
                 batch_len,
             );
-            ctx.obs.tracer().emit(
+            ctx.obs.tracer().emit_traced(
                 ctx.shard,
                 apply_t0.elapsed().as_nanos() as u64,
                 TraceKind::BatchApplied {
                     feedbacks: batch_len,
                 },
+                trace,
             );
             maybe_checkpoint(states, ctx);
             Flow::Continue
         }
-        Command::Assess { server, reply } => {
+        Command::Assess {
+            server,
+            reply,
+            enqueued_at,
+            trace,
+        } => {
+            let queue_wait_ns = enqueued_at.elapsed().as_nanos() as u64;
+            ctx.obs.record_queue_wait(ctx.shard, queue_wait_ns);
             ctx.faults.before_reply();
-            let answer = assess_one(states, server, ctx);
+            let answer = assess_one(states, server, ctx, queue_wait_ns, trace);
             let _ = reply.send(answer);
             Flow::Continue
         }
-        Command::AssessMany { servers, reply } => {
+        Command::AssessMany {
+            servers,
+            reply,
+            enqueued_at,
+            trace,
+        } => {
+            let queue_wait_ns = enqueued_at.elapsed().as_nanos() as u64;
+            ctx.obs.record_queue_wait(ctx.shard, queue_wait_ns);
             ctx.faults.before_reply();
             let answers = servers
                 .into_iter()
-                .map(|s| (s, assess_one(states, s, ctx)))
+                .map(|s| (s, assess_one(states, s, ctx, queue_wait_ns, trace)))
                 .collect();
             let _ = reply.send(answers);
             Flow::Continue
@@ -461,6 +573,8 @@ fn assess_one(
     states: &mut HashMap<ServerId, ServerState>,
     server: ServerId,
     ctx: &ShardContext,
+    queue_wait_ns: u64,
+    trace: u64,
 ) -> AssessReply {
     ctx.counters().add_served(1);
     let t0 = Instant::now();
@@ -489,17 +603,28 @@ fn assess_one(
         }
     };
     let compute_ns = t0.elapsed().as_nanos() as u64;
-    ctx.obs.record_latency(LatencyPath::AssessCompute, compute_ns);
+    ctx.obs
+        .record_latency_traced(LatencyPath::AssessCompute, compute_ns, trace);
     if let Ok((_, from_cache)) = &reply {
-        ctx.obs.tracer().emit(
+        ctx.obs.tracer().emit_traced(
             ctx.shard,
             compute_ns,
             TraceKind::AssessServed {
                 cache_hit: *from_cache,
             },
+            trace,
         );
     }
-    reply
+    reply.map(|(assessment, from_cache)| {
+        (
+            assessment,
+            AssessTimings {
+                queue_wait_ns,
+                compute_ns,
+                from_cache,
+            },
+        )
+    })
 }
 
 #[cfg(test)]
@@ -534,6 +659,7 @@ mod tests {
             faults: ShardFaults::default(),
             snapshots: None,
             boot: None,
+            active_trace: Arc::default(),
         };
         let handle = spawn_supervised_shard(0, ctx, SupervisionConfig::default(), 0);
         (handle, obs)
@@ -550,15 +676,11 @@ mod tests {
             .collect();
         handle.send(Command::ingest(batch)).unwrap();
         let (reply_tx, reply_rx) = channel::unbounded();
-        handle
-            .send(Command::Assess {
-                server,
-                reply: reply_tx,
-            })
-            .unwrap();
-        let (assessment, from_cache) = reply_rx.recv().unwrap().unwrap();
+        handle.send(Command::assess(server, reply_tx, 0)).unwrap();
+        let (assessment, timings) = reply_rx.recv().unwrap().unwrap();
         assert!(assessment.trust().is_some() || assessment.is_rejected());
-        assert!(!from_cache, "first assessment computes");
+        assert!(!timings.from_cache, "first assessment computes");
+        assert!(timings.compute_ns > 0, "compute time is measured");
 
         let (snap_tx, snap_rx) = channel::unbounded();
         handle.send(Command::Snapshot { reply: snap_tx }).unwrap();
@@ -581,6 +703,11 @@ mod tests {
         assert_eq!(snap.latency(LatencyPath::AssessCompute).count, 1);
         assert_eq!(snap.shards[0].journal_records, 250);
         assert_eq!(snap.shards[0].last_apply_version, 250);
+        // Queue-wait attribution: the ingest and the assess both waited
+        // (however briefly) in the shard queue, and the worker's busy
+        // time is accounted toward utilization.
+        assert_eq!(snap.queue_waits[0].count, 2);
+        assert!(snap.utilizations[0] > 0.0);
     }
 
     #[test]
@@ -588,10 +715,7 @@ mod tests {
         let (handle, _obs) = spawn();
         let (reply_tx, reply_rx) = channel::unbounded();
         handle
-            .send(Command::Assess {
-                server: ServerId::new(404),
-                reply: reply_tx,
-            })
+            .send(Command::assess(ServerId::new(404), reply_tx, 0))
             .unwrap();
         assert!(reply_rx.recv().unwrap().is_ok());
         let (snap_tx, snap_rx) = channel::unbounded();
@@ -618,12 +742,7 @@ mod tests {
         };
         handle.send(Command::ingest(batch(0, 120))).unwrap();
         let (reply_tx, reply_rx) = channel::unbounded();
-        handle
-            .send(Command::Assess {
-                server,
-                reply: reply_tx,
-            })
-            .unwrap();
+        handle.send(Command::assess(server, reply_tx, 0)).unwrap();
         reply_rx.recv().unwrap().unwrap();
         handle.send(Command::ingest(batch(120, 30))).unwrap();
         // Round-trip a snapshot so the ingest is surely applied.

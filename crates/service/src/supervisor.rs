@@ -98,19 +98,29 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
                     return;
                 }
                 ctx.counters().add_restart();
+                // The worker leaves its in-flight trace ID published when
+                // it panics: stamp the restart (and the replay below, via
+                // the same slot) so crash forensics reconstruct from one
+                // request ID.
+                let crashed_trace = ctx.active_trace.load(Ordering::Relaxed);
                 ctx.obs
                     .tracer()
-                    .emit(
+                    .emit_traced(
                         ctx.shard,
                         0,
                         TraceKind::WorkerRestart {
                             restart: u64::from(restarts),
                         },
+                        crashed_trace,
                     );
                 thread::sleep(backoff_delay(supervision, restarts));
                 match rebuild(ctx, &mut quarantine) {
                     Some(rebuilt) => {
                         states = rebuilt;
+                        // The crashed request is fully accounted for:
+                        // clear the slot so later restarts aren't
+                        // misattributed to it.
+                        ctx.active_trace.store(0, Ordering::Relaxed);
                         // Checkpoint the freshly rebuilt state: the next
                         // crash (or process restart) then recovers from
                         // here instead of re-folding this replay again.
@@ -151,7 +161,12 @@ pub(crate) fn backoff_delay(supervision: &SupervisionConfig, restart: u32) -> Du
 /// fold would silently produce wrong verdicts.
 fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<ServerId, ServerState>> {
     let replay_t0 = std::time::Instant::now();
-    ctx.obs.tracer().emit(ctx.shard, 0, TraceKind::ReplayStart);
+    // Still set when a panicking request triggered this rebuild; 0 on
+    // cold start.
+    let trace = ctx.active_trace.load(Ordering::Relaxed);
+    ctx.obs
+        .tracer()
+        .emit_traced(ctx.shard, 0, TraceKind::ReplayStart, trace);
     if let Some(snaps) = &ctx.snapshots {
         let candidates = snaps.store.lock().candidates();
         for entry in candidates {
@@ -159,7 +174,9 @@ fn rebuild(ctx: &ShardContext, quarantine: &mut Quarantine) -> Option<HashMap<Se
                 return Some(states);
             }
             ctx.counters().add_snapshot_fallback();
-            ctx.obs.tracer().emit(ctx.shard, 0, TraceKind::SnapshotFallback);
+            ctx.obs
+                .tracer()
+                .emit_traced(ctx.shard, 0, TraceKind::SnapshotFallback, trace);
         }
     }
     // Fallback floor: fold the whole journal from record 0.
@@ -260,12 +277,13 @@ fn fold_tail(
                     }
                 }
                 drop(published);
-                ctx.obs.tracer().emit(
+                ctx.obs.tracer().emit_traced(
                     ctx.shard,
                     replay_t0.elapsed().as_nanos() as u64,
                     TraceKind::ReplayComplete {
                         records: feedbacks.len() as u64,
                     },
+                    ctx.active_trace.load(Ordering::Relaxed),
                 );
                 return Some(states);
             }
@@ -276,15 +294,14 @@ fn fold_tail(
                 }
                 if quarantine.note_crash(index) {
                     ctx.counters().add_quarantined();
-                    ctx.obs
-                        .tracer()
-                        .emit(
-                            ctx.shard,
-                            0,
-                            TraceKind::RecordQuarantined {
-                                index: index as u64,
-                            },
-                        );
+                    ctx.obs.tracer().emit_traced(
+                        ctx.shard,
+                        0,
+                        TraceKind::RecordQuarantined {
+                            index: index as u64,
+                        },
+                        ctx.active_trace.load(Ordering::Relaxed),
+                    );
                 }
                 // Retry immediately: either the record is now skipped or
                 // its crash count moved toward the quarantine threshold.

@@ -210,3 +210,114 @@ fn tracing_disabled_by_default_records_nothing() {
     assert!(service.trace_events().is_empty());
     assert_eq!(service.metrics().snapshot().trace_dropped, 0);
 }
+
+/// The exposition must parse clean under the promtool-style lint after
+/// real traffic: HELP/TYPE before samples, monotone cumulative buckets
+/// ending at `+Inf`, `_sum`/`_count` agreeing with the buckets, and no
+/// family declared twice.
+#[test]
+fn prometheus_exposition_is_lint_clean() {
+    let service = ReputationService::new(fast_config(2)).unwrap();
+    for id in 0..6u64 {
+        let server = ServerId::new(id);
+        service.ingest_batch(feedbacks_for(server, 120, 9)).unwrap();
+        service.assess(server).unwrap();
+    }
+    let text = service.render_prometheus();
+    let problems = hp_service::obs::lint_prometheus(&text);
+    assert!(problems.is_empty(), "exposition lint: {problems:?}\n{text}");
+}
+
+/// Queue-wait attribution: traffic populates the per-shard queue-wait
+/// histograms and utilization gauges, in both the exposition and
+/// `ServiceStats`.
+#[test]
+fn queue_wait_and_utilization_cover_every_shard() {
+    let service = ReputationService::new(fast_config(3)).unwrap();
+    for id in 0..9u64 {
+        let server = ServerId::new(id);
+        service.ingest_batch(feedbacks_for(server, 60, 7)).unwrap();
+        service.assess(server).unwrap();
+    }
+    let text = service.render_prometheus();
+    for shard in 0..3 {
+        assert!(
+            text.contains(&format!("hp_shard_queue_wait_seconds_bucket{{shard=\"{shard}\"")),
+            "no queue-wait histogram for shard {shard}"
+        );
+        assert!(text.contains(&format!("hp_shard_utilization{{shard=\"{shard}\"}}")));
+    }
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.utilizations.len(), 3);
+    assert!(snap.utilizations.iter().all(|u| (0.0..=1.0).contains(u)));
+    // Every served command waited in a queue at least once.
+    let waits: u64 = snap.queue_waits.iter().map(|w| w.count).sum();
+    assert!(waits > 0, "no queue waits recorded");
+}
+
+/// Exemplar linking through the public API: a traced assessment leaves
+/// its trace ID on the latency bucket it landed in, rendered
+/// OpenMetrics-exemplar style after the bucket sample.
+#[test]
+fn traced_requests_leave_exemplars_on_latency_buckets() {
+    let service = ReputationService::new(fast_config(1)).unwrap();
+    let server = ServerId::new(3);
+    service
+        .ingest_batch_traced(feedbacks_for(server, 90, 8), 0xfeed_beef)
+        .unwrap();
+    let (outcome, timings) = service.assess_observed(server, None, 0xfeed_beef).unwrap();
+    assert!(matches!(outcome, hp_service::AssessOutcome::Fresh(_)));
+    let t = timings.expect("fresh assessments carry stage timings");
+    assert!(t.compute_ns > 0, "compute was measured");
+
+    let text = service.render_prometheus();
+    assert!(
+        text.contains("trace_id=\"00000000feedbeef\""),
+        "no exemplar carrying the request trace in:\n{text}"
+    );
+    let problems = hp_service::obs::lint_prometheus(&text);
+    assert!(problems.is_empty(), "exemplars must not break the lint: {problems:?}");
+}
+
+/// Build identity is a first-class metric: version and trust-model
+/// labels on a gauge, so fleet dashboards can slice by build.
+#[test]
+fn build_info_carries_version_and_model_labels() {
+    let service = ReputationService::new(fast_config(2)).unwrap();
+    let text = service.render_prometheus();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("hp_build_info{"))
+        .unwrap_or_else(|| panic!("no hp_build_info in:\n{text}"));
+    assert!(line.contains("version=\""), "{line}");
+    assert!(line.contains("trust=\""), "{line}");
+    assert!(line.contains("shards=\"2\""), "{line}");
+    assert!(line.ends_with("} 1"), "{line}");
+}
+
+/// The stage timings the shard reports are internally consistent: the
+/// queue wait and compute it attributes never exceed what the caller
+/// observed end-to-end for the same request.
+#[test]
+fn assess_timings_nest_inside_the_callers_window() {
+    let service = ReputationService::new(fast_config(2)).unwrap();
+    let server = ServerId::new(21);
+    service.ingest_batch(feedbacks_for(server, 150, 11)).unwrap();
+
+    let t0 = std::time::Instant::now();
+    let (_, timings) = service.assess_observed(server, None, 0xabc).unwrap();
+    let observed_ns = t0.elapsed().as_nanos() as u64;
+    let t = timings.expect("fresh compute");
+    assert!(!t.from_cache);
+    assert!(
+        t.queue_wait_ns + t.compute_ns <= observed_ns,
+        "shard attributed {} + {} ns inside a {} ns call",
+        t.queue_wait_ns,
+        t.compute_ns,
+        observed_ns
+    );
+
+    // The repeat answers from the versioned cache and says so.
+    let (_, timings) = service.assess_observed(server, None, 0xabd).unwrap();
+    assert!(timings.expect("still measured").from_cache);
+}
