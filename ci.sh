@@ -79,6 +79,41 @@ print(
     f"server ({current['ratio']}x smaller than rows; baseline "
     f"{baseline['columnar_bytes']} B)"
 )
+
+# Two-sided tiered gate at 10x history length: the compacted active set
+# must stay under the committed byte baseline, and a faulted cold assess
+# must stay within an order of magnitude of a hot one.
+tiered = json.load(open(sys.argv[1]))["tiered"]
+tiered_base = json.load(open(sys.argv[2]))["tiered"]
+if tiered["history_len"] != tiered_base["history_len"]:
+    sys.exit(
+        f"tiered gate measured at {tiered['history_len']} records, "
+        f"baseline expects {tiered_base['history_len']}"
+    )
+byte_limit = tiered_base["tiered_bytes"] * 1.10
+if tiered["tiered_bytes"] > byte_limit:
+    sys.exit(
+        f"tiered resident-bytes regression: {tiered['tiered_bytes']} B at "
+        f"{tiered['history_len']} records > 110% of baseline "
+        f"{tiered_base['tiered_bytes']} B"
+    )
+if tiered["resident_fraction"] > tiered_base["max_resident_fraction"]:
+    sys.exit(
+        f"tiered resident fraction {tiered['resident_fraction']} of untiered "
+        f"columnar exceeds the {tiered_base['max_resident_fraction']} ceiling"
+    )
+if tiered["cold_over_hot"] > tiered_base["max_cold_over_hot"]:
+    sys.exit(
+        f"cold-faulted assess p99 is {tiered['cold_over_hot']}x hot p99, "
+        f"over the {tiered_base['max_cold_over_hot']}x ceiling"
+    )
+print(
+    f"    tiered:   {tiered['tiered_bytes']} B resident at "
+    f"{tiered['history_len']} records, horizon {tiered['horizon']} "
+    f"({tiered['resident_fraction']} of untiered columnar, ceiling "
+    f"{tiered_base['max_resident_fraction']}); cold assess "
+    f"{tiered['cold_over_hot']}x hot (ceiling {tiered_base['max_cold_over_hot']}x)"
+)
 PYEOF
 
 echo "==> phase-1 kernel bench (writes experiments/out/bench_phase1.json)"
@@ -181,10 +216,22 @@ if gate["snapshot_restart_speedup"] < base["min_snapshot_restart_speedup"]:
         f"{base['min_snapshot_restart_speedup']}x floor "
         f"({gate['snapshot_boot_ms']} ms vs {gate['full_replay_ms']} ms)"
     )
+if gate["spill_restart_speedup"] < base["min_spill_restart_speedup"]:
+    sys.exit(
+        f"restart-after-spill regression: {gate['spill_restart_speedup']}x "
+        f"over full replay at {gate['len']} records fell below the "
+        f"{base['min_spill_restart_speedup']}x floor "
+        f"({gate['spill_boot_ms']} ms vs {gate['full_replay_ms']} ms)"
+    )
 print(
     f"    snapshot boot at {gate['len']} records: {gate['snapshot_boot_ms']} ms "
     f"vs {gate['full_replay_ms']} ms full replay "
     f"({gate['snapshot_restart_speedup']}x, floor {base['min_snapshot_restart_speedup']}x)"
+)
+print(
+    f"    spill boot at {gate['len']} records: {gate['spill_boot_ms']} ms "
+    f"({gate['spill_restart_speedup']}x, floor {base['min_spill_restart_speedup']}x) "
+    f"— segment re-attach, no journal replay of spilled history"
 )
 PYEOF
 

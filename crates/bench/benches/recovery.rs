@@ -30,7 +30,7 @@ use hp_core::testing::BehaviorTestConfig;
 use hp_core::{ClientId, Feedback, Rating, ServerId};
 use hp_service::journal::{read_journal, FileJournal, FsyncPolicy};
 use hp_service::{
-    BootProgress, Durability, ReputationService, ServiceConfig, SnapshotPolicy,
+    BootProgress, Durability, ReputationService, ServiceConfig, SnapshotPolicy, TieringPolicy,
 };
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -349,6 +349,70 @@ fn bench_snapshot_restart(rows: &mut Vec<Row>) {
     }
 }
 
+/// Restart after the whole population has been spilled to cold
+/// segments: the checkpoint holds segment *references*, so boot
+/// revalidates every reference (one fault + checksum + decode per
+/// spilled server) on top of the snapshot load. The added cost must not
+/// push recovery out of the snapshot-restart gate.
+fn bench_spill_restart(rows: &mut Vec<Row>) {
+    const LEN: usize = 400_000;
+    let dir = scratch_dir("recover-spill");
+    write_journal(&dir.join("shard-0.hpj"), LEN);
+
+    let config = fast_config()
+        .with_durability(Durability::Durable {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never,
+        })
+        .with_snapshots(SnapshotPolicy {
+            interval_records: 0,
+            retain: 2,
+            compact_journal: false,
+        })
+        .with_tiering(TieringPolicy {
+            horizon: 2048,
+            spill_budget_bytes: Some(0),
+        });
+
+    // Seed: a full-replay boot compacts and evicts everything (zero
+    // budget), and the checkpoint captures the spilled residency.
+    {
+        let service = ReputationService::new(config.clone()).unwrap();
+        assert_eq!(service.stats().journal_records, LEN as u64);
+        let summary = service.checkpoint().unwrap();
+        assert_eq!(summary.shards_snapshotted, 1);
+        service.shutdown();
+    }
+
+    rows.push(measure_span(
+        &format!("service_restart_spill/len={LEN}"),
+        5,
+        LEN as u64,
+        || {
+            let t0 = Instant::now();
+            let boot = Arc::new(BootProgress::new());
+            let service =
+                ReputationService::new_with_progress(config.clone(), Some(Arc::clone(&boot)))
+                    .unwrap();
+            let stats = service.stats();
+            assert_eq!(stats.journal_records, LEN as u64);
+            assert!(
+                stats.tier_spilled_bytes > 0,
+                "boot must re-attach spilled servers, not fault them hot"
+            );
+            let elapsed = t0.elapsed();
+            assert_eq!(
+                boot.status().snapshots_loaded,
+                1,
+                "spill-restart fell back to full replay"
+            );
+            service.shutdown();
+            elapsed
+        },
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let mut rows = Vec::new();
     println!("recovery benchmarks (journal append overhead, time-to-recover)\n");
@@ -356,6 +420,7 @@ fn main() {
     bench_ingest_overhead(&mut rows);
     bench_recovery(&mut rows);
     bench_snapshot_restart(&mut rows);
+    bench_spill_restart(&mut rows);
     println!();
     for row in &rows {
         print_row(row);
@@ -371,17 +436,27 @@ fn main() {
     };
     let full = mean_of("service_restart/len=400000");
     let snap = mean_of("service_restart_snapshot/len=400000");
+    let spill = mean_of("service_restart_spill/len=400000");
     let speedup = full as f64 / snap as f64;
+    let spill_speedup = full as f64 / spill as f64;
     let gate = format!(
         "{{\"len\": 400000, \"full_replay_ms\": {:.2}, \"snapshot_boot_ms\": {:.2}, \
-         \"snapshot_restart_speedup\": {:.2}}}",
+         \"snapshot_restart_speedup\": {:.2}, \"spill_boot_ms\": {:.2}, \
+         \"spill_restart_speedup\": {:.2}}}",
         full as f64 / 1e6,
         snap as f64 / 1e6,
         speedup,
+        spill as f64 / 1e6,
+        spill_speedup,
     );
     println!(
         "\nsnapshot-boot at 400k records: {:.2}ms vs {:.2}ms full replay ({speedup:.1}x)",
         snap as f64 / 1e6,
+        full as f64 / 1e6,
+    );
+    println!(
+        "spill-restart at 400k records: {:.2}ms vs {:.2}ms full replay ({spill_speedup:.1}x)",
+        spill as f64 / 1e6,
         full as f64 / 1e6,
     );
 

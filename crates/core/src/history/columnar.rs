@@ -193,6 +193,19 @@ impl BitColumn {
             return Ok(out);
         }
         let cov_end = start + k * m;
+        // Small-history fast path: when the whole column fits one word,
+        // every window is a shift + mask + popcount on that word — no
+        // word walk, no realignment, no prefix reads. This is the common
+        // shape for young servers (and the reason the columnar form must
+        // not lose to the prefix-sum scan on short histories).
+        if self.len <= 64 {
+            let word = self.words.first().copied().unwrap_or(0);
+            let mask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = ((word >> (start + i * m)) & mask).count_ones();
+            }
+            return Ok(out);
+        }
         match m {
             8 | 16 | 32 | 64 => self.sweep_swar(start, cov_end, m, &mut out),
             _ => self.sweep_generic(start, cov_end, m, &mut out),
@@ -935,6 +948,26 @@ mod tests {
     fn window_counts_kernel_out_of_bounds_panics() {
         let bits = BitColumn::from_bools([true; 10]);
         let _ = bits.window_counts(0, 11, 2);
+    }
+
+    #[test]
+    fn window_counts_small_history_fast_path_matches_scalar() {
+        // Histories at or under one word take the single-word fast path;
+        // sweep every (len, start, m) shape against the scalar oracle,
+        // including the 64-bit boundary and m == len.
+        for len in [0usize, 1, 7, 10, 63, 64] {
+            let outcomes: Vec<bool> = (0..len).map(|i| (i * 11 + 3) % 4 != 0).collect();
+            let bits = BitColumn::from_bools(outcomes.iter().copied());
+            for start in 0..=len {
+                for m in 1..=len.max(1) {
+                    assert_eq!(
+                        bits.window_counts(start, len, m).unwrap(),
+                        bits.window_counts_scalar(start, len, m).unwrap(),
+                        "len={len} [{start},{len}) m={m}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

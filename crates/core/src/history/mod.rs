@@ -22,9 +22,11 @@
 //!   collusion evaluations of an unchanged history allocate nothing.
 
 mod columnar;
+mod tiered;
 mod view;
 
 pub use columnar::{BitColumn, ColumnarHistory, IssuerColumn};
+pub use tiered::{TieredColumn, TieredHistory};
 pub use view::{ColumnRef, HistoryView, IssuerGroup, OwnedColumn};
 
 use crate::feedback::{Feedback, Rating};

@@ -1,0 +1,855 @@
+//! Horizon-compacted history: exact folded summaries + a bit suffix.
+//!
+//! The behavior tests only ever scan a bounded, end-aligned suffix of a
+//! history (the assessment horizon — `max_suffix` on
+//! [`crate::testing::BehaviorTestConfig`]), yet the columnar engine keeps
+//! every outcome bit forever. [`TieredHistory`] folds windows older than
+//! the horizon into *exact* per-issuer `(good, total)` summary counts
+//! kept alongside a full-resolution [`BitColumn`] suffix:
+//!
+//! ```text
+//!   transaction index:  0 ............ folded_len ............. len
+//!                       [  folded prefix  ][   retained suffix    ]
+//!                        summary counts      full-resolution bits
+//!                        (good, total) per    + issuer postings
+//!                        issuer, exact
+//! ```
+//!
+//! Every query that fits the retained suffix — any end-aligned window
+//! count, any suffix rate, the totals every trust function consumes, and
+//! the issuer groups (merged exactly from summaries + postings) — is
+//! bit-identical to the untiered [`super::ColumnarHistory`]. A query that
+//! reaches into the folded prefix degrades to a typed
+//! [`StatsError::HorizonExceeded`] (or panics where the untiered path
+//! would panic): never a silently wrong count.
+//!
+//! Folding happens in whole 64-bit words so the suffix stays word-aligned
+//! and [`BitColumn::from_words`] can rebuild it without re-pushing bits.
+
+use crate::feedback::Feedback;
+use crate::id::{ClientId, ServerId};
+use hp_stats::StatsError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use super::columnar::{BitColumn, IssuerColumn};
+use super::view::{ColumnRef, HistoryView, IssuerGroup, OwnedColumn, ReorderCache};
+
+/// The outcome column of a tiered history: an exact folded-prefix summary
+/// (`folded_len` outcomes, `folded_good` of them good) plus a
+/// full-resolution [`BitColumn`] for positions `folded_len..len`.
+///
+/// Range queries are stitched: a range inside the suffix shifts into the
+/// bit column, a range covering the whole folded prefix adds
+/// `folded_good` to a suffix count, and anything else cannot be answered
+/// at full resolution — [`TieredColumn::rate_range`] and
+/// [`TieredColumn::window_counts`] return
+/// [`StatsError::HorizonExceeded`], while [`TieredColumn::count_range`]
+/// panics exactly like an out-of-bounds range would (callers that can
+/// degrade gracefully use the fallible paths).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TieredColumn {
+    /// Outcomes folded into the summary — always a multiple of 64.
+    folded_len: usize,
+    /// Good outcomes among the folded prefix.
+    folded_good: u64,
+    /// Full-resolution bits for positions `folded_len..len`.
+    suffix: BitColumn,
+}
+
+impl TieredColumn {
+    /// An uncompacted column over `suffix` (nothing folded yet).
+    pub fn from_suffix(suffix: BitColumn) -> Self {
+        TieredColumn {
+            folded_len: 0,
+            folded_good: 0,
+            suffix,
+        }
+    }
+
+    /// Total number of outcomes (folded + retained).
+    pub fn len(&self) -> usize {
+        self.folded_len + self.suffix.len()
+    }
+
+    /// Whether the column holds no outcomes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of good outcomes (exact across both tiers).
+    pub fn total_good(&self) -> u64 {
+        self.folded_good + self.suffix.total_good()
+    }
+
+    /// First position still held at full bit resolution.
+    pub fn retained_start(&self) -> usize {
+        self.folded_len
+    }
+
+    /// Good outcomes among the folded prefix.
+    pub fn folded_good(&self) -> u64 {
+        self.folded_good
+    }
+
+    /// The retained full-resolution suffix.
+    pub fn suffix(&self) -> &BitColumn {
+        &self.suffix
+    }
+
+    /// Number of good outcomes in `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (matching
+    /// [`BitColumn::count_range`]) or if it reaches into the folded
+    /// prefix without covering it entirely — the infallible count API has
+    /// no error channel, and a wrong count is never acceptable.
+    pub fn count_range(&self, start: usize, end: usize) -> u64 {
+        assert!(
+            start <= end && end <= self.len(),
+            "range [{start},{end}) out of bounds"
+        );
+        if start == end {
+            return 0;
+        }
+        if start >= self.folded_len {
+            return self
+                .suffix
+                .count_range(start - self.folded_len, end - self.folded_len);
+        }
+        assert!(
+            start == 0 && end >= self.folded_len,
+            "range [{start},{end}) reaches into the folded prefix \
+             (retained suffix starts at {})",
+            self.folded_len
+        );
+        self.folded_good + self.suffix.count_range(0, end - self.folded_len)
+    }
+
+    /// Fraction of good outcomes in `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty range and
+    /// [`StatsError::HorizonExceeded`] when the range reaches into the
+    /// folded prefix without covering it.
+    pub fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
+        if start >= end {
+            return Err(StatsError::EmptyInput {
+                what: "rate over an empty range",
+            });
+        }
+        if start < self.folded_len && !(start == 0 && end >= self.folded_len) {
+            return Err(StatsError::HorizonExceeded {
+                start,
+                retained_start: self.folded_len,
+            });
+        }
+        // Same arithmetic as the untiered columns: exact count over exact
+        // length, so the f64 result is bit-identical.
+        Ok(self.count_range(start, end) as f64 / (end - start) as f64)
+    }
+
+    /// Window counts of size `m` covering `[start, end)`, aligned to
+    /// `start`; a trailing partial window is dropped (paper semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidCount`] if `m == 0` and
+    /// [`StatsError::HorizonExceeded`] when at least one window would
+    /// need bits from the folded prefix.
+    pub fn window_counts(&self, start: usize, end: usize, m: usize) -> Result<Vec<u32>, StatsError> {
+        if m == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "window size",
+                value: 0,
+            });
+        }
+        assert!(
+            start <= end && end <= self.len(),
+            "range [{start},{end}) out of bounds"
+        );
+        if (end - start) / m == 0 {
+            return Ok(Vec::new());
+        }
+        if start < self.folded_len {
+            return Err(StatsError::HorizonExceeded {
+                start,
+                retained_start: self.folded_len,
+            });
+        }
+        self.suffix
+            .window_counts(start - self.folded_len, end - self.folded_len, m)
+    }
+}
+
+/// A server's transaction history with an assessment-horizon tier split:
+/// a folded prefix kept as exact per-issuer summary counts, and a
+/// full-resolution columnar suffix.
+///
+/// Drop-in for [`super::ColumnarHistory`] behind [`HistoryView`]: before
+/// any [`TieredHistory::compact`] call the two are bit-identical on every
+/// query; after compaction they remain bit-identical on every query that
+/// fits the retained suffix (which is all the assessment engine issues
+/// when its `max_suffix` horizon is at most the compaction horizon), and
+/// anything deeper degrades to a typed [`StatsError::HorizonExceeded`].
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::history::{HistoryView, TieredHistory};
+/// use hp_core::{ClientId, Feedback, Rating, ServerId};
+///
+/// let mut h = TieredHistory::new();
+/// for t in 0..200 {
+///     h.push(Feedback::new(t, ServerId::new(1), ClientId::new(t % 3), Rating::Positive));
+/// }
+/// h.compact(100); // keep >= 100 newest outcomes at full resolution
+/// assert_eq!(h.len(), 200);
+/// assert_eq!(h.good_count(), 200);          // totals stay exact
+/// assert_eq!(h.retained_start(), 64);       // whole words folded
+/// assert_eq!(h.count_range(100, 200), 100); // suffix queries unchanged
+/// ```
+#[derive(Debug, Default)]
+pub struct TieredHistory {
+    column: TieredColumn,
+    /// Issuer dictionary + postings for the retained suffix. The
+    /// dictionary spans the *whole* history (codes are stable and never
+    /// recycled), so folded summary codes stay decodable.
+    issuers: IssuerColumn,
+    /// Per-code `(good, total)` counts folded out of the prefix, indexed
+    /// by dictionary code. May be shorter than the dictionary when codes
+    /// were introduced after the last fold.
+    folded_by_code: Vec<(u32, u32)>,
+    /// The uniform server, while one exists.
+    server: Option<ServerId>,
+    /// Set once feedback for a second server is ingested.
+    mixed: bool,
+    /// Bumped on every ingest; stamps the reorder cache. Compaction does
+    /// not bump it — it changes the representation, not the content.
+    version: u64,
+    reorder: Mutex<ReorderCache>,
+}
+
+impl TieredHistory {
+    /// Creates an empty history (nothing folded, nothing retained).
+    pub fn new() -> Self {
+        TieredHistory::default()
+    }
+
+    /// Appends a feedback record (decomposed into the columns).
+    pub fn push(&mut self, feedback: Feedback) {
+        if self.is_empty() && !self.mixed {
+            self.server = Some(feedback.server);
+        } else if self.server.is_some_and(|s| s != feedback.server) {
+            self.server = None;
+            self.mixed = true;
+        }
+        self.column.suffix.push(feedback.is_good());
+        self.issuers.push(feedback.client, feedback.is_good());
+        self.version += 1;
+    }
+
+    /// Folds prefix words older than `horizon` into the summary tier,
+    /// keeping at least the newest `horizon` outcomes at full resolution.
+    ///
+    /// Only whole 64-bit words fold (the suffix stays word-aligned), so
+    /// the retained suffix length is always in `[horizon, horizon + 63]`
+    /// once the history is long enough. Returns the number of outcomes
+    /// newly folded (0 when nothing crossed the horizon).
+    ///
+    /// Folding is exact — per-issuer `(good, total)` counts migrate into
+    /// [`TieredHistory::folded_by_code`]-backed summaries — and
+    /// irreversible: queries into the folded prefix degrade to
+    /// [`StatsError::HorizonExceeded`] from then on.
+    pub fn compact(&mut self, horizon: usize) -> usize {
+        let target = self.len().saturating_sub(horizon) / 64 * 64;
+        if target <= self.column.folded_len {
+            return 0;
+        }
+        let drop = target - self.column.folded_len;
+        debug_assert!(drop.is_multiple_of(64));
+
+        // Migrate the dropped positions' issuer counts into the summary.
+        self.folded_by_code.resize(self.issuers.clients().len(), (0, 0));
+        for (i, &code) in self.issuers.codes()[..drop].iter().enumerate() {
+            let (good, total) = &mut self.folded_by_code[code as usize];
+            *total += 1;
+            if self.column.suffix.get(i) {
+                *good += 1;
+                self.column.folded_good += 1;
+            }
+        }
+
+        // Rebuild the retained suffix from its surviving whole words.
+        let words = self.column.suffix.words()[drop / 64..].to_vec();
+        let new_len = self.column.suffix.len() - drop;
+        let suffix = BitColumn::from_words(words, new_len)
+            .expect("word-aligned fold preserves the suffix invariants");
+        let issuers = IssuerColumn::from_parts(
+            self.issuers.clients().to_vec(),
+            self.issuers.codes()[drop..].to_vec(),
+            &suffix,
+        )
+        .expect("the full dictionary decodes every retained code");
+        self.column.suffix = suffix;
+        self.column.folded_len = target;
+        self.issuers = issuers;
+        drop
+    }
+
+    /// Number of transactions (folded + retained).
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// Total number of good transactions (exact across both tiers).
+    pub fn good_count(&self) -> u64 {
+        self.column.total_good()
+    }
+
+    /// First transaction index still held at full bit resolution.
+    pub fn retained_start(&self) -> usize {
+        self.column.retained_start()
+    }
+
+    /// Number of transactions retained at full resolution.
+    pub fn suffix_len(&self) -> usize {
+        self.column.suffix.len()
+    }
+
+    /// The server this history belongs to (`None` if empty or mixed).
+    pub fn server(&self) -> Option<ServerId> {
+        self.server
+    }
+
+    /// The ingest version — bumped on every [`TieredHistory::push`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The tiered outcome column (folded summary + retained bits).
+    pub fn column(&self) -> &TieredColumn {
+        &self.column
+    }
+
+    /// The issuer dictionary + suffix postings (snapshot payload; the
+    /// dictionary spans the whole history).
+    pub fn issuer_column(&self) -> &IssuerColumn {
+        &self.issuers
+    }
+
+    /// Per-code `(good, total)` counts folded out of the prefix, indexed
+    /// by dictionary code (snapshot payload; may be shorter than the
+    /// dictionary).
+    pub fn folded_by_code(&self) -> &[(u32, u32)] {
+        &self.folded_by_code
+    }
+
+    /// Approximate heap bytes held by the full-resolution tier (suffix
+    /// bits + issuer dictionary and postings).
+    pub fn suffix_resident_bytes(&self) -> usize {
+        self.column.suffix.resident_bytes() + self.issuers.resident_bytes()
+    }
+
+    /// Approximate heap bytes held by the folded summary tier.
+    pub fn summary_resident_bytes(&self) -> usize {
+        self.folded_by_code.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Approximate heap bytes held by this history (both resident tiers).
+    pub fn resident_bytes(&self) -> usize {
+        self.suffix_resident_bytes() + self.summary_resident_bytes()
+    }
+
+    /// Reassembles an *untiered* history from snapshot columns — the
+    /// [`super::ColumnarHistory::from_columns`] equivalent, with the
+    /// version stamp restored to the transaction count.
+    ///
+    /// Returns `None` when the columns disagree on length or a non-empty
+    /// history arrives without its server.
+    pub fn from_columns(
+        server: Option<ServerId>,
+        outcomes: BitColumn,
+        issuers: IssuerColumn,
+    ) -> Option<Self> {
+        if outcomes.len() != issuers.len() {
+            return None;
+        }
+        if server.is_none() && !outcomes.is_empty() {
+            return None;
+        }
+        let version = outcomes.len() as u64;
+        Some(TieredHistory {
+            server: if outcomes.is_empty() { None } else { server },
+            column: TieredColumn::from_suffix(outcomes),
+            issuers,
+            folded_by_code: Vec::new(),
+            mixed: false,
+            version,
+            reorder: Mutex::new(ReorderCache::default()),
+        })
+    }
+
+    /// Serializes the full tiered state to a little-endian byte payload —
+    /// the unit both the snapshot writer and the cold-segment spill store
+    /// persist. Round-trips through [`TieredHistory::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let suffix = &self.column.suffix;
+        let clients = self.issuers.clients();
+        let codes = self.issuers.codes();
+        let mut out = Vec::with_capacity(
+            8 * 6 + 1 + clients.len() * 16 + codes.len() * 4 + suffix.words().len() * 8,
+        );
+        match self.server {
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&s.value().to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.column.folded_len as u64).to_le_bytes());
+        out.extend_from_slice(&self.column.folded_good.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(clients.len() as u64).to_le_bytes());
+        for c in clients {
+            out.extend_from_slice(&c.value().to_le_bytes());
+        }
+        for &(good, total) in &self.folded_by_code {
+            out.extend_from_slice(&good.to_le_bytes());
+            out.extend_from_slice(&total.to_le_bytes());
+        }
+        // Pad summaries to the dictionary length so the frame is
+        // self-describing (codes minted after the last fold read (0,0)).
+        for _ in self.folded_by_code.len()..clients.len() {
+            out.extend_from_slice(&[0u8; 8]);
+        }
+        for &code in codes {
+            out.extend_from_slice(&code.to_le_bytes());
+        }
+        for &w in suffix.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a history from an [`TieredHistory::encode`] payload,
+    /// revalidating every structural invariant (word alignment, summary
+    /// totals vs the folded length, code ranges, bit padding).
+    ///
+    /// Returns `None` on any inconsistency — a corrupted or truncated
+    /// payload must be rejected, never reinterpreted.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Cursor { bytes, pos: 0 };
+        let has_server = r.u8()?;
+        let server_raw = r.u64()?;
+        let server = match has_server {
+            0 if server_raw == 0 => None,
+            1 => Some(ServerId::new(server_raw)),
+            _ => return None,
+        };
+        let total_len = usize::try_from(r.u64()?).ok()?;
+        let folded_len = usize::try_from(r.u64()?).ok()?;
+        let folded_good = r.u64()?;
+        let version = r.u64()?;
+        if folded_len > total_len || !folded_len.is_multiple_of(64) {
+            return None;
+        }
+        if server.is_none() && total_len > 0 {
+            return None;
+        }
+        let suffix_len = total_len - folded_len;
+        let client_count = usize::try_from(r.u64()?).ok()?;
+        let mut clients = Vec::with_capacity(client_count);
+        for _ in 0..client_count {
+            clients.push(ClientId::new(r.u64()?));
+        }
+        let mut folded_by_code = Vec::with_capacity(client_count);
+        let (mut sum_good, mut sum_total) = (0u64, 0u64);
+        for _ in 0..client_count {
+            let good = r.u32()?;
+            let total = r.u32()?;
+            if good > total {
+                return None;
+            }
+            sum_good += u64::from(good);
+            sum_total += u64::from(total);
+            folded_by_code.push((good, total));
+        }
+        if sum_good != folded_good || sum_total != folded_len as u64 {
+            return None;
+        }
+        let mut codes = Vec::with_capacity(suffix_len);
+        for _ in 0..suffix_len {
+            codes.push(r.u32()?);
+        }
+        let mut words = Vec::with_capacity(suffix_len.div_ceil(64));
+        for _ in 0..suffix_len.div_ceil(64) {
+            words.push(r.u64()?);
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        let suffix = BitColumn::from_words(words, suffix_len)?;
+        let issuers = IssuerColumn::from_parts(clients, codes, &suffix)?;
+        Some(TieredHistory {
+            column: TieredColumn {
+                folded_len,
+                folded_good,
+                suffix,
+            },
+            issuers,
+            folded_by_code,
+            server,
+            mixed: false,
+            version,
+            reorder: Mutex::new(ReorderCache::default()),
+        })
+    }
+}
+
+/// Minimal little-endian reader over a byte slice (decode helper).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+impl Clone for TieredHistory {
+    fn clone(&self) -> Self {
+        TieredHistory {
+            column: self.column.clone(),
+            issuers: self.issuers.clone(),
+            folded_by_code: self.folded_by_code.clone(),
+            server: self.server,
+            mixed: self.mixed,
+            version: self.version,
+            // Keep the warm column (it is an Arc bump); the recompute
+            // counter describes work done by *this* instance and resets.
+            reorder: Mutex::new(self.reorder.lock().expect("reorder cache lock poisoned").cloned()),
+        }
+    }
+}
+
+impl HistoryView for TieredHistory {
+    fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    fn outcome_prefix(&self) -> ColumnRef<'_> {
+        ColumnRef::Tiered(&self.column)
+    }
+
+    fn issuer_groups(&self) -> Vec<IssuerGroup> {
+        // Merge folded summaries with suffix postings per client. Both
+        // sides are exact per-issuer counts, so the merged groups equal
+        // the untiered history's groups exactly (same sort, same ties).
+        let mut by_client: HashMap<ClientId, (usize, usize)> = HashMap::new();
+        for g in self.issuers.issuer_groups() {
+            by_client.insert(g.client, (g.count, g.good));
+        }
+        let clients = self.issuers.clients();
+        for (code, &(good, total)) in self.folded_by_code.iter().enumerate() {
+            if total > 0 {
+                let entry = by_client.entry(clients[code]).or_insert((0, 0));
+                entry.0 += total as usize;
+                entry.1 += good as usize;
+            }
+        }
+        let mut groups: Vec<IssuerGroup> = by_client
+            .into_iter()
+            .map(|(client, (count, good))| IssuerGroup { client, count, good })
+            .collect();
+        groups.sort_by(|a, b| b.count.cmp(&a.count).then(a.client.cmp(&b.client)));
+        groups
+    }
+
+    fn reordered_column(&self) -> OwnedColumn {
+        // The §4 permutation needs every outcome bit; folded positions no
+        // longer have bits. Callers (the collusion-resilient test) check
+        // `retained_start()` first and degrade with a typed error — so
+        // reaching this with a folded prefix is a caller bug, and a panic
+        // beats a silently wrong reordering.
+        assert_eq!(
+            self.column.folded_len, 0,
+            "collusion reordering requires the full history, but the prefix \
+             was folded past the assessment horizon (retained suffix starts \
+             at {})",
+            self.column.folded_len
+        );
+        self.reorder
+            .lock()
+            .expect("reorder cache lock poisoned")
+            .get_or_build(self.version, || {
+                let mut bits = BitColumn::new();
+                for idx in self.issuers.frequency_order() {
+                    bits.push(self.column.suffix.get(idx as usize));
+                }
+                OwnedColumn::Bits(Arc::new(bits))
+            })
+    }
+
+    fn time(&self, _i: usize) -> Option<u64> {
+        // Tiered histories never keep timestamps (the online service
+        // drops them; index order still defines recency).
+        None
+    }
+
+    fn server(&self) -> Option<ServerId> {
+        self.server
+    }
+
+    fn retained_start(&self) -> usize {
+        self.column.retained_start()
+    }
+}
+
+impl FromIterator<Feedback> for TieredHistory {
+    fn from_iter<I: IntoIterator<Item = Feedback>>(iter: I) -> Self {
+        let mut h = TieredHistory::new();
+        for f in iter {
+            h.push(f);
+        }
+        h
+    }
+}
+
+impl Extend<Feedback> for TieredHistory {
+    fn extend<I: IntoIterator<Item = Feedback>>(&mut self, iter: I) {
+        for f in iter {
+            self.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ColumnarHistory;
+    use super::*;
+    use crate::feedback::Rating;
+
+    fn fb(t: u64, client: u64, good: bool) -> Feedback {
+        Feedback::new(t, ServerId::new(1), ClientId::new(client), Rating::from_good(good))
+    }
+
+    fn mixed_history(n: u64) -> Vec<Feedback> {
+        (0..n).map(|t| fb(t, t % 7, (t * 11 + t / 5) % 3 != 0)).collect()
+    }
+
+    #[test]
+    fn uncompacted_matches_columnar_everywhere() {
+        let records = mixed_history(200);
+        let tiered: TieredHistory = records.iter().copied().collect();
+        let columnar: ColumnarHistory = records.iter().copied().collect();
+        assert_eq!(tiered.len(), columnar.len());
+        assert_eq!(tiered.good_count(), columnar.good_count());
+        assert_eq!(tiered.retained_start(), 0);
+        assert_eq!(HistoryView::issuer_groups(&tiered), HistoryView::issuer_groups(&columnar));
+        for &(s, e) in &[(0usize, 200usize), (0, 64), (63, 65), (5, 5), (150, 200)] {
+            assert_eq!(tiered.count_range(s, e), columnar.count_range(s, e));
+            assert_eq!(tiered.rate_range(s, e).ok(), columnar.rate_range(s, e).ok());
+        }
+        for m in [1usize, 8, 30, 64] {
+            assert_eq!(
+                tiered.window_counts(3, 197, m).unwrap(),
+                columnar.window_counts(3, 197, m).unwrap()
+            );
+        }
+        let (a, b) = (tiered.reordered_column(), columnar.reordered_column());
+        let (a, b) = (a.as_col(), b.as_col());
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.count_range(0, i + 1), b.count_range(0, i + 1), "reorder pos {i}");
+        }
+    }
+
+    #[test]
+    fn compaction_folds_whole_words_and_keeps_suffix_exact() {
+        let records = mixed_history(300);
+        let mut tiered: TieredHistory = records.iter().copied().collect();
+        let columnar: ColumnarHistory = records.iter().copied().collect();
+        let folded = tiered.compact(100);
+        // 300 - 100 = 200 foldable -> 192 (3 whole words).
+        assert_eq!(folded, 192);
+        assert_eq!(tiered.retained_start(), 192);
+        assert_eq!(tiered.suffix_len(), 108);
+        assert_eq!(tiered.len(), 300);
+        assert_eq!(tiered.good_count(), columnar.good_count());
+        assert_eq!(HistoryView::issuer_groups(&tiered), HistoryView::issuer_groups(&columnar));
+        // Every suffix-resident query is bit-identical.
+        for &(s, e) in &[(192usize, 300usize), (200, 300), (250, 251), (299, 300)] {
+            assert_eq!(tiered.count_range(s, e), columnar.count_range(s, e));
+            assert_eq!(tiered.rate_range(s, e), columnar.rate_range(s, e));
+        }
+        for m in [1usize, 8, 17, 64] {
+            assert_eq!(
+                tiered.window_counts(195, 300, m).unwrap(),
+                columnar.window_counts(195, 300, m).unwrap()
+            );
+        }
+        // Whole-prefix coverage is still exact (totals path).
+        assert_eq!(tiered.count_range(0, 300), columnar.count_range(0, 300));
+        assert_eq!(tiered.rate_range(0, 300), columnar.rate_range(0, 300));
+        // A second compact at the same horizon is a no-op.
+        assert_eq!(tiered.compact(100), 0);
+    }
+
+    #[test]
+    fn queries_into_the_folded_prefix_degrade_typed() {
+        let mut tiered: TieredHistory = mixed_history(300).into_iter().collect();
+        tiered.compact(100);
+        assert_eq!(
+            tiered.rate_range(10, 200),
+            Err(StatsError::HorizonExceeded { start: 10, retained_start: 192 })
+        );
+        assert_eq!(
+            tiered.window_counts(0, 300, 10),
+            Err(StatsError::HorizonExceeded { start: 0, retained_start: 192 })
+        );
+        // Degenerate queries that need no bits still answer exactly.
+        assert_eq!(tiered.count_range(10, 10), 0);
+        assert_eq!(tiered.window_counts(10, 15, 50).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches into the folded prefix")]
+    fn infallible_count_into_folded_prefix_panics() {
+        let mut tiered: TieredHistory = mixed_history(300).into_iter().collect();
+        tiered.compact(100);
+        let _ = tiered.count_range(10, 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "collusion reordering requires the full history")]
+    fn reordered_column_refuses_after_compaction() {
+        let mut tiered: TieredHistory = mixed_history(300).into_iter().collect();
+        tiered.compact(100);
+        let _ = tiered.reordered_column();
+    }
+
+    #[test]
+    fn ingest_after_compaction_stays_exact() {
+        let records = mixed_history(500);
+        let mut tiered = TieredHistory::new();
+        let mut columnar = ColumnarHistory::new();
+        for (i, f) in records.iter().enumerate() {
+            tiered.push(*f);
+            columnar.push(*f);
+            if i % 128 == 0 {
+                tiered.compact(150);
+            }
+        }
+        assert_eq!(tiered.len(), columnar.len());
+        assert_eq!(tiered.good_count(), columnar.good_count());
+        assert_eq!(HistoryView::issuer_groups(&tiered), HistoryView::issuer_groups(&columnar));
+        let start = tiered.retained_start();
+        assert!(tiered.suffix_len() >= 150);
+        assert_eq!(
+            tiered.window_counts(start, 500, 25).unwrap(),
+            columnar.window_counts(start, 500, 25).unwrap()
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trips_tiered_state() {
+        let mut tiered: TieredHistory = mixed_history(300).into_iter().collect();
+        tiered.compact(100);
+        let bytes = tiered.encode();
+        let back = TieredHistory::decode(&bytes).expect("round trip");
+        assert_eq!(back.len(), tiered.len());
+        assert_eq!(back.good_count(), tiered.good_count());
+        assert_eq!(back.retained_start(), tiered.retained_start());
+        assert_eq!(back.version(), tiered.version());
+        assert_eq!(back.server(), tiered.server());
+        assert_eq!(HistoryView::issuer_groups(&back), HistoryView::issuer_groups(&tiered));
+        assert_eq!(
+            back.window_counts(192, 300, 9).unwrap(),
+            tiered.window_counts(192, 300, 9).unwrap()
+        );
+        // Empty history round-trips too.
+        let empty = TieredHistory::new();
+        let back = TieredHistory::decode(&empty.encode()).expect("empty round trip");
+        assert!(back.is_empty());
+        assert_eq!(back.server(), None);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut tiered: TieredHistory = mixed_history(300).into_iter().collect();
+        tiered.compact(100);
+        let bytes = tiered.encode();
+        assert!(TieredHistory::decode(&bytes[..bytes.len() - 1]).is_none(), "truncated");
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x80; // a bit above suffix len in the last word
+        // Either the padding check or a summary-sum check must fire; the
+        // payload must never decode to different counts silently.
+        if let Some(h) = TieredHistory::decode(&flipped) {
+            assert_eq!(h.good_count(), tiered.good_count());
+        }
+        let mut bad_sum = bytes.clone();
+        bad_sum[9 + 16] ^= 1; // folded_good no longer matches summary sums
+        assert!(TieredHistory::decode(&bad_sum).is_none(), "summary sum mismatch");
+        assert!(TieredHistory::decode(&[]).is_none(), "empty payload");
+    }
+
+    #[test]
+    fn resident_bytes_shrink_with_compaction() {
+        let mut tiered: TieredHistory = mixed_history(10_000).into_iter().collect();
+        let before = tiered.resident_bytes();
+        tiered.compact(256);
+        let after = tiered.resident_bytes();
+        assert!(
+            after * 4 < before,
+            "compacted {after} bytes should be well under a quarter of {before}"
+        );
+        assert!(tiered.summary_resident_bytes() > 0);
+    }
+
+    #[test]
+    fn from_columns_matches_columnar_semantics() {
+        let records = mixed_history(130);
+        let columnar: ColumnarHistory = records.iter().copied().collect();
+        let tiered = TieredHistory::from_columns(
+            Some(ServerId::new(1)),
+            columnar.outcome_bits().clone(),
+            columnar.issuer_column().clone(),
+        )
+        .expect("valid columns");
+        assert_eq!(tiered.len(), 130);
+        assert_eq!(tiered.version(), 130);
+        assert_eq!(tiered.server(), Some(ServerId::new(1)));
+        assert_eq!(tiered.good_count(), columnar.good_count());
+        // Length mismatch and missing server are rejected.
+        assert!(TieredHistory::from_columns(None, columnar.outcome_bits().clone(), IssuerColumn::new()).is_none());
+    }
+}

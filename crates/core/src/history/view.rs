@@ -18,6 +18,7 @@ use hp_stats::{PrefixSums, StatsError};
 use std::sync::Arc;
 
 use super::columnar::BitColumn;
+use super::tiered::TieredColumn;
 
 /// A borrowed outcome column: O(1) good-transaction counts over any
 /// contiguous range, regardless of the physical representation.
@@ -30,6 +31,11 @@ pub enum ColumnRef<'a> {
     Prefix(&'a PrefixSums),
     /// A bit-packed column with per-word prefix popcounts.
     Bits(&'a BitColumn),
+    /// A horizon-compacted column: an exact folded-prefix summary plus a
+    /// full-resolution bit suffix. Queries inside the suffix (or covering
+    /// the whole folded prefix) are exact; anything else degrades to a
+    /// typed [`StatsError::HorizonExceeded`].
+    Tiered(&'a TieredColumn),
 }
 
 impl ColumnRef<'_> {
@@ -38,6 +44,7 @@ impl ColumnRef<'_> {
         match self {
             ColumnRef::Prefix(p) => p.len(),
             ColumnRef::Bits(b) => b.len(),
+            ColumnRef::Tiered(t) => t.len(),
         }
     }
 
@@ -51,6 +58,18 @@ impl ColumnRef<'_> {
         match self {
             ColumnRef::Prefix(p) => p.total_good(),
             ColumnRef::Bits(b) => b.total_good(),
+            ColumnRef::Tiered(t) => t.total_good(),
+        }
+    }
+
+    /// First position still held at full bit resolution. `0` for the
+    /// uncompacted representations; the folded-prefix length for
+    /// [`ColumnRef::Tiered`]. Queries starting at or after this position
+    /// behave exactly like the untiered column.
+    pub fn retained_start(&self) -> usize {
+        match self {
+            ColumnRef::Prefix(_) | ColumnRef::Bits(_) => 0,
+            ColumnRef::Tiered(t) => t.retained_start(),
         }
     }
 
@@ -59,11 +78,14 @@ impl ColumnRef<'_> {
     /// # Panics
     ///
     /// Panics if `start > end` or `end > len()` (matching
-    /// [`PrefixSums::count_range`]).
+    /// [`PrefixSums::count_range`]), or — for [`ColumnRef::Tiered`] — if
+    /// the range straddles the folded prefix without covering it
+    /// (see [`TieredColumn::count_range`]).
     pub fn count_range(&self, start: usize, end: usize) -> u64 {
         match self {
             ColumnRef::Prefix(p) => p.count_range(start, end),
             ColumnRef::Bits(b) => b.count_range(start, end),
+            ColumnRef::Tiered(t) => t.count_range(start, end),
         }
     }
 
@@ -71,11 +93,14 @@ impl ColumnRef<'_> {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::EmptyInput`] for an empty range.
+    /// Returns [`StatsError::EmptyInput`] for an empty range, and
+    /// [`StatsError::HorizonExceeded`] when a [`ColumnRef::Tiered`] range
+    /// reaches into the folded prefix without covering it.
     pub fn rate_range(&self, start: usize, end: usize) -> Result<f64, StatsError> {
         match self {
             ColumnRef::Prefix(p) => p.rate_range(start, end),
             ColumnRef::Bits(b) => b.rate_range(start, end),
+            ColumnRef::Tiered(t) => t.rate_range(start, end),
         }
     }
 
@@ -84,11 +109,14 @@ impl ColumnRef<'_> {
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::InvalidCount`] if `m == 0`.
+    /// Returns [`StatsError::InvalidCount`] if `m == 0`, and
+    /// [`StatsError::HorizonExceeded`] when a [`ColumnRef::Tiered`] range
+    /// starts inside the folded prefix.
     pub fn window_counts(&self, start: usize, end: usize, m: usize) -> Result<Vec<u32>, StatsError> {
         match self {
             ColumnRef::Prefix(p) => p.window_counts(start, end, m),
             ColumnRef::Bits(b) => b.window_counts(start, end, m),
+            ColumnRef::Tiered(t) => t.window_counts(start, end, m),
         }
     }
 }
@@ -201,6 +229,19 @@ pub trait HistoryView {
     /// The server this history belongs to: `None` when empty or when
     /// feedback for several servers was mixed in.
     fn server(&self) -> Option<ServerId>;
+
+    /// First transaction index still held at full bit resolution.
+    ///
+    /// `0` (the default) means the whole history is available and every
+    /// query behaves exactly as on the reference row store. A
+    /// horizon-compacted history ([`crate::history::TieredHistory`])
+    /// overrides this with its folded-prefix length; assessment paths
+    /// that must scan the full history (e.g. the §4 collusion reordering)
+    /// check it and degrade to a typed
+    /// [`StatsError::HorizonExceeded`] instead of answering wrongly.
+    fn retained_start(&self) -> usize {
+        0
+    }
 
     /// Whether the history is empty.
     fn is_empty(&self) -> bool {

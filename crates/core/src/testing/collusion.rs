@@ -142,6 +142,17 @@ impl CollusionResilientTest {
         &self,
         history: &dyn HistoryView,
     ) -> Result<CollusionReport, CoreError> {
+        // The §4 reordering permutes the *whole* history; a
+        // horizon-compacted view no longer has bits for the folded
+        // prefix, so degrade with a typed error instead of reordering a
+        // partial sequence (which would silently change the verdict).
+        let retained_start = history.retained_start();
+        if retained_start > 0 {
+            return Err(CoreError::Stats(hp_stats::StatsError::HorizonExceeded {
+                start: 0,
+                retained_start,
+            }));
+        }
         // The issuer-frequency permutation is cached per history and only
         // rebuilt after ingest, so re-assessing an unchanged history does
         // not allocate.

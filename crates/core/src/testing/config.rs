@@ -82,6 +82,7 @@ pub struct BehaviorTestConfig {
     alignment: WindowAlignment,
     step: usize,
     min_suffix: usize,
+    max_suffix: Option<usize>,
     schedule: SuffixSchedule,
     correction: Correction,
     calibration_trials: usize,
@@ -101,6 +102,7 @@ impl Default for BehaviorTestConfig {
             alignment: WindowAlignment::Start,
             step: 10,
             min_suffix: 100,
+            max_suffix: None,
             schedule: SuffixSchedule::default(),
             correction: Correction::default(),
             calibration_trials: 2000,
@@ -155,6 +157,27 @@ impl BehaviorTestConfig {
     /// Multi-test stops once a suffix would be shorter than this.
     pub fn min_suffix(&self) -> usize {
         self.min_suffix
+    }
+
+    /// Assessment horizon: the multi-test skips suffixes longer than this
+    /// (`None` examines every suffix, the paper-literal behavior).
+    ///
+    /// A bounded horizon is what lets the tiered history engine fold
+    /// transactions older than the horizon into summary counts — every
+    /// window the test will ever scan then fits the retained
+    /// full-resolution suffix, so verdicts stay bit-identical to an
+    /// untiered history assessed under the same horizon.
+    pub fn max_suffix(&self) -> Option<usize> {
+        self.max_suffix
+    }
+
+    /// Returns a copy with the assessment horizon replaced. Safe to apply
+    /// at deployment time the way hp-service does: the horizon only
+    /// filters which suffixes the multi-test enumerates.
+    #[must_use]
+    pub fn with_max_suffix(mut self, horizon: Option<usize>) -> Self {
+        self.max_suffix = horizon;
+        self
     }
 
     /// How the multi-test enumerates suffixes.
@@ -243,6 +266,16 @@ impl BehaviorTestConfig {
                 ),
             });
         }
+        if let Some(max) = self.max_suffix {
+            if max < self.min_suffix {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "max_suffix ({max}) must be at least min_suffix ({})",
+                        self.min_suffix
+                    ),
+                });
+            }
+        }
         self.calibration_config().validate()?;
         Ok(())
     }
@@ -294,6 +327,13 @@ impl BehaviorTestConfigBuilder {
     /// Sets the minimum suffix length for the multi-test.
     pub fn min_suffix(mut self, min_suffix: usize) -> Self {
         self.config.min_suffix = min_suffix;
+        self
+    }
+
+    /// Sets the assessment horizon (maximum suffix length the multi-test
+    /// examines); `None` examines every suffix.
+    pub fn max_suffix(mut self, max_suffix: Option<usize>) -> Self {
+        self.config.max_suffix = max_suffix;
         self
     }
 
@@ -403,6 +443,11 @@ mod tests {
             .build()
             .is_err());
         assert!(BehaviorTestConfig::builder()
+            .min_suffix(100)
+            .max_suffix(Some(50))
+            .build()
+            .is_err());
+        assert!(BehaviorTestConfig::builder()
             .calibration_trials(1)
             .build()
             .is_err());
@@ -424,6 +469,21 @@ mod tests {
         assert_eq!(cal.confidence, 0.9);
         assert_eq!(cal.threads, 3);
         assert_eq!(cal.serial_cutoff, 512);
+    }
+
+    #[test]
+    fn max_suffix_round_trips_and_validates() {
+        let c = BehaviorTestConfig::default();
+        assert_eq!(c.max_suffix(), None);
+        let c = BehaviorTestConfig::builder()
+            .max_suffix(Some(1000))
+            .build()
+            .unwrap();
+        assert_eq!(c.max_suffix(), Some(1000));
+        let c = c.with_max_suffix(Some(500));
+        assert_eq!(c.max_suffix(), Some(500));
+        assert!(c.validate().is_ok());
+        assert!(c.with_max_suffix(Some(10)).validate().is_err());
     }
 
     #[test]

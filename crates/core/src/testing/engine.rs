@@ -82,18 +82,27 @@ pub(crate) fn finish_test(
 
 /// The suffix lengths a multi-test will examine for a history of `n`
 /// transactions, per the configured [`SuffixSchedule`].
+///
+/// `max_suffix` is the assessment horizon: suffixes longer than it are
+/// skipped (the schedule still steps from `n`, so the surviving lengths
+/// stay on the same end-aligned window grid the optimized evaluation
+/// shares across suffixes).
 pub(crate) fn suffix_lengths(
     n: usize,
     step: usize,
     min_suffix: usize,
+    max_suffix: Option<usize>,
     schedule: SuffixSchedule,
 ) -> Vec<usize> {
     let mut lens = Vec::new();
+    let max = max_suffix.unwrap_or(usize::MAX);
     match schedule {
         SuffixSchedule::Arithmetic => {
             let mut len = n;
             while len >= min_suffix && len > 0 {
-                lens.push(len);
+                if len <= max {
+                    lens.push(len);
+                }
                 match len.checked_sub(step) {
                     Some(next) => len = next,
                     None => break,
@@ -103,7 +112,9 @@ pub(crate) fn suffix_lengths(
         SuffixSchedule::Geometric => {
             let mut len = n;
             while len >= min_suffix && len > 0 {
-                lens.push(len);
+                if len <= max {
+                    lens.push(len);
+                }
                 // Halve, then round down to a step multiple (keeping the
                 // optimized evaluation's window-alignment precondition).
                 let halved = len / 2;
@@ -149,7 +160,13 @@ pub(crate) fn run_multi_naive(
     calibrator: &ThresholdCalibrator,
 ) -> Result<MultiReport, CoreError> {
     let n = prefix.len();
-    let lens = suffix_lengths(n, config.step(), config.min_suffix(), config.schedule());
+    let lens = suffix_lengths(
+        n,
+        config.step(),
+        config.min_suffix(),
+        config.max_suffix(),
+        config.schedule(),
+    );
     let confidence = per_test_confidence(config, lens.len());
     let mut suffixes = Vec::with_capacity(lens.len());
     let mut outcome = if lens.is_empty() {
@@ -206,10 +223,20 @@ pub(crate) struct FusedSuffixSweep {
 
 impl FusedSuffixSweep {
     /// Sweeps the column once, fusing window counting with the count
-    /// prefix-sum every suffix's p̂ is later read from.
-    pub(crate) fn new(prefix: ColumnRef<'_>, m: usize) -> Result<Self, CoreError> {
+    /// prefix-sum every suffix's p̂ is later read from, with the grid
+    /// capped at `max_windows` end-aligned windows (`None` = the whole
+    /// column). Under an assessment horizon the multi-test never reads
+    /// windows older than its longest admissible suffix, so capping keeps
+    /// the sweep inside the retained full-resolution suffix of a tiered
+    /// (horizon-compacted) history — and off the folded prefix, which
+    /// would answer with [`hp_stats::StatsError::HorizonExceeded`].
+    pub(crate) fn new_capped(
+        prefix: ColumnRef<'_>,
+        m: usize,
+        max_windows: Option<usize>,
+    ) -> Result<Self, CoreError> {
         let n = prefix.len();
-        let total_windows = n / m;
+        let total_windows = (n / m).min(max_windows.unwrap_or(usize::MAX));
         let counts = if total_windows > 0 {
             prefix.window_counts(n - total_windows * m, n, m)?
         } else {
@@ -269,18 +296,31 @@ pub(crate) fn run_multi_optimized(
         });
     }
     let n = prefix.len();
-    let lens = suffix_lengths(n, config.step(), config.min_suffix(), config.schedule());
+    let lens = suffix_lengths(
+        n,
+        config.step(),
+        config.min_suffix(),
+        config.max_suffix(),
+        config.schedule(),
+    );
     let confidence = per_test_confidence(config, lens.len());
+    if lens.is_empty() {
+        // Nothing admissible to test; don't touch the column at all (it
+        // may be horizon-compacted with no retained window to read).
+        return Ok(MultiReport {
+            outcome: TestOutcome::Inconclusive,
+            suffixes: Vec::new(),
+            per_test_confidence: confidence,
+        });
+    }
     let mut suffixes = Vec::with_capacity(lens.len());
-    let mut outcome = if lens.is_empty() {
-        TestOutcome::Inconclusive
-    } else {
-        TestOutcome::Honest
-    };
+    let mut outcome = TestOutcome::Honest;
 
     // The single pass over the column; shorter suffixes use strict
-    // suffixes of the shared grid.
-    let sweep = FusedSuffixSweep::new(prefix, m)?;
+    // suffixes of the shared grid. The grid is capped at the longest
+    // admissible suffix so a horizon-compacted column is never read past
+    // its retained suffix.
+    let sweep = FusedSuffixSweep::new_capped(prefix, m, lens.first().map(|&len| len / m))?;
     let total_windows = sweep.windows();
     let mut histogram =
         Histogram::from_samples(config.window_size(), sweep.counts.iter().copied())?;
@@ -339,23 +379,40 @@ mod tests {
     #[test]
     fn suffix_lengths_enumeration() {
         let arith = SuffixSchedule::Arithmetic;
-        assert_eq!(suffix_lengths(250, 100, 100, arith), vec![250, 150]);
-        assert_eq!(suffix_lengths(300, 100, 100, arith), vec![300, 200, 100]);
-        assert_eq!(suffix_lengths(99, 100, 100, arith), Vec::<usize>::new());
-        assert_eq!(suffix_lengths(100, 100, 100, arith), vec![100]);
+        assert_eq!(suffix_lengths(250, 100, 100, None, arith), vec![250, 150]);
+        assert_eq!(suffix_lengths(300, 100, 100, None, arith), vec![300, 200, 100]);
+        assert_eq!(suffix_lengths(99, 100, 100, None, arith), Vec::<usize>::new());
+        assert_eq!(suffix_lengths(100, 100, 100, None, arith), vec![100]);
+    }
+
+    #[test]
+    fn suffix_lengths_respect_the_horizon() {
+        let arith = SuffixSchedule::Arithmetic;
+        // The schedule still steps from n, so the surviving lengths stay
+        // on the end-aligned grid; longer-than-horizon suffixes vanish.
+        assert_eq!(suffix_lengths(300, 100, 100, Some(200), arith), vec![200, 100]);
+        assert_eq!(suffix_lengths(300, 100, 100, Some(300), arith), vec![300, 200, 100]);
+        assert_eq!(suffix_lengths(250, 100, 100, Some(160), arith), vec![150]);
+        // A horizon the grid never lands on leaves nothing to test.
+        assert_eq!(
+            suffix_lengths(105, 10, 100, Some(100), arith),
+            Vec::<usize>::new()
+        );
+        let geo = SuffixSchedule::Geometric;
+        assert_eq!(suffix_lengths(800, 10, 100, Some(400), geo), vec![400, 200, 100]);
     }
 
     #[test]
     fn suffix_lengths_geometric() {
         let geo = SuffixSchedule::Geometric;
         // 800 → 400 → 200 → 100, all step-10-aligned.
-        assert_eq!(suffix_lengths(800, 10, 100, geo), vec![800, 400, 200, 100]);
+        assert_eq!(suffix_lengths(800, 10, 100, None, geo), vec![800, 400, 200, 100]);
         // Unaligned start: halves round down to step multiples.
-        assert_eq!(suffix_lengths(805, 10, 100, geo), vec![805, 400, 200, 100]);
-        assert_eq!(suffix_lengths(99, 10, 100, geo), Vec::<usize>::new());
+        assert_eq!(suffix_lengths(805, 10, 100, None, geo), vec![805, 400, 200, 100]);
+        assert_eq!(suffix_lengths(99, 10, 100, None, geo), Vec::<usize>::new());
         // Log-many tests vs linear-many.
-        let geo_tests = suffix_lengths(10_000, 10, 100, geo).len();
-        let arith_tests = suffix_lengths(10_000, 10, 100, SuffixSchedule::Arithmetic).len();
+        let geo_tests = suffix_lengths(10_000, 10, 100, None, geo).len();
+        let arith_tests = suffix_lengths(10_000, 10, 100, None, SuffixSchedule::Arithmetic).len();
         assert!(geo_tests < 10 && arith_tests > 900, "{geo_tests} vs {arith_tests}");
     }
 
@@ -438,7 +495,7 @@ mod tests {
         let prefix = honest_prefix(487, 0.85, 42);
         let n = prefix.len();
         for m in [1usize, 7, 10, 64] {
-            let sweep = FusedSuffixSweep::new(ColumnRef::Prefix(&prefix), m).unwrap();
+            let sweep = FusedSuffixSweep::new_capped(ColumnRef::Prefix(&prefix), m, None).unwrap();
             assert_eq!(sweep.windows(), n / m);
             for k in 1..=sweep.windows() {
                 assert_eq!(
@@ -450,8 +507,12 @@ mod tests {
         }
         // Histories shorter than one window yield an empty grid.
         let short = honest_prefix(5, 0.9, 1);
-        let sweep = FusedSuffixSweep::new(ColumnRef::Prefix(&short), 10).unwrap();
+        let sweep = FusedSuffixSweep::new_capped(ColumnRef::Prefix(&short), 10, None).unwrap();
         assert_eq!(sweep.windows(), 0);
+        // A cap below the natural grid truncates to the newest windows.
+        let capped = FusedSuffixSweep::new_capped(ColumnRef::Prefix(&prefix), 10, Some(20)).unwrap();
+        assert_eq!(capped.windows(), 20);
+        assert_eq!(capped.good_in_newest(20), prefix.count_range(n - 200, n));
     }
 
     #[test]
@@ -472,6 +533,25 @@ mod tests {
             let naive = run_multi_naive(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
             let optimized = run_multi_optimized(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
             assert_eq!(naive, optimized, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn naive_and_optimized_agree_under_a_horizon() {
+        let config = BehaviorTestConfig::builder()
+            .max_suffix(Some(200))
+            .build()
+            .unwrap();
+        let cal = calibrator(&config);
+        for seed in 0..4u64 {
+            let n = 480 + seed as usize * 37;
+            let p = if seed % 2 == 0 { 0.9 } else { 0.75 };
+            let prefix = honest_prefix(n, p, seed + 300);
+            let naive = run_multi_naive(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
+            let optimized = run_multi_optimized(ColumnRef::Prefix(&prefix), &config, &cal).unwrap();
+            assert_eq!(naive, optimized, "seed {seed}");
+            assert!(naive.suffixes.iter().all(|s| s.suffix_len <= 200));
+            assert!(!naive.suffixes.is_empty());
         }
     }
 

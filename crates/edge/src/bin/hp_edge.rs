@@ -7,6 +7,7 @@
 //!         [--journal-dir PATH] [--fsync never|batch|every:N]
 //!         [--snapshot-interval-records N] [--snapshot-retain N]
 //!         [--snapshot-no-compact] [--checkpoint-interval-ms N]
+//!         [--history-horizon N] [--spill-budget-bytes N]
 //!         [--no-spans] [--slo-assess-p99-ms N] [--slo-max-shed-ratio F]
 //! ```
 //!
@@ -19,7 +20,7 @@
 //! cache.
 
 use hp_edge::{signals, EdgeConfig, EdgeServer};
-use hp_service::{Durability, FsyncPolicy, ServiceConfig, SnapshotPolicy};
+use hp_service::{Durability, FsyncPolicy, ServiceConfig, SnapshotPolicy, TieringPolicy};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -31,6 +32,7 @@ fn usage() -> ! {
          \x20              [--journal-dir PATH] [--fsync never|batch|every:N]\n\
          \x20              [--snapshot-interval-records N] [--snapshot-retain N]\n\
          \x20              [--snapshot-no-compact] [--checkpoint-interval-ms N]\n\
+         \x20              [--history-horizon N] [--spill-budget-bytes N]\n\
          \x20              [--no-spans] [--slo-assess-p99-ms N] [--slo-max-shed-ratio F]"
     );
     std::process::exit(2);
@@ -53,6 +55,7 @@ fn main() {
     let mut journal_dir: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::default();
     let mut snapshot_policy: Option<SnapshotPolicy> = None;
+    let mut tiering: Option<TieringPolicy> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -113,6 +116,25 @@ fn main() {
                     ..snapshot_policy.unwrap_or_default()
                 });
             }
+            // Fold history older than N outcomes into summary counts
+            // (and cap the suffix sweep there, keeping verdicts
+            // bit-identical to the untiered service).
+            "--history-horizon" => {
+                let horizon: usize = value().parse().unwrap_or_else(|_| usage());
+                tiering = Some(TieringPolicy {
+                    horizon,
+                    ..tiering.unwrap_or_default()
+                });
+            }
+            // Spill the coldest servers' histories to mmap-backed
+            // segments once resident history bytes exceed N per shard.
+            "--spill-budget-bytes" => {
+                let budget: u64 = value().parse().unwrap_or_else(|_| usage());
+                tiering = Some(TieringPolicy {
+                    spill_budget_bytes: Some(budget),
+                    ..tiering.unwrap_or_default()
+                });
+            }
             "--checkpoint-interval-ms" => {
                 let millis: u64 = value().parse().unwrap_or_else(|_| usage());
                 edge_config =
@@ -151,6 +173,16 @@ fn main() {
     } else if snapshot_policy.is_some() {
         eprintln!("hp-edge: snapshot flags require --journal-dir");
         std::process::exit(2);
+    }
+    if let Some(policy) = tiering {
+        if policy.spill_budget_bytes.is_some() && snapshot_policy.is_none() {
+            eprintln!(
+                "hp-edge: --spill-budget-bytes requires --journal-dir and snapshots \
+                 (cold segments are garbage-collected at checkpoints)"
+            );
+            std::process::exit(2);
+        }
+        service_config = service_config.with_tiering(policy);
     }
 
     signals::install_term_handler();

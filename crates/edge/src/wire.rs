@@ -251,15 +251,20 @@ pub fn render_error(error: &str, detail: &str) -> String {
 }
 
 /// `{"status":"…","shards":N,"failed_shards":M,…}` for `/healthz`.
+/// `history_bytes` is the per-tier residency `(hot_suffix, summary,
+/// spilled)` — the runbook signal for sizing `--spill-budget-bytes`
+/// (spilled counts fault-in cost, not disk usage).
 pub fn render_health(
     status: &str,
     shards: usize,
     failed_shards: u64,
     shard_restarts: u64,
     tracked_servers: usize,
+    history_bytes: (u64, u64, u64),
 ) -> String {
+    let (hot_suffix, summary, spilled) = history_bytes;
     format!(
-        "{{\"status\":\"{status}\",\"shards\":{shards},\"failed_shards\":{failed_shards},\"shard_restarts\":{shard_restarts},\"tracked_servers\":{tracked_servers}}}"
+        "{{\"status\":\"{status}\",\"shards\":{shards},\"failed_shards\":{failed_shards},\"shard_restarts\":{shard_restarts},\"tracked_servers\":{tracked_servers},\"history_bytes\":{{\"hot_suffix\":{hot_suffix},\"summary\":{summary},\"spilled\":{spilled}}}}}"
     )
 }
 
@@ -458,10 +463,13 @@ mod tests {
         assert_eq!(json_u64(&body, "accepted"), Some(12));
         assert_eq!(json_u64(&body, "shed"), Some(3));
 
-        let health = render_health("ready", 4, 0, 1, 900);
+        let health = render_health("ready", 4, 0, 1, 900, (4096, 512, 8192));
         assert_eq!(json_str(&health, "status"), Some("ready"));
         assert_eq!(json_u64(&health, "shards"), Some(4));
         assert_eq!(json_u64(&health, "shard_restarts"), Some(1));
+        assert_eq!(json_u64(&health, "hot_suffix"), Some(4096));
+        assert_eq!(json_u64(&health, "summary"), Some(512));
+        assert_eq!(json_u64(&health, "spilled"), Some(8192));
 
         let warming = render_warming_health(
             "warming",

@@ -176,13 +176,19 @@ fn main() {
     if !exposition.contains("hp_shard_queue_wait_seconds_bucket{shard=\"0\"") {
         fail("no per-shard queue-wait histogram in /metrics");
     }
+    // Take the exemplar from the last matching bucket line (+Inf): every
+    // assess updates it, so its exemplar is the most recent assess served
+    // and cannot have aged out of the bounded recent ring. A low bucket's
+    // exemplar may be the last request that happened to be that fast —
+    // possibly thousands of evictions ago.
     let exemplar_id = exposition
         .lines()
         .filter(|l| l.starts_with("hp_edge_request_duration_seconds_bucket{route=\"/assess\""))
-        .find_map(|l| {
+        .filter_map(|l| {
             let (_, rest) = l.split_once("# {trace_id=\"")?;
             rest.split_once('"').map(|(id, _)| id.to_string())
         })
+        .next_back()
         .unwrap_or_else(|| fail("no exemplar trace ID on any /assess latency bucket"));
     let resolved = probe
         .get(&format!("/debug/trace/{exemplar_id}"))

@@ -137,6 +137,50 @@ impl SnapshotPolicy {
     }
 }
 
+/// Tiered-history policy: windowed compaction plus optional cold-segment
+/// spill.
+///
+/// Compaction folds whole 64-outcome words older than the assessment
+/// horizon into exact per-issuer summary counts, keeping a full-resolution
+/// bit suffix of at least `horizon` outcomes. Because the horizon also caps
+/// the behavior test's suffix grid (see [`ServiceConfig::effective_test`]),
+/// every suffix the test sweeps fits the retained bits and verdicts stay
+/// bit-identical to the untiered service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieringPolicy {
+    /// Assessment horizon in transactions: the newest `horizon` outcomes
+    /// of every history stay at full bit resolution. The paper's longest
+    /// experiment horizon is ~2000 transactions (§5), so the default
+    /// keeps 2048 — the next word multiple.
+    pub horizon: usize,
+    /// Per-shard budget for hot-tier (full-resolution suffix) resident
+    /// bytes. When the hot tier exceeds it at an ingest-batch boundary,
+    /// the coldest servers' histories are spilled to mmap-backed segment
+    /// files and faulted back on access. `None` disables spilling;
+    /// compaction alone still bounds per-server residency.
+    pub spill_budget_bytes: Option<u64>,
+}
+
+impl Default for TieringPolicy {
+    fn default() -> Self {
+        TieringPolicy {
+            horizon: 2048,
+            spill_budget_bytes: None,
+        }
+    }
+}
+
+impl TieringPolicy {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.horizon == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "tiering horizon must be at least 1 transaction".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Supervision policy: how shard workers are restarted after a panic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SupervisionConfig {
@@ -224,6 +268,7 @@ pub struct ServiceConfig {
     ingest_policy: IngestPolicy,
     durability: Durability,
     snapshots: Option<SnapshotPolicy>,
+    tiering: Option<TieringPolicy>,
     supervision: SupervisionConfig,
     tracing: bool,
     trace_capacity: usize,
@@ -249,6 +294,7 @@ impl Default for ServiceConfig {
             ingest_policy: IngestPolicy::default(),
             durability: Durability::default(),
             snapshots: None,
+            tiering: None,
             supervision: SupervisionConfig::default(),
             tracing: false,
             trace_capacity: 4096,
@@ -356,6 +402,19 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables tiered history storage with this policy (builder style).
+    ///
+    /// Spilling ([`TieringPolicy::spill_budget_bytes`]) additionally
+    /// requires durable journals *and* snapshots: segment references are
+    /// only persisted inside snapshots, and cold segments are reclaimed
+    /// at checkpoint boundaries. [`Self::validate`] rejects a spill
+    /// budget without both.
+    #[must_use]
+    pub fn with_tiering(mut self, policy: TieringPolicy) -> Self {
+        self.tiering = Some(policy);
+        self
+    }
+
     /// Worker restart/backoff/quarantine policy (builder style).
     #[must_use]
     pub fn with_supervision(mut self, supervision: SupervisionConfig) -> Self {
@@ -430,14 +489,23 @@ impl ServiceConfig {
 
     /// The behavior-test configuration the service actually runs: the
     /// configured test with [`Self::calibration_threads`] resolved —
-    /// `None` becomes [`std::thread::available_parallelism`]. Exposed so
-    /// replay/equivalence tooling can reproduce the exact service setup
-    /// (though plain [`Self::test`] verdicts are bit-identical anyway).
+    /// `None` becomes [`std::thread::available_parallelism`] — and, when
+    /// tiering is enabled, the suffix grid capped at the tiering horizon
+    /// so the multi-suffix sweep never queries outcomes that compaction
+    /// has folded away. Exposed so replay/equivalence tooling can
+    /// reproduce the exact service setup.
     pub fn effective_test(&self) -> BehaviorTestConfig {
         let threads = self.calibration_threads.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         });
-        self.test.clone().with_calibration_threads(threads)
+        let mut test = self.test.clone().with_calibration_threads(threads);
+        if let Some(tiering) = &self.tiering {
+            let capped = test
+                .max_suffix()
+                .map_or(tiering.horizon, |m| m.min(tiering.horizon));
+            test = test.with_max_suffix(Some(capped));
+        }
+        test
     }
 
     /// Where the calibration cache persists across restarts, if anywhere.
@@ -458,6 +526,11 @@ impl ServiceConfig {
     /// The snapshot/checkpoint policy, if snapshots are enabled.
     pub fn snapshots(&self) -> Option<&SnapshotPolicy> {
         self.snapshots.as_ref()
+    }
+
+    /// The tiered-history policy, if tiering is enabled.
+    pub fn tiering(&self) -> Option<&TieringPolicy> {
+        self.tiering.as_ref()
     }
 
     /// Worker restart/backoff/quarantine policy.
@@ -534,8 +607,37 @@ impl ServiceConfig {
                 });
             }
         }
+        if let Some(tiering) = &self.tiering {
+            tiering.validate()?;
+            if tiering.spill_budget_bytes.is_some() {
+                if matches!(self.durability, Durability::Ephemeral) {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "cold-segment spill requires durable journals \
+                                 (with_durability(Durability::Durable { .. }))"
+                            .into(),
+                    });
+                }
+                if self.snapshots.is_none() {
+                    return Err(CoreError::InvalidConfig {
+                        reason: "cold-segment spill requires snapshots \
+                                 (with_snapshots): segment references persist \
+                                 only inside snapshots and segments are \
+                                 reclaimed at checkpoint boundaries"
+                            .into(),
+                    });
+                }
+            }
+        }
         self.supervision.validate()?;
-        self.test.validate()
+        self.test.validate()?;
+        if self.tiering.is_some() {
+            // The horizon cap must still leave a valid suffix grid
+            // (e.g. a horizon below the test's minimum suffix is
+            // unusable: every history long enough to tier would be
+            // untestable).
+            self.effective_test().validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -680,6 +782,73 @@ mod tests {
                 ..SnapshotPolicy::default()
             });
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn tiering_policy_validation() {
+        // Compaction alone needs no durability.
+        let c = ServiceConfig::default().with_tiering(TieringPolicy::default());
+        c.validate().unwrap();
+        // A zero horizon is rejected.
+        let c = ServiceConfig::default().with_tiering(TieringPolicy {
+            horizon: 0,
+            ..TieringPolicy::default()
+        });
+        assert!(c.validate().is_err());
+        // A spill budget without durable journals is rejected…
+        let spill = TieringPolicy {
+            horizon: 2048,
+            spill_budget_bytes: Some(1 << 20),
+        };
+        let c = ServiceConfig::default().with_tiering(spill);
+        assert!(c.validate().is_err());
+        // …and without snapshots…
+        let durable = Durability::Durable {
+            dir: PathBuf::from("/tmp/journals"),
+            fsync: crate::journal::FsyncPolicy::Never,
+        };
+        let c = ServiceConfig::default()
+            .with_durability(durable.clone())
+            .with_tiering(spill);
+        assert!(c.validate().is_err());
+        // …but with both it is accepted.
+        let c = ServiceConfig::default()
+            .with_durability(durable)
+            .with_snapshots(SnapshotPolicy::default())
+            .with_tiering(spill);
+        c.validate().unwrap();
+        assert_eq!(c.tiering(), Some(&spill));
+    }
+
+    #[test]
+    fn tiering_caps_effective_suffix_grid() {
+        let plain = ServiceConfig::default();
+        assert_eq!(plain.effective_test().max_suffix(), plain.test().max_suffix());
+
+        let tiered = ServiceConfig::default().with_tiering(TieringPolicy {
+            horizon: 1500,
+            spill_budget_bytes: None,
+        });
+        assert_eq!(tiered.effective_test().max_suffix(), Some(1500));
+
+        // An explicit max_suffix below the horizon wins; above, the
+        // horizon wins.
+        let tight = tiered
+            .clone()
+            .with_test(tiered.test().clone().with_max_suffix(Some(600)));
+        assert_eq!(tight.effective_test().max_suffix(), Some(600));
+        let loose = tiered
+            .clone()
+            .with_test(tiered.test().clone().with_max_suffix(Some(9000)));
+        assert_eq!(loose.effective_test().max_suffix(), Some(1500));
+
+        // A horizon below the test's minimum suffix leaves no testable
+        // suffix grid and is rejected.
+        let c = ServiceConfig::default().with_tiering(TieringPolicy {
+            horizon: 1,
+            spill_budget_bytes: None,
+        });
+        assert!(c.validate().is_err());
     }
 
     #[test]

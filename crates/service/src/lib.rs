@@ -64,7 +64,8 @@ mod state;
 mod supervisor;
 
 pub use config::{
-    Durability, IngestPolicy, ServiceConfig, SnapshotPolicy, SupervisionConfig, TrustModel,
+    Durability, IngestPolicy, ServiceConfig, SnapshotPolicy, SupervisionConfig, TieringPolicy,
+    TrustModel,
 };
 #[cfg(feature = "fault-injection")]
 pub use faults::FaultPlan;

@@ -39,6 +39,16 @@ pub(crate) struct Counters {
     /// Recovery candidates rejected (corrupt/torn/mismatched snapshot),
     /// falling down the chain toward full journal replay.
     pub snapshot_fallbacks: AtomicU64,
+    /// Outcomes folded from full-resolution bits into per-issuer summary
+    /// counts by windowed compaction.
+    pub tier_compacted: AtomicU64,
+    /// Server histories evicted from the hot tier to cold segments.
+    pub tier_evictions: AtomicU64,
+    /// Spilled histories faulted back into memory on access.
+    pub tier_faults: AtomicU64,
+    /// Cold-segment writes that failed (the shard stays over its spill
+    /// budget until the next batch boundary retries).
+    pub tier_spill_failures: AtomicU64,
 }
 
 impl Counters {
@@ -102,6 +112,22 @@ impl Counters {
     pub fn add_snapshot_fallback(&self) {
         self.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub fn add_tier_compacted(&self, n: u64) {
+        self.tier_compacted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_tier_evictions(&self, n: u64) {
+        self.tier_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_tier_faults(&self, n: u64) {
+        self.tier_faults.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_tier_spill_failures(&self, n: u64) {
+        self.tier_spill_failures.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time snapshot of service health.
@@ -155,6 +181,21 @@ pub struct ServiceStats {
     pub snapshot_failures: u64,
     /// Recovery candidates rejected, falling down the recovery chain.
     pub snapshot_fallbacks: u64,
+    /// Outcomes folded into summary counts by windowed compaction.
+    pub tier_compacted_records: u64,
+    /// Server histories evicted from the hot tier to cold segments.
+    pub tier_evictions: u64,
+    /// Spilled histories faulted back into memory on access.
+    pub tier_faults: u64,
+    /// Resident bytes of full-resolution history suffixes (hot tier),
+    /// summed over shards. Sampled with the tracked-server counts.
+    pub tier_hot_suffix_bytes: u64,
+    /// Resident bytes of folded per-issuer summary counts, summed over
+    /// shards.
+    pub tier_summary_bytes: u64,
+    /// Bytes of histories spilled to cold segments (what a full fault-in
+    /// would read back), summed over shards.
+    pub tier_spilled_bytes: u64,
     /// Per-shard metric blocks (counters plus sampled gauges), indexed
     /// by shard.
     pub per_shard: Vec<ShardSnapshot>,
@@ -216,6 +257,12 @@ impl ServiceStats {
             snapshot_bytes: counters.snapshot_bytes.load(Ordering::Relaxed),
             snapshot_failures: counters.snapshot_failures.load(Ordering::Relaxed),
             snapshot_fallbacks: counters.snapshot_fallbacks.load(Ordering::Relaxed),
+            tier_compacted_records: counters.tier_compacted.load(Ordering::Relaxed),
+            tier_evictions: counters.tier_evictions.load(Ordering::Relaxed),
+            tier_faults: counters.tier_faults.load(Ordering::Relaxed),
+            tier_hot_suffix_bytes: 0,
+            tier_summary_bytes: 0,
+            tier_spilled_bytes: 0,
             per_shard: Vec::new(),
             shard_queue_wait_p99_ns: Vec::new(),
             shard_utilization: Vec::new(),
@@ -250,6 +297,15 @@ impl ServiceStats {
             snapshot_bytes: snap.total(|s| s.snapshot_bytes),
             snapshot_failures: snap.total(|s| s.snapshot_failures),
             snapshot_fallbacks: snap.total(|s| s.snapshot_fallbacks),
+            tier_compacted_records: snap.total(|s| s.tier_compacted),
+            tier_evictions: snap.total(|s| s.tier_evictions),
+            tier_faults: snap.total(|s| s.tier_faults),
+            // Filled from fresh per-shard state snapshots by the caller
+            // (like the tracked-server counts); the registry gauges lag
+            // by one sampling pass.
+            tier_hot_suffix_bytes: 0,
+            tier_summary_bytes: 0,
+            tier_spilled_bytes: 0,
             per_shard: snap.shards.clone(),
             shard_queue_wait_p99_ns: snap
                 .queue_waits
@@ -294,6 +350,10 @@ mod tests {
         c.record_journal_append(3, 99, true);
         c.record_journal_append(1, 33, false);
         c.add_torn_bytes(7);
+        c.add_tier_compacted(64);
+        c.add_tier_compacted(128);
+        c.add_tier_evictions(2);
+        c.add_tier_faults(1);
         let s = ServiceStats::from_counters(&c);
         assert_eq!(s.ingested_feedbacks, 7);
         assert_eq!(s.assessments_served, 1);
@@ -308,5 +368,8 @@ mod tests {
         assert_eq!(s.journal_bytes, 132);
         assert_eq!(s.journal_syncs, 1);
         assert_eq!(s.torn_journal_bytes, 7);
+        assert_eq!(s.tier_compacted_records, 192);
+        assert_eq!(s.tier_evictions, 2);
+        assert_eq!(s.tier_faults, 1);
     }
 }

@@ -97,6 +97,14 @@ pub(crate) struct ShardMetrics {
     /// Nanoseconds this shard's worker spent processing commands (the
     /// "working" half; utilization = busy_ns / wall time).
     pub busy_ns: AtomicU64,
+    /// Resident bytes of full-resolution history suffixes (hot tier),
+    /// refreshed at tiering passes and state snapshots.
+    pub tier_hot_bytes: AtomicU64,
+    /// Resident bytes of folded per-issuer summary counts.
+    pub tier_summary_bytes: AtomicU64,
+    /// Bytes of histories spilled to cold segments (fault-in cost, not
+    /// disk usage).
+    pub tier_spilled_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of one shard's metrics.
@@ -138,10 +146,24 @@ pub struct ShardSnapshot {
     pub snapshot_failures: u64,
     /// Recovery candidates this shard rejected and fell past.
     pub snapshot_fallbacks: u64,
+    /// Outcomes folded into summary counts by windowed compaction.
+    pub tier_compacted: u64,
+    /// Server histories evicted from the hot tier to cold segments.
+    pub tier_evictions: u64,
+    /// Spilled histories faulted back into memory on access.
+    pub tier_faults: u64,
+    /// Cold-segment writes that failed.
+    pub tier_spill_failures: u64,
     /// Sampled queue depth.
     pub queue_depth: u64,
     /// State version after the last batch apply.
     pub last_apply_version: u64,
+    /// Resident bytes of full-resolution history suffixes (sampled).
+    pub tier_hot_bytes: u64,
+    /// Resident bytes of folded summary counts (sampled).
+    pub tier_summary_bytes: u64,
+    /// Bytes of histories spilled to cold segments (sampled).
+    pub tier_spilled_bytes: u64,
 }
 
 impl ShardSnapshot {
@@ -166,8 +188,15 @@ impl ShardSnapshot {
             snapshot_bytes: c.snapshot_bytes.load(Ordering::Relaxed),
             snapshot_failures: c.snapshot_failures.load(Ordering::Relaxed),
             snapshot_fallbacks: c.snapshot_fallbacks.load(Ordering::Relaxed),
+            tier_compacted: c.tier_compacted.load(Ordering::Relaxed),
+            tier_evictions: c.tier_evictions.load(Ordering::Relaxed),
+            tier_faults: c.tier_faults.load(Ordering::Relaxed),
+            tier_spill_failures: c.tier_spill_failures.load(Ordering::Relaxed),
             queue_depth: m.queue_depth.load(Ordering::Relaxed),
             last_apply_version: m.last_apply_version.load(Ordering::Relaxed),
+            tier_hot_bytes: m.tier_hot_bytes.load(Ordering::Relaxed),
+            tier_summary_bytes: m.tier_summary_bytes.load(Ordering::Relaxed),
+            tier_spilled_bytes: m.tier_spilled_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -329,6 +358,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Stores sampled per-tier resident byte gauges for `shard` (set by
+    /// the shard worker at tiering passes and state snapshots).
+    pub fn set_tier_bytes(&self, shard: usize, hot: u64, summary: u64, spilled: u64) {
+        if let Some(m) = self.shards.get(shard) {
+            m.tier_hot_bytes.store(hot, Ordering::Relaxed);
+            m.tier_summary_bytes.store(summary, Ordering::Relaxed);
+            m.tier_spilled_bytes.store(spilled, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a coherent snapshot of everything in the registry.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let wall_ns = self.started.elapsed().as_nanos().max(1) as u64;
@@ -384,7 +423,7 @@ impl MetricsRegistry {
 /// Per-shard counter catalogue: (metric name, help, field accessor).
 type ShardField = fn(&ShardSnapshot) -> u64;
 
-const SHARD_COUNTERS: [(&str, &str, ShardField); 17] = [
+const SHARD_COUNTERS: [(&str, &str, ShardField); 21] = [
     ("hp_feedbacks_ingested_total", "Feedbacks accepted by ingest", |s| s.ingested),
     ("hp_assessments_served_total", "Assessments served by shard workers", |s| s.served),
     ("hp_assess_cache_hits_total", "Assessments answered from the versioned cache", |s| s.cache_hits),
@@ -402,6 +441,18 @@ const SHARD_COUNTERS: [(&str, &str, ShardField); 17] = [
     ("hp_snapshot_bytes_total", "Serialized snapshot bytes written", |s| s.snapshot_bytes),
     ("hp_snapshot_failures_total", "Snapshot writes that failed", |s| s.snapshot_failures),
     ("hp_snapshot_fallbacks_total", "Recovery candidates rejected during recovery", |s| s.snapshot_fallbacks),
+    ("hp_tier_compacted_records_total", "Outcomes folded into summary counts by compaction", |s| s.tier_compacted),
+    ("hp_tier_evictions_total", "Server histories spilled to cold segments", |s| s.tier_evictions),
+    ("hp_tier_faults_total", "Spilled histories faulted back into memory", |s| s.tier_faults),
+    ("hp_tier_spill_failures_total", "Cold-segment writes that failed", |s| s.tier_spill_failures),
+];
+
+/// Per-tier residency accessors for the `hp_history_resident_bytes`
+/// family (one series per shard × tier).
+const TIER_BYTES: [(&str, ShardField); 3] = [
+    ("hot_suffix", |s| s.tier_hot_bytes),
+    ("summary", |s| s.tier_summary_bytes),
+    ("spilled", |s| s.tier_spilled_bytes),
 ];
 
 const SHARD_GAUGES: [(&str, &str, ShardField); 2] = [
@@ -428,6 +479,23 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
         let _ = writeln!(out, "# TYPE {name} gauge");
         for shard in &snap.shards {
             let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", shard.shard, field(shard));
+        }
+    }
+    // Per-tier history residency: two labels (shard × tier), so it gets
+    // its own block rather than a SHARD_GAUGES entry.
+    let _ = writeln!(
+        out,
+        "# HELP hp_history_resident_bytes History bytes per storage tier (sampled)"
+    );
+    let _ = writeln!(out, "# TYPE hp_history_resident_bytes gauge");
+    for shard in &snap.shards {
+        for (tier, field) in TIER_BYTES {
+            let _ = writeln!(
+                out,
+                "hp_history_resident_bytes{{shard=\"{}\",tier=\"{tier}\"}} {}",
+                shard.shard,
+                field(shard)
+            );
         }
     }
 
@@ -662,10 +730,19 @@ mod tests {
         reg.record_latency(LatencyPath::AssessCompute, 8_000);
         reg.record_latency(LatencyPath::AssessE2e, 15_000);
 
+        reg.shard(1).counters.add_tier_compacted(640);
+        reg.set_tier_bytes(1, 4096, 512, 8192);
         let text = reg.render_prometheus();
         for required in [
             "hp_feedbacks_ingested_total{shard=\"0\"} 100",
             "hp_feedbacks_ingested_total{shard=\"1\"} 0",
+            "hp_tier_compacted_records_total{shard=\"1\"} 640",
+            "hp_tier_evictions_total{shard=\"0\"} 0",
+            "hp_tier_faults_total{shard=\"0\"} 0",
+            "hp_history_resident_bytes{shard=\"1\",tier=\"hot_suffix\"} 4096",
+            "hp_history_resident_bytes{shard=\"1\",tier=\"summary\"} 512",
+            "hp_history_resident_bytes{shard=\"1\",tier=\"spilled\"} 8192",
+            "# TYPE hp_history_resident_bytes gauge",
             "hp_shard_queue_depth{shard=\"0\"}",
             "hp_shard_last_apply_version{shard=\"1\"}",
             "hp_ingest_apply_latency_seconds_count 100",

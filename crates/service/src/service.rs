@@ -9,6 +9,7 @@ use crate::obs::{
 };
 use crate::shard::{
     AssessTimings, Command, Published, ShardContext, ShardHandle, ShardSnapshot, ShardSnapshots,
+    ShardTiering,
 };
 use crate::snapshot::{BootProgress, SnapshotStore};
 use crate::supervisor::spawn_supervised_shard;
@@ -17,7 +18,7 @@ use hp_core::testing::{shared_calibrator, MultiBehaviorTest};
 use hp_core::twophase::Assessment;
 use hp_core::{CoreError, Feedback, ServerId};
 use hp_stats::ThresholdCalibrator;
-use hp_store::FeedbackStore;
+use hp_store::{ColdStore, FeedbackStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -343,6 +344,7 @@ impl ReputationService {
             if let Some(boot) = &progress {
                 boot.add_journal_records(journal.len());
             }
+            let tiering = open_tiering(&config, shard)?;
             let ctx = ShardContext {
                 shard,
                 test,
@@ -353,6 +355,7 @@ impl ReputationService {
                 published: Published::default(),
                 faults: ShardFaults::for_config(&config, shard),
                 snapshots,
+                tiering,
                 boot: progress.clone(),
                 active_trace: Arc::default(),
             };
@@ -766,16 +769,29 @@ impl ReputationService {
     /// A snapshot of operational counters and shard occupancy.
     pub fn stats(&self) -> ServiceStats {
         self.sample_gauges();
+        // Collect the per-shard state snapshots *before* reading the
+        // registry: the snapshot round-trip is a barrier (each worker
+        // drains its queue first), so worker-side counters for commands
+        // enqueued before this call are visible in the registry read.
+        let snapshots: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .map(|handle| {
+                let (reply_tx, reply_rx) = channel::bounded(1);
+                if handle.send(Command::Snapshot { reply: reply_tx }).is_ok() {
+                    reply_rx.recv().unwrap_or_default()
+                } else {
+                    ShardSnapshot::default()
+                }
+            })
+            .collect();
         let mut stats = ServiceStats::from_registry(&self.obs.snapshot());
-        for handle in &self.shards {
-            let (reply_tx, reply_rx) = channel::bounded(1);
-            let snapshot = if handle.send(Command::Snapshot { reply: reply_tx }).is_ok() {
-                reply_rx.recv().unwrap_or_default()
-            } else {
-                ShardSnapshot::default()
-            };
+        for snapshot in snapshots {
             stats.tracked_servers += snapshot.servers;
             stats.tracked_feedbacks += snapshot.feedbacks;
+            stats.tier_hot_suffix_bytes += snapshot.hot_suffix_bytes;
+            stats.tier_summary_bytes += snapshot.summary_bytes;
+            stats.tier_spilled_bytes += snapshot.spilled_bytes;
         }
         stats
     }
@@ -918,6 +934,32 @@ fn open_snapshots(
         store: Mutex::new(store),
         policy: *policy,
     }))
+}
+
+/// Builds the tiering context for one shard when tiering is enabled,
+/// opening its cold-segment store when a spill budget is set (spill
+/// requires durable journals + snapshots, enforced by `validate`). The
+/// segment directory sits beside the journals as
+/// `shard-<i>.segments/`.
+fn open_tiering(
+    config: &ServiceConfig,
+    shard: usize,
+) -> Result<Option<ShardTiering>, ServiceError> {
+    let Some(policy) = config.tiering() else {
+        return Ok(None);
+    };
+    let cold = match (policy.spill_budget_bytes, config.durability()) {
+        (Some(_), Durability::Durable { dir, .. }) => {
+            let path = dir.join(format!("shard-{shard}.segments"));
+            let store =
+                ColdStore::open(&path, shard as u32).map_err(|e| ServiceError::Journal {
+                    reason: format!("open cold-segment store {}: {e}", path.display()),
+                })?;
+            Some(store)
+        }
+        _ => None,
+    };
+    Ok(Some(ShardTiering::new(*policy, cold)))
 }
 
 /// Opens (and recovers) the journal for one shard per the configured

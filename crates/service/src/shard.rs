@@ -19,7 +19,7 @@
 //!   (journaling and answering them) and flushes the journal before
 //!   exiting, so acknowledged feedback is never lost to a shutdown.
 
-use crate::config::{SnapshotPolicy, TrustModel};
+use crate::config::{SnapshotPolicy, TieringPolicy, TrustModel};
 use crate::faults::ShardFaults;
 use crate::journal::JournalStore;
 use crate::metrics::Counters;
@@ -31,9 +31,11 @@ use crossbeam::channel::{
 };
 use hp_core::testing::MultiBehaviorTest;
 use hp_core::twophase::{Assessment, ShortHistoryPolicy};
-use hp_core::{CoreError, Feedback, ServerId};
+use hp_core::{CoreError, Feedback, ServerId, TieredHistory};
+use hp_store::ColdStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,6 +66,13 @@ pub(crate) type AssessReply = Result<(Arc<Assessment>, AssessTimings), CoreError
 pub(crate) struct ShardSnapshot {
     pub servers: usize,
     pub feedbacks: usize,
+    /// Resident bytes of full-resolution history suffixes (hot tier).
+    pub hot_suffix_bytes: u64,
+    /// Resident bytes of folded per-issuer summary counts.
+    pub summary_bytes: u64,
+    /// Bytes of histories spilled to cold segments (what a full fault-in
+    /// would read back; excludes dead segment space awaiting reclaim).
+    pub spilled_bytes: u64,
 }
 
 /// The last verdict a shard published for one server, readable by the
@@ -264,6 +273,32 @@ pub(crate) struct ShardSnapshots {
     pub policy: SnapshotPolicy,
 }
 
+/// Tiered-history machinery for one shard: the policy plus, when a spill
+/// budget is set, the cold-segment store and the logical clock driving
+/// LRU eviction.
+pub(crate) struct ShardTiering {
+    pub policy: TieringPolicy,
+    /// Cold-segment store; `None` when only compaction is enabled.
+    pub cold: Option<Mutex<ColdStore>>,
+    /// Shard-local logical clock: one tick per server touch, so eviction
+    /// can order servers coldest-first without wall-clock reads.
+    pub clock: AtomicU64,
+}
+
+impl ShardTiering {
+    pub(crate) fn new(policy: TieringPolicy, cold: Option<ColdStore>) -> Self {
+        ShardTiering {
+            policy,
+            cold: cold.map(Mutex::new),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
 /// Everything a shard worker (and its supervisor) needs besides the
 /// command channel and the state map.
 pub(crate) struct ShardContext {
@@ -277,6 +312,8 @@ pub(crate) struct ShardContext {
     pub faults: ShardFaults,
     /// Snapshot store + checkpoint policy, when snapshots are enabled.
     pub snapshots: Option<ShardSnapshots>,
+    /// Tiered-history policy + cold store, when tiering is enabled.
+    pub tiering: Option<ShardTiering>,
     /// Boot-time recovery progress, reported to health checks. Only the
     /// initial cold-start rebuild updates it.
     pub boot: Option<Arc<BootProgress>>,
@@ -397,16 +434,16 @@ fn dispatch_command(
             let mut touched = Vec::new();
             for feedback in batch {
                 ctx.faults.before_apply(&feedback);
-                apply_feedback(states, feedback, ctx.model);
+                apply_feedback(states, feedback, ctx);
                 touched.push(feedback.server);
             }
             touched.sort_unstable();
             touched.dedup();
             {
                 let mut published = ctx.published.lock();
-                for server in touched {
+                for server in &touched {
                     if let (Some(state), Some(pv)) =
-                        (states.get(&server), published.get_mut(&server))
+                        (states.get(server), published.get_mut(server))
                     {
                         pv.latest_version = state.version();
                     }
@@ -431,6 +468,11 @@ fn dispatch_command(
                 },
                 trace,
             );
+            // Tier before checkpointing, so a checkpoint triggered by
+            // this batch captures the compacted/spilled form (snapshots
+            // shrink with compaction, and segment references are covered
+            // by the snapshot that might reclaim their predecessors).
+            maybe_tier(states, &touched, ctx);
             maybe_checkpoint(states, ctx);
             Flow::Continue
         }
@@ -464,9 +506,16 @@ fn dispatch_command(
             Flow::Continue
         }
         Command::Snapshot { reply } => {
+            let (hot, summary, spilled) = tier_bytes(states);
+            // Refresh the registry gauges while we have the sums: without
+            // tiering they are otherwise never published.
+            ctx.obs.set_tier_bytes(ctx.shard, hot, summary, spilled);
             let snapshot = ShardSnapshot {
                 servers: states.len(),
-                feedbacks: states.values().map(|s| s.history().len()).sum(),
+                feedbacks: states.values().map(|s| s.len() as usize).sum(),
+                hot_suffix_bytes: hot,
+                summary_bytes: summary,
+                spilled_bytes: spilled,
             };
             let _ = reply.send(snapshot);
             Flow::Continue
@@ -477,6 +526,171 @@ fn dispatch_command(
         }
         Command::Shutdown => Flow::Stop,
     }
+}
+
+/// Per-tier resident byte sums over a shard's states: `(hot suffix,
+/// folded summary, spilled payload)`.
+fn tier_bytes(states: &HashMap<ServerId, ServerState>) -> (u64, u64, u64) {
+    let mut hot = 0;
+    let mut summary = 0;
+    let mut spilled = 0;
+    for state in states.values() {
+        hot += state.suffix_bytes();
+        summary += state.summary_bytes();
+        if let Some((meta, _)) = state.spilled() {
+            spilled += meta.bytes;
+        }
+    }
+    (hot, summary, spilled)
+}
+
+/// The tiering pass at an ingest-batch boundary: folds the touched
+/// servers' histories past the horizon (only touched servers can newly
+/// cross it — untouched ones don't grow), then enforces the spill budget
+/// and refreshes the per-tier residency gauges.
+fn maybe_tier(
+    states: &mut HashMap<ServerId, ServerState>,
+    touched: &[ServerId],
+    ctx: &ShardContext,
+) {
+    let Some(tiering) = &ctx.tiering else { return };
+    let mut folded = 0u64;
+    for server in touched {
+        if let Some(state) = states.get_mut(server) {
+            state.last_touch = tiering.tick();
+            folded += state.compact(tiering.policy.horizon) as u64;
+        }
+    }
+    if folded > 0 {
+        ctx.counters().add_tier_compacted(folded);
+    }
+    enforce_spill_budget(states, ctx);
+    let (hot, summary, spilled) = tier_bytes(states);
+    ctx.obs.set_tier_bytes(ctx.shard, hot, summary, spilled);
+}
+
+/// Re-tiers every server: compaction for all, then the spill budget.
+/// Used after a supervisor rebuild — journal replay produces fully hot
+/// states, so recovery must re-bound residency before the shard serves.
+pub(crate) fn tier_all(states: &mut HashMap<ServerId, ServerState>, ctx: &ShardContext) {
+    if ctx.tiering.is_none() {
+        return;
+    }
+    let all: Vec<ServerId> = states.keys().copied().collect();
+    maybe_tier(states, &all, ctx);
+}
+
+/// Evicts the coldest hot histories until the hot tier fits the spill
+/// budget, writing all victims' payloads as one sealed segment. A failed
+/// segment write is counted and skipped — the shard stays over budget
+/// but correct, and the next batch boundary retries.
+fn enforce_spill_budget(states: &mut HashMap<ServerId, ServerState>, ctx: &ShardContext) {
+    let Some(tiering) = &ctx.tiering else { return };
+    let (Some(budget), Some(cold)) = (tiering.policy.spill_budget_bytes, tiering.cold.as_ref())
+    else {
+        return;
+    };
+    let hot_total: u64 = states.values().map(|s| s.suffix_bytes()).sum();
+    if hot_total <= budget {
+        return;
+    }
+    // Victim order: smallest last-touch tick first (least recently used).
+    let mut victims: Vec<(u64, ServerId)> = states
+        .iter()
+        .filter(|(_, s)| !s.is_spilled())
+        .map(|(id, s)| (s.last_touch, *id))
+        .collect();
+    victims.sort_unstable();
+    let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut chosen: Vec<ServerId> = Vec::new();
+    let mut freed = 0u64;
+    for (_, id) in victims {
+        if hot_total - freed <= budget {
+            break;
+        }
+        let state = &states[&id];
+        freed += state.suffix_bytes();
+        records.push((id.value(), state.history().expect("victims are hot").encode()));
+        chosen.push(id);
+    }
+    if records.is_empty() {
+        return;
+    }
+    let refs = match cold.lock().write_segment(&records) {
+        Ok(refs) => refs,
+        Err(_) => {
+            ctx.counters().add_tier_spill_failures(1);
+            return;
+        }
+    };
+    debug_assert_eq!(refs.len(), chosen.len());
+    for ((id, segment), (_, payload)) in chosen.into_iter().zip(refs).zip(&records) {
+        states
+            .get_mut(&id)
+            .expect("victim still in map")
+            .evict(segment, payload.len() as u64);
+        ctx.counters().add_tier_evictions(1);
+    }
+}
+
+/// Faults a spilled history back into memory before it is read or
+/// written.
+///
+/// # Panics
+///
+/// Panics when the segment cannot produce the exact bytes that were
+/// spilled (I/O error, torn write, checksum mismatch): the worker
+/// unwinds to the supervisor, whose rebuild revalidates every segment
+/// reference — a snapshot holding the bad reference is rejected and
+/// recovery falls back to an older snapshot or full journal replay.
+fn ensure_hot(server: ServerId, state: &mut ServerState, ctx: &ShardContext) {
+    if !state.is_spilled() {
+        return;
+    }
+    let (_, segment) = state.spilled().expect("spilled state has a segment");
+    let tiering = ctx
+        .tiering
+        .as_ref()
+        .expect("spilled state without tiering context");
+    let cold = tiering
+        .cold
+        .as_ref()
+        .expect("spilled state without a cold store");
+    let payload = cold
+        .lock()
+        .fault(server.value(), &segment)
+        .unwrap_or_else(|e| panic!("cold segment fault failed for {server}: {e}"));
+    let history = TieredHistory::decode(&payload)
+        .unwrap_or_else(|| panic!("cold segment payload for {server} failed validation"));
+    state.restore(history);
+    ctx.counters().add_tier_faults(1);
+}
+
+/// Faults and checksum-verifies every spilled segment reference in
+/// `states`, discarding the payloads. Returns false when any reference
+/// cannot produce a valid history — including when the context has no
+/// cold store to fault from (e.g. spilling was disabled across a
+/// restart): the caller must reject the state rather than serve with
+/// unreachable histories.
+pub(crate) fn validate_spilled_refs(
+    states: &HashMap<ServerId, ServerState>,
+    ctx: &ShardContext,
+) -> bool {
+    for (server, state) in states {
+        let Some((_, segment)) = state.spilled() else {
+            continue;
+        };
+        let Some(cold) = ctx.tiering.as_ref().and_then(|t| t.cold.as_ref()) else {
+            return false;
+        };
+        let Ok(payload) = cold.lock().fault(server.value(), &segment) else {
+            return false;
+        };
+        if TieredHistory::decode(&payload).is_none() {
+            return false;
+        }
+    }
+    true
 }
 
 /// Checkpoints automatically once `interval_records` records have been
@@ -530,6 +744,17 @@ pub(crate) fn take_checkpoint(
                 0
             };
             ctx.counters().record_snapshot(info.bytes);
+            // Reclaim cold segments nothing references any more: every
+            // live segment reference is covered by the snapshot just
+            // written (tiering runs before checkpointing), so segments
+            // below the oldest retained snapshot's floor are dead. No
+            // floor is known while any retained snapshot predates
+            // manifest v2 — reclamation simply waits it out.
+            if let Some(tiering) = &ctx.tiering {
+                if let (Some(cold), Some(floor)) = (&tiering.cold, store.segment_floor()) {
+                    let _ = cold.lock().remove_below(floor);
+                }
+            }
             ctx.obs.tracer().emit(
                 ctx.shard,
                 t0.elapsed().as_nanos() as u64,
@@ -551,21 +776,23 @@ pub(crate) fn take_checkpoint(
 }
 
 /// Applies one feedback to its server's state (creating it on first
-/// sight). Shared by the live ingest path and journal replay so both are
-/// the same fold.
+/// sight, faulting it back in when spilled). Shared by the live ingest
+/// path and journal replay so both are the same fold.
 pub(crate) fn apply_feedback(
     states: &mut HashMap<ServerId, ServerState>,
     feedback: Feedback,
-    model: TrustModel,
+    ctx: &ShardContext,
 ) {
-    let state = match states.entry(feedback.server) {
+    let server = feedback.server;
+    let state = match states.entry(server) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
         std::collections::hash_map::Entry::Vacant(e) => {
             // The model was validated at service start, so construction
             // cannot fail here.
-            e.insert(ServerState::new(model).expect("validated trust model"))
+            e.insert(ServerState::new(ctx.model).expect("validated trust model"))
         }
     };
+    ensure_hot(server, state, ctx);
     state.ingest(feedback);
 }
 
@@ -580,6 +807,12 @@ fn assess_one(
     let t0 = Instant::now();
     let reply = match states.get_mut(&server) {
         Some(state) => {
+            // A version-current cached verdict answers without the bits;
+            // only a miss needs the history resident. The fault time (if
+            // any) counts toward this assessment's compute latency.
+            if state.is_spilled() && !state.cache_current() {
+                ensure_hot(server, state, ctx);
+            }
             let (assessment, from_cache) = state.assess(&ctx.test, ctx.policy)?;
             ctx.counters().record_cache(from_cache);
             let version = state.version();
@@ -658,6 +891,7 @@ mod tests {
             published: Published::default(),
             faults: ShardFaults::default(),
             snapshots: None,
+            tiering: None,
             boot: None,
             active_trace: Arc::default(),
         };

@@ -1,10 +1,14 @@
 //! Crash-safe per-shard snapshots: bounded-time recovery.
 //!
 //! A snapshot is a serialized image of one shard's `ServerState` map —
-//! the bit-packed outcome columns, the issuer dictionaries and the
-//! streaming trust states — stamped with the journal offset it covers.
-//! Boot recovery becomes *newest valid snapshot + journal tail replay*
-//! instead of a full journal re-fold: O(tail) instead of O(history).
+//! the tiered outcome columns (folded summaries + full-resolution
+//! suffixes), the issuer dictionaries and the streaming trust states —
+//! stamped with the journal offset it covers. Spilled servers are
+//! captured *by reference*: the snapshot stores the cold-segment
+//! coordinates plus vital statistics instead of re-reading megabytes of
+//! cold payload at checkpoint time. Boot recovery becomes *newest valid
+//! snapshot + journal tail replay* instead of a full journal re-fold:
+//! O(tail) instead of O(history).
 //!
 //! # On-disk layout
 //!
@@ -14,12 +18,13 @@
 //!   newest `seq` wins. Written crash-safely: temp file → fsync →
 //!   atomic rename → directory fsync.
 //! * `shard-<i>.manifest` — a small text file listing the retained
-//!   snapshots with the journal offset each one covers. Every entry
-//!   line carries its own CRC so a torn or bit-flipped manifest
-//!   degrades to "fewer known snapshots", never to a wrong offset.
-//!   Rewritten atomically after every checkpoint.
+//!   snapshots with the journal offset each one covers and the lowest
+//!   cold-segment sequence it references. Every entry line carries its
+//!   own CRC so a torn or bit-flipped manifest degrades to "fewer known
+//!   snapshots", never to a wrong offset. Rewritten atomically after
+//!   every checkpoint.
 //!
-//! # Snapshot file format (version 1)
+//! # Snapshot file format (version 2)
 //!
 //! ```text
 //! magic "HPSS" | version u32 | shard u32 | shards u32 | seq u64
@@ -28,14 +33,27 @@
 //!   server u64 | trust tag u8
 //!   tag 0 (average):  good u64 | total u64
 //!   tag 1 (weighted): lambda bits u64 | r bits u64 | count u64
-//!   len u64 | outcome words (len/64 × u64)
-//!   client_count u64 | clients (u64 each) | codes (u32 each, len)
+//!   residency tag u8
+//!   tag 0 (hot):     payload_len u64 | TieredHistory::encode payload
+//!   tag 1 (spilled): len u64 | version u64 | bytes u64
+//!                    | seg seq u64 | seg offset u64 | seg len u32 | seg crc u32
 //! trailer: crc32 (u32 LE) over everything before it
 //! ```
 //!
 //! All integers little-endian; floats serialized via `to_bits`, so a
 //! round-trip is bit-exact and recovered verdicts are bit-identical to
-//! a full replay.
+//! a full replay. Version-1 files (untiered histories) are rejected as
+//! an unknown version and recovery falls down the chain to journal
+//! replay — an upgrade costs one full re-fold, never a misread.
+//!
+//! # Cold-segment garbage collection
+//!
+//! Each snapshot records the minimum segment sequence it references
+//! (`u64::MAX` when it references none). [`SnapshotStore::segment_floor`]
+//! is the minimum over *all* retained snapshots, so segments below it
+//! are unreachable from every retained recovery candidate — the
+//! journal-replay fallback rebuilds hot states and needs no segments at
+//! all — and can be deleted at checkpoint time.
 //!
 //! # Fallback chain
 //!
@@ -50,10 +68,10 @@
 
 use crate::config::{SnapshotPolicy, TrustModel};
 use crate::journal::{crc32, fsync_dir};
-use crate::state::{ServerState, TrustState};
-use hp_core::history::{BitColumn, IssuerColumn};
+use crate::state::{Residency, ServerState, SpilledMeta, TrustState};
 use hp_core::trust::incremental::{AverageTrustState, IncrementalTrust, WeightedTrustState};
-use hp_core::{ClientId, ColumnarHistory, ServerId};
+use hp_core::{ServerId, TieredHistory};
+use hp_store::SegmentRef;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{self, File};
@@ -62,12 +80,17 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: [u8; 4] = *b"HPSS";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_LEN: usize = 40;
 const TRUST_AVERAGE: u8 = 0;
 const TRUST_WEIGHTED: u8 = 1;
+const RESIDENCY_HOT: u8 = 0;
+const RESIDENCY_SPILLED: u8 = 1;
 const MANIFEST_MAGIC: &str = "hpman";
-const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_VERSION: u32 = 2;
+/// `min_seg` sentinel: the snapshot references no cold segments, so
+/// every sealed segment is below its floor.
+const NO_SEGMENTS: u64 = u64::MAX;
 
 /// Why a snapshot operation failed.
 #[derive(Debug)]
@@ -113,6 +136,11 @@ pub(crate) struct ManifestEntry {
     /// until the file itself is read; the offset inside the file is
     /// CRC-protected, the name is not.
     pub journal_records: Option<u64>,
+    /// Lowest cold-segment sequence the snapshot references
+    /// ([`NO_SEGMENTS`] when it references none), when known. `None` for
+    /// scan-discovered entries — which conservatively disables segment
+    /// garbage collection until they rotate out of retention.
+    pub min_seg: Option<u64>,
     /// File name within the store directory.
     pub file: String,
 }
@@ -175,6 +203,7 @@ impl SnapshotStore {
                 entries.push(ManifestEntry {
                     seq,
                     journal_records: None,
+                    min_seg: None,
                     file,
                 });
             }
@@ -217,6 +246,20 @@ impl SnapshotStore {
         self.entries.iter().filter_map(|e| e.journal_records).min()
     }
 
+    /// The cold-segment sequence below which deletion is safe: the
+    /// minimum `min_seg` across *all* retained snapshots. Every retained
+    /// recovery candidate keeps its spilled references reachable
+    /// (journal replay needs none), and the newest snapshot — written
+    /// moments before this is consulted — covers every currently-live
+    /// reference. `None` (no GC) until every retained entry's `min_seg`
+    /// is known; scan-discovered entries block GC until they rotate out.
+    pub fn segment_floor(&self) -> Option<u64> {
+        if self.entries.is_empty() || self.entries.iter().any(|e| e.min_seg.is_none()) {
+            return None;
+        }
+        self.entries.iter().filter_map(|e| e.min_seg).min()
+    }
+
     /// Serializes `states` covering the journal up to `journal_records`
     /// and makes it durable: temp file → fsync → atomic rename →
     /// directory fsync → manifest rewrite (same discipline) → retention
@@ -228,7 +271,7 @@ impl SnapshotStore {
         journal_records: u64,
     ) -> Result<SnapshotInfo, SnapshotError> {
         let seq = self.next_seq;
-        let bytes = encode(self.shard, self.shards, seq, journal_records, states);
+        let (bytes, min_seg) = encode(self.shard, self.shards, seq, journal_records, states);
         let name = snapshot_file_name(self.shard, seq);
         let path = self.dir.join(&name);
         let tmp = self.dir.join(format!("{name}.tmp"));
@@ -245,6 +288,7 @@ impl SnapshotStore {
             ManifestEntry {
                 seq,
                 journal_records: Some(journal_records),
+                min_seg: Some(min_seg),
                 file: name,
             },
         );
@@ -291,10 +335,10 @@ impl SnapshotStore {
             self.shard, self.shards
         );
         for e in &self.entries {
-            let Some(records) = e.journal_records else {
+            let (Some(records), Some(min_seg)) = (e.journal_records, e.min_seg) else {
                 continue;
             };
-            let body = format!("{:016x} {} {}", e.seq, records, e.file);
+            let body = format!("{:016x} {} {} {}", e.seq, records, min_seg, e.file);
             let crc = crc32(body.as_bytes());
             text.push_str(&format!("{crc:08x} {body}\n"));
         }
@@ -351,19 +395,21 @@ fn read_manifest(path: &Path, shard: u32, shards: u32) -> Vec<ManifestEntry> {
             continue;
         }
         let fields: Vec<&str> = body.split_whitespace().collect();
-        if fields.len() != 3 {
+        if fields.len() != 4 {
             continue;
         }
-        let (Ok(seq), Ok(records)) = (
+        let (Ok(seq), Ok(records), Ok(min_seg)) = (
             u64::from_str_radix(fields[0], 16),
             fields[1].parse::<u64>(),
+            fields[2].parse::<u64>(),
         ) else {
             continue;
         };
         entries.push(ManifestEntry {
             seq,
             journal_records: Some(records),
-            file: fields[2].to_string(),
+            min_seg: Some(min_seg),
+            file: fields[3].to_string(),
         });
     }
     entries
@@ -398,26 +444,34 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 /// Serializes the full state map. Servers are emitted in ascending id
-/// order so identical states produce identical bytes.
+/// order so identical states produce identical bytes. Returns the bytes
+/// plus the lowest cold-segment sequence any spilled server references
+/// ([`NO_SEGMENTS`] when none do) — the store records it in the manifest
+/// to drive segment garbage collection.
 fn encode(
     shard: u32,
     shards: u32,
     seq: u64,
     journal_records: u64,
     states: &HashMap<ServerId, ServerState>,
-) -> Vec<u8> {
+) -> (Vec<u8>, u64) {
     let mut servers: Vec<(&ServerId, &ServerState)> = states.iter().collect();
     servers.sort_by_key(|(id, _)| id.value());
-    // Exact-size reservation (25 covers the larger trust encoding):
-    // megabyte-scale bodies must not grow through repeated reallocation.
+    // Exact-size reservation (25 covers the larger trust encoding, 49 the
+    // tiered payload's fixed fields): megabyte-scale bodies must not grow
+    // through repeated reallocation.
     let cap = HEADER_LEN + 4 + servers.iter().map(|(_, state)| {
-        let history = state.history();
-        8 + 25
-            + 8 + history.outcome_bits().words().len() * 8
-            + 8 + history.issuer_column().clients().len() * 8
-            + history.issuer_column().codes().len() * 4
+        8 + 25 + 1 + match state.residency() {
+            Residency::Hot(history) => {
+                let clients = history.issuer_column().clients().len();
+                8 + 49 + clients * 16 + history.suffix_len() * 4
+                    + history.suffix_len().div_ceil(64) * 8
+            }
+            Residency::Spilled { .. } => 24 + 24,
+        }
     }).sum::<usize>();
     let mut out = Vec::with_capacity(cap);
+    let mut min_seg = NO_SEGMENTS;
     out.extend_from_slice(&MAGIC);
     push_u32(&mut out, VERSION);
     push_u32(&mut out, shard);
@@ -442,25 +496,29 @@ fn encode(
                 push_u64(&mut out, count);
             }
         }
-        let history = state.history();
-        let outcomes = history.outcome_bits();
-        let issuers = history.issuer_column();
-        push_u64(&mut out, outcomes.len() as u64);
-        for &word in outcomes.words() {
-            push_u64(&mut out, word);
-        }
-        let clients = issuers.clients();
-        push_u64(&mut out, clients.len() as u64);
-        for client in clients {
-            push_u64(&mut out, client.value());
-        }
-        for &code in issuers.codes() {
-            push_u32(&mut out, code);
+        match state.residency() {
+            Residency::Hot(history) => {
+                out.push(RESIDENCY_HOT);
+                let payload = history.encode();
+                push_u64(&mut out, payload.len() as u64);
+                out.extend_from_slice(&payload);
+            }
+            Residency::Spilled { meta, segment } => {
+                out.push(RESIDENCY_SPILLED);
+                push_u64(&mut out, meta.len);
+                push_u64(&mut out, meta.version);
+                push_u64(&mut out, meta.bytes);
+                push_u64(&mut out, segment.seq);
+                push_u64(&mut out, segment.offset);
+                push_u32(&mut out, segment.len);
+                push_u32(&mut out, segment.crc);
+                min_seg = min_seg.min(segment.seq);
+            }
         }
     }
     let crc = crc32(&out);
     push_u32(&mut out, crc);
-    out
+    (out, min_seg)
 }
 
 /// Bounded little-endian reader over the snapshot body.
@@ -488,29 +546,6 @@ impl<'a> Reader<'a> {
     fn u64(&mut self) -> Option<u64> {
         self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
     }
-
-    /// Bulk little-endian reads: one bounds check for the whole run, so
-    /// the megabyte-sized word/code columns decode at memcpy-like speed
-    /// instead of one `Option` round-trip per element.
-    fn u32s(&mut self, n: usize) -> Option<Vec<u32>> {
-        let bytes = self.take(n.checked_mul(4)?)?;
-        Some(
-            bytes
-                .chunks_exact(4)
-                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
-                .collect(),
-        )
-    }
-
-    fn u64s(&mut self, n: usize) -> Option<Vec<u64>> {
-        let bytes = self.take(n.checked_mul(8)?)?;
-        Some(
-            bytes
-                .chunks_exact(8)
-                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-                .collect(),
-        )
-    }
 }
 
 fn corrupt(path: &Path, reason: &'static str) -> SnapshotError {
@@ -523,9 +558,13 @@ fn corrupt(path: &Path, reason: &'static str) -> SnapshotError {
 /// Decodes and validates a snapshot image. Every length is bounds-checked
 /// against the buffer, the trailer CRC covers the whole body, and each
 /// server's trust state must be internally consistent with its history
-/// (same transaction count; for the average model, the same good count)
-/// and with the configured trust model — a snapshot taken under a
-/// different model is rejected, not misread.
+/// (same transaction count; for a hot average-model server, the same
+/// good count) and with the configured trust model — a snapshot taken
+/// under a different model is rejected, not misread. Spilled references
+/// are validated structurally here; whether the segment bytes they name
+/// still exist and decode is checked by the recovery path before the
+/// candidate is accepted (`validate_spilled_refs`), since that requires
+/// the cold store.
 fn decode(
     data: &[u8],
     path: &Path,
@@ -558,42 +597,63 @@ fn decode(
     for _ in 0..server_count {
         let server = ServerId::new(r.u64().ok_or_else(|| corrupt(path, "truncated server"))?);
         let trust = decode_trust(&mut r, path, model)?;
-        let len = r.u64().ok_or_else(|| corrupt(path, "truncated history"))? as usize;
-        let words = r
-            .u64s(len.div_ceil(64))
-            .ok_or_else(|| corrupt(path, "truncated outcome words"))?;
-        let outcomes = BitColumn::from_words(words, len)
-            .ok_or_else(|| corrupt(path, "outcome bits set past the end"))?;
-        let client_count =
-            r.u64().ok_or_else(|| corrupt(path, "truncated client dictionary"))? as usize;
-        if client_count > len.max(1) {
-            return Err(corrupt(path, "more clients than transactions"));
-        }
-        let clients = r
-            .u64s(client_count)
-            .ok_or_else(|| corrupt(path, "truncated client dictionary"))?
-            .into_iter()
-            .map(ClientId::new)
-            .collect();
-        let codes = r
-            .u32s(len)
-            .ok_or_else(|| corrupt(path, "truncated issuer codes"))?;
-        let issuers = IssuerColumn::from_parts(clients, codes, &outcomes)
-            .ok_or_else(|| corrupt(path, "inconsistent issuer column"))?;
-        if trust.transactions() != len as u64 {
-            return Err(corrupt(path, "trust state disagrees with history length"));
-        }
-        if let TrustState::Average(s) = &trust {
-            if s.raw_parts().0 != outcomes.total_good() {
-                return Err(corrupt(path, "trust state disagrees with good count"));
+        let state = match r.u8() {
+            Some(RESIDENCY_HOT) => {
+                let payload_len = r
+                    .u64()
+                    .ok_or_else(|| corrupt(path, "truncated history payload"))?
+                    as usize;
+                let payload = r
+                    .take(payload_len)
+                    .ok_or_else(|| corrupt(path, "truncated history payload"))?;
+                // `TieredHistory::decode` revalidates every structural
+                // invariant (word alignment, summary totals, code ranges,
+                // bit padding); only the cross-checks against the record's
+                // identity and trust state remain ours.
+                let history = TieredHistory::decode(payload)
+                    .ok_or_else(|| corrupt(path, "inconsistent tiered history"))?;
+                if !history.is_empty() && history.server() != Some(server) {
+                    return Err(corrupt(path, "history belongs to a different server"));
+                }
+                if trust.transactions() != history.len() as u64 {
+                    return Err(corrupt(path, "trust state disagrees with history length"));
+                }
+                if history.version() != history.len() as u64 {
+                    return Err(corrupt(path, "history version disagrees with its length"));
+                }
+                if let TrustState::Average(s) = &trust {
+                    if s.raw_parts().0 != history.good_count() {
+                        return Err(corrupt(path, "trust state disagrees with good count"));
+                    }
+                }
+                ServerState::from_snapshot(history, trust)
             }
-        }
-        let history = ColumnarHistory::from_columns(Some(server), outcomes, issuers)
-            .ok_or_else(|| corrupt(path, "inconsistent history columns"))?;
-        if states
-            .insert(server, ServerState::from_snapshot(history, trust))
-            .is_some()
-        {
+            Some(RESIDENCY_SPILLED) => {
+                let len = r.u64().ok_or_else(|| corrupt(path, "truncated spill metadata"))?;
+                let version =
+                    r.u64().ok_or_else(|| corrupt(path, "truncated spill metadata"))?;
+                let bytes = r.u64().ok_or_else(|| corrupt(path, "truncated spill metadata"))?;
+                let segment = SegmentRef {
+                    seq: r.u64().ok_or_else(|| corrupt(path, "truncated segment ref"))?,
+                    offset: r.u64().ok_or_else(|| corrupt(path, "truncated segment ref"))?,
+                    len: r.u32().ok_or_else(|| corrupt(path, "truncated segment ref"))?,
+                    crc: r.u32().ok_or_else(|| corrupt(path, "truncated segment ref"))?,
+                };
+                if trust.transactions() != len {
+                    return Err(corrupt(path, "trust state disagrees with history length"));
+                }
+                if version != len {
+                    return Err(corrupt(path, "history version disagrees with its length"));
+                }
+                if bytes != u64::from(segment.len) {
+                    return Err(corrupt(path, "spill size disagrees with its segment ref"));
+                }
+                let meta = SpilledMeta { len, version, bytes };
+                ServerState::from_snapshot_spilled(meta, segment, trust)
+            }
+            _ => return Err(corrupt(path, "unknown residency tag")),
+        };
+        if states.insert(server, state).is_some() {
             return Err(corrupt(path, "duplicate server record"));
         }
     }
@@ -731,7 +791,7 @@ impl BootProgress {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hp_core::{Feedback, Rating};
+    use hp_core::{ClientId, Feedback, Rating};
 
     fn policy(retain: usize) -> SnapshotPolicy {
         SnapshotPolicy {
@@ -759,6 +819,16 @@ mod tests {
         states
     }
 
+    /// Like [`build_states`] but compacted, so round-trips exercise the
+    /// folded summaries, not just the full-resolution suffix.
+    fn build_tiered_states(model: TrustModel, n: usize, horizon: usize) -> HashMap<ServerId, ServerState> {
+        let mut states = build_states(model, n);
+        for state in states.values_mut() {
+            state.compact(horizon);
+        }
+        states
+    }
+
     fn temp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("hp-snap-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
@@ -772,23 +842,42 @@ mod tests {
             let other = &b[id];
             assert_eq!(state.version(), other.version(), "server {id:?}");
             assert_eq!(state.trust(), other.trust(), "server {id:?}");
-            assert_eq!(
-                state.history().outcome_bits().words(),
-                other.history().outcome_bits().words(),
-            );
-            assert_eq!(
-                state.history().issuer_column().codes(),
-                other.history().issuer_column().codes(),
-            );
+            match (state.history(), other.history()) {
+                (Some(h), Some(o)) => {
+                    assert_eq!(h.column(), o.column(), "server {id:?}");
+                    // The wire format pads summaries to the dictionary
+                    // length; codes past the in-memory list read (0, 0).
+                    let pad = |s: &TieredHistory| {
+                        let mut v = s.folded_by_code().to_vec();
+                        v.resize(s.issuer_column().clients().len(), (0, 0));
+                        v
+                    };
+                    assert_eq!(pad(h), pad(o), "server {id:?}");
+                    assert_eq!(
+                        h.issuer_column().clients(),
+                        o.issuer_column().clients(),
+                        "server {id:?}"
+                    );
+                    assert_eq!(
+                        h.issuer_column().codes(),
+                        o.issuer_column().codes(),
+                        "server {id:?}"
+                    );
+                }
+                (None, None) => {
+                    assert_eq!(state.spilled(), other.spilled(), "server {id:?}");
+                }
+                _ => panic!("residency mismatch for server {id:?}"),
+            }
         }
     }
-
 
     #[test]
     fn round_trip_is_lossless_for_both_models() {
         for model in [TrustModel::Average, TrustModel::Weighted { lambda: 0.5 }] {
             let states = build_states(model, 257);
-            let bytes = encode(3, 8, 7, 257, &states);
+            let (bytes, min_seg) = encode(3, 8, 7, 257, &states);
+            assert_eq!(min_seg, NO_SEGMENTS);
             let loaded = decode(&bytes, Path::new("x"), 3, 8, model).unwrap();
             assert_eq!(loaded.seq, 7);
             assert_eq!(loaded.journal_records, 257);
@@ -797,10 +886,44 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_folded_summaries() {
+        for model in [TrustModel::Average, TrustModel::Weighted { lambda: 0.5 }] {
+            // ~240 per server with horizon 64 folds two words each.
+            let states = build_tiered_states(model, 1200, 64);
+            let folded: usize = states
+                .values()
+                .map(|s| s.history().unwrap().retained_start())
+                .sum();
+            assert!(folded > 0, "compaction must fold a prefix");
+            let (bytes, _) = encode(0, 1, 0, 1200, &states);
+            let loaded = decode(&bytes, Path::new("x"), 0, 1, model).unwrap();
+            assert_same_states(&states, &loaded.states);
+        }
+    }
+
+    #[test]
+    fn spilled_states_round_trip_and_report_min_seg() {
+        let model = TrustModel::Average;
+        let mut states = build_tiered_states(model, 1200, 64);
+        let seg_a = SegmentRef { seq: 7, offset: 128, len: 333, crc: 0xdead_beef };
+        let seg_b = SegmentRef { seq: 3, offset: 64, len: 90, crc: 0x1 };
+        states.get_mut(&ServerId::new(0)).unwrap().evict(seg_a, 333);
+        states.get_mut(&ServerId::new(1)).unwrap().evict(seg_b, 90);
+        let (bytes, min_seg) = encode(0, 1, 11, 1200, &states);
+        assert_eq!(min_seg, 3);
+        let loaded = decode(&bytes, Path::new("x"), 0, 1, model).unwrap();
+        assert_same_states(&states, &loaded.states);
+        let (meta, seg) = loaded.states[&ServerId::new(0)].spilled().unwrap();
+        assert_eq!(seg, seg_a);
+        assert_eq!(meta.bytes, 333);
+        assert!(loaded.states[&ServerId::new(2)].history().is_some());
+    }
+
+    #[test]
     fn every_single_byte_flip_is_rejected() {
         let model = TrustModel::Weighted { lambda: 0.5 };
         let states = build_states(model, 64);
-        let bytes = encode(0, 1, 0, 64, &states);
+        let (bytes, _) = encode(0, 1, 0, 64, &states);
         // Step through the file; CRC catches every flip.
         for at in (0..bytes.len()).step_by(7) {
             let mut bad = bytes.clone();
@@ -816,7 +939,7 @@ mod tests {
     fn truncation_at_any_point_is_rejected() {
         let model = TrustModel::Average;
         let states = build_states(model, 40);
-        let bytes = encode(0, 1, 0, 40, &states);
+        let (bytes, _) = encode(0, 1, 0, 40, &states);
         for keep in (0..bytes.len()).step_by(5) {
             assert!(decode(&bytes[..keep], Path::new("x"), 0, 1, model).is_err());
         }
@@ -825,15 +948,34 @@ mod tests {
     #[test]
     fn model_mismatch_is_rejected() {
         let states = build_states(TrustModel::Average, 32);
-        let bytes = encode(0, 1, 0, 32, &states);
+        let (bytes, _) = encode(0, 1, 0, 32, &states);
         let err = decode(&bytes, Path::new("x"), 0, 1, TrustModel::Weighted { lambda: 0.5 })
             .unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupt { .. }));
         // Different lambda is a mismatch too.
         let states = build_states(TrustModel::Weighted { lambda: 0.5 }, 32);
-        let bytes = encode(0, 1, 0, 32, &states);
+        let (bytes, _) = encode(0, 1, 0, 32, &states);
         assert!(decode(&bytes, Path::new("x"), 0, 1, TrustModel::Weighted { lambda: 0.25 })
             .is_err());
+    }
+
+    #[test]
+    fn version_1_snapshot_is_rejected_not_misread() {
+        let model = TrustModel::Average;
+        let states = build_states(model, 32);
+        let (mut bytes, _) = encode(0, 1, 0, 32, &states);
+        // Rewrite the version field and re-stamp the trailer CRC: a
+        // well-formed file from the previous format era must fall down
+        // the recovery chain, not decode as garbage.
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bytes, Path::new("x"), 0, 1, model).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Corrupt { reason: "unknown version", .. }
+        ));
     }
 
     #[test]
@@ -843,12 +985,16 @@ mod tests {
         let mut store = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
         assert!(store.newest_offset().is_none());
         assert!(store.compact_floor().is_none());
+        assert!(store.segment_floor().is_none());
         for k in 1..=4u64 {
             let states = build_states(model, (k * 50) as usize);
             store.write(&states, k * 50).unwrap();
         }
         assert_eq!(store.newest_offset(), Some(200));
         assert_eq!(store.compact_floor(), Some(150));
+        // No retained snapshot references a segment: everything sealed is
+        // below the floor.
+        assert_eq!(store.segment_floor(), Some(NO_SEGMENTS));
         // Only `retain` files remain on disk.
         let files = scan_snapshots(&dir, 0).unwrap();
         assert_eq!(files.len(), 2);
@@ -877,6 +1023,8 @@ mod tests {
         // Offsets are unknown (names are not trusted) …
         assert!(reopened.newest_offset().is_none());
         assert!(reopened.compact_floor().is_none());
+        // … and scan-discovered entries disable segment GC.
+        assert!(reopened.segment_floor().is_none());
         // … but the files themselves still load and carry their offset.
         let loaded = reopened.load(&cands[0], model).unwrap();
         assert_eq!(loaded.journal_records, 60);
@@ -902,6 +1050,30 @@ mod tests {
         // file resurfaces via the scan with an unknown offset.
         assert_eq!(reopened.newest_offset(), Some(30));
         assert_eq!(reopened.candidates().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_floor_spans_all_retained_snapshots() {
+        let dir = temp_dir("segment-floor");
+        let model = TrustModel::Average;
+        let mut store = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        let mut states = build_states(model, 250);
+        let seg = |seq| SegmentRef { seq, offset: 0, len: 50, crc: 0 };
+        states.get_mut(&ServerId::new(0)).unwrap().evict(seg(4), 50);
+        store.write(&states, 250).unwrap();
+        let mut newer = build_states(model, 250);
+        newer.get_mut(&ServerId::new(1)).unwrap().evict(seg(9), 50);
+        store.write(&newer, 300).unwrap();
+        // The older retained snapshot still needs segment 4.
+        assert_eq!(store.segment_floor(), Some(4));
+        // The floor survives a manifest round-trip.
+        let reopened = SnapshotStore::open(&dir, 0, 1, &policy(2)).unwrap();
+        assert_eq!(reopened.segment_floor(), Some(4));
+        // Writing a third snapshot rotates the oldest out; only segment 9
+        // remains referenced.
+        store.write(&build_states(model, 250), 350).unwrap();
+        assert_eq!(store.segment_floor(), Some(9));
         let _ = fs::remove_dir_all(&dir);
     }
 

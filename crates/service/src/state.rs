@@ -10,6 +10,15 @@
 //!   multi-test's O(n/m)-per-suffix optimized path over prefix sums, never
 //!   a raw rescan; phase 2 reads the maintained trust state in O(1).
 //!
+//! Histories are stored *tiered* ([`TieredHistory`]): outcomes older than
+//! the configured assessment horizon fold into exact per-issuer summary
+//! counts while the newest outcomes stay at full bit resolution, and a
+//! whole cold history can be spilled to an on-disk segment
+//! ([`Residency::Spilled`]) keeping only a [`SegmentRef`] plus vital
+//! statistics resident. The trust state and the verdict cache always stay
+//! resident, so version-current assessments are served without faulting
+//! the history back in.
+//!
 //! Verdict equivalence with the offline [`TwoPhaseAssessor`] is exact:
 //! phase 1 runs the same `MultiBehaviorTest` against the same history, and
 //! both trust models' streaming updates perform bit-identical arithmetic
@@ -22,7 +31,8 @@ use crate::config::TrustModel;
 use hp_core::testing::{MultiBehaviorTest, TestOutcome, TestReport};
 use hp_core::trust::incremental::{AverageTrustState, IncrementalTrust, WeightedTrustState};
 use hp_core::twophase::{Assessment, ShortHistoryPolicy};
-use hp_core::{ColumnarHistory, CoreError, Feedback, TrustValue};
+use hp_core::{CoreError, Feedback, TieredHistory, TrustValue};
+use hp_store::SegmentRef;
 use std::sync::Arc;
 
 /// The streaming phase-2 trust state for one server.
@@ -57,36 +67,106 @@ impl TrustState {
     }
 }
 
+/// Vital statistics of a spilled history, kept resident so bookkeeping
+/// queries (snapshot gauges, cache-version checks) never fault the
+/// segment back in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SpilledMeta {
+    /// Transaction count at spill time.
+    pub len: u64,
+    /// Ingest version at spill time (equals `len` for service histories:
+    /// only pushes bump it).
+    pub version: u64,
+    /// Serialized payload size — what a fault will read back.
+    pub bytes: u64,
+}
+
+/// Where one server's history currently lives.
+///
+/// The hot variant is large (the whole [`TieredHistory`] header inline),
+/// but boxing it would put a pointer chase on every ingest and assess —
+/// the two hottest paths — to shave bytes off spilled entries whose real
+/// savings are the evicted heap columns, not the inline struct.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub(crate) enum Residency {
+    /// Resident: summary counts plus full-resolution suffix in memory.
+    Hot(TieredHistory),
+    /// Evicted: the serialized tiered history lives in a cold segment;
+    /// only the reference and its vital statistics stay resident.
+    Spilled {
+        meta: SpilledMeta,
+        segment: SegmentRef,
+    },
+}
+
 /// Everything a shard worker holds for one server.
 #[derive(Debug, Clone)]
 pub(crate) struct ServerState {
-    /// Bit-packed outcome + issuer columns; no per-feedback times (the
-    /// service's schemes and trust models never read them), so resident
-    /// cost is ~8 bytes per transaction instead of 48 for row storage.
-    history: ColumnarHistory,
+    /// Tiered outcome + issuer columns (~8 bytes per retained transaction
+    /// plus 8 bytes per issuer of folded summary), or a segment reference
+    /// when spilled.
+    residency: Residency,
     trust: TrustState,
     /// One shared instance per computed verdict: the versioned cache, the
     /// published-verdict map and every reply hold the same allocation.
+    /// Survives eviction, so a version-current assess never faults.
     cached: Option<(u64, Arc<Assessment>)>,
+    /// Shard-local logical-clock tick of the last command that touched
+    /// this server; the spill policy evicts the smallest ticks first.
+    pub last_touch: u64,
 }
 
 impl ServerState {
     pub fn new(model: TrustModel) -> Result<Self, CoreError> {
         Ok(ServerState {
-            history: ColumnarHistory::new(),
+            residency: Residency::Hot(TieredHistory::new()),
             trust: TrustState::new(model)?,
             cached: None,
+            last_touch: 0,
         })
     }
 
     /// Absorbs one feedback: O(1) history push + O(1) trust update.
+    ///
+    /// # Panics
+    ///
+    /// The history must be resident — the worker faults spilled states in
+    /// ([`Residency`]) before applying feedback.
     pub fn ingest(&mut self, feedback: Feedback) {
-        self.trust.update(feedback.is_good());
-        self.history.push(feedback);
+        match &mut self.residency {
+            Residency::Hot(history) => {
+                self.trust.update(feedback.is_good());
+                history.push(feedback);
+            }
+            Residency::Spilled { .. } => {
+                panic!("ingest into a spilled history without fault-in")
+            }
+        }
     }
 
-    pub fn history(&self) -> &ColumnarHistory {
-        &self.history
+    /// The resident history, or `None` while spilled.
+    pub fn history(&self) -> Option<&TieredHistory> {
+        match &self.residency {
+            Residency::Hot(history) => Some(history),
+            Residency::Spilled { .. } => None,
+        }
+    }
+
+    pub fn residency(&self) -> &Residency {
+        &self.residency
+    }
+
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.residency, Residency::Spilled { .. })
+    }
+
+    /// The spill reference and metadata, or `None` while resident.
+    pub fn spilled(&self) -> Option<(SpilledMeta, SegmentRef)> {
+        match &self.residency {
+            Residency::Hot(_) => None,
+            Residency::Spilled { meta, segment } => Some((*meta, *segment)),
+        }
     }
 
     /// The streaming trust state (snapshot payload).
@@ -94,37 +174,135 @@ impl ServerState {
         &self.trust
     }
 
-    /// Reassembles a state from snapshot parts. The verdict cache starts
-    /// empty — exactly where a journal-replayed state starts — so the
-    /// first assess after either recovery path computes the same thing.
-    pub fn from_snapshot(history: ColumnarHistory, trust: TrustState) -> Self {
+    /// Reassembles a resident state from snapshot parts. The verdict
+    /// cache starts empty — exactly where a journal-replayed state starts
+    /// — so the first assess after either recovery path computes the same
+    /// thing.
+    pub fn from_snapshot(history: TieredHistory, trust: TrustState) -> Self {
         ServerState {
-            history,
+            residency: Residency::Hot(history),
             trust,
             cached: None,
+            last_touch: 0,
+        }
+    }
+
+    /// Reassembles a still-spilled state from snapshot parts; the history
+    /// faults in from `segment` on first access.
+    pub fn from_snapshot_spilled(meta: SpilledMeta, segment: SegmentRef, trust: TrustState) -> Self {
+        ServerState {
+            residency: Residency::Spilled { meta, segment },
+            trust,
+            cached: None,
+            last_touch: 0,
+        }
+    }
+
+    /// Folds history words older than `horizon` into summary counts;
+    /// returns the number of outcomes folded (0 while spilled — a cold
+    /// history was compacted when it was evicted).
+    pub fn compact(&mut self, horizon: usize) -> usize {
+        match &mut self.residency {
+            Residency::Hot(history) => history.compact(horizon),
+            Residency::Spilled { .. } => 0,
+        }
+    }
+
+    /// Replaces the hot history with a segment reference (eviction).
+    /// `bytes` is the serialized payload size the segment holds.
+    ///
+    /// # Panics
+    ///
+    /// The state must currently be hot.
+    pub fn evict(&mut self, segment: SegmentRef, bytes: u64) {
+        let meta = match &self.residency {
+            Residency::Hot(history) => SpilledMeta {
+                len: history.len() as u64,
+                version: history.version(),
+                bytes,
+            },
+            Residency::Spilled { .. } => panic!("evicting an already-spilled state"),
+        };
+        self.residency = Residency::Spilled { meta, segment };
+    }
+
+    /// Restores a faulted-in history, replacing the segment reference.
+    pub fn restore(&mut self, history: TieredHistory) {
+        debug_assert!(
+            matches!(&self.residency, Residency::Spilled { meta, .. }
+                if meta.len == history.len() as u64 && meta.version == history.version()),
+            "faulted history disagrees with spill metadata"
+        );
+        self.residency = Residency::Hot(history);
+    }
+
+    /// The number of feedbacks ingested so far (resident or spilled).
+    pub fn len(&self) -> u64 {
+        match &self.residency {
+            Residency::Hot(history) => history.len() as u64,
+            Residency::Spilled { meta, .. } => meta.len,
         }
     }
 
     /// The history version: the number of feedbacks ingested so far.
     pub fn version(&self) -> u64 {
-        self.history.version()
+        match &self.residency {
+            Residency::Hot(history) => history.version(),
+            Residency::Spilled { meta, .. } => meta.version,
+        }
+    }
+
+    /// Resident bytes of the full-resolution (hot-tier) suffix; 0 while
+    /// spilled.
+    pub fn suffix_bytes(&self) -> u64 {
+        match &self.residency {
+            Residency::Hot(history) => history.suffix_resident_bytes() as u64,
+            Residency::Spilled { .. } => 0,
+        }
+    }
+
+    /// Resident bytes of the folded summary counts; 0 while spilled (the
+    /// summaries travel with the segment payload).
+    pub fn summary_bytes(&self) -> u64 {
+        match &self.residency {
+            Residency::Hot(history) => history.summary_resident_bytes() as u64,
+            Residency::Spilled { .. } => 0,
+        }
+    }
+
+    /// Whether the cached verdict matches the current version (so an
+    /// assess would be answered without reading the history bits).
+    pub fn cache_current(&self) -> bool {
+        matches!(&self.cached, Some((version, _)) if *version == self.version())
     }
 
     /// The two-phase assessment of the current history.
     ///
     /// Returns `(assessment, from_cache)`; the caller records the cache
     /// outcome in its counters.
+    ///
+    /// # Panics
+    ///
+    /// A cache miss needs the history bits: the worker faults spilled
+    /// states in before assessing, so a spilled miss is an invariant
+    /// violation.
     pub fn assess(
         &mut self,
         test: &MultiBehaviorTest,
         policy: ShortHistoryPolicy,
     ) -> Result<(Arc<Assessment>, bool), CoreError> {
         if let Some((version, assessment)) = &self.cached {
-            if *version == self.history.version() {
+            if *version == self.version() {
                 return Ok((Arc::clone(assessment), true));
             }
         }
-        let report = TestReport::Multi(test.evaluate_detailed(&self.history)?);
+        let history = match &self.residency {
+            Residency::Hot(history) => history,
+            Residency::Spilled { .. } => {
+                panic!("assess cache miss on a spilled history without fault-in")
+            }
+        };
+        let report = TestReport::Multi(test.evaluate_detailed(history)?);
         // Mirrors TwoPhaseAssessor::assess, with phase 2 answered by the
         // streaming trust state instead of a history replay.
         let assessment = match report.outcome() {
@@ -146,7 +324,7 @@ impl ServerState {
             },
         };
         let assessment = Arc::new(assessment);
-        self.cached = Some((self.history.version(), Arc::clone(&assessment)));
+        self.cached = Some((self.version(), Arc::clone(&assessment)));
         Ok((assessment, false))
     }
 }
@@ -206,6 +384,90 @@ mod tests {
         s.ingest(feedback(1, false));
         // R0 = 0.5 → 0.75 → 0.375.
         assert!((s.trust.current().value() - 0.375).abs() < 1e-15);
-        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.history().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_verdict_and_cache() {
+        let mut tiered = ServerState::new(TrustModel::Average).unwrap();
+        let mut plain = ServerState::new(TrustModel::Average).unwrap();
+        for t in 0..400 {
+            let f = feedback(t, t % 13 != 0);
+            tiered.ingest(f);
+            plain.ingest(f);
+        }
+        let folded = tiered.compact(150);
+        assert!(folded > 0, "400 outcomes with horizon 150 must fold");
+        assert_eq!(tiered.len(), plain.len());
+        assert_eq!(tiered.version(), plain.version());
+        assert!(tiered.suffix_bytes() < plain.suffix_bytes());
+        // The capped test only sweeps suffixes inside the retained tail,
+        // so tiered and untiered verdicts match bit-for-bit.
+        let capped = MultiBehaviorTest::new(
+            BehaviorTestConfig::builder()
+                .calibration_trials(200)
+                .max_suffix(Some(150))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let (a, _) = tiered.assess(&capped, ShortHistoryPolicy::Review).unwrap();
+        let (b, _) = plain.assess(&capped, ShortHistoryPolicy::Review).unwrap();
+        assert_eq!(a, b);
+        // Compaction does not bump the version, so the cache stays valid.
+        tiered.compact(100);
+        let (_, from_cache) = tiered.assess(&capped, ShortHistoryPolicy::Review).unwrap();
+        assert!(from_cache, "compaction must not invalidate the cache");
+    }
+
+    #[test]
+    fn evict_restore_round_trip() {
+        let mut s = ServerState::new(TrustModel::Average).unwrap();
+        for t in 0..100 {
+            s.ingest(feedback(t, true));
+        }
+        let history = s.history().unwrap().clone();
+        let payload = history.encode();
+        let segment = SegmentRef {
+            seq: 7,
+            offset: 20,
+            len: payload.len() as u32,
+            crc: 0,
+        };
+        s.evict(segment, payload.len() as u64);
+        assert!(s.is_spilled());
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.version(), 100);
+        assert_eq!(s.suffix_bytes(), 0);
+        assert!(s.history().is_none());
+        let (meta, got) = s.spilled().unwrap();
+        assert_eq!(meta.bytes, payload.len() as u64);
+        assert_eq!(got, segment);
+        s.restore(TieredHistory::decode(&payload).unwrap());
+        assert!(!s.is_spilled());
+        assert_eq!(s.history().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn cached_verdict_survives_eviction() {
+        let test = fast_test();
+        let mut s = ServerState::new(TrustModel::Average).unwrap();
+        for t in 0..150 {
+            s.ingest(feedback(t, t % 11 != 0));
+        }
+        let (a, _) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
+        s.evict(
+            SegmentRef {
+                seq: 1,
+                offset: 20,
+                len: 1,
+                crc: 0,
+            },
+            1,
+        );
+        // Version unchanged → the resident cache answers without the bits.
+        let (b, from_cache) = s.assess(&test, ShortHistoryPolicy::Review).unwrap();
+        assert!(from_cache);
+        assert_eq!(a, b);
     }
 }

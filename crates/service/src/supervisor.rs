@@ -29,7 +29,8 @@
 use crate::config::SupervisionConfig;
 use crate::obs::TraceKind;
 use crate::shard::{
-    apply_feedback, take_checkpoint, worker_loop, Command, ShardContext, ShardHandle,
+    apply_feedback, take_checkpoint, tier_all, validate_spilled_refs, worker_loop, Command,
+    ShardContext, ShardHandle,
 };
 use crate::snapshot::ManifestEntry;
 use crate::state::ServerState;
@@ -83,6 +84,9 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
         }
         return;
     };
+    // Re-tier the rebuilt state before serving: journal replay produces
+    // fully hot histories, so recovery must re-bound resident bytes.
+    tier_all(&mut states, ctx);
     if let Some(boot) = &ctx.boot {
         boot.note_shard_ready();
     }
@@ -117,6 +121,7 @@ fn supervise(rx: &Receiver<Command>, ctx: &ShardContext, supervision: &Supervisi
                 match rebuild(ctx, &mut quarantine) {
                     Some(rebuilt) => {
                         states = rebuilt;
+                        tier_all(&mut states, ctx);
                         // The crashed request is fully accounted for:
                         // clear the slot so later restarts aren't
                         // misattributed to it.
@@ -201,6 +206,13 @@ fn recover_from_snapshot(
 ) -> Option<HashMap<ServerId, ServerState>> {
     let snaps = ctx.snapshots.as_ref()?;
     let loaded = snaps.store.lock().load(entry, ctx.model).ok()?;
+    // A snapshot is only as good as the cold segments it points into:
+    // fault and checksum every spilled reference *now*, so a torn or
+    // missing segment rejects this candidate (falling back to an older
+    // snapshot or full replay) instead of panicking the worker later.
+    if !validate_spilled_refs(&loaded.states, ctx) {
+        return None;
+    }
     let offset = loaded.journal_records;
     let (start, tail) = ctx.journal.lock().replay_from(offset).ok()?;
     if start != offset {
@@ -252,7 +264,7 @@ fn fold_tail(
                 }
                 progress.store(index, Ordering::Relaxed);
                 ctx.faults.before_apply(feedback);
-                apply_feedback(&mut states, *feedback, ctx.model);
+                apply_feedback(&mut states, *feedback, ctx);
                 if let Some(boot) = &ctx.boot {
                     replayed_in_chunk += 1;
                     if replayed_in_chunk == PROGRESS_CHUNK {

@@ -152,7 +152,11 @@ fn deadline_miss_serves_published_verdict_with_staleness() {
         stats.cache_hits, 1,
         "a degraded answer is served from the published cache and counts as a cache event"
     );
-    assert_eq!(stats.cache_misses, 1, "the initial fresh assess computed");
+    // Two computes: the initial fresh assess, plus the abandoned
+    // deadline-missed request — the worker still finishes it (at version
+    // 350) after the front end has answered degraded, and the stats
+    // barrier waits for the worker, so the count is deterministic.
+    assert_eq!(stats.cache_misses, 2, "fresh assess + abandoned recompute");
     // The degraded answer is still an end-to-end serve: e2e = fresh + degraded.
     let snap = service.metrics().snapshot();
     assert_eq!(snap.latency(LatencyPath::AssessE2e).count, 2);

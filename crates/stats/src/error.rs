@@ -43,6 +43,18 @@ pub enum StatsError {
         /// The offending value.
         value: f64,
     },
+    /// A query reached past the retained full-resolution suffix of a
+    /// tiered (horizon-compacted) history. The folded prefix keeps only
+    /// exact summary counts, so the query cannot be answered at full
+    /// resolution — the caller must shorten the query to the retained
+    /// suffix or re-materialize the history. Never a silently wrong
+    /// count.
+    HorizonExceeded {
+        /// Position (transaction index) the query wanted to start at.
+        start: usize,
+        /// First position still held at full resolution.
+        retained_start: usize,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -65,6 +77,16 @@ impl fmt::Display for StatsError {
             }
             StatsError::InvalidLevel { value } => {
                 write!(f, "level must lie strictly inside (0, 1), got {value}")
+            }
+            StatsError::HorizonExceeded {
+                start,
+                retained_start,
+            } => {
+                write!(
+                    f,
+                    "query starts at {start}, before the retained suffix at \
+                     {retained_start}: the prefix was folded past the assessment horizon"
+                )
             }
         }
     }
@@ -94,6 +116,13 @@ mod tests {
             ),
             (StatsError::EmptyInput { what: "samples" }, "samples"),
             (StatsError::InvalidLevel { value: 0.0 }, "0"),
+            (
+                StatsError::HorizonExceeded {
+                    start: 3,
+                    retained_start: 64,
+                },
+                "retained suffix at 64",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
