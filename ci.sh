@@ -132,12 +132,17 @@ python3 - "$P1_JSON" "$P1_BASE" <<'PYEOF'
 import json, sys
 current = json.load(open(sys.argv[1]))["gate"]
 baseline = json.load(open(sys.argv[2]))["gate"]
+# 25% headroom on the absolute per-window figures: the baselines pin the
+# min-of-samples on a quiet box, which wobbles ~10% under CI's own load
+# (this gate flapped at 110% with no code change). The regression this
+# guards against — losing the word-parallel kernel to the scalar path —
+# costs 4-6x and is caught independently by the ratio floors below.
 for m, base_ns in baseline["kernel_ns_per_window"].items():
     got = current["kernel_ns_per_window"][m]
-    if got > base_ns * 1.10:
+    if got > base_ns * 1.25:
         sys.exit(
             f"phase-1 kernel regression at {m}: {got} ns/window "
-            f"> 110% of baseline {base_ns} ns/window"
+            f"> 125% of baseline {base_ns} ns/window"
         )
 if current["min_speedup"] < baseline["min_speedup"]:
     sys.exit(
@@ -232,6 +237,64 @@ print(
     f"    spill boot at {gate['len']} records: {gate['spill_boot_ms']} ms "
     f"({gate['spill_restart_speedup']}x, floor {base['min_spill_restart_speedup']}x) "
     f"— segment re-attach, no journal replay of spilled history"
+)
+PYEOF
+
+echo "==> calibration bench (writes experiments/out/bench_calibration.json)"
+if [ "$QUICK" -eq 0 ]; then
+    # The bench binary itself asserts bit-identical thresholds across
+    # calibration thread counts, surface error within tolerance, and
+    # zero decisive verdict flips between the surface-backed and
+    # oracle services; a violation fails this step directly.
+    cargo bench --offline -p hp-bench --bench calibration >/dev/null
+else
+    echo "    (skipped: --quick; gate checks the existing json)"
+fi
+
+echo "==> calibration-wall gate (bench json vs committed baseline)"
+CAL_JSON=experiments/out/bench_calibration.json
+CAL_BASE=experiments/baselines/bench_calibration_baseline.json
+[ -f "$CAL_JSON" ] || { echo "missing $CAL_JSON (run: cargo bench -p hp-bench --bench calibration)"; exit 1; }
+[ -f "$CAL_BASE" ] || { echo "missing $CAL_BASE"; exit 1; }
+python3 - "$CAL_JSON" "$CAL_BASE" <<'PYEOF'
+import json, sys
+gate = json.load(open(sys.argv[1]))["gate"]
+base = json.load(open(sys.argv[2]))["gate"]
+if gate["cold_assess_p99_ms"] > base["max_cold_assess_p99_ms"]:
+    sys.exit(
+        f"cold-assess SLO regression: p99 {gate['cold_assess_p99_ms']} ms "
+        f"> {base['max_cold_assess_p99_ms']} ms with the surface enabled"
+    )
+if gate["surface_max_error"] > gate["tolerance"]:
+    sys.exit(
+        f"surface error {gate['surface_max_error']} exceeds its configured "
+        f"tolerance {gate['tolerance']}"
+    )
+if gate["verdict_flips"] != 0:
+    sys.exit(f"surface flipped {gate['verdict_flips']} decisive verdicts")
+if not gate["crn_identical"]:
+    sys.exit("calibrated thresholds depend on the thread count")
+boot_speedup = gate["boot_oracle_ms"] / gate["boot_surface_ms"]
+if boot_speedup < base["min_boot_speedup"]:
+    sys.exit(
+        f"boot-wall regression: surface boot only {boot_speedup:.1f}x faster "
+        f"than the oracle pre-warm ({gate['boot_surface_ms']} ms vs "
+        f"{gate['boot_oracle_ms']} ms), floor {base['min_boot_speedup']}x"
+    )
+growth_speedup = gate["growth_assess_oracle_ms"] / gate["growth_assess_surface_ms"]
+if growth_speedup < base["min_growth_speedup"]:
+    sys.exit(
+        f"growth-wall regression: beyond the pre-warm grid the surface assess "
+        f"is only {growth_speedup:.0f}x faster ({gate['growth_assess_surface_ms']} ms "
+        f"vs {gate['growth_assess_oracle_ms']} ms), floor {base['min_growth_speedup']}x"
+    )
+print(
+    f"    cold assess p99 {gate['cold_assess_p99_ms']} ms "
+    f"(ceiling {base['max_cold_assess_p99_ms']} ms); surface error "
+    f"{gate['surface_max_error']} <= tolerance {gate['tolerance']}; "
+    f"{gate['verdict_flips']} flips / {gate['knife_edge']} knife-edge "
+    f"of {gate['verdicts_compared']}; boot {boot_speedup:.1f}x, "
+    f"growth assess {growth_speedup:.0f}x over the oracle wall"
 )
 PYEOF
 

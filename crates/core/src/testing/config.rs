@@ -1,7 +1,7 @@
 //! Configuration for behavior tests.
 
 use crate::error::CoreError;
-use hp_stats::{CalibrationConfig, DistanceKind};
+use hp_stats::{CalibrationConfig, DistanceKind, SurfaceParams};
 
 /// How windows are laid over a range of transactions when the range length
 /// is not a multiple of the window size.
@@ -88,6 +88,7 @@ pub struct BehaviorTestConfig {
     calibration_trials: usize,
     calibration_threads: usize,
     calibration_serial_cutoff: usize,
+    calibration_surface: Option<SurfaceParams>,
     large_k_cutoff: usize,
     p_bucket: f64,
 }
@@ -108,6 +109,7 @@ impl Default for BehaviorTestConfig {
             calibration_trials: 2000,
             calibration_threads: 1,
             calibration_serial_cutoff: 1 << 16,
+            calibration_surface: None,
             large_k_cutoff: 2048,
             p_bucket: 0.005,
         }
@@ -218,6 +220,23 @@ impl BehaviorTestConfig {
         self
     }
 
+    /// Interpolated threshold-surface parameters, when the calibrator
+    /// should precompute one; `None` (the default) serves every threshold
+    /// from the Monte-Carlo oracle cache.
+    pub fn calibration_surface(&self) -> Option<SurfaceParams> {
+        self.calibration_surface
+    }
+
+    /// Returns a copy with the threshold-surface parameters replaced.
+    /// Safe to apply at deployment time: the surface is gated by its own
+    /// measured error bound and falls back to the oracle, and it does not
+    /// participate in the calibrator fingerprint.
+    #[must_use]
+    pub fn with_calibration_surface(mut self, surface: Option<SurfaceParams>) -> Self {
+        self.calibration_surface = surface;
+        self
+    }
+
     /// The calibration configuration induced by this test configuration.
     pub fn calibration_config(&self) -> CalibrationConfig {
         CalibrationConfig {
@@ -228,6 +247,7 @@ impl BehaviorTestConfig {
             large_k_cutoff: self.large_k_cutoff,
             threads: self.calibration_threads,
             serial_cutoff: self.calibration_serial_cutoff,
+            surface: self.calibration_surface,
         }
     }
 
@@ -368,6 +388,13 @@ impl BehaviorTestConfigBuilder {
         self
     }
 
+    /// Sets the interpolated threshold-surface parameters (`None` serves
+    /// every threshold from the Monte-Carlo oracle cache).
+    pub fn calibration_surface(mut self, surface: Option<SurfaceParams>) -> Self {
+        self.config.calibration_surface = surface;
+        self
+    }
+
     /// Sets the window count above which thresholds are extrapolated by
     /// the `1/√k` law instead of simulated.
     pub fn large_k_cutoff(mut self, cutoff: usize) -> Self {
@@ -484,6 +511,33 @@ mod tests {
         assert_eq!(c.max_suffix(), Some(500));
         assert!(c.validate().is_ok());
         assert!(c.with_max_suffix(Some(10)).validate().is_err());
+    }
+
+    #[test]
+    fn calibration_surface_plumbs_through() {
+        let c = BehaviorTestConfig::default();
+        assert_eq!(c.calibration_surface(), None);
+        assert_eq!(c.calibration_config().surface, None);
+        let params = SurfaceParams {
+            tolerance: 0.02,
+            ..Default::default()
+        };
+        let c = BehaviorTestConfig::builder()
+            .calibration_surface(Some(params))
+            .build()
+            .unwrap();
+        assert_eq!(c.calibration_surface(), Some(params));
+        assert_eq!(c.calibration_config().surface, Some(params));
+        let c = c.with_calibration_surface(None);
+        assert_eq!(c.calibration_surface(), None);
+        // Invalid surface params fail whole-config validation.
+        assert!(BehaviorTestConfig::builder()
+            .calibration_surface(Some(SurfaceParams {
+                tolerance: 0.0,
+                ..Default::default()
+            }))
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub(crate) fn finish_test(
     let k = histogram.len() as usize;
     let model = Binomial::new(m, p_hat)?;
     let distance = config.distance().distance(histogram, &model.pmf_table())?;
-    let threshold = calibrator.threshold_at(m, k, p_hat, confidence)?;
+    let (threshold, provenance) =
+        calibrator.threshold_with_provenance(m, k, p_hat, confidence)?;
     let outcome = if distance <= threshold {
         TestOutcome::Honest
     } else {
@@ -77,6 +78,7 @@ pub(crate) fn finish_test(
         distance: Some(distance),
         threshold: Some(threshold),
         confidence,
+        threshold_provenance: Some(provenance),
     })
 }
 

@@ -129,9 +129,13 @@ pub fn shared_calibrator(
     config: &BehaviorTestConfig,
 ) -> Result<Arc<ThresholdCalibrator>, CoreError> {
     config.validate()?;
-    Ok(Arc::new(ThresholdCalibrator::new(
-        config.calibration_config(),
-    )?))
+    let calibrator = ThresholdCalibrator::new(config.calibration_config())?;
+    // Build the interpolated surface (when configured) for the window
+    // size this config tests at, so every consumer of a shared
+    // calibrator — online service, offline reference, simulations —
+    // serves from the same tier and verdicts stay bit-identical.
+    calibrator.ensure_surface_for(config.window_size())?;
+    Ok(Arc::new(calibrator))
 }
 
 #[cfg(test)]

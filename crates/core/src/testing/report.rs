@@ -1,5 +1,6 @@
 //! Structured results of behavior tests.
 
+use hp_stats::ThresholdProvenance;
 use std::fmt;
 
 /// The verdict of a behavior test.
@@ -38,7 +39,7 @@ impl fmt::Display for TestOutcome {
 }
 
 /// The result of one goodness-of-fit test over one range of transactions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WindowTestReport {
     /// The verdict.
     pub outcome: TestOutcome,
@@ -57,6 +58,25 @@ pub struct WindowTestReport {
     /// Confidence level the threshold was calibrated at (after any
     /// multiple-testing correction).
     pub confidence: f64,
+    /// Which calibration tier served the threshold (`None` when
+    /// inconclusive — no threshold was looked up). Audit metadata only:
+    /// deliberately excluded from equality, since the same verdict is
+    /// served cold (Monte Carlo), warm (cache), or interpolated
+    /// (surface) depending on process history.
+    pub threshold_provenance: Option<ThresholdProvenance>,
+}
+
+impl PartialEq for WindowTestReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `threshold_provenance` intentionally omitted (see field docs).
+        self.outcome == other.outcome
+            && self.transactions == other.transactions
+            && self.windows == other.windows
+            && self.p_hat == other.p_hat
+            && self.distance == other.distance
+            && self.threshold == other.threshold
+            && self.confidence == other.confidence
+    }
 }
 
 impl WindowTestReport {
@@ -70,6 +90,7 @@ impl WindowTestReport {
             distance: None,
             threshold: None,
             confidence,
+            threshold_provenance: None,
         }
     }
 
@@ -189,7 +210,19 @@ mod tests {
             distance: Some(0.3),
             threshold: Some(0.5),
             confidence: 0.95,
+            threshold_provenance: Some(ThresholdProvenance::MonteCarlo),
         }
+    }
+
+    #[test]
+    fn provenance_is_audit_metadata_not_identity() {
+        let cold = pass_report(100);
+        let mut warm = pass_report(100);
+        warm.threshold_provenance = Some(ThresholdProvenance::Cache);
+        assert_eq!(cold, warm, "serving tier must not distinguish reports");
+        let mut different = pass_report(100);
+        different.threshold = Some(0.6);
+        assert_ne!(cold, different);
     }
 
     #[test]

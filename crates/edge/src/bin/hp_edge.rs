@@ -4,6 +4,7 @@
 //! hp-edge [--addr HOST:PORT] [--workers N] [--shards N]
 //!         [--calibration-cache PATH] [--assess-deadline-ms N]
 //!         [--calibration-trials N]
+//!         [--calibration-surface] [--calibration-tolerance F]
 //!         [--journal-dir PATH] [--fsync never|batch|every:N]
 //!         [--snapshot-interval-records N] [--snapshot-retain N]
 //!         [--snapshot-no-compact] [--checkpoint-interval-ms N]
@@ -20,7 +21,9 @@
 //! cache.
 
 use hp_edge::{signals, EdgeConfig, EdgeServer};
-use hp_service::{Durability, FsyncPolicy, ServiceConfig, SnapshotPolicy, TieringPolicy};
+use hp_service::{
+    Durability, FsyncPolicy, ServiceConfig, SnapshotPolicy, SurfaceParams, TieringPolicy,
+};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -29,6 +32,7 @@ fn usage() -> ! {
         "usage: hp-edge [--addr HOST:PORT] [--workers N] [--shards N]\n\
          \x20              [--calibration-cache PATH] [--assess-deadline-ms N]\n\
          \x20              [--calibration-trials N]\n\
+         \x20              [--calibration-surface] [--calibration-tolerance F]\n\
          \x20              [--journal-dir PATH] [--fsync never|batch|every:N]\n\
          \x20              [--snapshot-interval-records N] [--snapshot-retain N]\n\
          \x20              [--snapshot-no-compact] [--checkpoint-interval-ms N]\n\
@@ -56,6 +60,7 @@ fn main() {
     let mut fsync = FsyncPolicy::default();
     let mut snapshot_policy: Option<SnapshotPolicy> = None;
     let mut tiering: Option<TieringPolicy> = None;
+    let mut surface: Option<SurfaceParams> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -88,6 +93,24 @@ fn main() {
                 service_config = service_config
                     .with_test(test)
                     .with_prewarm_grid(vec![], vec![]);
+            }
+            // Build the interpolated threshold surface at boot (or load
+            // it from --calibration-cache): cold assessments then serve
+            // thresholds in O(1) instead of waiting on Monte Carlo.
+            // Applied after the flag loop — --calibration-trials
+            // replaces the whole test config, and the surface must
+            // survive that in either flag order.
+            "--calibration-surface" => {
+                surface = Some(surface.unwrap_or_default());
+            }
+            // Surface error tolerance (absolute, on the threshold).
+            // Implies --calibration-surface.
+            "--calibration-tolerance" => {
+                let tolerance: f64 = value().parse().unwrap_or_else(|_| usage());
+                surface = Some(SurfaceParams {
+                    tolerance,
+                    ..surface.unwrap_or_default()
+                });
             }
             "--assess-deadline-ms" => {
                 let millis: u64 = value().parse().unwrap_or_else(|_| usage());
@@ -165,6 +188,9 @@ fn main() {
         }
     }
 
+    if surface.is_some() {
+        service_config = service_config.with_calibration_surface(surface);
+    }
     if let Some(dir) = journal_dir {
         service_config = service_config.with_durability(Durability::Durable { dir, fsync });
         if let Some(policy) = snapshot_policy {

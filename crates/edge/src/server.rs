@@ -750,6 +750,7 @@ fn health(shared: &Shared) -> Reply {
                         stats.tier_summary_bytes,
                         stats.tier_spilled_bytes,
                     ),
+                    Some(service.calibration_readiness()),
                 ),
             )
         }
@@ -759,7 +760,7 @@ fn health(shared: &Shared) -> Reply {
             Reply::json(503, wire::render_warming_health(state, &shared.boot.status()))
         }
         // Draining: not ready for traffic, says so.
-        _ => Reply::json(503, wire::render_health(state, 0, 0, 0, 0, (0, 0, 0))),
+        _ => Reply::json(503, wire::render_health(state, 0, 0, 0, 0, (0, 0, 0), None)),
     }
 }
 

@@ -23,7 +23,10 @@
 use hp_core::twophase::Assessment;
 use hp_core::{ClientId, Feedback, Rating, ServerId};
 use hp_service::obs::{format_trace_id, SpanTree};
-use hp_service::{BootStatus, DegradedAssessment, DegradedReason, IngestOutcome, TracedAssessment};
+use hp_service::{
+    BootStatus, CalibrationReadiness, DegradedAssessment, DegradedReason, IngestOutcome,
+    TracedAssessment,
+};
 use std::sync::Arc;
 
 /// Why an ingest body failed to parse.
@@ -253,7 +256,11 @@ pub fn render_error(error: &str, detail: &str) -> String {
 /// `{"status":"…","shards":N,"failed_shards":M,…}` for `/healthz`.
 /// `history_bytes` is the per-tier residency `(hot_suffix, summary,
 /// spilled)` — the runbook signal for sizing `--spill-budget-bytes`
-/// (spilled counts fault-in cost, not disk usage).
+/// (spilled counts fault-in cost, not disk usage). `calibration`
+/// (absent while draining) reports whether the interpolated threshold
+/// surface is configured and serving — the runbook signal for
+/// `--calibration-surface` deployments: `surface_configured` true with
+/// `surface_ready` false means thresholds fall back to the oracle path.
 pub fn render_health(
     status: &str,
     shards: usize,
@@ -261,11 +268,22 @@ pub fn render_health(
     shard_restarts: u64,
     tracked_servers: usize,
     history_bytes: (u64, u64, u64),
+    calibration: Option<CalibrationReadiness>,
 ) -> String {
+    use std::fmt::Write;
     let (hot_suffix, summary, spilled) = history_bytes;
-    format!(
-        "{{\"status\":\"{status}\",\"shards\":{shards},\"failed_shards\":{failed_shards},\"shard_restarts\":{shard_restarts},\"tracked_servers\":{tracked_servers},\"history_bytes\":{{\"hot_suffix\":{hot_suffix},\"summary\":{summary},\"spilled\":{spilled}}}}}"
-    )
+    let mut out = format!(
+        "{{\"status\":\"{status}\",\"shards\":{shards},\"failed_shards\":{failed_shards},\"shard_restarts\":{shard_restarts},\"tracked_servers\":{tracked_servers},\"history_bytes\":{{\"hot_suffix\":{hot_suffix},\"summary\":{summary},\"spilled\":{spilled}}}"
+    );
+    if let Some(cal) = calibration {
+        let _ = write!(
+            out,
+            ",\"calibration\":{{\"surface_configured\":{},\"surface_ready\":{},\"cache_entries\":{}}}",
+            cal.surface_configured, cal.surface_ready, cal.cache_entries,
+        );
+    }
+    out.push('}');
+    out
 }
 
 /// `/healthz` body while the service is still booting: recovery
@@ -463,13 +481,31 @@ mod tests {
         assert_eq!(json_u64(&body, "accepted"), Some(12));
         assert_eq!(json_u64(&body, "shed"), Some(3));
 
-        let health = render_health("ready", 4, 0, 1, 900, (4096, 512, 8192));
+        let health = render_health(
+            "ready",
+            4,
+            0,
+            1,
+            900,
+            (4096, 512, 8192),
+            Some(CalibrationReadiness {
+                surface_configured: true,
+                surface_ready: true,
+                cache_entries: 615,
+            }),
+        );
         assert_eq!(json_str(&health, "status"), Some("ready"));
         assert_eq!(json_u64(&health, "shards"), Some(4));
         assert_eq!(json_u64(&health, "shard_restarts"), Some(1));
         assert_eq!(json_u64(&health, "hot_suffix"), Some(4096));
         assert_eq!(json_u64(&health, "summary"), Some(512));
         assert_eq!(json_u64(&health, "spilled"), Some(8192));
+        assert_eq!(json_str(&health, "surface_configured"), Some("true"));
+        assert_eq!(json_str(&health, "surface_ready"), Some("true"));
+        assert_eq!(json_u64(&health, "cache_entries"), Some(615));
+
+        let draining = render_health("draining", 0, 0, 0, 0, (0, 0, 0), None);
+        assert!(!draining.contains("calibration"), "{draining}");
 
         let warming = render_warming_health(
             "warming",

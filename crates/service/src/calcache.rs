@@ -11,29 +11,41 @@
 //! so a configuration change silently falls back to online calibration
 //! instead of serving thresholds from a different distribution.
 //!
-//! # Format
+//! # Format (version 2)
 //!
-//! Line-oriented text, one header then one entry per line:
+//! Line-oriented text, one header then one tagged record per line:
 //!
 //! ```text
-//! hpcal 1 <fingerprint as 16 hex digits>
-//! <m> <k> <p_bucket_index> <confidence_millis> <epsilon as f64 bits, 16 hex digits>
+//! hpcal 2 <fingerprint as 16 hex digits>
+//! E <m> <k> <p_bucket_index> <confidence_millis> <epsilon as f64 bits, 16 hex digits>
+//! P <tolerance as f64 bits> <p_stride> <k_min>
+//! S <m> <confidence_millis> <error_bound as f64 bits> <k_grid csv> <p_nodes csv> <values as f64-bits csv>
 //! ```
 //!
-//! ε is stored as raw IEEE-754 bits, so a load → save → load round trip is
-//! bit-exact and warm verdicts stay bit-identical to cold ones. Writes go
-//! through a temporary file renamed into place, so a crash mid-save leaves
-//! the previous cache intact. Individually malformed entry lines are
-//! skipped (and counted), never fatal: losing one cache line costs one
-//! recalibration, not a boot.
+//! `E` records are oracle cache entries; `P` records the surface
+//! parameters the `S` layers were built under (a surface is only
+//! installed when those parameters match the live configuration — the
+//! fingerprint deliberately excludes them, since the surface is an
+//! error-bounded view over the oracle, not a change to it). All floats
+//! are stored as raw IEEE-754 bits, so a load → save → load round trip is
+//! bit-exact and warm verdicts stay bit-identical to cold ones.
+//!
+//! Version-1 files (bare five-field entry lines, no tags, no surface) are
+//! still read, so an upgrade keeps its warm oracle cache and simply
+//! rebuilds the surface from it at boot. Writes go through a temporary
+//! file renamed into place, so a crash mid-save leaves the previous cache
+//! intact. Individually malformed entry lines are skipped (and counted),
+//! never fatal: losing one cache line costs one recalibration, not a
+//! boot.
 
-use hp_stats::{CalibrationEntry, ThresholdCalibrator};
+use hp_stats::{CalibrationEntry, SurfaceLayer, SurfaceParams, ThresholdCalibrator, ThresholdSurface};
 use std::fs;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-/// File format version this module reads and writes.
-const VERSION: u32 = 1;
+/// File format version this module writes.
+const VERSION: u32 = 2;
 
 /// What loading a persisted cache found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,13 +54,19 @@ pub struct CacheLoad {
     pub installed: usize,
     /// Malformed or rejected entry lines skipped.
     pub skipped: usize,
+    /// Precomputed surface layers installed (0 when the file carried no
+    /// surface, its parameters differ from the live configuration, or the
+    /// layers failed validation).
+    pub surface_layers: usize,
     /// The file existed but was recorded under a different fingerprint
     /// (configuration or seed changed) and was ignored wholesale.
     pub stale: bool,
 }
 
 /// Loads `path` into `calibrator` if it exists and its fingerprint
-/// matches. A missing file is a cold boot, not an error.
+/// matches. A missing file is a cold boot, not an error. A persisted
+/// surface is installed only when the calibrator is configured with the
+/// same [`SurfaceParams`] it was built under.
 ///
 /// # Errors
 ///
@@ -65,35 +83,64 @@ pub fn load(path: &Path, calibrator: &ThresholdCalibrator) -> io::Result<CacheLo
         Some(line) => line?,
         None => return Ok(CacheLoad::default()),
     };
-    if !header_matches(&header, calibrator.fingerprint()) {
+    let Some(version) = header_version(&header, calibrator.fingerprint()) else {
         return Ok(CacheLoad {
             stale: true,
             ..CacheLoad::default()
         });
-    }
+    };
     let mut entries = Vec::new();
+    let mut params: Option<SurfaceParams> = None;
+    let mut layers: Vec<SurfaceLayer> = Vec::new();
     let mut skipped = 0usize;
     for line in lines {
         let line = line?;
         if line.is_empty() {
             continue;
         }
-        match parse_entry(&line) {
-            Some(entry) => entries.push(entry),
+        let parsed = if version == 1 {
+            parse_entry(&line).map(Record::Entry)
+        } else {
+            parse_record(&line)
+        };
+        match parsed {
+            Some(Record::Entry(entry)) => entries.push(entry),
+            Some(Record::Params(p)) => params = Some(p),
+            Some(Record::Layer(layer)) => layers.push(layer),
             None => skipped += 1,
         }
     }
     let offered = entries.len();
     let installed = calibrator.preload_cache(entries);
+
+    // Install the persisted surface only when the live configuration asks
+    // for the exact parameters it was built under; otherwise boot rebuilds
+    // (cheaply, from the just-preloaded rows).
+    let mut surface_layers = 0;
+    if let (Some(file_params), false) = (params, layers.is_empty()) {
+        if calibrator.config().surface == Some(file_params) {
+            let count = layers.len();
+            match ThresholdSurface::from_parts(file_params, layers) {
+                Ok(surface) => {
+                    calibrator.install_surface(Arc::new(surface));
+                    surface_layers = count;
+                }
+                Err(_) => skipped += count,
+            }
+        }
+    }
     Ok(CacheLoad {
         installed,
         skipped: skipped + (offered - installed),
+        surface_layers,
         stale: false,
     })
 }
 
-/// Saves `calibrator`'s cache to `path` (creating parent directories),
-/// atomically via a temporary sibling file. Returns the entry count.
+/// Saves `calibrator`'s cache — and its installed surface, when the live
+/// configuration carries surface parameters — to `path` (creating parent
+/// directories), atomically via a temporary sibling file. Returns the
+/// entry count.
 ///
 /// # Errors
 ///
@@ -112,7 +159,7 @@ pub fn save(path: &Path, calibrator: &ThresholdCalibrator) -> io::Result<usize> 
         for e in &entries {
             writeln!(
                 out,
-                "{} {} {} {} {:016x}",
+                "E {} {} {} {} {:016x}",
                 e.m,
                 e.k,
                 e.p_bucket_index,
@@ -120,18 +167,71 @@ pub fn save(path: &Path, calibrator: &ThresholdCalibrator) -> io::Result<usize> 
                 e.epsilon.to_bits()
             )?;
         }
+        if let (Some(params), Some(surface)) = (calibrator.config().surface, calibrator.surface())
+        {
+            writeln!(
+                out,
+                "P {:016x} {} {}",
+                params.tolerance.to_bits(),
+                params.p_stride,
+                params.k_min
+            )?;
+            for layer in surface.layers() {
+                writeln!(
+                    out,
+                    "S {} {} {:016x} {} {} {}",
+                    layer.m,
+                    layer.confidence_millis,
+                    layer.error_bound.to_bits(),
+                    csv(layer.k_grid.iter()),
+                    csv(layer.p_nodes.iter()),
+                    csv(layer.values.iter().map(|v| format!("{:016x}", v.to_bits()))),
+                )?;
+            }
+        }
         out.flush()?;
     }
     fs::rename(&tmp, path)?;
     Ok(entries.len())
 }
 
-fn header_matches(header: &str, fingerprint: u64) -> bool {
+fn csv<I: IntoIterator<Item = T>, T: ToString>(items: I) -> String {
+    items
+        .into_iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses the header; returns the format version if the magic matches and
+/// the recorded fingerprint equals `fingerprint`, `None` otherwise.
+fn header_version(header: &str, fingerprint: u64) -> Option<u32> {
     let mut parts = header.split_ascii_whitespace();
-    parts.next() == Some("hpcal")
-        && parts.next().and_then(|v| v.parse::<u32>().ok()) == Some(VERSION)
-        && parts.next().and_then(|f| u64::from_str_radix(f, 16).ok()) == Some(fingerprint)
-        && parts.next().is_none()
+    if parts.next() != Some("hpcal") {
+        return None;
+    }
+    let version = parts.next().and_then(|v| v.parse::<u32>().ok())?;
+    if !(1..=VERSION).contains(&version) {
+        return None;
+    }
+    let recorded = parts.next().and_then(|f| u64::from_str_radix(f, 16).ok())?;
+    (recorded == fingerprint && parts.next().is_none()).then_some(version)
+}
+
+enum Record {
+    Entry(CalibrationEntry),
+    Params(SurfaceParams),
+    Layer(SurfaceLayer),
+}
+
+fn parse_record(line: &str) -> Option<Record> {
+    let (tag, rest) = line.split_once(' ')?;
+    match tag {
+        "E" => parse_entry(rest).map(Record::Entry),
+        "P" => parse_params(rest).map(Record::Params),
+        "S" => parse_layer(rest).map(Record::Layer),
+        _ => None,
+    }
 }
 
 fn parse_entry(line: &str) -> Option<CalibrationEntry> {
@@ -147,6 +247,41 @@ fn parse_entry(line: &str) -> Option<CalibrationEntry> {
         return None;
     }
     Some(entry)
+}
+
+fn parse_params(rest: &str) -> Option<SurfaceParams> {
+    let mut parts = rest.split_ascii_whitespace();
+    let params = SurfaceParams {
+        tolerance: f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?),
+        p_stride: parts.next()?.parse().ok()?,
+        k_min: parts.next()?.parse().ok()?,
+    };
+    if parts.next().is_some() || params.validate().is_err() {
+        return None;
+    }
+    Some(params)
+}
+
+fn parse_layer(rest: &str) -> Option<SurfaceLayer> {
+    let mut parts = rest.split_ascii_whitespace();
+    let layer = SurfaceLayer {
+        m: parts.next()?.parse().ok()?,
+        confidence_millis: parts.next()?.parse().ok()?,
+        error_bound: f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?),
+        k_grid: parse_csv(parts.next()?, |v| v.parse().ok())?,
+        p_nodes: parse_csv(parts.next()?, |v| v.parse().ok())?,
+        values: parse_csv(parts.next()?, |v| {
+            u64::from_str_radix(v, 16).ok().map(f64::from_bits)
+        })?,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(layer)
+}
+
+fn parse_csv<T>(field: &str, parse: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
+    field.split(',').map(parse).collect()
 }
 
 #[cfg(test)]
@@ -165,10 +300,27 @@ mod tests {
         dir
     }
 
-    fn calibrator(trials: usize) -> ThresholdCalibrator {
-        ThresholdCalibrator::new(CalibrationConfig {
+    /// Coarse p̂ buckets keep row-fill caches small in tests.
+    fn config(trials: usize) -> CalibrationConfig {
+        CalibrationConfig {
             trials,
+            p_bucket: 0.05,
             ..CalibrationConfig::default()
+        }
+    }
+
+    fn calibrator(trials: usize) -> ThresholdCalibrator {
+        ThresholdCalibrator::new(config(trials)).unwrap()
+    }
+
+    fn surfaced_calibrator(trials: usize) -> ThresholdCalibrator {
+        ThresholdCalibrator::new(CalibrationConfig {
+            large_k_cutoff: 64,
+            surface: Some(SurfaceParams {
+                tolerance: 10.0,
+                ..SurfaceParams::default()
+            }),
+            ..config(trials)
         })
         .unwrap()
     }
@@ -180,14 +332,96 @@ mod tests {
         let cold = calibrator(300);
         let a = cold.threshold(10, 30, 0.9).unwrap();
         let b = cold.threshold(10, 60, 0.95).unwrap();
-        assert_eq!(save(&path, &cold).unwrap(), 2);
+        let entries = cold.cache_len();
+        assert_eq!(save(&path, &cold).unwrap(), entries);
 
         let warm = calibrator(300);
         let loaded = load(&path, &warm).unwrap();
-        assert_eq!(loaded, CacheLoad { installed: 2, skipped: 0, stale: false });
+        assert_eq!(
+            loaded,
+            CacheLoad {
+                installed: entries,
+                skipped: 0,
+                surface_layers: 0,
+                stale: false
+            }
+        );
         assert_eq!(warm.threshold(10, 30, 0.9).unwrap().to_bits(), a.to_bits());
         assert_eq!(warm.threshold(10, 60, 0.95).unwrap().to_bits(), b.to_bits());
         assert_eq!(warm.cache_stats(), (2, 0), "no Monte-Carlo on a warm boot");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn surface_round_trips_and_skips_on_param_mismatch() {
+        let dir = tmp_dir("surface");
+        let path = dir.join("cal.hpcal");
+        let cold = surfaced_calibrator(200);
+        assert!(cold.ensure_surface_for(10).unwrap());
+        let layer_count = cold.surface().unwrap().layers().len();
+        assert!(layer_count > 0);
+        save(&path, &cold).unwrap();
+
+        // Same surface params: layers install, no rebuild needed.
+        let warm = surfaced_calibrator(200);
+        let loaded = load(&path, &warm).unwrap();
+        assert_eq!(loaded.surface_layers, layer_count);
+        assert!(!loaded.stale);
+        let jobs_before = warm.stats().oracle_jobs;
+        assert!(warm.ensure_surface_for(10).unwrap(), "already covered");
+        assert_eq!(warm.stats().oracle_jobs, jobs_before);
+        // Served values are bit-identical to the original surface.
+        let p = 0.9;
+        assert_eq!(
+            warm.threshold(10, 20, p).unwrap().to_bits(),
+            cold.threshold(10, 20, p).unwrap().to_bits()
+        );
+
+        // Different tolerance ⇒ persisted layers are ignored (entries
+        // still load; the surface rebuilds from them at boot).
+        let reconfigured = ThresholdCalibrator::new(CalibrationConfig {
+            large_k_cutoff: 64,
+            surface: Some(SurfaceParams {
+                tolerance: 0.25,
+                ..SurfaceParams::default()
+            }),
+            ..config(200)
+        })
+        .unwrap();
+        let loaded = load(&path, &reconfigured).unwrap();
+        assert_eq!(loaded.surface_layers, 0);
+        assert!(loaded.installed > 0);
+        assert!(reconfigured.surface().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_files_still_load_as_plain_entries() {
+        let dir = tmp_dir("v1compat");
+        let path = dir.join("cal.hpcal");
+        let cold = calibrator(300);
+        let a = cold.threshold(10, 30, 0.9).unwrap();
+        // Hand-write a version-1 file: bare entry lines, no tags.
+        let mut text = format!("hpcal 1 {:016x}\n", cold.fingerprint());
+        for e in cold.export_cache() {
+            text.push_str(&format!(
+                "{} {} {} {} {:016x}\n",
+                e.m,
+                e.k,
+                e.p_bucket_index,
+                e.confidence_millis,
+                e.epsilon.to_bits()
+            ));
+        }
+        fs::write(&path, text).unwrap();
+
+        let warm = calibrator(300);
+        let loaded = load(&path, &warm).unwrap();
+        assert_eq!(loaded.installed, cold.cache_len());
+        assert_eq!(loaded.surface_layers, 0);
+        assert!(!loaded.stale);
+        assert_eq!(warm.threshold(10, 30, 0.9).unwrap().to_bits(), a.to_bits());
+        assert_eq!(warm.cache_stats(), (1, 0));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -213,6 +447,9 @@ mod tests {
         assert!(loaded.stale);
         assert_eq!(loaded.installed, 0);
         assert_eq!(reconfigured.cache_len(), 0);
+        // Unknown future versions are stale too, not a parse attempt.
+        fs::write(&path, format!("hpcal 99 {:016x}\n", cold.fingerprint())).unwrap();
+        assert!(load(&path, &cold).unwrap().stale);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -223,17 +460,19 @@ mod tests {
         let cold = calibrator(300);
         cold.threshold(10, 30, 0.9).unwrap();
         cold.threshold(10, 60, 0.9).unwrap();
+        let entries = cold.cache_len();
         save(&path, &cold).unwrap();
 
         let mut text = fs::read_to_string(&path).unwrap();
         text.push_str("totally not an entry\n");
-        text.push_str("1 2 3\n"); // too few fields
+        text.push_str("E 1 2 3\n"); // too few fields
+        text.push_str("S 10 95000 bogus\n"); // malformed layer
         fs::write(&path, text).unwrap();
 
         let warm = calibrator(300);
         let loaded = load(&path, &warm).unwrap();
-        assert_eq!(loaded.installed, 2);
-        assert_eq!(loaded.skipped, 2);
+        assert_eq!(loaded.installed, entries);
+        assert_eq!(loaded.skipped, 3);
         assert!(!loaded.stale);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -246,10 +485,10 @@ mod tests {
         cal.threshold(10, 30, 0.9).unwrap();
         save(&path, &cal).unwrap();
         cal.threshold(10, 60, 0.9).unwrap();
-        assert_eq!(save(&path, &cal).unwrap(), 2);
+        assert_eq!(save(&path, &cal).unwrap(), cal.cache_len());
         assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
         let warm = calibrator(300);
-        assert_eq!(load(&path, &warm).unwrap().installed, 2);
+        assert_eq!(load(&path, &warm).unwrap().installed, cal.cache_len());
         let _ = fs::remove_dir_all(&dir);
     }
 }

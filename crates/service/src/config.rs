@@ -6,6 +6,7 @@ use crate::journal::FsyncPolicy;
 use hp_core::testing::BehaviorTestConfig;
 use hp_core::twophase::ShortHistoryPolicy;
 use hp_core::CoreError;
+use hp_stats::SurfaceParams;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -265,6 +266,13 @@ pub struct ServiceConfig {
     /// configuration change invalidates the file instead of serving
     /// thresholds calibrated under different knobs.
     calibration_cache: Option<PathBuf>,
+    /// Interpolated threshold-surface parameters applied on top of the
+    /// test configuration (`None` leaves the test's own setting — by
+    /// default no surface, every threshold served by the Monte-Carlo
+    /// oracle cache). The surface is gated by its measured error bound
+    /// and falls back to the oracle, so enabling it is a deployment-time
+    /// latency knob, not a semantics change.
+    calibration_surface: Option<SurfaceParams>,
     ingest_policy: IngestPolicy,
     durability: Durability,
     snapshots: Option<SnapshotPolicy>,
@@ -291,6 +299,7 @@ impl Default for ServiceConfig {
             prewarm_p_hats: vec![0.8, 0.9, 0.95],
             calibration_threads: None,
             calibration_cache: None,
+            calibration_surface: None,
             ingest_policy: IngestPolicy::default(),
             durability: Durability::default(),
             snapshots: None,
@@ -375,6 +384,18 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_calibration_cache(mut self, path: impl Into<PathBuf>) -> Self {
         self.calibration_cache = Some(path.into());
+        self
+    }
+
+    /// Enables the interpolated threshold surface with these parameters
+    /// (builder style); `None` reverts to serving every threshold from
+    /// the Monte-Carlo oracle cache. Built at boot (or loaded from the
+    /// persisted calibration cache) for the configured window size, and
+    /// consulted before the cache — with oracle fallback whenever the
+    /// measured error bound exceeds the configured tolerance.
+    #[must_use]
+    pub fn with_calibration_surface(mut self, surface: Option<SurfaceParams>) -> Self {
+        self.calibration_surface = surface;
         self
     }
 
@@ -499,6 +520,9 @@ impl ServiceConfig {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         });
         let mut test = self.test.clone().with_calibration_threads(threads);
+        if self.calibration_surface.is_some() {
+            test = test.with_calibration_surface(self.calibration_surface);
+        }
         if let Some(tiering) = &self.tiering {
             let capped = test
                 .max_suffix()
@@ -511,6 +535,11 @@ impl ServiceConfig {
     /// Where the calibration cache persists across restarts, if anywhere.
     pub fn calibration_cache(&self) -> Option<&std::path::Path> {
         self.calibration_cache.as_deref()
+    }
+
+    /// The configured threshold-surface override, if any.
+    pub fn calibration_surface(&self) -> Option<SurfaceParams> {
+        self.calibration_surface
     }
 
     /// The full-queue policy applied by `ingest_batch`.
@@ -587,6 +616,9 @@ impl ServiceConfig {
             return Err(CoreError::InvalidConfig {
                 reason: "calibration threads must be at least 1 (or None for auto)".into(),
             });
+        }
+        if let Some(surface) = self.calibration_surface {
+            surface.validate()?;
         }
         if let IngestPolicy::Shed | IngestPolicy::TryFor(_) = self.ingest_policy {
             if self.queue_capacity == 0 {
@@ -684,6 +716,28 @@ mod tests {
 
         let zero = ServiceConfig::default().with_calibration_threads(Some(0));
         assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn calibration_surface_flows_into_effective_test() {
+        let off = ServiceConfig::default();
+        assert_eq!(off.calibration_surface(), None);
+        assert_eq!(off.effective_test().calibration_surface(), None);
+
+        let params = SurfaceParams {
+            tolerance: 0.02,
+            ..SurfaceParams::default()
+        };
+        let on = ServiceConfig::default().with_calibration_surface(Some(params));
+        assert_eq!(on.calibration_surface(), Some(params));
+        assert_eq!(on.effective_test().calibration_surface(), Some(params));
+        on.validate().unwrap();
+
+        let bad = ServiceConfig::default().with_calibration_surface(Some(SurfaceParams {
+            tolerance: f64::NAN,
+            ..SurfaceParams::default()
+        }));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

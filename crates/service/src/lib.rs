@@ -74,8 +74,13 @@ pub use metrics::ServiceStats;
 pub use obs::{AssessmentTrace, MetricsRegistry, TracedAssessment};
 pub use replay::{run_replay, OfflineReference, ReplayConfig, ReplayOutcome};
 pub use service::{
-    AssessOutcome, BatchAssessments, CheckpointSummary, DegradedAssessment, DegradedReason,
-    IngestOutcome, ReputationService, ServiceError,
+    AssessOutcome, BatchAssessments, CalibrationReadiness, CheckpointSummary, DegradedAssessment,
+    DegradedReason, IngestOutcome, ReputationService, ServiceError,
 };
 pub use shard::AssessTimings;
 pub use snapshot::{BootProgress, BootStatus};
+
+// Surface parameters ride on `ServiceConfig::with_calibration_surface`;
+// re-exported so front-ends (hp-edge) can build them without a direct
+// hp-stats dependency.
+pub use hp_stats::SurfaceParams;

@@ -152,8 +152,19 @@ pub struct ServiceStats {
     pub calibration_cache_entries: usize,
     /// Threshold lookups answered from the calibration cache.
     pub calibration_cache_hits: u64,
-    /// Threshold lookups that ran a Monte-Carlo calibration.
+    /// Threshold lookups that fell through every warm tier (Monte-Carlo
+    /// row job or single-flight wait).
     pub calibration_cache_misses: u64,
+    /// Threshold lookups served by the interpolated surface.
+    pub calibration_surface_hits: u64,
+    /// Monte-Carlo row jobs executed (each fills a whole p̂ row of the
+    /// cache via common random numbers).
+    pub calibration_oracle_jobs: u64,
+    /// Cache entries inserted by common-random-number row fills.
+    pub calibration_crn_row_fills: u64,
+    /// Threshold lookups that blocked on another thread's in-flight row
+    /// job instead of duplicating it.
+    pub calibration_singleflight_waits: u64,
     /// Feedbacks dropped by the shed / try-for ingest policies.
     pub shed_feedbacks: u64,
     /// Assessments answered from the last-published (degraded) cache.
@@ -244,6 +255,10 @@ impl ServiceStats {
             calibration_cache_entries: 0,
             calibration_cache_hits: 0,
             calibration_cache_misses: 0,
+            calibration_surface_hits: 0,
+            calibration_oracle_jobs: 0,
+            calibration_crn_row_fills: 0,
+            calibration_singleflight_waits: 0,
             shed_feedbacks: counters.shed.load(Ordering::Relaxed),
             degraded_answers: counters.degraded.load(Ordering::Relaxed),
             shard_restarts: counters.restarts.load(Ordering::Relaxed),
@@ -284,6 +299,10 @@ impl ServiceStats {
             calibration_cache_entries: snap.calibration.entries as usize,
             calibration_cache_hits: snap.calibration.hits,
             calibration_cache_misses: snap.calibration.misses,
+            calibration_surface_hits: snap.calibration.surface_hits,
+            calibration_oracle_jobs: snap.calibration.oracle_jobs,
+            calibration_crn_row_fills: snap.calibration.crn_row_fills,
+            calibration_singleflight_waits: snap.calibration.singleflight_waits,
             shed_feedbacks: snap.total(|s| s.shed),
             degraded_answers: snap.total(|s| s.degraded),
             shard_restarts: snap.total(|s| s.restarts),

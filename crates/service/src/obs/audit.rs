@@ -10,6 +10,7 @@
 
 use hp_core::testing::{MultiReport, TestOutcome, TestReport, WindowTestReport};
 use hp_core::{Assessment, ServerId};
+use hp_stats::ThresholdProvenance;
 use std::fmt;
 use std::sync::Arc;
 
@@ -88,6 +89,10 @@ pub struct AssessmentTrace {
     pub distance: Option<f64>,
     /// Calibrated threshold ε the distance was compared against.
     pub threshold: Option<f64>,
+    /// Which calibration tier served the binding threshold (surface,
+    /// cache, or a fresh Monte-Carlo job). Audit metadata: the threshold
+    /// value is identical whichever tier served it.
+    pub threshold_provenance: Option<ThresholdProvenance>,
     /// `threshold − distance`: positive = pass, negative = fail, and its
     /// magnitude is how close the call was.
     pub margin: Option<f64>,
@@ -173,6 +178,7 @@ impl AssessmentTrace {
             p_hat: binding.and_then(|w| w.p_hat),
             distance: binding.and_then(|w| w.distance),
             threshold: binding.and_then(|w| w.threshold),
+            threshold_provenance: binding.and_then(|w| w.threshold_provenance),
             margin: binding.and_then(WindowTestReport::margin),
             confidence: binding.map_or(0.0, |w| w.confidence),
             from_cache,
@@ -202,10 +208,12 @@ impl fmt::Display for AssessmentTrace {
         )?;
         writeln!(
             f,
-            "  phase 1: p_hat={} distance(L1)={} threshold={} margin={} confidence={:.4}",
+            "  phase 1: p_hat={} distance(L1)={} threshold={} source={} margin={} confidence={:.4}",
             opt(self.p_hat),
             opt(self.distance),
             opt(self.threshold),
+            self.threshold_provenance
+                .map_or_else(|| "-".to_string(), |p| p.to_string()),
             opt(self.margin),
             self.confidence,
         )?;
@@ -233,6 +241,7 @@ mod tests {
             distance: Some(distance),
             threshold: Some(threshold),
             confidence: 0.95,
+            threshold_provenance: Some(ThresholdProvenance::Surface),
         }
     }
 
@@ -247,6 +256,10 @@ mod tests {
         assert_eq!(trace.verdict, TraceVerdict::Accepted);
         assert_eq!(trace.binding_suffix_len, None);
         assert_eq!(trace.suffixes_tested, 1);
+        assert_eq!(
+            trace.threshold_provenance,
+            Some(ThresholdProvenance::Surface)
+        );
         assert!((trace.margin.unwrap() - 0.2).abs() < 1e-12);
         assert!((trace.trust.unwrap() - 0.9).abs() < 1e-12);
     }
@@ -336,6 +349,7 @@ mod tests {
         assert_eq!(trace.outcome, TestOutcome::Inconclusive);
         assert_eq!(trace.distance, None);
         assert_eq!(trace.margin, None);
+        assert_eq!(trace.threshold_provenance, None);
         assert_eq!(trace.suffixes_tested, 0);
         assert_eq!(trace.binding_suffix_len, Some(30), "longest suffix reported");
     }
@@ -350,6 +364,7 @@ mod tests {
         assert!(text.contains("verdict=rejected"), "{text}");
         assert!(text.contains("distance(L1)=0.8000"), "{text}");
         assert!(text.contains("threshold=0.5000"), "{text}");
+        assert!(text.contains("source=surface"), "{text}");
         assert!(text.contains("margin=-0.3000"), "{text}");
     }
 }

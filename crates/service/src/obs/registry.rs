@@ -36,16 +36,22 @@ pub enum LatencyPath {
     /// End-to-end assess as the caller sees it: send, queue wait,
     /// compute, reply (degraded answers included).
     AssessE2e,
+    /// Calibration wall time inside an assessment: Monte-Carlo row jobs
+    /// plus single-flight waits on another thread's job, attributed to
+    /// the serving thread. Recorded only when nonzero — warm serves
+    /// (cache or surface hits) contribute nothing here.
+    AssessCalibration,
 }
 
 impl LatencyPath {
     /// Every path, in exposition order.
-    pub const ALL: [LatencyPath; 5] = [
+    pub const ALL: [LatencyPath; 6] = [
         LatencyPath::IngestApply,
         LatencyPath::JournalAppend,
         LatencyPath::JournalFsync,
         LatencyPath::AssessCompute,
         LatencyPath::AssessE2e,
+        LatencyPath::AssessCalibration,
     ];
 
     /// Stable metric-name stem (`hp_<stem>_latency_seconds`).
@@ -56,6 +62,7 @@ impl LatencyPath {
             LatencyPath::JournalFsync => "journal_fsync",
             LatencyPath::AssessCompute => "assess_compute",
             LatencyPath::AssessE2e => "assess_e2e",
+            LatencyPath::AssessCalibration => "assess_calibration",
         }
     }
 
@@ -64,8 +71,13 @@ impl LatencyPath {
             LatencyPath::IngestApply => "Per-feedback latency from ingest accept to state apply",
             LatencyPath::JournalAppend => "Journal append_batch wall time per batch",
             LatencyPath::JournalFsync => "Journal fsync time per synced batch",
-            LatencyPath::AssessCompute => "In-worker assessment compute time per served verdict",
+            LatencyPath::AssessCompute => {
+                "In-worker assessment compute time per served verdict (calibration excluded)"
+            }
             LatencyPath::AssessE2e => "End-to-end assessment latency as seen by the caller",
+            LatencyPath::AssessCalibration => {
+                "Calibration wall time (Monte-Carlo jobs and single-flight waits) per assessment"
+            }
         }
     }
 
@@ -76,6 +88,7 @@ impl LatencyPath {
             LatencyPath::JournalFsync => 2,
             LatencyPath::AssessCompute => 3,
             LatencyPath::AssessE2e => 4,
+            LatencyPath::AssessCalibration => 5,
         }
     }
 }
@@ -201,15 +214,24 @@ impl ShardSnapshot {
     }
 }
 
-/// Sampled threshold-calibration cache statistics.
+/// Sampled threshold-calibration statistics (cache tiers plus the
+/// common-random-number Monte-Carlo engine behind them).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CalibrationGauges {
     /// Entries resident in the shared calibration cache.
     pub entries: u64,
     /// Threshold lookups answered from the cache.
     pub hits: u64,
-    /// Threshold lookups that ran a Monte-Carlo calibration.
+    /// Threshold lookups that fell through every warm tier.
     pub misses: u64,
+    /// Threshold lookups served by the interpolated surface.
+    pub surface_hits: u64,
+    /// Monte-Carlo row jobs executed (each fills a whole p̂ row).
+    pub oracle_jobs: u64,
+    /// Cache entries inserted by common-random-number row fills.
+    pub crn_row_fills: u64,
+    /// Lookups that blocked on another thread's in-flight row job.
+    pub singleflight_waits: u64,
 }
 
 /// A coherent point-in-time copy of the whole registry.
@@ -249,10 +271,8 @@ impl RegistrySnapshot {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     shards: Vec<ShardMetrics>,
-    hists: [LatencyHistogram; 5],
-    calibration_entries: AtomicU64,
-    calibration_hits: AtomicU64,
-    calibration_misses: AtomicU64,
+    hists: [LatencyHistogram; 6],
+    calibration: Mutex<CalibrationGauges>,
     tracer: Tracer,
     started: Instant,
     build_info: Mutex<String>,
@@ -265,9 +285,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
             hists: Default::default(),
-            calibration_entries: AtomicU64::new(0),
-            calibration_hits: AtomicU64::new(0),
-            calibration_misses: AtomicU64::new(0),
+            calibration: Mutex::new(CalibrationGauges::default()),
             tracer: Tracer::new(shards, trace_capacity, tracing),
             started: Instant::now(),
             build_info: Mutex::new(format!(
@@ -343,12 +361,13 @@ impl MetricsRegistry {
         self.hists[path.index()].snapshot()
     }
 
-    /// Stores sampled calibration-cache statistics (set by the service
-    /// front end before snapshots/exposition are taken).
-    pub fn set_calibration(&self, entries: u64, hits: u64, misses: u64) {
-        self.calibration_entries.store(entries, Ordering::Relaxed);
-        self.calibration_hits.store(hits, Ordering::Relaxed);
-        self.calibration_misses.store(misses, Ordering::Relaxed);
+    /// Stores sampled calibration statistics (set by the service front
+    /// end before snapshots/exposition are taken).
+    pub fn set_calibration(&self, gauges: CalibrationGauges) {
+        *self
+            .calibration
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = gauges;
     }
 
     /// Stores a sampled queue depth for `shard`.
@@ -382,11 +401,10 @@ impl MetricsRegistry {
                 .iter()
                 .map(|&p| (p, self.hists[p.index()].snapshot()))
                 .collect(),
-            calibration: CalibrationGauges {
-                entries: self.calibration_entries.load(Ordering::Relaxed),
-                hits: self.calibration_hits.load(Ordering::Relaxed),
-                misses: self.calibration_misses.load(Ordering::Relaxed),
-            },
+            calibration: *self
+                .calibration
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
             trace_dropped: self.tracer.dropped(),
             queue_waits: self.shards.iter().map(|m| m.queue_wait.snapshot()).collect(),
             utilizations: self
@@ -564,8 +582,28 @@ pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
         ),
         (
             "hp_calibration_cache_misses_total",
-            "Threshold lookups that ran a Monte-Carlo calibration",
+            "Threshold lookups that fell through every warm tier",
             cal.misses,
+        ),
+        (
+            "hp_calibration_surface_hits_total",
+            "Threshold lookups served by the interpolated surface",
+            cal.surface_hits,
+        ),
+        (
+            "hp_calibration_oracle_jobs_total",
+            "Monte-Carlo row jobs executed by the calibrator",
+            cal.oracle_jobs,
+        ),
+        (
+            "hp_calibration_crn_row_fills_total",
+            "Cache entries filled by common-random-number row jobs",
+            cal.crn_row_fills,
+        ),
+        (
+            "hp_calibration_singleflight_waits_total",
+            "Lookups that waited on another thread's in-flight row job",
+            cal.singleflight_waits,
         ),
         (
             "hp_trace_events_dropped_total",
@@ -670,10 +708,15 @@ pub fn render_json(snap: &RegistrySnapshot) -> String {
     );
     let _ = writeln!(
         out,
-        "  \"calibration\": {{\"entries\":{},\"hits\":{},\"misses\":{}}},\n  \"shards\": {}",
+        "  \"calibration\": {{\"entries\":{},\"hits\":{},\"misses\":{},\"surface_hits\":{},\
+         \"oracle_jobs\":{},\"crn_row_fills\":{},\"singleflight_waits\":{}}},\n  \"shards\": {}",
         snap.calibration.entries,
         snap.calibration.hits,
         snap.calibration.misses,
+        snap.calibration.surface_hits,
+        snap.calibration.oracle_jobs,
+        snap.calibration.crn_row_fills,
+        snap.calibration.singleflight_waits,
         snap.shards.len(),
     );
     out.push_str("}\n");
@@ -706,7 +749,15 @@ mod tests {
         reg.set_queue_depth(1, 7);
         reg.shard(0).last_apply_version.store(10, Ordering::Relaxed);
         reg.record_latency(LatencyPath::AssessE2e, 1_000);
-        reg.set_calibration(3, 40, 2);
+        reg.set_calibration(CalibrationGauges {
+            entries: 3,
+            hits: 40,
+            misses: 2,
+            surface_hits: 17,
+            oracle_jobs: 2,
+            crn_row_fills: 402,
+            singleflight_waits: 1,
+        });
 
         let snap = reg.snapshot();
         assert_eq!(snap.shards.len(), 2);
@@ -718,6 +769,10 @@ mod tests {
         assert_eq!(snap.latency(LatencyPath::AssessE2e).count, 1);
         assert_eq!(snap.latency(LatencyPath::IngestApply).count, 0);
         assert_eq!(snap.calibration.hits, 40);
+        assert_eq!(snap.calibration.surface_hits, 17);
+        assert_eq!(snap.calibration.oracle_jobs, 2);
+        assert_eq!(snap.calibration.crn_row_fills, 402);
+        assert_eq!(snap.calibration.singleflight_waits, 1);
     }
 
     #[test]
@@ -729,6 +784,7 @@ mod tests {
         reg.record_latency(LatencyPath::JournalFsync, 900_000);
         reg.record_latency(LatencyPath::AssessCompute, 8_000);
         reg.record_latency(LatencyPath::AssessE2e, 15_000);
+        reg.record_latency(LatencyPath::AssessCalibration, 3_000_000);
 
         reg.shard(1).counters.add_tier_compacted(640);
         reg.set_tier_bytes(1, 4096, 512, 8192);
@@ -750,7 +806,13 @@ mod tests {
             "hp_journal_fsync_latency_seconds_sum 0.0009",
             "hp_assess_compute_latency_seconds_count 1",
             "hp_assess_e2e_latency_quantile_seconds{quantile=\"0.99\"}",
+            "hp_assess_calibration_latency_seconds_count 1",
+            "# TYPE hp_assess_calibration_latency_seconds histogram",
             "hp_calibration_cache_entries 0",
+            "hp_calibration_surface_hits_total 0",
+            "hp_calibration_oracle_jobs_total 0",
+            "hp_calibration_crn_row_fills_total 0",
+            "hp_calibration_singleflight_waits_total 0",
             "hp_trace_events_dropped_total 0",
             "# TYPE hp_ingest_apply_latency_seconds histogram",
             "# TYPE hp_shard_queue_depth gauge",

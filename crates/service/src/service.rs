@@ -5,7 +5,8 @@ use crate::faults::ShardFaults;
 use crate::journal::{FileJournal, JournalStore};
 use crate::metrics::{Counters, ServiceStats};
 use crate::obs::{
-    AssessmentTrace, LatencyPath, MetricsRegistry, TraceEvent, TraceKind, TracedAssessment,
+    AssessmentTrace, CalibrationGauges, LatencyPath, MetricsRegistry, TraceEvent, TraceKind,
+    TracedAssessment,
 };
 use crate::shard::{
     AssessTimings, Command, Published, ShardContext, ShardHandle, ShardSnapshot, ShardSnapshots,
@@ -14,7 +15,7 @@ use crate::shard::{
 use crate::snapshot::{BootProgress, SnapshotStore};
 use crate::supervisor::spawn_supervised_shard;
 use crossbeam::channel::{self, RecvTimeoutError, SendTimeoutError, TrySendError};
-use hp_core::testing::{shared_calibrator, MultiBehaviorTest};
+use hp_core::testing::MultiBehaviorTest;
 use hp_core::twophase::Assessment;
 use hp_core::{CoreError, Feedback, ServerId};
 use hp_stats::ThresholdCalibrator;
@@ -36,6 +37,23 @@ pub struct CheckpointSummary {
     pub journal_records_compacted: u64,
     /// Calibration thresholds persisted alongside the checkpoint.
     pub calibration_entries: usize,
+}
+
+/// Calibration serving readiness, reported by
+/// [`ReputationService::calibration_readiness`] for health endpoints: a
+/// deployment that configured a threshold surface is "ready" once the
+/// surface actually serves the effective window size within its error
+/// bound (a surface whose measured bound exceeded the tolerance is
+/// installed but bypassed — `surface_ready` stays false).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationReadiness {
+    /// Whether an interpolated threshold surface is configured.
+    pub surface_configured: bool,
+    /// Whether a built surface currently serves the effective test's
+    /// window size within its measured error bound.
+    pub surface_ready: bool,
+    /// Entries resident in the shared calibration cache.
+    pub cache_entries: usize,
 }
 
 /// Errors surfaced by [`ReputationService`].
@@ -290,16 +308,29 @@ impl ReputationService {
         // parallel; chunked calibration RNG keeps the resulting thresholds
         // bit-identical to a serial (offline) calibrator's.
         let effective_test = config.effective_test();
-        let calibrator = shared_calibrator(&effective_test)?;
+        let calibrator = Arc::new(
+            ThresholdCalibrator::new(effective_test.calibration_config())
+                .map_err(CoreError::from)?,
+        );
 
         // Load the persisted calibration cache (if configured) *before*
-        // pre-warming: on a warm restart the grid below then answers from
-        // the loaded entries and no Monte-Carlo job runs at all. A
-        // missing, stale, or partly corrupt file degrades to online
-        // calibration — the file is a cache, never a source of truth.
+        // building the surface or pre-warming: on a warm restart the
+        // surface installs straight from the file (or rebuilds from the
+        // preloaded rows without Monte Carlo) and the grid below answers
+        // from the loaded entries. A missing, stale, or partly corrupt
+        // file degrades to online calibration — the file is a cache,
+        // never a source of truth.
         if let Some(path) = config.calibration_cache() {
             let _ = crate::calcache::load(path, &calibrator);
         }
+
+        // Build (or verify) the interpolated threshold surface for the
+        // window size this deployment tests at. A no-op when the persisted
+        // cache already installed matching layers, cheap when it preloaded
+        // the oracle rows, a full grid calibration on a true cold boot.
+        calibrator
+            .ensure_surface_for(effective_test.window_size())
+            .map_err(CoreError::from)?;
 
         // Pre-warm: evaluating a synthetic honest history of length n at
         // quality p requests exactly the (m, k, p̂-bucket, confidence)
@@ -832,9 +863,33 @@ impl ReputationService {
         for (shard, handle) in self.shards.iter().enumerate() {
             self.obs.set_queue_depth(shard, handle.queue_depth() as u64);
         }
-        let (hits, misses) = self.calibrator.cache_stats();
-        self.obs
-            .set_calibration(self.calibrator.cache_len() as u64, hits, misses);
+        let stats = self.calibrator.stats();
+        self.obs.set_calibration(CalibrationGauges {
+            entries: self.calibrator.cache_len() as u64,
+            hits: stats.hits,
+            misses: stats.misses,
+            surface_hits: stats.surface_hits,
+            oracle_jobs: stats.oracle_jobs,
+            crn_row_fills: stats.crn_row_fills,
+            singleflight_waits: stats.singleflight_waits,
+        });
+    }
+
+    /// Calibration serving readiness, for health endpoints: whether an
+    /// interpolated threshold surface is configured and currently serving
+    /// the effective test's window size, plus resident cache entries.
+    pub fn calibration_readiness(&self) -> CalibrationReadiness {
+        let m = self.config.effective_test().window_size();
+        let surface_configured = self.calibrator.config().surface.is_some();
+        let surface_ready = self
+            .calibrator
+            .surface()
+            .is_some_and(|s| s.serves(m));
+        CalibrationReadiness {
+            surface_configured,
+            surface_ready,
+            cache_entries: self.calibrator.cache_len(),
+        }
     }
 
     /// Writes the calibration cache to the configured

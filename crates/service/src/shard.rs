@@ -50,7 +50,13 @@ pub struct AssessTimings {
     /// dequeued it, in nanoseconds.
     pub queue_wait_ns: u64,
     /// Phase-1 + phase-2 compute time inside the worker, in nanoseconds.
+    /// Includes any calibration wait — `compute_ns - calibration_ns` is
+    /// the pure statistical compute.
     pub compute_ns: u64,
+    /// Portion of `compute_ns` spent inside the threshold calibrator
+    /// (Monte-Carlo row jobs and single-flight waits). Zero on warm
+    /// serves — cache and surface lookups are not metered.
+    pub calibration_ns: u64,
     /// Whether the versioned cache answered the assessment.
     pub from_cache: bool,
 }
@@ -804,6 +810,7 @@ fn assess_one(
     trace: u64,
 ) -> AssessReply {
     ctx.counters().add_served(1);
+    let cal0 = hp_stats::thread_calibration_nanos();
     let t0 = Instant::now();
     let reply = match states.get_mut(&server) {
         Some(state) => {
@@ -836,8 +843,21 @@ fn assess_one(
         }
     };
     let compute_ns = t0.elapsed().as_nanos() as u64;
-    ctx.obs
-        .record_latency_traced(LatencyPath::AssessCompute, compute_ns, trace);
+    // Calibration wait is attributed to its own histogram so cold-start
+    // threshold computation never pollutes the compute path's quantiles;
+    // the timings keep the total so e2e = queue wait + compute holds.
+    let calibration_ns = hp_stats::thread_calibration_nanos()
+        .saturating_sub(cal0)
+        .min(compute_ns);
+    ctx.obs.record_latency_traced(
+        LatencyPath::AssessCompute,
+        compute_ns - calibration_ns,
+        trace,
+    );
+    if calibration_ns > 0 {
+        ctx.obs
+            .record_latency_traced(LatencyPath::AssessCalibration, calibration_ns, trace);
+    }
     if let Ok((_, from_cache)) = &reply {
         ctx.obs.tracer().emit_traced(
             ctx.shard,
@@ -854,6 +874,7 @@ fn assess_one(
             AssessTimings {
                 queue_wait_ns,
                 compute_ns,
+                calibration_ns,
                 from_cache,
             },
         )

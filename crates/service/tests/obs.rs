@@ -161,7 +161,13 @@ fn prometheus_exposition_covers_the_catalogue() {
         "hp_ingest_apply_latency_quantile_seconds{quantile=\"0.5\"}",
         "hp_assess_e2e_latency_quantile_seconds{quantile=\"0.99\"}",
         "hp_calibration_cache_entries",
+        "hp_calibration_cache_hits_total",
         "hp_calibration_cache_misses_total",
+        "hp_calibration_surface_hits_total",
+        "hp_calibration_oracle_jobs_total",
+        "hp_calibration_crn_row_fills_total",
+        "hp_calibration_singleflight_waits_total",
+        "hp_assess_calibration_latency_seconds_count",
         "hp_trace_events_dropped_total",
     ] {
         assert!(text.contains(required), "missing `{required}` in:\n{text}");
@@ -171,6 +177,84 @@ fn prometheus_exposition_covers_the_catalogue() {
     for key in ["\"ingest_apply\"", "\"assess_e2e\"", "\"p99_ns\"", "\"totals\""] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }
+}
+
+/// Value of an unlabeled gauge/counter line in a Prometheus exposition.
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| {
+            let (metric, value) = line.split_once(' ')?;
+            (metric == name).then(|| value.parse().unwrap())
+        })
+        .unwrap_or_else(|| panic!("no `{name}` sample in:\n{text}"))
+}
+
+/// The calibration counters attribute every threshold to its serving
+/// tier, and `calibration_readiness` reports whether the interpolated
+/// surface is the one serving.
+#[test]
+fn calibration_metrics_and_readiness_track_the_serving_tiers() {
+    // Oracle-only service: the cold assess runs Monte-Carlo row jobs and
+    // records the calibration wait as its own latency path.
+    let service = ReputationService::new(fast_config(1)).unwrap();
+    let readiness = service.calibration_readiness();
+    assert!(!readiness.surface_configured);
+    assert!(!readiness.surface_ready);
+
+    let server = ServerId::new(3);
+    service.ingest_batch(feedbacks_for(server, 300, 13)).unwrap();
+    service.assess(server).unwrap();
+    let text = service.render_prometheus();
+    for metric in [
+        "hp_calibration_cache_misses_total",
+        "hp_calibration_oracle_jobs_total",
+        "hp_calibration_crn_row_fills_total",
+        "hp_assess_calibration_latency_seconds_count",
+    ] {
+        assert!(
+            metric_value(&text, metric) > 0.0,
+            "{metric} must move on a cold oracle assess"
+        );
+    }
+    assert!(service.calibration_readiness().cache_entries > 0);
+
+    // A second server of the same length re-uses the filled rows.
+    let other = ServerId::new(4);
+    service.ingest_batch(feedbacks_for(other, 300, 17)).unwrap();
+    service.assess(other).unwrap();
+    let text = service.render_prometheus();
+    assert!(metric_value(&text, "hp_calibration_cache_hits_total") > 0.0);
+
+    // Surface-backed service: readiness flips and lookups land on the
+    // surface tier. The generous tolerance keeps the 300-trial build
+    // (noisier than the service default) within its error bound.
+    let surface = hp_service::SurfaceParams {
+        tolerance: 0.5,
+        ..hp_service::SurfaceParams::default()
+    };
+    let config = ServiceConfig::default()
+        .with_shards(1)
+        .with_test(
+            BehaviorTestConfig::builder()
+                .calibration_trials(300)
+                .large_k_cutoff(256)
+                .calibration_surface(Some(surface))
+                .build()
+                .unwrap(),
+        )
+        .with_prewarm_grid(vec![], vec![]);
+    let service = ReputationService::new(config).unwrap();
+    let readiness = service.calibration_readiness();
+    assert!(readiness.surface_configured);
+    assert!(readiness.surface_ready, "built surface must serve m");
+
+    service.ingest_batch(feedbacks_for(server, 600, 13)).unwrap();
+    service.assess(server).unwrap();
+    let text = service.render_prometheus();
+    assert!(
+        metric_value(&text, "hp_calibration_surface_hits_total") > 0.0,
+        "suffix rows with k >= k_min must be served by the surface"
+    );
 }
 
 #[test]

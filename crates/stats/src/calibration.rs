@@ -6,6 +6,14 @@
 //! and picks ε at the 95% confidence point. [`ThresholdCalibrator`]
 //! implements exactly that, plus the engineering the paper glosses over:
 //!
+//! * **common random numbers** — one batch of `k` sorted uniform draws per
+//!   `(m, k)` is pushed through every p̂ bucket's binomial inverse cdf, so
+//!   a single Monte-Carlo job calibrates the *entire p̂ row* of the cache
+//!   (every bucket × a ladder of confidence levels) instead of one key,
+//! * **single-flight dedup** — concurrent misses on the same `(m, k)` row
+//!   wait for one in-flight job instead of each running their own,
+//! * **an interpolated threshold surface** ([`crate::surface`]) consulted
+//!   before the cache, with a measured error bound and oracle fallback,
 //! * **caching** keyed by `(m, k, p̂-bucket, confidence)` so that the
 //!   strategic attacker loop and the multi-test (which call this thousands
 //!   of times with nearly identical parameters) stay fast,
@@ -22,11 +30,16 @@ use crate::binomial::Binomial;
 use crate::distance::DistanceKind;
 use crate::empirical::Histogram;
 use crate::error::StatsError;
-use crate::quantile::quantile;
+use crate::quantile::quantile_sorted;
 use crate::rng::{derive_seed, seeded_rng};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::surface::{SurfaceLayer, SurfaceParams, ThresholdSurface};
+use parking_lot::{Mutex, RwLock};
+use rand::RngExt;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
 
 /// Configuration for [`ThresholdCalibrator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,11 +67,21 @@ pub struct CalibrationConfig {
     /// per-chunk RNG streams (see [`ThresholdCalibrator`]), so any
     /// `threads` value produces bit-identical thresholds.
     pub threads: usize,
-    /// Jobs with `trials * k` below this run serially regardless of
-    /// `threads` — thread spawn/join overhead dwarfs small jobs (default
+    /// Jobs with `trials · k · buckets` below this run serially regardless
+    /// of `threads` — thread spawn/join overhead dwarfs small jobs (default
     /// `1 << 16`; `0` parallelizes everything). A pure performance knob:
     /// chunked RNG streams make the output identical either way.
     pub serial_cutoff: usize,
+    /// When set, an interpolated threshold surface is built over the
+    /// oracle (see [`ThresholdCalibrator::ensure_surface_for`]) and
+    /// consulted before the cache. `None` (the default) serves every
+    /// threshold from the oracle row cache.
+    ///
+    /// Deliberately excluded from [`ThresholdCalibrator::fingerprint`]:
+    /// the surface is gated by its own measured error bound and falls
+    /// back to the oracle, so it never changes what the *oracle*
+    /// thresholds are.
+    pub surface: Option<SurfaceParams>,
 }
 
 impl Default for CalibrationConfig {
@@ -71,6 +94,7 @@ impl Default for CalibrationConfig {
             large_k_cutoff: 2048,
             threads: 1,
             serial_cutoff: 1 << 16,
+            surface: None,
         }
     }
 }
@@ -81,7 +105,8 @@ impl CalibrationConfig {
     /// # Errors
     ///
     /// Returns the first violated constraint: trials ≥ 2, confidence and
-    /// p_bucket in (0, 1), cutoff ≥ 2, threads ≥ 1.
+    /// p_bucket in (0, 1), cutoff ≥ 2, threads ≥ 1, and (when a surface
+    /// is configured) [`SurfaceParams::validate`].
     pub fn validate(&self) -> Result<(), StatsError> {
         if self.trials < 2 {
             return Err(StatsError::InvalidCount {
@@ -110,6 +135,9 @@ impl CalibrationConfig {
                 what: "calibration threads",
                 value: 0,
             });
+        }
+        if let Some(surface) = &self.surface {
+            surface.validate()?;
         }
         Ok(())
     }
@@ -146,6 +174,95 @@ pub struct CalibrationEntry {
     pub epsilon: f64,
 }
 
+/// Where a served threshold came from, tagged into the audit trail so
+/// every verdict records whether its ε was interpolated (surface), read
+/// back (cache), or freshly simulated (Monte Carlo).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThresholdProvenance {
+    /// Interpolated from the precomputed threshold surface (within its
+    /// measured error bound).
+    Surface,
+    /// Answered from the oracle row cache (an earlier job calibrated it).
+    Cache,
+    /// A Monte-Carlo row job ran (or was waited on) for this request.
+    MonteCarlo,
+}
+
+impl std::fmt::Display for ThresholdProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ThresholdProvenance::Surface => "surface",
+            ThresholdProvenance::Cache => "cache",
+            ThresholdProvenance::MonteCarlo => "monte_carlo",
+        })
+    }
+}
+
+/// Lifetime counters for one [`ThresholdCalibrator`] (all monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalibrationStats {
+    /// Lookups answered from the row cache.
+    pub hits: u64,
+    /// Lookups that missed both surface and cache (a row job ran, or was
+    /// waited on).
+    pub misses: u64,
+    /// Lookups answered by the interpolated surface.
+    pub surface_hits: u64,
+    /// Monte-Carlo row jobs actually executed (single-flight leaders).
+    pub oracle_jobs: u64,
+    /// Cache entries inserted by common-random-number row fills.
+    pub crn_row_fills: u64,
+    /// Lookups that slept on another thread's in-flight row job instead
+    /// of running their own.
+    pub singleflight_waits: u64,
+}
+
+thread_local! {
+    /// Per-thread total wall time spent inside calibration misses (row
+    /// jobs run by this thread plus single-flight waits). The service
+    /// shard reads the delta around an assessment to attribute
+    /// calibration wait separately from compute.
+    static CALIBRATION_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotone per-thread nanoseconds spent blocked on threshold
+/// calibration (Monte-Carlo row jobs plus single-flight waits). Sampling
+/// it before and after a call that may calibrate yields that call's
+/// calibration wall time; threads that never calibrate read 0.
+pub fn thread_calibration_nanos() -> u64 {
+    CALIBRATION_NANOS.with(|c| c.get())
+}
+
+fn add_calibration_nanos(ns: u64) {
+    CALIBRATION_NANOS.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+/// Halvings on the precomputed confidence ladder: a row job fills every
+/// bucket at `1 − (1 − confidence)/2^j` for `j ∈ 0..=LADDER_LEVELS`,
+/// which is exactly the Bonferroni-corrected per-test confidence the
+/// multi-test requests for up to `2^LADDER_LEVELS` simultaneous tests —
+/// so multi-test lookups land on prefilled keys.
+const LADDER_LEVELS: u32 = 16;
+
+/// The `(quantized, exact)` confidence ladder for a base confidence,
+/// deduplicated by quantized key (high rungs collapse once the halving
+/// falls below the quantization step).
+fn confidence_ladder(confidence: f64) -> Vec<(u32, f64)> {
+    let mut ladder: Vec<(u32, f64)> = Vec::with_capacity(LADDER_LEVELS as usize + 1);
+    for j in 0..=LADDER_LEVELS {
+        let c = 1.0 - (1.0 - confidence) / (1u64 << j) as f64;
+        let millis = quantize_confidence(c);
+        if !ladder.iter().any(|&(q, _)| q == millis) {
+            ladder.push((millis, c));
+        }
+    }
+    ladder
+}
+
+fn quantize_confidence(confidence: f64) -> u32 {
+    (confidence * 100_000.0).round() as u32
+}
+
 /// Calibrates and caches goodness-of-fit thresholds.
 ///
 /// # Examples
@@ -153,7 +270,10 @@ pub struct CalibrationEntry {
 /// ```
 /// use hp_stats::{CalibrationConfig, ThresholdCalibrator};
 ///
-/// let cal = ThresholdCalibrator::new(CalibrationConfig::default())?;
+/// let cal = ThresholdCalibrator::new(CalibrationConfig {
+///     trials: 200,
+///     ..CalibrationConfig::default()
+/// })?;
 /// // 95% of honest B(10, 0.9) window-count samples of size 40 sit below ε:
 /// let eps = cal.threshold(10, 40, 0.9)?;
 /// assert!(eps > 0.0 && eps < 2.0);
@@ -166,6 +286,19 @@ pub struct ThresholdCalibrator {
     cache: RwLock<HashMap<CacheKey, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    surface_hits: AtomicU64,
+    oracle_jobs: AtomicU64,
+    crn_row_fills: AtomicU64,
+    singleflight_waits: AtomicU64,
+    /// `(m, k)` rows with a Monte-Carlo job currently running; misses on
+    /// an in-flight row sleep on `inflight_done` instead of duplicating
+    /// the job. (`std` primitives: the vendored `parking_lot` shim has no
+    /// condition variable.)
+    inflight: StdMutex<HashSet<(u32, usize)>>,
+    inflight_done: Condvar,
+    surface: RwLock<Option<Arc<ThresholdSurface>>>,
+    /// Serializes surface construction (not lookups).
+    surface_build: Mutex<()>,
 }
 
 impl ThresholdCalibrator {
@@ -183,6 +316,14 @@ impl ThresholdCalibrator {
             cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            surface_hits: AtomicU64::new(0),
+            oracle_jobs: AtomicU64::new(0),
+            crn_row_fills: AtomicU64::new(0),
+            singleflight_waits: AtomicU64::new(0),
+            inflight: StdMutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            surface: RwLock::new(None),
+            surface_build: Mutex::new(()),
         })
     }
 
@@ -203,9 +344,10 @@ impl ThresholdCalibrator {
     }
 
     /// Lifetime `(hits, misses)` of the threshold cache. A hit answered a
-    /// [`Self::threshold_at`] lookup from the cache; a miss ran a
-    /// Monte-Carlo calibration. Large-`k` extrapolations count as the
-    /// anchor lookup they recurse into.
+    /// [`Self::threshold_at`] lookup from the cache; a miss ran (or
+    /// waited on) a Monte-Carlo row job. Surface answers count in
+    /// neither — see [`Self::stats`]. Large-`k` extrapolations count as
+    /// the anchor lookup they recurse into.
     pub fn cache_stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -213,18 +355,38 @@ impl ThresholdCalibrator {
         )
     }
 
+    /// The full lifetime counter set (cache, surface, oracle jobs,
+    /// row fills, single-flight waits).
+    pub fn stats(&self) -> CalibrationStats {
+        CalibrationStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            surface_hits: self.surface_hits.load(Ordering::Relaxed),
+            oracle_jobs: self.oracle_jobs.load(Ordering::Relaxed),
+            crn_row_fills: self.crn_row_fills.load(Ordering::Relaxed),
+            singleflight_waits: self.singleflight_waits.load(Ordering::Relaxed),
+        }
+    }
+
     /// A stable fingerprint of everything that determines what this
-    /// calibrator's thresholds *are*: the Monte-Carlo seed, trial floor,
-    /// confidence, p̂ bucket width, distance metric, and large-`k` cutoff.
+    /// calibrator's oracle thresholds *are*: the Monte-Carlo seed, trial
+    /// floor, confidence, p̂ bucket width, distance metric, and large-`k`
+    /// cutoff.
     ///
     /// Two calibrators with equal fingerprints produce bit-identical
     /// thresholds for every key, so a persisted cache is valid exactly
-    /// when its recorded fingerprint matches. Thread count and the serial
-    /// cutoff are deliberately excluded: chunked RNG streams make them
-    /// pure performance knobs that never change a threshold.
+    /// when its recorded fingerprint matches. Thread count, the serial
+    /// cutoff, and the surface parameters are deliberately excluded:
+    /// chunked RNG streams make the first two pure performance knobs,
+    /// and the surface is an error-bounded view over the oracle, not a
+    /// change to it (persisted surfaces additionally record their own
+    /// parameters).
     pub fn fingerprint(&self) -> u64 {
         let c = &self.config;
-        let mut fp = derive_seed(0x4650_4341_4C31, self.seed); // "FPCAL1"
+        // "FPCAL2": common-random-number row jobs draw from an (m, k)
+        // seed, so thresholds differ from the FPCAL1 per-(m, k, p̂) jobs
+        // and caches persisted by either scheme must not cross-load.
+        let mut fp = derive_seed(0x4650_4341_4C32, self.seed);
         fp = derive_seed(fp, c.trials as u64);
         fp = derive_seed(fp, c.confidence.to_bits());
         fp = derive_seed(fp, c.p_bucket.to_bits());
@@ -284,6 +446,61 @@ impl ThresholdCalibrator {
         installed
     }
 
+    /// The currently installed threshold surface, if any.
+    pub fn surface(&self) -> Option<Arc<ThresholdSurface>> {
+        self.surface.read().clone()
+    }
+
+    /// Installs a pre-built surface (e.g. loaded from a persisted
+    /// calibration cache), replacing any current one. The caller owns
+    /// compatibility: the surface must have been built by a calibrator
+    /// with the same [`Self::fingerprint`] and surface parameters.
+    pub fn install_surface(&self, surface: Arc<ThresholdSurface>) {
+        *self.surface.write() = Some(surface);
+    }
+
+    /// Builds (or verifies) the interpolated threshold surface for window
+    /// size `m`, when [`CalibrationConfig::surface`] is configured.
+    /// Returns whether a surface now covers `m` (`Ok(false)` when no
+    /// surface is configured).
+    ///
+    /// Idempotent and cheap when warm: rows already in the cache (from a
+    /// persisted calibration file or earlier traffic) are reused, so a
+    /// warm rebuild is hash lookups plus interpolation arithmetic. Builds
+    /// for distinct `m` accumulate layers into one surface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle calibration failures and
+    /// [`SurfaceParams::validate`].
+    pub fn ensure_surface_for(&self, m: u32) -> Result<bool, StatsError> {
+        let Some(params) = self.config.surface else {
+            return Ok(false);
+        };
+        let covered = |slot: &Option<Arc<ThresholdSurface>>| {
+            slot.as_ref().is_some_and(|s| s.covers(m))
+        };
+        if covered(&self.surface.read()) {
+            return Ok(true);
+        }
+        let _build = self.surface_build.lock();
+        if covered(&self.surface.read()) {
+            return Ok(true);
+        }
+        let new_layers = self.build_layers(m, params)?;
+        let mut layers = self
+            .surface
+            .read()
+            .as_ref()
+            .map(|s| s.layers().to_vec())
+            .unwrap_or_default();
+        layers.retain(|l| l.m != m);
+        layers.extend(new_layers);
+        let surface = Arc::new(ThresholdSurface::from_parts(params, layers)?);
+        *self.surface.write() = Some(surface);
+        Ok(true)
+    }
+
     /// Threshold ε such that `confidence` of honest sample-sets of `k`
     /// window counts drawn from `B(m, p̂)` have distance below ε.
     ///
@@ -311,6 +528,25 @@ impl ThresholdCalibrator {
         p_hat: f64,
         confidence: f64,
     ) -> Result<f64, StatsError> {
+        self.threshold_with_provenance(m, k, p_hat, confidence)
+            .map(|(eps, _)| eps)
+    }
+
+    /// [`Self::threshold_at`] plus where the answer came from: the
+    /// interpolated surface, the row cache, or a Monte-Carlo job run (or
+    /// waited on) by this call. Large-`k` extrapolations inherit the
+    /// provenance of their anchor lookup.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::threshold_at`].
+    pub fn threshold_with_provenance(
+        &self,
+        m: u32,
+        k: usize,
+        p_hat: f64,
+        confidence: f64,
+    ) -> Result<(f64, ThresholdProvenance), StatsError> {
         if k == 0 {
             return Err(StatsError::InvalidCount {
                 what: "sample-set size k",
@@ -327,96 +563,213 @@ impl ThresholdCalibrator {
         // Beyond the cutoff, use the 1/√k law anchored at the cutoff.
         if k > self.config.large_k_cutoff {
             let k0 = self.config.large_k_cutoff;
-            let base = self.threshold_at(m, k0, p_hat, confidence)?;
-            return Ok(base * (k0 as f64 / k as f64).sqrt());
+            let (base, provenance) = self.threshold_with_provenance(m, k0, p_hat, confidence)?;
+            return Ok((base * (k0 as f64 / k as f64).sqrt(), provenance));
         }
 
         let p_index = self.p_bucket_index(p_hat);
+        let confidence_millis = quantize_confidence(confidence);
+        if let Some(surface) = self.surface.read().as_ref() {
+            if let Some(eps) = surface.lookup(m, k, p_index, confidence_millis) {
+                self.surface_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((eps, ThresholdProvenance::Surface));
+            }
+        }
         let key = CacheKey {
             m,
             k,
             p_bucket_index: p_index,
-            confidence_millis: (confidence * 100_000.0).round() as u32,
+            confidence_millis,
         };
         if let Some(&eps) = self.cache.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(eps);
+            return Ok((eps, ThresholdProvenance::Cache));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let p_center = self.p_bucket_center(p_index);
-        let samples = self.sample_distances(m, k, p_center, self.config.trials)?;
-        let eps = tail_quantile(&samples, confidence)?;
-        self.cache.write().insert(key, eps);
-        Ok(eps)
+        let start = Instant::now();
+        let result = self.calibrate_row(m, k, key, confidence);
+        add_calibration_nanos(start.elapsed().as_nanos() as u64);
+        result.map(|eps| (eps, ThresholdProvenance::MonteCarlo))
+    }
+
+    /// The miss path: join or lead the single-flight row job for `(m, k)`
+    /// until the requested key is cached.
+    fn calibrate_row(
+        &self,
+        m: u32,
+        k: usize,
+        key: CacheKey,
+        confidence: f64,
+    ) -> Result<f64, StatsError> {
+        loop {
+            let leader = {
+                let mut inflight = self.inflight.lock().expect("in-flight lock poisoned");
+                if inflight.insert((m, k)) {
+                    true
+                } else {
+                    self.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+                    let _guard = self
+                        .inflight_done
+                        .wait(inflight)
+                        .expect("in-flight lock poisoned");
+                    false
+                }
+            };
+            if leader {
+                let job = self.run_row_job(m, k, key.confidence_millis, confidence);
+                self.inflight
+                    .lock()
+                    .expect("in-flight lock poisoned")
+                    .remove(&(m, k));
+                self.inflight_done.notify_all();
+                job?;
+            }
+            if let Some(&eps) = self.cache.read().get(&key) {
+                return Ok(eps);
+            }
+            // Only reachable as a waiter whose confidence the leader's job
+            // did not request (off the precomputed ladder): loop and lead
+            // a job for it ourselves.
+        }
+    }
+
+    /// One common-random-number Monte-Carlo job for the `(m, k)` row:
+    /// samples every p̂ bucket from one shared uniform batch and fills the
+    /// cache at the whole confidence ladder (plus the requested
+    /// confidence) for every bucket.
+    fn run_row_job(
+        &self,
+        m: u32,
+        k: usize,
+        requested_millis: u32,
+        requested_confidence: f64,
+    ) -> Result<(), StatsError> {
+        self.oracle_jobs.fetch_add(1, Ordering::Relaxed);
+        let max_index = self.p_bucket_index(1.0);
+        let centers: Vec<f64> = (0..=max_index).map(|i| self.p_bucket_center(i)).collect();
+        let per_bucket = self.crn_samples(m, k, &centers, self.config.trials)?;
+
+        let mut confidences = confidence_ladder(self.config.confidence);
+        if !confidences.iter().any(|&(q, _)| q == requested_millis) {
+            confidences.push((requested_millis, requested_confidence));
+        }
+
+        // Quantiles for every confidence come from one sorted copy per
+        // bucket; mean/variance are taken in draw order first so each
+        // value is bit-identical to `tail_quantile` on the raw samples.
+        let mut computed: Vec<(CacheKey, f64)> =
+            Vec::with_capacity(per_bucket.len() * confidences.len());
+        for (index, samples) in per_bucket.into_iter().enumerate() {
+            let var = variance(&samples);
+            let mut sorted = samples;
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            for &(millis, confidence) in &confidences {
+                let eps = tail_quantile_sorted(&sorted, var, confidence)?;
+                computed.push((
+                    CacheKey {
+                        m,
+                        k,
+                        p_bucket_index: index as u32,
+                        confidence_millis: millis,
+                    },
+                    eps,
+                ));
+            }
+        }
+
+        let mut filled = 0u64;
+        {
+            let mut cache = self.cache.write();
+            for (key, eps) in computed {
+                // A live entry (same deterministic value) wins, matching
+                // `preload_cache` semantics.
+                cache.entry(key).or_insert_with(|| {
+                    filled += 1;
+                    eps
+                });
+            }
+        }
+        self.crn_row_fills.fetch_add(filled, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Raw Monte-Carlo distance samples for `(m, k, p)` — the distribution
     /// the threshold is a quantile of. Exposed for Fig. 8-style analyses.
+    ///
+    /// Served by the same common-random-number engine as the row jobs: the
+    /// uniform batch depends only on `(seed, m, k)`, so the samples for a
+    /// bucket center are bit-identical whether requested alone or as part
+    /// of a full row.
     ///
     /// # Errors
     ///
     /// Returns [`StatsError::InvalidCount`] if `k == 0`, or propagates
     /// distribution-construction failures.
     pub fn distance_samples(&self, m: u32, k: usize, p: f64) -> Result<Vec<f64>, StatsError> {
-        self.sample_distances(m, k, p, self.config.trials)
+        let mut rows = self.crn_samples(m, k, std::slice::from_ref(&p), self.config.trials)?;
+        Ok(rows.pop().expect("one bucket was requested"))
     }
 
-    /// As [`Self::distance_samples`] with an explicit trial count (used
-    /// internally to resolve extreme quantiles).
-    fn sample_distances(
+    /// The common-random-number sampler: draws `trials` batches of `k`
+    /// sorted uniforms from RNG streams seeded by `(seed, m, k)` alone and
+    /// thresholds each batch through every bucket's binomial inverse cdf.
+    /// Returns one distance-sample vector per entry of `ps`, each in trial
+    /// order.
+    fn crn_samples(
         &self,
         m: u32,
         k: usize,
-        p: f64,
+        ps: &[f64],
         trials: usize,
-    ) -> Result<Vec<f64>, StatsError> {
+    ) -> Result<Vec<Vec<f64>>, StatsError> {
         if k == 0 {
             return Err(StatsError::InvalidCount {
                 what: "sample-set size k",
                 value: 0,
             });
         }
-        let model = Binomial::new(m, p)?;
-        let pmf = model.pmf_table();
-        // The job seed mixes every parameter so distinct calibrations use
-        // independent randomness.
-        let job_seed = derive_seed(
-            self.seed,
-            derive_seed(m as u64, derive_seed(k as u64, (p * 1e9) as u64)),
-        );
+        let models = ps
+            .iter()
+            .map(|&p| BucketModel::new(m, p))
+            .collect::<Result<Vec<_>, _>>()?;
+        // The job seed deliberately ignores p: every bucket is carved from
+        // the same uniform batch (common random numbers), which is what
+        // lets one job fill a whole row and keeps the threshold-vs-p̂
+        // curve free of sampling jitter.
+        let job_seed = derive_seed(self.seed, derive_seed(m as u64, k as u64));
 
         // Trials are drawn in fixed chunks, each from its own RNG stream
         // derived from (job_seed, chunk index). Serial evaluation walks the
         // chunks in order; parallel evaluation hands each worker a
         // *contiguous* chunk range and concatenates in worker order — the
-        // same chunk sequence either way, so the sample vector (and thus
-        // every threshold) is bit-identical at any thread count.
+        // same chunk sequence either way, so the sample vectors (and thus
+        // every threshold) are bit-identical at any thread count.
         let chunks = trials.div_ceil(CHUNK_TRIALS);
         let distance = self.config.distance;
-        let run_chunk = |c: usize, out: &mut Vec<f64>| {
+        let run_chunk = |c: usize, outs: &mut [Vec<f64>]| {
             let count = CHUNK_TRIALS.min(trials - c * CHUNK_TRIALS);
-            run_trials(
-                &model,
-                &pmf,
+            run_crn_trials(
+                &models,
                 distance,
                 m,
                 k,
                 count,
                 derive_seed(job_seed, c as u64 + 1),
-                out,
+                outs,
             );
         };
 
         let threads = self.config.threads.min(chunks).max(1);
-        let mut out: Vec<f64> = Vec::with_capacity(trials);
-        if threads == 1 || trials * k < self.config.serial_cutoff {
+        let mut outs: Vec<Vec<f64>> = ps.iter().map(|_| Vec::with_capacity(trials)).collect();
+        if threads == 1 || trials * k * ps.len().max(1) < self.config.serial_cutoff {
             for c in 0..chunks {
-                run_chunk(c, &mut out);
+                run_chunk(c, &mut outs);
             }
-            return Ok(out);
+            return Ok(outs);
         }
 
         let per = chunks.div_ceil(threads);
+        let buckets = ps.len();
         crossbeam::scope(|scope| {
             let run_chunk = &run_chunk;
             let mut handles = Vec::new();
@@ -427,7 +780,8 @@ impl ThresholdCalibrator {
                     continue;
                 }
                 handles.push(scope.spawn(move |_| {
-                    let mut part = Vec::with_capacity((hi - lo) * CHUNK_TRIALS);
+                    let mut part: Vec<Vec<f64>> =
+                        (0..buckets).map(|_| Vec::with_capacity((hi - lo) * CHUNK_TRIALS)).collect();
                     for c in lo..hi {
                         run_chunk(c, &mut part);
                     }
@@ -435,11 +789,86 @@ impl ThresholdCalibrator {
                 }));
             }
             for h in handles {
-                out.extend(h.join().expect("calibration worker panicked"));
+                let part = h.join().expect("calibration worker panicked");
+                for (bucket, partial) in part.into_iter().enumerate() {
+                    outs[bucket].extend(partial);
+                }
             }
         })
         .expect("calibration scope panicked");
-        Ok(out)
+        Ok(outs)
+    }
+
+    /// Builds the surface layers for window size `m`: warms the oracle
+    /// rows on the geometric k-grid (plus the midpoints used for error
+    /// measurement), reads the grid values from the cache, and measures
+    /// the interpolation error exhaustively along p̂ and at the geometric
+    /// k midpoints.
+    fn build_layers(&self, m: u32, params: SurfaceParams) -> Result<Vec<SurfaceLayer>, StatsError> {
+        params.validate()?;
+        let cutoff = self.config.large_k_cutoff;
+        let mut k_grid = vec![params.k_min.min(cutoff).max(1)];
+        while k_grid.last().expect("non-empty") * 2 < cutoff {
+            k_grid.push(k_grid.last().expect("non-empty") * 2);
+        }
+        if *k_grid.last().expect("non-empty") != cutoff {
+            k_grid.push(cutoff);
+        }
+        // Geometric midpoints between adjacent grid ks: where the ln-k
+        // interpolation error peaks — measured, never served from.
+        let k_mids: Vec<usize> = k_grid
+            .windows(2)
+            .filter_map(|w| {
+                let mid = ((w[0] as f64) * (w[1] as f64)).sqrt().round() as usize;
+                (mid > w[0] && mid < w[1]).then_some(mid)
+            })
+            .collect();
+        let max_index = self.p_bucket_index(1.0);
+        let mut p_nodes: Vec<u32> = (0..max_index).step_by(params.p_stride as usize).collect();
+        p_nodes.push(max_index);
+        let confidences = confidence_ladder(self.config.confidence);
+
+        // Warm every needed row: one single-flight Monte-Carlo job per k
+        // (cache hits when a persisted file or live traffic already
+        // filled it).
+        for &k in k_grid.iter().chain(k_mids.iter()) {
+            self.threshold_at(m, k, 0.0, self.config.confidence)?;
+        }
+
+        let mut layers = Vec::with_capacity(confidences.len());
+        for &(millis, confidence) in &confidences {
+            let mut values = Vec::with_capacity(k_grid.len() * p_nodes.len());
+            for &k in &k_grid {
+                for &node in &p_nodes {
+                    values.push(self.threshold_at(m, k, self.p_bucket_center(node), confidence)?);
+                }
+            }
+            let mut layer = SurfaceLayer {
+                m,
+                confidence_millis: millis,
+                error_bound: f64::INFINITY,
+                k_grid: k_grid.clone(),
+                p_nodes: p_nodes.clone(),
+                values,
+            };
+            let mut worst = 0.0f64;
+            for &k in k_grid.iter().chain(k_mids.iter()) {
+                for index in 0..=max_index {
+                    let oracle =
+                        self.threshold_at(m, k, self.p_bucket_center(index), confidence)?;
+                    let interpolated = layer
+                        .interpolate(k, index)
+                        .expect("measurement point inside the grid span");
+                    worst = worst.max((interpolated - oracle).abs());
+                }
+            }
+            // 1.5× headroom over the worst measured point: the error
+            // surface is smooth between measurement points (common random
+            // numbers along p̂, peak-sampled midpoints along k).
+            layer.error_bound = 1.5 * worst;
+            layers.push(layer);
+        }
+        Ok(layers)
     }
 
     fn p_bucket_index(&self, p: f64) -> u32 {
@@ -448,6 +877,32 @@ impl ThresholdCalibrator {
 
     fn p_bucket_center(&self, index: u32) -> f64 {
         (index as f64 * self.config.p_bucket).clamp(0.0, 1.0)
+    }
+}
+
+/// One p̂ bucket's binomial model, ready for inverse-cdf thresholding: the
+/// cdf table mirrors `Binomial::table_sampler`'s construction (pmf prefix
+/// sums with the last entry forced to 1.0), so carving a sorted uniform
+/// batch at the cdf steps draws the same distribution the sampler would.
+struct BucketModel {
+    cdf: Vec<f64>,
+    pmf: Vec<f64>,
+}
+
+impl BucketModel {
+    fn new(m: u32, p: f64) -> Result<Self, StatsError> {
+        let model = Binomial::new(m, p)?;
+        let pmf = model.pmf_table();
+        let mut cdf = Vec::with_capacity(pmf.len());
+        let mut acc = 0.0;
+        for &w in &pmf {
+            acc += w;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(BucketModel { cdf, pmf })
     }
 }
 
@@ -462,19 +917,29 @@ impl ThresholdCalibrator {
 /// statistic is a sum of many bounded terms, so its upper tail is
 /// approximately Gaussian; the extension is monotone in the confidence
 /// and exact at `c = a`.
+#[cfg(test)] // production callers go through `tail_quantile_sorted` row fills
 fn tail_quantile(samples: &[f64], confidence: f64) -> Result<f64, StatsError> {
-    let n = samples.len();
+    let var = variance(samples);
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    tail_quantile_sorted(&sorted, var, confidence)
+}
+
+/// The row-fill fast path of [`tail_quantile`]: callers that take many
+/// quantiles of one sample sort once and pass the variance computed in the
+/// original draw order, which keeps every value bit-identical to
+/// `tail_quantile` on the unsorted samples (summation order matters in
+/// floating point).
+fn tail_quantile_sorted(sorted: &[f64], var: f64, confidence: f64) -> Result<f64, StatsError> {
+    let n = sorted.len();
+    if n == 0 {
+        return Err(StatsError::EmptyInput { what: "quantile" });
+    }
     let achievable = 1.0 - (10.0 / n as f64).min(0.5);
     if confidence <= achievable {
-        return quantile(samples, confidence);
+        return Ok(quantile_sorted(sorted, confidence));
     }
-    let anchor = quantile(samples, achievable)?;
-    let mean = samples.iter().sum::<f64>() / n as f64;
-    let var = samples
-        .iter()
-        .map(|x| (x - mean) * (x - mean))
-        .sum::<f64>()
-        / (n - 1).max(1) as f64;
+    let anchor = quantile_sorted(sorted, achievable);
     let sigma = var.sqrt();
     if sigma == 0.0 {
         return Ok(anchor);
@@ -484,40 +949,65 @@ fn tail_quantile(samples: &[f64], confidence: f64) -> Result<f64, StatsError> {
     Ok(anchor + (z_conf - z_anchor) * sigma)
 }
 
+/// `(n−1)`-denominator variance, summed in input order (bit-stability
+/// across the sorted/unsorted quantile paths depends on that).
+fn variance(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    samples
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1).max(1) as f64
+}
+
 /// Trials per independent RNG stream. Each chunk of this many trials is
 /// seeded by `(job_seed, chunk index)` alone, which is what makes serial
 /// and parallel schedules emit the same sample sequence: the partition of
 /// chunks over threads can change, the chunks themselves cannot.
 const CHUNK_TRIALS: usize = 64;
 
-#[allow(clippy::too_many_arguments)]
-fn run_trials(
-    model: &Binomial,
-    pmf: &[f64],
+/// Draws `trials` sorted uniform batches and thresholds each through every
+/// bucket model, appending one distance per trial to each bucket's output
+/// vector (common random numbers: every bucket sees the same batch).
+fn run_crn_trials(
+    models: &[BucketModel],
     distance: DistanceKind,
     m: u32,
     k: usize,
     trials: usize,
     seed: u64,
-    out: &mut Vec<f64>,
+    outs: &mut [Vec<f64>],
 ) {
-    let sampler = model.table_sampler();
     let mut rng = seeded_rng(seed);
+    let mut uniforms = vec![0.0f64; k];
+    let mut counts = vec![0u64; m as usize + 1];
     let mut hist = Histogram::new(m).expect("support construction cannot fail");
-    let mut drawn: Vec<u32> = Vec::with_capacity(k);
     for _ in 0..trials {
-        drawn.clear();
-        for _ in 0..k {
-            let s = sampler.sample(&mut rng);
-            hist.add(s).expect("sample within support by construction");
-            drawn.push(s);
+        for u in uniforms.iter_mut() {
+            *u = rng.random();
         }
-        let d = distance
-            .distance(&hist, pmf)
-            .expect("non-empty histogram with matching support");
-        out.push(d);
-        for &s in &drawn {
-            hist.remove(s).expect("removing what was just added");
+        uniforms.sort_by(|a, b| a.partial_cmp(b).expect("uniform draws are finite"));
+        for (bucket, model) in models.iter().enumerate() {
+            // Bin counts by cumulative partition: #{u ≤ cdf[c]} is the
+            // number of draws the inverse cdf maps into 0..=c, so
+            // adjacent differences are the per-value counts — O(m log k)
+            // per bucket instead of O(k log m) resampling.
+            let mut prev = 0usize;
+            for (slot, &bound) in counts.iter_mut().zip(&model.cdf) {
+                let cum = uniforms.partition_point(|&u| u <= bound);
+                *slot = (cum - prev) as u64;
+                prev = cum;
+            }
+            hist.set_counts(&counts)
+                .expect("counts vector matches the support by construction");
+            let d = distance
+                .distance(&hist, &model.pmf)
+                .expect("non-empty histogram with matching support");
+            outs[bucket].push(d);
         }
     }
 }
@@ -529,6 +1019,17 @@ mod tests {
     fn calibrator(trials: usize) -> ThresholdCalibrator {
         ThresholdCalibrator::new(CalibrationConfig {
             trials,
+            ..CalibrationConfig::default()
+        })
+        .unwrap()
+    }
+
+    /// A coarse p̂ bucket (0.05 → 21 buckets) keeps row jobs fast in tests
+    /// that don't depend on the default bucket width.
+    fn coarse_calibrator(trials: usize) -> ThresholdCalibrator {
+        ThresholdCalibrator::new(CalibrationConfig {
+            trials,
+            p_bucket: 0.05,
             ..CalibrationConfig::default()
         })
         .unwrap()
@@ -553,6 +1054,13 @@ mod tests {
             threads: 0,
             ..Default::default()
         }));
+        assert!(bad(CalibrationConfig {
+            surface: Some(SurfaceParams {
+                tolerance: -1.0,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }));
         assert!(CalibrationConfig::default().validate().is_ok());
     }
 
@@ -566,14 +1074,14 @@ mod tests {
 
     #[test]
     fn threshold_is_deterministic_given_seed() {
-        let a = calibrator(500).with_seed(9).threshold(10, 20, 0.9).unwrap();
-        let b = calibrator(500).with_seed(9).threshold(10, 20, 0.9).unwrap();
+        let a = coarse_calibrator(500).with_seed(9).threshold(10, 20, 0.9).unwrap();
+        let b = coarse_calibrator(500).with_seed(9).threshold(10, 20, 0.9).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn threshold_decreases_with_more_windows() {
-        let cal = calibrator(1500);
+        let cal = coarse_calibrator(1500);
         let small = cal.threshold(10, 10, 0.9).unwrap();
         let medium = cal.threshold(10, 100, 0.9).unwrap();
         let large = cal.threshold(10, 1000, 0.9).unwrap();
@@ -585,7 +1093,7 @@ mod tests {
 
     #[test]
     fn threshold_honors_confidence_ordering() {
-        let cal = calibrator(1500);
+        let cal = coarse_calibrator(1500);
         let lo = cal.threshold_at(10, 50, 0.9, 0.80).unwrap();
         let hi = cal.threshold_at(10, 50, 0.9, 0.99).unwrap();
         assert!(lo < hi, "higher confidence ⇒ looser threshold: {lo} vs {hi}");
@@ -594,7 +1102,7 @@ mod tests {
     #[test]
     fn honest_samples_pass_at_roughly_the_nominal_rate() {
         // Draw fresh honest sample-sets and check ~95% fall under ε.
-        let cal = calibrator(3000).with_seed(1);
+        let cal = coarse_calibrator(3000).with_seed(1);
         let m = 10u32;
         let k = 50usize;
         let p = 0.9;
@@ -620,25 +1128,69 @@ mod tests {
 
     #[test]
     fn degenerate_p_one_gives_zero_threshold() {
-        let cal = calibrator(200);
+        let cal = coarse_calibrator(200);
         let eps = cal.threshold(10, 30, 1.0).unwrap();
         assert_eq!(eps, 0.0);
     }
 
     #[test]
-    fn cache_hits_for_nearby_p_hat() {
+    fn one_job_fills_the_whole_p_row() {
         let cal = calibrator(200);
         let _ = cal.threshold(10, 30, 0.9001).unwrap();
         let len_after_first = cal.cache_len();
+        // 201 p̂ buckets × the confidence ladder, from one Monte-Carlo job.
+        assert!(
+            len_after_first >= 201,
+            "row fill must cover every bucket: {len_after_first}"
+        );
+        assert_eq!(cal.stats().oracle_jobs, 1);
+        assert_eq!(cal.stats().crn_row_fills, len_after_first as u64);
         let _ = cal.threshold(10, 30, 0.9002).unwrap();
         assert_eq!(cal.cache_len(), len_after_first, "bucketed p̂ must share entries");
         let _ = cal.threshold(10, 30, 0.8).unwrap();
-        assert_eq!(cal.cache_len(), len_after_first + 1);
+        assert_eq!(
+            cal.cache_len(),
+            len_after_first,
+            "distant p̂ was prefilled by the same row job"
+        );
+        assert_eq!(cal.cache_stats(), (2, 1), "both follow-ups were cache hits");
+    }
+
+    #[test]
+    fn row_fill_covers_the_bonferroni_confidence_ladder() {
+        let cal = coarse_calibrator(300);
+        let _ = cal.threshold(10, 30, 0.9).unwrap();
+        let (_, misses_before) = cal.cache_stats();
+        // The multi-test's per-test confidence for up to 2^16 tests:
+        for tests in [1usize, 2, 5, 16, 100, 4096, 60000] {
+            let rounded = tests.next_power_of_two() as f64;
+            let confidence = 1.0 - (1.0 - 0.95) / rounded;
+            let _ = cal.threshold_at(10, 30, 0.9, confidence).unwrap();
+        }
+        let (_, misses_after) = cal.cache_stats();
+        assert_eq!(
+            misses_after, misses_before,
+            "every Bonferroni confidence must hit the prefilled ladder"
+        );
+    }
+
+    #[test]
+    fn threshold_is_a_tail_quantile_of_its_distance_samples() {
+        let cal = coarse_calibrator(400);
+        // 0.9 sits exactly on a 0.05 bucket center.
+        let eps = cal.threshold(10, 25, 0.9).unwrap();
+        let samples = cal.distance_samples(10, 25, 0.9).unwrap();
+        let expected = tail_quantile(&samples, 0.95).unwrap();
+        assert_eq!(
+            eps.to_bits(),
+            expected.to_bits(),
+            "row-filled threshold must equal the single-bucket quantile"
+        );
     }
 
     #[test]
     fn cache_stats_count_hits_and_misses() {
-        let cal = calibrator(200);
+        let cal = coarse_calibrator(200);
         assert_eq!(cal.cache_stats(), (0, 0));
         let _ = cal.threshold(10, 30, 0.9).unwrap();
         assert_eq!(cal.cache_stats(), (0, 1), "first lookup calibrates");
@@ -648,9 +1200,81 @@ mod tests {
     }
 
     #[test]
+    fn single_flight_runs_one_job_per_row() {
+        let cal = std::sync::Arc::new(calibrator(400));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cal = std::sync::Arc::clone(&cal);
+                scope.spawn(move || cal.threshold(10, 40, 0.9).unwrap());
+            }
+        });
+        let stats = cal.stats();
+        assert_eq!(stats.oracle_jobs, 1, "concurrent misses share one job");
+        assert_eq!(stats.hits + stats.misses, 8, "every request was answered");
+        // The reference value is what a lone calibrator computes.
+        let reference = calibrator(400).threshold(10, 40, 0.9).unwrap();
+        assert_eq!(cal.threshold(10, 40, 0.9).unwrap().to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn provenance_tracks_the_serving_tier() {
+        let cal = ThresholdCalibrator::new(CalibrationConfig {
+            trials: 200,
+            p_bucket: 0.05,
+            large_k_cutoff: 64,
+            surface: Some(SurfaceParams {
+                tolerance: 10.0, // generous: provenance, not accuracy, under test
+                p_stride: 4,
+                k_min: 8,
+            }),
+            ..CalibrationConfig::default()
+        })
+        .unwrap();
+        let (_, cold) = cal.threshold_with_provenance(10, 30, 0.9, 0.95).unwrap();
+        assert_eq!(cold, ThresholdProvenance::MonteCarlo);
+        let (_, warm) = cal.threshold_with_provenance(10, 30, 0.9, 0.95).unwrap();
+        assert_eq!(warm, ThresholdProvenance::Cache);
+        assert!(cal.ensure_surface_for(10).unwrap());
+        let (_, surfed) = cal.threshold_with_provenance(10, 30, 0.9, 0.95).unwrap();
+        assert_eq!(surfed, ThresholdProvenance::Surface);
+        assert!(cal.stats().surface_hits >= 1);
+        // Beyond the cutoff the extrapolation inherits its anchor's tier.
+        let (_, far) = cal.threshold_with_provenance(10, 1000, 0.9, 0.95).unwrap();
+        assert_eq!(far, ThresholdProvenance::Surface);
+    }
+
+    #[test]
+    fn ensure_surface_is_idempotent_and_off_by_default() {
+        let cal = coarse_calibrator(200);
+        assert!(!cal.ensure_surface_for(10).unwrap(), "no surface configured");
+        assert!(cal.surface().is_none());
+
+        let cal = ThresholdCalibrator::new(CalibrationConfig {
+            trials: 200,
+            p_bucket: 0.05,
+            large_k_cutoff: 32,
+            surface: Some(SurfaceParams {
+                tolerance: 10.0,
+                ..Default::default()
+            }),
+            ..CalibrationConfig::default()
+        })
+        .unwrap();
+        assert!(cal.ensure_surface_for(10).unwrap());
+        let jobs_after_build = cal.stats().oracle_jobs;
+        assert!(cal.ensure_surface_for(10).unwrap(), "second call is a no-op");
+        assert_eq!(cal.stats().oracle_jobs, jobs_after_build);
+        // A second m accumulates layers without dropping the first.
+        assert!(cal.ensure_surface_for(6).unwrap());
+        let surface = cal.surface().unwrap();
+        assert!(surface.covers(10) && surface.covers(6));
+    }
+
+    #[test]
     fn large_k_extrapolation_follows_sqrt_law() {
         let cal = ThresholdCalibrator::new(CalibrationConfig {
             trials: 800,
+            p_bucket: 0.05,
             large_k_cutoff: 256,
             ..Default::default()
         })
@@ -668,6 +1292,7 @@ mod tests {
         let serial = ThresholdCalibrator::new(CalibrationConfig {
             trials: 4000,
             threads: 1,
+            p_bucket: 0.05,
             ..Default::default()
         })
         .unwrap()
@@ -677,6 +1302,7 @@ mod tests {
             let parallel = ThresholdCalibrator::new(CalibrationConfig {
                 trials: 4000,
                 threads,
+                p_bucket: 0.05,
                 ..Default::default()
             })
             .unwrap()
@@ -730,15 +1356,15 @@ mod tests {
 
     #[test]
     fn export_preload_round_trip_is_bit_exact() {
-        let cal = calibrator(300).with_seed(5);
+        let cal = coarse_calibrator(300).with_seed(5);
         let a = cal.threshold(10, 30, 0.9).unwrap();
         let b = cal.threshold(12, 50, 0.85).unwrap();
         let exported = cal.export_cache();
-        assert_eq!(exported.len(), 2);
+        assert_eq!(exported.len(), cal.cache_len(), "export covers the row fills");
 
-        let warm = calibrator(300).with_seed(5);
-        assert_eq!(warm.preload_cache(exported.clone()), 2);
-        assert_eq!(warm.cache_len(), 2);
+        let warm = coarse_calibrator(300).with_seed(5);
+        assert_eq!(warm.preload_cache(exported.clone()), exported.len());
+        assert_eq!(warm.cache_len(), exported.len());
         // Preloaded thresholds answer without a Monte-Carlo run and are
         // bit-identical to the originals.
         assert_eq!(warm.threshold(10, 30, 0.9).unwrap().to_bits(), a.to_bits());
@@ -752,7 +1378,7 @@ mod tests {
 
     #[test]
     fn preload_rejects_garbage_and_keeps_live_entries() {
-        let cal = calibrator(300);
+        let cal = coarse_calibrator(300);
         let live = cal.threshold(10, 30, 0.9).unwrap();
         let exported = cal.export_cache();
         let mut tampered = exported[0];
@@ -781,9 +1407,20 @@ mod tests {
             fp(CalibrationConfig { confidence: 0.99, ..base }, 1),
             reference
         );
-        // Pure performance knobs never invalidate a persisted cache.
+        // Pure performance knobs never invalidate a persisted cache —
+        // and neither does the error-gated surface view.
         assert_eq!(
             fp(CalibrationConfig { threads: 8, serial_cutoff: 0, ..base }, 1),
+            reference
+        );
+        assert_eq!(
+            fp(
+                CalibrationConfig {
+                    surface: Some(SurfaceParams::default()),
+                    ..base
+                },
+                1
+            ),
             reference
         );
     }
@@ -798,7 +1435,7 @@ mod tests {
 
     #[test]
     fn extreme_confidence_uses_tail_extension_monotonically() {
-        let cal = calibrator(1000);
+        let cal = coarse_calibrator(1000);
         let base = cal.threshold_at(10, 40, 0.9, 0.95).unwrap();
         let high = cal.threshold_at(10, 40, 0.9, 0.999).unwrap();
         let higher = cal.threshold_at(10, 40, 0.9, 0.99995).unwrap();
@@ -811,10 +1448,63 @@ mod tests {
     fn tail_extension_is_continuous_at_the_anchor() {
         // Just below and just above the resolvable quantile must agree
         // closely (the extension is exact at the anchor).
-        let cal = calibrator(2000);
+        let cal = coarse_calibrator(2000);
         let achievable = 1.0 - 10.0 / 2000.0; // 0.995
         let below = cal.threshold_at(10, 40, 0.9, achievable - 1e-6).unwrap();
         let above = cal.threshold_at(10, 40, 0.9, achievable + 1e-6).unwrap();
         assert!((below - above).abs() < 0.05, "{below} vs {above}");
+    }
+
+    #[test]
+    fn calibration_time_is_attributed_to_the_calling_thread() {
+        let cal = coarse_calibrator(300);
+        let before = thread_calibration_nanos();
+        let _ = cal.threshold(10, 30, 0.9).unwrap();
+        let after_miss = thread_calibration_nanos();
+        assert!(after_miss > before, "a miss accrues calibration time");
+        let _ = cal.threshold(10, 30, 0.9).unwrap();
+        assert_eq!(
+            thread_calibration_nanos(),
+            after_miss,
+            "cache hits accrue nothing"
+        );
+    }
+
+    #[test]
+    fn surface_error_stays_within_the_measured_bound() {
+        // Build a small surface and sweep off-grid queries against the
+        // oracle: every served value must sit inside the layer's bound.
+        let cal = ThresholdCalibrator::new(CalibrationConfig {
+            trials: 400,
+            p_bucket: 0.05,
+            large_k_cutoff: 128,
+            surface: Some(SurfaceParams {
+                tolerance: 10.0, // serve everything; we check the bound itself
+                p_stride: 3,
+                k_min: 8,
+            }),
+            ..CalibrationConfig::default()
+        })
+        .unwrap();
+        cal.ensure_surface_for(10).unwrap();
+        let surface = cal.surface().unwrap();
+        let oracle = coarse_calibrator(400); // same seed, no surface
+        let mut checked = 0;
+        for k in [9usize, 13, 27, 40, 77, 100] {
+            for index in 0..=20u32 {
+                let p = (index as f64 * 0.05).clamp(0.0, 1.0);
+                let Some(served) = surface.lookup(10, k, index, 95_000) else {
+                    continue;
+                };
+                let truth = oracle.threshold(10, k, p).unwrap();
+                let bound = surface.max_error_bound(10).unwrap();
+                assert!(
+                    (served - truth).abs() <= bound,
+                    "k={k} index={index}: |{served} - {truth}| > {bound}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "sweep must actually exercise the surface");
     }
 }

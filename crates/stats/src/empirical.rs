@@ -187,6 +187,47 @@ impl Histogram {
         ss / self.total as f64
     }
 
+    /// Builds a histogram directly from per-value counts (index = value).
+    ///
+    /// The common-random-numbers calibration path computes bin counts by
+    /// partitioning one sorted uniform batch through a cdf table; this
+    /// constructor turns those counts into a histogram without replaying
+    /// individual samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty counts vector (a
+    /// histogram always has a support).
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self, StatsError> {
+        if counts.is_empty() {
+            return Err(StatsError::EmptyInput { what: "histogram counts" });
+        }
+        let total = counts.iter().sum();
+        Ok(Histogram { counts, total })
+    }
+
+    /// Replaces the recorded counts wholesale, keeping the support.
+    ///
+    /// O(support) and allocation-free — the hot-loop counterpart of
+    /// [`Histogram::from_counts`] for callers that reuse one histogram
+    /// across many trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::OutOfSupport`] if `counts` does not match the
+    /// support length exactly.
+    pub fn set_counts(&mut self, counts: &[u64]) -> Result<(), StatsError> {
+        if counts.len() != self.counts.len() {
+            return Err(StatsError::OutOfSupport {
+                value: counts.len() as u64,
+                max: self.max_value() as u64,
+            });
+        }
+        self.counts.copy_from_slice(counts);
+        self.total = counts.iter().sum();
+        Ok(())
+    }
+
     /// Merges another histogram over the same support into this one.
     ///
     /// # Errors
@@ -294,6 +335,20 @@ mod tests {
         let mut h = Histogram::new(2).unwrap();
         h.extend([0u32, 1, 2, 3, 99]);
         assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn from_counts_and_set_counts_match_sampled_construction() {
+        let sampled = Histogram::from_samples(3, [0u32, 1, 1, 2, 2, 2, 3, 3]).unwrap();
+        let built = Histogram::from_counts(vec![1, 2, 3, 2]).unwrap();
+        assert_eq!(built, sampled);
+        let mut reused = Histogram::new(3).unwrap();
+        reused.add(0).unwrap();
+        reused.set_counts(&[1, 2, 3, 2]).unwrap();
+        assert_eq!(reused, sampled);
+        assert_eq!(reused.len(), 8);
+        assert!(Histogram::from_counts(vec![]).is_err());
+        assert!(reused.set_counts(&[1, 2]).is_err());
     }
 
     #[test]

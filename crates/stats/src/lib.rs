@@ -48,11 +48,15 @@ pub mod quantile;
 pub mod rng;
 pub mod special;
 pub mod stream;
+pub mod surface;
 
 pub use bernoulli::Bernoulli;
 pub use beta_dist::BetaDist;
 pub use binomial::Binomial;
-pub use calibration::{CalibrationConfig, CalibrationEntry, ThresholdCalibrator};
+pub use calibration::{
+    thread_calibration_nanos, CalibrationConfig, CalibrationEntry, CalibrationStats,
+    ThresholdCalibrator, ThresholdProvenance,
+};
 pub use chisq::ChiSquared;
 pub use ci::{binomial_test, wilson_interval, TestSide};
 pub use distance::DistanceKind;
@@ -62,3 +66,4 @@ pub use multinomial::Multinomial;
 pub use quantile::quantile;
 pub use rng::{derive_seed, seeded_rng};
 pub use stream::{PrefixSums, Welford};
+pub use surface::{SurfaceLayer, SurfaceParams, ThresholdSurface};

@@ -1,0 +1,438 @@
+//! Interpolated threshold surfaces over `(m, k, p̂)`.
+//!
+//! The Monte-Carlo oracle in [`calibration`](crate::calibration) answers
+//! one quantized key at a time; a [`ThresholdSurface`] answers *any* key
+//! inside its span from a small precomputed grid:
+//!
+//! * **p̂ axis** — thresholds vary smoothly in the bucket center (under
+//!   common random numbers the same uniform batch is thresholded through
+//!   every bucket's cdf, so the curve has no sampling jitter between
+//!   buckets); nodes every [`SurfaceParams::p_stride`] buckets are joined
+//!   by monotone (overshoot-free) linear interpolation.
+//! * **k axis** — the L¹ statistic scales as `Θ(1/√k)`, so the surface
+//!   stores a geometric k-grid and interpolates `y(k) = ε·√k` linearly in
+//!   `ln k`, where `y` is slowly varying by construction.
+//! * **confidence axis** — never interpolated: a layer exists per exact
+//!   quantized confidence (the multi-test's Bonferroni ladder is finite),
+//!   and an unknown confidence falls back to the oracle.
+//!
+//! Every layer carries a conservative **error bound**: 1.5× the worst
+//! observed |surface − oracle| over every p̂ bucket at every grid `k` and
+//! at every geometric midpoint between adjacent grid `k`s (where the
+//! `ln k` interpolation error peaks). A layer whose bound exceeds
+//! [`SurfaceParams::tolerance`] refuses to serve, so a caller that gets
+//! `Some(ε)` from [`ThresholdSurface::lookup`] holds a threshold within
+//! tolerance of what the Monte-Carlo oracle would have said.
+//!
+//! Surfaces are built (and the bound measured) by
+//! [`ThresholdCalibrator::ensure_surface_for`](crate::ThresholdCalibrator::ensure_surface_for);
+//! this module owns the data model, interpolation, and validation so a
+//! persisted surface can be re-attached without re-running the oracle.
+
+use crate::error::StatsError;
+
+/// Knobs for building and serving a [`ThresholdSurface`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceParams {
+    /// Maximum tolerated |surface − oracle| threshold error. A layer
+    /// whose measured error bound exceeds this never serves (lookups
+    /// fall back to the Monte-Carlo oracle). Default 0.08: between
+    /// geometric grid rows the comparison oracle itself carries
+    /// Monte-Carlo quantile noise of ~0.045 at the deep end of the
+    /// confidence ladder (flat in grid density — refining the grid does
+    /// not reduce it), so the default sits just above that floor times
+    /// the 1.5× measurement headroom. Verdict compatibility is enforced
+    /// separately by the equivalence suite and the calibration bench's
+    /// zero-flip gate.
+    pub tolerance: f64,
+    /// Grid-node spacing along the p̂ axis, in cache-bucket indices.
+    /// Default 1 — every bucket is a node. This is free: a
+    /// common-random-number row job computes *every* bucket of a `(m, k)`
+    /// row anyway, so denser p̂ nodes cost no extra Monte Carlo, make
+    /// grid-`k` lookups bit-identical to the oracle, and leave
+    /// interpolation error only along the `k` axis.
+    pub p_stride: u32,
+    /// Smallest `k` the surface serves (default 32). Below it thresholds
+    /// curve too fast in `k` for the geometric grid (measured error more
+    /// than doubles); the oracle row cache is cheap there anyway — a
+    /// small-`k` job is proportionally small.
+    pub k_min: usize,
+}
+
+impl Default for SurfaceParams {
+    fn default() -> Self {
+        SurfaceParams {
+            tolerance: 0.08,
+            p_stride: 1,
+            k_min: 32,
+        }
+    }
+}
+
+impl SurfaceParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: tolerance finite and > 0,
+    /// p_stride ≥ 1, k_min ≥ 1.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        if !(self.tolerance.is_finite() && self.tolerance > 0.0) {
+            return Err(StatsError::InvalidLevel {
+                value: self.tolerance,
+            });
+        }
+        if self.p_stride == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "surface p-stride",
+                value: 0,
+            });
+        }
+        if self.k_min == 0 {
+            return Err(StatsError::InvalidCount {
+                what: "surface k-min",
+                value: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One `(m, confidence)` slice of a [`ThresholdSurface`]: a `k × p̂` grid
+/// of oracle thresholds plus the measured interpolation-error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceLayer {
+    /// Window size `m` of the binomial model.
+    pub m: u32,
+    /// Quantized confidence (`round(confidence · 100000)`), matched
+    /// exactly at lookup — confidence is never interpolated.
+    pub confidence_millis: u32,
+    /// Conservative bound on |surface − oracle| anywhere in the span:
+    /// 1.5× the worst error observed at every p̂ bucket over every grid
+    /// `k` and every geometric midpoint between adjacent grid `k`s.
+    pub error_bound: f64,
+    /// Ascending sample-set sizes the grid was calibrated at.
+    pub k_grid: Vec<usize>,
+    /// Ascending p̂ grid nodes, as cache-bucket indices.
+    pub p_nodes: Vec<u32>,
+    /// Oracle thresholds, row-major: `values[a * p_nodes.len() + t]` is
+    /// the threshold at `(k_grid[a], p_nodes[t])`.
+    pub values: Vec<f64>,
+}
+
+impl SurfaceLayer {
+    /// Interpolated threshold at `(k, p̂-bucket index)`, or `None` when
+    /// `k` lies outside the grid span or the index beyond the last node.
+    /// Exact (bit-identical to the stored oracle value) when both
+    /// coordinates sit on grid nodes.
+    ///
+    /// This is raw interpolation — the error-bound/tolerance gate lives
+    /// in [`ThresholdSurface::lookup`].
+    pub fn interpolate(&self, k: usize, p_index: u32) -> Option<f64> {
+        let (&k_lo, &k_hi) = (self.k_grid.first()?, self.k_grid.last()?);
+        if k < k_lo || k > k_hi || p_index > *self.p_nodes.last()? {
+            return None;
+        }
+        match self.k_grid.binary_search(&k) {
+            Ok(row) => Some(self.interpolate_p(row, p_index)),
+            Err(pos) => {
+                // Bounds guarantee 1 <= pos <= len-1: bracket and
+                // interpolate y = ε·√k linearly in ln k (y is slowly
+                // varying under the Θ(1/√k) law, so the geometric grid
+                // keeps the residual small).
+                let (k0, k1) = (self.k_grid[pos - 1] as f64, self.k_grid[pos] as f64);
+                let y0 = self.interpolate_p(pos - 1, p_index) * k0.sqrt();
+                let y1 = self.interpolate_p(pos, p_index) * k1.sqrt();
+                let t = ((k as f64).ln() - k0.ln()) / (k1.ln() - k0.ln());
+                Some((y0 + (y1 - y0) * t) / (k as f64).sqrt())
+            }
+        }
+    }
+
+    /// Linear interpolation along the p̂ axis at one grid row. Linear
+    /// interpolation never overshoots its endpoints, so values between
+    /// nodes stay inside the enclosing node interval (monotone where the
+    /// oracle curve is).
+    fn interpolate_p(&self, row: usize, p_index: u32) -> f64 {
+        let cols = self.p_nodes.len();
+        let at = |t: usize| self.values[row * cols + t];
+        match self.p_nodes.binary_search(&p_index) {
+            Ok(t) => at(t),
+            Err(pos) => {
+                // Node 0 is always index 0 and the last node the maximum
+                // index, so 1 <= pos <= len-1 here.
+                let (n0, n1) = (self.p_nodes[pos - 1] as f64, self.p_nodes[pos] as f64);
+                let w = (p_index as f64 - n0) / (n1 - n0);
+                at(pos - 1) * (1.0 - w) + at(pos) * w
+            }
+        }
+    }
+
+    /// Shape and value sanity for one layer.
+    fn validate(&self) -> Result<(), StatsError> {
+        if self.k_grid.is_empty() || self.p_nodes.is_empty() {
+            return Err(StatsError::EmptyInput {
+                what: "surface layer grid",
+            });
+        }
+        if self.values.len() != self.k_grid.len() * self.p_nodes.len() {
+            return Err(StatsError::InvalidCount {
+                what: "surface layer values",
+                value: self.values.len(),
+            });
+        }
+        let ascending_k = self.k_grid.windows(2).all(|w| w[0] < w[1]);
+        let ascending_p = self.p_nodes.windows(2).all(|w| w[0] < w[1]);
+        if !ascending_k || !ascending_p {
+            return Err(StatsError::EmptyInput {
+                what: "surface layer grid order",
+            });
+        }
+        if !(self.error_bound.is_finite() && self.error_bound >= 0.0) {
+            return Err(StatsError::InvalidLevel {
+                value: self.error_bound,
+            });
+        }
+        if self.values.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(StatsError::EmptyInput {
+                what: "surface layer values",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A set of [`SurfaceLayer`]s (one per `(m, confidence)`) behind a single
+/// tolerance gate.
+///
+/// # Examples
+///
+/// ```
+/// use hp_stats::{SurfaceLayer, SurfaceParams, ThresholdSurface};
+///
+/// // A hand-built 2×2 layer: thresholds at k ∈ {8, 32}, p̂ nodes {0, 200}.
+/// let layer = SurfaceLayer {
+///     m: 10,
+///     confidence_millis: 95_000,
+///     error_bound: 0.01,
+///     k_grid: vec![8, 32],
+///     p_nodes: vec![0, 200],
+///     values: vec![0.9, 0.4, 0.45, 0.2],
+/// };
+/// let surface = ThresholdSurface::from_parts(SurfaceParams::default(), vec![layer])?;
+/// // Exact at a grid node:
+/// assert_eq!(surface.lookup(10, 8, 0, 95_000), Some(0.9));
+/// // Interpolated between nodes, absent outside the span:
+/// assert!(surface.lookup(10, 16, 100, 95_000).is_some());
+/// assert_eq!(surface.lookup(10, 4, 0, 95_000), None);
+/// assert_eq!(surface.lookup(11, 8, 0, 95_000), None);
+/// # Ok::<(), hp_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdSurface {
+    params: SurfaceParams,
+    layers: Vec<SurfaceLayer>,
+}
+
+impl ThresholdSurface {
+    /// Assembles a surface from parameters and layers (e.g. loaded from a
+    /// persisted calibration cache), validating shapes. Layers are sorted
+    /// by `(m, confidence)` internally; duplicates are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SurfaceParams::validate`] and per-layer shape
+    /// violations; returns [`StatsError::InvalidCount`] for duplicate
+    /// `(m, confidence)` layers.
+    pub fn from_parts(
+        params: SurfaceParams,
+        mut layers: Vec<SurfaceLayer>,
+    ) -> Result<Self, StatsError> {
+        params.validate()?;
+        for layer in &layers {
+            layer.validate()?;
+        }
+        layers.sort_by_key(|l| (l.m, l.confidence_millis));
+        let duplicate = layers
+            .windows(2)
+            .any(|w| (w[0].m, w[0].confidence_millis) == (w[1].m, w[1].confidence_millis));
+        if duplicate {
+            return Err(StatsError::InvalidCount {
+                what: "duplicate surface layers",
+                value: layers.len(),
+            });
+        }
+        Ok(ThresholdSurface { params, layers })
+    }
+
+    /// The parameters the surface was built (and is gated) under.
+    pub fn params(&self) -> &SurfaceParams {
+        &self.params
+    }
+
+    /// The layers, sorted by `(m, confidence_millis)`.
+    pub fn layers(&self) -> &[SurfaceLayer] {
+        &self.layers
+    }
+
+    /// Whether any layer exists for window size `m`.
+    pub fn covers(&self, m: u32) -> bool {
+        self.layers.iter().any(|l| l.m == m)
+    }
+
+    /// Whether the surface actually *serves* window size `m`: at least
+    /// one layer exists and every `m` layer's error bound is within
+    /// tolerance (the /healthz readiness signal).
+    pub fn serves(&self, m: u32) -> bool {
+        let mut any = false;
+        for layer in self.layers.iter().filter(|l| l.m == m) {
+            if layer.error_bound > self.params.tolerance {
+                return false;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// The worst error bound across `m`'s layers (`None` when uncovered).
+    pub fn max_error_bound(&self, m: u32) -> Option<f64> {
+        self.layers
+            .iter()
+            .filter(|l| l.m == m)
+            .map(|l| l.error_bound)
+            .reduce(f64::max)
+    }
+
+    /// Interpolated threshold for the quantized key, or `None` when no
+    /// layer matches `(m, confidence)` exactly, `k` lies outside the
+    /// layer's grid span, or the layer's error bound exceeds the
+    /// configured tolerance (callers then fall back to the oracle).
+    pub fn lookup(&self, m: u32, k: usize, p_index: u32, confidence_millis: u32) -> Option<f64> {
+        let row = self
+            .layers
+            .binary_search_by_key(&(m, confidence_millis), |l| (l.m, l.confidence_millis))
+            .ok()?;
+        let layer = &self.layers[row];
+        if layer.error_bound > self.params.tolerance {
+            return None;
+        }
+        layer.interpolate(k, p_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> SurfaceLayer {
+        SurfaceLayer {
+            m: 10,
+            confidence_millis: 95_000,
+            error_bound: 0.01,
+            k_grid: vec![8, 32, 128],
+            p_nodes: vec![0, 100, 200],
+            values: vec![
+                0.90, 0.70, 0.10, // k = 8
+                0.45, 0.35, 0.05, // k = 32
+                0.22, 0.17, 0.02, // k = 128
+            ],
+        }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(SurfaceParams::default().validate().is_ok());
+        let bad = |p: SurfaceParams| p.validate().is_err();
+        assert!(bad(SurfaceParams {
+            tolerance: 0.0,
+            ..Default::default()
+        }));
+        assert!(bad(SurfaceParams {
+            tolerance: f64::NAN,
+            ..Default::default()
+        }));
+        assert!(bad(SurfaceParams {
+            p_stride: 0,
+            ..Default::default()
+        }));
+        assert!(bad(SurfaceParams {
+            k_min: 0,
+            ..Default::default()
+        }));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_layers() {
+        let params = SurfaceParams::default();
+        let mut short = layer();
+        short.values.pop();
+        assert!(ThresholdSurface::from_parts(params, vec![short]).is_err());
+        let mut unsorted = layer();
+        unsorted.k_grid = vec![32, 8, 128];
+        assert!(ThresholdSurface::from_parts(params, vec![unsorted]).is_err());
+        let mut nan = layer();
+        nan.values[0] = f64::NAN;
+        assert!(ThresholdSurface::from_parts(params, vec![nan]).is_err());
+        assert!(ThresholdSurface::from_parts(params, vec![layer(), layer()]).is_err());
+        assert!(ThresholdSurface::from_parts(params, vec![layer()]).is_ok());
+    }
+
+    #[test]
+    fn lookup_is_exact_at_grid_nodes() {
+        let surface = ThresholdSurface::from_parts(SurfaceParams::default(), vec![layer()]).unwrap();
+        let l = layer();
+        for (a, &k) in l.k_grid.iter().enumerate() {
+            for (t, &node) in l.p_nodes.iter().enumerate() {
+                let got = surface.lookup(10, k, node, 95_000).unwrap();
+                assert_eq!(got.to_bits(), l.values[a * 3 + t].to_bits(), "k={k} node={node}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_inside_node_intervals() {
+        let surface = ThresholdSurface::from_parts(SurfaceParams::default(), vec![layer()]).unwrap();
+        // Between p nodes at a grid k: linear interpolation cannot
+        // overshoot its endpoints.
+        for p_index in 0..=200u32 {
+            let v = surface.lookup(10, 32, p_index, 95_000).unwrap();
+            assert!((0.05..=0.45).contains(&v), "p_index={p_index}: {v}");
+        }
+        // Between grid ks: ε stays inside the bracketing rows' range.
+        for k in 8..=128usize {
+            let v = surface.lookup(10, k, 0, 95_000).unwrap();
+            assert!((0.22..=0.90).contains(&v), "k={k}: {v}");
+            // and ε·√k interpolation keeps ε decreasing in k here.
+        }
+        let coarse = surface.lookup(10, 9, 0, 95_000).unwrap();
+        let fine = surface.lookup(10, 100, 0, 95_000).unwrap();
+        assert!(coarse > fine);
+    }
+
+    #[test]
+    fn out_of_span_and_unknown_layers_miss() {
+        let surface = ThresholdSurface::from_parts(SurfaceParams::default(), vec![layer()]).unwrap();
+        assert_eq!(surface.lookup(10, 7, 0, 95_000), None, "k below grid");
+        assert_eq!(surface.lookup(10, 129, 0, 95_000), None, "k above grid");
+        assert_eq!(surface.lookup(10, 32, 201, 95_000), None, "p̂ beyond last node");
+        assert_eq!(surface.lookup(10, 32, 0, 99_000), None, "unknown confidence");
+        assert_eq!(surface.lookup(9, 32, 0, 95_000), None, "unknown m");
+    }
+
+    #[test]
+    fn tolerance_gates_serving() {
+        let mut wide = layer();
+        wide.error_bound = 0.2; // above the 0.05 default tolerance
+        let surface = ThresholdSurface::from_parts(SurfaceParams::default(), vec![wide]).unwrap();
+        assert_eq!(surface.lookup(10, 32, 0, 95_000), None);
+        assert!(surface.covers(10));
+        assert!(!surface.serves(10));
+        assert_eq!(surface.max_error_bound(10), Some(0.2));
+
+        let surface =
+            ThresholdSurface::from_parts(SurfaceParams::default(), vec![layer()]).unwrap();
+        assert!(surface.serves(10));
+        assert!(!surface.serves(11));
+        assert!(surface.lookup(10, 32, 0, 95_000).is_some());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the interpolated threshold surface and the
+//! common-random-number calibration engine.
+//!
+//! The surface fixture is built once ([`std::sync::OnceLock`]) and shared
+//! across cases: surface construction runs the full Monte-Carlo oracle
+//! over its k-grid, which is far too slow to repeat per proptest case.
+
+use hp_stats::{
+    CalibrationConfig, SurfaceParams, ThresholdCalibrator, ThresholdProvenance, ThresholdSurface,
+};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const M: u32 = 10;
+const K_CUTOFF: usize = 128;
+const TRIALS: usize = 400;
+const P_BUCKET: f64 = 0.05;
+
+fn fixture_config(surface: Option<SurfaceParams>) -> CalibrationConfig {
+    CalibrationConfig {
+        trials: TRIALS,
+        p_bucket: P_BUCKET,
+        large_k_cutoff: K_CUTOFF,
+        surface,
+        ..CalibrationConfig::default()
+    }
+}
+
+/// `(surfaced calibrator, oracle calibrator)` with identical fingerprints:
+/// the oracle serves pure Monte-Carlo row-cache values for comparison.
+fn fixture() -> &'static (Arc<ThresholdCalibrator>, Arc<ThresholdCalibrator>) {
+    static FIXTURE: OnceLock<(Arc<ThresholdCalibrator>, Arc<ThresholdCalibrator>)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let surfaced = ThresholdCalibrator::new(fixture_config(Some(SurfaceParams {
+            // Generous tolerance: these tests check the *measured* bound,
+            // not the serving gate.
+            tolerance: 10.0,
+            p_stride: 3,
+            k_min: 8,
+        })))
+        .unwrap();
+        surfaced
+            .ensure_surface_for(M)
+            .expect("surface build must succeed");
+        let oracle = ThresholdCalibrator::new(fixture_config(None)).unwrap();
+        (Arc::new(surfaced), Arc::new(oracle))
+    })
+}
+
+fn surface() -> Arc<ThresholdSurface> {
+    fixture().0.surface().expect("fixture installs a surface")
+}
+
+/// The Bonferroni confidence ladder the row jobs prefill (j halvings of
+/// the default 0.95 miss mass), as `(quantized millis, exact value)`.
+fn ladder_confidence(j: u32) -> (u32, f64) {
+    let c = 1.0 - (1.0 - 0.95) / (1u64 << j) as f64;
+    ((c * 100_000.0).round() as u32, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every value the surface serves sits within its measured error
+    /// bound of the Monte-Carlo oracle, at arbitrary (k, p̂, confidence)
+    /// — including ks strictly between grid rows.
+    #[test]
+    fn surface_error_is_within_the_measured_bound(
+        k in 8usize..=K_CUTOFF,
+        p_index in 0u32..=20,
+        j in 0u32..=8,
+    ) {
+        let (surfaced, oracle) = fixture();
+        let (millis, confidence) = ladder_confidence(j);
+        // A lookup miss (off-ladder collapse) serves nothing — nothing to bound.
+        if let Some(served) = surface().lookup(M, k, p_index, millis) {
+            let p = (p_index as f64 * P_BUCKET).clamp(0.0, 1.0);
+            let truth = oracle.threshold_at(M, k, p, confidence).unwrap();
+            let bound = surface().max_error_bound(M).unwrap();
+            prop_assert!(
+                (served - truth).abs() <= bound,
+                "k={k} p={p} c={confidence}: |{served} - {truth}| > bound {bound}"
+            );
+            // And the calibrator actually serves from the surface for these keys.
+            let (eps, provenance) = surfaced
+                .threshold_with_provenance(M, k, p, confidence)
+                .unwrap();
+            prop_assert_eq!(provenance, ThresholdProvenance::Surface);
+            prop_assert_eq!(eps.to_bits(), served.to_bits());
+        }
+    }
+
+    /// Served thresholds are monotone non-decreasing in the confidence
+    /// level (a looser confidence can never tighten ε).
+    #[test]
+    fn surface_is_monotone_in_confidence(
+        k in 8usize..=K_CUTOFF,
+        p_index in 0u32..=20,
+        j in 0u32..8,
+    ) {
+        let (lo_millis, _) = ladder_confidence(j);
+        let (hi_millis, _) = ladder_confidence(j + 1);
+        if let (Some(lo), Some(hi)) = (
+            surface().lookup(M, k, p_index, lo_millis),
+            surface().lookup(M, k, p_index, hi_millis),
+        ) {
+            prop_assert!(
+                lo <= hi + 1e-12,
+                "k={k} p_index={p_index}: ε({lo_millis})={lo} > ε({hi_millis})={hi}"
+            );
+        }
+    }
+
+    /// Common-random-number sample streams are bit-identical at any
+    /// thread count and for any seed — the thread layout only partitions
+    /// fixed per-chunk RNG streams.
+    #[test]
+    fn crn_samples_are_bit_identical_across_thread_counts(
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+        k in 1usize..=60,
+    ) {
+        let config = CalibrationConfig {
+            trials: 200,
+            serial_cutoff: 0, // force the parallel dispatch path
+            ..CalibrationConfig::default()
+        };
+        let serial = ThresholdCalibrator::new(CalibrationConfig { threads: 1, ..config })
+            .unwrap()
+            .with_seed(seed);
+        let parallel = ThresholdCalibrator::new(CalibrationConfig { threads, ..config })
+            .unwrap()
+            .with_seed(seed);
+        let reference = serial.distance_samples(M, k, 0.9).unwrap();
+        let got = parallel.distance_samples(M, k, 0.9).unwrap();
+        prop_assert_eq!(got, reference);
+    }
+}
+
+/// The serving gate: a surface whose measured bound exceeds the
+/// configured tolerance must refuse to serve (oracle fallback), and the
+/// fixture surface must agree with the oracle *exactly* at grid nodes.
+#[test]
+fn lookups_at_grid_nodes_are_oracle_exact() {
+    let (_, oracle) = fixture();
+    let s = surface();
+    let layer = s
+        .layers()
+        .iter()
+        .find(|l| l.m == M && l.confidence_millis == 95_000)
+        .expect("base-confidence layer exists");
+    for &k in &layer.k_grid {
+        for &node in &layer.p_nodes {
+            let p = (node as f64 * P_BUCKET).clamp(0.0, 1.0);
+            let truth = oracle.threshold_at(M, k, p, 0.95).unwrap();
+            let served = s.lookup(M, k, node, 95_000).expect("node is on the grid");
+            assert_eq!(
+                served.to_bits(),
+                truth.to_bits(),
+                "grid node k={k} p={p} must be oracle-exact"
+            );
+        }
+    }
+}
